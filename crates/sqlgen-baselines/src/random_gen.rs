@@ -1,0 +1,124 @@
+//! SQLsmith-style random baseline (paper §7.1 "SQLSmith").
+//!
+//! "Randomly generated SQLs based on a parse tree, from which we picked the
+//! queries satisfying the constraints." Our random walk runs over the same
+//! FSM the RL agent uses, so every query is valid — strictly *stronger*
+//! than the original SQLsmith, which makes the reported accuracy gaps
+//! conservative.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlgen_engine::Statement;
+use sqlgen_fsm::{random_statement, FsmConfig, Vocabulary};
+use sqlgen_rl::SqlGenEnv;
+
+/// Uniform-random query generator.
+pub struct RandomGen {
+    rng: StdRng,
+}
+
+impl RandomGen {
+    pub fn new(seed: u64) -> Self {
+        RandomGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one random valid statement.
+    pub fn generate(&mut self, vocab: &Vocabulary, cfg: &FsmConfig) -> Statement {
+        random_statement(vocab, cfg, &mut self.rng).0
+    }
+
+    /// Generate-and-filter: keep sampling until `n` satisfied queries are
+    /// found or `max_attempts` is exhausted. Returns `(satisfied, attempts)`.
+    pub fn find_satisfied(
+        &mut self,
+        env: &SqlGenEnv,
+        n: usize,
+        max_attempts: usize,
+    ) -> (Vec<Statement>, usize) {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let stmt = self.generate(env.vocab, &env.fsm_config);
+            if env.satisfies(&stmt) {
+                out.push(stmt);
+            }
+        }
+        (out, attempts)
+    }
+
+    /// Accuracy over `n` random queries (fraction satisfying the
+    /// constraint) — the paper's metric for the SQLSmith row.
+    pub fn accuracy(&mut self, env: &SqlGenEnv, n: usize) -> f64 {
+        let mut hits = 0;
+        for _ in 0..n {
+            let stmt = self.generate(env.vocab, &env.fsm_config);
+            if env.satisfies(&stmt) {
+                hits += 1;
+            }
+        }
+        hits as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_engine::Estimator;
+    use sqlgen_rl::Constraint;
+    use sqlgen_storage::gen::tpch_database;
+    use sqlgen_storage::sample::SampleConfig;
+
+    fn setup() -> (sqlgen_storage::Database, Vocabulary, Estimator) {
+        let db = tpch_database(0.2, 4);
+        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let est = Estimator::build(&db);
+        (db, vocab, est)
+    }
+
+    #[test]
+    fn random_statements_are_valid() {
+        let (db, vocab, _) = setup();
+        let mut g = RandomGen::new(1);
+        for _ in 0..50 {
+            let stmt = g.generate(&vocab, &FsmConfig::default());
+            sqlgen_engine::validate(&db, &stmt).unwrap();
+        }
+    }
+
+    #[test]
+    fn find_satisfied_filters_correctly() {
+        let (_db, vocab, est) = setup();
+        let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 1e9));
+        let mut g = RandomGen::new(2);
+        let (found, attempts) = g.find_satisfied(&env, 5, 100);
+        assert_eq!(found.len(), 5, "loose constraint should be easy");
+        assert!(attempts >= 5);
+        for s in &found {
+            assert!(env.satisfies(s));
+        }
+    }
+
+    #[test]
+    fn impossible_constraint_exhausts_budget() {
+        let (_db, vocab, est) = setup();
+        let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1e14, 1e15));
+        let mut g = RandomGen::new(3);
+        let (found, attempts) = g.find_satisfied(&env, 1, 50);
+        assert!(found.is_empty());
+        assert_eq!(attempts, 50);
+    }
+
+    #[test]
+    fn tight_constraints_have_lower_accuracy() {
+        let (_db, vocab, est) = setup();
+        let mut g = RandomGen::new(4);
+        let loose = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 1e9));
+        let tight = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(777.0, 779.0));
+        let acc_loose = g.accuracy(&loose, 100);
+        let acc_tight = g.accuracy(&tight, 100);
+        assert!(acc_loose > acc_tight);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench: the reward oracle's latency — statistics build,
+//! cardinality estimation and cost estimation, plus real execution for
+//! contrast. The estimator must be orders of magnitude faster than
+//! execution for the paper's "use the estimate, not the real cardinality"
+//! design to pay off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgen_engine::{parse, CostModel, Estimator, Executor};
+use sqlgen_storage::gen::tpch_database;
+use std::hint::black_box;
+
+fn bench_estimator(c: &mut Criterion) {
+    let db = tpch_database(0.5, 42);
+    let est = Estimator::build(&db);
+    let cost = CostModel::default();
+    let stmt = parse(
+        "SELECT lineitem.l_quantity FROM lineitem \
+         JOIN orders ON lineitem.l_orderkey = orders.o_orderkey \
+         WHERE lineitem.l_quantity < 25 AND orders.o_orderstatus = 'F'",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("reward_oracle");
+    group.sample_size(20);
+
+    group.bench_function("estimate_cardinality", |b| {
+        b.iter(|| black_box(est.cardinality(&stmt)))
+    });
+    group.bench_function("estimate_cost", |b| {
+        b.iter(|| black_box(cost.cost(&est, &stmt)))
+    });
+    let ex = Executor::new(&db);
+    group.bench_function("execute_real", |b| {
+        b.iter(|| black_box(ex.cardinality(&stmt).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("statistics");
+    group.sample_size(10);
+    group.bench_function("build_stats_tpch", |b| {
+        b.iter(|| black_box(Estimator::build(&db)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

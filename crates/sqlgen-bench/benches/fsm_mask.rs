@@ -1,0 +1,62 @@
+//! Criterion bench: FSM action-mask computation and full rollouts — the
+//! per-token overhead the environment adds to every RL step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlgen_fsm::{random_statement, FsmConfig, GenState, Token, Vocabulary};
+use sqlgen_storage::gen::tpch_database;
+use sqlgen_storage::sample::SampleConfig;
+use std::hint::black_box;
+
+fn bench_fsm(c: &mut Criterion) {
+    let db = tpch_database(0.3, 42);
+    let vocab = Vocabulary::build(&db, &SampleConfig::default());
+    let cfg = FsmConfig::full();
+
+    let mut group = c.benchmark_group("fsm");
+    group.sample_size(20);
+
+    // Mask computation at a value-heavy decision point (predicate RHS).
+    let lineitem = vocab.tables.iter().position(|t| t == "lineitem").unwrap() as u32;
+    let qty = vocab
+        .columns
+        .iter()
+        .position(|col| col.name == "l_quantity")
+        .unwrap() as u32;
+    let mut state = GenState::new(&vocab, FsmConfig::default());
+    for t in [
+        Token::From,
+        Token::Table(lineitem),
+        Token::Select,
+        Token::Column(qty),
+        Token::Where,
+        Token::Column(qty),
+        Token::Op(sqlgen_engine::CmpOp::Lt),
+    ] {
+        state.apply(vocab.id(&t)).unwrap();
+    }
+    let mut mask = vec![false; vocab.size()];
+    group.bench_function("mask_at_value_choice", |b| {
+        b.iter(|| {
+            state.mask_into(&mut mask);
+            black_box(mask[0])
+        })
+    });
+
+    // Full random rollout (one valid statement).
+    let mut rng = StdRng::seed_from_u64(9);
+    group.bench_function("full_rollout", |b| {
+        b.iter(|| black_box(random_statement(&vocab, &cfg, &mut rng).0))
+    });
+
+    // Vocabulary construction.
+    group.bench_function("build_vocabulary", |b| {
+        b.iter(|| black_box(Vocabulary::build(&db, &SampleConfig::default()).size()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fsm);
+criterion_main!(benches);

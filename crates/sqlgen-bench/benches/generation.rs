@@ -1,0 +1,60 @@
+//! Criterion bench: per-query generation cost of each method (the
+//! microbenchmark behind the Figure 6/7 efficiency comparison).
+//!
+//! The learned generator is trained *outside* the measured loop, matching
+//! how inference-time throughput is reported once a model exists.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgen_baselines::{RandomGen, TemplateGen};
+use sqlgen_bench::methods::harness_gen_config;
+use sqlgen_bench::TestBed;
+use sqlgen_core::LearnedSqlGen;
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::Benchmark;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let bed = TestBed::new(Benchmark::TpcH, 0.2, 42);
+    let constraint = Constraint::cardinality_range(10.0, 5_000.0);
+
+    let mut group = c.benchmark_group("generate_one_query");
+    group.sample_size(10);
+
+    // SQLSmith: one random rollout.
+    let env = bed.env(constraint);
+    let mut random = RandomGen::new(7);
+    group.bench_function("sqlsmith_random", |b| {
+        b.iter(|| black_box(random.generate(env.vocab, &env.fsm_config)))
+    });
+
+    // Template: one tuning attempt.
+    let mut template = TemplateGen::from_rollouts(&bed.vocab, &env.fsm_config, 8, 9);
+    group.bench_function("template_tune", |b| {
+        b.iter(|| black_box(template.generate(&env)))
+    });
+
+    // LearnedSQLGen inference (pre-trained).
+    let mut cfg = harness_gen_config(42);
+    cfg.default_train_episodes = 150;
+    let mut learned = LearnedSqlGen::new(&bed.db, constraint, cfg);
+    learned.train(150);
+    group.bench_function("learned_inference", |b| {
+        b.iter(|| black_box(learned.generate(1)))
+    });
+
+    group.finish();
+
+    // Training episode cost (what the efficiency figures amortize).
+    let mut group = c.benchmark_group("train_one_episode");
+    group.sample_size(10);
+    let mut cfg = harness_gen_config(43);
+    cfg.default_train_episodes = 1;
+    let mut trainee = LearnedSqlGen::new(&bed.db, constraint, cfg);
+    group.bench_function("learned_train_episode", |b| {
+        b.iter(|| black_box(trainee.train(1).episodes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Minimal command-line flag parsing for the experiment binaries
+//! (avoids pulling `clap` into the allowed dependency set).
+
+/// Flags shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Queries per cell (the paper uses N = 1000; we default lower).
+    pub n: usize,
+    /// Data scale factor.
+    pub scale: f64,
+    pub seed: u64,
+    /// Training episodes for the learned method.
+    pub train: usize,
+    /// Quick mode: shrink everything for a smoke run.
+    pub quick: bool,
+    /// Restrict to one benchmark (tpch/job/xuetang); `None` = all.
+    pub benchmark: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            n: 200,
+            scale: 0.3,
+            seed: 42,
+            train: 400,
+            quick: false,
+            benchmark: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`; panics with a usage message on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = HarnessArgs::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--n" => args.n = value("--n").parse().expect("--n: integer"),
+                "--scale" => args.scale = value("--scale").parse().expect("--scale: float"),
+                "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+                "--train" => args.train = value("--train").parse().expect("--train: integer"),
+                "--benchmark" => args.benchmark = Some(value("--benchmark")),
+                "--quick" => args.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --n <queries> --scale <sf> --seed <u64> \
+                         --train <episodes> --benchmark <tpch|job|xuetang> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        if args.quick {
+            args.n = args.n.min(40);
+            args.train = args.train.min(120);
+            args.scale = args.scale.min(0.15);
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse(&[]);
+        assert_eq!(a.n, 200);
+        let a = parse(&["--n", "50", "--seed", "7", "--scale", "1.5"]);
+        assert_eq!(a.n, 50);
+        assert_eq!(a.seed, 7);
+        assert!((a.scale - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        let a = parse(&["--quick"]);
+        assert!(a.n <= 40 && a.train <= 120);
+    }
+
+    #[test]
+    fn benchmark_filter() {
+        let a = parse(&["--benchmark", "tpch"]);
+        assert_eq!(a.benchmark.as_deref(), Some("tpch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse(&["--bogus"]);
+    }
+}

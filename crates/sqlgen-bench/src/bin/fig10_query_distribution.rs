@@ -1,0 +1,163 @@
+//! Figure 10: diversity and complexity of the generated queries.
+//!
+//! Paper setup: 1K queries on TPC-H — (a) join-table counts, (b) nested
+//! queries, (c) aggregates, (f) SQL token lengths under `Cost = 10⁶`;
+//! (d) predicate counts and (e) statement kinds under
+//! `Cardinality ∈ [1k, 8k]`.
+
+use sqlgen_bench::methods::harness_gen_config;
+use sqlgen_bench::table::pct;
+use sqlgen_bench::{write_csv, HarnessArgs, Table, TestBed};
+use sqlgen_core::{GeneratedQuery, LearnedSqlGen};
+use sqlgen_engine::{Statement, StatementKind};
+use sqlgen_fsm::FsmConfig;
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::Benchmark;
+use std::collections::BTreeMap;
+
+fn generate(
+    bed: &TestBed,
+    constraint: Constraint,
+    fsm: FsmConfig,
+    args: &HarnessArgs,
+) -> Vec<GeneratedQuery> {
+    let mut cfg = harness_gen_config(bed.seed);
+    cfg.fsm = fsm;
+    let mut g = LearnedSqlGen::new(&bed.db, constraint, cfg);
+    g.train(args.train);
+    g.generate(args.n)
+}
+
+fn select_stats(qs: &[GeneratedQuery]) -> (BTreeMap<usize, usize>, usize, usize, usize) {
+    let mut joins: BTreeMap<usize, usize> = BTreeMap::new();
+    let (mut nested, mut agg, mut selects) = (0, 0, 0);
+    for q in qs {
+        if let Statement::Select(s) = &q.statement {
+            selects += 1;
+            *joins.entry(s.join_count() + 1).or_default() += 1;
+            nested += usize::from(s.has_subquery());
+            agg += usize::from(s.has_aggregate());
+        }
+    }
+    (joins, nested, agg, selects)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let bed = TestBed::new(Benchmark::TpcH, args.scale, args.seed);
+
+    // (a)(b)(c)(f): cost constraint (paper: Cost = 10⁶; our cost axis is
+    // shifted — see EXPERIMENTS.md).
+    eprintln!("[fig10] training under cost constraint ...");
+    let cost_qs = generate(&bed, Constraint::cost_point(1e3), FsmConfig::full(), &args);
+    let (joins, nested, agg, selects) = select_stats(&cost_qs);
+
+    let mut a = Table::new(
+        format!("Figure 10(a) — Join table counts (N={}, Cost = 1e3)", args.n),
+        &["tables in FROM", "queries", "share"],
+    );
+    for (k, v) in &joins {
+        a.row(vec![k.to_string(), v.to_string(), pct(*v as f64 / selects.max(1) as f64)]);
+    }
+    a.print();
+    write_csv(&a, "fig10a_joins");
+
+    let mut b = Table::new(
+        "Figure 10(b,c) — Nested / aggregation shares among SELECTs",
+        &["feature", "queries", "share"],
+    );
+    b.row(vec![
+        "nested".into(),
+        nested.to_string(),
+        pct(nested as f64 / selects.max(1) as f64),
+    ]);
+    b.row(vec![
+        "aggregation".into(),
+        agg.to_string(),
+        pct(agg as f64 / selects.max(1) as f64),
+    ]);
+    b.print();
+    write_csv(&b, "fig10bc_nested_agg");
+
+    // (f) token-length histogram.
+    let mut lengths: BTreeMap<usize, usize> = BTreeMap::new();
+    for q in &cost_qs {
+        let tokens = q.sql.split_whitespace().count();
+        *lengths.entry((tokens / 5) * 5).or_default() += 1;
+    }
+    let mut f = Table::new(
+        "Figure 10(f) — SQL length distribution (whitespace tokens, bucketed by 5)",
+        &["length bucket", "queries"],
+    );
+    for (k, v) in &lengths {
+        f.row(vec![format!("{k}-{}", k + 4), v.to_string()]);
+    }
+    f.print();
+    write_csv(&f, "fig10f_lengths");
+
+    // (e): statement-kind mix under a cardinality band, all kinds enabled.
+    eprintln!("[fig10] training under cardinality constraint (all kinds) ...");
+    let card_qs = generate(
+        &bed,
+        Constraint::cardinality_range(50.0, 400.0),
+        FsmConfig::full(),
+        &args,
+    );
+
+    // (d): predicate counts. The paper's [1k, 8k] is *low* relative to
+    // 33 GB tables, forcing predicate-heavy queries. At our scale any band
+    // containing a table's row count admits predicate-free shortcuts
+    // (full-table DELETEs, GROUP BY on a small table), so (d) uses
+    // SPJ-only generation with a band that falls *between* table sizes —
+    // the regime where predicates are mandatory (see EXPERIMENTS.md).
+    eprintln!("[fig10] training under gap-band cardinality constraint (SPJ only) ...");
+    let pred_qs = generate(
+        &bed,
+        Constraint::cardinality_range(35.0, 80.0),
+        FsmConfig::spj(),
+        &args,
+    );
+
+    let mut preds: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for q in &card_qs {
+        *kinds.entry(q.statement.kind().name()).or_default() += 1;
+    }
+    for q in &pred_qs {
+        let n = match &q.statement {
+            Statement::Select(s) => s.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            Statement::Update(u) => u.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            Statement::Delete(d) => d.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            Statement::Insert(_) => 0,
+        };
+        *preds.entry(n).or_default() += 1;
+    }
+
+    let mut d = Table::new(
+        format!(
+            "Figure 10(d) — Predicate counts (N={}, Card in [35, 80], SPJ-only)",
+            args.n
+        ),
+        &["predicates", "queries"],
+    );
+    for (k, v) in &preds {
+        d.row(vec![k.to_string(), v.to_string()]);
+    }
+    d.print();
+    write_csv(&d, "fig10d_predicates");
+
+    let mut e = Table::new(
+        "Figure 10(e) — Statement kind distribution",
+        &["kind", "queries", "share"],
+    );
+    for kind in StatementKind::ALL {
+        let v = kinds.get(kind.name()).copied().unwrap_or(0);
+        e.row(vec![
+            kind.name().to_string(),
+            v.to_string(),
+            pct(v as f64 / args.n.max(1) as f64),
+        ]);
+    }
+    e.print();
+    write_csv(&e, "fig10e_kinds");
+}

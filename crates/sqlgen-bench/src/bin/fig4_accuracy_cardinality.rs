@@ -1,0 +1,68 @@
+//! Figure 4: generation accuracy under **cardinality** constraints.
+//!
+//! Paper setup: N = 1000 queries per cell, point constraints
+//! {10², 10⁴, 10⁶, 10⁸} and range constraints {[1k,2k] ... [1k,8k]}, on
+//! TPC-H, JOB and XueTang, comparing SQLSmith / Template / LearnedSQLGen.
+
+use sqlgen_bench::methods::{learned_accuracy, random_accuracy, template_accuracy};
+use sqlgen_bench::table::pct;
+use sqlgen_bench::{write_csv, HarnessArgs, Table, TestBed};
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // The paper's point axis spans 10^2..10^8 on 33 GB data; our scaled data
+    // caps estimated cardinalities around 10^5, so the axis keeps the same
+    // decade spread, shifted (documented in EXPERIMENTS.md).
+    let points: [f64; 4] = [1e1, 1e2, 1e3, 1e4];
+    let ranges = [(1e3, 2e3), (1e3, 4e3), (1e3, 6e3), (1e3, 8e3)];
+
+    let mut table = Table::new(
+        format!(
+            "Figure 4 — Accuracy, cardinality constraints (N={}, scale={}, train={})",
+            args.n, args.scale, args.train
+        ),
+        &["dataset", "constraint", "SQLSmith", "Template", "LearnedSQLGen"],
+    );
+
+    for benchmark in Benchmark::ALL {
+        if let Some(only) = &args.benchmark {
+            if !benchmark.name().eq_ignore_ascii_case(only)
+                && !format!("{benchmark:?}").eq_ignore_ascii_case(only)
+            {
+                continue;
+            }
+        }
+        eprintln!("[fig4] preparing {} ...", benchmark.name());
+        let bed = TestBed::new(benchmark, args.scale, args.seed);
+
+        let constraints: Vec<(String, Constraint)> = points
+            .iter()
+            .map(|&c| (format!("Card = 1e{:.0}", c.log10()), Constraint::cardinality_point(c)))
+            .chain(ranges.iter().map(|&(lo, hi)| {
+                (
+                    format!("Card in [{:.0}k, {:.0}k]", lo / 1e3, hi / 1e3),
+                    Constraint::cardinality_range(lo, hi),
+                )
+            }))
+            .collect();
+
+        for (label, constraint) in constraints {
+            eprintln!("[fig4] {} / {label}", benchmark.name());
+            let rnd = random_accuracy(&bed, constraint, args.n);
+            let tpl = template_accuracy(&bed, constraint, args.n);
+            let lrn = learned_accuracy(&bed, constraint, args.train, args.n);
+            table.row(vec![
+                benchmark.name().to_string(),
+                label,
+                pct(rnd.accuracy),
+                pct(tpl.accuracy),
+                pct(lrn.accuracy),
+            ]);
+        }
+    }
+
+    table.print();
+    write_csv(&table, "fig4_accuracy_cardinality");
+}

@@ -1,0 +1,27 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! `DESIGN.md` maps each paper figure to one binary in `src/bin/`:
+//!
+//! | Figure | Binary |
+//! |--------|--------|
+//! | 4      | `fig4_accuracy_cardinality` |
+//! | 5      | `fig5_accuracy_cost` |
+//! | 6      | `fig6_efficiency_cardinality` |
+//! | 7      | `fig7_efficiency_cost` |
+//! | 8      | `fig8_rl_comparison` |
+//! | 9      | `fig9_meta_critic` |
+//! | 10     | `fig10_query_distribution` |
+//! | 11     | `fig11_complicated_queries` |
+//! | 12     | `fig12_sample_size` |
+//!
+//! Every binary accepts `--n <queries>`, `--scale <sf>`, `--seed <u64>`,
+//! `--train <episodes>` and `--quick`, prints the paper's rows as a
+//! markdown table and writes a CSV under `results/`.
+
+pub mod args;
+pub mod methods;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use methods::{MethodResult, TestBed};
+pub use table::{write_csv, Table};

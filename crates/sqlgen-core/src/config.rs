@@ -1,0 +1,108 @@
+//! End-to-end generator configuration.
+
+use sqlgen_fsm::FsmConfig;
+use sqlgen_rl::{NetConfig, TrainConfig};
+use sqlgen_storage::sample::SampleConfig;
+
+/// Which RL algorithm drives generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Plain policy gradient (the paper's Figure 8 ablation).
+    Reinforce,
+    /// Actor-critic with TD advantages — the paper's shipped algorithm.
+    ActorCritic,
+}
+
+/// Full configuration for [`crate::LearnedSqlGen`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Value sampling for the action space (paper default k = 100).
+    pub sample: SampleConfig,
+    /// FSM limits / statement kinds.
+    pub fsm: FsmConfig,
+    /// Network + optimizer hyper-parameters (§7.1 defaults).
+    pub train: TrainConfig,
+    pub algorithm: Algorithm,
+    /// Default number of training episodes used by `train_default`.
+    pub default_train_episodes: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            sample: SampleConfig::default(),
+            fsm: FsmConfig::default(),
+            train: TrainConfig::default(),
+            algorithm: Algorithm::ActorCritic,
+            default_train_episodes: 600,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A fast configuration for tests and examples: smaller networks,
+    /// smaller value samples.
+    pub fn fast() -> Self {
+        GenConfig {
+            sample: SampleConfig {
+                k: 20,
+                ..Default::default()
+            },
+            train: TrainConfig {
+                net: NetConfig {
+                    embed_dim: 16,
+                    hidden: 16,
+                    layers: 1,
+                    dropout: 0.0,
+                },
+                ..Default::default()
+            },
+            default_train_episodes: 200,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    pub fn with_fsm(mut self, fsm: FsmConfig) -> Self {
+        self.fsm = fsm;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.train.seed = seed;
+        self.sample.seed = seed ^ 0x5a5a;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GenConfig::default();
+        assert_eq!(c.sample.k, 100);
+        assert_eq!(c.train.net.hidden, 30);
+        assert_eq!(c.train.net.layers, 2);
+        assert!((c.train.net.dropout - 0.3).abs() < 1e-6);
+        assert!((c.train.lr_actor - 0.001).abs() < 1e-9);
+        assert!((c.train.lr_critic - 0.003).abs() < 1e-9);
+        assert!((c.train.lambda - 0.01).abs() < 1e-9);
+        assert_eq!(c.algorithm, Algorithm::ActorCritic);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GenConfig::fast()
+            .with_algorithm(Algorithm::Reinforce)
+            .with_seed(99);
+        assert_eq!(c.algorithm, Algorithm::Reinforce);
+        assert_eq!(c.train.seed, 99);
+        assert_eq!(c.sample.seed, 99 ^ 0x5a5a);
+    }
+}

@@ -1,0 +1,278 @@
+//! Diversity and complexity profiling of generated workloads.
+//!
+//! The paper's §7.5 case study reports the distribution of generated
+//! queries over joins, nesting, aggregation, predicate counts, statement
+//! kinds and SQL lengths (Figure 10). This module computes those profiles
+//! as a reusable API — plus a distinctness ratio and a structure entropy
+//! that quantify the paper's "the user definitely wants diverse queries
+//! rather than almost the same ones" (§3.1 challenge 3).
+
+use crate::generator::GeneratedQuery;
+use sqlgen_engine::{Statement, StatementKind};
+use std::collections::{BTreeMap, HashSet};
+
+/// Aggregate profile of a generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityReport {
+    pub total: usize,
+    /// Fraction of distinct SQL strings.
+    pub distinct_ratio: f64,
+    /// Shannon entropy (bits) over structural signatures.
+    pub structure_entropy: f64,
+    /// Shannon entropy (bits) over *coarse* shapes (tables + clause
+    /// counts, ignoring which columns appear). Unlike `structure_entropy`,
+    /// this does not saturate at `log2(N)` for modest workloads.
+    pub shape_entropy: f64,
+    /// Histogram over the number of tables in FROM (SELECTs only).
+    pub join_tables: BTreeMap<usize, usize>,
+    /// SELECTs containing a subquery.
+    pub nested: usize,
+    /// SELECTs containing an aggregate or HAVING.
+    pub aggregated: usize,
+    /// Histogram over predicate atom counts.
+    pub predicates: BTreeMap<usize, usize>,
+    /// Histogram over statement kinds.
+    pub kinds: BTreeMap<StatementKind, usize>,
+    /// Histogram over whitespace-token SQL lengths, bucketed by 5.
+    pub lengths: BTreeMap<usize, usize>,
+    /// SELECT statements in the workload.
+    pub selects: usize,
+}
+
+impl DiversityReport {
+    pub fn nested_share(&self) -> f64 {
+        self.nested as f64 / self.selects.max(1) as f64
+    }
+
+    pub fn aggregated_share(&self) -> f64 {
+        self.aggregated as f64 / self.selects.max(1) as f64
+    }
+
+    pub fn multi_join_share(&self) -> f64 {
+        let multi: usize = self
+            .join_tables
+            .iter()
+            .filter(|(tables, _)| **tables > 1)
+            .map(|(_, n)| n)
+            .sum();
+        multi as f64 / self.selects.max(1) as f64
+    }
+}
+
+/// A coarse shape: the FROM tables and clause counts, ignoring which
+/// columns/aggregates appear. Useful for entropy at modest workload sizes.
+pub fn coarse_shape(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(q) => format!(
+            "S[{}]:i{}:p{}:n{}:g{}:h{}:a{}",
+            q.from.tables().join(","),
+            q.select.len(),
+            q.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            u8::from(q.has_subquery()),
+            q.group_by.len(),
+            u8::from(q.having.is_some()),
+            u8::from(q.has_aggregate()),
+        ),
+        Statement::Insert(i) => format!("I[{}]", i.table),
+        Statement::Update(u) => format!(
+            "U[{}]:{}:p{}",
+            u.table,
+            u.sets.len(),
+            u.predicate.as_ref().map_or(0, |p| p.atom_count())
+        ),
+        Statement::Delete(d) => format!(
+            "D[{}]:p{}",
+            d.table,
+            d.predicate.as_ref().map_or(0, |p| p.atom_count())
+        ),
+    }
+}
+
+/// A structural signature: everything about a statement except its
+/// literals. Two queries with the same signature differ only in predicate
+/// constants.
+pub fn structure_signature(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(q) => {
+            let tables = q.from.tables().join(",");
+            let items: Vec<String> = q
+                .select
+                .iter()
+                .map(|i| match i {
+                    sqlgen_engine::SelectItem::Column(c) => c.to_string(),
+                    sqlgen_engine::SelectItem::Agg(f, c) => format!("{f}({c})"),
+                })
+                .collect();
+            let preds = q.predicate.as_ref().map_or(0, |p| p.atom_count());
+            let nested = q.has_subquery();
+            format!(
+                "S[{tables}]:{}:p{preds}:n{}:g{}:h{}",
+                items.join(","),
+                u8::from(nested),
+                q.group_by.len(),
+                u8::from(q.having.is_some())
+            )
+        }
+        Statement::Insert(i) => format!("I[{}]", i.table),
+        Statement::Update(u) => format!(
+            "U[{}]:{}:p{}",
+            u.table,
+            u.sets.len(),
+            u.predicate.as_ref().map_or(0, |p| p.atom_count())
+        ),
+        Statement::Delete(d) => format!(
+            "D[{}]:p{}",
+            d.table,
+            d.predicate.as_ref().map_or(0, |p| p.atom_count())
+        ),
+    }
+}
+
+/// Profiles a workload.
+pub fn profile(queries: &[GeneratedQuery]) -> DiversityReport {
+    let mut distinct: HashSet<&str> = HashSet::new();
+    let mut signatures: BTreeMap<String, usize> = BTreeMap::new();
+    let mut shapes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut join_tables = BTreeMap::new();
+    let mut predicates = BTreeMap::new();
+    let mut kinds = BTreeMap::new();
+    let mut lengths = BTreeMap::new();
+    let (mut nested, mut aggregated, mut selects) = (0, 0, 0);
+
+    for q in queries {
+        distinct.insert(q.sql.as_str());
+        *signatures.entry(structure_signature(&q.statement)).or_default() += 1;
+        *shapes.entry(coarse_shape(&q.statement)).or_default() += 1;
+        *kinds.entry(q.statement.kind()).or_default() += 1;
+        let tokens = q.sql.split_whitespace().count();
+        *lengths.entry((tokens / 5) * 5).or_default() += 1;
+        let atoms = match &q.statement {
+            Statement::Select(s) => {
+                selects += 1;
+                *join_tables.entry(s.join_count() + 1).or_default() += 1;
+                nested += usize::from(s.has_subquery());
+                aggregated += usize::from(s.has_aggregate());
+                s.predicate.as_ref().map_or(0, |p| p.atom_count())
+            }
+            Statement::Update(u) => u.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            Statement::Delete(d) => d.predicate.as_ref().map_or(0, |p| p.atom_count()),
+            Statement::Insert(_) => 0,
+        };
+        *predicates.entry(atoms).or_default() += 1;
+    }
+
+    let total = queries.len();
+    let shannon = |hist: &BTreeMap<String, usize>| -> f64 {
+        let n = total.max(1) as f64;
+        hist.values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    };
+    let entropy = shannon(&signatures);
+    let shape_entropy = shannon(&shapes);
+
+    DiversityReport {
+        total,
+        distinct_ratio: distinct.len() as f64 / total.max(1) as f64,
+        structure_entropy: entropy,
+        shape_entropy,
+        join_tables,
+        nested,
+        aggregated,
+        predicates,
+        kinds,
+        lengths,
+        selects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratedQuery;
+    use sqlgen_engine::{parse, render};
+
+    fn gq(sql: &str) -> GeneratedQuery {
+        let statement = parse(sql).unwrap();
+        GeneratedQuery {
+            sql: render(&statement),
+            statement,
+            measured: 0.0,
+            satisfied: true,
+        }
+    }
+
+    #[test]
+    fn profile_counts_features() {
+        let qs = vec![
+            gq("SELECT t.a FROM t"),
+            gq("SELECT t.a FROM t JOIN u ON t.id = u.tid WHERE t.a < 1 AND u.b = 2"),
+            gq("SELECT COUNT(t.a) FROM t GROUP BY t.g"),
+            gq("SELECT t.a FROM t WHERE t.x IN (SELECT u.x FROM u)"),
+            gq("DELETE FROM t WHERE t.a = 1"),
+            gq("INSERT INTO t VALUES (1)"),
+        ];
+        let r = profile(&qs);
+        assert_eq!(r.total, 6);
+        assert_eq!(r.selects, 4);
+        assert_eq!(r.nested, 1);
+        assert_eq!(r.aggregated, 1);
+        assert_eq!(r.join_tables[&2], 1);
+        assert_eq!(r.predicates[&2], 1); // the AND query
+        assert_eq!(r.kinds[&StatementKind::Delete], 1);
+        assert!((r.distinct_ratio - 1.0).abs() < 1e-12);
+        assert!(r.structure_entropy > 2.0, "6 distinct structures");
+        assert!(r.shape_entropy > 2.0 && r.shape_entropy <= r.structure_entropy + 1e-9);
+    }
+
+    #[test]
+    fn coarse_shape_ignores_column_choice() {
+        let a = parse("SELECT t.a FROM t WHERE t.a < 1").unwrap();
+        let b = parse("SELECT t.b FROM t WHERE t.c < 9").unwrap();
+        assert_eq!(coarse_shape(&a), coarse_shape(&b));
+        assert_ne!(structure_signature(&a), structure_signature(&b));
+    }
+
+    #[test]
+    fn duplicates_reduce_distinctness_and_entropy() {
+        let unique = vec![gq("SELECT t.a FROM t"), gq("SELECT u.b FROM u")];
+        let dupes = vec![gq("SELECT t.a FROM t"), gq("SELECT t.a FROM t")];
+        let ru = profile(&unique);
+        let rd = profile(&dupes);
+        assert!(ru.distinct_ratio > rd.distinct_ratio);
+        assert!(ru.structure_entropy > rd.structure_entropy);
+        assert_eq!(rd.structure_entropy, 0.0);
+    }
+
+    #[test]
+    fn signature_ignores_literals_only() {
+        let a = parse("SELECT t.a FROM t WHERE t.a < 1").unwrap();
+        let b = parse("SELECT t.a FROM t WHERE t.a < 999").unwrap();
+        let c = parse("SELECT t.a FROM t WHERE t.a < 1 AND t.b = 2").unwrap();
+        assert_eq!(structure_signature(&a), structure_signature(&b));
+        assert_ne!(structure_signature(&a), structure_signature(&c));
+    }
+
+    #[test]
+    fn shares_are_fractions_of_selects() {
+        let qs = vec![
+            gq("SELECT t.a FROM t WHERE t.x IN (SELECT u.x FROM u)"),
+            gq("SELECT t.a FROM t"),
+            gq("DELETE FROM t"),
+        ];
+        let r = profile(&qs);
+        assert!((r.nested_share() - 0.5).abs() < 1e-12);
+        assert_eq!(r.multi_join_share(), 0.0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let r = profile(&[]);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.distinct_ratio, 0.0);
+        assert_eq!(r.structure_entropy, 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The LearnedSQLGen generator: train on a constraint, then generate
+//! satisfying queries (paper §3, Algorithms 1 and 2).
+
+use crate::config::{Algorithm, GenConfig};
+use sqlgen_engine::{render, Estimator, Statement};
+use sqlgen_fsm::Vocabulary;
+use sqlgen_rl::{ActorCritic, Constraint, Episode, Reinforce, SqlGenEnv};
+use sqlgen_storage::Database;
+
+/// One generated query with its measured metric.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    pub statement: Statement,
+    pub sql: String,
+    /// Estimated cardinality or cost (per the constraint's metric).
+    pub measured: f64,
+    pub satisfied: bool,
+}
+
+/// Aggregate statistics from a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    pub episodes: usize,
+    /// Per-episode average step reward (the Figure 8(c) training trace).
+    pub reward_trace: Vec<f32>,
+    /// Satisfied queries discovered *during* training (the paper counts
+    /// these toward the generation budget).
+    pub satisfied_during_training: Vec<GeneratedQuery>,
+}
+
+enum Trainer {
+    Reinforce(Box<Reinforce>),
+    ActorCritic(Box<ActorCritic>),
+}
+
+/// Constraint-aware SQL generator.
+///
+/// Owns the action space, the statistics-based estimator and the RL model.
+/// Train once per constraint with [`LearnedSqlGen::train`], then call
+/// [`LearnedSqlGen::generate`] any number of times.
+pub struct LearnedSqlGen {
+    vocab: Vocabulary,
+    estimator: Estimator,
+    constraint: Constraint,
+    config: GenConfig,
+    trainer: Trainer,
+    pub stats: TrainStats,
+}
+
+impl LearnedSqlGen {
+    /// Builds the generator for a database and constraint. Statistics and
+    /// the action space are derived from `db` once, here.
+    pub fn new(db: &Database, constraint: Constraint, config: GenConfig) -> Self {
+        let vocab = Vocabulary::build(db, &config.sample);
+        let estimator = Estimator::build(db);
+        let trainer = match config.algorithm {
+            Algorithm::Reinforce => {
+                Trainer::Reinforce(Box::new(Reinforce::new(vocab.size(), config.train.clone())))
+            }
+            Algorithm::ActorCritic => Trainer::ActorCritic(Box::new(ActorCritic::new(
+                vocab.size(),
+                config.train.clone(),
+            ))),
+        };
+        LearnedSqlGen {
+            vocab,
+            estimator,
+            constraint,
+            config,
+            trainer,
+            stats: TrainStats::default(),
+        }
+    }
+
+    pub fn constraint(&self) -> Constraint {
+        self.constraint
+    }
+
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    fn env(&self) -> SqlGenEnv<'_> {
+        SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
+            .with_fsm_config(self.config.fsm.clone())
+    }
+
+    /// Trains for `episodes` episodes (Algorithm 1 / Algorithm 3).
+    pub fn train(&mut self, episodes: usize) -> &TrainStats {
+        // Split borrows: the env borrows vocab/estimator, the trainer is
+        // updated mutably.
+        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
+            .with_fsm_config(self.config.fsm.clone());
+        for _ in 0..episodes {
+            let ep = match &mut self.trainer {
+                Trainer::Reinforce(t) => t.train_episode(&env),
+                Trainer::ActorCritic(t) => t.train_episode(&env),
+            };
+            self.stats.episodes += 1;
+            self.stats
+                .reward_trace
+                .push(ep.total_reward() / ep.len().max(1) as f32);
+            if ep.satisfied {
+                self.stats
+                    .satisfied_during_training
+                    .push(to_generated(&ep));
+            }
+        }
+        &self.stats
+    }
+
+    /// Trains with the configured default episode budget.
+    pub fn train_default(&mut self) -> &TrainStats {
+        self.train(self.config.default_train_episodes)
+    }
+
+    /// Generates `n` queries with the trained policy (Algorithm 2). Not all
+    /// are guaranteed to satisfy the constraint; the ratio that does is the
+    /// paper's *generation accuracy*.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
+        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
+            .with_fsm_config(self.config.fsm.clone());
+        (0..n)
+            .map(|_| {
+                let ep = match &mut self.trainer {
+                    Trainer::Reinforce(t) => t.generate(&env),
+                    Trainer::ActorCritic(t) => t.generate(&env),
+                };
+                to_generated(&ep)
+            })
+            .collect()
+    }
+
+    /// Keeps generating until `n` satisfied queries are found or
+    /// `max_attempts` is exhausted. Returns the satisfied queries and the
+    /// number of attempts spent.
+    pub fn generate_satisfied(&mut self, n: usize, max_attempts: usize) -> (Vec<GeneratedQuery>, usize) {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let q = self.generate(1).pop().expect("one query requested");
+            if q.satisfied {
+                out.push(q);
+            }
+        }
+        (out, attempts)
+    }
+
+    /// Fraction of the last `n` generated queries satisfying the constraint.
+    pub fn accuracy(&mut self, n: usize) -> f64 {
+        let qs = self.generate(n);
+        qs.iter().filter(|q| q.satisfied).count() as f64 / n.max(1) as f64
+    }
+
+    /// Measures a statement under this generator's constraint metric.
+    pub fn measure(&self, stmt: &Statement) -> f64 {
+        self.env().measure(stmt)
+    }
+
+    /// Serializes the trained actor to JSON (checkpointing).
+    pub fn save_actor(&self) -> String {
+        let actor = match &self.trainer {
+            Trainer::Reinforce(t) => &t.actor,
+            Trainer::ActorCritic(t) => &t.actor,
+        };
+        serde_json::to_string(actor).expect("actor serializes")
+    }
+
+    /// Restores actor weights from [`LearnedSqlGen::save_actor`] output.
+    pub fn load_actor(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let mut actor: sqlgen_rl::ActorNet = serde_json::from_str(json)?;
+        actor.restore_buffers();
+        match &mut self.trainer {
+            Trainer::Reinforce(t) => t.actor = actor,
+            Trainer::ActorCritic(t) => t.actor = actor,
+        }
+        Ok(())
+    }
+}
+
+fn to_generated(ep: &Episode) -> GeneratedQuery {
+    GeneratedQuery {
+        sql: render(&ep.statement),
+        statement: ep.statement.clone(),
+        measured: ep.measured,
+        satisfied: ep.satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_storage::gen::tpch_database;
+
+    fn quick_gen(constraint: Constraint) -> LearnedSqlGen {
+        let db = tpch_database(0.2, 21);
+        LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(5))
+    }
+
+    #[test]
+    fn train_then_generate_beats_untrained_accuracy() {
+        // Tight enough that the untrained policy rarely hits it.
+        let constraint = Constraint::cardinality_range(100.0, 500.0);
+        let mut untrained = quick_gen(constraint);
+        let base_acc = untrained.accuracy(80);
+
+        let mut g = quick_gen(constraint);
+        g.train(500);
+        let acc = g.accuracy(80);
+        assert!(
+            acc > base_acc + 0.05,
+            "training did not help: {acc:.2} vs untrained {base_acc:.2}"
+        );
+        assert_eq!(g.stats.episodes, 500);
+        assert_eq!(g.stats.reward_trace.len(), 500);
+    }
+
+    #[test]
+    fn generated_queries_are_valid_sql() {
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(
+            &db,
+            Constraint::cardinality_range(1.0, 100_000.0),
+            GenConfig::fast(),
+        );
+        g.train(50);
+        for q in g.generate(20) {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+            let reparsed = sqlgen_engine::parse(&q.sql).unwrap();
+            assert_eq!(render(&reparsed), q.sql);
+        }
+    }
+
+    #[test]
+    fn generate_satisfied_respects_budget() {
+        let mut g = quick_gen(Constraint::cardinality_range(1e11, 1e12)); // unreachable
+        let (found, attempts) = g.generate_satisfied(5, 20);
+        assert!(found.is_empty());
+        assert_eq!(attempts, 20);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_behavior() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let mut g = quick_gen(constraint);
+        g.train(100);
+        let ckpt = g.save_actor();
+        let acc_before = g.accuracy(30);
+
+        let mut fresh = quick_gen(constraint);
+        fresh.load_actor(&ckpt).unwrap();
+        let acc_after = fresh.accuracy(30);
+        // Same weights, same (seeded) generation stream → similar accuracy.
+        assert!(
+            (acc_before - acc_after).abs() < 0.35,
+            "checkpoint drift: {acc_before} vs {acc_after}"
+        );
+    }
+
+    #[test]
+    fn reinforce_algorithm_also_works() {
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(
+            &db,
+            Constraint::cardinality_range(50.0, 5_000.0),
+            GenConfig::fast().with_algorithm(Algorithm::Reinforce),
+        );
+        g.train(100);
+        let qs = g.generate(10);
+        assert_eq!(qs.len(), 10);
+    }
+}

@@ -1,0 +1,234 @@
+//! Pre-training for different constraints (paper §6), as a user-facing API.
+//!
+//! `MetaSqlGen` owns a shared meta-critic pre-trained over a partition of a
+//! cardinality/cost domain; `specialize` then adapts a fresh actor to any
+//! unseen constraint in the domain, reusing the accumulated critic
+//! knowledge ("the meta-critic keeps learning to criticize actors from new
+//! tasks, it accumulates transferable knowledge and never gets
+//! 'out of date'").
+
+use crate::config::GenConfig;
+use crate::generator::GeneratedQuery;
+use sqlgen_engine::{render, Estimator};
+use sqlgen_fsm::Vocabulary;
+use sqlgen_rl::{Constraint, Metric, MetaCriticTrainer, SqlGenEnv, Target};
+use sqlgen_storage::Database;
+
+/// Domain-level pre-trainer + per-constraint specializer.
+pub struct MetaSqlGen {
+    vocab: Vocabulary,
+    estimator: Estimator,
+    config: GenConfig,
+    metric: Metric,
+    domain: (f64, f64),
+    trainer: MetaCriticTrainer,
+    /// Pre-training constraints (one per task slot, in order).
+    pub pretrain_tasks: Vec<Constraint>,
+}
+
+/// A constraint-specialized handle into the shared trainer.
+pub struct Specialized<'m> {
+    meta: &'m mut MetaSqlGen,
+    task: usize,
+    pub constraint: Constraint,
+}
+
+impl MetaSqlGen {
+    /// Partitions `domain` into `tasks` uniform sub-ranges of `metric` and
+    /// builds one actor per task plus the shared meta-critic.
+    pub fn new(
+        db: &Database,
+        metric: Metric,
+        domain: (f64, f64),
+        tasks: usize,
+        config: GenConfig,
+    ) -> Self {
+        assert!(tasks >= 1 && domain.0 < domain.1, "bad domain partition");
+        let vocab = Vocabulary::build(db, &config.sample);
+        let estimator = Estimator::build(db);
+        let width = (domain.1 - domain.0) / tasks as f64;
+        let pretrain_tasks: Vec<Constraint> = (0..tasks)
+            .map(|i| {
+                let lo = domain.0 + i as f64 * width;
+                match metric {
+                    Metric::Cardinality => Constraint::cardinality_range(lo, lo + width),
+                    Metric::Cost => Constraint::cost_range(lo, lo + width),
+                    Metric::Latency => Constraint::latency_range_us(lo, lo + width),
+                }
+            })
+            .collect();
+        let trainer =
+            MetaCriticTrainer::new(vocab.size(), pretrain_tasks.clone(), config.train.clone());
+        MetaSqlGen {
+            vocab,
+            estimator,
+            config,
+            metric,
+            domain,
+            trainer,
+            pretrain_tasks,
+        }
+    }
+
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Pre-trains all tasks round-robin for `rounds` full passes.
+    pub fn pretrain(&mut self, rounds: usize) {
+        let tasks = self.pretrain_tasks.clone();
+        for _ in 0..rounds {
+            for (i, &c) in tasks.iter().enumerate() {
+                // Split borrows: env reads vocab/estimator, the trainer is
+                // updated mutably.
+                let env = build_env(&self.vocab, &self.estimator, &self.config, c);
+                self.trainer.train_task(i, &env);
+            }
+        }
+    }
+
+    /// Adds a new task for `constraint` (must use this generator's metric)
+    /// and returns a handle that trains/generates against it.
+    pub fn specialize(&mut self, constraint: Constraint) -> Specialized<'_> {
+        assert_eq!(
+            constraint.metric, self.metric,
+            "constraint metric must match the pre-training metric"
+        );
+        if let Target::Range(lo, hi) = constraint.target {
+            debug_assert!(
+                lo >= self.domain.0 * 0.5 && hi <= self.domain.1 * 2.0,
+                "constraint far outside the pre-training domain — transfer \
+                 will not help"
+            );
+        }
+        let task = self.trainer.add_task(self.vocab.size(), constraint);
+        Specialized {
+            meta: self,
+            task,
+            constraint,
+        }
+    }
+}
+
+/// Builds the environment from split borrows so the trainer can stay
+/// mutably borrowed by the caller.
+fn build_env<'a>(
+    vocab: &'a Vocabulary,
+    estimator: &'a Estimator,
+    config: &GenConfig,
+    constraint: Constraint,
+) -> SqlGenEnv<'a> {
+    SqlGenEnv::new(vocab, estimator, constraint).with_fsm_config(config.fsm.clone())
+}
+
+impl Specialized<'_> {
+    /// Adapts the task's actor for `episodes` episodes (warm meta-critic).
+    pub fn train(&mut self, episodes: usize) -> f32 {
+        let meta = &mut *self.meta;
+        let env = build_env(&meta.vocab, &meta.estimator, &meta.config, self.constraint);
+        let mut total = 0.0;
+        for _ in 0..episodes {
+            let ep = meta.trainer.train_task(self.task, &env);
+            total += ep.total_reward() / ep.len().max(1) as f32;
+        }
+        total / episodes.max(1) as f32
+    }
+
+    /// Generates `n` queries with the adapted actor.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
+        let meta = &mut *self.meta;
+        let env = build_env(&meta.vocab, &meta.estimator, &meta.config, self.constraint);
+        (0..n)
+            .map(|_| {
+                let ep = meta.trainer.generate(self.task, &env);
+                GeneratedQuery {
+                    sql: render(&ep.statement),
+                    statement: ep.statement.clone(),
+                    measured: ep.measured,
+                    satisfied: ep.satisfied,
+                }
+            })
+            .collect()
+    }
+
+    /// Satisfied fraction over `n` generations.
+    pub fn accuracy(&mut self, n: usize) -> f64 {
+        let qs = self.generate(n);
+        qs.iter().filter(|q| q.satisfied).count() as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use sqlgen_storage::gen::tpch_database;
+
+    fn meta() -> MetaSqlGen {
+        let db = tpch_database(0.2, 88);
+        MetaSqlGen::new(
+            &db,
+            Metric::Cardinality,
+            (10.0, 2_010.0),
+            4,
+            GenConfig::fast().with_seed(17),
+        )
+    }
+
+    #[test]
+    fn partitions_domain_uniformly() {
+        let m = meta();
+        assert_eq!(m.pretrain_tasks.len(), 4);
+        match (m.pretrain_tasks[0].target, m.pretrain_tasks[3].target) {
+            (Target::Range(lo0, hi0), Target::Range(lo3, hi3)) => {
+                assert!((lo0 - 10.0).abs() < 1e-9);
+                assert!((hi0 - 510.0).abs() < 1e-9);
+                assert!((lo3 - 1_510.0).abs() < 1e-9);
+                assert!((hi3 - 2_010.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected targets {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretrain_then_specialize_generates_valid_queries() {
+        let db = tpch_database(0.2, 88);
+        let mut m = meta();
+        m.pretrain(30);
+        let mut s = m.specialize(Constraint::cardinality_range(400.0, 1_200.0));
+        s.train(60);
+        let qs = s.generate(10);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+        }
+    }
+
+    #[test]
+    fn specialization_improves_over_no_adaptation() {
+        let mut m = meta();
+        m.pretrain(40);
+        let constraint = Constraint::cardinality_range(100.0, 900.0);
+        // Accuracy before any adaptation (fresh random actor).
+        let base = {
+            let mut s = m.specialize(constraint);
+            s.accuracy(40)
+        };
+        let trained = {
+            let mut s = m.specialize(constraint);
+            s.train(250);
+            s.accuracy(40)
+        };
+        assert!(
+            trained >= base,
+            "adaptation regressed: {base:.2} -> {trained:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "metric must match")]
+    fn rejects_cross_metric_specialization() {
+        let mut m = meta();
+        m.specialize(Constraint::cost_range(1.0, 2.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Evaluation metrics (paper §7.1): generation accuracy and generation time.
+
+use std::time::{Duration, Instant};
+
+/// Result of a timed generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationReport {
+    /// Method label (for harness tables).
+    pub method: String,
+    /// Satisfied queries found.
+    pub satisfied: usize,
+    /// Total queries generated (attempts).
+    pub attempts: usize,
+    /// Wall-clock time, including training when applicable.
+    pub elapsed: Duration,
+}
+
+impl GenerationReport {
+    /// Generation accuracy `acc = n_s / n` (§7.1).
+    pub fn accuracy(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.satisfied as f64 / self.attempts as f64
+        }
+    }
+
+    /// Satisfied queries per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.satisfied as f64 / secs
+        }
+    }
+}
+
+/// Times a closure and packages the result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_throughput() {
+        let r = GenerationReport {
+            method: "x".into(),
+            satisfied: 30,
+            attempts: 100,
+            elapsed: Duration::from_secs(10),
+        };
+        assert!((r.accuracy() - 0.3).abs() < 1e-12);
+        assert!((r.throughput() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = GenerationReport {
+            method: "x".into(),
+            satisfied: 0,
+            attempts: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.accuracy(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+}

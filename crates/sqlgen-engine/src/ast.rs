@@ -1,0 +1,449 @@
+//! Abstract syntax tree for the SQL subset of Table 1 in the paper.
+//!
+//! The grammar covers: Select-Project-Join queries, conjunctive/disjunctive
+//! predicates, nested queries (`IN` / `EXISTS` / scalar comparison),
+//! aggregation with `GROUP BY` / `HAVING`, and `INSERT` / `UPDATE` /
+//! `DELETE` statements.
+
+use serde::{Deserialize, Serialize};
+use sqlgen_storage::Value;
+use std::fmt;
+
+/// Comparison operators. The paper supports `{>, =, <, >=, <=}` plus `<>`
+/// in the grammar table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ];
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        }
+    }
+
+    /// Evaluates the operator given a three-valued comparison result.
+    pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match (self, ord) {
+            (CmpOp::Lt, Some(Less)) => true,
+            (CmpOp::Le, Some(Less | Equal)) => true,
+            (CmpOp::Gt, Some(Greater)) => true,
+            (CmpOp::Ge, Some(Greater | Equal)) => true,
+            (CmpOp::Eq, Some(Equal)) => true,
+            (CmpOp::Ne, Some(Less | Greater)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Aggregate functions (paper: max/min/count/sum/avg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Max,
+    Min,
+    Sum,
+    Avg,
+    Count,
+}
+
+impl AggFunc {
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Count,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Max => "MAX",
+            AggFunc::Min => "MIN",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Count => "COUNT",
+        }
+    }
+
+    /// `COUNT` works on any type; the others need numeric input
+    /// (the paper's semantic checking: "only numerical attributes can be
+    /// included in average/sum/max/min aggregation operations").
+    pub fn requires_numeric(self) -> bool {
+        !matches!(self, AggFunc::Count)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully qualified column reference `table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// One item of the `SELECT` list: `attr` or `agg(attr)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    Column(ColRef),
+    Agg(AggFunc, ColRef),
+}
+
+impl SelectItem {
+    pub fn col_ref(&self) -> &ColRef {
+        match self {
+            SelectItem::Column(c) | SelectItem::Agg(_, c) => c,
+        }
+    }
+
+    pub fn is_agg(&self) -> bool {
+        matches!(self, SelectItem::Agg(..))
+    }
+}
+
+/// An equi-join to `table` along a PK-FK edge. `left` refers to a table that
+/// appears earlier in the `FROM` clause; `right` is a column of `table`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub table: String,
+    pub left: ColRef,
+    pub right: ColRef,
+}
+
+/// `FROM base [JOIN t ON l = r]*`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromClause {
+    pub base: String,
+    pub joins: Vec<Join>,
+}
+
+impl FromClause {
+    pub fn single(table: impl Into<String>) -> Self {
+        FromClause {
+            base: table.into(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// All table names in the clause, base first.
+    pub fn tables(&self) -> Vec<&str> {
+        std::iter::once(self.base.as_str())
+            .chain(self.joins.iter().map(|j| j.table.as_str()))
+            .collect()
+    }
+}
+
+/// Right-hand side of a comparison: a literal or a (scalar) subquery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rhs {
+    Value(Value),
+    Subquery(Box<SelectQuery>),
+}
+
+/// Boolean predicate tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `col op rhs`.
+    Cmp {
+        col: ColRef,
+        op: CmpOp,
+        rhs: Rhs,
+    },
+    /// `col IN (subquery)`.
+    In { col: ColRef, sub: Box<SelectQuery> },
+    /// `col LIKE 'pattern'` (`%` and `_` wildcards). Paper future work §5,
+    /// implemented here: patterns are substrings sampled from the column.
+    Like { col: ColRef, pattern: String },
+    /// `EXISTS (subquery)`.
+    Exists { sub: Box<SelectQuery> },
+    Not(Box<Predicate>),
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Number of atomic comparisons in the tree (used by the Figure 10
+    /// query-distribution experiment).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Predicate::Cmp { .. }
+            | Predicate::In { .. }
+            | Predicate::Exists { .. }
+            | Predicate::Like { .. } => 1,
+            Predicate::Not(p) => p.atom_count(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.atom_count() + b.atom_count(),
+        }
+    }
+
+    /// Whether the tree contains a nested subquery anywhere.
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            Predicate::Cmp { rhs, .. } => matches!(rhs, Rhs::Subquery(_)),
+            Predicate::Like { .. } => false,
+            Predicate::In { .. } | Predicate::Exists { .. } => true,
+            Predicate::Not(p) => p.has_subquery(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.has_subquery() || b.has_subquery(),
+        }
+    }
+}
+
+/// `HAVING agg(attr) op (value | subquery)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HavingClause {
+    pub agg: AggFunc,
+    pub col: ColRef,
+    pub op: CmpOp,
+    pub rhs: Rhs,
+}
+
+/// `ORDER BY col [DESC]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderBy {
+    pub col: ColRef,
+    pub desc: bool,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    pub from: FromClause,
+    pub select: Vec<SelectItem>,
+    pub predicate: Option<Predicate>,
+    pub group_by: Vec<ColRef>,
+    pub having: Option<HavingClause>,
+    /// `ORDER BY` keys ("Order BY" is in the paper's reserved-word list,
+    /// §4.1; it affects cost, never cardinality).
+    #[serde(default)]
+    pub order_by: Vec<OrderBy>,
+}
+
+impl SelectQuery {
+    /// A bare `SELECT cols FROM table` skeleton.
+    pub fn scan(table: impl Into<String>, select: Vec<SelectItem>) -> Self {
+        SelectQuery {
+            from: FromClause::single(table),
+            select,
+            predicate: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+        }
+    }
+
+    /// Whether the query produces one row per group (aggregation) rather
+    /// than one per input tuple.
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty() || self.select.iter().all(SelectItem::is_agg) && !self.select.is_empty()
+    }
+
+    pub fn join_count(&self) -> usize {
+        self.from.joins.len()
+    }
+
+    /// Whether any predicate (including HAVING) nests a subquery.
+    pub fn has_subquery(&self) -> bool {
+        self.predicate.as_ref().is_some_and(Predicate::has_subquery)
+            || self
+                .having
+                .as_ref()
+                .is_some_and(|h| matches!(h.rhs, Rhs::Subquery(_)))
+    }
+
+    pub fn has_aggregate(&self) -> bool {
+        self.select.iter().any(SelectItem::is_agg) || self.having.is_some()
+    }
+}
+
+/// `INSERT INTO table (VALUES ... | SELECT ...)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertStmt {
+    pub table: String,
+    pub source: InsertSource,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InsertSource {
+    Values(Vec<Value>),
+    Query(SelectQuery),
+}
+
+/// `UPDATE table SET col = value [, ...] [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStmt {
+    pub table: String,
+    pub sets: Vec<(String, Value)>,
+    pub predicate: Option<Predicate>,
+}
+
+/// `DELETE FROM table [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub predicate: Option<Predicate>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    Select(SelectQuery),
+    Insert(InsertStmt),
+    Update(UpdateStmt),
+    Delete(DeleteStmt),
+}
+
+impl Statement {
+    pub fn kind(&self) -> StatementKind {
+        match self {
+            Statement::Select(_) => StatementKind::Select,
+            Statement::Insert(_) => StatementKind::Insert,
+            Statement::Update(_) => StatementKind::Update,
+            Statement::Delete(_) => StatementKind::Delete,
+        }
+    }
+
+    pub fn as_select(&self) -> Option<&SelectQuery> {
+        match self {
+            Statement::Select(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+/// Statement kind tags (Figure 10(e) reports the query-type distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StatementKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+}
+
+impl StatementKind {
+    pub const ALL: [StatementKind; 4] = [
+        StatementKind::Select,
+        StatementKind::Insert,
+        StatementKind::Update,
+        StatementKind::Delete,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StatementKind::Select => "SELECT",
+            StatementKind::Insert => "INSERT",
+            StatementKind::Update => "UPDATE",
+            StatementKind::Delete => "DELETE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Some(Less)));
+        assert!(!CmpOp::Lt.eval(Some(Equal)));
+        assert!(CmpOp::Le.eval(Some(Equal)));
+        assert!(CmpOp::Ne.eval(Some(Greater)));
+        assert!(!CmpOp::Eq.eval(None)); // NULL comparisons are never true
+    }
+
+    #[test]
+    fn predicate_atom_count_and_subquery_detection() {
+        let p1 = Predicate::Cmp {
+            col: ColRef::new("t", "a"),
+            op: CmpOp::Lt,
+            rhs: Rhs::Value(Value::Int(5)),
+        };
+        let p2 = Predicate::In {
+            col: ColRef::new("t", "b"),
+            sub: Box::new(SelectQuery::scan(
+                "u",
+                vec![SelectItem::Column(ColRef::new("u", "b"))],
+            )),
+        };
+        let tree = p1.clone().and(p2).or(p1);
+        assert_eq!(tree.atom_count(), 3);
+        assert!(tree.has_subquery());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let mut q = SelectQuery::scan(
+            "t",
+            vec![SelectItem::Agg(AggFunc::Count, ColRef::new("t", "a"))],
+        );
+        assert!(q.is_aggregate());
+        q.select = vec![SelectItem::Column(ColRef::new("t", "a"))];
+        assert!(!q.is_aggregate());
+        q.group_by = vec![ColRef::new("t", "a")];
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn from_clause_tables() {
+        let mut f = FromClause::single("a");
+        f.joins.push(Join {
+            table: "b".into(),
+            left: ColRef::new("a", "x"),
+            right: ColRef::new("b", "y"),
+        });
+        assert_eq!(f.tables(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,1213 @@
+//! Query execution.
+//!
+//! A straightforward hash-join executor over the columnar storage. It is the
+//! ground truth the cardinality estimator is validated against, and it
+//! implements the environment's "execute the (partial) query" step.
+//!
+//! Intermediate join results are tuples of row indices (one per table in the
+//! `FROM` clause) stored flat with a fixed stride; predicates are compiled
+//! once into index-resolved form before the scan.
+
+use crate::ast::*;
+use sqlgen_storage::{Column, Database, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    /// A scalar subquery returned more than one row.
+    NotScalar,
+    /// A subquery used where a single output column is required returned a
+    /// different arity.
+    NotSingleColumn,
+    /// Aggregate applied to a non-numeric column.
+    TypeError(String),
+    /// The intermediate result exceeded [`ExecOptions::max_rows`].
+    TooLarge,
+    /// `INSERT` row arity does not match the table.
+    ArityMismatch(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ExecError::NotScalar => write!(f, "scalar subquery returned more than one row"),
+            ExecError::NotSingleColumn => write!(f, "subquery must return a single column"),
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::TooLarge => write!(f, "intermediate result exceeded row limit"),
+            ExecError::ArityMismatch(t) => write!(f, "row arity mismatch for table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executor limits.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Abort when an intermediate join result exceeds this many tuples.
+    pub max_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_rows: 5_000_000,
+        }
+    }
+}
+
+/// Hashable normalization of a [`Value`] for join/group keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum HashKey {
+    Null,
+    Num(u64),
+    Text(String),
+}
+
+fn hash_key(v: &Value) -> HashKey {
+    match v {
+        Value::Null => HashKey::Null,
+        // Normalize Int and Float to the same key space so INT-FLOAT
+        // equi-joins behave like the comparison semantics in `Value`.
+        Value::Int(i) => HashKey::Num((*i as f64).to_bits()),
+        Value::Float(f) => HashKey::Num(f.to_bits()),
+        Value::Text(s) => HashKey::Text(s.clone()),
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn cardinality(&self) -> u64 {
+        self.rows.len() as u64
+    }
+}
+
+/// Flat tuple storage: `stride` row indices per joined tuple.
+struct TupleSet {
+    stride: usize,
+    data: Vec<u32>,
+}
+
+impl TupleSet {
+    fn len(&self) -> usize {
+        if self.stride == 0 {
+            0
+        } else {
+            self.data.len() / self.stride
+        }
+    }
+
+    fn tuple(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+}
+
+/// The query executor. Borrow a database, execute statements.
+pub struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(db: &'a Database) -> Self {
+        Executor {
+            db,
+            opts: ExecOptions::default(),
+        }
+    }
+
+    pub fn with_options(db: &'a Database, opts: ExecOptions) -> Self {
+        Executor { db, opts }
+    }
+
+    /// Executes a statement and returns its cardinality: the result-set size
+    /// for `SELECT`, the number of affected rows for DML. Never mutates the
+    /// database (DML is a dry run; use [`Executor::apply`] to mutate).
+    pub fn cardinality(&self, stmt: &Statement) -> Result<u64, ExecError> {
+        match stmt {
+            Statement::Select(q) => Ok(self.execute_select(q)?.cardinality()),
+            Statement::Insert(i) => match &i.source {
+                InsertSource::Values(_) => {
+                    // Validate the target exists so invalid inserts error out.
+                    self.db
+                        .table(&i.table)
+                        .ok_or_else(|| ExecError::UnknownTable(i.table.clone()))?;
+                    Ok(1)
+                }
+                InsertSource::Query(q) => Ok(self.execute_select(q)?.cardinality()),
+            },
+            Statement::Update(u) => self.matching_rows(&u.table, u.predicate.as_ref()),
+            Statement::Delete(d) => self.matching_rows(&d.table, d.predicate.as_ref()),
+        }
+    }
+
+    /// Executes a `SELECT` and materializes its result.
+    pub fn execute_select(&self, q: &SelectQuery) -> Result<ResultSet, ExecError> {
+        let tables = q.from.tables();
+        let cols: Vec<&sqlgen_storage::Table> = tables
+            .iter()
+            .map(|t| {
+                self.db
+                    .table(t)
+                    .ok_or_else(|| ExecError::UnknownTable(t.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+
+        // 1. Join phase.
+        let tuples = self.join_phase(q, &cols)?;
+
+        // 2. Filter phase.
+        let compiled = match &q.predicate {
+            Some(p) => Some(self.compile_pred(p, q, &cols)?),
+            None => None,
+        };
+        let mut kept: Vec<usize> = Vec::new();
+        for i in 0..tuples.len() {
+            let t = tuples.tuple(i);
+            let ok = match &compiled {
+                Some(p) => eval_pred(p, t, &cols),
+                None => true,
+            };
+            if ok {
+                kept.push(i);
+            }
+        }
+
+        // 3. Projection / aggregation phase.
+        let mut rs = if q.is_aggregate() {
+            self.aggregate_phase(q, &cols, &tuples, &kept)?
+        } else {
+            let resolved = self.resolve_items(q, &cols)?;
+            let mut rows = Vec::with_capacity(kept.len());
+            for &i in &kept {
+                let t = tuples.tuple(i);
+                let row: Vec<Value> = resolved
+                    .iter()
+                    .map(|&(slot, col)| cols[slot].columns[col].get(t[slot] as usize))
+                    .collect();
+                rows.push(row);
+            }
+            let columns = item_names(q);
+            ResultSet { columns, rows }
+        };
+
+        // 4. ORDER BY over the materialized output columns.
+        if !q.order_by.is_empty() {
+            let keys: Vec<(usize, bool)> = q
+                .order_by
+                .iter()
+                .map(|o| {
+                    let name = o.col.to_string();
+                    rs.columns
+                        .iter()
+                        .position(|c| *c == name)
+                        .map(|i| (i, o.desc))
+                        .ok_or_else(|| ExecError::UnknownColumn(name.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            rs.rows.sort_by(|a, b| {
+                for &(i, desc) in &keys {
+                    let ord = a[i]
+                        .try_cmp(&b[i])
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        Ok(rs)
+    }
+
+    /// Applies a DML statement, mutating the database. Returns affected rows.
+    pub fn apply(stmt: &Statement, db: &mut Database) -> Result<u64, ExecError> {
+        match stmt {
+            Statement::Select(_) => {
+                let ex = Executor::new(db);
+                ex.cardinality(stmt)
+            }
+            Statement::Insert(i) => {
+                let rows: Vec<Vec<Value>> = match &i.source {
+                    InsertSource::Values(vals) => vec![vals.clone()],
+                    InsertSource::Query(q) => {
+                        let ex = Executor::new(db);
+                        ex.execute_select(q)?.rows
+                    }
+                };
+                let table = db
+                    .table_mut(&i.table)
+                    .ok_or_else(|| ExecError::UnknownTable(i.table.clone()))?;
+                let n = rows.len() as u64;
+                for row in rows {
+                    if row.len() != table.schema.columns.len() {
+                        return Err(ExecError::ArityMismatch(i.table.clone()));
+                    }
+                    table.push_row(row);
+                }
+                Ok(n)
+            }
+            Statement::Update(u) => {
+                let (matched, set_idx) = {
+                    let ex = Executor::new(db);
+                    let matched = ex.matching_row_indices(&u.table, u.predicate.as_ref())?;
+                    let schema = db
+                        .schema(&u.table)
+                        .ok_or_else(|| ExecError::UnknownTable(u.table.clone()))?;
+                    let mut set_idx = Vec::new();
+                    for (c, v) in &u.sets {
+                        let idx = schema
+                            .column_index(c)
+                            .ok_or_else(|| ExecError::UnknownColumn(c.clone()))?;
+                        set_idx.push((idx, v.clone()));
+                    }
+                    (matched, set_idx)
+                };
+                let table = db.table_mut(&u.table).expect("checked above");
+                for &row in &matched {
+                    for (idx, v) in &set_idx {
+                        set_cell(&mut table.columns[*idx], row, v)?;
+                    }
+                }
+                Ok(matched.len() as u64)
+            }
+            Statement::Delete(d) => {
+                let matched = {
+                    let ex = Executor::new(db);
+                    ex.matching_row_indices(&d.table, d.predicate.as_ref())?
+                };
+                let table = db.table_mut(&d.table).expect("checked above");
+                let dead: HashSet<usize> = matched.iter().copied().collect();
+                for col in &mut table.columns {
+                    retain_rows(col, &dead);
+                }
+                Ok(matched.len() as u64)
+            }
+        }
+    }
+
+    fn matching_rows(
+        &self,
+        table: &str,
+        pred: Option<&Predicate>,
+    ) -> Result<u64, ExecError> {
+        Ok(self.matching_row_indices(table, pred)?.len() as u64)
+    }
+
+    fn matching_row_indices(
+        &self,
+        table: &str,
+        pred: Option<&Predicate>,
+    ) -> Result<Vec<usize>, ExecError> {
+        let t = self
+            .db
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
+        let q = SelectQuery::scan(table, Vec::new());
+        let cols = vec![t];
+        let compiled = match pred {
+            Some(p) => Some(self.compile_pred(p, &q, &cols)?),
+            None => None,
+        };
+        let mut out = Vec::new();
+        for row in 0..t.row_count() {
+            let tup = [row as u32];
+            let ok = match &compiled {
+                Some(p) => eval_pred(p, &tup, &cols),
+                None => true,
+            };
+            if ok {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    // --- join -----------------------------------------------------------
+
+    fn join_phase(
+        &self,
+        q: &SelectQuery,
+        cols: &[&sqlgen_storage::Table],
+    ) -> Result<TupleSet, ExecError> {
+        let stride = cols.len();
+        let base_rows = cols[0].row_count();
+        let mut tuples = TupleSet {
+            stride,
+            data: Vec::with_capacity(base_rows.min(self.opts.max_rows) * stride),
+        };
+        for i in 0..base_rows {
+            let mut t = vec![u32::MAX; stride];
+            t[0] = i as u32;
+            tuples.data.extend_from_slice(&t);
+        }
+
+        for (join_no, join) in q.from.joins.iter().enumerate() {
+            let right_slot = join_no + 1;
+            // Resolve the probe side (left) column: it lives in one of the
+            // already-populated slots.
+            let left_slot = q.from.tables()[..right_slot]
+                .iter()
+                .position(|t| *t == join.left.table)
+                .ok_or_else(|| ExecError::UnknownTable(join.left.table.clone()))?;
+            let left_col = column_of(cols[left_slot], &join.left.column)?;
+            let right_col = column_of(cols[right_slot], &join.right.column)?;
+
+            // Build a hash table over the (smaller) right table.
+            let mut index: HashMap<HashKey, Vec<u32>> = HashMap::new();
+            for r in 0..cols[right_slot].row_count() {
+                index
+                    .entry(hash_key(&right_col.get(r)))
+                    .or_default()
+                    .push(r as u32);
+            }
+
+            let mut next = Vec::new();
+            for i in 0..tuples.len() {
+                let t = tuples.tuple(i);
+                let key = hash_key(&left_col.get(t[left_slot] as usize));
+                if let Some(matches) = index.get(&key) {
+                    for &r in matches {
+                        next.extend_from_slice(t);
+                        let at = next.len() - stride + right_slot;
+                        next[at] = r;
+                        if next.len() / stride > self.opts.max_rows {
+                            return Err(ExecError::TooLarge);
+                        }
+                    }
+                }
+            }
+            tuples.data = next;
+        }
+        Ok(tuples)
+    }
+
+    // --- predicates -----------------------------------------------------
+
+    fn compile_pred(
+        &self,
+        p: &Predicate,
+        q: &SelectQuery,
+        cols: &[&sqlgen_storage::Table],
+    ) -> Result<CompiledPred, ExecError> {
+        Ok(match p {
+            Predicate::Cmp { col, op, rhs } => {
+                let (slot, cidx) = self.resolve(col, q, cols)?;
+                let value = match rhs {
+                    Rhs::Value(v) => Some(v.clone()),
+                    Rhs::Subquery(sub) => self.scalar_subquery(sub)?,
+                };
+                CompiledPred::Cmp {
+                    slot,
+                    col: cidx,
+                    op: *op,
+                    value,
+                }
+            }
+            Predicate::In { col, sub } => {
+                let (slot, cidx) = self.resolve(col, q, cols)?;
+                let set = self.value_set_subquery(sub)?;
+                CompiledPred::In {
+                    slot,
+                    col: cidx,
+                    set,
+                }
+            }
+            Predicate::Like { col, pattern } => {
+                let (slot, cidx) = self.resolve(col, q, cols)?;
+                CompiledPred::Like {
+                    slot,
+                    col: cidx,
+                    pattern: pattern.clone(),
+                }
+            }
+            Predicate::Exists { sub } => {
+                // Uncorrelated EXISTS is a constant per query.
+                let nonempty = self.execute_select(sub)?.cardinality() > 0;
+                CompiledPred::Const(nonempty)
+            }
+            Predicate::Not(inner) => {
+                CompiledPred::Not(Box::new(self.compile_pred(inner, q, cols)?))
+            }
+            Predicate::And(a, b) => CompiledPred::And(
+                Box::new(self.compile_pred(a, q, cols)?),
+                Box::new(self.compile_pred(b, q, cols)?),
+            ),
+            Predicate::Or(a, b) => CompiledPred::Or(
+                Box::new(self.compile_pred(a, q, cols)?),
+                Box::new(self.compile_pred(b, q, cols)?),
+            ),
+        })
+    }
+
+    /// Evaluates a scalar subquery; `None` encodes SQL NULL (empty result).
+    fn scalar_subquery(&self, sub: &SelectQuery) -> Result<Option<Value>, ExecError> {
+        let rs = self.execute_select(sub)?;
+        if rs.rows.is_empty() {
+            return Ok(None);
+        }
+        if rs.rows.len() > 1 {
+            return Err(ExecError::NotScalar);
+        }
+        if rs.rows[0].len() != 1 {
+            return Err(ExecError::NotSingleColumn);
+        }
+        Ok(Some(rs.rows[0][0].clone()))
+    }
+
+    fn value_set_subquery(&self, sub: &SelectQuery) -> Result<HashSet<HashKey>, ExecError> {
+        let rs = self.execute_select(sub)?;
+        let mut set = HashSet::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            if row.len() != 1 {
+                return Err(ExecError::NotSingleColumn);
+            }
+            set.insert(hash_key(&row[0]));
+        }
+        Ok(set)
+    }
+
+    fn resolve(
+        &self,
+        col: &ColRef,
+        q: &SelectQuery,
+        cols: &[&sqlgen_storage::Table],
+    ) -> Result<(usize, usize), ExecError> {
+        let slot = q
+            .from
+            .tables()
+            .iter()
+            .position(|t| *t == col.table)
+            .ok_or_else(|| ExecError::UnknownTable(col.table.clone()))?;
+        let cidx = cols[slot]
+            .schema
+            .column_index(&col.column)
+            .ok_or_else(|| ExecError::UnknownColumn(col.to_string()))?;
+        Ok((slot, cidx))
+    }
+
+    fn resolve_items(
+        &self,
+        q: &SelectQuery,
+        cols: &[&sqlgen_storage::Table],
+    ) -> Result<Vec<(usize, usize)>, ExecError> {
+        if q.select.is_empty() {
+            // SELECT *: every column of every table.
+            let mut out = Vec::new();
+            for (slot, t) in cols.iter().enumerate() {
+                for c in 0..t.schema.columns.len() {
+                    out.push((slot, c));
+                }
+            }
+            return Ok(out);
+        }
+        q.select
+            .iter()
+            .map(|item| self.resolve(item.col_ref(), q, cols))
+            .collect()
+    }
+
+    // --- aggregation ----------------------------------------------------
+
+    fn aggregate_phase(
+        &self,
+        q: &SelectQuery,
+        cols: &[&sqlgen_storage::Table],
+        tuples: &TupleSet,
+        kept: &[usize],
+    ) -> Result<ResultSet, ExecError> {
+        let group_cols: Vec<(usize, usize)> = q
+            .group_by
+            .iter()
+            .map(|c| self.resolve(c, q, cols))
+            .collect::<Result<_, _>>()?;
+
+        // Group tuples by group-by key (a single empty group when there is
+        // no GROUP BY, matching SQL's semantics for plain aggregates).
+        let mut groups: HashMap<Vec<HashKey>, Vec<usize>> = HashMap::new();
+        if group_cols.is_empty() {
+            groups.insert(Vec::new(), kept.to_vec());
+        } else {
+            for &i in kept {
+                let t = tuples.tuple(i);
+                let key: Vec<HashKey> = group_cols
+                    .iter()
+                    .map(|&(slot, c)| hash_key(&cols[slot].columns[c].get(t[slot] as usize)))
+                    .collect();
+                groups.entry(key).or_default().push(i);
+            }
+        }
+
+        // Resolve select items and the HAVING clause.
+        struct ResolvedItem {
+            agg: Option<AggFunc>,
+            slot: usize,
+            col: usize,
+        }
+        let items: Vec<ResolvedItem> = q
+            .select
+            .iter()
+            .map(|item| {
+                let (slot, col) = self.resolve(item.col_ref(), q, cols)?;
+                Ok(ResolvedItem {
+                    agg: match item {
+                        SelectItem::Agg(f, _) => Some(*f),
+                        SelectItem::Column(_) => None,
+                    },
+                    slot,
+                    col,
+                })
+            })
+            .collect::<Result<_, ExecError>>()?;
+
+        let having = match &q.having {
+            Some(h) => {
+                let (slot, col) = self.resolve(&h.col, q, cols)?;
+                let value = match &h.rhs {
+                    Rhs::Value(v) => Some(v.clone()),
+                    Rhs::Subquery(sub) => self.scalar_subquery(sub)?,
+                };
+                Some((h.agg, slot, col, h.op, value))
+            }
+            None => None,
+        };
+
+        // Deterministic output order: sort group keys.
+        let mut entries: Vec<(Vec<HashKey>, Vec<usize>)> = groups.into_iter().collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+
+        let mut rows = Vec::new();
+        for (_key, members) in &entries {
+            if let Some((agg, slot, col, op, rhs)) = &having {
+                let v = compute_agg(*agg, *slot, *col, members, tuples, cols)?;
+                let pass = match rhs {
+                    Some(r) => op.eval(v.try_cmp(r)),
+                    None => false,
+                };
+                if !pass {
+                    continue;
+                }
+            }
+            let mut row = Vec::with_capacity(items.len());
+            for item in &items {
+                match item.agg {
+                    Some(f) => {
+                        row.push(compute_agg(f, item.slot, item.col, members, tuples, cols)?)
+                    }
+                    None => {
+                        // Grouped column: take it from the first member.
+                        let v = members.first().map(|&i| {
+                            let t = tuples.tuple(i);
+                            cols[item.slot].columns[item.col].get(t[item.slot] as usize)
+                        });
+                        row.push(v.unwrap_or(Value::Null));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        Ok(ResultSet {
+            columns: item_names(q),
+            rows,
+        })
+    }
+}
+
+fn item_names(q: &SelectQuery) -> Vec<String> {
+    q.select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Column(c) => c.to_string(),
+            SelectItem::Agg(f, c) => format!("{}({})", f.name(), c),
+        })
+        .collect()
+}
+
+fn compute_agg(
+    f: AggFunc,
+    slot: usize,
+    col: usize,
+    members: &[usize],
+    tuples: &TupleSet,
+    cols: &[&sqlgen_storage::Table],
+) -> Result<Value, ExecError> {
+    if f == AggFunc::Count {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    let mut acc: Option<f64> = None;
+    let mut sum = 0.0;
+    for &i in members {
+        let t = tuples.tuple(i);
+        let v = cols[slot].columns[col].get(t[slot] as usize);
+        let x = v.as_f64().ok_or_else(|| {
+            ExecError::TypeError(format!("{} over non-numeric column", f.name()))
+        })?;
+        sum += x;
+        acc = Some(match (acc, f) {
+            (None, _) => x,
+            (Some(a), AggFunc::Max) => a.max(x),
+            (Some(a), AggFunc::Min) => a.min(x),
+            (Some(a), _) => a, // Sum/Avg tracked via `sum`
+        });
+    }
+    let n = members.len();
+    Ok(match f {
+        AggFunc::Count => unreachable!(),
+        AggFunc::Max | AggFunc::Min => acc.map(Value::Float).unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum)
+            }
+        }
+        AggFunc::Avg => {
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            }
+        }
+    })
+}
+
+fn column_of<'a>(
+    table: &'a sqlgen_storage::Table,
+    name: &str,
+) -> Result<&'a Column, ExecError> {
+    table
+        .column(name)
+        .ok_or_else(|| ExecError::UnknownColumn(format!("{}.{}", table.name(), name)))
+}
+
+fn set_cell(col: &mut Column, row: usize, v: &Value) -> Result<(), ExecError> {
+    match (col, v) {
+        (Column::Int(c), Value::Int(x)) => c[row] = *x,
+        (Column::Float(c), Value::Float(x)) => c[row] = *x,
+        (Column::Float(c), Value::Int(x)) => c[row] = *x as f64,
+        (Column::Text(c), Value::Text(x)) => c[row] = x.clone(),
+        _ => {
+            return Err(ExecError::TypeError(
+                "UPDATE value type does not match column".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn retain_rows(col: &mut Column, dead: &HashSet<usize>) {
+    match col {
+        Column::Int(v) => {
+            let mut i = 0;
+            v.retain(|_| {
+                let keep = !dead.contains(&i);
+                i += 1;
+                keep
+            });
+        }
+        Column::Float(v) => {
+            let mut i = 0;
+            v.retain(|_| {
+                let keep = !dead.contains(&i);
+                i += 1;
+                keep
+            });
+        }
+        Column::Text(v) => {
+            let mut i = 0;
+            v.retain(|_| {
+                let keep = !dead.contains(&i);
+                i += 1;
+                keep
+            });
+        }
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char)
+/// wildcards, via iterative backtracking over `%` positions.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Compiled predicate with resolved column slots.
+enum CompiledPred {
+    Cmp {
+        slot: usize,
+        col: usize,
+        op: CmpOp,
+        /// `None` is SQL NULL: the comparison is never satisfied.
+        value: Option<Value>,
+    },
+    In {
+        slot: usize,
+        col: usize,
+        set: HashSet<HashKey>,
+    },
+    Like {
+        slot: usize,
+        col: usize,
+        pattern: String,
+    },
+    Const(bool),
+    Not(Box<CompiledPred>),
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+}
+
+fn eval_pred(p: &CompiledPred, tuple: &[u32], cols: &[&sqlgen_storage::Table]) -> bool {
+    match p {
+        CompiledPred::Cmp {
+            slot,
+            col,
+            op,
+            value,
+        } => match value {
+            Some(v) => {
+                let lhs = cols[*slot].columns[*col].get(tuple[*slot] as usize);
+                op.eval(lhs.try_cmp(v))
+            }
+            None => false,
+        },
+        CompiledPred::In { slot, col, set } => {
+            let lhs = cols[*slot].columns[*col].get(tuple[*slot] as usize);
+            set.contains(&hash_key(&lhs))
+        }
+        CompiledPred::Like { slot, col, pattern } => {
+            match cols[*slot].columns[*col].get(tuple[*slot] as usize) {
+                Value::Text(s) => like_match(pattern, &s),
+                _ => false, // LIKE over non-text is never true
+            }
+        }
+        CompiledPred::Const(b) => *b,
+        CompiledPred::Not(inner) => !eval_pred(inner, tuple, cols),
+        CompiledPred::And(a, b) => eval_pred(a, tuple, cols) && eval_pred(b, tuple, cols),
+        CompiledPred::Or(a, b) => eval_pred(a, tuple, cols) || eval_pred(b, tuple, cols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use sqlgen_storage::{ColumnDef, DataType, Table, TableSchema};
+
+    /// students(id, age) x 10; scores(sid -> students.id, points) x 20.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut students = Table::new(
+            TableSchema::new("students")
+                .with_column(ColumnDef::new("id", DataType::Int))
+                .with_primary_key()
+                .with_column(ColumnDef::new("age", DataType::Int)),
+        );
+        for i in 0..10 {
+            students.push_row(vec![Value::Int(i), Value::Int(18 + (i % 5))]);
+        }
+        let mut scores = Table::new(
+            TableSchema::new("scores")
+                .with_column(ColumnDef::new("sid", DataType::Int))
+                .with_foreign_key("students", "id")
+                .with_column(ColumnDef::new("points", DataType::Float)),
+        );
+        for i in 0..20 {
+            scores.push_row(vec![
+                Value::Int(i % 10),
+                Value::Float(50.0 + (i * 2) as f64),
+            ]);
+        }
+        db.add_table(students);
+        db.add_table(scores);
+        db
+    }
+
+    fn card(db: &Database, sql: &str) -> u64 {
+        let stmt = parse(sql).unwrap();
+        Executor::new(db).cardinality(&stmt).unwrap()
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let db = db();
+        assert_eq!(card(&db, "SELECT students.id FROM students"), 10);
+        assert_eq!(
+            card(&db, "SELECT students.id FROM students WHERE students.age < 20"),
+            4 // ages 18,19 × 2 students each
+        );
+        assert_eq!(
+            card(&db, "SELECT students.id FROM students WHERE students.age = 18"),
+            2
+        );
+    }
+
+    #[test]
+    fn and_or_not() {
+        let db = db();
+        assert_eq!(
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE students.age = 18 OR students.age = 19"
+            ),
+            4
+        );
+        assert_eq!(
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE students.age >= 18 AND students.age <= 19"
+            ),
+            4
+        );
+        assert_eq!(
+            card(&db, "SELECT students.id FROM students WHERE NOT students.age = 18"),
+            8
+        );
+    }
+
+    #[test]
+    fn fk_join() {
+        let db = db();
+        // Every score row matches exactly one student.
+        assert_eq!(
+            card(
+                &db,
+                "SELECT scores.points FROM scores JOIN students ON scores.sid = students.id"
+            ),
+            20
+        );
+        // Filter on the joined dimension.
+        assert_eq!(
+            card(
+                &db,
+                "SELECT scores.points FROM scores JOIN students ON scores.sid = students.id \
+                 WHERE students.age = 18"
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = db();
+        let rs = Executor::new(&db)
+            .execute_select(
+                &crate::parse::parse_select("SELECT COUNT(scores.sid) FROM scores").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(20)]]);
+
+        let rs = Executor::new(&db)
+            .execute_select(
+                &crate::parse::parse_select(
+                    "SELECT MAX(scores.points) FROM scores WHERE scores.sid = 0",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        // sid 0 appears at i = 0 and i = 10 → points 50 and 70.
+        assert_eq!(rs.rows, vec![vec![Value::Float(70.0)]]);
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let db = db();
+        // 10 distinct sids.
+        assert_eq!(
+            card(
+                &db,
+                "SELECT scores.sid, COUNT(scores.points) FROM scores GROUP BY scores.sid"
+            ),
+            10
+        );
+        // Every sid has exactly 2 rows, so SUM(points) > 130 keeps sids with
+        // points pair summing above 130: pairs are (50+70)=120, (52+72)=124,
+        // ..., (68+88)=156. Sums: 120,124,...,156 → >130 keeps 9 of 10? Let's
+        // just check monotonicity with two thresholds.
+        let lo = card(
+            &db,
+            "SELECT scores.sid FROM scores GROUP BY scores.sid HAVING SUM(scores.points) > 120",
+        );
+        let hi = card(
+            &db,
+            "SELECT scores.sid FROM scores GROUP BY scores.sid HAVING SUM(scores.points) > 150",
+        );
+        assert!(lo > hi);
+        assert_eq!(
+            card(
+                &db,
+                "SELECT scores.sid FROM scores GROUP BY scores.sid HAVING COUNT(scores.points) = 2"
+            ),
+            10
+        );
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = db();
+        assert_eq!(
+            card(
+                &db,
+                "SELECT scores.points FROM scores WHERE scores.sid IN \
+                 (SELECT students.id FROM students WHERE students.age = 18)"
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn exists_subquery_is_constant() {
+        let db = db();
+        assert_eq!(
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE EXISTS \
+                 (SELECT scores.sid FROM scores WHERE scores.points > 1000.0)"
+            ),
+            0
+        );
+        assert_eq!(
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE EXISTS \
+                 (SELECT scores.sid FROM scores WHERE scores.points > 0.0)"
+            ),
+            10
+        );
+    }
+
+    #[test]
+    fn scalar_subquery_compare() {
+        let db = db();
+        // MAX(points) = 88, so points > (SELECT AVG) keeps the top half.
+        let n = card(
+            &db,
+            "SELECT scores.points FROM scores WHERE scores.points > \
+             (SELECT AVG(scores.points) FROM scores)",
+        );
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn scalar_subquery_multirow_errors() {
+        let db = db();
+        let stmt = parse(
+            "SELECT scores.points FROM scores WHERE scores.points > \
+             (SELECT students.age FROM students)",
+        )
+        .unwrap();
+        assert_eq!(
+            Executor::new(&db).cardinality(&stmt),
+            Err(ExecError::NotScalar)
+        );
+    }
+
+    #[test]
+    fn dml_dry_run_counts() {
+        let db = db();
+        assert_eq!(card(&db, "INSERT INTO students VALUES (99, 30)"), 1);
+        assert_eq!(
+            card(&db, "UPDATE students SET age = 21 WHERE students.age = 18"),
+            2
+        );
+        assert_eq!(card(&db, "DELETE FROM scores WHERE scores.sid < 3"), 6);
+        // Dry run: nothing changed.
+        assert_eq!(card(&db, "SELECT scores.sid FROM scores"), 20);
+    }
+
+    #[test]
+    fn dml_apply_mutates() {
+        let mut db = db();
+        let n = Executor::apply(&parse("DELETE FROM scores WHERE scores.sid < 3").unwrap(), &mut db)
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(card(&db, "SELECT scores.sid FROM scores"), 14);
+
+        let n = Executor::apply(&parse("INSERT INTO students VALUES (99, 30)").unwrap(), &mut db)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(card(&db, "SELECT students.id FROM students"), 11);
+
+        let n = Executor::apply(
+            &parse("UPDATE students SET age = 50 WHERE students.id = 99").unwrap(),
+            &mut db,
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            card(&db, "SELECT students.id FROM students WHERE students.age = 50"),
+            1
+        );
+    }
+
+    #[test]
+    fn insert_from_query_apply() {
+        let mut db = db();
+        let n = Executor::apply(
+            &parse("INSERT INTO students SELECT students.id, students.age FROM students WHERE students.age = 18")
+                .unwrap(),
+            &mut db,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(card(&db, "SELECT students.id FROM students"), 12);
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        let db = db();
+        let stmt = parse("SELECT nope.a FROM nope").unwrap();
+        assert!(matches!(
+            Executor::new(&db).cardinality(&stmt),
+            Err(ExecError::UnknownTable(_))
+        ));
+        let stmt = parse("SELECT students.nope FROM students").unwrap();
+        assert!(matches!(
+            Executor::new(&db).cardinality(&stmt),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn row_limit_guard() {
+        let db = db();
+        let ex = Executor::with_options(&db, ExecOptions { max_rows: 5 });
+        let stmt = parse(
+            "SELECT scores.points FROM scores JOIN students ON scores.sid = students.id",
+        )
+        .unwrap();
+        assert_eq!(ex.cardinality(&stmt), Err(ExecError::TooLarge));
+    }
+
+    #[test]
+    fn select_star_projects_all_columns() {
+        let db = db();
+        let rs = Executor::new(&db)
+            .execute_select(&crate::parse::parse_select("SELECT * FROM students").unwrap())
+            .unwrap();
+        assert_eq!(rs.rows[0].len(), 2);
+        assert_eq!(rs.rows.len(), 10);
+    }
+
+    #[test]
+    fn order_by_sorts_results() {
+        let db = db();
+        let rs = Executor::new(&db)
+            .execute_select(
+                &crate::parse::parse_select(
+                    "SELECT students.age FROM students WHERE students.id < 5 \
+                     ORDER BY students.age DESC",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let ages: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Int(v) => *v,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let mut sorted = ages.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ages, sorted);
+        assert_eq!(ages.len(), 5);
+    }
+
+    #[test]
+    fn order_by_unprojected_column_errors() {
+        let db = db();
+        let q = crate::parse::parse_select(
+            "SELECT students.id FROM students ORDER BY students.age",
+        )
+        .unwrap();
+        assert!(matches!(
+            Executor::new(&db).execute_select(&q),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn like_matcher_semantics() {
+        assert!(like_match("%abc%", "xxabcyy"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(like_match("a%", "a"));
+        assert!(like_match("%a", "bca"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("", ""));
+        assert!(like_match("%b%d%", "abcd"));
+        assert!(!like_match("%b%d%", "acde")); // needs b before d
+    }
+
+    #[test]
+    fn like_predicate_filters_rows() {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            TableSchema::new("t")
+                .with_column(sqlgen_storage::ColumnDef::new("name", sqlgen_storage::DataType::Text)),
+        );
+        for n in ["alice", "bob", "carol", "alina"] {
+            t.push_row(vec![Value::Text(n.into())]);
+        }
+        db.add_table(t);
+        let stmt = parse("SELECT t.name FROM t WHERE t.name LIKE '%al%'").unwrap();
+        assert_eq!(Executor::new(&db).cardinality(&stmt).unwrap(), 2);
+        let stmt = parse("SELECT t.name FROM t WHERE NOT t.name LIKE 'a%'").unwrap();
+        assert_eq!(Executor::new(&db).cardinality(&stmt).unwrap(), 2);
+    }
+
+    #[test]
+    fn aggregate_over_empty_group_is_one_null_row() {
+        let db = db();
+        let rs = Executor::new(&db)
+            .execute_select(
+                &crate::parse::parse_select(
+                    "SELECT SUM(scores.points) FROM scores WHERE scores.points < 0.0",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert!(rs.rows[0][0].is_null());
+    }
+}

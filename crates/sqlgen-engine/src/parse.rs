@@ -1,0 +1,756 @@
+//! A recursive-descent parser for the SQL subset the generator emits.
+//!
+//! Round-tripping is the contract: for every statement `s` the generator can
+//! build, `parse(render(s)) == s`. A proptest in `tests/` enforces this over
+//! generated query corpora. The parser exists so that (a) users can feed
+//! externally produced template queries to the template baseline and (b) the
+//! test suite can treat SQL text, not Rust structs, as the interchange format.
+
+use crate::ast::*;
+use sqlgen_storage::Value;
+use std::fmt;
+
+/// Parse errors with byte offsets into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            // Dispatch on the real character, not the lead byte: a
+            // multi-byte char whose lead byte casts to an ASCII-alphabetic
+            // value must not be mistaken for an identifier start (found by
+            // the parser fuzz test — it caused an infinite loop).
+            let c = self.peek().expect("pos < len");
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' | ')' | ',' | '.' | '*' | ';' => {
+                    let s = match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        '*' => "*",
+                        _ => ";",
+                    };
+                    out.push((Tok::Symbol(s), start));
+                    self.pos += 1;
+                }
+                '=' => {
+                    out.push((Tok::Symbol("="), start));
+                    self.pos += 1;
+                }
+                '<' => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        out.push((Tok::Symbol("<="), start));
+                    } else if self.peek() == Some('>') {
+                        self.pos += 1;
+                        out.push((Tok::Symbol("<>"), start));
+                    } else {
+                        out.push((Tok::Symbol("<"), start));
+                    }
+                }
+                '>' => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        out.push((Tok::Symbol(">="), start));
+                    } else {
+                        out.push((Tok::Symbol(">"), start));
+                    }
+                }
+                '\'' => {
+                    self.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        match self.peek() {
+                            Some('\'') => {
+                                self.pos += 1;
+                                if self.peek() == Some('\'') {
+                                    s.push('\'');
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            Some(ch) => {
+                                s.push(ch);
+                                self.pos += ch.len_utf8();
+                            }
+                            None => {
+                                return Err(ParseError {
+                                    message: "unterminated string literal".into(),
+                                    offset: start,
+                                })
+                            }
+                        }
+                    }
+                    out.push((Tok::Str(s), start));
+                }
+                '-' | '0'..='9' => {
+                    let neg = c == '-';
+                    if neg {
+                        self.pos += 1;
+                        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            return Err(ParseError {
+                                message: "expected digits after '-'".into(),
+                                offset: start,
+                            });
+                        }
+                    }
+                    let num_start = self.pos;
+                    let mut saw_dot = false;
+                    let mut saw_exp = false;
+                    while let Some(ch) = self.peek() {
+                        if ch.is_ascii_digit() {
+                            self.pos += 1;
+                        } else if ch == '.' && !saw_dot && !saw_exp {
+                            // Only a decimal point if a digit follows
+                            // (avoids eating the dot of `1.t` — not valid SQL
+                            // here anyway, but be defensive).
+                            let next = self.src[self.pos + 1..].chars().next();
+                            if next.is_some_and(|c| c.is_ascii_digit()) {
+                                saw_dot = true;
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        } else if (ch == 'e' || ch == 'E') && !saw_exp {
+                            let rest = &self.src[self.pos + 1..];
+                            let mut chars = rest.chars();
+                            let n1 = chars.next();
+                            let ok = match n1 {
+                                Some(c2) if c2.is_ascii_digit() => true,
+                                Some('-') | Some('+') => {
+                                    chars.next().is_some_and(|c3| c3.is_ascii_digit())
+                                }
+                                _ => false,
+                            };
+                            if ok {
+                                saw_exp = true;
+                                self.pos += 1;
+                                if let Some('-') | Some('+') = self.peek() {
+                                    self.pos += 1;
+                                }
+                            } else {
+                                break;
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &self.src[num_start..self.pos];
+                    if saw_dot || saw_exp {
+                        let v: f64 = text.parse().map_err(|_| ParseError {
+                            message: format!("bad float literal {text}"),
+                            offset: start,
+                        })?;
+                        out.push((Tok::Float(if neg { -v } else { v }), start));
+                    } else {
+                        let v: i64 = text.parse().map_err(|_| ParseError {
+                            message: format!("bad int literal {text}"),
+                            offset: start,
+                        })?;
+                        out.push((Tok::Int(if neg { -v } else { v }), start));
+                    }
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    // The first char is consumed unconditionally, so the
+                    // lexer always makes progress.
+                    self.pos += c.len_utf8();
+                    while self
+                        .peek()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '#')
+                    {
+                        self.pos += self.peek().unwrap().len_utf8();
+                    }
+                    out.push((Tok::Ident(self.src[start..self.pos].to_string()), start));
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("unexpected character {other:?}"),
+                        offset: start,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+}
+
+/// Maximum parser recursion depth (nested parens/subqueries/NOT chains).
+/// Protects against stack overflow on adversarial inputs.
+const MAX_DEPTH: usize = 64;
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+    depth: usize,
+}
+
+/// RAII guard for the recursion-depth budget.
+macro_rules! enter {
+    ($self:ident) => {{
+        $self.depth += 1;
+        if $self.depth > MAX_DEPTH {
+            $self.depth -= 1;
+            return Err($self.err("expression nesting too deep"));
+        }
+    }};
+}
+
+macro_rules! leave {
+    ($self:ident) => {
+        $self.depth -= 1;
+    };
+}
+
+/// Parses a single SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let toks = Lexer::new(sql).tokens()?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        depth: 0,
+    };
+    let stmt = p.statement()?;
+    // Allow one trailing semicolon.
+    if p.eat_symbol(";") {}
+    if p.idx != p.toks.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a `SELECT` query (rejects DML).
+pub fn parse_select(sql: &str) -> Result<SelectQuery, ParseError> {
+    match parse(sql)? {
+        Statement::Select(q) => Ok(q),
+        other => Err(ParseError {
+            message: format!("expected SELECT, got {:?}", other.kind()),
+            offset: 0,
+        }),
+    }
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let offset = self.toks.get(self.idx).map(|t| t.1).unwrap_or(usize::MAX);
+        ParseError {
+            message: msg.into(),
+            offset,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|t| t.0.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(sym)) if *sym == s) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_keyword("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_keyword("INSERT") {
+            self.expect_keyword("INTO")?;
+            let table = self.ident()?;
+            if self.eat_keyword("VALUES") {
+                self.expect_symbol("(")?;
+                let mut values = Vec::new();
+                loop {
+                    values.push(self.literal()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+                Ok(Statement::Insert(InsertStmt {
+                    table,
+                    source: InsertSource::Values(values),
+                }))
+            } else {
+                let q = self.select()?;
+                Ok(Statement::Insert(InsertStmt {
+                    table,
+                    source: InsertSource::Query(q),
+                }))
+            }
+        } else if self.eat_keyword("UPDATE") {
+            let table = self.ident()?;
+            self.expect_keyword("SET")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_symbol("=")?;
+                sets.push((col, self.literal()?));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            let predicate = if self.eat_keyword("WHERE") {
+                Some(self.or_expr()?)
+            } else {
+                None
+            };
+            Ok(Statement::Update(UpdateStmt {
+                table,
+                sets,
+                predicate,
+            }))
+        } else if self.eat_keyword("DELETE") {
+            self.expect_keyword("FROM")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_keyword("WHERE") {
+                Some(self.or_expr()?)
+            } else {
+                None
+            };
+            Ok(Statement::Delete(DeleteStmt { table, predicate }))
+        } else {
+            Err(self.err("expected SELECT/INSERT/UPDATE/DELETE"))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectQuery, ParseError> {
+        enter!(self);
+        let out = self.select_inner();
+        leave!(self);
+        out
+    }
+
+    fn select_inner(&mut self) -> Result<SelectQuery, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut select = Vec::new();
+        if self.eat_symbol("*") {
+            // `SELECT *` maps to an empty item list (renderer's convention).
+        } else {
+            loop {
+                select.push(self.select_item()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let base = self.ident()?;
+        let mut joins = Vec::new();
+        while self.eat_keyword("JOIN") {
+            let table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left = self.col_ref()?;
+            self.expect_symbol("=")?;
+            let right = self.col_ref()?;
+            joins.push(Join { table, left, right });
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.col_ref()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            let agg = self.agg_func()?;
+            self.expect_symbol("(")?;
+            let col = self.col_ref()?;
+            self.expect_symbol(")")?;
+            let op = self.cmp_op()?;
+            let rhs = self.rhs()?;
+            Some(HavingClause { agg, col, op, rhs })
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.col_ref()?;
+                let desc = self.eat_keyword("DESC");
+                order_by.push(OrderBy { col, desc });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        Ok(SelectQuery {
+            from: FromClause { base, joins },
+            select,
+            predicate,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        // Lookahead: `AGG (` means an aggregate.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if let Some(agg) = agg_from_name(name) {
+                if matches!(self.toks.get(self.idx + 1), Some((Tok::Symbol("("), _))) {
+                    self.idx += 2;
+                    let col = self.col_ref()?;
+                    self.expect_symbol(")")?;
+                    return Ok(SelectItem::Agg(agg, col));
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.col_ref()?))
+    }
+
+    fn agg_func(&mut self) -> Result<AggFunc, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => {
+                agg_from_name(&s).ok_or_else(|| self.err(format!("unknown aggregate {s}")))
+            }
+            _ => Err(self.err("expected aggregate function")),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, ParseError> {
+        let table = self.ident()?;
+        self.expect_symbol(".")?;
+        let column = self.ident()?;
+        Ok(ColRef { table, column })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Some(Tok::Symbol("<")) => CmpOp::Lt,
+            Some(Tok::Symbol("<=")) => CmpOp::Le,
+            Some(Tok::Symbol(">")) => CmpOp::Gt,
+            Some(Tok::Symbol(">=")) => CmpOp::Ge,
+            Some(Tok::Symbol("=")) => CmpOp::Eq,
+            Some(Tok::Symbol("<>")) => CmpOp::Ne,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        self.idx += 1;
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Value::Int(v)),
+            Some(Tok::Float(v)) => Ok(Value::Float(v)),
+            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                Err(self.err("expected literal"))
+            }
+        }
+    }
+
+    fn rhs(&mut self) -> Result<Rhs, ParseError> {
+        if matches!(self.peek(), Some(Tok::Symbol("(")))
+            && matches!(self.toks.get(self.idx + 1), Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case("SELECT"))
+        {
+            self.expect_symbol("(")?;
+            let q = self.select()?;
+            self.expect_symbol(")")?;
+            Ok(Rhs::Subquery(Box::new(q)))
+        } else {
+            Ok(Rhs::Value(self.literal()?))
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Predicate, ParseError> {
+        enter!(self);
+        let out = if self.eat_keyword("NOT") {
+            self.not_expr().map(|p| Predicate::Not(Box::new(p)))
+        } else {
+            self.atom()
+        };
+        leave!(self);
+        out
+    }
+
+    fn atom(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_keyword("EXISTS") {
+            self.expect_symbol("(")?;
+            let q = self.select()?;
+            self.expect_symbol(")")?;
+            return Ok(Predicate::Exists { sub: Box::new(q) });
+        }
+        if matches!(self.peek(), Some(Tok::Symbol("("))) {
+            self.expect_symbol("(")?;
+            let p = self.or_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(p);
+        }
+        let col = self.col_ref()?;
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let q = self.select()?;
+            self.expect_symbol(")")?;
+            return Ok(Predicate::In {
+                col,
+                sub: Box::new(q),
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            match self.next() {
+                Some(Tok::Str(pattern)) => return Ok(Predicate::Like { col, pattern }),
+                _ => return Err(self.err("expected string literal after LIKE")),
+            }
+        }
+        let op = self.cmp_op()?;
+        let rhs = self.rhs()?;
+        Ok(Predicate::Cmp { col, op, rhs })
+    }
+}
+
+fn agg_from_name(s: &str) -> Option<AggFunc> {
+    match s.to_ascii_uppercase().as_str() {
+        "MAX" => Some(AggFunc::Max),
+        "MIN" => Some(AggFunc::Min),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "COUNT" => Some(AggFunc::Count),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render;
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse(sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+        assert_eq!(render(&stmt), sql, "round-trip mismatch");
+    }
+
+    #[test]
+    fn roundtrips_select_variants() {
+        roundtrip("SELECT t.a FROM t");
+        roundtrip("SELECT t.a, t.b FROM t WHERE t.a < 5");
+        roundtrip("SELECT COUNT(t.a) FROM t JOIN u ON t.id = u.tid WHERE t.a >= 1 AND u.b = 'x'");
+        roundtrip("SELECT t.a FROM t WHERE (t.a < 1 OR t.b > 2) AND t.c = 3");
+        roundtrip("SELECT t.a FROM t WHERE t.a < 1 AND t.b > 2 OR t.c = 3");
+        roundtrip("SELECT AVG(t.a) FROM t GROUP BY t.g HAVING SUM(t.a) > 10");
+        roundtrip("SELECT t.a FROM t WHERE t.uid IN (SELECT u.id FROM u)");
+        roundtrip("SELECT t.a FROM t WHERE EXISTS (SELECT u.id FROM u WHERE u.x = 1)");
+        roundtrip("SELECT t.a FROM t WHERE t.a > (SELECT MAX(u.v) FROM u)");
+        roundtrip("SELECT t.a FROM t WHERE NOT t.a = 1");
+        roundtrip("SELECT t.a FROM t WHERE t.b LIKE '%foo%'");
+        roundtrip("SELECT t.a FROM t ORDER BY t.a");
+        roundtrip("SELECT t.a, t.b FROM t WHERE t.a < 5 ORDER BY t.b DESC, t.a");
+        roundtrip("SELECT t.a FROM t WHERE NOT t.b LIKE 'x_y' AND t.a < 2");
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip("INSERT INTO t VALUES (1, 'x', 2.5)");
+        roundtrip("INSERT INTO t SELECT u.a FROM u WHERE u.b < 3");
+        roundtrip("UPDATE t SET a = 2 WHERE t.b = 7");
+        roundtrip("UPDATE t SET a = 2, b = 'y'");
+        roundtrip("DELETE FROM t WHERE t.a <> 0");
+        roundtrip("DELETE FROM t");
+    }
+
+    #[test]
+    fn parses_numbers() {
+        let s = parse("SELECT t.a FROM t WHERE t.a = -3").unwrap();
+        if let Statement::Select(q) = s {
+            match q.predicate.unwrap() {
+                Predicate::Cmp {
+                    rhs: Rhs::Value(Value::Int(-3)),
+                    ..
+                } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        parse("SELECT t.a FROM t WHERE t.a = 2.5").unwrap();
+        parse("SELECT t.a FROM t WHERE t.a = -0.001").unwrap();
+    }
+
+    #[test]
+    fn parses_escaped_string() {
+        let s = parse("SELECT t.a FROM t WHERE t.b = 'o''clock'").unwrap();
+        if let Statement::Select(q) = s {
+            match q.predicate.unwrap() {
+                Predicate::Cmp {
+                    rhs: Rhs::Value(Value::Text(t)),
+                    ..
+                } => assert_eq!(t, "o'clock"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let s = parse_select("SELECT t.a FROM t WHERE t.a = 1 OR t.b = 2 AND t.c = 3").unwrap();
+        match s.predicate.unwrap() {
+            Predicate::Or(_, rhs) => assert!(matches!(*rhs, Predicate::And(..))),
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("SELEC t.a FROM t").is_err());
+        assert!(parse("SELECT t.a FROM t WHERE").is_err());
+        assert!(parse("SELECT t.a FROM t trailing").is_err());
+        assert!(parse("SELECT t.a FROM t WHERE t.a < 'x").is_err());
+        assert!(parse("SELECT t.a FROM t WHERE t.a ! 1").is_err());
+    }
+
+    #[test]
+    fn multibyte_chars_do_not_hang_the_lexer() {
+        // '«' (U+00AB): lead byte 0xC2 casts to an alphabetic Latin-1 char.
+        assert!(parse("«").is_err());
+        assert!(parse("SELECT «.a FROM t").is_err());
+        // Genuinely alphabetic multi-byte identifiers lex fine.
+        assert!(parse("SELECT tété.a FROM tété").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = format!(
+            "SELECT t.a FROM t WHERE {}t.a < 1{}",
+            "(".repeat(5_000),
+            ")".repeat(5_000)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+        // Moderate nesting still parses.
+        let ok = format!(
+            "SELECT t.a FROM t WHERE {}t.a < 1{}",
+            "(".repeat(30),
+            ")".repeat(30)
+        );
+        parse(&ok).unwrap();
+    }
+
+    #[test]
+    fn trailing_semicolon_is_ok() {
+        parse("SELECT t.a FROM t;").unwrap();
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse_select("SELECT * FROM t").unwrap();
+        assert!(q.select.is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Rendering the AST to SQL text.
+//!
+//! The output is canonical: rendering, parsing and re-rendering any
+//! statement yields the identical string (a property test in `parse.rs`
+//! enforces this). `AND` binds tighter than `OR`, so `OR` children of an
+//! `AND` node are parenthesized.
+
+use crate::ast::*;
+
+/// Renders a statement as SQL text.
+pub fn render(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(q) => render_select(q),
+        Statement::Insert(i) => render_insert(i),
+        Statement::Update(u) => render_update(u),
+        Statement::Delete(d) => render_delete(d),
+    }
+}
+
+/// Renders a `SELECT` query (no trailing semicolon, usable as a subquery).
+pub fn render_select(q: &SelectQuery) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("SELECT ");
+    if q.select.is_empty() {
+        out.push('*');
+    } else {
+        for (i, item) in q.select.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match item {
+                SelectItem::Column(c) => out.push_str(&c.to_string()),
+                SelectItem::Agg(f, c) => {
+                    out.push_str(f.name());
+                    out.push('(');
+                    out.push_str(&c.to_string());
+                    out.push(')');
+                }
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    out.push_str(&q.from.base);
+    for j in &q.from.joins {
+        out.push_str(" JOIN ");
+        out.push_str(&j.table);
+        out.push_str(" ON ");
+        out.push_str(&j.left.to_string());
+        out.push_str(" = ");
+        out.push_str(&j.right.to_string());
+    }
+    if let Some(p) = &q.predicate {
+        out.push_str(" WHERE ");
+        render_predicate(p, PredCtx::Or, &mut out);
+    }
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, c) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&c.to_string());
+        }
+    }
+    if let Some(h) = &q.having {
+        out.push_str(" HAVING ");
+        out.push_str(h.agg.name());
+        out.push('(');
+        out.push_str(&h.col.to_string());
+        out.push_str(") ");
+        out.push_str(h.op.symbol());
+        out.push(' ');
+        render_rhs(&h.rhs, &mut out);
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, o) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&o.col.to_string());
+            if o.desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    out
+}
+
+/// The binding context a predicate is rendered in: parentheses are inserted
+/// only when a looser operator appears under a tighter one.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+enum PredCtx {
+    /// Loosest: top level or under an `OR`.
+    Or,
+    /// Under an `AND`: nested `OR` needs parens.
+    And,
+    /// Under a `NOT`: any binary operator needs parens.
+    Atom,
+}
+
+fn render_predicate(p: &Predicate, ctx: PredCtx, out: &mut String) {
+    match p {
+        Predicate::Cmp { col, op, rhs } => {
+            out.push_str(&col.to_string());
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            render_rhs(rhs, out);
+        }
+        Predicate::In { col, sub } => {
+            out.push_str(&col.to_string());
+            out.push_str(" IN (");
+            out.push_str(&render_select(sub));
+            out.push(')');
+        }
+        Predicate::Like { col, pattern } => {
+            out.push_str(&col.to_string());
+            out.push_str(" LIKE '");
+            out.push_str(&pattern.replace('\'', "''"));
+            out.push('\'');
+        }
+        Predicate::Exists { sub } => {
+            out.push_str("EXISTS (");
+            out.push_str(&render_select(sub));
+            out.push(')');
+        }
+        Predicate::Not(inner) => {
+            out.push_str("NOT ");
+            let needs = matches!(**inner, Predicate::And(..) | Predicate::Or(..));
+            if needs {
+                out.push('(');
+            }
+            render_predicate(inner, PredCtx::Atom, out);
+            if needs {
+                out.push(')');
+            }
+        }
+        Predicate::And(a, b) => {
+            let needs = ctx == PredCtx::Atom;
+            if needs {
+                out.push('(');
+            }
+            render_predicate(a, PredCtx::And, out);
+            out.push_str(" AND ");
+            render_predicate(b, PredCtx::And, out);
+            if needs {
+                out.push(')');
+            }
+        }
+        Predicate::Or(a, b) => {
+            let needs = ctx != PredCtx::Or;
+            if needs {
+                out.push('(');
+            }
+            render_predicate(a, PredCtx::Or, out);
+            out.push_str(" OR ");
+            render_predicate(b, PredCtx::Or, out);
+            if needs {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn render_rhs(rhs: &Rhs, out: &mut String) {
+    match rhs {
+        Rhs::Value(v) => out.push_str(&v.to_sql()),
+        Rhs::Subquery(q) => {
+            out.push('(');
+            out.push_str(&render_select(q));
+            out.push(')');
+        }
+    }
+}
+
+fn render_insert(i: &InsertStmt) -> String {
+    match &i.source {
+        InsertSource::Values(vals) => {
+            let vals: Vec<String> = vals.iter().map(|v| v.to_sql()).collect();
+            format!("INSERT INTO {} VALUES ({})", i.table, vals.join(", "))
+        }
+        InsertSource::Query(q) => format!("INSERT INTO {} {}", i.table, render_select(q)),
+    }
+}
+
+fn render_update(u: &UpdateStmt) -> String {
+    let sets: Vec<String> = u
+        .sets
+        .iter()
+        .map(|(c, v)| format!("{c} = {}", v.to_sql()))
+        .collect();
+    let mut out = format!("UPDATE {} SET {}", u.table, sets.join(", "));
+    if let Some(p) = &u.predicate {
+        out.push_str(" WHERE ");
+        render_predicate(p, PredCtx::Or, &mut out);
+    }
+    out
+}
+
+fn render_delete(d: &DeleteStmt) -> String {
+    let mut out = format!("DELETE FROM {}", d.table);
+    if let Some(p) = &d.predicate {
+        out.push_str(" WHERE ");
+        render_predicate(p, PredCtx::Or, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_storage::Value;
+
+    fn cmp(col: &str, op: CmpOp, v: i64) -> Predicate {
+        Predicate::Cmp {
+            col: ColRef::new("t", col),
+            op,
+            rhs: Rhs::Value(Value::Int(v)),
+        }
+    }
+
+    #[test]
+    fn renders_simple_select() {
+        let q = SelectQuery {
+            from: FromClause::single("t"),
+            select: vec![SelectItem::Column(ColRef::new("t", "a"))],
+            predicate: Some(cmp("a", CmpOp::Lt, 5)),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        assert_eq!(
+            render_select(&q),
+            "SELECT t.a FROM t WHERE t.a < 5"
+        );
+    }
+
+    #[test]
+    fn renders_join_and_groupby_having() {
+        let q = SelectQuery {
+            from: FromClause {
+                base: "t".into(),
+                joins: vec![Join {
+                    table: "u".into(),
+                    left: ColRef::new("t", "id"),
+                    right: ColRef::new("u", "tid"),
+                }],
+            },
+            select: vec![SelectItem::Agg(AggFunc::Count, ColRef::new("t", "a"))],
+            predicate: None,
+            group_by: vec![ColRef::new("u", "g")],
+            having: Some(HavingClause {
+                agg: AggFunc::Sum,
+                col: ColRef::new("t", "a"),
+                op: CmpOp::Gt,
+                rhs: Rhs::Value(Value::Int(10)),
+            }),
+            order_by: vec![],
+        };
+        assert_eq!(
+            render_select(&q),
+            "SELECT COUNT(t.a) FROM t JOIN u ON t.id = u.tid GROUP BY u.g HAVING SUM(t.a) > 10"
+        );
+    }
+
+    #[test]
+    fn parenthesizes_or_under_and() {
+        let p = cmp("a", CmpOp::Lt, 1)
+            .or(cmp("b", CmpOp::Gt, 2))
+            .and(cmp("c", CmpOp::Eq, 3));
+        let q = SelectQuery {
+            from: FromClause::single("t"),
+            select: vec![SelectItem::Column(ColRef::new("t", "a"))],
+            predicate: Some(p),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        assert_eq!(
+            render_select(&q),
+            "SELECT t.a FROM t WHERE (t.a < 1 OR t.b > 2) AND t.c = 3"
+        );
+    }
+
+    #[test]
+    fn flat_and_or_chain_has_no_parens() {
+        let p = cmp("a", CmpOp::Lt, 1)
+            .and(cmp("b", CmpOp::Gt, 2))
+            .or(cmp("c", CmpOp::Eq, 3));
+        let mut out = String::new();
+        render_predicate(&p, PredCtx::Or, &mut out);
+        assert_eq!(out, "t.a < 1 AND t.b > 2 OR t.c = 3");
+    }
+
+    #[test]
+    fn renders_dml() {
+        let ins = Statement::Insert(InsertStmt {
+            table: "t".into(),
+            source: InsertSource::Values(vec![Value::Int(1), Value::Text("x".into())]),
+        });
+        assert_eq!(render(&ins), "INSERT INTO t VALUES (1, 'x')");
+
+        let upd = Statement::Update(UpdateStmt {
+            table: "t".into(),
+            sets: vec![("a".into(), Value::Int(2))],
+            predicate: Some(cmp("b", CmpOp::Eq, 7)),
+        });
+        assert_eq!(render(&upd), "UPDATE t SET a = 2 WHERE t.b = 7");
+
+        let del = Statement::Delete(DeleteStmt {
+            table: "t".into(),
+            predicate: None,
+        });
+        assert_eq!(render(&del), "DELETE FROM t");
+    }
+
+    #[test]
+    fn renders_nested_in_subquery() {
+        let sub = SelectQuery::scan("u", vec![SelectItem::Column(ColRef::new("u", "id"))]);
+        let p = Predicate::In {
+            col: ColRef::new("t", "uid"),
+            sub: Box::new(sub),
+        };
+        let q = SelectQuery {
+            from: FromClause::single("t"),
+            select: vec![SelectItem::Column(ColRef::new("t", "a"))],
+            predicate: Some(p),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+        };
+        assert_eq!(
+            render_select(&q),
+            "SELECT t.a FROM t WHERE t.uid IN (SELECT u.id FROM u)"
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! Semantic validation of statements against a database catalog.
+//!
+//! Implements the paper's "Syntactic and Semantic Checking" (§5):
+//! references must resolve, datatypes must be compatible, only numeric
+//! attributes may appear in SUM/AVG/MAX/MIN, and joins must follow PK-FK
+//! (or user-declared) relationships. The FSM guarantees these properties by
+//! construction; this module is the independent checker the test suite uses
+//! to prove that guarantee holds.
+
+use crate::ast::*;
+use sqlgen_storage::{Database, DataType, Value};
+use std::fmt;
+
+/// A semantic validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    /// Column referenced from a table not in the FROM clause.
+    TableNotInScope(String),
+    /// Aggregate over a non-numeric column.
+    NonNumericAggregate(String),
+    /// Comparison between incompatible types.
+    TypeMismatch(String),
+    /// Join without a declared PK-FK edge.
+    JoinNotDeclared(String),
+    /// Non-aggregated select item not in GROUP BY.
+    NotGrouped(String),
+    /// HAVING without GROUP BY.
+    HavingWithoutGroupBy,
+    /// Subquery used as a value must return a single column.
+    SubqueryArity,
+    /// Scalar-compared subquery must be an aggregate (guaranteed scalar).
+    SubqueryNotScalar,
+    /// INSERT row arity mismatch.
+    InsertArity(String),
+    /// Duplicate table in FROM (self-joins are out of the paper's grammar).
+    DuplicateTable(String),
+    /// ORDER BY key not in the SELECT list.
+    OrderByNotProjected(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            ValidationError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ValidationError::TableNotInScope(t) => write!(f, "table {t} not in FROM clause"),
+            ValidationError::NonNumericAggregate(c) => {
+                write!(f, "aggregate over non-numeric column {c}")
+            }
+            ValidationError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            ValidationError::JoinNotDeclared(m) => write!(f, "join not along a PK-FK edge: {m}"),
+            ValidationError::NotGrouped(c) => write!(f, "column {c} not in GROUP BY"),
+            ValidationError::HavingWithoutGroupBy => write!(f, "HAVING requires GROUP BY"),
+            ValidationError::SubqueryArity => write!(f, "subquery must return one column"),
+            ValidationError::SubqueryNotScalar => {
+                write!(f, "scalar-compared subquery must aggregate")
+            }
+            ValidationError::InsertArity(t) => write!(f, "INSERT arity mismatch for {t}"),
+            ValidationError::DuplicateTable(t) => write!(f, "table {t} appears twice in FROM"),
+            ValidationError::OrderByNotProjected(c) => {
+                write!(f, "ORDER BY key {c} is not in the SELECT list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a statement; returns the first error found.
+pub fn validate(db: &Database, stmt: &Statement) -> Result<(), ValidationError> {
+    match stmt {
+        Statement::Select(q) => validate_select(db, q),
+        Statement::Insert(i) => {
+            let schema = db
+                .schema(&i.table)
+                .ok_or_else(|| ValidationError::UnknownTable(i.table.clone()))?;
+            match &i.source {
+                InsertSource::Values(vals) => {
+                    if vals.len() != schema.columns.len() {
+                        return Err(ValidationError::InsertArity(i.table.clone()));
+                    }
+                    for (v, c) in vals.iter().zip(&schema.columns) {
+                        check_value_type(v, c.dtype, &c.name)?;
+                    }
+                    Ok(())
+                }
+                InsertSource::Query(q) => {
+                    validate_select(db, q)?;
+                    let arity = if q.select.is_empty() {
+                        // SELECT *: arity checked against the source tables.
+                        q.from
+                            .tables()
+                            .iter()
+                            .filter_map(|t| db.schema(t))
+                            .map(|s| s.columns.len())
+                            .sum()
+                    } else {
+                        q.select.len()
+                    };
+                    if arity != schema.columns.len() {
+                        return Err(ValidationError::InsertArity(i.table.clone()));
+                    }
+                    Ok(())
+                }
+            }
+        }
+        Statement::Update(u) => {
+            let schema = db
+                .schema(&u.table)
+                .ok_or_else(|| ValidationError::UnknownTable(u.table.clone()))?;
+            for (c, v) in &u.sets {
+                let col = schema
+                    .column(c)
+                    .ok_or_else(|| ValidationError::UnknownColumn(c.clone()))?;
+                check_value_type(v, col.dtype, c)?;
+            }
+            if let Some(p) = &u.predicate {
+                validate_predicate(db, p, &[u.table.as_str()])?;
+            }
+            Ok(())
+        }
+        Statement::Delete(d) => {
+            db.schema(&d.table)
+                .ok_or_else(|| ValidationError::UnknownTable(d.table.clone()))?;
+            if let Some(p) = &d.predicate {
+                validate_predicate(db, p, &[d.table.as_str()])?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validates a `SELECT` query.
+pub fn validate_select(db: &Database, q: &SelectQuery) -> Result<(), ValidationError> {
+    // FROM clause: tables exist, no duplicates, joins along declared edges.
+    let tables = q.from.tables();
+    for t in &tables {
+        db.schema(t)
+            .ok_or_else(|| ValidationError::UnknownTable(t.to_string()))?;
+    }
+    for (i, t) in tables.iter().enumerate() {
+        if tables[..i].contains(t) {
+            return Err(ValidationError::DuplicateTable(t.to_string()));
+        }
+    }
+    for (jno, j) in q.from.joins.iter().enumerate() {
+        // Left table must already be in scope.
+        if !tables[..jno + 1].contains(&j.left.table.as_str()) {
+            return Err(ValidationError::TableNotInScope(j.left.table.clone()));
+        }
+        check_col(db, &j.left, &tables)?;
+        check_col(db, &j.right, &tables)?;
+        // Join key types must match (paper: "columns with different
+        // datatypes cannot be joined").
+        let lt = db.column_type(&j.left.table, &j.left.column).expect("checked");
+        let rt = db
+            .column_type(&j.right.table, &j.right.column)
+            .expect("checked");
+        if !types_comparable(lt, rt) {
+            return Err(ValidationError::TypeMismatch(format!(
+                "join {} = {}",
+                j.left, j.right
+            )));
+        }
+        // The edge must be a declared PK-FK relationship.
+        let declared = db.join_edges(&j.left.table).into_iter().any(|e| {
+            e.left_column == j.left.column
+                && e.right_table == j.table
+                && e.right_column == j.right.column
+        });
+        if !declared {
+            return Err(ValidationError::JoinNotDeclared(format!(
+                "{} = {}",
+                j.left, j.right
+            )));
+        }
+    }
+
+    // SELECT items.
+    for item in &q.select {
+        check_col(db, item.col_ref(), &tables)?;
+        if let SelectItem::Agg(f, c) = item {
+            if f.requires_numeric() {
+                let t = db.column_type(&c.table, &c.column).expect("checked");
+                if !t.is_numeric() {
+                    return Err(ValidationError::NonNumericAggregate(c.to_string()));
+                }
+            }
+        }
+    }
+
+    // Grouping rules.
+    if !q.group_by.is_empty() {
+        for c in &q.group_by {
+            check_col(db, c, &tables)?;
+        }
+        for item in &q.select {
+            if let SelectItem::Column(c) = item {
+                if !q.group_by.contains(c) {
+                    return Err(ValidationError::NotGrouped(c.to_string()));
+                }
+            }
+        }
+    }
+    if let Some(h) = &q.having {
+        if q.group_by.is_empty() {
+            return Err(ValidationError::HavingWithoutGroupBy);
+        }
+        check_col(db, &h.col, &tables)?;
+        if h.agg.requires_numeric() {
+            let t = db.column_type(&h.col.table, &h.col.column).expect("checked");
+            if !t.is_numeric() {
+                return Err(ValidationError::NonNumericAggregate(h.col.to_string()));
+            }
+        }
+        match &h.rhs {
+            Rhs::Value(v) => {
+                // Aggregates produce numbers; the literal must be numeric.
+                if v.as_f64().is_none() && !v.is_null() {
+                    return Err(ValidationError::TypeMismatch(format!(
+                        "HAVING {} vs {v:?}",
+                        h.agg
+                    )));
+                }
+            }
+            Rhs::Subquery(sub) => validate_scalar_subquery(db, sub)?,
+        }
+    }
+
+    // ORDER BY: keys must be projected plain columns (our executor sorts
+    // the materialized output).
+    for o in &q.order_by {
+        check_col(db, &o.col, &tables)?;
+        let projected = q
+            .select
+            .iter()
+            .any(|i| matches!(i, SelectItem::Column(c) if *c == o.col));
+        if !projected {
+            return Err(ValidationError::OrderByNotProjected(o.col.to_string()));
+        }
+    }
+
+    // WHERE clause.
+    if let Some(p) = &q.predicate {
+        validate_predicate(db, p, &tables)?;
+    }
+    Ok(())
+}
+
+fn validate_predicate(
+    db: &Database,
+    p: &Predicate,
+    tables: &[&str],
+) -> Result<(), ValidationError> {
+    match p {
+        Predicate::Cmp { col, op: _, rhs } => {
+            check_col(db, col, tables)?;
+            let ct = db.column_type(&col.table, &col.column).expect("checked");
+            match rhs {
+                Rhs::Value(v) => {
+                    check_value_type(v, ct, &col.to_string())?;
+                }
+                Rhs::Subquery(sub) => {
+                    validate_scalar_subquery(db, sub)?;
+                    if !ct.is_numeric() {
+                        // Aggregate subqueries produce numbers.
+                        return Err(ValidationError::TypeMismatch(format!(
+                            "{col} compared to aggregate subquery"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Predicate::In { col, sub } => {
+            check_col(db, col, tables)?;
+            validate_select(db, sub)?;
+            if sub.select.len() != 1 {
+                return Err(ValidationError::SubqueryArity);
+            }
+            let ct = db.column_type(&col.table, &col.column).expect("checked");
+            let inner = sub.select[0].col_ref();
+            let it = db
+                .column_type(&inner.table, &inner.column)
+                .ok_or_else(|| ValidationError::UnknownColumn(inner.to_string()))?;
+            let it = if sub.select[0].is_agg() { DataType::Float } else { it };
+            if !types_comparable(ct, it) {
+                return Err(ValidationError::TypeMismatch(format!("{col} IN subquery")));
+            }
+            Ok(())
+        }
+        Predicate::Like { col, .. } => {
+            check_col(db, col, tables)?;
+            let ct = db.column_type(&col.table, &col.column).expect("checked");
+            if ct != DataType::Text {
+                return Err(ValidationError::TypeMismatch(format!(
+                    "{col} LIKE over non-text column"
+                )));
+            }
+            Ok(())
+        }
+        Predicate::Exists { sub } => validate_select(db, sub),
+        Predicate::Not(inner) => validate_predicate(db, inner, tables),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            validate_predicate(db, a, tables)?;
+            validate_predicate(db, b, tables)
+        }
+    }
+}
+
+/// A subquery compared with a scalar operator must be a plain (non-grouped)
+/// aggregate with a single item, so it is scalar by construction.
+fn validate_scalar_subquery(db: &Database, sub: &SelectQuery) -> Result<(), ValidationError> {
+    validate_select(db, sub)?;
+    if sub.select.len() != 1 {
+        return Err(ValidationError::SubqueryArity);
+    }
+    if !sub.select[0].is_agg() || !sub.group_by.is_empty() {
+        return Err(ValidationError::SubqueryNotScalar);
+    }
+    Ok(())
+}
+
+fn check_col(db: &Database, col: &ColRef, tables: &[&str]) -> Result<(), ValidationError> {
+    if !tables.contains(&col.table.as_str()) {
+        return Err(ValidationError::TableNotInScope(col.table.clone()));
+    }
+    db.column_type(&col.table, &col.column)
+        .map(|_| ())
+        .ok_or_else(|| ValidationError::UnknownColumn(col.to_string()))
+}
+
+fn check_value_type(v: &Value, dtype: DataType, ctx: &str) -> Result<(), ValidationError> {
+    let ok = match (v, dtype) {
+        (Value::Null, _) => true,
+        (Value::Int(_), DataType::Int | DataType::Float) => true,
+        (Value::Float(_), DataType::Float | DataType::Int) => true,
+        (Value::Text(_), DataType::Text) => true,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ValidationError::TypeMismatch(format!(
+            "{ctx}: {v:?} vs {dtype}"
+        )))
+    }
+}
+
+fn types_comparable(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use sqlgen_storage::gen::tpch_database;
+
+    fn check(sql: &str) -> Result<(), ValidationError> {
+        let db = tpch_database(0.1, 1);
+        validate(&db, &parse(sql).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_queries() {
+        check("SELECT orders.o_totalprice FROM orders WHERE orders.o_orderstatus = 'F'").unwrap();
+        check(
+            "SELECT lineitem.l_quantity FROM lineitem \
+             JOIN orders ON lineitem.l_orderkey = orders.o_orderkey \
+             WHERE orders.o_totalprice > 1000.0",
+        )
+        .unwrap();
+        check(
+            "SELECT orders.o_orderstatus, COUNT(orders.o_orderkey) FROM orders \
+             GROUP BY orders.o_orderstatus HAVING SUM(orders.o_totalprice) > 10.0",
+        )
+        .unwrap();
+        check("INSERT INTO region VALUES (9, 'X')").unwrap();
+        check("UPDATE part SET p_size = 3 WHERE part.p_size < 10").unwrap();
+        check("DELETE FROM part WHERE part.p_brand = 'Brand#11'").unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_references() {
+        assert!(matches!(
+            check("SELECT nope.a FROM nope"),
+            Err(ValidationError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            check("SELECT orders.nope FROM orders"),
+            Err(ValidationError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            check("SELECT customer.c_name FROM orders"),
+            Err(ValidationError::TableNotInScope(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undeclared_join() {
+        // part and customer share no FK edge.
+        assert!(matches!(
+            check("SELECT part.p_size FROM part JOIN customer ON part.p_partkey = customer.c_custkey"),
+            Err(ValidationError::JoinNotDeclared(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert!(matches!(
+            check("SELECT orders.o_orderkey FROM orders WHERE orders.o_orderstatus < 5"),
+            Err(ValidationError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            check("SELECT SUM(orders.o_orderstatus) FROM orders"),
+            Err(ValidationError::NonNumericAggregate(_))
+        ));
+        assert!(matches!(
+            check("INSERT INTO region VALUES ('oops', 'X')"),
+            Err(ValidationError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn count_over_text_is_fine() {
+        check("SELECT COUNT(orders.o_orderstatus) FROM orders").unwrap();
+    }
+
+    #[test]
+    fn grouping_rules() {
+        assert!(matches!(
+            check("SELECT orders.o_orderkey FROM orders GROUP BY orders.o_orderstatus"),
+            Err(ValidationError::NotGrouped(_))
+        ));
+        assert!(matches!(
+            check(
+                "SELECT orders.o_orderkey FROM orders \
+                 HAVING SUM(orders.o_totalprice) > 1.0"
+            ),
+            Err(ValidationError::HavingWithoutGroupBy)
+        ));
+    }
+
+    #[test]
+    fn subquery_rules() {
+        // Scalar comparison requires an aggregate subquery.
+        assert!(matches!(
+            check(
+                "SELECT orders.o_totalprice FROM orders WHERE orders.o_totalprice > \
+                 (SELECT customer.c_acctbal FROM customer)"
+            ),
+            Err(ValidationError::SubqueryNotScalar)
+        ));
+        check(
+            "SELECT orders.o_totalprice FROM orders WHERE orders.o_totalprice > \
+             (SELECT AVG(customer.c_acctbal) FROM customer)",
+        )
+        .unwrap();
+        check(
+            "SELECT orders.o_orderkey FROM orders WHERE orders.o_custkey IN \
+             (SELECT customer.c_custkey FROM customer)",
+        )
+        .unwrap();
+        // IN with a text/int mismatch.
+        assert!(matches!(
+            check(
+                "SELECT orders.o_orderkey FROM orders WHERE orders.o_custkey IN \
+                 (SELECT customer.c_name FROM customer)"
+            ),
+            Err(ValidationError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_table() {
+        assert!(matches!(
+            check("SELECT nation.n_name FROM nation JOIN nation ON nation.n_regionkey = nation.n_nationkey"),
+            Err(ValidationError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_rules() {
+        check("SELECT orders.o_totalprice FROM orders ORDER BY orders.o_totalprice DESC").unwrap();
+        assert!(matches!(
+            check("SELECT orders.o_orderkey FROM orders ORDER BY orders.o_totalprice"),
+            Err(ValidationError::OrderByNotProjected(_))
+        ));
+        assert!(matches!(
+            check("SELECT orders.o_orderkey FROM orders ORDER BY customer.c_name"),
+            Err(ValidationError::TableNotInScope(_))
+        ));
+    }
+
+    #[test]
+    fn insert_arity() {
+        assert!(matches!(
+            check("INSERT INTO region VALUES (9)"),
+            Err(ValidationError::InsertArity(_))
+        ));
+    }
+}

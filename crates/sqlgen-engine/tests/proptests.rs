@@ -1,0 +1,101 @@
+//! Property tests for the SQL engine: parser robustness, LIKE-matcher
+//! laws, estimator bounds and renderer/parser agreement on generated ASTs.
+
+use proptest::prelude::*;
+use sqlgen_engine::exec::like_match;
+use sqlgen_engine::{parse, render, CmpOp, ColRef, Predicate, Rhs, SelectItem, SelectQuery, Statement};
+use sqlgen_storage::Value;
+
+proptest! {
+    /// The parser never panics, whatever bytes it is fed.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser never panics on inputs that *look* like SQL.
+    #[test]
+    fn parser_never_panics_on_sqlish(
+        kw in prop::sample::select(vec!["SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "BY", "ORDER", "LIKE", "IN", "(", ")", "'", ",", ".", "<", ">=", "1", "2.5", "t", "u.a"]),
+        rest in proptest::collection::vec(
+            prop::sample::select(vec!["SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "BY", "ORDER", "LIKE", "IN", "(", ")", "'", ",", ".", "<", ">=", "1", "2.5", "t", "u.a"]),
+            0..25,
+        ),
+    ) {
+        let mut s = kw.to_string();
+        for r in rest {
+            s.push(' ');
+            s.push_str(r);
+        }
+        let _ = parse(&s);
+    }
+
+    /// A `%sub%` pattern matches exactly the strings containing `sub`.
+    #[test]
+    fn like_contains_law(hay in "[a-z]{0,12}", needle in "[a-z]{1,4}") {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&pattern, &hay), hay.contains(&needle));
+    }
+
+    /// A pattern with no wildcards matches only the identical string.
+    #[test]
+    fn like_exact_law(a in "[a-z]{0,8}", b in "[a-z]{0,8}") {
+        prop_assert_eq!(like_match(&a, &b), a == b);
+    }
+
+    /// `%` alone matches everything; `_` repeated n times matches exactly
+    /// length-n strings.
+    #[test]
+    fn like_wildcard_laws(s in "[a-z]{0,10}", n in 0usize..10) {
+        prop_assert!(like_match("%", &s));
+        let underscores = "_".repeat(n);
+        prop_assert_eq!(like_match(&underscores, &s), s.chars().count() == n);
+    }
+
+    /// Prefix/suffix patterns behave like starts_with / ends_with.
+    #[test]
+    fn like_prefix_suffix_laws(hay in "[a-z]{0,12}", affix in "[a-z]{1,4}") {
+        prop_assert_eq!(like_match(&format!("{affix}%"), &hay), hay.starts_with(&affix));
+        prop_assert_eq!(like_match(&format!("%{affix}"), &hay), hay.ends_with(&affix));
+    }
+
+    /// Rendering a simple generated SELECT and parsing it back is the
+    /// identity (AST-level round trip on arbitrary names and literals).
+    #[test]
+    fn render_parse_roundtrip_on_generated_ast(
+        table in "[a-z][a-z0-9_]{0,8}",
+        col_a in "[a-z][a-z0-9_]{0,8}",
+        col_b in "[a-z][a-z0-9_]{0,8}",
+        v in -1000i64..1000,
+        text in "[a-zA-Z0-9 ']{0,10}",
+        op_idx in 0usize..6,
+        use_text in any::<bool>(),
+        desc in any::<bool>(),
+    ) {
+        let op = CmpOp::ALL[op_idx];
+        let rhs = if use_text {
+            Rhs::Value(Value::Text(text))
+        } else {
+            Rhs::Value(Value::Int(v))
+        };
+        let q = SelectQuery {
+            from: sqlgen_engine::FromClause::single(table.clone()),
+            select: vec![SelectItem::Column(ColRef::new(table.clone(), col_a.clone()))],
+            predicate: Some(Predicate::Cmp {
+                col: ColRef::new(table.clone(), col_b),
+                op,
+                rhs,
+            }),
+            group_by: vec![],
+            having: None,
+            order_by: vec![sqlgen_engine::OrderBy {
+                col: ColRef::new(table, col_a),
+                desc,
+            }],
+        };
+        let stmt = Statement::Select(q);
+        let sql = render(&stmt);
+        let back = parse(&sql).map_err(|e| TestCaseError::fail(format!("{e}: {sql}")))?;
+        prop_assert_eq!(back, stmt, "{}", sql);
+    }
+}

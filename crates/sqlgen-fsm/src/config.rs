@@ -1,0 +1,106 @@
+//! FSM configuration: which statement types and structural limits the
+//! generated queries may use.
+//!
+//! The paper's FSM "can be extended flexibly by the users, so as to generate
+//! various types of queries" — this config is that extension point. The
+//! defaults generate SPJ + aggregation + nested SELECT queries; the
+//! complicated-query experiments (Figure 11) enable INSERT/DELETE too.
+
+use sqlgen_engine::StatementKind;
+
+/// Structural limits and feature switches for the FSM.
+#[derive(Debug, Clone)]
+pub struct FsmConfig {
+    /// Statement kinds the FSM may start (paper cases 1-6).
+    pub statements: Vec<StatementKind>,
+    /// Maximum number of JOINs per SELECT (tables in scope = joins + 1).
+    pub max_joins: usize,
+    /// Maximum SELECT-list items.
+    pub max_select_items: usize,
+    /// Maximum predicate atoms per WHERE clause.
+    pub max_predicates: usize,
+    /// Maximum GROUP BY columns beyond the mandatory ones.
+    pub max_group_by: usize,
+    /// Maximum subquery nesting depth (0 disables nesting).
+    pub max_subquery_depth: usize,
+    /// Whether GROUP BY / HAVING may be generated.
+    pub allow_aggregation: bool,
+    /// Whether LIKE predicates may be generated (needs sampled patterns).
+    pub allow_like: bool,
+    /// Whether ORDER BY may be generated. Off by default: the paper's
+    /// Table 1 grammar omits it (the keyword is only listed in §4.1), and
+    /// ordering never changes cardinality.
+    pub allow_order_by: bool,
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        FsmConfig {
+            statements: vec![StatementKind::Select],
+            max_joins: 2,
+            max_select_items: 3,
+            max_predicates: 4,
+            max_group_by: 2,
+            max_subquery_depth: 1,
+            allow_aggregation: true,
+            allow_like: true,
+            allow_order_by: false,
+        }
+    }
+}
+
+impl FsmConfig {
+    /// SPJ-only configuration (paper FSM case 1).
+    pub fn spj() -> Self {
+        FsmConfig {
+            max_subquery_depth: 0,
+            allow_aggregation: false,
+            ..Default::default()
+        }
+    }
+
+    /// Everything enabled, including DML (paper cases 1-6).
+    pub fn full() -> Self {
+        FsmConfig {
+            statements: StatementKind::ALL.to_vec(),
+            ..Default::default()
+        }
+    }
+
+    /// Only the given statement kinds.
+    pub fn with_statements(mut self, kinds: &[StatementKind]) -> Self {
+        self.statements = kinds.to_vec();
+        self
+    }
+
+    pub fn allows(&self, kind: StatementKind) -> bool {
+        self.statements.contains(&kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_select_only() {
+        let c = FsmConfig::default();
+        assert!(c.allows(StatementKind::Select));
+        assert!(!c.allows(StatementKind::Insert));
+    }
+
+    #[test]
+    fn full_allows_dml() {
+        let c = FsmConfig::full();
+        for k in StatementKind::ALL {
+            assert!(c.allows(k));
+        }
+    }
+
+    #[test]
+    fn spj_disables_nesting_and_aggregation() {
+        let c = FsmConfig::spj();
+        assert_eq!(c.max_subquery_depth, 0);
+        assert!(!c.allow_aggregation);
+    }
+}

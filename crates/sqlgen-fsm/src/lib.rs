@@ -1,0 +1,494 @@
+//! Finite-state machine guaranteeing SQL validity (paper §5).
+//!
+//! * [`vocab`] — the token vocabulary: the RL action space built from the
+//!   database schema plus sampled cell values,
+//! * [`config`] — which statement types / structural limits to generate,
+//! * [`state`] — the dynamic FSM ([`GenState`]): allowed-token masks and
+//!   incremental AST construction,
+//! * [`rollout`] — uniform-random FSM walks (the SQLsmith-equivalent
+//!   baseline engine and the validity property-test driver).
+//!
+//! The invariant the rest of the system builds on: **any token sequence the
+//! FSM permits terminates in a statement that passes independent semantic
+//! validation and executes without error.** `rollout`'s tests enforce this
+//! over hundreds of random walks per benchmark schema.
+
+pub mod config;
+pub mod rollout;
+pub mod state;
+pub mod vocab;
+
+pub use config::FsmConfig;
+pub use rollout::random_statement;
+pub use state::{FsmError, GenState};
+pub use vocab::{Token, VocabColumn, VocabEdge, Vocabulary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_engine::{render, StatementKind};
+    use sqlgen_storage::gen::tpch_database;
+    use sqlgen_storage::sample::SampleConfig;
+
+    fn setup() -> (sqlgen_storage::Database, Vocabulary) {
+        let db = tpch_database(0.1, 1);
+        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        (db, vocab)
+    }
+
+    /// Drives the FSM through an explicit token script.
+    fn drive<'v>(
+        vocab: &'v Vocabulary,
+        cfg: FsmConfig,
+        script: &[Token],
+    ) -> GenState<'v> {
+        let mut s = GenState::new(vocab, cfg);
+        for t in script {
+            let id = vocab.id(t);
+            s.apply(id).unwrap_or_else(|e| {
+                panic!(
+                    "{e} (script token {t:?}, allowed: {:?})",
+                    s.allowed()
+                        .iter()
+                        .map(|&a| vocab.describe(a))
+                        .collect::<Vec<_>>()
+                )
+            });
+        }
+        s
+    }
+
+    fn tid(vocab: &Vocabulary, name: &str) -> u32 {
+        vocab.tables.iter().position(|t| t == name).unwrap() as u32
+    }
+
+    fn cid(vocab: &Vocabulary, table: &str, col: &str) -> u32 {
+        let t = tid(vocab, table);
+        vocab
+            .columns
+            .iter()
+            .position(|c| c.table == t && c.name == col)
+            .unwrap() as u32
+    }
+
+    #[test]
+    fn simple_select_script() {
+        let (_, vocab) = setup();
+        let region = tid(&vocab, "region");
+        let rname = cid(&vocab, "region", "r_name");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(region),
+                Token::Select,
+                Token::Column(rname),
+                Token::Eof,
+            ],
+        );
+        assert!(s.is_complete());
+        assert_eq!(
+            render(s.statement().unwrap()),
+            "SELECT region.r_name FROM region"
+        );
+    }
+
+    #[test]
+    fn where_predicate_script() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let val = vocab.value_tokens_of(price)[0];
+        let mut s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(price),
+                Token::Where,
+                Token::Column(price),
+                Token::Op(sqlgen_engine::CmpOp::Lt),
+            ],
+        );
+        s.apply(val as usize).unwrap();
+        // Executable at the predicate boundary.
+        let partial = s.partial_statement().expect("executable partial");
+        assert!(render(&partial).contains("WHERE orders.o_totalprice <"));
+        s.apply(vocab.id(&Token::Eof)).unwrap();
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn join_only_along_fk_edges() {
+        let (_, vocab) = setup();
+        let part = tid(&vocab, "part");
+        let customer = tid(&vocab, "customer");
+        let lineitem = tid(&vocab, "lineitem");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[Token::From, Token::Table(part), Token::Join],
+        );
+        let allowed = s.allowed();
+        // part joins partsupp and lineitem, never customer.
+        assert!(allowed.contains(&vocab.id(&Token::Table(lineitem))));
+        assert!(!allowed.contains(&vocab.id(&Token::Table(customer))));
+        assert!(!allowed.contains(&vocab.id(&Token::Table(part))), "no self-join");
+    }
+
+    #[test]
+    fn text_columns_get_restricted_operators() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let status = cid(&vocab, "orders", "o_orderstatus");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(status),
+                Token::Where,
+                Token::Column(status),
+            ],
+        );
+        let allowed = s.allowed();
+        assert!(allowed.contains(&vocab.id(&Token::Op(sqlgen_engine::CmpOp::Eq))));
+        assert!(!allowed.contains(&vocab.id(&Token::Op(sqlgen_engine::CmpOp::Le))));
+        assert!(!allowed.contains(&vocab.id(&Token::Op(sqlgen_engine::CmpOp::Ne))));
+    }
+
+    #[test]
+    fn value_tokens_restricted_to_predicate_column() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let date = cid(&vocab, "orders", "o_orderdate");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(price),
+                Token::Where,
+                Token::Column(price),
+                Token::Op(sqlgen_engine::CmpOp::Gt),
+            ],
+        );
+        let allowed = s.allowed();
+        for &v in vocab.value_tokens_of(price) {
+            assert!(allowed.contains(&(v as usize)));
+        }
+        for &v in vocab.value_tokens_of(date) {
+            assert!(!allowed.contains(&(v as usize)));
+        }
+    }
+
+    #[test]
+    fn mixed_select_requires_group_by() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let status = cid(&vocab, "orders", "o_orderstatus");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(status),
+                Token::Agg(sqlgen_engine::AggFunc::Sum),
+                Token::Column(price),
+            ],
+        );
+        let allowed = s.allowed();
+        assert!(!allowed.contains(&vocab.id(&Token::Eof)), "EOF before GROUP BY");
+        assert!(allowed.contains(&vocab.id(&Token::GroupBy)));
+        // The mixed select is not executable as a partial either.
+        assert!(s.partial_statement().is_none());
+        // After GROUP BY, the ungrouped plain column is mandatory.
+        let mut s = s;
+        s.apply(vocab.id(&Token::GroupBy)).unwrap();
+        let allowed = s.allowed();
+        assert_eq!(allowed, vec![vocab.id(&Token::Column(status))]);
+        s.apply(vocab.id(&Token::Column(status))).unwrap();
+        assert!(s.allowed().contains(&vocab.id(&Token::Eof)));
+    }
+
+    #[test]
+    fn aggregates_only_over_numeric_columns() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let status = cid(&vocab, "orders", "o_orderstatus");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Agg(sqlgen_engine::AggFunc::Avg),
+            ],
+        );
+        let allowed = s.allowed();
+        assert!(allowed.contains(&vocab.id(&Token::Column(price))));
+        assert!(!allowed.contains(&vocab.id(&Token::Column(status))));
+        // COUNT accepts any column.
+        let s2 = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Agg(sqlgen_engine::AggFunc::Count),
+            ],
+        );
+        assert!(s2.allowed().contains(&vocab.id(&Token::Column(status))));
+    }
+
+    #[test]
+    fn nested_in_subquery_script() {
+        let (db, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let customer = tid(&vocab, "customer");
+        let custkey = cid(&vocab, "orders", "o_custkey");
+        let ckey = cid(&vocab, "customer", "c_custkey");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(custkey),
+                Token::Where,
+                Token::Column(custkey),
+                Token::In,
+                Token::OpenSub,
+                Token::From,
+                Token::Table(customer),
+                Token::Select,
+                Token::Column(ckey),
+                Token::CloseSub,
+                Token::Eof,
+            ],
+        );
+        let stmt = s.statement().unwrap();
+        let sql = render(stmt);
+        assert!(sql.contains("IN (SELECT customer.c_custkey FROM customer)"), "{sql}");
+        sqlgen_engine::validate(&db, stmt).unwrap();
+    }
+
+    #[test]
+    fn no_double_nesting_at_depth_one() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let customer = tid(&vocab, "customer");
+        let custkey = cid(&vocab, "orders", "o_custkey");
+        let ckey = cid(&vocab, "customer", "c_custkey");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(), // depth 1
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(custkey),
+                Token::Where,
+                Token::Column(custkey),
+                Token::In,
+                Token::OpenSub,
+                Token::From,
+                Token::Table(customer),
+                Token::Select,
+                Token::Column(ckey),
+                Token::Where,
+                Token::Column(ckey),
+            ],
+        );
+        // Inside the subquery, In/OpenSub must be masked (depth exhausted).
+        let allowed = s.allowed();
+        assert!(!allowed.contains(&vocab.id(&Token::In)));
+    }
+
+    #[test]
+    fn insert_walks_all_columns_in_order() {
+        let (db, vocab) = setup();
+        let region = tid(&vocab, "region");
+        let mut s = drive(
+            &vocab,
+            FsmConfig::full(),
+            &[Token::InsertInto, Token::Table(region), Token::Values],
+        );
+        // Two columns: r_regionkey then r_name.
+        for _ in 0..2 {
+            let allowed = s.allowed();
+            assert!(!allowed.is_empty());
+            s.apply(allowed[0]).unwrap();
+        }
+        assert_eq!(s.allowed(), vec![vocab.id(&Token::Eof)]);
+        s.apply(vocab.id(&Token::Eof)).unwrap();
+        let stmt = s.statement().unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Insert);
+        sqlgen_engine::validate(&db, stmt).unwrap();
+    }
+
+    #[test]
+    fn update_and_delete_scripts() {
+        let (db, vocab) = setup();
+        let part = tid(&vocab, "part");
+        let size = cid(&vocab, "part", "p_size");
+        let val = vocab.value_tokens_of(size)[0] as usize;
+        let mut s = drive(
+            &vocab,
+            FsmConfig::full(),
+            &[
+                Token::Update,
+                Token::Table(part),
+                Token::Set,
+                Token::Column(size),
+            ],
+        );
+        s.apply(val).unwrap();
+        // Executable at the SET boundary (updates every row).
+        assert!(s.partial_statement().is_some());
+        s.apply(vocab.id(&Token::Where)).unwrap();
+        s.apply(vocab.id(&Token::Column(size))).unwrap();
+        s.apply(vocab.id(&Token::Op(sqlgen_engine::CmpOp::Lt))).unwrap();
+        s.apply(vocab.value_tokens_of(size)[1] as usize).unwrap();
+        s.apply(vocab.id(&Token::Eof)).unwrap();
+        sqlgen_engine::validate(&db, s.statement().unwrap()).unwrap();
+
+        let s = drive(
+            &vocab,
+            FsmConfig::full(),
+            &[Token::DeleteFrom, Token::Table(part), Token::Eof],
+        );
+        assert_eq!(s.statement().unwrap().kind(), StatementKind::Delete);
+    }
+
+    #[test]
+    fn like_predicate_script() {
+        let (db, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let priority = cid(&vocab, "orders", "o_orderpriority");
+        let mut s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(priority),
+                Token::Where,
+                Token::Column(priority),
+                Token::Like,
+            ],
+        );
+        // Only this column's patterns are offered.
+        let allowed = s.allowed();
+        assert!(!allowed.is_empty());
+        for &a in &allowed {
+            match vocab.token(a) {
+                Token::Pattern(p) => {
+                    assert_eq!(vocab.like_patterns[*p as usize].0, priority);
+                }
+                other => panic!("expected Pattern, got {other:?}"),
+            }
+        }
+        s.apply(allowed[0]).unwrap();
+        s.apply(vocab.id(&Token::Eof)).unwrap();
+        let stmt = s.statement().unwrap();
+        let sql = render(stmt);
+        assert!(sql.contains("LIKE '%"), "{sql}");
+        sqlgen_engine::validate(&db, stmt).unwrap();
+    }
+
+    #[test]
+    fn like_disabled_by_config() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let priority = cid(&vocab, "orders", "o_orderpriority");
+        let s = drive(
+            &vocab,
+            FsmConfig {
+                allow_like: false,
+                ..FsmConfig::default()
+            },
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(priority),
+                Token::Where,
+                Token::Column(priority),
+            ],
+        );
+        assert!(!s.allowed().contains(&vocab.id(&Token::Like)));
+    }
+
+    #[test]
+    fn numeric_columns_never_offer_like() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let s = drive(
+            &vocab,
+            FsmConfig::default(),
+            &[
+                Token::From,
+                Token::Table(orders),
+                Token::Select,
+                Token::Column(price),
+                Token::Where,
+                Token::Column(price),
+            ],
+        );
+        assert!(!s.allowed().contains(&vocab.id(&Token::Like)));
+    }
+
+    #[test]
+    fn rejects_disallowed_token() {
+        let (_, vocab) = setup();
+        let mut s = GenState::new(&vocab, FsmConfig::default());
+        let err = s.apply(vocab.id(&Token::Select)).unwrap_err();
+        assert!(err.message.contains("not allowed"));
+        // State unchanged: From still works.
+        s.apply(vocab.id(&Token::From)).unwrap();
+    }
+
+    #[test]
+    fn select_only_config_masks_dml() {
+        let (_, vocab) = setup();
+        let s = GenState::new(&vocab, FsmConfig::default());
+        let allowed = s.allowed();
+        assert_eq!(allowed, vec![vocab.id(&Token::From)]);
+    }
+
+    #[test]
+    fn partial_statements_track_clause_boundaries() {
+        let (_, vocab) = setup();
+        let orders = tid(&vocab, "orders");
+        let price = cid(&vocab, "orders", "o_totalprice");
+        let mut s = GenState::new(&vocab, FsmConfig::default());
+        assert!(s.partial_statement().is_none());
+        s.apply(vocab.id(&Token::From)).unwrap();
+        assert!(s.partial_statement().is_none());
+        s.apply(vocab.id(&Token::Table(orders))).unwrap();
+        assert!(s.partial_statement().is_none(), "no select list yet");
+        s.apply(vocab.id(&Token::Select)).unwrap();
+        s.apply(vocab.id(&Token::Column(price))).unwrap();
+        assert!(s.partial_statement().is_some(), "complete SPJ prefix");
+        s.apply(vocab.id(&Token::Where)).unwrap();
+        assert!(s.partial_statement().is_none(), "dangling WHERE");
+    }
+}

@@ -1,0 +1,462 @@
+//! The token vocabulary — the RL action space.
+//!
+//! Five token classes (paper §4.1): reserved words, schema metadata
+//! (tables/columns), sampled cell values, comparison operators, and `EOF`.
+//! Token ids are dense `0..size()` and stable for a given database + sample
+//! configuration, so they double as indices into the policy network's
+//! output layer.
+
+use serde::{Deserialize, Serialize};
+use sqlgen_engine::{AggFunc, CmpOp};
+use sqlgen_storage::sample::{sample_database, SampleConfig};
+use sqlgen_storage::{Database, DataType, Value};
+use std::collections::HashMap;
+
+/// A generation token (= one RL action).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    // Reserved words / structure.
+    From,
+    Join,
+    Select,
+    Where,
+    GroupBy,
+    Having,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    InsertInto,
+    Values,
+    Update,
+    Set,
+    DeleteFrom,
+    /// `LIKE` keyword (paper §5 future work, implemented here).
+    Like,
+    /// `ORDER BY` keyword (listed in the paper's reserved words, §4.1).
+    OrderBy,
+    /// `DESC` modifier for ORDER BY.
+    Desc,
+    /// Opens a nested subquery.
+    OpenSub,
+    /// Closes a nested subquery.
+    CloseSub,
+    /// Ends the statement.
+    Eof,
+    Agg(AggFunc),
+    Op(CmpOp),
+    /// Index into [`Vocabulary::tables`].
+    Table(u32),
+    /// Index into [`Vocabulary::columns`].
+    Column(u32),
+    /// Index into [`Vocabulary::values`].
+    Value(u32),
+    /// Index into [`Vocabulary::like_patterns`].
+    Pattern(u32),
+}
+
+/// Column metadata carried by the vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VocabColumn {
+    pub table: u32,
+    pub name: String,
+    pub dtype: DataType,
+    pub categorical: bool,
+}
+
+/// A PK-FK join edge between vocabulary tables (both directions present).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VocabEdge {
+    pub left_table: u32,
+    pub left_column: u32,
+    pub right_table: u32,
+    pub right_column: u32,
+}
+
+/// The full action space plus the schema metadata the FSM needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    pub tables: Vec<String>,
+    pub columns: Vec<VocabColumn>,
+    /// `(column index, value)` pairs; the candidate literals per column.
+    pub values: Vec<(u32, Value)>,
+    /// `(column index, pattern)` pairs: `%substring%` LIKE patterns sampled
+    /// from text-column values (paper §5: "sampling substrings from the
+    /// values of a column").
+    pub like_patterns: Vec<(u32, String)>,
+    /// Join edges, both directions.
+    pub edges: Vec<VocabEdge>,
+    /// Per table: its column indices.
+    pub table_columns: Vec<Vec<u32>>,
+    /// Per column: its value-token vocabulary ids.
+    pub column_value_tokens: Vec<Vec<u32>>,
+    /// Per column: its LIKE-pattern vocabulary ids.
+    pub column_pattern_tokens: Vec<Vec<u32>>,
+    /// Per table: row count at vocabulary-build time (used to mask INSERT
+    /// into tables whose columns have no sampled values).
+    pub table_rows: Vec<usize>,
+    tokens: Vec<Token>,
+}
+
+impl Vocabulary {
+    /// Builds the action space from a database. Deterministic for a given
+    /// `SampleConfig` (the paper's `k = 100` default lives there).
+    pub fn build(db: &Database, cfg: &SampleConfig) -> Self {
+        let mut tokens: Vec<Token> = vec![
+            Token::From,
+            Token::Join,
+            Token::Select,
+            Token::Where,
+            Token::GroupBy,
+            Token::Having,
+            Token::And,
+            Token::Or,
+            Token::Not,
+            Token::In,
+            Token::Exists,
+            Token::InsertInto,
+            Token::Values,
+            Token::Update,
+            Token::Set,
+            Token::DeleteFrom,
+            Token::Like,
+            Token::OrderBy,
+            Token::Desc,
+            Token::OpenSub,
+            Token::CloseSub,
+            Token::Eof,
+        ];
+        tokens.extend(AggFunc::ALL.iter().map(|&f| Token::Agg(f)));
+        tokens.extend(CmpOp::ALL.iter().map(|&o| Token::Op(o)));
+
+        let mut tables = Vec::new();
+        let mut columns = Vec::new();
+        let mut table_columns = Vec::new();
+        let mut table_rows = Vec::new();
+        let mut col_index: HashMap<(String, String), u32> = HashMap::new();
+        for t in db.tables() {
+            let tid = tables.len() as u32;
+            tables.push(t.name().to_string());
+            table_rows.push(t.row_count());
+            let mut cols = Vec::new();
+            for def in &t.schema.columns {
+                let cid = columns.len() as u32;
+                columns.push(VocabColumn {
+                    table: tid,
+                    name: def.name.clone(),
+                    dtype: def.dtype,
+                    categorical: def.categorical,
+                });
+                col_index.insert((t.name().to_string(), def.name.clone()), cid);
+                cols.push(cid);
+            }
+            table_columns.push(cols);
+        }
+
+        // FK edges, both directions.
+        let mut edges = Vec::new();
+        for (i, tname) in tables.iter().enumerate() {
+            for e in db.join_edges(tname) {
+                let left_column = col_index[&(e.left_table.clone(), e.left_column.clone())];
+                let right_table = tables
+                    .iter()
+                    .position(|t| *t == e.right_table)
+                    .expect("edge target exists") as u32;
+                let right_column = col_index[&(e.right_table.clone(), e.right_column.clone())];
+                edges.push(VocabEdge {
+                    left_table: i as u32,
+                    left_column,
+                    right_table,
+                    right_column,
+                });
+            }
+        }
+
+        // Sampled cell values.
+        let samples = sample_database(db, cfg);
+        let mut values = Vec::new();
+        let mut column_value_tokens = vec![Vec::new(); columns.len()];
+        let mut like_patterns = Vec::new();
+        let mut column_pattern_tokens = vec![Vec::new(); columns.len()];
+        for s in samples {
+            let cid = col_index[&(s.table.clone(), s.column.clone())];
+            // LIKE patterns: distinct substrings of the sampled text values.
+            if columns[cid as usize].dtype == sqlgen_storage::DataType::Text {
+                for pat in sample_like_patterns(&s.values, LIKE_PATTERNS_PER_COLUMN) {
+                    let pid = like_patterns.len() as u32;
+                    like_patterns.push((cid, pat));
+                    column_pattern_tokens[cid as usize].push(pid);
+                }
+            }
+            for v in s.values {
+                let vid = values.len() as u32;
+                values.push((cid, v));
+                // Token id is assigned below; record the value index now and
+                // fix up after the token list is complete.
+                column_value_tokens[cid as usize].push(vid);
+            }
+        }
+
+        for tid in 0..tables.len() {
+            tokens.push(Token::Table(tid as u32));
+        }
+        for cid in 0..columns.len() {
+            tokens.push(Token::Column(cid as u32));
+        }
+        let value_base = tokens.len() as u32;
+        for vid in 0..values.len() {
+            tokens.push(Token::Value(vid as u32));
+        }
+        // Convert per-column value indices to token ids.
+        for list in &mut column_value_tokens {
+            for v in list.iter_mut() {
+                *v += value_base;
+            }
+        }
+        let pattern_base = tokens.len() as u32;
+        for pid in 0..like_patterns.len() {
+            tokens.push(Token::Pattern(pid as u32));
+        }
+        for list in &mut column_pattern_tokens {
+            for v in list.iter_mut() {
+                *v += pattern_base;
+            }
+        }
+
+        Vocabulary {
+            tables,
+            columns,
+            values,
+            like_patterns,
+            edges,
+            table_columns,
+            column_value_tokens,
+            column_pattern_tokens,
+            table_rows,
+            tokens,
+        }
+    }
+
+    /// Total number of tokens (= the policy network's output dimension).
+    pub fn size(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn token(&self, id: usize) -> &Token {
+        &self.tokens[id]
+    }
+
+    /// Token id for a structural (non-parameterized) token.
+    pub fn id(&self, token: &Token) -> usize {
+        match token {
+            Token::Table(t) => self.table_token_base() + *t as usize,
+            Token::Column(c) => self.column_token_base() + *c as usize,
+            Token::Value(v) => self.value_token_base() + *v as usize,
+            Token::Pattern(p) => self.pattern_token_base() + *p as usize,
+            other => self
+                .tokens
+                .iter()
+                .position(|t| t == other)
+                .expect("structural token exists"),
+        }
+    }
+
+    pub fn table_token_base(&self) -> usize {
+        // 22 structural + 5 aggs + 6 ops.
+        22 + AggFunc::ALL.len() + CmpOp::ALL.len()
+    }
+
+    pub fn column_token_base(&self) -> usize {
+        self.table_token_base() + self.tables.len()
+    }
+
+    pub fn value_token_base(&self) -> usize {
+        self.column_token_base() + self.columns.len()
+    }
+
+    pub fn pattern_token_base(&self) -> usize {
+        self.value_token_base() + self.values.len()
+    }
+
+    /// Value tokens available for a column.
+    pub fn value_tokens_of(&self, col: u32) -> &[u32] {
+        &self.column_value_tokens[col as usize]
+    }
+
+    /// LIKE-pattern tokens available for a (text) column.
+    pub fn pattern_tokens_of(&self, col: u32) -> &[u32] {
+        &self.column_pattern_tokens[col as usize]
+    }
+
+    /// Join edges whose left side is `table`.
+    pub fn edges_from(&self, table: u32) -> impl Iterator<Item = &VocabEdge> {
+        self.edges.iter().filter(move |e| e.left_table == table)
+    }
+
+    pub fn column_name(&self, col: u32) -> &str {
+        &self.columns[col as usize].name
+    }
+
+    pub fn table_name(&self, table: u32) -> &str {
+        &self.tables[table as usize]
+    }
+
+    /// Fully qualified `table.column` for a vocabulary column.
+    pub fn col_ref(&self, col: u32) -> sqlgen_engine::ColRef {
+        let c = &self.columns[col as usize];
+        sqlgen_engine::ColRef::new(self.tables[c.table as usize].clone(), c.name.clone())
+    }
+
+    /// A short human-readable rendering of a token (for traces).
+    pub fn describe(&self, id: usize) -> String {
+        match self.token(id) {
+            Token::Table(t) => format!("table:{}", self.table_name(*t)),
+            Token::Column(c) => {
+                let col = &self.columns[*c as usize];
+                format!("col:{}.{}", self.table_name(col.table), col.name)
+            }
+            Token::Value(v) => format!("val:{}", self.values[*v as usize].1.to_sql()),
+            Token::Pattern(p) => format!("like:'{}'", self.like_patterns[*p as usize].1),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// How many LIKE patterns are sampled per text column.
+pub const LIKE_PATTERNS_PER_COLUMN: usize = 6;
+
+/// Derives `%substring%` patterns from sampled text values: distinct
+/// mid-length substrings, deterministic (no RNG — the samples are already
+/// a random draw).
+fn sample_like_patterns(values: &[Value], k: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for v in values {
+        let Some(text) = v.as_text() else { continue };
+        if text.is_empty() {
+            continue;
+        }
+        // Take a middle-ish chunk of up to 4 chars: selective but not
+        // equality-equivalent.
+        let chars: Vec<char> = text.chars().collect();
+        let len = chars.len().min(4).max(1);
+        let start = (chars.len() - len) / 2;
+        let sub: String = chars[start..start + len].iter().collect();
+        let pattern = format!("%{sub}%");
+        if !out.contains(&pattern) {
+            out.push(pattern);
+        }
+        if out.len() >= k {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_storage::gen::tpch_database;
+
+    fn vocab() -> Vocabulary {
+        let db = tpch_database(0.2, 1);
+        Vocabulary::build(&db, &SampleConfig { k: 20, ..Default::default() })
+    }
+
+    #[test]
+    fn ids_are_dense_and_roundtrip() {
+        let v = vocab();
+        for id in 0..v.size() {
+            let t = v.token(id).clone();
+            assert_eq!(v.id(&t), id, "token {t:?}");
+        }
+    }
+
+    #[test]
+    fn has_all_tables_and_columns() {
+        let v = vocab();
+        assert_eq!(v.tables.len(), 8);
+        assert!(v.columns.len() > 30);
+        assert_eq!(v.table_columns.len(), 8);
+        let lineitem = v.tables.iter().position(|t| t == "lineitem").unwrap();
+        assert_eq!(v.table_columns[lineitem].len(), 10);
+    }
+
+    #[test]
+    fn value_tokens_point_to_their_column() {
+        let v = vocab();
+        for (cid, list) in v.column_value_tokens.iter().enumerate() {
+            for &tok in list {
+                match v.token(tok as usize) {
+                    Token::Value(vid) => {
+                        assert_eq!(v.values[*vid as usize].0 as usize, cid);
+                    }
+                    other => panic!("expected Value token, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_columns_enumerate_their_domain() {
+        let v = vocab();
+        let shipmode = v
+            .columns
+            .iter()
+            .position(|c| c.name == "l_shipmode")
+            .unwrap();
+        assert_eq!(v.value_tokens_of(shipmode as u32).len(), 7);
+    }
+
+    #[test]
+    fn edges_are_bidirectional() {
+        let v = vocab();
+        let lineitem = v.tables.iter().position(|t| t == "lineitem").unwrap() as u32;
+        let orders = v.tables.iter().position(|t| t == "orders").unwrap() as u32;
+        assert!(v.edges_from(lineitem).any(|e| e.right_table == orders));
+        assert!(v.edges_from(orders).any(|e| e.right_table == lineitem));
+    }
+
+    #[test]
+    fn action_space_size_in_paper_ballpark() {
+        // The paper reports action spaces of ~2000-4300 tokens with k=100.
+        let db = tpch_database(1.0, 1);
+        let v = Vocabulary::build(&db, &SampleConfig::default());
+        assert!(
+            v.size() > 800 && v.size() < 6000,
+            "action space {} out of expected range",
+            v.size()
+        );
+    }
+
+    #[test]
+    fn like_patterns_exist_for_text_columns_only() {
+        let v = vocab();
+        for (cid, col) in v.columns.iter().enumerate() {
+            let pats = v.pattern_tokens_of(cid as u32);
+            if col.dtype != sqlgen_storage::DataType::Text {
+                assert!(pats.is_empty(), "{} has patterns", col.name);
+            }
+            for &t in pats {
+                match v.token(t as usize) {
+                    Token::Pattern(p) => {
+                        let (pc, pat) = &v.like_patterns[*p as usize];
+                        assert_eq!(*pc as usize, cid);
+                        assert!(pat.starts_with('%') && pat.ends_with('%'));
+                    }
+                    other => panic!("expected Pattern, got {other:?}"),
+                }
+            }
+        }
+        // At least one text column produced patterns.
+        assert!(!v.like_patterns.is_empty());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let v = vocab();
+        assert_eq!(v.describe(v.id(&Token::From)), "From");
+        let t0 = v.table_token_base();
+        assert!(v.describe(t0).starts_with("table:"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Inverted dropout.
+//!
+//! The paper applies dropout 0.3 inside both the actor and the critic.
+//! Inverted scaling (divide by the keep probability at train time) keeps
+//! inference a no-op.
+
+use rand::Rng;
+
+/// A dropout layer. Stateless apart from the rate; masks are returned to
+/// the caller so the backward pass can reuse them.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    pub rate: f32,
+}
+
+impl Dropout {
+    pub fn new(rate: f32) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+        Dropout { rate }
+    }
+
+    /// Applies dropout in place (training mode); returns the mask with the
+    /// inverted scale folded in (entries are `0` or `1/keep`).
+    pub fn apply<R: Rng + ?Sized>(&self, x: &mut [f32], rng: &mut R) -> Vec<f32> {
+        if self.rate == 0.0 {
+            return vec![1.0; x.len()];
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = x
+            .iter()
+            .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        for (xi, m) in x.iter_mut().zip(&mask) {
+            *xi *= m;
+        }
+        mask
+    }
+
+    /// Backward: multiply the incoming gradient by the stored mask.
+    pub fn backward(grad: &mut [f32], mask: &[f32]) {
+        for (g, m) in grad.iter_mut().zip(mask) {
+            *g *= m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let d = Dropout::new(0.0);
+        let mut x = vec![1.0, 2.0, 3.0];
+        let mask = d.apply(&mut x, &mut StdRng::seed_from_u64(1));
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert_eq!(mask, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn drops_about_rate_fraction_and_rescales() {
+        let d = Dropout::new(0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zeros = 0usize;
+        let mut sum = 0.0f64;
+        let n = 10_000;
+        for _ in 0..n {
+            let mut x = vec![1.0f32];
+            d.apply(&mut x, &mut rng);
+            if x[0] == 0.0 {
+                zeros += 1;
+            }
+            sum += x[0] as f64;
+        }
+        let drop_frac = zeros as f64 / n as f64;
+        assert!((drop_frac - 0.3).abs() < 0.03, "drop fraction {drop_frac}");
+        // Inverted scaling keeps the expectation ~1.
+        assert!((sum / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = vec![1.0; 8];
+        let mask = d.apply(&mut x, &mut rng);
+        let mut g = vec![1.0; 8];
+        Dropout::backward(&mut g, &mask);
+        assert_eq!(g, mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_one() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Pure-Rust neural-network substrate for LearnedSQLGen.
+//!
+//! The paper trains 2-layer, 30-cell LSTMs with dropout 0.3 under Adam-style
+//! updates on a GPU; the allowed dependency set here contains no ML
+//! framework, so this crate implements the required pieces from scratch:
+//!
+//! * [`tensor`] — row-major matrices, matrix-vector kernels, masked softmax,
+//! * [`param`] — trainable parameters, SGD/Adam, gradient clipping,
+//! * [`embedding`] — token embedding (≡ the paper's one-hot input layer),
+//! * [`lstm`] — LSTM layers/stacks with backpropagation through time,
+//! * [`linear`], [`mlp`] — dense layers and small MLPs,
+//! * [`dropout`] — inverted dropout,
+//! * [`policy_loss`] — policy-gradient + entropy-regularization gradients.
+//!
+//! Every backward pass is validated against finite differences in the unit
+//! tests, which is the load-bearing correctness argument for the whole RL
+//! stack above this crate.
+
+pub mod dropout;
+pub mod embedding;
+pub mod linear;
+pub mod lstm;
+pub mod mlp;
+pub mod param;
+pub mod policy_loss;
+pub mod tensor;
+
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use lstm::{LstmLayer, LstmStack, LstmState, StackCache, StackState};
+pub use mlp::{Mlp, MlpCache};
+pub use param::{clip_grad_norm, Adam, Optimizer, Param, Sgd};
+pub use policy_loss::{actor_logit_grad, entropy_grad, policy_grad};
+pub use tensor::{argmax, entropy, masked_softmax, sample_categorical, Mat};

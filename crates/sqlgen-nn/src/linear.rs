@@ -1,0 +1,140 @@
+//! Fully-connected layer.
+
+use crate::param::Param;
+use crate::tensor::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `y = W·x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: Param, // out × in
+    pub b: Param, // out × 1
+}
+
+impl Linear {
+    pub fn new<R: Rng + ?Sized>(input: usize, output: usize, rng: &mut R) -> Self {
+        Linear {
+            w: Param::new(Mat::xavier(output, input, rng)),
+            b: Param::new(Mat::zeros(output, 1)),
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.w.value.cols
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.w.value.rows
+    }
+
+    /// Forward pass; the caller keeps `x` for the backward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.b.value.data.clone();
+        let mut wx = vec![0.0; self.output_dim()];
+        self.w.value.matvec(x, &mut wx);
+        for (yi, wi) in y.iter_mut().zip(&wx) {
+            *yi += wi;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
+    pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
+        self.w.grad.add_outer(dy, x);
+        for (g, d) in self.b.grad.data.iter_mut().zip(dy) {
+            *g += d;
+        }
+        let mut dx = vec![0.0; self.input_dim()];
+        self.w.value.matvec_t_acc(dy, &mut dx);
+        dx
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    pub fn restore_buffers(&mut self) {
+        self.w.restore_buffers();
+        self.b.restore_buffers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w.value.data = vec![1.0, 2.0, 3.0, 4.0];
+        l.b.value.data = vec![0.5, -0.5];
+        let y = l.forward(&[1.0, -1.0]);
+        assert_eq!(y, vec![-0.5, -1.5]);
+    }
+
+    /// Finite-difference check of all gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = vec![0.3, -0.7, 0.9];
+        // Loss = sum of outputs weighted by fixed coefficients.
+        let coef = [0.7, -1.3];
+        let loss = |l: &Linear, x: &[f32]| -> f32 {
+            l.forward(x).iter().zip(coef).map(|(y, c)| y * c).sum()
+        };
+
+        l.zero_grad();
+        let dx = l.backward(&x, &coef);
+
+        let eps = 1e-3;
+        // dW
+        for i in 0..l.w.value.data.len() {
+            let orig = l.w.value.data[i];
+            l.w.value.data[i] = orig + eps;
+            let up = loss(&l, &x);
+            l.w.value.data[i] = orig - eps;
+            let dn = loss(&l, &x);
+            l.w.value.data[i] = orig;
+            let num = (up - dn) / (2.0 * eps);
+            assert!(
+                (num - l.w.grad.data[i]).abs() < 1e-3,
+                "dW[{i}]: analytic {} vs numeric {num}",
+                l.w.grad.data[i]
+            );
+        }
+        // dx
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let up = loss(&l, &xp);
+            xp[i] -= 2.0 * eps;
+            let dn = loss(&l, &xp);
+            let num = (up - dn) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-3);
+        }
+        // db
+        for i in 0..2 {
+            assert!((l.b.grad.data[i] - coef[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.zero_grad();
+        l.backward(&[1.0, 0.0], &[1.0]);
+        l.backward(&[1.0, 0.0], &[1.0]);
+        assert_eq!(l.w.grad.data[0], 2.0);
+    }
+}

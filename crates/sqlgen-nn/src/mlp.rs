@@ -1,0 +1,180 @@
+//! A small multi-layer perceptron with tanh activations.
+//!
+//! Used by the meta-critic's meta-value network, which maps
+//! `(state encoding ⊕ action embedding ⊕ constraint encoding)` to a scalar
+//! V-value.
+
+use crate::linear::Linear;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `Linear → tanh → ... → Linear` (no activation on the output layer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+}
+
+/// Forward cache: the input and every post-activation vector.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    inputs: Vec<Vec<f32>>,
+    activations: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[64, 32, 1]`.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// Forward pass with cache for the backward pass.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        let mut cache = MlpCache {
+            inputs: Vec::with_capacity(self.layers.len()),
+            activations: Vec::with_capacity(self.layers.len()),
+        };
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.inputs.push(cur.clone());
+            let mut y = layer.forward(&cur);
+            if i != last {
+                for v in &mut y {
+                    *v = v.tanh();
+                }
+            }
+            cache.activations.push(y.clone());
+            cur = y;
+        }
+        (cur, cache)
+    }
+
+    /// Backward pass; returns `dL/dx`.
+    pub fn backward(&mut self, cache: &MlpCache, dy: &[f32]) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut grad = dy.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            if i != last {
+                // Undo the tanh: dL/dz = dL/da * (1 - a^2).
+                for (g, a) in grad.iter_mut().zip(&cache.activations[i]) {
+                    *g *= 1.0 - a * a;
+                }
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Linear::zero_grad);
+    }
+
+    pub fn restore_buffers(&mut self) {
+        self.layers.iter_mut().for_each(Linear::restore_buffers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[4, 8, 1], &mut rng);
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.output_dim(), 1);
+        let (y, _) = m.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 1);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = vec![0.2, -0.4, 0.6];
+        let coef = [1.0f32, -2.0];
+        let loss = |m: &Mlp, x: &[f32]| -> f32 {
+            m.forward(x).0.iter().zip(coef).map(|(y, c)| y * c).sum()
+        };
+
+        m.zero_grad();
+        let (_, cache) = m.forward(&x);
+        let dx = m.backward(&cache, &coef);
+
+        let eps = 1e-3;
+        // Check a sample of weights across both layers.
+        for li in 0..2 {
+            for wi in [0usize, 3] {
+                let analytic = m.layers[li].w.grad.data[wi];
+                let orig = m.layers[li].w.value.data[wi];
+                m.layers[li].w.value.data[wi] = orig + eps;
+                let up = loss(&m, &x);
+                m.layers[li].w.value.data[wi] = orig - eps;
+                let dn = loss(&m, &x);
+                m.layers[li].w.value.data[wi] = orig;
+                let num = (up - dn) / (2.0 * eps);
+                assert!(
+                    (num - analytic).abs() < 1e-2,
+                    "layer {li} w[{wi}]: numeric {num} vs analytic {analytic}"
+                );
+            }
+        }
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let up = loss(&m, &xp);
+            xp[i] -= 2.0 * eps;
+            let dn = loss(&m, &xp);
+            let num = (up - dn) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn can_fit_xor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = Mlp::new(&[2, 8, 1], &mut rng);
+        let mut adam = Adam::new(0.05);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..800 {
+            m.zero_grad();
+            for (x, t) in &data {
+                let (y, cache) = m.forward(x);
+                let err = y[0] - t;
+                m.backward(&cache, &[2.0 * err]);
+            }
+            adam.step(&mut m.params_mut());
+        }
+        for (x, t) in &data {
+            let (y, _) = m.forward(x);
+            assert!((y[0] - t).abs() < 0.2, "xor({x:?}) = {} want {t}", y[0]);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Trainable parameters and optimizers (SGD, Adam).
+
+use crate::tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor with its gradient accumulator and Adam moments.
+///
+/// Keeping the optimizer state inside the parameter keeps the "collect all
+/// parameters of a network" interface to a single `Vec<&mut Param>` without
+/// any registry bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    pub value: Mat,
+    #[serde(skip, default = "Mat::default_empty")]
+    pub grad: Mat,
+    #[serde(skip, default = "Mat::default_empty")]
+    pub m: Mat,
+    #[serde(skip, default = "Mat::default_empty")]
+    pub v: Mat,
+}
+
+impl Mat {
+    fn default_empty() -> Mat {
+        Mat::zeros(0, 0)
+    }
+}
+
+impl Param {
+    pub fn new(value: Mat) -> Self {
+        let (r, c) = (value.rows, value.cols);
+        Param {
+            value,
+            grad: Mat::zeros(r, c),
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+        }
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Re-allocates optimizer/grad buffers after deserialization (serde
+    /// skips them).
+    pub fn restore_buffers(&mut self) {
+        let (r, c) = (self.value.rows, self.value.cols);
+        if self.grad.rows != r || self.grad.cols != c {
+            self.grad = Mat::zeros(r, c);
+            self.m = Mat::zeros(r, c);
+            self.v = Mat::zeros(r, c);
+        }
+    }
+}
+
+/// Optimizer interface: updates parameters in place from their gradients.
+pub trait Optimizer {
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            for (w, g) in p.value.data.iter_mut().zip(&p.grad.data) {
+                *w -= self.lr * g;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba). Moments live inside the [`Param`]s; only the step
+/// counter lives here, so one Adam instance can drive any parameter set.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let n = p.value.data.len();
+            debug_assert_eq!(p.grad.data.len(), n);
+            for i in 0..n {
+                let g = p.grad.data[i];
+                p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * g;
+                p.v.data[i] = self.beta2 * p.v.data[i] + (1.0 - self.beta2) * g * g;
+                let mhat = p.m.data[i] / bc1;
+                let vhat = p.v.data[i] / bc2;
+                p.value.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Clips the global gradient norm across all parameters to `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data.iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for p in params.iter_mut() {
+            p.grad.scale(s);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x0: f32) -> Param {
+        let mut p = Param::new(Mat::zeros(1, 1));
+        p.value.data[0] = x0;
+        p
+    }
+
+    /// Minimize f(x) = (x - 3)^2 with each optimizer.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut p = quad_param(0.0);
+        for _ in 0..steps {
+            p.zero_grad();
+            p.grad.data[0] = 2.0 * (p.value.data[0] - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        p.value.data[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(&mut Sgd { lr: 0.1 }, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(&mut Adam::new(0.1), 500);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut p = quad_param(0.0);
+        p.grad.data[0] = 1.0;
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut [&mut p]);
+        assert!(p.value.data[0] < 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut p1 = quad_param(0.0);
+        let mut p2 = quad_param(0.0);
+        p1.grad.data[0] = 3.0;
+        p2.grad.data[0] = 4.0;
+        let pre = clip_grad_norm(&mut [&mut p1, &mut p2], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (p1.grad.data[0].powi(2) + p2.grad.data[0].powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_when_small() {
+        let mut p = quad_param(0.0);
+        p.grad.data[0] = 0.5;
+        clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.grad.data[0], 0.5);
+    }
+
+    #[test]
+    fn param_serde_roundtrip_restores_buffers() {
+        let p = Param::new(Mat::xavier(3, 4, &mut rand::rng()));
+        let json = serde_json::to_string(&p).unwrap();
+        let mut q: Param = serde_json::from_str(&json).unwrap();
+        q.restore_buffers();
+        assert_eq!(p.value, q.value);
+        assert_eq!(q.grad.rows, 3);
+        assert_eq!(q.m.cols, 4);
+    }
+}

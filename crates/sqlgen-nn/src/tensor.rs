@@ -1,0 +1,307 @@
+//! Dense row-major matrices and the handful of BLAS-1/2 kernels the
+//! networks need. Batch size is always 1 in LearnedSQLGen (queries are
+//! generated one token at a time), so everything is matrix-vector.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Mat {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot uniform initialization.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Mat { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// `out = self · x` (matrix-vector). `x.len() == cols`, `out.len() == rows`.
+    pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            out[r] = acc;
+        }
+    }
+
+    /// `out += selfᵀ · y` (transposed matrix-vector, accumulating).
+    /// `y.len() == rows`, `out.len() == cols`.
+    pub fn matvec_t_acc(&self, y: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(y.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        for r in 0..self.rows {
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * yr;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += a · bᵀ` (`a.len() == rows`, `b.len() == cols`).
+    pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), self.rows);
+        debug_assert_eq!(b.len(), self.cols);
+        for r in 0..self.rows {
+            let ar = a[r];
+            if ar == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (w, bi) in row.iter_mut().zip(b) {
+                *w += ar * bi;
+            }
+        }
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Mat) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all entries.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Frobenius norm (used for gradient clipping).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Elementwise vector helpers.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[inline]
+pub fn dsigmoid(y: f32) -> f32 {
+    // Derivative expressed in terms of the *output* y = sigmoid(x).
+    y * (1.0 - y)
+}
+
+#[inline]
+pub fn dtanh(y: f32) -> f32 {
+    // Derivative in terms of the output y = tanh(x).
+    1.0 - y * y
+}
+
+/// In-place numerically-stable softmax over `logits`, restricted to the
+/// indices where `mask` is true; masked entries get probability 0.
+/// Returns the number of unmasked entries.
+pub fn masked_softmax(logits: &mut [f32], mask: &[bool]) -> usize {
+    debug_assert_eq!(logits.len(), mask.len());
+    let mut max = f32::NEG_INFINITY;
+    let mut count = 0;
+    for (l, &m) in logits.iter().zip(mask) {
+        if m {
+            max = max.max(*l);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        logits.iter_mut().for_each(|l| *l = 0.0);
+        return 0;
+    }
+    let mut sum = 0.0f32;
+    for (l, &m) in logits.iter_mut().zip(mask) {
+        if m {
+            *l = (*l - max).exp();
+            sum += *l;
+        } else {
+            *l = 0.0;
+        }
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+    count
+}
+
+/// Entropy of a (masked) probability distribution.
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Samples an index from a probability distribution using one uniform draw.
+pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
+    let u: f32 = rng.random();
+    let mut acc = 0.0;
+    let mut last_nonzero = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > 0.0 {
+            last_nonzero = i;
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+    }
+    last_nonzero
+}
+
+/// Argmax over a probability vector (greedy decoding).
+pub fn argmax(probs: &[f32]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN prob"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Mat {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let x = [1.0, 0.0, -1.0];
+        let mut out = [0.0; 2];
+        m.matvec(&x, &mut out);
+        assert_eq!(out, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_acc_matches_manual() {
+        let m = Mat {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let y = [1.0, -1.0];
+        let mut out = [0.0; 3];
+        m.matvec_t_acc(&y, &mut out);
+        assert_eq!(out, [-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = Mat::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.data, vec![4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn masked_softmax_normalizes_and_masks() {
+        let mut l = vec![1.0, 2.0, 3.0, 4.0];
+        let mask = vec![true, false, true, false];
+        let n = masked_softmax(&mut l, &mask);
+        assert_eq!(n, 2);
+        assert_eq!(l[1], 0.0);
+        assert_eq!(l[3], 0.0);
+        assert!((l.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(l[2] > l[0]);
+    }
+
+    #[test]
+    fn masked_softmax_all_masked() {
+        let mut l = vec![1.0, 2.0];
+        assert_eq!(masked_softmax(&mut l, &[false, false]), 0);
+        assert_eq!(l, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut l = vec![1000.0, 1001.0];
+        masked_softmax(&mut l, &[true, true]);
+        assert!(l.iter().all(|p| p.is_finite()));
+        assert!((l.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let p = vec![0.25; 4];
+        assert!((entropy(&p) - (4.0f32).ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn categorical_sampling_follows_distribution() {
+        let probs = [0.1, 0.0, 0.9];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 4000);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mat::xavier(10, 20, &mut rng);
+        let bound = (6.0f64 / 30.0).sqrt() as f32;
+        assert!(m.data.iter().all(|&x| x.abs() <= bound));
+        assert!(m.data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the neural-network substrate: softmax/sampling laws,
+//! optimizer behaviour, and gradient checks on randomized shapes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlgen_nn::{
+    actor_logit_grad, entropy, masked_softmax, sample_categorical, Adam, Linear, LstmStack, Mat,
+    Optimizer, Param,
+};
+
+proptest! {
+    /// Masked softmax: probabilities sum to 1 over the unmasked set, masked
+    /// entries are exactly 0, and all entries are non-negative — for any
+    /// finite logits and any non-empty mask.
+    #[test]
+    fn masked_softmax_laws(
+        logits in proptest::collection::vec(-50.0f32..50.0, 1..40),
+        mask_bits in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let n = logits.len().min(mask_bits.len());
+        let mut l = logits[..n].to_vec();
+        let mut mask = mask_bits[..n].to_vec();
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true; // keep at least one entry unmasked
+        }
+        let count = masked_softmax(&mut l, &mask);
+        prop_assert_eq!(count, mask.iter().filter(|&&m| m).count());
+        let sum: f32 = l.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        for (p, m) in l.iter().zip(&mask) {
+            prop_assert!(*p >= 0.0);
+            if !m {
+                prop_assert_eq!(*p, 0.0);
+            }
+        }
+    }
+
+    /// Entropy is non-negative and at most log(n) for any softmax output.
+    #[test]
+    fn entropy_bounds(logits in proptest::collection::vec(-20.0f32..20.0, 2..30)) {
+        let mut p = logits.clone();
+        let mask = vec![true; p.len()];
+        masked_softmax(&mut p, &mask);
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-6);
+        prop_assert!(h <= (p.len() as f32).ln() + 1e-4);
+    }
+
+    /// Sampling only ever returns unmasked indices.
+    #[test]
+    fn sampling_respects_mask(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..25),
+        mask_bits in proptest::collection::vec(any::<bool>(), 2..25),
+        seed in any::<u64>(),
+    ) {
+        let n = logits.len().min(mask_bits.len());
+        let mut l = logits[..n].to_vec();
+        let mut mask = mask_bits[..n].to_vec();
+        if !mask.iter().any(|&m| m) {
+            mask[n - 1] = true;
+        }
+        masked_softmax(&mut l, &mask);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let a = sample_categorical(&l, &mut rng);
+            prop_assert!(mask[a], "sampled masked index {a}");
+        }
+    }
+
+    /// Policy-gradient logit gradients sum to ~0 over the simplex
+    /// (softmax gradients live in the tangent space) and are zero on
+    /// masked entries.
+    #[test]
+    fn policy_grad_tangent_law(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..20),
+        advantage in -3.0f32..3.0,
+        seed in any::<u64>(),
+    ) {
+        let mut p = logits.clone();
+        let mask = vec![true; p.len()];
+        masked_softmax(&mut p, &mask);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let action = sample_categorical(&p, &mut rng);
+        let g = actor_logit_grad(&p, action, advantage, 0.01);
+        let sum: f32 = g.iter().sum();
+        prop_assert!(sum.abs() < 1e-3, "gradient sum {sum}");
+    }
+
+    /// Adam steps strictly decrease a positive-definite quadratic from any
+    /// starting point (small enough lr).
+    #[test]
+    fn adam_descends_quadratics(x0 in -10.0f32..10.0, target in -10.0f32..10.0) {
+        let mut p = Param::new(Mat::zeros(1, 1));
+        p.value.data[0] = x0;
+        // Adam's per-step displacement is bounded by ~lr (and shrinks as
+        // the second-moment history decays), so assert strong relative
+        // progress rather than absolute convergence.
+        let mut adam = Adam::new(0.1);
+        let loss = |x: f32| (x - target) * (x - target);
+        let before = loss(p.value.data[0]);
+        for _ in 0..800 {
+            p.zero_grad();
+            p.grad.data[0] = 2.0 * (p.value.data[0] - target);
+            adam.step(&mut [&mut p]);
+        }
+        let after = loss(p.value.data[0]);
+        prop_assert!(after <= before + 1e-6, "{before} -> {after}");
+        prop_assert!(
+            after < 0.05 * before + 1e-3,
+            "insufficient progress: {before} -> {after}"
+        );
+    }
+
+    /// LSTM forward is deterministic and finite for any bounded input
+    /// sequence.
+    #[test]
+    fn lstm_forward_finite_and_deterministic(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 4),
+            1..12,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = LstmStack::new(4, 6, 2, &mut rng);
+        let run = || {
+            let mut state = stack.zero_state();
+            let mut last = Vec::new();
+            for x in &xs {
+                let (top, _) = stack.forward_step(x, &mut state);
+                last = top;
+            }
+            last
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.clone(), b);
+        for v in a {
+            prop_assert!(v.is_finite());
+            // tanh(x)·sigmoid(y) is bounded by 1 in magnitude.
+            prop_assert!(v.abs() <= 1.0 + 1e-5);
+        }
+    }
+
+    /// Linear layer gradients match finite differences on random shapes.
+    #[test]
+    fn linear_gradcheck_random_shapes(
+        seed in any::<u64>(),
+        inp in 1usize..6,
+        out in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Linear::new(inp, out, &mut rng);
+        let x: Vec<f32> = (0..inp).map(|i| (i as f32 * 0.37).sin()).collect();
+        let coef: Vec<f32> = (0..out).map(|i| 1.0 - 0.3 * i as f32).collect();
+        layer.zero_grad();
+        layer.backward(&x, &coef);
+        let eps = 1e-2f32;
+        let loss = |l: &Linear| -> f32 {
+            l.forward(&x).iter().zip(&coef).map(|(y, c)| y * c).sum()
+        };
+        for i in 0..(inp * out).min(4) {
+            let orig = layer.w.value.data[i];
+            layer.w.value.data[i] = orig + eps;
+            let up = loss(&layer);
+            layer.w.value.data[i] = orig - eps;
+            let dn = loss(&layer);
+            layer.w.value.data[i] = orig;
+            let num = (up - dn) / (2.0 * eps);
+            prop_assert!(
+                (num - layer.w.grad.data[i]).abs() < 0.05,
+                "idx {i}: numeric {num} vs analytic {}",
+                layer.w.grad.data[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Reinforcement learning for LearnedSQLGen (paper §4 and §6).
+//!
+//! * [`constraint`] — cardinality/cost constraints and the §4.2 rewards,
+//! * [`env`] — the database environment (FSM masking + estimator rewards),
+//! * [`nets`] — actor (policy) and critic (value) LSTM networks,
+//! * [`episode`] — rollout machinery shared by all trainers,
+//! * [`reinforce`] — the REINFORCE baseline (Figure 8 ablation),
+//! * [`actor_critic`] — the shipped A2C algorithm (Algorithm 3),
+//! * [`ac_extend`] — constraint-in-the-state ablation (Figure 9),
+//! * [`meta_critic`] — the §6 meta-critic for cross-constraint
+//!   generalization.
+
+pub mod ac_extend;
+pub mod actor_critic;
+pub mod constraint;
+pub mod env;
+pub mod episode;
+pub mod meta_critic;
+pub mod nets;
+pub mod reinforce;
+
+pub use ac_extend::AcExtend;
+pub use actor_critic::ActorCritic;
+pub use constraint::{Constraint, Metric, Target, POINT_TOLERANCE};
+pub use env::{RewardMode, RewardShaper, SqlGenEnv};
+pub use episode::{rewards_to_go, run_episode, Episode};
+pub use meta_critic::{ConstraintEncoder, MetaCritic, MetaCriticTrainer, TaskSlot};
+pub use nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetConfig};
+pub use reinforce::{Reinforce, TrainConfig};

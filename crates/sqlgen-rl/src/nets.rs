@@ -1,0 +1,448 @@
+//! The actor and critic networks (paper §4.3).
+//!
+//! Both are `embedding → 2-layer LSTM(30) → dropout(0.3) → linear`
+//! (hyper-parameters from §7.1); the actor's output layer spans the action
+//! space and feeds a masked softmax, the critic's is a scalar V-value.
+//!
+//! Networks process the token stream incrementally: at step `t` the input is
+//! the token emitted at `t−1` (a learned beginning-of-sequence embedding at
+//! `t = 0`), so the LSTM hidden state *is* the state representation `s_t`
+//! of the partial query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sqlgen_nn::{
+    actor_logit_grad, masked_softmax, sample_categorical, Dropout, Embedding, Linear, LstmStack,
+    Param, StackCache, StackState,
+};
+
+/// Network hyper-parameters (§7.1 defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    pub embed_dim: usize,
+    pub hidden: usize,
+    pub layers: usize,
+    pub dropout: f32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            embed_dim: 32,
+            hidden: 30,
+            layers: 2,
+            dropout: 0.3,
+        }
+    }
+}
+
+/// Per-step cache the actor needs for backprop.
+pub struct ActorStep {
+    /// Token row fed to the embedding (BOS = `vocab_size`).
+    pub input_token: usize,
+    pub caches: StackCache,
+    pub drop_mask: Vec<f32>,
+    /// Head input (top LSTM output after dropout).
+    pub top: Vec<f32>,
+    /// Masked softmax output.
+    pub probs: Vec<f32>,
+    /// Sampled action.
+    pub action: usize,
+}
+
+/// The policy network π_θ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActorNet {
+    pub embed: Embedding,
+    pub lstm: LstmStack,
+    pub head: Linear,
+    #[serde(skip, default = "default_dropout")]
+    pub dropout: Dropout,
+    pub vocab_size: usize,
+    /// Embedding row fed at step 0 (BOS by default; the AC-extend ablation
+    /// points this at a constraint-bucket row to condition the policy).
+    pub start_token: usize,
+    /// Optional context row whose embedding is *added to every step's
+    /// input* — persistent conditioning for AC-extend (a start token alone
+    /// washes out of a 30-cell LSTM after a few steps).
+    #[serde(default)]
+    pub context_token: Option<usize>,
+}
+
+fn default_dropout() -> Dropout {
+    Dropout::new(0.3)
+}
+
+impl ActorNet {
+    pub fn new(vocab_size: usize, cfg: &NetConfig, seed: u64) -> Self {
+        Self::with_context_rows(vocab_size, 0, cfg, seed)
+    }
+
+    /// Like [`ActorNet::new`] but reserves `context_rows` extra embedding
+    /// rows after BOS (ids `vocab_size + 1 ..`), usable as alternative
+    /// start tokens that encode external context such as a constraint.
+    pub fn with_context_rows(
+        vocab_size: usize,
+        context_rows: usize,
+        cfg: &NetConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ActorNet {
+            // +1 row: the beginning-of-sequence token.
+            embed: Embedding::new(vocab_size + 1 + context_rows, cfg.embed_dim, &mut rng),
+            lstm: LstmStack::new(cfg.embed_dim, cfg.hidden, cfg.layers, &mut rng),
+            head: Linear::new(cfg.hidden, vocab_size, &mut rng),
+            dropout: Dropout::new(cfg.dropout),
+            vocab_size,
+            start_token: vocab_size,
+            context_token: None,
+        }
+    }
+
+    pub fn bos(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Sets the step-0 input row (must be BOS or a reserved context row).
+    pub fn set_start_token(&mut self, token: usize) {
+        assert!(token >= self.vocab_size && token < self.embed.vocab_size());
+        self.start_token = token;
+    }
+
+    /// Sets (or clears) the persistent context row added to every input.
+    pub fn set_context_token(&mut self, token: Option<usize>) {
+        if let Some(t) = token {
+            assert!(t >= self.vocab_size && t < self.embed.vocab_size());
+        }
+        self.context_token = token;
+    }
+
+    pub fn begin(&self) -> StackState {
+        self.lstm.zero_state()
+    }
+
+    /// One generation step: feeds the previous token, applies the FSM mask,
+    /// samples an action from the masked policy.
+    pub fn step<R: Rng + ?Sized>(
+        &self,
+        prev: Option<usize>,
+        state: &mut StackState,
+        mask: &[bool],
+        train: bool,
+        rng: &mut R,
+    ) -> ActorStep {
+        let input_token = prev.unwrap_or(self.start_token);
+        let mut x = self.embed.forward(input_token);
+        if let Some(ctx) = self.context_token {
+            for (xi, ci) in x.iter_mut().zip(self.embed.forward(ctx)) {
+                *xi += ci;
+            }
+        }
+        let (mut top, caches) = self.lstm.forward_step(&x, state);
+        let drop_mask = if train {
+            self.dropout.apply(&mut top, rng)
+        } else {
+            vec![1.0; top.len()]
+        };
+        let mut probs = self.head.forward(&top);
+        masked_softmax(&mut probs, mask);
+        let action = sample_categorical(&probs, rng);
+        ActorStep {
+            input_token,
+            caches,
+            drop_mask,
+            top,
+            probs,
+            action,
+        }
+    }
+
+    /// Backpropagates the policy-gradient + entropy loss through a whole
+    /// episode (Eq. 4): per step, `∂L/∂logits = A·(π − e_a) + λ·π(logπ+H)`.
+    pub fn backward_episode(&mut self, steps: &[ActorStep], advantages: &[f32], lambda: f32) {
+        debug_assert_eq!(steps.len(), advantages.len());
+        let mut dtops = Vec::with_capacity(steps.len());
+        for (s, &adv) in steps.iter().zip(advantages) {
+            let dlogits = actor_logit_grad(&s.probs, s.action, adv, lambda);
+            let mut dtop = self.head.backward(&s.top, &dlogits);
+            Dropout::backward(&mut dtop, &s.drop_mask);
+            dtops.push(dtop);
+        }
+        let caches: Vec<StackCache> = steps.iter().map(|s| s.caches.clone()).collect();
+        let dxs = self.lstm.backward_sequence(&caches, &dtops);
+        for (s, dx) in steps.iter().zip(&dxs) {
+            self.embed.backward(s.input_token, dx);
+            if let Some(ctx) = self.context_token {
+                // x = embed(token) + embed(ctx): the gradient flows to both.
+                self.embed.backward(ctx, dx);
+            }
+        }
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.embed.params_mut();
+        p.extend(self.lstm.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.embed.zero_grad();
+        self.lstm.zero_grad();
+        self.head.zero_grad();
+    }
+
+    pub fn restore_buffers(&mut self) {
+        self.embed.restore_buffers();
+        self.lstm.restore_buffers();
+        self.head.restore_buffers();
+    }
+}
+
+/// Per-step cache for the critic.
+pub struct CriticStep {
+    pub input_token: usize,
+    pub caches: StackCache,
+    pub drop_mask: Vec<f32>,
+    pub top: Vec<f32>,
+    pub value: f32,
+}
+
+/// The value network V_φ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticNet {
+    pub embed: Embedding,
+    pub lstm: LstmStack,
+    pub head: Linear,
+    #[serde(skip, default = "default_dropout")]
+    pub dropout: Dropout,
+    pub vocab_size: usize,
+    /// Embedding row fed at step 0 (see [`ActorNet::start_token`]).
+    pub start_token: usize,
+    /// See [`ActorNet::context_token`].
+    #[serde(default)]
+    pub context_token: Option<usize>,
+}
+
+impl CriticNet {
+    pub fn new(vocab_size: usize, cfg: &NetConfig, seed: u64) -> Self {
+        Self::with_context_rows(vocab_size, 0, cfg, seed)
+    }
+
+    /// See [`ActorNet::with_context_rows`].
+    pub fn with_context_rows(
+        vocab_size: usize,
+        context_rows: usize,
+        cfg: &NetConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CriticNet {
+            embed: Embedding::new(vocab_size + 1 + context_rows, cfg.embed_dim, &mut rng),
+            lstm: LstmStack::new(cfg.embed_dim, cfg.hidden, cfg.layers, &mut rng),
+            head: Linear::new(cfg.hidden, 1, &mut rng),
+            dropout: Dropout::new(cfg.dropout),
+            vocab_size,
+            start_token: vocab_size,
+            context_token: None,
+        }
+    }
+
+    pub fn bos(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Sets the step-0 input row (must be BOS or a reserved context row).
+    pub fn set_start_token(&mut self, token: usize) {
+        assert!(token >= self.vocab_size && token < self.embed.vocab_size());
+        self.start_token = token;
+    }
+
+    /// Sets (or clears) the persistent context row added to every input.
+    pub fn set_context_token(&mut self, token: Option<usize>) {
+        if let Some(t) = token {
+            assert!(t >= self.vocab_size && t < self.embed.vocab_size());
+        }
+        self.context_token = token;
+    }
+
+    pub fn begin(&self) -> StackState {
+        self.lstm.zero_state()
+    }
+
+    /// One value estimate `V(s_t)` for the state reached after feeding
+    /// `prev`.
+    pub fn step<R: Rng + ?Sized>(
+        &self,
+        prev: Option<usize>,
+        state: &mut StackState,
+        train: bool,
+        rng: &mut R,
+    ) -> CriticStep {
+        let input_token = prev.unwrap_or(self.start_token);
+        let mut x = self.embed.forward(input_token);
+        if let Some(ctx) = self.context_token {
+            for (xi, ci) in x.iter_mut().zip(self.embed.forward(ctx)) {
+                *xi += ci;
+            }
+        }
+        let (mut top, caches) = self.lstm.forward_step(&x, state);
+        let drop_mask = if train {
+            self.dropout.apply(&mut top, rng)
+        } else {
+            vec![1.0; top.len()]
+        };
+        let value = self.head.forward(&top)[0];
+        CriticStep {
+            input_token,
+            caches,
+            drop_mask,
+            top,
+            value,
+        }
+    }
+
+    /// Backpropagates per-step value-loss gradients `dL/dV_t`.
+    pub fn backward_episode(&mut self, steps: &[CriticStep], dvalues: &[f32]) {
+        debug_assert_eq!(steps.len(), dvalues.len());
+        let mut dtops = Vec::with_capacity(steps.len());
+        for (s, &dv) in steps.iter().zip(dvalues) {
+            let mut dtop = self.head.backward(&s.top, &[dv]);
+            Dropout::backward(&mut dtop, &s.drop_mask);
+            dtops.push(dtop);
+        }
+        let caches: Vec<StackCache> = steps.iter().map(|s| s.caches.clone()).collect();
+        let dxs = self.lstm.backward_sequence(&caches, &dtops);
+        for (s, dx) in steps.iter().zip(&dxs) {
+            self.embed.backward(s.input_token, dx);
+            if let Some(ctx) = self.context_token {
+                self.embed.backward(ctx, dx);
+            }
+        }
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.embed.params_mut();
+        p.extend(self.lstm.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.embed.zero_grad();
+        self.lstm.zero_grad();
+        self.head.zero_grad();
+    }
+
+    pub fn restore_buffers(&mut self) {
+        self.embed.restore_buffers();
+        self.lstm.restore_buffers();
+        self.head.restore_buffers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_step_respects_mask() {
+        let cfg = NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        };
+        let actor = ActorNet::new(10, &cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let state = actor.begin();
+        let mut mask = vec![false; 10];
+        mask[3] = true;
+        mask[7] = true;
+        for _ in 0..20 {
+            let step = actor.step(None, &mut state.clone(), &mask, false, &mut rng);
+            assert!(step.action == 3 || step.action == 7);
+            assert_eq!(step.probs[0], 0.0);
+            assert!((step.probs[3] + step.probs[7] - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// A tiny bandit: one step, action 2 of 4 always rewarded. The actor
+    /// trained with policy gradients must concentrate probability on it.
+    #[test]
+    fn actor_learns_a_bandit() {
+        use sqlgen_nn::{Adam, Optimizer};
+        let cfg = NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        };
+        let mut actor = ActorNet::new(4, &cfg, 3);
+        let mut adam = Adam::new(0.05);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mask = vec![true; 4];
+        for _ in 0..300 {
+            let mut state = actor.begin();
+            let step = actor.step(None, &mut state, &mask, true, &mut rng);
+            let reward: f32 = if step.action == 2 { 1.0 } else { 0.0 };
+            // Advantage with a constant baseline of 0.25 (uniform chance).
+            let adv = reward - 0.25;
+            actor.zero_grad();
+            actor.backward_episode(&[step], &[adv], 0.0);
+            adam.step(&mut actor.params_mut());
+        }
+        let mut state = actor.begin();
+        let step = actor.step(None, &mut state, &mask, false, &mut rng);
+        assert!(
+            step.probs[2] > 0.8,
+            "policy failed to concentrate: {:?}",
+            step.probs
+        );
+    }
+
+    #[test]
+    fn critic_fits_constant_target() {
+        use sqlgen_nn::{Adam, Optimizer};
+        let cfg = NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        };
+        let mut critic = CriticNet::new(6, &cfg, 5);
+        let mut adam = Adam::new(0.02);
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = 0.7f32;
+        for _ in 0..400 {
+            let mut state = critic.begin();
+            let step = critic.step(Some(1), &mut state, false, &mut rng);
+            let dv = 2.0 * (step.value - target);
+            critic.zero_grad();
+            critic.backward_episode(&[step], &[dv]);
+            adam.step(&mut critic.params_mut());
+        }
+        let mut state = critic.begin();
+        let v = critic.step(Some(1), &mut state, false, &mut rng).value;
+        assert!((v - target).abs() < 0.1, "critic value {v}");
+    }
+
+    #[test]
+    fn actor_serde_roundtrip() {
+        let cfg = NetConfig::default();
+        let actor = ActorNet::new(20, &cfg, 7);
+        let json = serde_json::to_string(&actor).unwrap();
+        let mut back: ActorNet = serde_json::from_str(&json).unwrap();
+        back.restore_buffers();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mask = vec![true; 20];
+        let mut s1 = actor.begin();
+        let mut s2 = back.begin();
+        let a = actor.step(Some(3), &mut s1, &mask, false, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let b = back.step(Some(3), &mut s2, &mask, false, &mut rng);
+        assert_eq!(a.probs, b.probs);
+    }
+}

@@ -1,0 +1,192 @@
+//! The database catalog: a set of named tables plus FK-join metadata.
+
+use crate::schema::{ForeignKey, TableSchema};
+use crate::table::Table;
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A join edge derived from a foreign key, in either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    pub left_table: String,
+    pub left_column: String,
+    pub right_table: String,
+    pub right_column: String,
+}
+
+/// An in-memory database: the "environment" the RL agent interacts with.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    pub fn schema(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name).map(|t| &t.schema)
+    }
+
+    /// Table names in deterministic (sorted) order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+
+    /// Data type of `table.column`, if both exist.
+    pub fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+        self.schema(table)?.column(column).map(|c| c.dtype)
+    }
+
+    /// All FK-derived join edges involving `table`, in both directions.
+    ///
+    /// This implements the paper's rule-based "meaningful checking": joins
+    /// are only permitted along declared PK-FK relationships.
+    pub fn join_edges(&self, table: &str) -> Vec<JoinEdge> {
+        let mut edges = Vec::new();
+        // Outgoing FKs of `table`.
+        if let Some(schema) = self.schema(table) {
+            for fk in &schema.foreign_keys {
+                if self.tables.contains_key(&fk.ref_table) {
+                    edges.push(JoinEdge {
+                        left_table: table.to_string(),
+                        left_column: fk.column.clone(),
+                        right_table: fk.ref_table.clone(),
+                        right_column: fk.ref_column.clone(),
+                    });
+                }
+            }
+        }
+        // Incoming FKs from other tables referencing `table`.
+        for (name, t) in &self.tables {
+            if name == table {
+                continue;
+            }
+            for fk in &t.schema.foreign_keys {
+                if fk.ref_table == table {
+                    edges.push(JoinEdge {
+                        left_table: table.to_string(),
+                        left_column: fk.ref_column.clone(),
+                        right_table: name.clone(),
+                        right_column: fk.column.clone(),
+                    });
+                }
+            }
+        }
+        edges
+    }
+
+    /// The FK edge connecting two specific tables, if any.
+    pub fn join_edge_between(&self, a: &str, b: &str) -> Option<JoinEdge> {
+        self.join_edges(a).into_iter().find(|e| e.right_table == b)
+    }
+
+    /// All foreign keys declared anywhere in the catalog.
+    pub fn all_foreign_keys(&self) -> Vec<(&str, &ForeignKey)> {
+        self.tables
+            .values()
+            .flat_map(|t| {
+                t.schema
+                    .foreign_keys
+                    .iter()
+                    .map(move |fk| (t.name(), fk))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::Value;
+
+    /// The Score/Student example database from Figure 1 of the paper.
+    pub fn score_student() -> Database {
+        let student = TableSchema::new("student")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::categorical("name", DataType::Text));
+        let score = TableSchema::new("score")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_foreign_key("student", "id")
+            .with_column(ColumnDef::categorical("course", DataType::Text))
+            .with_column(ColumnDef::new("grade", DataType::Float));
+        let mut db = Database::new();
+        let mut st = Table::new(student);
+        for (i, name) in ["ann", "bob", "eve"].iter().enumerate() {
+            st.push_row(vec![Value::Int(i as i64), Value::Text(name.to_string())]);
+        }
+        let mut sc = Table::new(score);
+        for i in 0..3i64 {
+            sc.push_row(vec![
+                Value::Int(i),
+                Value::Text("math".into()),
+                Value::Float(90.0 + i as f64),
+            ]);
+        }
+        db.add_table(st);
+        db.add_table(sc);
+        db
+    }
+
+    #[test]
+    fn join_edges_are_bidirectional() {
+        let db = score_student();
+        let from_score = db.join_edges("score");
+        assert_eq!(from_score.len(), 1);
+        assert_eq!(from_score[0].right_table, "student");
+        let from_student = db.join_edges("student");
+        assert_eq!(from_student.len(), 1);
+        assert_eq!(from_student[0].right_table, "score");
+        assert_eq!(from_student[0].left_column, "id");
+    }
+
+    #[test]
+    fn edge_between() {
+        let db = score_student();
+        assert!(db.join_edge_between("score", "student").is_some());
+        assert!(db.join_edge_between("student", "student").is_none());
+    }
+
+    #[test]
+    fn catalog_lookups() {
+        let db = score_student();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.table_names(), vec!["score", "student"]);
+        assert_eq!(db.column_type("score", "grade"), Some(DataType::Float));
+        assert_eq!(db.column_type("score", "missing"), None);
+        assert_eq!(db.total_rows(), 6);
+    }
+}

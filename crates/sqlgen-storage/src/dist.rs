@@ -1,0 +1,151 @@
+//! Random value distributions used by the benchmark data generators.
+//!
+//! Hand-rolled (rather than pulling in `rand_distr`) to stay within the
+//! session's allowed dependency list. Real benchmark data is skewed, and the
+//! cardinality estimator's histograms only earn their keep on skewed data,
+//! so the generators lean on [`Zipf`] heavily.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over ranks `0..n` using inverse-CDF lookup.
+///
+/// Precomputes the CDF once; sampling is a binary search, O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` ranks with exponent `s` (s = 0 is uniform; s ≈ 1 is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`; rank 0 is the most frequent.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Uniform integer in `[lo, hi]` inclusive.
+pub fn uniform_int<R: Rng + ?Sized>(rng: &mut R, lo: i64, hi: i64) -> i64 {
+    rng.random_range(lo..=hi)
+}
+
+/// Uniform float in `[lo, hi)`.
+pub fn uniform_float<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// A rough normal sample via the central-limit trick (12 uniforms),
+/// clamped to `[lo, hi]`. Good enough for generating plausible benchmark
+/// column skew; nothing downstream depends on exact normality.
+pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    let z: f64 = (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0;
+    (mean + std * z).clamp(lo, hi)
+}
+
+/// Picks a random element of a slice (deterministic given the RNG stream).
+pub fn choose<'a, R: Rng + ?Sized, T>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// Generates a deterministic pseudo-word for text columns: `prefix_<rank>`.
+pub fn tagged_word(prefix: &str, rank: usize) -> String {
+    format!("{prefix}_{rank:04}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Rank 0 of Zipf(1.1) should hold a sizeable share.
+        assert!(counts[0] as f64 / 20_000.0 > 0.15);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "non-uniform bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = clamped_normal(&mut rng, 50.0, 30.0, 0.0, 100.0);
+            assert!((0.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_int_inclusive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = uniform_int(&mut rng, 1, 3);
+            assert!((1..=3).contains(&v));
+            saw_lo |= v == 1;
+            saw_hi |= v == 3;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

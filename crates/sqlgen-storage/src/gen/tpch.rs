@@ -1,0 +1,279 @@
+//! Scaled-down TPC-H data generator.
+//!
+//! Reproduces the full 8-table TPC-H schema with its PK/FK topology and
+//! TPC-H-like value skew (uniform keys, categorical flag columns, skewed
+//! quantities/prices). At `scale = 1.0` the fact table `lineitem` holds
+//! 6 000 rows — small enough that the test suite can cross-check the
+//! cardinality estimator against real execution.
+
+use super::scaled;
+use crate::database::Database;
+use crate::dist::{choose, tagged_word, uniform_float, uniform_int, Zipf};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const STATUSES: [&str; 3] = ["F", "O", "P"];
+const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const CONTAINERS: [&str; 4] = ["JUMBO BOX", "LG CASE", "MED BAG", "SM PKG"];
+
+/// Builds the TPC-H database at the given scale factor.
+pub fn tpch_database(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+
+    let n_region = 5;
+    let n_nation = 25;
+    let n_supplier = scaled(100, scale);
+    let n_part = scaled(400, scale);
+    let n_partsupp = scaled(1600, scale);
+    let n_customer = scaled(300, scale);
+    let n_orders = scaled(3000, scale);
+    let n_lineitem = scaled(6000, scale);
+
+    // region(r_regionkey PK, r_name)
+    let mut region = Table::new(
+        TableSchema::new("region")
+            .with_column(ColumnDef::new("r_regionkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::categorical("r_name", DataType::Text)),
+    );
+    for i in 0..n_region {
+        region.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"][i].into()),
+        ]);
+    }
+    db.add_table(region);
+
+    // nation(n_nationkey PK, n_name, n_regionkey FK)
+    let mut nation = Table::new(
+        TableSchema::new("nation")
+            .with_column(ColumnDef::new("n_nationkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::categorical("n_name", DataType::Text))
+            .with_column(ColumnDef::new("n_regionkey", DataType::Int))
+            .with_foreign_key("region", "r_regionkey"),
+    );
+    for i in 0..n_nation {
+        nation.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("nation", i)),
+            Value::Int((i % n_region) as i64),
+        ]);
+    }
+    db.add_table(nation);
+
+    // supplier(s_suppkey PK, s_name, s_nationkey FK, s_acctbal)
+    let mut supplier = Table::new(
+        TableSchema::new("supplier")
+            .with_column(ColumnDef::new("s_suppkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("s_name", DataType::Text))
+            .with_column(ColumnDef::new("s_nationkey", DataType::Int))
+            .with_foreign_key("nation", "n_nationkey")
+            .with_column(ColumnDef::new("s_acctbal", DataType::Float)),
+    );
+    for i in 0..n_supplier {
+        supplier.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("supplier", i)),
+            Value::Int(uniform_int(&mut rng, 0, n_nation as i64 - 1)),
+            Value::Float(uniform_float(&mut rng, -999.99, 9999.99)),
+        ]);
+    }
+    db.add_table(supplier);
+
+    // part(p_partkey PK, p_name, p_brand, p_container, p_size, p_retailprice)
+    let mut part = Table::new(
+        TableSchema::new("part")
+            .with_column(ColumnDef::new("p_partkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("p_name", DataType::Text))
+            .with_column(ColumnDef::categorical("p_brand", DataType::Text))
+            .with_column(ColumnDef::categorical("p_container", DataType::Text))
+            .with_column(ColumnDef::new("p_size", DataType::Int))
+            .with_column(ColumnDef::new("p_retailprice", DataType::Float)),
+    );
+    for i in 0..n_part {
+        part.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("part", i)),
+            Value::Text(choose(&mut rng, &BRANDS).to_string()),
+            Value::Text(choose(&mut rng, &CONTAINERS).to_string()),
+            Value::Int(uniform_int(&mut rng, 1, 50)),
+            Value::Float(uniform_float(&mut rng, 900.0, 2100.0)),
+        ]);
+    }
+    db.add_table(part);
+
+    // partsupp(ps_partkey FK, ps_suppkey FK, ps_availqty, ps_supplycost)
+    let mut partsupp = Table::new(
+        TableSchema::new("partsupp")
+            .with_column(ColumnDef::new("ps_partkey", DataType::Int))
+            .with_foreign_key("part", "p_partkey")
+            .with_column(ColumnDef::new("ps_suppkey", DataType::Int))
+            .with_foreign_key("supplier", "s_suppkey")
+            .with_column(ColumnDef::new("ps_availqty", DataType::Int))
+            .with_column(ColumnDef::new("ps_supplycost", DataType::Float)),
+    );
+    for _ in 0..n_partsupp {
+        partsupp.push_row(vec![
+            Value::Int(uniform_int(&mut rng, 0, n_part as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 0, n_supplier as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 1, 9999)),
+            Value::Float(uniform_float(&mut rng, 1.0, 1000.0)),
+        ]);
+    }
+    db.add_table(partsupp);
+
+    // customer(c_custkey PK, c_name, c_nationkey FK, c_mktsegment, c_acctbal)
+    let mut customer = Table::new(
+        TableSchema::new("customer")
+            .with_column(ColumnDef::new("c_custkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("c_name", DataType::Text))
+            .with_column(ColumnDef::new("c_nationkey", DataType::Int))
+            .with_foreign_key("nation", "n_nationkey")
+            .with_column(ColumnDef::categorical("c_mktsegment", DataType::Text))
+            .with_column(ColumnDef::new("c_acctbal", DataType::Float)),
+    );
+    for i in 0..n_customer {
+        customer.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("customer", i)),
+            Value::Int(uniform_int(&mut rng, 0, n_nation as i64 - 1)),
+            Value::Text(choose(&mut rng, &SEGMENTS).to_string()),
+            Value::Float(uniform_float(&mut rng, -999.99, 9999.99)),
+        ]);
+    }
+    db.add_table(customer);
+
+    // orders(o_orderkey PK, o_custkey FK, o_orderstatus, o_totalprice,
+    //        o_orderdate, o_orderpriority)
+    // Customers are Zipf-skewed: a few customers place most orders, which
+    // gives join selectivities some texture.
+    let cust_zipf = Zipf::new(n_customer, 0.8);
+    let mut orders = Table::new(
+        TableSchema::new("orders")
+            .with_column(ColumnDef::new("o_orderkey", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("o_custkey", DataType::Int))
+            .with_foreign_key("customer", "c_custkey")
+            .with_column(ColumnDef::categorical("o_orderstatus", DataType::Text))
+            .with_column(ColumnDef::new("o_totalprice", DataType::Float))
+            .with_column(ColumnDef::new("o_orderdate", DataType::Int))
+            .with_column(ColumnDef::categorical("o_orderpriority", DataType::Text)),
+    );
+    for i in 0..n_orders {
+        orders.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(cust_zipf.sample(&mut rng) as i64),
+            Value::Text(choose(&mut rng, &STATUSES).to_string()),
+            Value::Float(uniform_float(&mut rng, 850.0, 500_000.0)),
+            // Dates as days since 1992-01-01, spanning ~7 years like TPC-H.
+            Value::Int(uniform_int(&mut rng, 0, 2555)),
+            Value::Text(choose(&mut rng, &PRIORITIES).to_string()),
+        ]);
+    }
+    db.add_table(orders);
+
+    // lineitem(l_orderkey FK, l_partkey FK, l_suppkey FK, l_linenumber,
+    //          l_quantity, l_extendedprice, l_discount, l_returnflag,
+    //          l_shipmode, l_shipdate)
+    let order_zipf = Zipf::new(n_orders, 0.3);
+    let part_zipf = Zipf::new(n_part, 0.7);
+    let mut lineitem = Table::new(
+        TableSchema::new("lineitem")
+            .with_column(ColumnDef::new("l_orderkey", DataType::Int))
+            .with_foreign_key("orders", "o_orderkey")
+            .with_column(ColumnDef::new("l_partkey", DataType::Int))
+            .with_foreign_key("part", "p_partkey")
+            .with_column(ColumnDef::new("l_suppkey", DataType::Int))
+            .with_foreign_key("supplier", "s_suppkey")
+            .with_column(ColumnDef::new("l_linenumber", DataType::Int))
+            .with_column(ColumnDef::new("l_quantity", DataType::Int))
+            .with_column(ColumnDef::new("l_extendedprice", DataType::Float))
+            .with_column(ColumnDef::new("l_discount", DataType::Float))
+            .with_column(ColumnDef::categorical("l_returnflag", DataType::Text))
+            .with_column(ColumnDef::categorical("l_shipmode", DataType::Text))
+            .with_column(ColumnDef::new("l_shipdate", DataType::Int)),
+    );
+    for _ in 0..n_lineitem {
+        lineitem.push_row(vec![
+            Value::Int(order_zipf.sample(&mut rng) as i64),
+            Value::Int(part_zipf.sample(&mut rng) as i64),
+            Value::Int(uniform_int(&mut rng, 0, n_supplier as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 1, 7)),
+            Value::Int(uniform_int(&mut rng, 1, 50)),
+            Value::Float(uniform_float(&mut rng, 900.0, 105_000.0)),
+            Value::Float((rng.random_range(0..=10) as f64) / 100.0),
+            Value::Text(choose(&mut rng, &RETURNFLAGS).to_string()),
+            Value::Text(choose(&mut rng, &SHIPMODES).to_string()),
+            Value::Int(uniform_int(&mut rng, 0, 2555)),
+        ]);
+    }
+    db.add_table(lineitem);
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_eight_tables() {
+        let db = tpch_database(0.1, 1);
+        for t in [
+            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+        ] {
+            assert!(db.table(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn scale_changes_fact_table_sizes_but_not_dimensions() {
+        let small = tpch_database(0.1, 1);
+        let big = tpch_database(1.0, 1);
+        assert_eq!(small.table("region").unwrap().row_count(), 5);
+        assert_eq!(big.table("region").unwrap().row_count(), 5);
+        assert!(
+            big.table("lineitem").unwrap().row_count()
+                > 5 * small.table("lineitem").unwrap().row_count()
+        );
+    }
+
+    #[test]
+    fn lineitem_joins_to_orders_part_supplier() {
+        let db = tpch_database(0.1, 1);
+        let edges = db.join_edges("lineitem");
+        let targets: Vec<&str> = edges.iter().map(|e| e.right_table.as_str()).collect();
+        assert!(targets.contains(&"orders"));
+        assert!(targets.contains(&"part"));
+        assert!(targets.contains(&"supplier"));
+    }
+
+    #[test]
+    fn orders_customers_are_skewed() {
+        let db = tpch_database(1.0, 3);
+        let orders = db.table("orders").unwrap();
+        let col = match orders.column("o_custkey").unwrap() {
+            crate::table::Column::Int(v) => v,
+            _ => unreachable!(),
+        };
+        let mut counts = std::collections::HashMap::new();
+        for &c in col {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = col.len() as f64 / counts.len() as f64;
+        assert!(max as f64 > 2.0 * avg, "expected skew, max={max} avg={avg}");
+    }
+}

@@ -1,0 +1,339 @@
+//! XueTang-shaped OLTP data generator.
+//!
+//! The paper's third benchmark is XueTang, a proprietary 14-table online-
+//! education OLTP workload (24 GB). The raw data is unavailable, so this
+//! generator builds a 12-table schema with the same entity/event structure:
+//! user/course/teacher dimensions, enrollment and engagement fact tables
+//! (video watches, exercise submissions, forum posts), and certification —
+//! with heavy user- and course-level skew typical of MOOC platforms.
+
+use super::scaled;
+use crate::database::Database;
+use crate::dist::{choose, clamped_normal, tagged_word, uniform_int, Zipf};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEGREES: [&str; 4] = ["bachelor", "doctorate", "master", "none"];
+const CATEGORIES: [&str; 6] = ["art", "biology", "business", "cs", "math", "physics"];
+const LEVELS: [&str; 3] = ["advanced", "beginner", "intermediate"];
+const DEVICES: [&str; 3] = ["mobile", "tablet", "web"];
+const VERDICTS: [&str; 3] = ["correct", "partial", "wrong"];
+
+/// Builds the XueTang-shaped database at the given scale factor.
+pub fn xuetang_database(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x58554554); // "XUET"
+    let mut db = Database::new();
+
+    let n_user = scaled(600, scale);
+    let n_teacher = scaled(40, scale);
+    let n_course = scaled(80, scale);
+    let n_chapter = scaled(400, scale);
+    let n_video = scaled(800, scale);
+    let n_exercise = scaled(600, scale);
+    let n_enroll = scaled(3000, scale);
+    let n_watch = scaled(6000, scale);
+    let n_submit = scaled(4000, scale);
+    let n_post = scaled(1200, scale);
+    let n_cert = scaled(500, scale);
+    let n_course_teacher = scaled(120, scale);
+
+    // users(id PK, age, degree, active_days)
+    let mut users = Table::new(
+        TableSchema::new("users")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("age", DataType::Int))
+            .with_column(ColumnDef::categorical("degree", DataType::Text))
+            .with_column(ColumnDef::new("active_days", DataType::Int)),
+    );
+    for i in 0..n_user {
+        users.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(clamped_normal(&mut rng, 24.0, 6.0, 14.0, 70.0) as i64),
+            Value::Text(choose(&mut rng, &DEGREES).to_string()),
+            Value::Int(uniform_int(&mut rng, 0, 1500)),
+        ]);
+    }
+    db.add_table(users);
+
+    // teacher(id PK, name, rating)
+    let mut teacher = Table::new(
+        TableSchema::new("teacher")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("name", DataType::Text))
+            .with_column(ColumnDef::new("rating", DataType::Float)),
+    );
+    for i in 0..n_teacher {
+        teacher.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("teacher", i)),
+            Value::Float((uniform_int(&mut rng, 20, 50) as f64) / 10.0),
+        ]);
+    }
+    db.add_table(teacher);
+
+    // course(id PK, name, category, level, duration_weeks)
+    let mut course = Table::new(
+        TableSchema::new("course")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("name", DataType::Text))
+            .with_column(ColumnDef::categorical("category", DataType::Text))
+            .with_column(ColumnDef::categorical("level", DataType::Text))
+            .with_column(ColumnDef::new("duration_weeks", DataType::Int)),
+    );
+    for i in 0..n_course {
+        course.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("course", i)),
+            Value::Text(choose(&mut rng, &CATEGORIES).to_string()),
+            Value::Text(choose(&mut rng, &LEVELS).to_string()),
+            Value::Int(uniform_int(&mut rng, 2, 20)),
+        ]);
+    }
+    db.add_table(course);
+
+    // course_teacher(id PK, course_id FK, teacher_id FK)
+    let mut course_teacher = Table::new(
+        TableSchema::new("course_teacher")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("course_id", DataType::Int))
+            .with_foreign_key("course", "id")
+            .with_column(ColumnDef::new("teacher_id", DataType::Int))
+            .with_foreign_key("teacher", "id"),
+    );
+    for i in 0..n_course_teacher {
+        course_teacher.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(uniform_int(&mut rng, 0, n_course as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 0, n_teacher as i64 - 1)),
+        ]);
+    }
+    db.add_table(course_teacher);
+
+    // chapter(id PK, course_id FK, seq)
+    let mut chapter = Table::new(
+        TableSchema::new("chapter")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("course_id", DataType::Int))
+            .with_foreign_key("course", "id")
+            .with_column(ColumnDef::new("seq", DataType::Int)),
+    );
+    for i in 0..n_chapter {
+        chapter.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(uniform_int(&mut rng, 0, n_course as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 1, 12)),
+        ]);
+    }
+    db.add_table(chapter);
+
+    // video(id PK, chapter_id FK, duration_sec)
+    let mut video = Table::new(
+        TableSchema::new("video")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("chapter_id", DataType::Int))
+            .with_foreign_key("chapter", "id")
+            .with_column(ColumnDef::new("duration_sec", DataType::Int)),
+    );
+    for i in 0..n_video {
+        video.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(uniform_int(&mut rng, 0, n_chapter as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 60, 3600)),
+        ]);
+    }
+    db.add_table(video);
+
+    // exercise(id PK, chapter_id FK, difficulty)
+    let mut exercise = Table::new(
+        TableSchema::new("exercise")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("chapter_id", DataType::Int))
+            .with_foreign_key("chapter", "id")
+            .with_column(ColumnDef::new("difficulty", DataType::Int)),
+    );
+    for i in 0..n_exercise {
+        exercise.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(uniform_int(&mut rng, 0, n_chapter as i64 - 1)),
+            Value::Int(uniform_int(&mut rng, 1, 5)),
+        ]);
+    }
+    db.add_table(exercise);
+
+    // MOOC engagement is extremely skewed: a few power users and hit
+    // courses account for most events.
+    let user_zipf = Zipf::new(n_user, 1.0);
+    let course_zipf = Zipf::new(n_course, 1.1);
+    let video_zipf = Zipf::new(n_video, 0.9);
+    let ex_zipf = Zipf::new(n_exercise, 0.9);
+
+    // enrollment(id PK, user_id FK, course_id FK, enroll_day, progress)
+    let mut enrollment = Table::new(
+        TableSchema::new("enrollment")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("user_id", DataType::Int))
+            .with_foreign_key("users", "id")
+            .with_column(ColumnDef::new("course_id", DataType::Int))
+            .with_foreign_key("course", "id")
+            .with_column(ColumnDef::new("enroll_day", DataType::Int))
+            .with_column(ColumnDef::new("progress", DataType::Float)),
+    );
+    for i in 0..n_enroll {
+        enrollment.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(user_zipf.sample(&mut rng) as i64),
+            Value::Int(course_zipf.sample(&mut rng) as i64),
+            Value::Int(uniform_int(&mut rng, 0, 730)),
+            Value::Float((uniform_int(&mut rng, 0, 100) as f64) / 100.0),
+        ]);
+    }
+    db.add_table(enrollment);
+
+    // video_watch(id PK, user_id FK, video_id FK, watch_sec, device)
+    let mut video_watch = Table::new(
+        TableSchema::new("video_watch")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("user_id", DataType::Int))
+            .with_foreign_key("users", "id")
+            .with_column(ColumnDef::new("video_id", DataType::Int))
+            .with_foreign_key("video", "id")
+            .with_column(ColumnDef::new("watch_sec", DataType::Int))
+            .with_column(ColumnDef::categorical("device", DataType::Text)),
+    );
+    for i in 0..n_watch {
+        video_watch.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(user_zipf.sample(&mut rng) as i64),
+            Value::Int(video_zipf.sample(&mut rng) as i64),
+            Value::Int(uniform_int(&mut rng, 1, 3600)),
+            Value::Text(choose(&mut rng, &DEVICES).to_string()),
+        ]);
+    }
+    db.add_table(video_watch);
+
+    // submission(id PK, user_id FK, exercise_id FK, score, verdict)
+    let mut submission = Table::new(
+        TableSchema::new("submission")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("user_id", DataType::Int))
+            .with_foreign_key("users", "id")
+            .with_column(ColumnDef::new("exercise_id", DataType::Int))
+            .with_foreign_key("exercise", "id")
+            .with_column(ColumnDef::new("score", DataType::Float))
+            .with_column(ColumnDef::categorical("verdict", DataType::Text)),
+    );
+    for i in 0..n_submit {
+        submission.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(user_zipf.sample(&mut rng) as i64),
+            Value::Int(ex_zipf.sample(&mut rng) as i64),
+            Value::Float(clamped_normal(&mut rng, 70.0, 20.0, 0.0, 100.0).round()),
+            Value::Text(choose(&mut rng, &VERDICTS).to_string()),
+        ]);
+    }
+    db.add_table(submission);
+
+    // forum_post(id PK, user_id FK, course_id FK, length)
+    let mut forum_post = Table::new(
+        TableSchema::new("forum_post")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("user_id", DataType::Int))
+            .with_foreign_key("users", "id")
+            .with_column(ColumnDef::new("course_id", DataType::Int))
+            .with_foreign_key("course", "id")
+            .with_column(ColumnDef::new("length", DataType::Int)),
+    );
+    for i in 0..n_post {
+        forum_post.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(user_zipf.sample(&mut rng) as i64),
+            Value::Int(course_zipf.sample(&mut rng) as i64),
+            Value::Int(uniform_int(&mut rng, 5, 4000)),
+        ]);
+    }
+    db.add_table(forum_post);
+
+    // certificate(id PK, user_id FK, course_id FK, grade)
+    let mut certificate = Table::new(
+        TableSchema::new("certificate")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("user_id", DataType::Int))
+            .with_foreign_key("users", "id")
+            .with_column(ColumnDef::new("course_id", DataType::Int))
+            .with_foreign_key("course", "id")
+            .with_column(ColumnDef::new("grade", DataType::Float)),
+    );
+    for i in 0..n_cert {
+        certificate.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(user_zipf.sample(&mut rng) as i64),
+            Value::Int(course_zipf.sample(&mut rng) as i64),
+            Value::Float(clamped_normal(&mut rng, 80.0, 10.0, 60.0, 100.0).round()),
+        ]);
+    }
+    db.add_table(certificate);
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_twelve_tables() {
+        let db = xuetang_database(0.2, 1);
+        assert_eq!(db.len(), 12);
+    }
+
+    #[test]
+    fn users_hub_has_many_edges() {
+        let db = xuetang_database(0.2, 1);
+        let targets: Vec<String> = db
+            .join_edges("users")
+            .into_iter()
+            .map(|e| e.right_table)
+            .collect();
+        for t in [
+            "enrollment",
+            "video_watch",
+            "submission",
+            "forum_post",
+            "certificate",
+        ] {
+            assert!(targets.contains(&t.to_string()), "users not joined to {t}");
+        }
+    }
+
+    #[test]
+    fn engagement_is_user_skewed() {
+        let db = xuetang_database(1.0, 5);
+        let watch = db.table("video_watch").unwrap();
+        let col = match watch.column("user_id").unwrap() {
+            crate::table::Column::Int(v) => v,
+            _ => unreachable!(),
+        };
+        let mut counts = std::collections::HashMap::new();
+        for &c in col {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = col.len() as f64 / counts.len() as f64;
+        assert!(max as f64 > 3.0 * avg);
+    }
+}

@@ -1,0 +1,199 @@
+//! Value sampling for the RL action space.
+//!
+//! The paper (§4.1): "for each numerical attribute, we randomly sample `k`
+//! values from the attribute before training and encode them to a one-hot
+//! vector"; categorical columns contribute *all* their distinct values, and
+//! string columns are sampled like numerical ones. The paper's default is
+//! `k = 100` and §7.7 studies sensitivity to the sample ratio η.
+
+use crate::database::Database;
+use crate::table::Column;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for value sampling.
+#[derive(Debug, Clone)]
+pub struct SampleConfig {
+    /// Number of values sampled per non-categorical column (paper: k = 100).
+    pub k: usize,
+    /// Categorical columns with at most this many distinct values contribute
+    /// their full domain.
+    pub categorical_limit: usize,
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            k: 100,
+            categorical_limit: 64,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Sampled values for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnSample {
+    pub table: String,
+    pub column: String,
+    /// Distinct sampled values, sorted for determinism.
+    pub values: Vec<Value>,
+}
+
+/// Draws the per-column value samples that become `Value` tokens in the
+/// action space. Deterministic given `cfg.seed`.
+pub fn sample_database(db: &Database, cfg: &SampleConfig) -> Vec<ColumnSample> {
+    let mut out = Vec::new();
+    for table in db.tables() {
+        for (def, col) in table.schema.columns.iter().zip(&table.columns) {
+            // Distinct-value pool, deterministic order.
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ hash_name(table.name()) ^ hash_name(&def.name),
+            );
+            let values = if def.categorical {
+                distinct_values(col, cfg.categorical_limit)
+            } else {
+                sample_column(col, cfg.k, &mut rng)
+            };
+            out.push(ColumnSample {
+                table: table.name().to_string(),
+                column: def.name.clone(),
+                values,
+            });
+        }
+    }
+    out
+}
+
+fn hash_name(s: &str) -> u64 {
+    // FNV-1a; stable across runs (unlike `DefaultHasher` which is seeded).
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// All distinct values of a column, up to `limit`, in sorted order.
+pub fn distinct_values(col: &Column, limit: usize) -> Vec<Value> {
+    match col {
+        Column::Int(v) => {
+            let mut s = v.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.truncate(limit);
+            s.into_iter().map(Value::Int).collect()
+        }
+        Column::Float(v) => {
+            let mut s = v.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            s.dedup();
+            s.truncate(limit);
+            s.into_iter().map(Value::Float).collect()
+        }
+        Column::Text(v) => {
+            let mut s = v.clone();
+            s.sort();
+            s.dedup();
+            s.truncate(limit);
+            s.into_iter().map(Value::Text).collect()
+        }
+    }
+}
+
+/// Samples up to `k` *distinct* values uniformly from the column.
+pub fn sample_column<R: Rng + ?Sized>(col: &Column, k: usize, rng: &mut R) -> Vec<Value> {
+    let n = col.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    // Sample 4k row positions, deduplicate by value, keep first k after sort.
+    let mut picked = Vec::with_capacity(4 * k);
+    for _ in 0..(4 * k).min(4 * n) {
+        picked.push(col.get(rng.random_range(0..n)));
+    }
+    dedup_values(&mut picked);
+    picked.truncate(k);
+    picked
+}
+
+fn dedup_values(vals: &mut Vec<Value>) {
+    vals.sort_by(|a, b| {
+        a.try_cmp(b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    vals.dedup_by(|a, b| a == b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::table::Table;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let schema = TableSchema::new("t")
+            .with_column(ColumnDef::new("num", DataType::Int))
+            .with_column(ColumnDef::categorical("cat", DataType::Text));
+        let mut t = Table::new(schema);
+        for i in 0..500i64 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Text(if i % 2 == 0 { "even" } else { "odd" }.into()),
+            ]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn sampling_respects_k_and_categorical_domains() {
+        let samples = sample_database(&db(), &SampleConfig { k: 10, ..Default::default() });
+        let num = samples.iter().find(|s| s.column == "num").unwrap();
+        assert_eq!(num.values.len(), 10);
+        let cat = samples.iter().find(|s| s.column == "cat").unwrap();
+        assert_eq!(cat.values.len(), 2); // full domain
+    }
+
+    #[test]
+    fn samples_are_distinct_and_from_the_column() {
+        let samples = sample_database(&db(), &SampleConfig { k: 50, ..Default::default() });
+        let num = &samples.iter().find(|s| s.column == "num").unwrap().values;
+        for w in num.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        for v in num {
+            match v {
+                Value::Int(x) => assert!((0..500).contains(x)),
+                other => panic!("unexpected value {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cfg = SampleConfig::default();
+        let a = sample_database(&db(), &cfg);
+        let b = sample_database(&db(), &cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values.len(), y.values.len());
+            for (u, v) in x.values.iter().zip(&y.values) {
+                assert_eq!(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_column_yields_no_samples() {
+        let schema = TableSchema::new("e").with_column(ColumnDef::new("x", DataType::Int));
+        let mut db = Database::new();
+        db.add_table(Table::new(schema));
+        let samples = sample_database(&db, &SampleConfig::default());
+        assert!(samples[0].values.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Table schemas, primary keys and foreign-key relationships.
+//!
+//! The FSM's semantic rules (paper §5: "two columns can join, only if they
+//! have Primary-key-Foreign-key relations or user-specified join relations")
+//! are driven by the [`ForeignKey`] edges declared here.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A column definition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    /// Categorical columns have a small distinct-value domain; the action
+    /// space enumerates *all* of their values instead of sampling `k`.
+    pub categorical: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            categorical: false,
+        }
+    }
+
+    pub fn categorical(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            categorical: true,
+        }
+    }
+}
+
+/// A foreign-key edge: `table.column -> ref_table.ref_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub column: String,
+    pub ref_table: String,
+    pub ref_column: String,
+}
+
+/// Schema of a single relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the primary key, if any.
+    pub primary_key: Option<usize>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Builder-style column append.
+    pub fn with_column(mut self, col: ColumnDef) -> Self {
+        self.columns.push(col);
+        self
+    }
+
+    /// Marks the most recently added column as primary key.
+    pub fn with_primary_key(mut self) -> Self {
+        assert!(!self.columns.is_empty(), "no column to mark as PK");
+        self.primary_key = Some(self.columns.len() - 1);
+        self
+    }
+
+    /// Adds a foreign key on the most recently added column.
+    pub fn with_foreign_key(
+        mut self,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Self {
+        let column = self
+            .columns
+            .last()
+            .expect("no column to attach FK to")
+            .name
+            .clone();
+        self.foreign_keys.push(ForeignKey {
+            column,
+            ref_table: ref_table.into(),
+            ref_column: ref_column.into(),
+        });
+        self
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new("score")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::new("student_id", DataType::Int))
+            .with_foreign_key("student", "id")
+            .with_column(ColumnDef::new("grade", DataType::Float))
+    }
+
+    #[test]
+    fn builder_sets_pk_and_fk() {
+        let s = schema();
+        assert_eq!(s.primary_key, Some(0));
+        assert_eq!(s.foreign_keys.len(), 1);
+        assert_eq!(s.foreign_keys[0].column, "student_id");
+        assert_eq!(s.foreign_keys[0].ref_table, "student");
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("grade"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.column("grade").unwrap().dtype, DataType::Float);
+    }
+}

@@ -1,0 +1,163 @@
+//! Typed columnar tables.
+
+use crate::schema::TableSchema;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// Column storage. Nulls are not stored: the benchmark generators produce
+/// complete data, and the executor treats out-of-range row indices as a bug.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<String>),
+}
+
+impl Column {
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Text => Column::Text(Vec::new()),
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Text(_) => DataType::Text,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Text(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row access as a [`Value`]. Panics if `row` is out of bounds.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Text(v) => Value::Text(v[row].clone()),
+        }
+    }
+
+    /// Appends a value; panics on a type mismatch (schema violations are
+    /// programming errors in the generators, not runtime conditions).
+    pub fn push(&mut self, value: Value) {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Float(v), Value::Float(x)) => v.push(x),
+            (Column::Float(v), Value::Int(x)) => v.push(x as f64),
+            (Column::Text(v), Value::Text(x)) => v.push(x),
+            (col, val) => panic!(
+                "type mismatch: column is {:?}, value is {:?}",
+                col.data_type(),
+                val
+            ),
+        }
+    }
+}
+
+/// A relation: schema plus columnar data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub schema: TableSchema,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table with storage matching the schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
+        Table { schema, columns }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Appends one row; the row must have one value per column.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch for table {}",
+            self.schema.name
+        );
+        for (col, val) in self.columns.iter_mut().zip(row) {
+            col.push(val);
+        }
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Materializes row `row` as a vector of values (test/debug helper).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn table() -> Table {
+        let schema = TableSchema::new("t")
+            .with_column(ColumnDef::new("a", DataType::Int))
+            .with_column(ColumnDef::new("b", DataType::Text));
+        Table::new(schema)
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = table();
+        t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        t.push_row(vec![Value::Int(2), Value::Text("y".into())]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column("a").unwrap().get(1), Value::Int(2));
+        assert_eq!(t.row(0)[1], Value::Text("x".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = table();
+        t.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut t = table();
+        t.push_row(vec![Value::Text("no".into()), Value::Text("x".into())]);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let schema = TableSchema::new("t").with_column(ColumnDef::new("f", DataType::Float));
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Int(3)]);
+        assert_eq!(t.column("f").unwrap().get(0), Value::Float(3.0));
+    }
+}

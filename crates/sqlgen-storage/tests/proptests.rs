@@ -1,0 +1,114 @@
+//! Property tests for the storage substrate: histogram laws, sampling
+//! invariants and statistics bounds.
+
+use proptest::prelude::*;
+use sqlgen_storage::sample::{distinct_values, sample_column};
+use sqlgen_storage::{Column, ColumnStats, Histogram, Value};
+
+proptest! {
+    /// `fraction_below` is monotone non-decreasing and bounded in [0, 1]
+    /// for any data and probe points.
+    #[test]
+    fn histogram_fraction_monotone(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        probes in proptest::collection::vec(-2e6f64..2e6, 2..20),
+    ) {
+        let h = Histogram::build(data, 16).expect("non-empty");
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in sorted {
+            let f = h.fraction_below(x);
+            prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+            prop_assert!(f >= prev - 1e-9, "not monotone: {f} < {prev}");
+            prev = f;
+        }
+        prop_assert_eq!(h.fraction_below(h.min() - 1.0), 0.0);
+        prop_assert_eq!(h.fraction_below(h.max() + 1.0), 1.0);
+    }
+
+    /// `fraction_between` approximates the true fraction within a coarse
+    /// bound on uniform-ish data.
+    #[test]
+    fn histogram_between_approximates_truth(
+        n in 50usize..400,
+        lo_frac in 0.0f64..0.9,
+        width_frac in 0.05f64..0.5,
+    ) {
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let h = Histogram::build(data.clone(), 16).unwrap();
+        let lo = lo_frac * (n - 1) as f64;
+        let hi = ((lo_frac + width_frac).min(1.0)) * (n - 1) as f64;
+        let est = h.fraction_between(lo, hi);
+        let truth = data.iter().filter(|&&x| x >= lo && x <= hi).count() as f64 / n as f64;
+        prop_assert!((est - truth).abs() < 0.15, "est {est} truth {truth}");
+    }
+
+    /// Column statistics: distinct counts and equality selectivities are
+    /// consistent for any integer data.
+    #[test]
+    fn column_stats_laws(data in proptest::collection::vec(-50i64..50, 1..400)) {
+        let col = Column::Int(data.clone());
+        let stats = ColumnStats::build("c", &col);
+        let mut uniq = data.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(stats.distinct, uniq.len());
+        // Selectivities are valid probabilities; MCV entries are exact.
+        let mut mcv_mass = 0.0;
+        for (v, f) in &stats.mcvs {
+            prop_assert!(*f > 0.0 && *f <= 1.0);
+            mcv_mass += f;
+            if let Value::Int(x) = v {
+                let truth = data.iter().filter(|&&d| d == *x).count() as f64
+                    / data.len() as f64;
+                prop_assert!((f - truth).abs() < 1e-9);
+            }
+        }
+        prop_assert!(mcv_mass <= 1.0 + 1e-9);
+        for probe in [-100i64, 0, 7, 100] {
+            let s = stats.eq_selectivity(&Value::Int(probe));
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    /// Sampled values are distinct and drawn from the column.
+    #[test]
+    fn sample_column_invariants(
+        data in proptest::collection::vec(0i64..200, 1..300),
+        k in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let col = Column::Int(data.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sample = sample_column(&col, k, &mut rng);
+        prop_assert!(sample.len() <= k);
+        for w in sample.windows(2) {
+            prop_assert_ne!(&w[0], &w[1], "duplicate in sample");
+        }
+        for v in &sample {
+            if let Value::Int(x) = v {
+                prop_assert!(data.contains(x), "sampled value not in column");
+            }
+        }
+    }
+
+    /// `distinct_values` returns a sorted prefix of the deduplicated
+    /// domain.
+    #[test]
+    fn distinct_values_sorted_and_bounded(
+        data in proptest::collection::vec(-30i64..30, 0..200),
+        limit in 1usize..40,
+    ) {
+        let col = Column::Int(data.clone());
+        let vals = distinct_values(&col, limit);
+        prop_assert!(vals.len() <= limit);
+        for w in vals.windows(2) {
+            match (&w[0], &w[1]) {
+                (Value::Int(a), Value::Int(b)) => prop_assert!(a < b),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Optimizer regression testing with EXPLAIN-style plans (the paper's
+//! "optimizer tuning" motivation: "to make database optimizer more robust,
+//! it is important to feed the optimizer with a huge number of SQL
+//! queries").
+//!
+//! Generates a constrained workload, explains every query, and diffs the
+//! optimizer's estimates against ground-truth execution — exactly the loop
+//! an optimizer regression suite runs, with the worst mis-estimates
+//! surfaced for investigation.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example optimizer_regression
+//! ```
+
+use learned_sqlgen::core::{Constraint, GenConfig, LearnedSqlGen};
+use learned_sqlgen::engine::{explain, CostModel, Estimator, ExecOptions, Executor};
+use learned_sqlgen::storage::gen::Benchmark;
+
+fn main() {
+    let db = Benchmark::TpcH.build(0.4, 77);
+    let est = Estimator::build(&db);
+    let cost = CostModel::default();
+    let ex = Executor::with_options(&db, ExecOptions { max_rows: 5_000_000 });
+
+    // Mid-cardinality SELECTs: the regime where join mis-estimates hide.
+    let constraint = Constraint::cardinality_range(50.0, 5_000.0);
+    let mut generator = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(41));
+    println!("Training workload generator for {constraint} ...");
+    generator.train(400);
+    let (workload, _) = generator.generate_satisfied(25, 2_000);
+    println!("Workload: {} satisfied queries\n", workload.len());
+
+    // Explain + execute every query; rank by q-error.
+    let mut ranked: Vec<(f64, String, f64, u64)> = Vec::new();
+    for q in &workload {
+        let plan = explain(&est, &cost, &q.statement);
+        let real = ex.cardinality(&q.statement).unwrap_or(0);
+        let est_rows = plan.rows.max(1.0);
+        let real_rows = real.max(1) as f64;
+        let qerr = (est_rows / real_rows).max(real_rows / est_rows);
+        ranked.push((qerr, q.sql.clone(), plan.rows, real));
+    }
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+
+    println!("Worst estimator q-errors in the workload:");
+    for (qerr, sql, est_rows, real) in ranked.iter().take(5) {
+        println!("  q-error {qerr:>7.2}  est {est_rows:>8.0}  real {real:>8}  {sql}");
+    }
+
+    let median = ranked[ranked.len() / 2].0;
+    println!("\nMedian q-error: {median:.2}");
+
+    // Show the full plan for the single worst offender — what a DBA would
+    // paste into the regression ticket.
+    let worst_sql = &ranked[0].1;
+    let stmt = learned_sqlgen::engine::parse(worst_sql).expect("round-trip");
+    println!("\nEXPLAIN for the worst offender:\n{}", explain(&est, &cost, &stmt));
+}

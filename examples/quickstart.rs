@@ -1,0 +1,94 @@
+//! Quickstart: the paper's Figure 1 scenario end-to-end.
+//!
+//! Builds the Score/Student example database, asks for queries whose
+//! cardinality lies in a range, trains LearnedSQLGen, and prints the
+//! generated SQL with its estimated cardinality.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use learned_sqlgen::core::{Constraint, GenConfig, LearnedSqlGen};
+use learned_sqlgen::storage::{ColumnDef, Database, DataType, Table, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two-relation database from Figure 1 of the paper, scaled up enough
+/// that cardinality constraints have room to vary.
+fn score_student_db() -> Database {
+    let mut rng = StdRng::seed_from_u64(2022);
+    let mut db = Database::new();
+
+    let mut student = Table::new(
+        TableSchema::new("student")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key()
+            .with_column(ColumnDef::categorical("gender", DataType::Text)),
+    );
+    for i in 0..200i64 {
+        student.push_row(vec![
+            Value::Int(i),
+            Value::Text(if rng.random_bool(0.5) { "F" } else { "M" }.into()),
+        ]);
+    }
+    db.add_table(student);
+
+    let mut score = Table::new(
+        TableSchema::new("score")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_foreign_key("student", "id")
+            .with_column(ColumnDef::categorical("course", DataType::Text))
+            .with_column(ColumnDef::new("grade", DataType::Float)),
+    );
+    let courses = ["math", "physics", "db", "ml"];
+    for i in 0..2_000i64 {
+        score.push_row(vec![
+            Value::Int(i % 200),
+            Value::Text(courses[rng.random_range(0..courses.len())].into()),
+            Value::Float((rng.random_range(400..1000) as f64) / 10.0),
+        ]);
+    }
+    db.add_table(score);
+    db
+}
+
+fn main() {
+    let db = score_student_db();
+    println!(
+        "Database: {} tables, {} rows total",
+        db.len(),
+        db.total_rows()
+    );
+
+    // The user constraint from Example 1: Cardinality in [100, 300].
+    let constraint = Constraint::cardinality_range(100.0, 300.0);
+    println!("Constraint: {constraint}");
+
+    let mut generator = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(7));
+    println!("Training ...");
+    let stats = generator.train(900);
+    println!(
+        "  {} episodes, {} satisfied queries discovered during training",
+        stats.episodes,
+        stats.satisfied_during_training.len()
+    );
+
+    println!("\nGenerated queries:");
+    let queries = generator.generate(15);
+    for q in &queries {
+        println!(
+            "  [{}] est. card {:>8.0}  {}",
+            if q.satisfied { "ok" } else { "  " },
+            q.measured,
+            q.sql
+        );
+    }
+    let hits = queries.iter().filter(|q| q.satisfied).count();
+    println!(
+        "\nGeneration accuracy: {}/{} = {:.1}%",
+        hits,
+        queries.len(),
+        100.0 * hits as f64 / queries.len() as f64
+    );
+}

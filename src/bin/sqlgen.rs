@@ -1,0 +1,240 @@
+//! `sqlgen` — command-line constraint-aware SQL generation.
+//!
+//! ```sh
+//! sqlgen --benchmark tpch --range 1000 2000 --n 10
+//! sqlgen --benchmark job --metric cost --point 500 --train 800 --profile
+//! sqlgen --benchmark xuetang --range 10 500 --kinds select,delete --execute
+//! sqlgen --benchmark tpch --range 1000 2000 --save model.json
+//! sqlgen --benchmark tpch --range 1000 2000 --load model.json --train 0
+//! ```
+
+use learned_sqlgen::core::{profile, Constraint, GenConfig, LearnedSqlGen};
+use learned_sqlgen::engine::{ExecOptions, Executor, StatementKind};
+use learned_sqlgen::fsm::FsmConfig;
+use learned_sqlgen::storage::gen::Benchmark;
+use std::process::exit;
+
+struct Args {
+    benchmark: Benchmark,
+    scale: f64,
+    seed: u64,
+    metric: String,
+    point: Option<f64>,
+    range: Option<(f64, f64)>,
+    n: usize,
+    train: usize,
+    kinds: Option<Vec<StatementKind>>,
+    execute: bool,
+    profile: bool,
+    save: Option<String>,
+    load: Option<String>,
+    only_satisfied: bool,
+}
+
+const USAGE: &str = "\
+sqlgen — constraint-aware SQL generation (LearnedSQLGen reproduction)
+
+USAGE:
+  sqlgen --benchmark <tpch|job|xuetang> (--point <v> | --range <lo> <hi>) [flags]
+
+FLAGS:
+  --metric <card|cost>    constrained metric (default: card)
+  --n <count>             queries to generate (default: 10)
+  --train <episodes>      RL training episodes (default: 500; 0 with --load)
+  --scale <sf>            data scale factor (default: 0.3)
+  --seed <u64>            RNG seed (default: 42)
+  --kinds <k1,k2,..>      statement kinds: select,insert,update,delete
+  --only-satisfied        keep generating until --n satisfied queries
+  --execute               also report the real (executed) cardinality
+  --profile               print a diversity/complexity profile
+  --save <path>           save the trained actor as JSON
+  --load <path>           load an actor checkpoint before generating";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        benchmark: Benchmark::TpcH,
+        scale: 0.3,
+        seed: 42,
+        metric: "card".into(),
+        point: None,
+        range: None,
+        n: 10,
+        train: 500,
+        kinds: None,
+        execute: false,
+        profile: false,
+        save: None,
+        load: None,
+        only_satisfied: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let fail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        exit(2)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--benchmark" => {
+                args.benchmark = value("--benchmark")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
+            "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| fail("--scale")),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| fail("--seed")),
+            "--metric" => args.metric = value("--metric"),
+            "--point" => {
+                args.point = Some(value("--point").parse().unwrap_or_else(|_| fail("--point")))
+            }
+            "--range" => {
+                let lo = value("--range").parse().unwrap_or_else(|_| fail("--range lo"));
+                let hi = value("--range").parse().unwrap_or_else(|_| fail("--range hi"));
+                args.range = Some((lo, hi));
+            }
+            "--n" => args.n = value("--n").parse().unwrap_or_else(|_| fail("--n")),
+            "--train" => args.train = value("--train").parse().unwrap_or_else(|_| fail("--train")),
+            "--kinds" => {
+                let kinds = value("--kinds")
+                    .split(',')
+                    .map(|k| match k.trim().to_ascii_lowercase().as_str() {
+                        "select" => StatementKind::Select,
+                        "insert" => StatementKind::Insert,
+                        "update" => StatementKind::Update,
+                        "delete" => StatementKind::Delete,
+                        other => fail(&format!("unknown kind {other}")),
+                    })
+                    .collect();
+                args.kinds = Some(kinds);
+            }
+            "--execute" => args.execute = true,
+            "--profile" => args.profile = true,
+            "--only-satisfied" => args.only_satisfied = true,
+            "--save" => args.save = Some(value("--save")),
+            "--load" => args.load = Some(value("--load")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if args.point.is_none() && args.range.is_none() {
+        fail("one of --point or --range is required");
+    }
+    if args.point.is_some() && args.range.is_some() {
+        fail("--point and --range are mutually exclusive");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let constraint = match (args.metric.as_str(), args.point, args.range) {
+        ("card", Some(p), _) => Constraint::cardinality_point(p),
+        ("card", _, Some((lo, hi))) => Constraint::cardinality_range(lo, hi),
+        ("cost", Some(p), _) => Constraint::cost_point(p),
+        ("cost", _, Some((lo, hi))) => Constraint::cost_range(lo, hi),
+        (m, _, _) => {
+            eprintln!("error: unknown metric {m} (card|cost)");
+            exit(2);
+        }
+    };
+
+    eprintln!(
+        "building {} at scale {} (seed {}) ...",
+        args.benchmark.name(),
+        args.scale,
+        args.seed
+    );
+    let db = args.benchmark.build(args.scale, args.seed);
+
+    let mut config = GenConfig::default().with_seed(args.seed);
+    if let Some(kinds) = &args.kinds {
+        config.fsm = FsmConfig::default().with_statements(kinds);
+    }
+    let mut generator = LearnedSqlGen::new(&db, constraint, config);
+
+    if let Some(path) = &args.load {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            exit(1);
+        });
+        generator.load_actor(&json).unwrap_or_else(|e| {
+            eprintln!("error: bad checkpoint {path}: {e}");
+            exit(1);
+        });
+        eprintln!("loaded actor from {path}");
+    }
+
+    let train = if args.load.is_some() && args.train == 500 {
+        0 // default to no re-training when a checkpoint was loaded
+    } else {
+        args.train
+    };
+    if train > 0 {
+        eprintln!("training {train} episodes for {constraint} ...");
+        let stats = generator.train(train);
+        eprintln!(
+            "  {} satisfied queries found during training",
+            stats.satisfied_during_training.len()
+        );
+    }
+
+    let queries = if args.only_satisfied {
+        let (qs, attempts) = generator.generate_satisfied(args.n, args.n * 200);
+        eprintln!("{} satisfied in {attempts} attempts", qs.len());
+        qs
+    } else {
+        generator.generate(args.n)
+    };
+
+    let ex = Executor::with_options(&db, ExecOptions { max_rows: 5_000_000 });
+    for q in &queries {
+        if args.execute {
+            let real = ex
+                .cardinality(&q.statement)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|e| format!("error: {e}"));
+            println!(
+                "[{}] est={:.0} real={real}\t{}",
+                if q.satisfied { "ok" } else { "--" },
+                q.measured,
+                q.sql
+            );
+        } else {
+            println!(
+                "[{}] est={:.0}\t{}",
+                if q.satisfied { "ok" } else { "--" },
+                q.measured,
+                q.sql
+            );
+        }
+    }
+    let hits = queries.iter().filter(|q| q.satisfied).count();
+    eprintln!(
+        "accuracy: {hits}/{} = {:.1}%",
+        queries.len(),
+        100.0 * hits as f64 / queries.len().max(1) as f64
+    );
+
+    if args.profile {
+        let r = profile(&queries);
+        eprintln!("\nworkload profile:");
+        eprintln!("  distinct SQL ratio : {:.2}", r.distinct_ratio);
+        eprintln!("  structure entropy  : {:.2} bits", r.structure_entropy);
+        eprintln!("  multi-join share   : {:.1}%", 100.0 * r.multi_join_share());
+        eprintln!("  nested share       : {:.1}%", 100.0 * r.nested_share());
+        eprintln!("  aggregated share   : {:.1}%", 100.0 * r.aggregated_share());
+        eprintln!("  statement kinds    : {:?}", r.kinds);
+    }
+
+    if let Some(path) = &args.save {
+        std::fs::write(path, generator.save_actor()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("saved actor to {path}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # LearnedSQLGen — constraint-aware SQL generation using reinforcement learning
+//!
+//! A from-scratch Rust reproduction of the SIGMOD'22 paper
+//! *"LearnedSQLGen: Constraint-aware SQL Generation using Reinforcement
+//! Learning"* (Zhang, Chai, Zhou, Li).
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on a single package:
+//!
+//! * [`storage`] — in-memory columnar tables, statistics and the three
+//!   benchmark data generators (TPC-H, JOB/IMDB, XueTang shapes).
+//! * [`engine`] — SQL AST, renderer, parser, executor, cardinality
+//!   estimator and cost model.
+//! * [`nn`] — the pure-Rust neural-network substrate (LSTM, Adam, ...).
+//! * [`fsm`] — the finite-state machine guaranteeing query validity.
+//! * [`rl`] — REINFORCE, actor-critic and meta-critic algorithms.
+//! * [`core`] — the `LearnedSqlGen` generator itself.
+//! * [`baselines`] — SQLsmith-style random and template-based baselines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use learned_sqlgen::core::{Constraint, GenConfig, LearnedSqlGen};
+//! use learned_sqlgen::storage::gen::Benchmark;
+//!
+//! let db = Benchmark::TpcH.build(1.0, 42);
+//! let constraint = Constraint::cardinality_range(1_000.0, 2_000.0);
+//! let mut generator = LearnedSqlGen::new(&db, constraint, GenConfig::default());
+//! generator.train(200);
+//! for q in generator.generate(10) {
+//!     println!("{}", q.sql);
+//! }
+//! ```
+
+pub use sqlgen_baselines as baselines;
+pub use sqlgen_core as core;
+pub use sqlgen_engine as engine;
+pub use sqlgen_fsm as fsm;
+pub use sqlgen_nn as nn;
+pub use sqlgen_rl as rl;
+pub use sqlgen_storage as storage;

@@ -1,0 +1,144 @@
+//! Property-based tests for the system's core invariants.
+//!
+//! The load-bearing guarantee (paper challenge C3): every FSM-reachable
+//! statement is valid, renderable, parseable and executable. Plus
+//! estimator laws: predicates never increase estimated cardinality,
+//! selectivities stay in [0, 1], rewards stay in [0, 1].
+
+use learned_sqlgen::engine::{
+    parse, render, validate, ColRef, CmpOp, Estimator, ExecOptions, Executor, Predicate, Rhs,
+    SelectQuery, Statement,
+};
+use learned_sqlgen::fsm::{random_statement, FsmConfig, Vocabulary};
+use learned_sqlgen::rl::Constraint;
+use learned_sqlgen::storage::gen::Benchmark;
+use learned_sqlgen::storage::sample::SampleConfig;
+use learned_sqlgen::storage::Value;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    db: learned_sqlgen::storage::Database,
+    vocab: Vocabulary,
+    est: Estimator,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let db = Benchmark::TpcH.build(0.15, 1234);
+        let vocab = Vocabulary::build(&db, &SampleConfig { k: 12, ..Default::default() });
+        let est = Estimator::build(&db);
+        Fixture { db, vocab, est }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any seed's FSM rollout is valid, round-trips, and executes.
+    #[test]
+    fn rollouts_are_valid_and_executable(seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (stmt, _) = random_statement(&f.vocab, &FsmConfig::full(), &mut rng);
+        let sql = render(&stmt);
+        prop_assert!(validate(&f.db, &stmt).is_ok(), "invalid: {sql}");
+        let reparsed = parse(&sql).map_err(|e| TestCaseError::fail(format!("{e}: {sql}")))?;
+        prop_assert_eq!(render(&reparsed), sql.clone());
+        let ex = Executor::with_options(&f.db, ExecOptions { max_rows: 2_000_000 });
+        prop_assert!(ex.cardinality(&stmt).is_ok(), "exec failed: {sql}");
+    }
+
+    /// Estimated selectivity of any rollout's predicate is within [0, 1],
+    /// and the estimated cardinality is finite and non-negative.
+    #[test]
+    fn estimates_are_bounded(seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (stmt, _) = random_statement(&f.vocab, &FsmConfig::default(), &mut rng);
+        let card = f.est.cardinality(&stmt);
+        prop_assert!(card.is_finite() && card >= 0.0);
+        if let Statement::Select(q) = &stmt {
+            if let Some(p) = &q.predicate {
+                let s = f.est.selectivity(p);
+                prop_assert!((0.0..=1.0).contains(&s), "selectivity {s}");
+            }
+        }
+    }
+
+    /// Adding a conjunct never increases the estimated cardinality
+    /// (monotonicity under the independence assumption).
+    #[test]
+    fn and_conjunct_is_monotone(seed in any::<u64>(), threshold in 1i64..50) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Find a SELECT whose FROM includes lineitem, or build one.
+        let mut q = SelectQuery::scan(
+            "lineitem",
+            vec![learned_sqlgen::engine::SelectItem::Column(ColRef::new(
+                "lineitem",
+                "l_quantity",
+            ))],
+        );
+        let (extra, _) = random_statement(&f.vocab, &FsmConfig::spj(), &mut rng);
+        let base_card = f.est.select_cardinality(&q);
+        let conj = Predicate::Cmp {
+            col: ColRef::new("lineitem", "l_quantity"),
+            op: CmpOp::Lt,
+            rhs: Rhs::Value(Value::Int(threshold)),
+        };
+        q.predicate = Some(conj);
+        let filtered = f.est.select_cardinality(&q);
+        prop_assert!(filtered <= base_card + 1e-9, "{filtered} > {base_card}");
+        let _ = extra; // keep the rollout exercised for coverage
+    }
+
+    /// Rewards are always in [0, 1] for any constraint/measurement combo.
+    #[test]
+    fn rewards_bounded(measured in 0.0f64..1e12, lo in 1.0f64..1e6, width in 1.0f64..1e6) {
+        let c = Constraint::cardinality_range(lo, lo + width);
+        let r = c.reward(measured);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let p = Constraint::cost_point(lo);
+        let r = p.reward(measured);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Range rewards are 1 exactly inside the range.
+    #[test]
+    fn range_reward_one_inside(lo in 1.0f64..1e6, width in 1.0f64..1e6, t in 0.0f64..1.0) {
+        let c = Constraint::cardinality_range(lo, lo + width);
+        let inside = lo + t * width;
+        prop_assert_eq!(c.reward(inside), 1.0);
+        prop_assert!(c.satisfied(inside));
+    }
+
+    /// Point rewards decrease as the measurement moves away from the point.
+    #[test]
+    fn point_reward_monotone(c in 10.0f64..1e6, f1 in 1.0f64..10.0, f2 in 10.0f64..100.0) {
+        let p = Constraint::cardinality_point(c);
+        prop_assert!(p.reward(c * f1) >= p.reward(c * f2) - 1e-12);
+        prop_assert!(p.reward(c / f1) >= p.reward(c / f2) - 1e-12);
+    }
+}
+
+/// Deterministic sanity outside proptest: the executor and the validator
+/// agree on FSM output across all benchmarks (validator accepts ⇒ executor
+/// succeeds).
+#[test]
+fn validator_acceptance_implies_executability() {
+    for benchmark in Benchmark::ALL {
+        let db = benchmark.build(0.1, 77);
+        let vocab = Vocabulary::build(&db, &SampleConfig { k: 8, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(3);
+        let ex = Executor::with_options(&db, ExecOptions { max_rows: 2_000_000 });
+        for _ in 0..60 {
+            let (stmt, _) = random_statement(&vocab, &FsmConfig::full(), &mut rng);
+            validate(&db, &stmt).unwrap();
+            ex.cardinality(&stmt).unwrap();
+        }
+    }
+}
