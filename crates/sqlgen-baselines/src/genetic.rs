@@ -80,9 +80,11 @@ impl GeneticGen {
         visit_statement_values(stmt, &mut |_, v| values.push(v.clone()));
         let vocab = env.vocab;
         let col = &holes[target];
-        if let Some(cid) = vocab.columns.iter().position(|c| {
-            vocab.tables[c.table as usize] == col.table && c.name == col.column
-        }) {
+        if let Some(cid) = vocab
+            .columns
+            .iter()
+            .position(|c| vocab.tables[c.table as usize] == col.table && c.name == col.column)
+        {
             let pool = vocab.value_tokens_of(cid as u32);
             if !pool.is_empty() {
                 let pick = pool[self.rng.random_range(0..pool.len())];
@@ -185,7 +187,13 @@ mod tests {
 
     fn setup() -> (sqlgen_storage::Database, Vocabulary, Estimator) {
         let db = tpch_database(0.25, 4);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 20, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 20,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         (db, vocab, est)
     }

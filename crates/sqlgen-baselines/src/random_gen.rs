@@ -73,7 +73,13 @@ mod tests {
 
     fn setup() -> (sqlgen_storage::Database, Vocabulary, Estimator) {
         let db = tpch_database(0.2, 4);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         (db, vocab, est)
     }

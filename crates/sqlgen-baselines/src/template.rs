@@ -133,9 +133,11 @@ impl TemplateGen {
     /// Sorted candidate values for a hole's column, from the action space.
     fn candidates(env: &SqlGenEnv, col: &ColRef) -> Vec<Value> {
         let vocab = env.vocab;
-        let Some(cid) = vocab.columns.iter().position(|c| {
-            vocab.tables[c.table as usize] == col.table && c.name == col.column
-        }) else {
+        let Some(cid) = vocab
+            .columns
+            .iter()
+            .position(|c| vocab.tables[c.table as usize] == col.table && c.name == col.column)
+        else {
             return Vec::new();
         };
         vocab
@@ -151,11 +153,7 @@ impl TemplateGen {
     /// Constraint reward of an assignment (higher = closer).
     fn score(env: &SqlGenEnv, template: &Statement, cands: &[Vec<Value>], idx: &[usize]) -> f64 {
         let mut stmt = template.clone();
-        let values: Vec<Value> = idx
-            .iter()
-            .zip(cands)
-            .map(|(&i, c)| c[i].clone())
-            .collect();
+        let values: Vec<Value> = idx.iter().zip(cands).map(|(&i, c)| c[i].clone()).collect();
         set_holes(&mut stmt, &values);
         env.constraint.reward(env.measure(&stmt))
     }
@@ -272,7 +270,13 @@ mod tests {
 
     fn setup() -> (sqlgen_storage::Database, Vocabulary, Estimator) {
         let db = tpch_database(0.5, 4);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 30, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 30,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         (db, vocab, est)
     }
@@ -287,10 +291,7 @@ mod tests {
         let holes = hole_columns(&stmt);
         assert_eq!(holes.len(), 2);
         assert_eq!(holes[0].column, "l_quantity");
-        set_holes(
-            &mut stmt,
-            &[Value::Int(42), Value::Text("RAIL".into())],
-        );
+        set_holes(&mut stmt, &[Value::Int(42), Value::Text("RAIL".into())]);
         let sql = sqlgen_engine::render(&stmt);
         assert!(sql.contains("< 42") && sql.contains("'RAIL'"), "{sql}");
     }
@@ -308,13 +309,11 @@ mod tests {
     #[test]
     fn tuning_moves_toward_the_constraint() {
         let (_db, vocab, est) = setup();
-        let template = parse(
-            "SELECT lineitem.l_quantity FROM lineitem WHERE lineitem.l_quantity < 1",
-        )
-        .unwrap();
+        let template =
+            parse("SELECT lineitem.l_quantity FROM lineitem WHERE lineitem.l_quantity < 1")
+                .unwrap();
         // Target roughly half the table.
-        let total = est
-            .cardinality(&parse("SELECT lineitem.l_quantity FROM lineitem").unwrap());
+        let total = est.cardinality(&parse("SELECT lineitem.l_quantity FROM lineitem").unwrap());
         let target = total / 2.0;
         let env = SqlGenEnv::new(
             &vocab,
@@ -344,8 +343,8 @@ mod tests {
         // The paper's Figure 6 anecdote: a template over a small table can
         // never reach a huge cardinality no matter the predicate values.
         let (_db, vocab, est) = setup();
-        let template = parse("SELECT region.r_name FROM region WHERE region.r_regionkey < 3")
-            .unwrap();
+        let template =
+            parse("SELECT region.r_name FROM region WHERE region.r_regionkey < 3").unwrap();
         let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_point(1e8));
         let mut tg = TemplateGen::from_statements(vec![template], 1);
         let (found, attempts) = tg.find_satisfied(&env, 1, 10);

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqlgen_bench::TestBed;
-use sqlgen_rl::{
-    ActorCritic, Constraint, MetaCriticTrainer, NetConfig, Reinforce, TrainConfig,
-};
+use sqlgen_rl::{ActorCritic, Constraint, MetaCriticTrainer, NetConfig, Reinforce, TrainConfig};
 use sqlgen_storage::gen::Benchmark;
 use std::hint::black_box;
 

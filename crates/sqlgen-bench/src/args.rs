@@ -15,6 +15,12 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Restrict to one benchmark (tpch/job/xuetang); `None` = all.
     pub benchmark: Option<String>,
+    /// Write observability events to this JSONL file.
+    pub trace: Option<String>,
+    /// Print the end-of-run metrics summary table.
+    pub metrics: bool,
+    /// Suppress informational progress output.
+    pub quiet: bool,
 }
 
 impl Default for HarnessArgs {
@@ -26,6 +32,9 @@ impl Default for HarnessArgs {
             train: 400,
             quick: false,
             benchmark: None,
+            trace: None,
+            metrics: false,
+            quiet: false,
         }
     }
 }
@@ -51,10 +60,14 @@ impl HarnessArgs {
                 "--train" => args.train = value("--train").parse().expect("--train: integer"),
                 "--benchmark" => args.benchmark = Some(value("--benchmark")),
                 "--quick" => args.quick = true,
+                "--trace" => args.trace = Some(value("--trace")),
+                "--metrics" => args.metrics = true,
+                "--quiet" | "-q" => args.quiet = true,
                 "--help" | "-h" => {
-                    eprintln!(
+                    println!(
                         "flags: --n <queries> --scale <sf> --seed <u64> \
-                         --train <episodes> --benchmark <tpch|job|xuetang> --quick"
+                         --train <episodes> --benchmark <tpch|job|xuetang> --quick \
+                         --trace <path.jsonl> --metrics --quiet"
                     );
                     std::process::exit(0);
                 }
@@ -67,6 +80,36 @@ impl HarnessArgs {
             args.scale = args.scale.min(0.15);
         }
         args
+    }
+
+    /// Applies the observability flags: call once at the top of `main`.
+    pub fn init_obs(&self) {
+        if self.quiet {
+            sqlgen_obs::set_level(sqlgen_obs::Level::Warn);
+        }
+        if self.metrics {
+            sqlgen_obs::enable_metrics();
+        }
+        if let Some(path) = &self.trace {
+            match sqlgen_obs::JsonlSink::create(std::path::Path::new(path)) {
+                Ok(sink) => sqlgen_obs::install_sink(std::sync::Arc::new(sink)),
+                Err(e) => {
+                    sqlgen_obs::obs_error!("cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    /// Flushes the observability flags: call once at the end of `main`.
+    pub fn finish_obs(&self) {
+        if self.metrics {
+            sqlgen_obs::metrics::summary_table().print();
+        }
+        if self.trace.is_some() {
+            sqlgen_obs::metrics::emit_summary_events();
+            sqlgen_obs::clear_sink();
+        }
     }
 }
 

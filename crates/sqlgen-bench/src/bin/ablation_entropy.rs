@@ -14,6 +14,7 @@ use sqlgen_storage::gen::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let bed = TestBed::new(Benchmark::TpcH, args.scale, args.seed);
     let constraint = Constraint::cardinality_range(1e3, 8e3);
     let lambdas = [0.0f32, 0.005, 0.01, 0.05, 0.2];
@@ -33,7 +34,7 @@ fn main() {
     );
 
     for &lambda in &lambdas {
-        eprintln!("[ablation] lambda = {lambda}");
+        sqlgen_obs::obs_info!("[ablation] lambda = {lambda}");
         let mut cfg = harness_gen_config(bed.seed);
         cfg.train.lambda = lambda;
         let mut g = LearnedSqlGen::new(&bed.db, constraint, cfg);
@@ -52,4 +53,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "ablation_entropy");
+    args.finish_obs();
 }

@@ -26,12 +26,16 @@ fn cfg(seed: u64) -> TrainConfig {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let bed = TestBed::new(Benchmark::TpcH, args.scale, args.seed);
     let constraints = [
         ("Card = 1e2", Constraint::cardinality_point(1e2)),
         ("Card = 1e3", Constraint::cardinality_point(1e3)),
         ("Card in [1k, 2k]", Constraint::cardinality_range(1e3, 2e3)),
-        ("Card in [200, 400]", Constraint::cardinality_range(200.0, 400.0)),
+        (
+            "Card in [200, 400]",
+            Constraint::cardinality_range(200.0, 400.0),
+        ),
     ];
 
     let mut table = Table::new(
@@ -43,7 +47,7 @@ fn main() {
     );
 
     for (label, constraint) in constraints {
-        eprintln!("[ablation] {label}");
+        sqlgen_obs::obs_info!("[ablation] {label}");
         let mut accs = Vec::new();
         for mode in [RewardMode::RawBoundary, RewardMode::Shaped] {
             let env = bed.env(constraint).with_reward_mode(mode);
@@ -61,4 +65,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "ablation_reward_shaping");
+    args.finish_obs();
 }

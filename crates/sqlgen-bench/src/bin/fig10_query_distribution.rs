@@ -44,20 +44,28 @@ fn select_stats(qs: &[GeneratedQuery]) -> (BTreeMap<usize, usize>, usize, usize,
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let bed = TestBed::new(Benchmark::TpcH, args.scale, args.seed);
 
     // (a)(b)(c)(f): cost constraint (paper: Cost = 10⁶; our cost axis is
     // shifted — see EXPERIMENTS.md).
-    eprintln!("[fig10] training under cost constraint ...");
+    sqlgen_obs::obs_info!("[fig10] training under cost constraint ...");
     let cost_qs = generate(&bed, Constraint::cost_point(1e3), FsmConfig::full(), &args);
     let (joins, nested, agg, selects) = select_stats(&cost_qs);
 
     let mut a = Table::new(
-        format!("Figure 10(a) — Join table counts (N={}, Cost = 1e3)", args.n),
+        format!(
+            "Figure 10(a) — Join table counts (N={}, Cost = 1e3)",
+            args.n
+        ),
         &["tables in FROM", "queries", "share"],
     );
     for (k, v) in &joins {
-        a.row(vec![k.to_string(), v.to_string(), pct(*v as f64 / selects.max(1) as f64)]);
+        a.row(vec![
+            k.to_string(),
+            v.to_string(),
+            pct(*v as f64 / selects.max(1) as f64),
+        ]);
     }
     a.print();
     write_csv(&a, "fig10a_joins");
@@ -96,7 +104,7 @@ fn main() {
     write_csv(&f, "fig10f_lengths");
 
     // (e): statement-kind mix under a cardinality band, all kinds enabled.
-    eprintln!("[fig10] training under cardinality constraint (all kinds) ...");
+    sqlgen_obs::obs_info!("[fig10] training under cardinality constraint (all kinds) ...");
     let card_qs = generate(
         &bed,
         Constraint::cardinality_range(50.0, 400.0),
@@ -110,7 +118,7 @@ fn main() {
     // (full-table DELETEs, GROUP BY on a small table), so (d) uses
     // SPJ-only generation with a band that falls *between* table sizes —
     // the regime where predicates are mandatory (see EXPERIMENTS.md).
-    eprintln!("[fig10] training under gap-band cardinality constraint (SPJ only) ...");
+    sqlgen_obs::obs_info!("[fig10] training under gap-band cardinality constraint (SPJ only) ...");
     let pred_qs = generate(
         &bed,
         Constraint::cardinality_range(35.0, 80.0),
@@ -160,4 +168,5 @@ fn main() {
     }
     e.print();
     write_csv(&e, "fig10e_kinds");
+    args.finish_obs();
 }

@@ -42,6 +42,7 @@ fn fsm_for(kind: &str) -> FsmConfig {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let bed = TestBed::new(Benchmark::TpcH, args.scale, args.seed);
     let targets: Vec<usize> = (1..=10).map(|i| i * args.n / 10).collect();
 
@@ -52,7 +53,10 @@ fn main() {
             vec![
                 ("Cost = 1e2".into(), Constraint::cost_point(1e2)),
                 ("Cost = 1e3".into(), Constraint::cost_point(1e3)),
-                ("Cost in [1e2, 4e2]".into(), Constraint::cost_range(1e2, 4e2)),
+                (
+                    "Cost in [1e2, 4e2]".into(),
+                    Constraint::cost_range(1e2, 4e2),
+                ),
             ],
         ),
         (
@@ -88,7 +92,7 @@ fn main() {
         // recording the elapsed time at each checkpoint.
         let mut series: Vec<Vec<f64>> = Vec::new();
         for (label, constraint) in &constraints {
-            eprintln!("[fig11] {kind} / {label}");
+            sqlgen_obs::obs_info!("[fig11] {kind} / {label}");
             let mut cfg = harness_gen_config(bed.seed);
             cfg.fsm = fsm_for(kind);
             let start = Instant::now();
@@ -124,4 +128,5 @@ fn main() {
         table.print();
         write_csv(&table, &format!("fig11_{kind}"));
     }
+    args.finish_obs();
 }

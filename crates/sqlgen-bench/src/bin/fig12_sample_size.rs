@@ -16,6 +16,7 @@ use std::time::Instant;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let ks = [2usize, 5, 10, 25, 50, 100, 200];
     let constraints = [
         ("Card = 1e3", Constraint::cardinality_point(1e3)),
@@ -51,7 +52,7 @@ fn main() {
     );
 
     for &k in &ks {
-        eprintln!("[fig12] k = {k}");
+        sqlgen_obs::obs_info!("[fig12] k = {k}");
         let bed = TestBed::with_sample(
             Benchmark::TpcH,
             args.scale,
@@ -104,4 +105,5 @@ fn main() {
     time_table.print();
     write_csv(&acc_table, "fig12a_accuracy");
     write_csv(&time_table, "fig12b_time");
+    args.finish_obs();
 }

@@ -12,6 +12,7 @@ use sqlgen_storage::gen::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     // The paper's point axis spans 10^2..10^8 on 33 GB data; our scaled data
     // caps estimated cardinalities around 10^5, so the axis keeps the same
     // decade spread, shifted (documented in EXPERIMENTS.md).
@@ -23,7 +24,13 @@ fn main() {
             "Figure 4 — Accuracy, cardinality constraints (N={}, scale={}, train={})",
             args.n, args.scale, args.train
         ),
-        &["dataset", "constraint", "SQLSmith", "Template", "LearnedSQLGen"],
+        &[
+            "dataset",
+            "constraint",
+            "SQLSmith",
+            "Template",
+            "LearnedSQLGen",
+        ],
     );
 
     for benchmark in Benchmark::ALL {
@@ -34,12 +41,17 @@ fn main() {
                 continue;
             }
         }
-        eprintln!("[fig4] preparing {} ...", benchmark.name());
+        sqlgen_obs::obs_info!("[fig4] preparing {} ...", benchmark.name());
         let bed = TestBed::new(benchmark, args.scale, args.seed);
 
         let constraints: Vec<(String, Constraint)> = points
             .iter()
-            .map(|&c| (format!("Card = 1e{:.0}", c.log10()), Constraint::cardinality_point(c)))
+            .map(|&c| {
+                (
+                    format!("Card = 1e{:.0}", c.log10()),
+                    Constraint::cardinality_point(c),
+                )
+            })
             .chain(ranges.iter().map(|&(lo, hi)| {
                 (
                     format!("Card in [{:.0}k, {:.0}k]", lo / 1e3, hi / 1e3),
@@ -49,7 +61,7 @@ fn main() {
             .collect();
 
         for (label, constraint) in constraints {
-            eprintln!("[fig4] {} / {label}", benchmark.name());
+            sqlgen_obs::obs_info!("[fig4] {} / {label}", benchmark.name());
             let rnd = random_accuracy(&bed, constraint, args.n);
             let tpl = template_accuracy(&bed, constraint, args.n);
             let lrn = learned_accuracy(&bed, constraint, args.train, args.n);
@@ -65,4 +77,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "fig4_accuracy_cardinality");
+    args.finish_obs();
 }

@@ -10,6 +10,7 @@ use sqlgen_storage::gen::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     // The paper's cost axis spans 10²..10⁸ on 33 GB data; our scaled data
     // puts interesting costs at 10¹..10⁶ cost units — same spread, shifted
     // (documented in EXPERIMENTS.md).
@@ -21,7 +22,13 @@ fn main() {
             "Figure 5 — Accuracy, cost constraints (N={}, scale={}, train={})",
             args.n, args.scale, args.train
         ),
-        &["dataset", "constraint", "SQLSmith", "Template", "LearnedSQLGen"],
+        &[
+            "dataset",
+            "constraint",
+            "SQLSmith",
+            "Template",
+            "LearnedSQLGen",
+        ],
     );
 
     for benchmark in Benchmark::ALL {
@@ -30,12 +37,17 @@ fn main() {
                 continue;
             }
         }
-        eprintln!("[fig5] preparing {} ...", benchmark.name());
+        sqlgen_obs::obs_info!("[fig5] preparing {} ...", benchmark.name());
         let bed = TestBed::new(benchmark, args.scale, args.seed);
 
         let constraints: Vec<(String, Constraint)> = points
             .iter()
-            .map(|&c| (format!("Cost = 1e{:.0}", c.log10()), Constraint::cost_point(c)))
+            .map(|&c| {
+                (
+                    format!("Cost = 1e{:.0}", c.log10()),
+                    Constraint::cost_point(c),
+                )
+            })
             .chain(ranges.iter().map(|&(lo, hi)| {
                 (
                     format!("Cost in [{lo:.0}, {hi:.0}]"),
@@ -45,7 +57,7 @@ fn main() {
             .collect();
 
         for (label, constraint) in constraints {
-            eprintln!("[fig5] {} / {label}", benchmark.name());
+            sqlgen_obs::obs_info!("[fig5] {} / {label}", benchmark.name());
             let rnd = random_accuracy(&bed, constraint, args.n);
             let tpl = template_accuracy(&bed, constraint, args.n);
             let lrn = learned_accuracy(&bed, constraint, args.train, args.n);
@@ -61,4 +73,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "fig5_accuracy_cost");
+    args.finish_obs();
 }

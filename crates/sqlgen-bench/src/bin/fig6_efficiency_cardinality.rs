@@ -9,6 +9,7 @@ use sqlgen_storage::gen::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     // The paper's point axis spans 10^2..10^8 on 33 GB data; our scaled data
     // caps estimated cardinalities around 10^5, so the axis keeps the same
     // decade spread, shifted (documented in EXPERIMENTS.md).
@@ -37,12 +38,17 @@ fn main() {
                 continue;
             }
         }
-        eprintln!("[fig6] preparing {} ...", benchmark.name());
+        sqlgen_obs::obs_info!("[fig6] preparing {} ...", benchmark.name());
         let bed = TestBed::new(benchmark, args.scale, args.seed);
 
         let constraints: Vec<(String, Constraint)> = points
             .iter()
-            .map(|&c| (format!("Card = 1e{:.0}", c.log10()), Constraint::cardinality_point(c)))
+            .map(|&c| {
+                (
+                    format!("Card = 1e{:.0}", c.log10()),
+                    Constraint::cardinality_point(c),
+                )
+            })
             .chain(ranges.iter().map(|&(lo, hi)| {
                 (
                     format!("Card in [{:.0}k, {:.0}k]", lo / 1e3, hi / 1e3),
@@ -52,7 +58,7 @@ fn main() {
             .collect();
 
         for (label, constraint) in constraints {
-            eprintln!("[fig6] {} / {label}", benchmark.name());
+            sqlgen_obs::obs_info!("[fig6] {} / {label}", benchmark.name());
             let rnd = random_efficiency(&bed, constraint, args.n);
             let tpl = template_efficiency(&bed, constraint, args.n);
             let lrn = learned_efficiency(&bed, constraint, args.train, args.n);
@@ -72,4 +78,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "fig6_efficiency_cardinality");
+    args.finish_obs();
 }

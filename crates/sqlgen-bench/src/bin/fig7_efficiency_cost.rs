@@ -9,6 +9,7 @@ use sqlgen_storage::gen::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let points: [f64; 4] = [1e2, 1e3, 1e4, 1e5];
     let ranges = [(1e2, 2e2), (1e2, 4e2), (1e2, 6e2), (1e2, 8e2)];
 
@@ -34,12 +35,17 @@ fn main() {
                 continue;
             }
         }
-        eprintln!("[fig7] preparing {} ...", benchmark.name());
+        sqlgen_obs::obs_info!("[fig7] preparing {} ...", benchmark.name());
         let bed = TestBed::new(benchmark, args.scale, args.seed);
 
         let constraints: Vec<(String, Constraint)> = points
             .iter()
-            .map(|&c| (format!("Cost = 1e{:.0}", c.log10()), Constraint::cost_point(c)))
+            .map(|&c| {
+                (
+                    format!("Cost = 1e{:.0}", c.log10()),
+                    Constraint::cost_point(c),
+                )
+            })
             .chain(ranges.iter().map(|&(lo, hi)| {
                 (
                     format!("Cost in [{lo:.0}, {hi:.0}]"),
@@ -49,7 +55,7 @@ fn main() {
             .collect();
 
         for (label, constraint) in constraints {
-            eprintln!("[fig7] {} / {label}", benchmark.name());
+            sqlgen_obs::obs_info!("[fig7] {} / {label}", benchmark.name());
             let rnd = random_efficiency(&bed, constraint, args.n);
             let tpl = template_efficiency(&bed, constraint, args.n);
             let lrn = learned_efficiency(&bed, constraint, args.train, args.n);
@@ -69,4 +75,5 @@ fn main() {
 
     table.print();
     write_csv(&table, "fig7_efficiency_cost");
+    args.finish_obs();
 }

@@ -6,9 +6,7 @@
 
 use sqlgen_bench::table::{pct, secs};
 use sqlgen_bench::{write_csv, HarnessArgs, Table, TestBed};
-use sqlgen_rl::{
-    ActorCritic, Constraint, NetConfig, Reinforce, SqlGenEnv, TrainConfig,
-};
+use sqlgen_rl::{ActorCritic, Constraint, NetConfig, Reinforce, SqlGenEnv, TrainConfig};
 use sqlgen_storage::gen::Benchmark;
 use std::time::Instant;
 
@@ -92,16 +90,21 @@ fn run(mut algo: Algo, env: &SqlGenEnv, train: usize, n: usize) -> (f64, f64, Ve
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let benchmark = match args.benchmark.as_deref() {
         Some(s) => s.parse().expect("benchmark name"),
         None => Benchmark::Job,
     };
-    eprintln!("[fig8] preparing {} ...", benchmark.name());
+    sqlgen_obs::obs_info!("[fig8] preparing {} ...", benchmark.name());
     let bed = TestBed::new(benchmark, args.scale, args.seed);
     let ranges = [(1e3, 2e3), (1e3, 4e3), (1e3, 6e3), (1e3, 8e3)];
 
     let mut acc_table = Table::new(
-        format!("Figure 8(a) — Accuracy (N={}, {})", args.n, benchmark.name()),
+        format!(
+            "Figure 8(a) — Accuracy (N={}, {})",
+            args.n,
+            benchmark.name()
+        ),
         &["constraint", "REINFORCE", "LearnedSQLGen (AC)"],
     );
     let mut time_table = Table::new(
@@ -116,11 +119,14 @@ fn main() {
     let mut traces: Vec<(String, Vec<f32>, Vec<f32>)> = Vec::new();
     for (lo, hi) in ranges {
         let label = format!("Card in [{:.0}k, {:.0}k]", lo / 1e3, hi / 1e3);
-        eprintln!("[fig8] {label}");
+        sqlgen_obs::obs_info!("[fig8] {label}");
         let constraint = Constraint::cardinality_range(lo, hi);
         let env = bed.env(constraint);
         let (acc_r, t_r, trace_r) = run(
-            Algo::Reinforce(Box::new(Reinforce::new(bed.vocab.size(), train_cfg(args.seed)))),
+            Algo::Reinforce(Box::new(Reinforce::new(
+                bed.vocab.size(),
+                train_cfg(args.seed),
+            ))),
             &env,
             args.train,
             args.n,
@@ -164,4 +170,5 @@ fn main() {
     }
     trace_table.print();
     write_csv(&trace_table, "fig8c_training_trace");
+    args.finish_obs();
 }

@@ -105,18 +105,19 @@ fn adapt<F: FnMut(&SqlGenEnv) -> sqlgen_rl::Episode>(
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_obs();
     let benchmark = match args.benchmark.as_deref() {
         Some(s) => s.parse().expect("benchmark name"),
         None => Benchmark::XueTang,
     };
-    eprintln!("[fig9] preparing {} ...", benchmark.name());
+    sqlgen_obs::obs_info!("[fig9] preparing {} ...", benchmark.name());
     let bed = TestBed::new(benchmark, args.scale, args.seed);
     let pretrain = pretrain_constraints();
     let adapt_episodes = args.train;
     let pre_episodes = args.train / 2;
 
     // Pre-train MetaCritic across the K tasks.
-    eprintln!("[fig9] pre-training MetaCritic on {PRETRAIN_TASKS} tasks ...");
+    sqlgen_obs::obs_info!("[fig9] pre-training MetaCritic on {PRETRAIN_TASKS} tasks ...");
     let mut meta = MetaCriticTrainer::new(bed.vocab.size(), pretrain.clone(), train_cfg(args.seed));
     for round in 0..pre_episodes {
         for (i, &c) in pretrain.iter().enumerate() {
@@ -124,13 +125,13 @@ fn main() {
             meta.train_task(i, &env);
         }
         if round % 50 == 0 {
-            eprintln!("[fig9]   meta pre-train round {round}/{pre_episodes}");
+            sqlgen_obs::obs_info!("[fig9]   meta pre-train round {round}/{pre_episodes}");
         }
     }
 
     // Pre-train AC-extend on the same tasks (shared nets, bucket-token
     // conditioned).
-    eprintln!("[fig9] pre-training AC-extend ...");
+    sqlgen_obs::obs_info!("[fig9] pre-training AC-extend ...");
     let mut ace = AcExtend::new(bed.vocab.size(), train_cfg(args.seed ^ 1), DOMAIN);
     for _ in 0..pre_episodes {
         for &c in &pretrain {
@@ -148,7 +149,10 @@ fn main() {
         &["constraint", "Scratch", "AC-extend", "MetaCritic"],
     );
     let mut time_table = Table::new(
-        format!("Figure 9(b) — Adaptation time to {} satisfied queries", args.n),
+        format!(
+            "Figure 9(b) — Adaptation time to {} satisfied queries",
+            args.n
+        ),
         &["constraint", "Scratch", "AC-extend", "MetaCritic"],
     );
     let mut traces: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = Vec::new();
@@ -165,7 +169,7 @@ fn main() {
                 _ => unreachable!(),
             }
         );
-        eprintln!("[fig9] adapting to {label}");
+        sqlgen_obs::obs_info!("[fig9] adapting to {label}");
         let env = bed.env(c);
 
         // Scratch: fresh actor-critic.
@@ -180,8 +184,7 @@ fn main() {
         };
 
         // AC-extend: continue training the shared nets on the new bucket.
-        let (sec_ace, trace_ace) =
-            adapt(&env, adapt_episodes, args.n, |e| ace.train_episode(e));
+        let (sec_ace, trace_ace) = adapt(&env, adapt_episodes, args.n, |e| ace.train_episode(e));
         let acc_ace = evaluate(&env, args.n, |e| ace.generate(e));
         let r_ace = AdaptResult {
             accuracy: acc_ace,
@@ -241,4 +244,5 @@ fn main() {
     }
     trace_table.print();
     write_csv(&trace_table, "fig9c_adaptation_trace");
+    args.finish_obs();
 }

@@ -141,7 +141,9 @@ pub fn profile(queries: &[GeneratedQuery]) -> DiversityReport {
 
     for q in queries {
         distinct.insert(q.sql.as_str());
-        *signatures.entry(structure_signature(&q.statement)).or_default() += 1;
+        *signatures
+            .entry(structure_signature(&q.statement))
+            .or_default() += 1;
         *shapes.entry(coarse_shape(&q.statement)).or_default() += 1;
         *kinds.entry(q.statement.kind()).or_default() += 1;
         let tokens = q.sql.split_whitespace().count();

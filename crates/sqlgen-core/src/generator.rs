@@ -87,6 +87,9 @@ impl LearnedSqlGen {
 
     /// Trains for `episodes` episodes (Algorithm 1 / Algorithm 3).
     pub fn train(&mut self, episodes: usize) -> &TrainStats {
+        let _span = sqlgen_obs::obs_span!("gen.train");
+        let started = std::time::Instant::now();
+        let mut reward_sum = 0.0f64;
         // Split borrows: the env borrows vocab/estimator, the trainer is
         // updated mutably.
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
@@ -96,15 +99,18 @@ impl LearnedSqlGen {
                 Trainer::Reinforce(t) => t.train_episode(&env),
                 Trainer::ActorCritic(t) => t.train_episode(&env),
             };
+            reward_sum += ep.total_reward() as f64;
             self.stats.episodes += 1;
             self.stats
                 .reward_trace
                 .push(ep.total_reward() / ep.len().max(1) as f32);
             if ep.satisfied {
-                self.stats
-                    .satisfied_during_training
-                    .push(to_generated(&ep));
+                self.stats.satisfied_during_training.push(to_generated(&ep));
             }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        if episodes > 0 && secs > 0.0 {
+            sqlgen_obs::obs_gauge!("rl.rewards_per_sec", reward_sum / secs);
         }
         &self.stats
     }
@@ -118,6 +124,7 @@ impl LearnedSqlGen {
     /// are guaranteed to satisfy the constraint; the ratio that does is the
     /// paper's *generation accuracy*.
     pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
+        let _span = sqlgen_obs::obs_span!("gen.generate");
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
             .with_fsm_config(self.config.fsm.clone());
         (0..n)
@@ -134,7 +141,11 @@ impl LearnedSqlGen {
     /// Keeps generating until `n` satisfied queries are found or
     /// `max_attempts` is exhausted. Returns the satisfied queries and the
     /// number of attempts spent.
-    pub fn generate_satisfied(&mut self, n: usize, max_attempts: usize) -> (Vec<GeneratedQuery>, usize) {
+    pub fn generate_satisfied(
+        &mut self,
+        n: usize,
+        max_attempts: usize,
+    ) -> (Vec<GeneratedQuery>, usize) {
         let mut out = Vec::with_capacity(n);
         let mut attempts = 0;
         while out.len() < n && attempts < max_attempts {

@@ -45,15 +45,15 @@ impl CmpOp {
     /// Evaluates the operator given a three-valued comparison result.
     pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
         use std::cmp::Ordering::*;
-        match (self, ord) {
-            (CmpOp::Lt, Some(Less)) => true,
-            (CmpOp::Le, Some(Less | Equal)) => true,
-            (CmpOp::Gt, Some(Greater)) => true,
-            (CmpOp::Ge, Some(Greater | Equal)) => true,
-            (CmpOp::Eq, Some(Equal)) => true,
-            (CmpOp::Ne, Some(Less | Greater)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Some(Less))
+                | (CmpOp::Le, Some(Less | Equal))
+                | (CmpOp::Gt, Some(Greater))
+                | (CmpOp::Ge, Some(Greater | Equal))
+                | (CmpOp::Eq, Some(Equal))
+                | (CmpOp::Ne, Some(Less | Greater))
+        )
     }
 }
 
@@ -196,12 +196,20 @@ pub enum Predicate {
         rhs: Rhs,
     },
     /// `col IN (subquery)`.
-    In { col: ColRef, sub: Box<SelectQuery> },
+    In {
+        col: ColRef,
+        sub: Box<SelectQuery>,
+    },
     /// `col LIKE 'pattern'` (`%` and `_` wildcards). Paper future work §5,
     /// implemented here: patterns are substrings sampled from the column.
-    Like { col: ColRef, pattern: String },
+    Like {
+        col: ColRef,
+        pattern: String,
+    },
     /// `EXISTS (subquery)`.
-    Exists { sub: Box<SelectQuery> },
+    Exists {
+        sub: Box<SelectQuery>,
+    },
     Not(Box<Predicate>),
     And(Box<Predicate>, Box<Predicate>),
     Or(Box<Predicate>, Box<Predicate>),
@@ -287,7 +295,8 @@ impl SelectQuery {
     /// Whether the query produces one row per group (aggregation) rather
     /// than one per input tuple.
     pub fn is_aggregate(&self) -> bool {
-        !self.group_by.is_empty() || self.select.iter().all(SelectItem::is_agg) && !self.select.is_empty()
+        !self.group_by.is_empty()
+            || self.select.iter().all(SelectItem::is_agg) && !self.select.is_empty()
     }
 
     pub fn join_count(&self) -> usize {
@@ -318,7 +327,7 @@ pub struct InsertStmt {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InsertSource {
     Values(Vec<Value>),
-    Query(SelectQuery),
+    Query(Box<SelectQuery>),
 }
 
 /// `UPDATE table SET col = value [, ...] [WHERE ...]`.

@@ -11,7 +11,7 @@
 //! statistics built once up front, so a single estimate is microseconds.
 
 use crate::ast::*;
-use sqlgen_storage::{ColumnStats, Database, DataType, TableStats, Value};
+use sqlgen_storage::{ColumnStats, DataType, Database, TableStats, Value};
 use std::collections::HashMap;
 
 /// Default selectivity for predicates the statistics cannot answer
@@ -57,6 +57,8 @@ impl Estimator {
     /// Estimated cardinality of any statement: result rows for `SELECT`,
     /// affected rows for DML.
     pub fn cardinality(&self, stmt: &Statement) -> f64 {
+        let _t = sqlgen_obs::obs_time!("estimator.card.latency_us");
+        sqlgen_obs::obs_count!("estimator.card.calls");
         match stmt {
             Statement::Select(q) => self.select_cardinality(q),
             Statement::Insert(i) => match &i.source {

@@ -37,17 +37,9 @@ impl Default for CostParams {
 }
 
 /// The cost model: estimates the execution expense of a statement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CostModel {
     pub params: CostParams,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            params: CostParams::default(),
-        }
-    }
 }
 
 impl CostModel {
@@ -57,6 +49,8 @@ impl CostModel {
 
     /// Estimated cost of a statement in abstract cost units.
     pub fn cost(&self, est: &Estimator, stmt: &Statement) -> f64 {
+        let _t = sqlgen_obs::obs_time!("estimator.cost.latency_us");
+        sqlgen_obs::obs_count!("estimator.cost.calls");
         match stmt {
             Statement::Select(q) => self.select_cost(est, q),
             Statement::Insert(i) => match &i.source {
@@ -258,7 +252,8 @@ mod tests {
     #[test]
     fn order_by_adds_sort_cost() {
         let plain = cost_of("SELECT lineitem.l_quantity FROM lineitem");
-        let sorted = cost_of("SELECT lineitem.l_quantity FROM lineitem ORDER BY lineitem.l_quantity");
+        let sorted =
+            cost_of("SELECT lineitem.l_quantity FROM lineitem ORDER BY lineitem.l_quantity");
         assert!(sorted > plain);
     }
 

@@ -102,11 +102,7 @@ struct TupleSet {
 
 impl TupleSet {
     fn len(&self) -> usize {
-        if self.stride == 0 {
-            0
-        } else {
-            self.data.len() / self.stride
-        }
+        self.data.len().checked_div(self.stride).unwrap_or(0)
     }
 
     fn tuple(&self, i: usize) -> &[u32] {
@@ -219,9 +215,7 @@ impl<'a> Executor<'a> {
                 .collect::<Result<_, _>>()?;
             rs.rows.sort_by(|a, b| {
                 for &(i, desc) in &keys {
-                    let ord = a[i]
-                        .try_cmp(&b[i])
-                        .unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = a[i].try_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
                     let ord = if desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -299,11 +293,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn matching_rows(
-        &self,
-        table: &str,
-        pred: Option<&Predicate>,
-    ) -> Result<u64, ExecError> {
+    fn matching_rows(&self, table: &str, pred: Option<&Predicate>) -> Result<u64, ExecError> {
         Ok(self.matching_row_indices(table, pred)?.len() as u64)
     }
 
@@ -652,9 +642,9 @@ fn compute_agg(
     for &i in members {
         let t = tuples.tuple(i);
         let v = cols[slot].columns[col].get(t[slot] as usize);
-        let x = v.as_f64().ok_or_else(|| {
-            ExecError::TypeError(format!("{} over non-numeric column", f.name()))
-        })?;
+        let x = v
+            .as_f64()
+            .ok_or_else(|| ExecError::TypeError(format!("{} over non-numeric column", f.name())))?;
         sum += x;
         acc = Some(match (acc, f) {
             (None, _) => x,
@@ -684,10 +674,7 @@ fn compute_agg(
     })
 }
 
-fn column_of<'a>(
-    table: &'a sqlgen_storage::Table,
-    name: &str,
-) -> Result<&'a Column, ExecError> {
+fn column_of<'a>(table: &'a sqlgen_storage::Table, name: &str) -> Result<&'a Column, ExecError> {
     table
         .column(name)
         .ok_or_else(|| ExecError::UnknownColumn(format!("{}.{}", table.name(), name)))
@@ -867,11 +854,17 @@ mod tests {
         let db = db();
         assert_eq!(card(&db, "SELECT students.id FROM students"), 10);
         assert_eq!(
-            card(&db, "SELECT students.id FROM students WHERE students.age < 20"),
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE students.age < 20"
+            ),
             4 // ages 18,19 × 2 students each
         );
         assert_eq!(
-            card(&db, "SELECT students.id FROM students WHERE students.age = 18"),
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE students.age = 18"
+            ),
             2
         );
     }
@@ -894,7 +887,10 @@ mod tests {
             4
         );
         assert_eq!(
-            card(&db, "SELECT students.id FROM students WHERE NOT students.age = 18"),
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE NOT students.age = 18"
+            ),
             8
         );
     }
@@ -1052,13 +1048,19 @@ mod tests {
     #[test]
     fn dml_apply_mutates() {
         let mut db = db();
-        let n = Executor::apply(&parse("DELETE FROM scores WHERE scores.sid < 3").unwrap(), &mut db)
-            .unwrap();
+        let n = Executor::apply(
+            &parse("DELETE FROM scores WHERE scores.sid < 3").unwrap(),
+            &mut db,
+        )
+        .unwrap();
         assert_eq!(n, 6);
         assert_eq!(card(&db, "SELECT scores.sid FROM scores"), 14);
 
-        let n = Executor::apply(&parse("INSERT INTO students VALUES (99, 30)").unwrap(), &mut db)
-            .unwrap();
+        let n = Executor::apply(
+            &parse("INSERT INTO students VALUES (99, 30)").unwrap(),
+            &mut db,
+        )
+        .unwrap();
         assert_eq!(n, 1);
         assert_eq!(card(&db, "SELECT students.id FROM students"), 11);
 
@@ -1069,7 +1071,10 @@ mod tests {
         .unwrap();
         assert_eq!(n, 1);
         assert_eq!(
-            card(&db, "SELECT students.id FROM students WHERE students.age = 50"),
+            card(
+                &db,
+                "SELECT students.id FROM students WHERE students.age = 50"
+            ),
             1
         );
     }
@@ -1106,10 +1111,9 @@ mod tests {
     fn row_limit_guard() {
         let db = db();
         let ex = Executor::with_options(&db, ExecOptions { max_rows: 5 });
-        let stmt = parse(
-            "SELECT scores.points FROM scores JOIN students ON scores.sid = students.id",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT scores.points FROM scores JOIN students ON scores.sid = students.id")
+                .unwrap();
         assert_eq!(ex.cardinality(&stmt), Err(ExecError::TooLarge));
     }
 
@@ -1152,10 +1156,9 @@ mod tests {
     #[test]
     fn order_by_unprojected_column_errors() {
         let db = db();
-        let q = crate::parse::parse_select(
-            "SELECT students.id FROM students ORDER BY students.age",
-        )
-        .unwrap();
+        let q =
+            crate::parse::parse_select("SELECT students.id FROM students ORDER BY students.age")
+                .unwrap();
         assert!(matches!(
             Executor::new(&db).execute_select(&q),
             Err(ExecError::UnknownColumn(_))
@@ -1183,8 +1186,10 @@ mod tests {
     fn like_predicate_filters_rows() {
         let mut db = Database::new();
         let mut t = Table::new(
-            TableSchema::new("t")
-                .with_column(sqlgen_storage::ColumnDef::new("name", sqlgen_storage::DataType::Text)),
+            TableSchema::new("t").with_column(sqlgen_storage::ColumnDef::new(
+                "name",
+                sqlgen_storage::DataType::Text,
+            )),
         );
         for n in ["alice", "bob", "carol", "alina"] {
             t.push_row(vec![Value::Text(n.into())]);

@@ -254,7 +254,7 @@ pub fn parse(sql: &str) -> Result<Statement, ParseError> {
     };
     let stmt = p.statement()?;
     // Allow one trailing semicolon.
-    if p.eat_symbol(";") {}
+    p.eat_symbol(";");
     if p.idx != p.toks.len() {
         return Err(p.err("trailing tokens after statement"));
     }
@@ -365,7 +365,7 @@ impl Parser {
                 let q = self.select()?;
                 Ok(Statement::Insert(InsertStmt {
                     table,
-                    source: InsertSource::Query(q),
+                    source: InsertSource::Query(Box::new(q)),
                 }))
             }
         } else if self.eat_keyword("UPDATE") {

@@ -95,7 +95,11 @@ pub struct Explained {
 
 impl fmt::Display for Explained {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "estimated rows: {:.0}, cost: {:.2}", self.rows, self.cost)?;
+        writeln!(
+            f,
+            "estimated rows: {:.0}, cost: {:.2}",
+            self.rows, self.cost
+        )?;
         self.plan.fmt_indent(f, 0)
     }
 }
@@ -141,7 +145,9 @@ pub fn explain(est: &Estimator, cost: &CostModel, stmt: &Statement) -> Explained
 }
 
 fn table_rows(est: &Estimator, t: &str) -> f64 {
-    est.table_stats(t).map(|s| s.row_count as f64).unwrap_or(0.0)
+    est.table_stats(t)
+        .map(|s| s.row_count as f64)
+        .unwrap_or(0.0)
 }
 
 fn select_plan(est: &Estimator, q: &SelectQuery) -> PlanNode {
@@ -347,9 +353,8 @@ mod tests {
         );
         assert!(matches!(e.plan.op, PlanOp::Aggregate { group_by: 1, .. }));
 
-        let e = explain_sql(
-            "SELECT orders.o_totalprice FROM orders ORDER BY orders.o_totalprice DESC",
-        );
+        let e =
+            explain_sql("SELECT orders.o_totalprice FROM orders ORDER BY orders.o_totalprice DESC");
         assert!(matches!(e.plan.op, PlanOp::Sort { keys: 1 }));
     }
 

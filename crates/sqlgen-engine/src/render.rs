@@ -230,10 +230,7 @@ mod tests {
             having: None,
             order_by: vec![],
         };
-        assert_eq!(
-            render_select(&q),
-            "SELECT t.a FROM t WHERE t.a < 5"
-        );
+        assert_eq!(render_select(&q), "SELECT t.a FROM t WHERE t.a < 5");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! to prove that guarantee holds.
 
 use crate::ast::*;
-use sqlgen_storage::{Database, DataType, Value};
+use sqlgen_storage::{DataType, Database, Value};
 use std::fmt;
 
 /// A semantic validation error.
@@ -154,7 +154,9 @@ pub fn validate_select(db: &Database, q: &SelectQuery) -> Result<(), ValidationE
         check_col(db, &j.right, &tables)?;
         // Join key types must match (paper: "columns with different
         // datatypes cannot be joined").
-        let lt = db.column_type(&j.left.table, &j.left.column).expect("checked");
+        let lt = db
+            .column_type(&j.left.table, &j.left.column)
+            .expect("checked");
         let rt = db
             .column_type(&j.right.table, &j.right.column)
             .expect("checked");
@@ -210,7 +212,9 @@ pub fn validate_select(db: &Database, q: &SelectQuery) -> Result<(), ValidationE
         }
         check_col(db, &h.col, &tables)?;
         if h.agg.requires_numeric() {
-            let t = db.column_type(&h.col.table, &h.col.column).expect("checked");
+            let t = db
+                .column_type(&h.col.table, &h.col.column)
+                .expect("checked");
             if !t.is_numeric() {
                 return Err(ValidationError::NonNumericAggregate(h.col.to_string()));
             }
@@ -285,7 +289,11 @@ fn validate_predicate(
             let it = db
                 .column_type(&inner.table, &inner.column)
                 .ok_or_else(|| ValidationError::UnknownColumn(inner.to_string()))?;
-            let it = if sub.select[0].is_agg() { DataType::Float } else { it };
+            let it = if sub.select[0].is_agg() {
+                DataType::Float
+            } else {
+                it
+            };
             if !types_comparable(ct, it) {
                 return Err(ValidationError::TypeMismatch(format!("{col} IN subquery")));
             }
@@ -333,13 +341,13 @@ fn check_col(db: &Database, col: &ColRef, tables: &[&str]) -> Result<(), Validat
 }
 
 fn check_value_type(v: &Value, dtype: DataType, ctx: &str) -> Result<(), ValidationError> {
-    let ok = match (v, dtype) {
-        (Value::Null, _) => true,
-        (Value::Int(_), DataType::Int | DataType::Float) => true,
-        (Value::Float(_), DataType::Float | DataType::Int) => true,
-        (Value::Text(_), DataType::Text) => true,
-        _ => false,
-    };
+    let ok = matches!(
+        (v, dtype),
+        (Value::Null, _)
+            | (Value::Int(_), DataType::Int | DataType::Float)
+            | (Value::Float(_), DataType::Float | DataType::Int)
+            | (Value::Text(_), DataType::Text)
+    );
     if ok {
         Ok(())
     } else {
@@ -403,7 +411,9 @@ mod tests {
     fn rejects_undeclared_join() {
         // part and customer share no FK edge.
         assert!(matches!(
-            check("SELECT part.p_size FROM part JOIN customer ON part.p_partkey = customer.c_custkey"),
+            check(
+                "SELECT part.p_size FROM part JOIN customer ON part.p_partkey = customer.c_custkey"
+            ),
             Err(ValidationError::JoinNotDeclared(_))
         ));
     }

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use sqlgen_engine::exec::like_match;
-use sqlgen_engine::{parse, render, CmpOp, ColRef, Predicate, Rhs, SelectItem, SelectQuery, Statement};
+use sqlgen_engine::{
+    parse, render, CmpOp, ColRef, Predicate, Rhs, SelectItem, SelectQuery, Statement,
+};
 use sqlgen_storage::Value;
 
 proptest! {

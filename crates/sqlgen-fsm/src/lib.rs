@@ -32,16 +32,18 @@ mod tests {
 
     fn setup() -> (sqlgen_storage::Database, Vocabulary) {
         let db = tpch_database(0.1, 1);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         (db, vocab)
     }
 
     /// Drives the FSM through an explicit token script.
-    fn drive<'v>(
-        vocab: &'v Vocabulary,
-        cfg: FsmConfig,
-        script: &[Token],
-    ) -> GenState<'v> {
+    fn drive<'v>(vocab: &'v Vocabulary, cfg: FsmConfig, script: &[Token]) -> GenState<'v> {
         let mut s = GenState::new(vocab, cfg);
         for t in script {
             let id = vocab.id(t);
@@ -136,7 +138,10 @@ mod tests {
         // part joins partsupp and lineitem, never customer.
         assert!(allowed.contains(&vocab.id(&Token::Table(lineitem))));
         assert!(!allowed.contains(&vocab.id(&Token::Table(customer))));
-        assert!(!allowed.contains(&vocab.id(&Token::Table(part))), "no self-join");
+        assert!(
+            !allowed.contains(&vocab.id(&Token::Table(part))),
+            "no self-join"
+        );
     }
 
     #[test]
@@ -209,7 +214,10 @@ mod tests {
             ],
         );
         let allowed = s.allowed();
-        assert!(!allowed.contains(&vocab.id(&Token::Eof)), "EOF before GROUP BY");
+        assert!(
+            !allowed.contains(&vocab.id(&Token::Eof)),
+            "EOF before GROUP BY"
+        );
         assert!(allowed.contains(&vocab.id(&Token::GroupBy)));
         // The mixed select is not executable as a partial either.
         assert!(s.partial_statement().is_none());
@@ -284,7 +292,10 @@ mod tests {
         );
         let stmt = s.statement().unwrap();
         let sql = render(stmt);
-        assert!(sql.contains("IN (SELECT customer.c_custkey FROM customer)"), "{sql}");
+        assert!(
+            sql.contains("IN (SELECT customer.c_custkey FROM customer)"),
+            "{sql}"
+        );
         sqlgen_engine::validate(&db, stmt).unwrap();
     }
 
@@ -363,7 +374,8 @@ mod tests {
         assert!(s.partial_statement().is_some());
         s.apply(vocab.id(&Token::Where)).unwrap();
         s.apply(vocab.id(&Token::Column(size))).unwrap();
-        s.apply(vocab.id(&Token::Op(sqlgen_engine::CmpOp::Lt))).unwrap();
+        s.apply(vocab.id(&Token::Op(sqlgen_engine::CmpOp::Lt)))
+            .unwrap();
         s.apply(vocab.value_tokens_of(size)[1] as usize).unwrap();
         s.apply(vocab.id(&Token::Eof)).unwrap();
         sqlgen_engine::validate(&db, s.statement().unwrap()).unwrap();

@@ -37,7 +37,10 @@ pub fn random_statement<R: Rng + ?Sized>(
         state.apply(pick).expect("allowed token must apply");
     }
     let tokens = state.tokens().to_vec();
-    let stmt = state.statement().expect("complete state has statement").clone();
+    let stmt = state
+        .statement()
+        .expect("complete state has statement")
+        .clone();
     (stmt, tokens)
 }
 
@@ -51,7 +54,13 @@ mod tests {
     use sqlgen_storage::sample::SampleConfig;
 
     fn vocab_of(db: &sqlgen_storage::Database) -> Vocabulary {
-        Vocabulary::build(db, &SampleConfig { k: 15, ..Default::default() })
+        Vocabulary::build(
+            db,
+            &SampleConfig {
+                k: 15,
+                ..Default::default()
+            },
+        )
     }
 
     /// The headline FSM guarantee: every random path produces a statement
@@ -63,13 +72,18 @@ mod tests {
         let vocab = vocab_of(&db);
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = FsmConfig::full();
-        let ex = Executor::with_options(&db, ExecOptions { max_rows: 2_000_000 });
+        let ex = Executor::with_options(
+            &db,
+            ExecOptions {
+                max_rows: 2_000_000,
+            },
+        );
         for i in 0..300 {
             let (stmt, _) = random_statement(&vocab, &cfg, &mut rng);
             let sql = render(&stmt);
             validate(&db, &stmt).unwrap_or_else(|e| panic!("rollout {i}: {e}\n{sql}"));
-            let reparsed = sqlgen_engine::parse(&sql)
-                .unwrap_or_else(|e| panic!("rollout {i}: {e}\n{sql}"));
+            let reparsed =
+                sqlgen_engine::parse(&sql).unwrap_or_else(|e| panic!("rollout {i}: {e}\n{sql}"));
             assert_eq!(render(&reparsed), sql, "round-trip failed for {sql}");
             ex.cardinality(&stmt)
                 .unwrap_or_else(|e| panic!("rollout {i}: exec {e}\n{sql}"));
@@ -101,9 +115,11 @@ mod tests {
         let mut likes = 0;
         for _ in 0..400 {
             let (stmt, tokens) = random_statement(&vocab, &cfg, &mut rng);
-            likes += usize::from(tokens.iter().any(|&t| {
-                matches!(vocab.token(t), crate::vocab::Token::Like)
-            }));
+            likes += usize::from(
+                tokens
+                    .iter()
+                    .any(|&t| matches!(vocab.token(t), crate::vocab::Token::Like)),
+            );
             match &stmt {
                 Statement::Select(q) => {
                     joins += usize::from(q.join_count() > 0);
@@ -144,7 +160,12 @@ mod tests {
             allow_order_by: true,
             ..FsmConfig::default()
         };
-        let ex = Executor::with_options(&db, ExecOptions { max_rows: 2_000_000 });
+        let ex = Executor::with_options(
+            &db,
+            ExecOptions {
+                max_rows: 2_000_000,
+            },
+        );
         let mut ordered = 0;
         for _ in 0..150 {
             let (stmt, _) = random_statement(&vocab, &cfg, &mut rng);

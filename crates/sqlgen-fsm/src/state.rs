@@ -380,9 +380,7 @@ impl<'v> GenState<'v> {
                 }
             }
             Phase::AfterTable => {
-                if frame.joins.len() < self.config.max_joins
-                    && !self.joinable_tables().is_empty()
-                {
+                if frame.joins.len() < self.config.max_joins && !self.joinable_tables().is_empty() {
                     add(&mut out, v, Token::Join);
                 }
                 add(&mut out, v, Token::Select);
@@ -606,6 +604,7 @@ impl<'v> GenState<'v> {
 
     /// Writes the action mask for the whole vocabulary.
     pub fn mask_into(&self, mask: &mut [bool]) {
+        let _t = sqlgen_obs::obs_time!("fsm.mask.latency_us");
         debug_assert_eq!(mask.len(), self.vocab.size());
         mask.iter_mut().for_each(|m| *m = false);
         for id in self.allowed() {
@@ -653,9 +652,10 @@ impl<'v> GenState<'v> {
                 }
                 if allow_agg {
                     for f in AggFunc::ALL {
-                        let has_col = self.scope_columns().iter().any(|&c| {
-                            !f.requires_numeric() || self.col_type(c).is_numeric()
-                        });
+                        let has_col = self
+                            .scope_columns()
+                            .iter()
+                            .any(|&c| !f.requires_numeric() || self.col_type(c).is_numeric());
                         if has_col {
                             out.push(v.id(&Token::Agg(f)));
                         }
@@ -689,7 +689,8 @@ impl<'v> GenState<'v> {
         if frame.sub.is_some() {
             return false;
         }
-        if frame.group_by.len() >= self.config.max_group_by && frame.ungrouped_plain_cols().is_empty()
+        if frame.group_by.len() >= self.config.max_group_by
+            && frame.ungrouped_plain_cols().is_empty()
         {
             return false;
         }
@@ -753,6 +754,7 @@ impl<'v> GenState<'v> {
     /// Applies a token. Returns an error if the token is not allowed.
     pub fn apply(&mut self, token_id: usize) -> Result<(), FsmError> {
         if !self.allowed().contains(&token_id) {
+            sqlgen_obs::obs_count!("fsm.rejected.count");
             return Err(FsmError {
                 message: format!(
                     "token {} not allowed in phase {:?}",
@@ -761,6 +763,7 @@ impl<'v> GenState<'v> {
                 ),
             });
         }
+        sqlgen_obs::obs_count!("fsm.tokens.count");
         let token = self.vocab.token(token_id).clone();
         self.tokens.push(token_id);
         self.apply_inner(token);
@@ -939,16 +942,10 @@ impl<'v> GenState<'v> {
                 f.phase = Phase::AfterHaving;
             }
             (
-                Phase::AfterItem
-                | Phase::AfterPred
-                | Phase::AfterGroupBy
-                | Phase::AfterHaving,
+                Phase::AfterItem | Phase::AfterPred | Phase::AfterGroupBy | Phase::AfterHaving,
                 Token::CloseSub,
             ) => self.close_subquery(),
-            (
-                Phase::AfterItem | Phase::AfterPred | Phase::AfterHaving,
-                Token::OrderBy,
-            ) => {
+            (Phase::AfterItem | Phase::AfterPred | Phase::AfterHaving, Token::OrderBy) => {
                 self.frame_mut().phase = Phase::OrderCol;
             }
             (Phase::OrderCol, Token::Column(c)) => {
@@ -1098,7 +1095,11 @@ impl<'v> GenState<'v> {
             from: FromClause { base, joins },
             select,
             predicate: frame.pred.done.clone(),
-            group_by: frame.group_by.iter().map(|&c| self.vocab.col_ref(c)).collect(),
+            group_by: frame
+                .group_by
+                .iter()
+                .map(|&c| self.vocab.col_ref(c))
+                .collect(),
             having: frame.having.clone(),
             order_by: frame
                 .order_by
@@ -1176,4 +1177,3 @@ impl<'v> GenState<'v> {
         }
     }
 }
-

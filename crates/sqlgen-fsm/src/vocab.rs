@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 use sqlgen_engine::{AggFunc, CmpOp};
 use sqlgen_storage::sample::{sample_database, SampleConfig};
-use sqlgen_storage::{Database, DataType, Value};
+use sqlgen_storage::{DataType, Database, Value};
 use std::collections::HashMap;
 
 /// A generation token (= one RL action).
@@ -339,7 +339,7 @@ fn sample_like_patterns(values: &[Value], k: usize) -> Vec<String> {
         // Take a middle-ish chunk of up to 4 chars: selective but not
         // equality-equivalent.
         let chars: Vec<char> = text.chars().collect();
-        let len = chars.len().min(4).max(1);
+        let len = chars.len().clamp(1, 4);
         let start = (chars.len() - len) / 2;
         let sub: String = chars[start..start + len].iter().collect();
         let pattern = format!("%{sub}%");
@@ -360,7 +360,13 @@ mod tests {
 
     fn vocab() -> Vocabulary {
         let db = tpch_database(0.2, 1);
-        Vocabulary::build(&db, &SampleConfig { k: 20, ..Default::default() })
+        Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 20,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

@@ -29,7 +29,13 @@ impl Dropout {
         let scale = 1.0 / keep;
         let mask: Vec<f32> = x
             .iter()
-            .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if rng.random::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         for (xi, m) in x.iter_mut().zip(&mask) {
             *xi *= m;

@@ -123,8 +123,8 @@ mod tests {
             assert!((num - dx[i]).abs() < 1e-3);
         }
         // db
-        for i in 0..2 {
-            assert!((l.b.grad.data[i] - coef[i]).abs() < 1e-6);
+        for (g, c) in l.b.grad.data.iter().zip(&coef) {
+            assert!((g - c).abs() < 1e-6);
         }
     }
 

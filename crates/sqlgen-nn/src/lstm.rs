@@ -220,19 +220,13 @@ impl LstmStack {
     /// `caches[t]` is the cache of step `t`; `dtop[t]` is the loss gradient
     /// w.r.t. the top-layer output at step `t`. Returns `dL/dx_t` for every
     /// step (for the embedding below).
-    pub fn backward_sequence(
-        &mut self,
-        caches: &[StackCache],
-        dtop: &[Vec<f32>],
-    ) -> Vec<Vec<f32>> {
+    pub fn backward_sequence(&mut self, caches: &[StackCache], dtop: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let n_layers = self.layers.len();
         let steps = caches.len();
         assert_eq!(steps, dtop.len());
         // Recurrent gradients flowing right-to-left, per layer.
-        let mut dh_next: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
-        let mut dc_next: Vec<Vec<f32>> =
-            self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut dh_next: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut dc_next: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
         let mut dx_out = vec![Vec::new(); steps];
 
         for t in (0..steps).rev() {
@@ -255,7 +249,10 @@ impl LstmStack {
     }
 
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     pub fn zero_grad(&mut self) {
@@ -340,8 +337,7 @@ mod tests {
                     .data
                     .len();
                 for &i in &[0usize, len / 2, len - 1] {
-                    let analytic =
-                        tensor_of(&mut stack.layers[layer_idx], tensor).grad.data[i];
+                    let analytic = tensor_of(&mut stack.layers[layer_idx], tensor).grad.data[i];
                     let orig = tensor_of(&mut stack.layers[layer_idx], tensor).value.data[i];
                     tensor_of(&mut stack.layers[layer_idx], tensor).value.data[i] = orig + eps;
                     let up = seq_loss(&stack, &xs, &coef);

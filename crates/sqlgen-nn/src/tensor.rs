@@ -49,13 +49,13 @@ impl Mat {
     pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(out.len(), self.rows);
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0f32;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            out[r] = acc;
+            *o = acc;
         }
     }
 
@@ -64,8 +64,7 @@ impl Mat {
     pub fn matvec_t_acc(&self, y: &[f32], out: &mut [f32]) {
         debug_assert_eq!(y.len(), self.rows);
         debug_assert_eq!(out.len(), self.cols);
-        for r in 0..self.rows {
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }
@@ -80,8 +79,7 @@ impl Mat {
     pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
         debug_assert_eq!(a.len(), self.rows);
         debug_assert_eq!(b.len(), self.cols);
-        for r in 0..self.rows {
-            let ar = a[r];
+        for (r, &ar) in a.iter().enumerate() {
             if ar == 0.0 {
                 continue;
             }

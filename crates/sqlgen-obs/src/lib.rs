@@ -1,0 +1,340 @@
+//! Observability for the sqlgen workspace: metrics, spans, sinks, logging.
+//!
+//! Everything is std-only (plus the workspace serde shim for JSON) and built
+//! around one invariant: **an uninstrumented run pays almost nothing**.
+//! Counters and value histograms are lock-free atomic updates; latency
+//! timers and spans check a single relaxed atomic and skip `Instant::now()`
+//! entirely unless a sink is installed or metrics collection was enabled.
+//!
+//! Layers:
+//!
+//! - [`metrics`] — named counters, gauges and log-bucketed histograms in a
+//!   global registry; [`metrics::summary_table`] renders the end-of-run
+//!   table (count / p50 / p95 / p99 / max).
+//! - [`span`](crate::span()) — RAII timers with a thread-local span stack;
+//!   each exit emits a structured event carrying the full `outer/inner`
+//!   path.
+//! - [`sink`] — pluggable event consumers: [`sink::MemorySink`] for tests,
+//!   [`sink::JsonlSink`] writing one JSON object per line
+//!   (`{ts_us, kind, name, fields}`).
+//! - [`obs_info!`] / [`obs_debug!`] / [`obs_warn!`] / [`obs_error!`] —
+//!   leveled stderr logging that doubles as `log` events when tracing.
+//!
+//! Instrumentation sites use the `obs_*` macros, which cache their registry
+//! handle in a per-site `OnceLock` so the steady-state cost is one atomic
+//! load plus the update itself.
+
+pub mod metrics;
+pub mod sink;
+pub mod table;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use sink::{Event, JsonlSink, MemorySink, Sink};
+pub use table::{write_csv, Table};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global switches
+// ---------------------------------------------------------------------------
+
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the global event sink (replacing any previous one).
+pub fn install_sink(sink: Arc<dyn Sink>) {
+    let mut slot = SINK.write().expect("sink lock");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    SINK_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the global sink, flushing it first.
+pub fn clear_sink() {
+    SINK_ACTIVE.store(false, Ordering::Release);
+    let mut slot = SINK.write().expect("sink lock");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush_sink() {
+    if let Some(s) = SINK.read().expect("sink lock").as_ref() {
+        s.flush();
+    }
+}
+
+/// True when a sink is installed (fast path: one atomic load).
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Turns on latency collection even without a sink (the `--metrics` mode).
+pub fn enable_metrics() {
+    METRICS_ENABLED.store(true, Ordering::Release);
+}
+
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Acquire)
+}
+
+/// Whether timed instrumentation (latency histograms, spans) should run.
+pub fn timing_enabled() -> bool {
+    sink_active() || metrics_enabled()
+}
+
+/// Sends an event to the sink, if one is installed.
+pub fn emit(event: &Event) {
+    if !sink_active() {
+        return;
+    }
+    if let Some(s) = SINK.read().expect("sink lock").as_ref() {
+        s.emit(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logging
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the maximum level that still prints (e.g. `Warn` for `--quiet`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Release);
+}
+
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Acquire) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Backing implementation of the `obs_*!` logging macros.
+pub fn log(lvl: Level, args: std::fmt::Arguments<'_>) {
+    let printed = lvl <= level();
+    let traced = sink_active();
+    if !printed && !traced {
+        return;
+    }
+    let msg = args.to_string();
+    if printed {
+        match lvl {
+            Level::Info => eprintln!("{msg}"),
+            other => eprintln!("{}: {msg}", other.name()),
+        }
+    }
+    if traced {
+        let mut fields = sink::Fields::new();
+        fields.insert("msg".to_string(), serde_json::Value::String(msg));
+        emit(&Event::now("log", lvl.name(), fields));
+    }
+}
+
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+// ---------------------------------------------------------------------------
+// Per-site metric handles (used by the obs_* macros)
+// ---------------------------------------------------------------------------
+
+/// Guard recording elapsed microseconds into a histogram on drop.
+pub struct TimeGuard {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for TimeGuard {
+    fn drop(&mut self) {
+        self.hist
+            .record(self.start.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+}
+
+/// Starts a latency timer, or returns `None` when timing is off — the
+/// disabled path costs one atomic load and no clock read.
+pub fn timer(name: &'static str, cell: &'static OnceLock<Arc<Histogram>>) -> Option<TimeGuard> {
+    if !timing_enabled() {
+        return None;
+    }
+    let hist = cell
+        .get_or_init(|| metrics::global().histogram(name))
+        .clone();
+    Some(TimeGuard {
+        hist,
+        start: Instant::now(),
+    })
+}
+
+pub fn counter_handle(
+    name: &'static str,
+    cell: &'static OnceLock<Arc<Counter>>,
+) -> &'static Arc<Counter> {
+    cell.get_or_init(|| metrics::global().counter(name))
+}
+
+pub fn gauge_handle(
+    name: &'static str,
+    cell: &'static OnceLock<Arc<Gauge>>,
+) -> &'static Arc<Gauge> {
+    cell.get_or_init(|| metrics::global().gauge(name))
+}
+
+pub fn histogram_handle(
+    name: &'static str,
+    cell: &'static OnceLock<Arc<Histogram>>,
+) -> &'static Arc<Histogram> {
+    cell.get_or_init(|| metrics::global().histogram(name))
+}
+
+/// Times the enclosing scope into a latency histogram (microseconds):
+/// `let _t = obs_time!("estimator.card.latency_us");`
+#[macro_export]
+macro_rules! obs_time {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::timer($name, &CELL)
+    }};
+}
+
+/// Increments a named counter: `obs_count!("gen.satisfied.count");` or
+/// `obs_count!("fsm.tokens.count", n);`
+#[macro_export]
+macro_rules! obs_count {
+    ($name:expr) => {
+        $crate::obs_count!($name, 1)
+    };
+    ($name:expr, $delta:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        $crate::counter_handle($name, &CELL).inc($delta);
+    }};
+}
+
+/// Records a value sample into a histogram:
+/// `obs_record!("rl.episode.reward", total_reward);`
+#[macro_export]
+macro_rules! obs_record {
+    ($name:expr, $value:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::histogram_handle($name, &CELL).record($value as f64);
+    }};
+}
+
+/// Sets a named gauge: `obs_gauge!("rl.rewards_per_sec", rps);`
+#[macro_export]
+macro_rules! obs_gauge {
+    ($name:expr, $value:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        $crate::gauge_handle($name, &CELL).set($value as f64);
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII span: emits a `span` event with duration and full path on drop.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Opens a span, or `None` when timing is off. Spans nest per thread; the
+/// emitted event's `path` field joins the enclosing span names with `/`.
+pub fn span(name: &'static str) -> Option<Span> {
+    if !timing_enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    Some(Span {
+        name,
+        start: Instant::now(),
+    })
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_nanos() as f64 / 1_000.0;
+        let (path, depth) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            let depth = stack.len();
+            debug_assert_eq!(stack.last().copied(), Some(self.name), "span stack order");
+            stack.pop();
+            (path, depth)
+        });
+        metrics::global()
+            .histogram_owned(format!("span.{}.latency_us", self.name))
+            .record_silent(dur_us);
+        if sink_active() {
+            let mut fields = sink::Fields::new();
+            fields.insert("dur_us".to_string(), sink::num(dur_us));
+            fields.insert("path".to_string(), serde_json::Value::String(path));
+            fields.insert("depth".to_string(), sink::num(depth as f64));
+            emit(&Event::now("span", self.name, fields));
+        }
+    }
+}
+
+/// Opens a named scope span: `let _s = obs_span!("gen.train");`
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

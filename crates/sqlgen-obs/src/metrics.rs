@@ -1,0 +1,527 @@
+//! Named metric instruments and the global registry.
+//!
+//! All instruments are lock-free on the update path:
+//!
+//! - [`Counter`] — monotonically increasing `u64`.
+//! - [`Gauge`] — last-write-wins `f64`.
+//! - [`Histogram`] — sign-aware log-bucketed `f64` distribution with exact
+//!   count/sum/min/max and approximate percentiles (≤ ~12% relative bucket
+//!   error, clamped to the exact observed range, so single-sample
+//!   percentiles are exact).
+//!
+//! The registry itself is a name → instrument map behind a mutex; call
+//! sites cache the returned `Arc` (see the `obs_*` macros), so the map is
+//! only touched on first use per site.
+
+use crate::sink::{num, Event, Fields};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(name: String) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn inc(&self, delta: u64) {
+        let total = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        if crate::sink_active() {
+            let mut fields = Fields::new();
+            fields.insert("delta".to_string(), num(delta as f64));
+            fields.insert("total".to_string(), num(total as f64));
+            crate::emit(&Event::now("count", &self.name, fields));
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new(name: String) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        if crate::sink_active() {
+            let mut fields = Fields::new();
+            fields.insert("v".to_string(), num(v));
+            crate::emit(&Event::now("gauge", &self.name, fields));
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-buckets per power of two. 4 → worst-case relative error ~12%.
+const SUB: usize = 4;
+/// Exponent range covered per sign: 2^-32 .. 2^32.
+const OCTAVES: usize = 64;
+const MIN_EXP: i32 = -32;
+const SIDE: usize = OCTAVES * SUB;
+/// negatives (descending |v|) | zero | positives (ascending).
+const NBUCKETS: usize = SIDE + 1 + SIDE;
+const ZERO_SLOT: usize = SIDE;
+
+/// Maps a strictly positive finite value to its side-local bucket index.
+fn side_index(v: f64) -> usize {
+    let e = (v.log2().floor() as i32).clamp(MIN_EXP, MIN_EXP + OCTAVES as i32 - 1);
+    let base = (e as f64).exp2();
+    let frac = ((v / base - 1.0) * SUB as f64) as usize;
+    (e - MIN_EXP) as usize * SUB + frac.min(SUB - 1)
+}
+
+/// Geometric representative of a side-local bucket.
+fn side_value(idx: usize) -> f64 {
+    let e = MIN_EXP + (idx / SUB) as i32;
+    let frac = (idx % SUB) as f64 + 0.5;
+    (e as f64).exp2() * (1.0 + frac / SUB as f64)
+}
+
+fn slot_of(v: f64) -> usize {
+    if v > 0.0 {
+        ZERO_SLOT + 1 + side_index(v)
+    } else if v < 0.0 {
+        SIDE - 1 - side_index(-v)
+    } else {
+        ZERO_SLOT
+    }
+}
+
+fn slot_value(slot: usize) -> f64 {
+    match slot.cmp(&ZERO_SLOT) {
+        std::cmp::Ordering::Greater => side_value(slot - ZERO_SLOT - 1),
+        std::cmp::Ordering::Less => -side_value(SIDE - 1 - slot),
+        std::cmp::Ordering::Equal => 0.0,
+    }
+}
+
+/// Order-preserving u64 encoding of f64 (for atomic min/max).
+fn ordered_bits(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+fn from_ordered_bits(b: u64) -> f64 {
+    if b >> 63 == 1 {
+        f64::from_bits(b & !(1 << 63))
+    } else {
+        f64::from_bits(!b)
+    }
+}
+
+/// Log-bucketed distribution over finite `f64` samples.
+pub struct Histogram {
+    name: String,
+    buckets: Box<[AtomicU64; NBUCKETS]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_ord: AtomicU64,
+    max_ord: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("name", &self.name)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    fn new(name: String) -> Self {
+        Histogram {
+            name,
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_ord: AtomicU64::new(ordered_bits(f64::INFINITY)),
+            max_ord: AtomicU64::new(ordered_bits(f64::NEG_INFINITY)),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a sample and emits a `hist` event when a sink is installed.
+    pub fn record(&self, v: f64) {
+        self.record_silent(v);
+        if crate::sink_active() {
+            let mut fields = Fields::new();
+            fields.insert("v".to_string(), num(v));
+            crate::emit(&Event::now("hist", &self.name, fields));
+        }
+    }
+
+    /// Records without emitting an event (for sites that emit their own).
+    pub fn record_silent(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[slot_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.min_ord.fetch_min(ordered_bits(v), Ordering::Relaxed);
+        self.max_ord.fetch_max(ordered_bits(v), Ordering::Relaxed);
+        // CAS-loop float add; histograms are low-contention.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            from_ordered_bits(self.min_ord.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            from_ordered_bits(self.max_ord.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Approximate quantile in `[0, 1]`; `0.0` for an empty histogram.
+    ///
+    /// The bucket representative is clamped to the exact observed
+    /// `[min, max]`, so degenerate distributions (single sample, constant
+    /// samples) report exact percentiles.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the q-th sample.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= rank {
+                return slot_value(slot).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Name → instrument maps. Get-or-create; instruments live forever.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new(name.to_string())))
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new(name.to_string())))
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_owned(name.to_string())
+    }
+
+    pub fn histogram_owned(&self, name: String) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map");
+        map.entry(name.clone())
+            .or_insert_with(|| Arc::new(Histogram::new(name)))
+            .clone()
+    }
+
+    /// Renders every registered instrument as a summary table, sorted by
+    /// name within each kind.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "metrics summary",
+            &[
+                "metric", "kind", "count", "value", "p50", "p95", "p99", "max",
+            ],
+        );
+        for c in self.counters.lock().expect("counter map").values() {
+            t.row(vec![
+                c.name().to_string(),
+                "counter".to_string(),
+                c.get().to_string(),
+                c.get().to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        for g in self.gauges.lock().expect("gauge map").values() {
+            t.row(vec![
+                g.name().to_string(),
+                "gauge".to_string(),
+                "-".to_string(),
+                fmt_value(g.get()),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        for h in self.histograms.lock().expect("histogram map").values() {
+            t.row(vec![
+                h.name().to_string(),
+                "hist".to_string(),
+                h.count().to_string(),
+                fmt_value(h.mean()),
+                fmt_value(h.p50()),
+                fmt_value(h.p95()),
+                fmt_value(h.p99()),
+                fmt_value(h.max()),
+            ]);
+        }
+        t
+    }
+}
+
+impl Registry {
+    /// Emits one `summary` event per registered instrument — the end-of-run
+    /// rollup a trace consumer can read without replaying every sample.
+    pub fn emit_summary_events(&self) {
+        if !crate::sink_active() {
+            return;
+        }
+        for c in self.counters.lock().expect("counter map").values() {
+            let mut fields = Fields::new();
+            fields.insert("total".to_string(), num(c.get() as f64));
+            crate::emit(&Event::now("summary", c.name(), fields));
+        }
+        for g in self.gauges.lock().expect("gauge map").values() {
+            let mut fields = Fields::new();
+            fields.insert("v".to_string(), num(g.get()));
+            crate::emit(&Event::now("summary", g.name(), fields));
+        }
+        for h in self.histograms.lock().expect("histogram map").values() {
+            let mut fields = Fields::new();
+            fields.insert("count".to_string(), num(h.count() as f64));
+            fields.insert("mean".to_string(), num(h.mean()));
+            fields.insert("p50".to_string(), num(h.p50()));
+            fields.insert("p95".to_string(), num(h.p95()));
+            fields.insert("p99".to_string(), num(h.p99()));
+            fields.insert("max".to_string(), num(h.max()));
+            crate::emit(&Event::now("summary", h.name(), fields));
+        }
+    }
+}
+
+/// End-of-run summary for the global registry.
+pub fn summary_table() -> Table {
+    global().summary_table()
+}
+
+/// Emits `summary` events for the global registry.
+pub fn emit_summary_events() {
+    global().emit_summary_events()
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_trip_within_tolerance() {
+        for &v in &[1e-6, 0.013, 0.5, 1.0, 7.3, 640.0, 1.5e7, -0.4, -123.0] {
+            let slot = slot_of(v);
+            let rep = slot_value(slot);
+            assert!(
+                (rep - v).abs() <= v.abs() * 0.13,
+                "v={v} rep={rep} slot={slot}"
+            );
+            assert_eq!(rep.signum(), v.signum(), "sign preserved for {v}");
+        }
+        assert_eq!(slot_of(0.0), ZERO_SLOT);
+        assert_eq!(slot_value(ZERO_SLOT), 0.0);
+    }
+
+    #[test]
+    fn slots_are_monotonic_in_value() {
+        let vals = [-1e4, -3.0, -0.2, 0.0, 1e-4, 0.7, 2.0, 5.5, 1e6];
+        for w in vals.windows(2) {
+            assert!(slot_of(w[0]) <= slot_of(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn ordered_bits_total_order() {
+        let vals = [f64::NEG_INFINITY, -1e9, -1.0, -0.0, 0.0, 1e-9, 2.5, 1e300];
+        for w in vals.windows(2) {
+            assert!(
+                ordered_bits(w[0]) <= ordered_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+            assert_eq!(from_ordered_bits(ordered_bits(w[0])), w[0]);
+        }
+    }
+
+    #[test]
+    fn percentiles_track_uniform_data() {
+        let h = Histogram::new("t".into());
+        for i in 1..=1000 {
+            h.record_silent(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert!((h.p50() - 500.0).abs() / 500.0 < 0.15, "p50={}", h.p50());
+        assert!((h.p95() - 950.0).abs() / 950.0 < 0.15, "p95={}", h.p95());
+        assert!((h.p99() - 990.0).abs() / 990.0 < 0.15, "p99={}", h.p99());
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.min(), 1.0);
+    }
+
+    #[test]
+    fn negative_samples_sort_before_positive() {
+        let h = Histogram::new("t".into());
+        for v in [-10.0, -5.0, 1.0, 2.0, 3.0] {
+            h.record_silent(v);
+        }
+        assert!(h.percentile(0.0) < 0.0);
+        assert!(h.percentile(1.0) > 0.0);
+        assert_eq!(h.min(), -10.0);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn summary_table_lists_instruments() {
+        let r = Registry::default();
+        r.counter("c.one").inc(3);
+        r.gauge("g.one").set(1.25);
+        r.histogram("h.one").record_silent(10.0);
+        let md = r.summary_table().to_markdown();
+        assert!(md.contains("c.one"), "{md}");
+        assert!(md.contains("g.one"), "{md}");
+        assert!(md.contains("h.one"), "{md}");
+        assert!(md.contains("counter"), "{md}");
+    }
+}

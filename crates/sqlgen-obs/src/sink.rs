@@ -1,0 +1,204 @@
+//! Structured events and pluggable sinks.
+//!
+//! Every instrumentation source — metric updates, span exits, log lines —
+//! funnels into [`Event`]s with a fixed envelope: `ts_us` (unix microseconds),
+//! `kind` (`count` | `gauge` | `hist` | `span` | `log`), `name` and a flat
+//! `fields` object. [`JsonlSink`] writes one JSON object per line in exactly
+//! that shape; [`MemorySink`] buffers events for tests.
+
+use serde_json::{Number, Value};
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event payload: flat field name → JSON value map.
+pub type Fields = serde_json::Map;
+
+/// Converts a float into the tightest JSON number representation.
+pub fn num(v: f64) -> Value {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        Value::Number(Number::Int(v as i64))
+    } else {
+        Value::Number(Number::Float(v))
+    }
+}
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub ts_us: u64,
+    pub kind: String,
+    pub name: String,
+    pub fields: Fields,
+}
+
+impl Event {
+    /// Builds an event stamped with the current wall-clock time.
+    pub fn now(kind: &str, name: &str, fields: Fields) -> Self {
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Event {
+            ts_us,
+            kind: kind.to_string(),
+            name: name.to_string(),
+            fields,
+        }
+    }
+
+    /// Renders the canonical single-line JSON form.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":");
+        serde::json::write_escaped_str(&mut out, &self.kind);
+        out.push_str(",\"name\":");
+        serde::json::write_escaped_str(&mut out, &self.name);
+        out.push_str(",\"fields\":");
+        out.push_str(&Value::Object(self.fields.clone()).to_string());
+        out.push('}');
+        out
+    }
+
+    /// Parses a line produced by [`Event::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Event, serde::Error> {
+        let v: Value = serde_json::parse_value(line)?;
+        let get = |key: &str| {
+            v.get(key)
+                .cloned()
+                .ok_or_else(|| serde::Error::custom(format!("event missing key {key:?}")))
+        };
+        let ts_us = get("ts_us")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("ts_us is not a u64"))?;
+        let kind = get("kind")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("kind is not a string"))?
+            .to_string();
+        let name = get("name")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("name is not a string"))?
+            .to_string();
+        let fields = match get("fields")? {
+            Value::Object(map) => map,
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "fields is not an object: {other}"
+                )))
+            }
+        };
+        Ok(Event {
+            ts_us,
+            kind,
+            name,
+            fields,
+        })
+    }
+}
+
+/// An event consumer. Implementations must be thread-safe; `emit` is called
+/// from whatever thread produced the event.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Buffers events in memory — the test sink.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink").clone()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink").clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink").push(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns the sink.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut w = self.writer.lock().expect("jsonl sink");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_round_trips() {
+        let mut fields = Fields::new();
+        fields.insert("v".to_string(), num(12.5));
+        fields.insert("n".to_string(), num(3.0));
+        fields.insert(
+            "msg".to_string(),
+            Value::String("quote \" backslash \\ λ".to_string()),
+        );
+        let e = Event {
+            ts_us: 1_722_000_000_000_000,
+            kind: "hist".to_string(),
+            name: "estimator.card.latency_us".to_string(),
+            fields,
+        };
+        let line = e.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Event::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn num_prefers_integers() {
+        assert_eq!(num(3.0).to_string(), "3");
+        assert_eq!(num(-41.0).to_string(), "-41");
+        assert_eq!(num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Event::from_json_line("not json").is_err());
+        assert!(Event::from_json_line("{\"ts_us\":1}").is_err());
+    }
+}

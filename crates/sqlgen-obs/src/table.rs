@@ -1,0 +1,148 @@
+//! Markdown table printing and CSV output.
+//!
+//! Lives in `sqlgen-obs` (the dependency leaf) so both the metrics summary
+//! and the experiment binaries in `sqlgen-bench` can render through the same
+//! type; `sqlgen-bench` re-exports this module unchanged.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Markdown rendering with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+
+    /// CSV rendering (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+}
+
+/// Writes a table's CSV under `results/<name>.csv` (creating the dir).
+pub fn write_csv(table: &Table, name: &str) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        crate::obs_warn!("cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        crate::obs_warn!("cannot write {}: {e}", path.display());
+    } else {
+        crate::obs_info!("wrote {}", path.display());
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats seconds compactly.
+pub fn secs(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}s")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a      | long_header |"));
+        assert!(md.contains("| xxxxxx | 1           |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.5433), "54.33%");
+        assert_eq!(secs(1.234), "1.23s");
+        assert_eq!(secs(f64::INFINITY), "n/a");
+    }
+}

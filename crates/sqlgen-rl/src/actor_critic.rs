@@ -135,7 +135,13 @@ mod tests {
 
     fn training_env_setup() -> (sqlgen_storage::Database, Vocabulary) {
         let db = tpch_database(0.2, 9);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         (db, vocab)
     }
 

@@ -140,7 +140,12 @@ impl<'a> SqlGenEnv<'a> {
                 let db = self.db.expect(
                     "latency metric requires SqlGenEnv::with_database                      (estimates cannot measure wall-clock time)",
                 );
-                let ex = Executor::with_options(db, ExecOptions { max_rows: 5_000_000 });
+                let ex = Executor::with_options(
+                    db,
+                    ExecOptions {
+                        max_rows: 5_000_000,
+                    },
+                );
                 let start = std::time::Instant::now();
                 // Failed executions (e.g. row-limit) count as very slow.
                 match ex.cardinality(stmt) {
@@ -197,7 +202,13 @@ mod tests {
 
     fn setup() -> (sqlgen_storage::Database, Vocabulary) {
         let db = tpch_database(0.2, 3);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         (db, vocab)
     }
 
@@ -233,8 +244,8 @@ mod tests {
             assert!(measured.is_finite() && measured >= 0.0);
             // Potential-based shaping telescopes: the return equals
             // (w + W) * final reward.
-            let expected = (env.partial_weight + env.terminal_weight)
-                * env.constraint.reward(measured) as f32;
+            let expected =
+                (env.partial_weight + env.terminal_weight) * env.constraint.reward(measured) as f32;
             assert!(
                 (total - expected).abs() < 1e-3,
                 "return {total} != telescoped {expected}"
@@ -260,8 +271,8 @@ mod tests {
     fn latency_metric_measures_real_execution() {
         let (db, vocab) = setup();
         let est = Estimator::build(&db);
-        let env = SqlGenEnv::new(&vocab, &est, Constraint::latency_range_us(0.0, 1e9))
-            .with_database(&db);
+        let env =
+            SqlGenEnv::new(&vocab, &est, Constraint::latency_range_us(0.0, 1e9)).with_database(&db);
         let stmt = sqlgen_engine::parse("SELECT lineitem.l_quantity FROM lineitem").unwrap();
         let us = env.measure(&stmt);
         assert!(us.is_finite() && us > 0.0, "latency {us}");

@@ -71,6 +71,12 @@ pub fn run_episode<R: Rng + ?Sized>(
         .clone();
     let measured = env.measure(&statement);
     let satisfied = env.constraint.satisfied(measured);
+    sqlgen_obs::obs_record!("rl.episode.reward", rewards.iter().sum::<f32>());
+    sqlgen_obs::obs_record!("rl.episode.len", steps.len() as f64);
+    sqlgen_obs::obs_count!("rl.episodes.count");
+    // Unconditional so the counter exists (and appears in traces and the
+    // summary) even for runs where nothing satisfies the constraint.
+    sqlgen_obs::obs_count!("gen.satisfied.count", u64::from(satisfied));
     Episode {
         steps,
         rewards,
@@ -115,7 +121,13 @@ mod tests {
     #[test]
     fn episode_runs_end_to_end_and_is_valid() {
         let db = tpch_database(0.1, 2);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 8, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 8,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0));
         let actor = ActorNet::new(

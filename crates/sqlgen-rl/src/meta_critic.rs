@@ -22,9 +22,7 @@ use crate::reinforce::TrainConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sqlgen_nn::{
-    clip_grad_norm, Adam, Embedding, LstmStack, Mlp, Optimizer, Param, StackCache,
-};
+use sqlgen_nn::{clip_grad_norm, Adam, Embedding, LstmStack, Mlp, Optimizer, Param, StackCache};
 
 /// Encoder hidden size (z dimension).
 pub const ENCODER_HIDDEN: usize = 16;
@@ -224,7 +222,11 @@ impl MetaCriticTrainer {
         let i = self.tasks.len();
         self.tasks.push(TaskSlot {
             constraint,
-            actor: ActorNet::new(action_space, &self.cfg.net, self.cfg.seed ^ (i as u64 * 7919 + 13)),
+            actor: ActorNet::new(
+                action_space,
+                &self.cfg.net,
+                self.cfg.seed ^ (i as u64 * 7919 + 13),
+            ),
             triples: Vec::new(),
             opt_actor: Adam::new(self.cfg.lr_actor),
         });
@@ -321,7 +323,7 @@ mod tests {
         assert!(caches.is_empty());
         // Backward on empty history is a no-op.
         let mut enc = enc;
-        enc.backward(&[], &caches, &vec![1.0; ENCODER_HIDDEN]);
+        enc.backward(&[], &caches, &[1.0; ENCODER_HIDDEN]);
     }
 
     #[test]
@@ -344,7 +346,13 @@ mod tests {
     #[test]
     fn multi_task_training_improves_rewards() {
         let db = tpch_database(0.2, 9);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         let constraints = vec![
             Constraint::cardinality_range(10.0, 500.0),

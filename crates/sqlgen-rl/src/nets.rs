@@ -163,6 +163,26 @@ impl ActorNet {
     /// episode (Eq. 4): per step, `∂L/∂logits = A·(π − e_a) + λ·π(logπ+H)`.
     pub fn backward_episode(&mut self, steps: &[ActorStep], advantages: &[f32], lambda: f32) {
         debug_assert_eq!(steps.len(), advantages.len());
+        // The scalar loss is never needed for the gradients; materialize it
+        // only when observability is collecting (extra O(steps·vocab) pass).
+        if sqlgen_obs::timing_enabled() {
+            let mut loss = 0.0f64;
+            let mut entropy = 0.0f64;
+            for (s, &adv) in steps.iter().zip(advantages) {
+                let h: f32 = s
+                    .probs
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| -p * p.ln())
+                    .sum();
+                let logp = s.probs[s.action].max(1e-12).ln();
+                loss += (-logp * adv - lambda * h) as f64;
+                entropy += h as f64;
+            }
+            let n = steps.len().max(1) as f64;
+            sqlgen_obs::obs_record!("rl.policy.loss", loss / n);
+            sqlgen_obs::obs_record!("rl.policy.entropy", entropy / n);
+        }
         let mut dtops = Vec::with_capacity(steps.len());
         for (s, &adv) in steps.iter().zip(advantages) {
             let dlogits = actor_logit_grad(&s.probs, s.action, adv, lambda);

@@ -89,7 +89,13 @@ mod tests {
     #[test]
     fn reinforce_improves_reward() {
         let db = tpch_database(0.2, 9);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 10, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         // A generous range constraint so the signal is learnable quickly.
         let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(50.0, 5_000.0))
@@ -126,7 +132,13 @@ mod tests {
     #[test]
     fn generation_does_not_change_weights() {
         let db = tpch_database(0.1, 9);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 8, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 8,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_point(100.0));
         let mut trainer = Reinforce::new(vocab.size(), TrainConfig::default());

@@ -116,12 +116,7 @@ impl Database {
     pub fn all_foreign_keys(&self) -> Vec<(&str, &ForeignKey)> {
         self.tables
             .values()
-            .flat_map(|t| {
-                t.schema
-                    .foreign_keys
-                    .iter()
-                    .map(move |fk| (t.name(), fk))
-            })
+            .flat_map(|t| t.schema.foreign_keys.iter().map(move |fk| (t.name(), fk)))
             .collect()
     }
 }

@@ -16,7 +16,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const KINDS: [&str; 4] = ["movie", "tv series", "video game", "episode"];
-const INFO_KINDS: [&str; 6] = ["budget", "genres", "languages", "rating", "runtimes", "votes"];
+const INFO_KINDS: [&str; 6] = [
+    "budget",
+    "genres",
+    "languages",
+    "rating",
+    "runtimes",
+    "votes",
+];
 const COMPANY_COUNTRIES: [&str; 6] = ["[de]", "[fr]", "[gb]", "[in]", "[jp]", "[us]"];
 const ROLES: [&str; 5] = ["actor", "actress", "director", "producer", "writer"];
 const GENDERS: [&str; 2] = ["f", "m"];
@@ -124,7 +131,10 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("keyword", DataType::Text)),
     );
     for i in 0..n_keyword {
-        keyword.push_row(vec![Value::Int(i as i64), Value::Text(tagged_word("kw", i))]);
+        keyword.push_row(vec![
+            Value::Int(i as i64),
+            Value::Text(tagged_word("kw", i)),
+        ]);
     }
     db.add_table(keyword);
 
@@ -233,7 +243,12 @@ mod tests {
             .into_iter()
             .map(|e| e.right_table)
             .collect();
-        for t in ["cast_info", "movie_info", "movie_companies", "movie_keyword"] {
+        for t in [
+            "cast_info",
+            "movie_info",
+            "movie_companies",
+            "movie_keyword",
+        ] {
             assert!(targets.contains(&t.to_string()), "title not joined to {t}");
         }
     }

@@ -49,9 +49,8 @@ pub fn sample_database(db: &Database, cfg: &SampleConfig) -> Vec<ColumnSample> {
     for table in db.tables() {
         for (def, col) in table.schema.columns.iter().zip(&table.columns) {
             // Distinct-value pool, deterministic order.
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ hash_name(table.name()) ^ hash_name(&def.name),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ hash_name(table.name()) ^ hash_name(&def.name));
             let values = if def.categorical {
                 distinct_values(col, cfg.categorical_limit)
             } else {
@@ -121,10 +120,7 @@ pub fn sample_column<R: Rng + ?Sized>(col: &Column, k: usize, rng: &mut R) -> Ve
 }
 
 fn dedup_values(vals: &mut Vec<Value>) {
-    vals.sort_by(|a, b| {
-        a.try_cmp(b)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    vals.sort_by(|a, b| a.try_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     vals.dedup_by(|a, b| a == b);
 }
 
@@ -153,7 +149,13 @@ mod tests {
 
     #[test]
     fn sampling_respects_k_and_categorical_domains() {
-        let samples = sample_database(&db(), &SampleConfig { k: 10, ..Default::default() });
+        let samples = sample_database(
+            &db(),
+            &SampleConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         let num = samples.iter().find(|s| s.column == "num").unwrap();
         assert_eq!(num.values.len(), 10);
         let cat = samples.iter().find(|s| s.column == "cat").unwrap();
@@ -162,7 +164,13 @@ mod tests {
 
     #[test]
     fn samples_are_distinct_and_from_the_column() {
-        let samples = sample_database(&db(), &SampleConfig { k: 50, ..Default::default() });
+        let samples = sample_database(
+            &db(),
+            &SampleConfig {
+                k: 50,
+                ..Default::default()
+            },
+        );
         let num = &samples.iter().find(|s| s.column == "num").unwrap().values;
         for w in num.windows(2) {
             assert_ne!(w[0], w[1]);

@@ -135,7 +135,12 @@ impl ColumnStats {
                 let mcvs = pairs
                     .into_iter()
                     .take(DEFAULT_MCVS)
-                    .map(|(s, c)| (Value::Text(s.to_string()), c as f64 / row_count.max(1) as f64))
+                    .map(|(s, c)| {
+                        (
+                            Value::Text(s.to_string()),
+                            c as f64 / row_count.max(1) as f64,
+                        )
+                    })
                     .collect();
                 ColumnStats {
                     name: name.to_string(),
@@ -271,12 +276,7 @@ mod tests {
 
     #[test]
     fn text_mcvs() {
-        let col = Column::Text(vec![
-            "a".into(),
-            "a".into(),
-            "a".into(),
-            "b".into(),
-        ]);
+        let col = Column::Text(vec!["a".into(), "a".into(), "a".into(), "b".into()]);
         let s = ColumnStats::build("c", &col);
         assert_eq!(s.distinct, 2);
         assert!((s.eq_selectivity(&Value::Text("a".into())) - 0.75).abs() < 1e-9);

@@ -23,9 +23,7 @@ fn main() {
 
     // Bounded-cost statements: fast enough for a tight regression loop.
     let constraint = Constraint::cost_range(0.01, 200.0);
-    let config = GenConfig::fast()
-        .with_seed(31)
-        .with_fsm(FsmConfig::full());
+    let config = GenConfig::fast().with_seed(31).with_fsm(FsmConfig::full());
     let mut generator = LearnedSqlGen::new(&db, constraint, config);
     println!("Training on {constraint} with all statement kinds enabled ...");
     generator.train(400);

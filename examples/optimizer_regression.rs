@@ -21,7 +21,12 @@ fn main() {
     let db = Benchmark::TpcH.build(0.4, 77);
     let est = Estimator::build(&db);
     let cost = CostModel::default();
-    let ex = Executor::with_options(&db, ExecOptions { max_rows: 5_000_000 });
+    let ex = Executor::with_options(
+        &db,
+        ExecOptions {
+            max_rows: 5_000_000,
+        },
+    );
 
     // Mid-cardinality SELECTs: the regime where join mis-estimates hide.
     let constraint = Constraint::cardinality_range(50.0, 5_000.0);
@@ -55,5 +60,8 @@ fn main() {
     // paste into the regression ticket.
     let worst_sql = &ranked[0].1;
     let stmt = learned_sqlgen::engine::parse(worst_sql).expect("round-trip");
-    println!("\nEXPLAIN for the worst offender:\n{}", explain(&est, &cost, &stmt));
+    println!(
+        "\nEXPLAIN for the worst offender:\n{}",
+        explain(&est, &cost, &stmt)
+    );
 }

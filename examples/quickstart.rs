@@ -10,7 +10,7 @@
 //! ```
 
 use learned_sqlgen::core::{Constraint, GenConfig, LearnedSqlGen};
-use learned_sqlgen::storage::{ColumnDef, Database, DataType, Table, TableSchema, Value};
+use learned_sqlgen::storage::{ColumnDef, DataType, Database, Table, TableSchema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

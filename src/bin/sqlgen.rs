@@ -6,13 +6,16 @@
 //! sqlgen --benchmark xuetang --range 10 500 --kinds select,delete --execute
 //! sqlgen --benchmark tpch --range 1000 2000 --save model.json
 //! sqlgen --benchmark tpch --range 1000 2000 --load model.json --train 0
+//! sqlgen --benchmark tpch --range 1000 2000 --trace run.jsonl --metrics
 //! ```
 
 use learned_sqlgen::core::{profile, Constraint, GenConfig, LearnedSqlGen};
 use learned_sqlgen::engine::{ExecOptions, Executor, StatementKind};
 use learned_sqlgen::fsm::FsmConfig;
 use learned_sqlgen::storage::gen::Benchmark;
+use sqlgen_obs::{obs_error, obs_info};
 use std::process::exit;
+use std::sync::Arc;
 
 struct Args {
     benchmark: Benchmark,
@@ -29,6 +32,10 @@ struct Args {
     save: Option<String>,
     load: Option<String>,
     only_satisfied: bool,
+    trace: Option<String>,
+    metrics: bool,
+    quiet: bool,
+    json: bool,
 }
 
 const USAGE: &str = "\
@@ -48,7 +55,11 @@ FLAGS:
   --execute               also report the real (executed) cardinality
   --profile               print a diversity/complexity profile
   --save <path>           save the trained actor as JSON
-  --load <path>           load an actor checkpoint before generating";
+  --load <path>           load an actor checkpoint before generating
+  --trace <path.jsonl>    write structured observability events (JSON lines)
+  --metrics               collect latency metrics; print a summary table
+  --json                  emit one JSON object per generated query
+  --quiet                 suppress informational output";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -66,6 +77,10 @@ fn parse_args() -> Args {
         save: None,
         load: None,
         only_satisfied: false,
+        trace: None,
+        metrics: false,
+        quiet: false,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     let fail = |m: &str| -> ! {
@@ -74,7 +89,8 @@ fn parse_args() -> Args {
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
         };
         match flag.as_str() {
             "--benchmark" => {
@@ -89,8 +105,12 @@ fn parse_args() -> Args {
                 args.point = Some(value("--point").parse().unwrap_or_else(|_| fail("--point")))
             }
             "--range" => {
-                let lo = value("--range").parse().unwrap_or_else(|_| fail("--range lo"));
-                let hi = value("--range").parse().unwrap_or_else(|_| fail("--range hi"));
+                let lo = value("--range")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--range lo"));
+                let hi = value("--range")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--range hi"));
                 args.range = Some((lo, hi));
             }
             "--n" => args.n = value("--n").parse().unwrap_or_else(|_| fail("--n")),
@@ -113,6 +133,10 @@ fn parse_args() -> Args {
             "--only-satisfied" => args.only_satisfied = true,
             "--save" => args.save = Some(value("--save")),
             "--load" => args.load = Some(value("--load")),
+            "--trace" => args.trace = Some(value("--trace")),
+            "--metrics" => args.metrics = true,
+            "--json" => args.json = true,
+            "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -129,26 +153,77 @@ fn parse_args() -> Args {
     args
 }
 
+/// Renders one generated query as a single JSON object line.
+fn query_json(
+    q: &learned_sqlgen::core::GeneratedQuery,
+    real: Option<&Result<u64, String>>,
+) -> String {
+    let mut fields = serde_json::Map::new();
+    fields.insert("sql".to_string(), serde_json::Value::String(q.sql.clone()));
+    fields.insert(
+        "measured".to_string(),
+        serde_json::Value::Number(serde_json::Number::Float(q.measured)),
+    );
+    fields.insert(
+        "satisfied".to_string(),
+        serde_json::Value::Bool(q.satisfied),
+    );
+    match real {
+        Some(Ok(rows)) => {
+            fields.insert(
+                "real".to_string(),
+                serde_json::Value::Number(serde_json::Number::UInt(*rows)),
+            );
+        }
+        Some(Err(e)) => {
+            fields.insert("real".to_string(), serde_json::Value::Null);
+            fields.insert(
+                "real_error".to_string(),
+                serde_json::Value::String(e.clone()),
+            );
+        }
+        None => {}
+    }
+    serde_json::Value::Object(fields).to_string()
+}
+
 fn main() {
     let args = parse_args();
+    if args.quiet {
+        sqlgen_obs::set_level(sqlgen_obs::Level::Warn);
+    }
+    if args.metrics {
+        sqlgen_obs::enable_metrics();
+    }
+    if let Some(path) = &args.trace {
+        let sink = sqlgen_obs::JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            obs_error!("cannot create trace file {path}: {e}");
+            exit(1);
+        });
+        sqlgen_obs::install_sink(Arc::new(sink));
+    }
+
     let constraint = match (args.metric.as_str(), args.point, args.range) {
         ("card", Some(p), _) => Constraint::cardinality_point(p),
         ("card", _, Some((lo, hi))) => Constraint::cardinality_range(lo, hi),
         ("cost", Some(p), _) => Constraint::cost_point(p),
         ("cost", _, Some((lo, hi))) => Constraint::cost_range(lo, hi),
         (m, _, _) => {
-            eprintln!("error: unknown metric {m} (card|cost)");
+            obs_error!("unknown metric {m} (card|cost)");
             exit(2);
         }
     };
 
-    eprintln!(
+    obs_info!(
         "building {} at scale {} (seed {}) ...",
         args.benchmark.name(),
         args.scale,
         args.seed
     );
-    let db = args.benchmark.build(args.scale, args.seed);
+    let db = {
+        let _s = sqlgen_obs::obs_span!("cli.build_db");
+        args.benchmark.build(args.scale, args.seed)
+    };
 
     let mut config = GenConfig::default().with_seed(args.seed);
     if let Some(kinds) = &args.kinds {
@@ -158,14 +233,14 @@ fn main() {
 
     if let Some(path) = &args.load {
         let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read {path}: {e}");
+            obs_error!("cannot read {path}: {e}");
             exit(1);
         });
         generator.load_actor(&json).unwrap_or_else(|e| {
-            eprintln!("error: bad checkpoint {path}: {e}");
+            obs_error!("bad checkpoint {path}: {e}");
             exit(1);
         });
-        eprintln!("loaded actor from {path}");
+        obs_info!("loaded actor from {path}");
     }
 
     let train = if args.load.is_some() && args.train == 500 {
@@ -174,9 +249,9 @@ fn main() {
         args.train
     };
     if train > 0 {
-        eprintln!("training {train} episodes for {constraint} ...");
+        obs_info!("training {train} episodes for {constraint} ...");
         let stats = generator.train(train);
-        eprintln!(
+        obs_info!(
             "  {} satisfied queries found during training",
             stats.satisfied_during_training.len()
         );
@@ -184,36 +259,39 @@ fn main() {
 
     let queries = if args.only_satisfied {
         let (qs, attempts) = generator.generate_satisfied(args.n, args.n * 200);
-        eprintln!("{} satisfied in {attempts} attempts", qs.len());
+        obs_info!("{} satisfied in {attempts} attempts", qs.len());
         qs
     } else {
         generator.generate(args.n)
     };
 
-    let ex = Executor::with_options(&db, ExecOptions { max_rows: 5_000_000 });
+    let ex = Executor::with_options(
+        &db,
+        ExecOptions {
+            max_rows: 5_000_000,
+        },
+    );
     for q in &queries {
-        if args.execute {
-            let real = ex
-                .cardinality(&q.statement)
-                .map(|c| c.to_string())
-                .unwrap_or_else(|e| format!("error: {e}"));
-            println!(
-                "[{}] est={:.0} real={real}\t{}",
-                if q.satisfied { "ok" } else { "--" },
-                q.measured,
-                q.sql
-            );
+        let real = args
+            .execute
+            .then(|| ex.cardinality(&q.statement).map_err(|e| e.to_string()));
+        if args.json {
+            println!("{}", query_json(q, real.as_ref()));
         } else {
-            println!(
-                "[{}] est={:.0}\t{}",
-                if q.satisfied { "ok" } else { "--" },
-                q.measured,
-                q.sql
-            );
+            let mark = if q.satisfied { "ok" } else { "--" };
+            match real {
+                Some(Ok(rows)) => {
+                    println!("[{mark}] est={:.0} real={rows}\t{}", q.measured, q.sql)
+                }
+                Some(Err(e)) => {
+                    println!("[{mark}] est={:.0} real=error: {e}\t{}", q.measured, q.sql)
+                }
+                None => println!("[{mark}] est={:.0}\t{}", q.measured, q.sql),
+            }
         }
     }
     let hits = queries.iter().filter(|q| q.satisfied).count();
-    eprintln!(
+    obs_info!(
         "accuracy: {hits}/{} = {:.1}%",
         queries.len(),
         100.0 * hits as f64 / queries.len().max(1) as f64
@@ -221,20 +299,41 @@ fn main() {
 
     if args.profile {
         let r = profile(&queries);
-        eprintln!("\nworkload profile:");
-        eprintln!("  distinct SQL ratio : {:.2}", r.distinct_ratio);
-        eprintln!("  structure entropy  : {:.2} bits", r.structure_entropy);
-        eprintln!("  multi-join share   : {:.1}%", 100.0 * r.multi_join_share());
-        eprintln!("  nested share       : {:.1}%", 100.0 * r.nested_share());
-        eprintln!("  aggregated share   : {:.1}%", 100.0 * r.aggregated_share());
-        eprintln!("  statement kinds    : {:?}", r.kinds);
+        obs_info!("\nworkload profile:");
+        obs_info!("  distinct SQL ratio : {:.2}", r.distinct_ratio);
+        obs_info!("  structure entropy  : {:.2} bits", r.structure_entropy);
+        obs_info!(
+            "  multi-join share   : {:.1}%",
+            100.0 * r.multi_join_share()
+        );
+        obs_info!("  nested share       : {:.1}%", 100.0 * r.nested_share());
+        obs_info!(
+            "  aggregated share   : {:.1}%",
+            100.0 * r.aggregated_share()
+        );
+        obs_info!("  statement kinds    : {:?}", r.kinds);
     }
 
     if let Some(path) = &args.save {
         std::fs::write(path, generator.save_actor()).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
+            obs_error!("cannot write {path}: {e}");
             exit(1);
         });
-        eprintln!("saved actor to {path}");
+        obs_info!("saved actor to {path}");
+    }
+
+    if args.metrics {
+        let table = sqlgen_obs::metrics::summary_table();
+        if args.json {
+            // Keep stdout pure JSON lines; the table goes to stderr.
+            eprint!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+    }
+    if args.trace.is_some() {
+        sqlgen_obs::metrics::emit_summary_events();
+        sqlgen_obs::clear_sink();
+        obs_info!("wrote trace to {}", args.trace.as_deref().unwrap_or(""));
     }
 }

@@ -10,13 +10,15 @@ use learned_sqlgen::rl::SqlGenEnv;
 use learned_sqlgen::storage::gen::Benchmark;
 use learned_sqlgen::storage::sample::SampleConfig;
 
-fn setup() -> (
-    learned_sqlgen::storage::Database,
-    Vocabulary,
-    Estimator,
-) {
+fn setup() -> (learned_sqlgen::storage::Database, Vocabulary, Estimator) {
     let db = Benchmark::TpcH.build(0.25, 314);
-    let vocab = Vocabulary::build(&db, &SampleConfig { k: 20, ..Default::default() });
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 20,
+            ..Default::default()
+        },
+    );
     let est = Estimator::build(&db);
     (db, vocab, est)
 }
@@ -35,8 +37,7 @@ fn learned_beats_random_on_accuracy() {
     let mut learned = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(6));
     learned.train(800);
     let queries = learned.generate(150);
-    let learned_acc =
-        queries.iter().filter(|q| q.satisfied).count() as f64 / queries.len() as f64;
+    let learned_acc = queries.iter().filter(|q| q.satisfied).count() as f64 / queries.len() as f64;
 
     assert!(
         learned_acc > random_acc + 0.05,

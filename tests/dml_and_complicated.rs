@@ -9,12 +9,10 @@ use learned_sqlgen::storage::gen::Benchmark;
 #[test]
 fn generates_nested_queries_on_demand() {
     let db = Benchmark::TpcH.build(0.15, 404);
-    let cfg = GenConfig::fast()
-        .with_seed(9)
-        .with_fsm(FsmConfig {
-            max_subquery_depth: 1,
-            ..FsmConfig::default()
-        });
+    let cfg = GenConfig::fast().with_seed(9).with_fsm(FsmConfig {
+        max_subquery_depth: 1,
+        ..FsmConfig::default()
+    });
     let mut g = LearnedSqlGen::new(&db, Constraint::cardinality_range(1.0, 1e6), cfg);
     g.train(100);
     let qs = g.generate(200);
@@ -109,7 +107,9 @@ fn subquery_semantics_match_engine() {
     let db = Benchmark::TpcH.build(0.15, 409);
     let ex = Executor::new(&db);
     let all = ex
-        .cardinality(&learned_sqlgen::engine::parse("SELECT orders.o_orderkey FROM orders").unwrap())
+        .cardinality(
+            &learned_sqlgen::engine::parse("SELECT orders.o_orderkey FROM orders").unwrap(),
+        )
         .unwrap();
     let filtered = ex
         .cardinality(

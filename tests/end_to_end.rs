@@ -14,7 +14,12 @@ fn full_pipeline_on_tpch() {
 
     let queries = g.generate(30);
     assert_eq!(queries.len(), 30);
-    let ex = Executor::with_options(&db, ExecOptions { max_rows: 3_000_000 });
+    let ex = Executor::with_options(
+        &db,
+        ExecOptions {
+            max_rows: 3_000_000,
+        },
+    );
     let mut satisfied = 0;
     for q in &queries {
         // Every generated statement passes independent semantic validation.
@@ -42,7 +47,12 @@ fn estimator_agrees_with_execution_on_generated_queries() {
     let constraint = Constraint::cardinality_range(1.0, 100_000.0);
     let mut g = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(2));
     g.train(100);
-    let ex = Executor::with_options(&db, ExecOptions { max_rows: 3_000_000 });
+    let ex = Executor::with_options(
+        &db,
+        ExecOptions {
+            max_rows: 3_000_000,
+        },
+    );
 
     let mut qerrors = Vec::new();
     for q in g.generate(40) {

@@ -6,7 +6,7 @@
 //! selectivities stay in [0, 1], rewards stay in [0, 1].
 
 use learned_sqlgen::engine::{
-    parse, render, validate, ColRef, CmpOp, Estimator, ExecOptions, Executor, Predicate, Rhs,
+    parse, render, validate, CmpOp, ColRef, Estimator, ExecOptions, Executor, Predicate, Rhs,
     SelectQuery, Statement,
 };
 use learned_sqlgen::fsm::{random_statement, FsmConfig, Vocabulary};
@@ -29,7 +29,13 @@ fn fixture() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
         let db = Benchmark::TpcH.build(0.15, 1234);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 12, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 12,
+                ..Default::default()
+            },
+        );
         let est = Estimator::build(&db);
         Fixture { db, vocab, est }
     })
@@ -132,9 +138,20 @@ proptest! {
 fn validator_acceptance_implies_executability() {
     for benchmark in Benchmark::ALL {
         let db = benchmark.build(0.1, 77);
-        let vocab = Vocabulary::build(&db, &SampleConfig { k: 8, ..Default::default() });
+        let vocab = Vocabulary::build(
+            &db,
+            &SampleConfig {
+                k: 8,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        let ex = Executor::with_options(&db, ExecOptions { max_rows: 2_000_000 });
+        let ex = Executor::with_options(
+            &db,
+            ExecOptions {
+                max_rows: 2_000_000,
+            },
+        );
         for _ in 0..60 {
             let (stmt, _) = random_statement(&vocab, &FsmConfig::full(), &mut rng);
             validate(&db, &stmt).unwrap();

@@ -1,0 +1,159 @@
+//! Vendored drop-in subset of `criterion`.
+//!
+//! Provides the surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros — with genuine
+//! wall-clock measurement: each function is warmed up, then timed over
+//! `sample_size` samples with an adaptive per-sample iteration count, and
+//! mean / median / min statistics are printed. No HTML reports or history.
+
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 100,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up + calibration: pick an iteration count so each sample
+        // takes a measurable slice of time (~2ms) without dragging out
+        // slow benches.
+        let calibration_start = Instant::now();
+        routine(&mut bencher);
+        let one = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = if one >= target {
+            1
+        } else {
+            ((target.as_nanos() / one.as_nanos()).min(10_000) as u64).max(1)
+        };
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters_per_sample = iters;
+            bencher.elapsed = Duration::ZERO;
+            routine(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "  {}/{name:<28} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
+            self.group,
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            self.sample_size,
+            iters,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    iters_per_sample: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so `use std::hint::black_box` and `criterion::black_box` both work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

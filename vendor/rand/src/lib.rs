@@ -1,0 +1,248 @@
+//! Vendored drop-in subset of the `rand` 0.9 API.
+//!
+//! This build environment has no access to the crates.io registry, so the
+//! workspace ships the slice of `rand` it actually uses: `RngCore`, `Rng`
+//! (`random`, `random_range`, `random_bool`), `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng` and the free function `rng()`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — statistically solid for
+//! benchmark-data generation and RL exploration, though its streams differ
+//! from upstream `rand`'s ChaCha12-based `StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Derives a generator from OS-ish entropy (time + a process counter).
+    fn from_os_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e3779b97f4a7c15);
+    t ^ COUNTER.fetch_add(0x2545f4914f6cdd1d, Ordering::Relaxed)
+}
+
+/// Values samplable uniformly from the generator's "standard" distribution
+/// (`[0, 1)` for floats, the full domain for integers and `bool`).
+pub trait StandardSample: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the workspace's deterministic standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Non-deterministic generator returned by [`crate::rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A fresh, non-deterministically seeded generator (mirrors `rand::rng()`).
+pub fn rng() -> rngs::ThreadRng {
+    rngs::ThreadRng(rngs::StdRng::from_os_entropy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = r.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let f = r.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

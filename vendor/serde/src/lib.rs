@@ -1,0 +1,344 @@
+//! Vendored drop-in subset of `serde` specialised to JSON.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! ships the slice of serde it uses: `Serialize`/`Deserialize` traits with
+//! `#[derive(Serialize, Deserialize)]` (including `#[serde(default)]` and
+//! `#[serde(skip, default = "path")]` field attributes), driven through a
+//! JSON `Value` data model in [`json`]. The `serde_json` shim crate layers
+//! `to_string`/`from_str` on top.
+//!
+//! The wire format matches upstream `serde_json` for the shapes this
+//! workspace serializes: structs → objects, unit enum variants → strings,
+//! newtype/tuple/struct variants → single-key objects.
+
+pub mod json;
+
+pub use json::Value;
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error (string message, like `serde_json`'s).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    fn serialize(&self, out: &mut String);
+}
+
+/// Types constructible from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                let mut buf = String::new();
+                {
+                    use std::fmt::Write;
+                    let _ = write!(buf, "{}", *self);
+                }
+                out.push_str(&buf);
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        json::write_f64(out, *self as f64);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        json::write_f64(out, *self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize(out);
+        out.push(',');
+        self.1.serialize(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize(out);
+        out.push(',');
+        self.1.serialize(out);
+        out.push(',');
+        self.2.serialize(out);
+        out.push(']');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped_str(out, k);
+            out.push(':');
+            v.serialize(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize(&self, out: &mut String) {
+        // Sort for deterministic output.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped_str(out, k);
+            out.push(':');
+            self[*k].serialize(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self, out: &mut String) {
+        self.write(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i128()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected 2-tuple array, got {}", v.kind())))?;
+        if arr.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2 elements, got {}",
+                arr.len()
+            )));
+        }
+        Ok((A::deserialize(&arr[0])?, B::deserialize(&arr[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected 3-tuple array, got {}", v.kind())))?;
+        if arr.len() != 3 {
+            return Err(Error::custom(format!(
+                "expected 3 elements, got {}",
+                arr.len()
+            )));
+        }
+        Ok((
+            A::deserialize(&arr[0])?,
+            B::deserialize(&arr[1])?,
+            C::deserialize(&arr[2])?,
+        ))
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

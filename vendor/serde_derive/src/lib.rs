@@ -1,0 +1,522 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Parses the derive input by walking the raw token stream (no `syn`/`quote`
+//! — the registry is unreachable in this build environment) and emits impls
+//! of the shim's JSON-backed `serde::Serialize`/`serde::Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields
+//! - enums with unit, tuple and struct variants
+//! - field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip)]` (skip implies default)
+//!
+//! Unsupported shapes (generics, tuple structs, container attributes) fail
+//! with a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `None`: required. `Some(None)`: `Default::default()`.
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+}
+
+impl Field {
+    fn default_expr(&self) -> String {
+        match &self.default {
+            Some(Some(path)) => format!("{path}()"),
+            _ => "::core::default::Default::default()".to_string(),
+        }
+    }
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Consumes leading attributes, returning the accumulated serde field
+    /// options (skip / default).
+    fn take_attrs(&mut self) -> Result<(bool, Option<Option<String>>), String> {
+        let mut skip = false;
+        let mut default: Option<Option<String>> = None;
+        while self.peek_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("expected [...] after '#', got {other:?}")),
+            };
+            let mut inner = Cursor::new(g_stream(&group));
+            if !inner.peek_ident("serde") {
+                continue; // doc comments, other derives, etc.
+            }
+            inner.next();
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => return Err(format!("expected serde(...), got {other:?}")),
+            };
+            let mut a = Cursor::new(g_stream(&args));
+            while !a.at_end() {
+                let key = a.expect_ident()?;
+                match key.as_str() {
+                    "skip" => skip = true,
+                    "default" => {
+                        if a.peek_punct('=') {
+                            a.next();
+                            match a.next() {
+                                Some(TokenTree::Literal(l)) => {
+                                    let s = l.to_string();
+                                    let path = s
+                                        .strip_prefix('"')
+                                        .and_then(|s| s.strip_suffix('"'))
+                                        .ok_or_else(|| {
+                                            format!("serde(default = ...) expects a string literal, got {s}")
+                                        })?;
+                                    default = Some(Some(path.to_string()));
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "serde(default = ...) expects a literal, got {other:?}"
+                                    ))
+                                }
+                            }
+                        } else {
+                            default = Some(None);
+                        }
+                    }
+                    other => return Err(format!("unsupported serde attribute `{other}`")),
+                }
+                if a.peek_punct(',') {
+                    a.next();
+                }
+            }
+        }
+        if skip && default.is_none() {
+            default = Some(None);
+        }
+        Ok((skip, default))
+    }
+
+    /// Skips a type (field type or discriminant) up to a top-level comma,
+    /// tracking angle-bracket depth so `Map<K, V>` commas don't terminate.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn g_stream(g: &proc_macro::Group) -> TokenStream {
+    g.stream()
+}
+
+fn parse_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (skip, default) = c.take_attrs()?;
+        if c.at_end() {
+            break; // trailing attribute-only garbage (shouldn't happen)
+        }
+        if c.peek_ident("pub") {
+            c.next();
+            if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                c.next(); // pub(crate) etc.
+            }
+        }
+        let name = c.expect_ident()?;
+        if !c.peek_punct(':') {
+            return Err(format!("expected ':' after field `{name}`"));
+        }
+        c.next();
+        c.skip_type();
+        if c.peek_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut n = 0;
+    while !c.at_end() {
+        c.skip_type();
+        n += 1;
+        if c.peek_punct(',') {
+            c.next();
+        }
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let _ = c.take_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                c.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        if c.peek_punct('=') {
+            return Err(format!("explicit discriminant on `{name}` not supported"));
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    loop {
+        if c.peek_punct('#') {
+            c.next();
+            c.next(); // the [...] group
+            continue;
+        }
+        if c.peek_ident("pub") {
+            c.next();
+            if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                c.next();
+            }
+            continue;
+        }
+        break;
+    }
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if c.peek_punct('<') {
+        return Err(format!(
+            "generic type `{name}` not supported by the vendored serde_derive"
+        ));
+    }
+    match (kind.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Input {
+            name,
+            data: Data::Struct(parse_fields(g.stream())?),
+        }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Input {
+            name,
+            data: Data::Enum(parse_variants(g.stream())?),
+        }),
+        (k, _) => Err(format!(
+            "`{k} {name}` has an unsupported shape for the vendored serde_derive (named-field structs and enums only)"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::Struct(fields) => {
+            body.push_str("out.push('{');\n");
+            let mut first = true;
+            for f in fields.iter().filter(|f| !f.skip) {
+                let prefix = if first { "" } else { "," };
+                first = false;
+                body.push_str(&format!(
+                    "out.push_str(\"{prefix}\\\"{fname}\\\":\");\n\
+                     ::serde::Serialize::serialize(&self.{fname}, out);\n",
+                    fname = f.name
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         out.push_str(\"{{\\\"{vname}\\\":\");\n\
+                         ::serde::Serialize::serialize(f0, out);\n\
+                         out.push('}}');\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                            binds.join(", ")
+                        ));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!("::serde::Serialize::serialize({b}, out);\n"));
+                        }
+                        body.push_str("out.push_str(\"]}\");\n}\n");
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
+                            binds.join(", ")
+                        ));
+                        let mut first = true;
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let prefix = if first { "" } else { "," };
+                            first = false;
+                            body.push_str(&format!(
+                                "out.push_str(\"{prefix}\\\"{fname}\\\":\");\n\
+                                 ::serde::Serialize::serialize({fname}, out);\n",
+                                fname = f.name
+                            ));
+                        }
+                        // Suppress unused-variable warnings for skipped fields.
+                        for f in fields.iter().filter(|f| f.skip) {
+                            body.push_str(&format!("let _ = {};\n", f.name));
+                        }
+                        body.push_str("out.push_str(\"}}\");\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut ::std::string::String) {{\n{body}}}\n}}\n"
+    )
+}
+
+/// `match obj.get("f") {{ Some → deserialize, None → default/Null }}`.
+fn field_get_expr(f: &Field, source: &str) -> String {
+    if f.skip {
+        return f.default_expr();
+    }
+    let missing = match &f.default {
+        Some(_) => f.default_expr(),
+        // Deserializing Null lets `Option<T>` fields degrade to `None` on a
+        // missing key, like upstream serde; other types report the mismatch.
+        None => "::serde::Deserialize::deserialize(&::serde::json::Value::Null)?".to_string(),
+    };
+    format!(
+        "match {source}.get(\"{fname}\") {{\n\
+         ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+         ::core::option::Option::None => {missing},\n}}",
+        fname = f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{}: {},\n", f.name, field_get_expr(f, "obj")));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})\n"
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&arr[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for variant {vname}\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"variant {vname} expects {n} elements, got {{}}\", arr.len())));\n}}\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                field_get_expr(f, "vobj")
+                            ));
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let vobj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected object for variant {vname}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant {{other}} for {name}\"))),\n}},\n\
+                 ::serde::json::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {obj_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other}} for {name}\"))),\n}}\n}},\n\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected enum representation for {name}, got {{}}\", other.kind()))),\n}}\n"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => {
+            let code = gen(&parsed);
+            code.parse().unwrap_or_else(|e| {
+                let msg = format!("vendored serde_derive generated invalid code: {e}");
+                format!("compile_error!({msg:?});").parse().unwrap()
+            })
+        }
+        Err(msg) => {
+            let msg = format!("vendored serde_derive: {msg}");
+            format!("compile_error!({msg:?});").parse().unwrap()
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

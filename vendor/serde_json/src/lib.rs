@@ -1,0 +1,136 @@
+//! Vendored drop-in subset of `serde_json`, backed by the serde shim's JSON
+//! data model (`serde::json`). Provides `to_string`, `from_str`, `Value` and
+//! `Error` — the surface this workspace uses.
+
+pub use serde::json::{parse as parse_value, Map, Number, Value};
+pub use serde::Error;
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::json::parse(s)?;
+    T::deserialize(&value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let text = to_string(value)?;
+    serde::json::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i64,
+        y: f64,
+        label: String,
+        tags: Vec<String>,
+        parent: Option<Box<Point>>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Empty,
+        Dot(Point),
+        Pair(i64, i64),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct WithDefaults {
+        required: i64,
+        #[serde(default)]
+        optional: Vec<i64>,
+        #[serde(skip, default = "default_marker")]
+        marker: String,
+    }
+
+    fn default_marker() -> String {
+        "reset".to_string()
+    }
+
+    fn p() -> Point {
+        Point {
+            x: -3,
+            y: 2.5,
+            label: "a \"quoted\" λ".into(),
+            tags: vec!["t1".into(), "t2".into()],
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Point {
+            parent: Some(Box::new(p())),
+            ..p()
+        };
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Point>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn enum_representations_match_upstream() {
+        assert_eq!(to_string(&Shape::Empty).unwrap(), "\"Empty\"");
+        assert_eq!(to_string(&Shape::Pair(1, 2)).unwrap(), "{\"Pair\":[1,2]}");
+        assert_eq!(
+            to_string(&Shape::Rect { w: 1.0, h: 2.0 }).unwrap(),
+            "{\"Rect\":{\"w\":1.0,\"h\":2.0}}"
+        );
+        for s in [
+            Shape::Empty,
+            Shape::Dot(p()),
+            Shape::Pair(-7, 9),
+            Shape::Rect { w: 0.5, h: 1.5 },
+        ] {
+            let json = to_string(&s).unwrap();
+            assert_eq!(from_str::<Shape>(&json).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn default_and_skip_attributes() {
+        let v: WithDefaults = from_str("{\"required\":5}").unwrap();
+        assert_eq!(v.required, 5);
+        assert!(v.optional.is_empty());
+        assert_eq!(v.marker, "reset");
+        // skip fields never serialize
+        let out = to_string(&WithDefaults {
+            required: 1,
+            optional: vec![2],
+            marker: "live".into(),
+        })
+        .unwrap();
+        assert!(!out.contains("marker"), "{out}");
+    }
+
+    #[test]
+    fn value_api() {
+        let v: Value = from_str("{\"a\":{\"b\":[1,2.5,\"x\",null,true]}}").unwrap();
+        let arr = v.get("a").unwrap().get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert!(arr[3].is_null());
+        assert_eq!(arr[4].as_bool(), Some(true));
+        let back = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&back).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Point>("{\"x\":1}").is_err()); // missing fields
+        assert!(from_str::<Point>("not json").is_err());
+        assert!(from_str::<Shape>("{\"Nope\":1}").is_err());
+    }
+}
