@@ -11,6 +11,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Training episodes for the learned method.
     pub train: usize,
+    /// Worker threads for episode collection (1 = exact serial behaviour).
+    pub threads: usize,
     /// Quick mode: shrink everything for a smoke run.
     pub quick: bool,
     /// Restrict to one benchmark (tpch/job/xuetang); `None` = all.
@@ -30,6 +32,7 @@ impl Default for HarnessArgs {
             scale: 0.3,
             seed: 42,
             train: 400,
+            threads: 1,
             quick: false,
             benchmark: None,
             trace: None,
@@ -58,6 +61,10 @@ impl HarnessArgs {
                 "--scale" => args.scale = value("--scale").parse().expect("--scale: float"),
                 "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
                 "--train" => args.train = value("--train").parse().expect("--train: integer"),
+                "--threads" => {
+                    args.threads = value("--threads").parse().expect("--threads: integer");
+                    args.threads = args.threads.max(1);
+                }
                 "--benchmark" => args.benchmark = Some(value("--benchmark")),
                 "--quick" => args.quick = true,
                 "--trace" => args.trace = Some(value("--trace")),
@@ -66,7 +73,8 @@ impl HarnessArgs {
                 "--help" | "-h" => {
                     println!(
                         "flags: --n <queries> --scale <sf> --seed <u64> \
-                         --train <episodes> --benchmark <tpch|job|xuetang> --quick \
+                         --train <episodes> --threads <workers> \
+                         --benchmark <tpch|job|xuetang> --quick \
                          --trace <path.jsonl> --metrics --quiet"
                     );
                     std::process::exit(0);
@@ -129,6 +137,11 @@ mod tests {
         assert_eq!(a.n, 50);
         assert_eq!(a.seed, 7);
         assert!((a.scale - 1.5).abs() < 1e-12);
+        assert_eq!(a.threads, 1);
+        let a = parse(&["--threads", "4"]);
+        assert_eq!(a.threads, 4);
+        // 0 is clamped to the serial path rather than rejected.
+        assert_eq!(parse(&["--threads", "0"]).threads, 1);
     }
 
     #[test]

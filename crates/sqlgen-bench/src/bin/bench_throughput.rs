@@ -1,0 +1,210 @@
+//! Throughput benchmark for the RL pipeline.
+//!
+//! Measures training throughput (episodes/sec, tokens/sec) at `--threads 1`
+//! versus a parallel worker count, and inference throughput (queries/sec,
+//! tokens/sec) with a warm policy — plus p50/p95 per-token step latency from
+//! the `rl.step.latency_us` histogram. Results go to `BENCH_train.json` and
+//! `BENCH_generate.json` in `--out` (default: current directory).
+//!
+//! `--smoke` shrinks everything for a CI sanity run (seconds, not minutes).
+//! All other flags are the shared harness flags (`--help`).
+
+use sqlgen_bench::methods::harness_gen_config;
+use sqlgen_bench::HarnessArgs;
+use sqlgen_core::LearnedSqlGen;
+use sqlgen_obs::metrics::Histogram;
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::Benchmark;
+use sqlgen_storage::Database;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct TrainPhase {
+    threads: usize,
+    seconds: f64,
+    episodes_per_sec: f64,
+    tokens_per_sec: f64,
+    step_p50_us: f64,
+    step_p95_us: f64,
+}
+
+/// Trains a fresh generator and measures the phase; returns the trained
+/// generator so the inference phase can reuse the warm policy.
+fn run_train(
+    db: &Database,
+    constraint: Constraint,
+    seed: u64,
+    episodes: usize,
+    threads: usize,
+    hist: &Histogram,
+) -> (LearnedSqlGen, TrainPhase) {
+    let cfg = harness_gen_config(seed).with_threads(threads);
+    let mut g = LearnedSqlGen::new(db, constraint, cfg);
+    hist.reset();
+    let start = Instant::now();
+    g.train(episodes);
+    let seconds = start.elapsed().as_secs_f64();
+    let phase = TrainPhase {
+        threads,
+        seconds,
+        episodes_per_sec: episodes as f64 / seconds,
+        // Every step records one latency sample, so the histogram count is
+        // the exact token count for the phase.
+        tokens_per_sec: hist.count() as f64 / seconds,
+        step_p50_us: hist.p50(),
+        step_p95_us: hist.p95(),
+    };
+    (g, phase)
+}
+
+fn phase_json(p: &TrainPhase) -> String {
+    format!(
+        "{{\"threads\": {}, \"seconds\": {:.3}, \"episodes_per_sec\": {:.2}, \
+         \"tokens_per_sec\": {:.1}, \"step_latency_p50_us\": {:.2}, \
+         \"step_latency_p95_us\": {:.2}}}",
+        p.threads, p.seconds, p.episodes_per_sec, p.tokens_per_sec, p.step_p50_us, p.step_p95_us
+    )
+}
+
+fn main() {
+    // Binary-specific flags are peeled off before the shared parser (which
+    // rejects unknown flags).
+    let mut smoke = false;
+    let mut out_dir = String::from(".");
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_dir = it.next().expect("--out needs a value"),
+            _ => rest.push(a),
+        }
+    }
+    let mut args = HarnessArgs::parse_from(rest);
+    if smoke {
+        args.n = args.n.min(40);
+        args.train = args.train.min(60);
+        args.scale = args.scale.min(0.1);
+    }
+    args.init_obs();
+    sqlgen_obs::enable_metrics();
+
+    let hw_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let par = if args.threads > 1 { args.threads } else { 4 };
+    let note = if hw_threads < par {
+        format!(
+            "machine exposes {hw_threads} hardware thread(s); the threads={par} phase \
+             exercises the parallel code path but cannot show real speedup here"
+        )
+    } else {
+        String::new()
+    };
+
+    sqlgen_obs::obs_info!(
+        "[throughput] tpch scale={} seed={} train={} n={} threads=1 vs {par} (hw={hw_threads})",
+        args.scale,
+        args.seed,
+        args.train,
+        args.n
+    );
+    let db = Benchmark::TpcH.build(args.scale, args.seed);
+    let constraint = Constraint::cardinality_range(100.0, 10_000.0);
+    let hist = sqlgen_obs::metrics::global().histogram("rl.step.latency_us");
+
+    // --- training phases ---------------------------------------------------
+    let (mut warm, serial) = run_train(&db, constraint, args.seed, args.train, 1, &hist);
+    sqlgen_obs::obs_info!(
+        "[throughput] train threads=1: {:.1} eps/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
+        serial.episodes_per_sec,
+        serial.tokens_per_sec,
+        serial.step_p50_us,
+        serial.step_p95_us
+    );
+    let (_, parallel) = run_train(&db, constraint, args.seed, args.train, par, &hist);
+    sqlgen_obs::obs_info!(
+        "[throughput] train threads={par}: {:.1} eps/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
+        parallel.episodes_per_sec,
+        parallel.tokens_per_sec,
+        parallel.step_p50_us,
+        parallel.step_p95_us
+    );
+    let speedup = parallel.episodes_per_sec / serial.episodes_per_sec;
+
+    let mut train_json = String::from("{\n");
+    let _ = writeln!(train_json, "  \"benchmark\": \"tpch\",");
+    let _ = writeln!(train_json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(train_json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(train_json, "  \"train_episodes\": {},", args.train);
+    let _ = writeln!(train_json, "  \"hardware_threads\": {hw_threads},");
+    let _ = writeln!(train_json, "  \"note\": {},", json_str(&note));
+    let _ = writeln!(
+        train_json,
+        "  \"phases\": [\n    {},\n    {}\n  ],",
+        phase_json(&serial),
+        phase_json(&parallel)
+    );
+    let _ = writeln!(train_json, "  \"speedup_vs_serial\": {speedup:.2}");
+    train_json.push_str("}\n");
+    write_out(&out_dir, "BENCH_train.json", &train_json);
+
+    // --- inference phase (warm policy from the serial run) -----------------
+    hist.reset();
+    let start = Instant::now();
+    let qs = warm.generate(args.n);
+    let seconds = start.elapsed().as_secs_f64();
+    let tokens = hist.count();
+    let satisfied = qs.iter().filter(|q| q.satisfied).count();
+    sqlgen_obs::obs_info!(
+        "[throughput] generate: {:.1} q/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
+        args.n as f64 / seconds,
+        tokens as f64 / seconds,
+        hist.p50(),
+        hist.p95()
+    );
+
+    let mut gen_json = String::from("{\n");
+    let _ = writeln!(gen_json, "  \"benchmark\": \"tpch\",");
+    let _ = writeln!(gen_json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(gen_json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(gen_json, "  \"queries\": {},", args.n);
+    let _ = writeln!(gen_json, "  \"satisfied\": {satisfied},");
+    let _ = writeln!(gen_json, "  \"seconds\": {seconds:.3},");
+    let _ = writeln!(
+        gen_json,
+        "  \"queries_per_sec\": {:.2},",
+        args.n as f64 / seconds
+    );
+    let _ = writeln!(
+        gen_json,
+        "  \"tokens_per_sec\": {:.1},",
+        tokens as f64 / seconds
+    );
+    let _ = writeln!(gen_json, "  \"step_latency_p50_us\": {:.2},", hist.p50());
+    let _ = writeln!(gen_json, "  \"step_latency_p95_us\": {:.2}", hist.p95());
+    gen_json.push_str("}\n");
+    write_out(&out_dir, "BENCH_generate.json", &gen_json);
+
+    args.finish_obs();
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_out(dir: &str, name: &str, content: &str) {
+    let path = std::path::Path::new(dir).join(name);
+    std::fs::write(&path, content)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    sqlgen_obs::obs_info!("[throughput] wrote {}", path.display());
+}

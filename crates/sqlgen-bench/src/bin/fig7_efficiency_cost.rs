@@ -58,7 +58,7 @@ fn main() {
             sqlgen_obs::obs_info!("[fig7] {} / {label}", benchmark.name());
             let rnd = random_efficiency(&bed, constraint, args.n);
             let tpl = template_efficiency(&bed, constraint, args.n);
-            let lrn = learned_efficiency(&bed, constraint, args.train, args.n);
+            let lrn = learned_efficiency(&bed, constraint, args.train, args.n, args.threads);
             table.row(vec![
                 benchmark.name().to_string(),
                 label,

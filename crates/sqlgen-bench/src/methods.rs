@@ -85,6 +85,7 @@ pub fn harness_gen_config(seed: u64) -> GenConfig {
         },
         algorithm: Algorithm::ActorCritic,
         default_train_episodes: 400,
+        threads: 1,
     }
 }
 
@@ -94,9 +95,10 @@ pub fn learned_accuracy(
     constraint: Constraint,
     train_episodes: usize,
     n: usize,
+    threads: usize,
 ) -> MethodResult {
     let start = Instant::now();
-    let mut cfg = harness_gen_config(bed.seed);
+    let mut cfg = harness_gen_config(bed.seed).with_threads(threads);
     cfg.sample = SampleConfig {
         k: 100,
         ..Default::default()
@@ -153,9 +155,10 @@ pub fn learned_efficiency(
     constraint: Constraint,
     train_episodes: usize,
     n: usize,
+    threads: usize,
 ) -> MethodResult {
     let start = Instant::now();
-    let mut cfg = harness_gen_config(bed.seed);
+    let mut cfg = harness_gen_config(bed.seed).with_threads(threads);
     cfg.sample = SampleConfig {
         k: 100,
         ..Default::default()

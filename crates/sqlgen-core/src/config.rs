@@ -25,6 +25,12 @@ pub struct GenConfig {
     pub algorithm: Algorithm,
     /// Default number of training episodes used by `train_default`.
     pub default_train_episodes: usize,
+    /// Worker threads for episode collection. `1` (the default) keeps the
+    /// exact single-threaded rollout sequence — bit-identical results for a
+    /// fixed seed. Values > 1 fan rollouts across scoped threads; each
+    /// `(seed, threads)` pair is reproducible, but different `threads`
+    /// values are different (deterministic) runs.
+    pub threads: usize,
 }
 
 impl Default for GenConfig {
@@ -35,6 +41,7 @@ impl Default for GenConfig {
             train: TrainConfig::default(),
             algorithm: Algorithm::ActorCritic,
             default_train_episodes: 600,
+            threads: 1,
         }
     }
 }
@@ -77,6 +84,11 @@ impl GenConfig {
         self.sample.seed = seed ^ 0x5a5a;
         self
     }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,9 +112,14 @@ mod tests {
     fn builders_compose() {
         let c = GenConfig::fast()
             .with_algorithm(Algorithm::Reinforce)
-            .with_seed(99);
+            .with_seed(99)
+            .with_threads(4);
         assert_eq!(c.algorithm, Algorithm::Reinforce);
         assert_eq!(c.train.seed, 99);
         assert_eq!(c.sample.seed, 99 ^ 0x5a5a);
+        assert_eq!(c.threads, 4);
+        // threads must never be 0, and defaults to the serial path.
+        assert_eq!(GenConfig::default().threads, 1);
+        assert_eq!(GenConfig::fast().with_threads(0).threads, 1);
     }
 }

@@ -86,31 +86,40 @@ impl LearnedSqlGen {
     }
 
     /// Trains for `episodes` episodes (Algorithm 1 / Algorithm 3).
+    ///
+    /// Rollouts are collected with `config.threads` workers (1 = the exact
+    /// serial sequence); gradient updates are always applied serially in
+    /// episode order.
     pub fn train(&mut self, episodes: usize) -> &TrainStats {
         let _span = sqlgen_obs::obs_span!("gen.train");
         let started = std::time::Instant::now();
         let mut reward_sum = 0.0f64;
+        let mut tokens = 0usize;
         // Split borrows: the env borrows vocab/estimator, the trainer is
         // updated mutably.
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
             .with_fsm_config(self.config.fsm.clone());
-        for _ in 0..episodes {
-            let ep = match &mut self.trainer {
-                Trainer::Reinforce(t) => t.train_episode(&env),
-                Trainer::ActorCritic(t) => t.train_episode(&env),
-            };
+        let threads = self.config.threads.max(1);
+        let eps = match &mut self.trainer {
+            Trainer::Reinforce(t) => t.train_batch(&env, episodes, threads),
+            Trainer::ActorCritic(t) => t.train_batch(&env, episodes, threads),
+        };
+        for ep in &eps {
             reward_sum += ep.total_reward() as f64;
+            tokens += ep.len();
             self.stats.episodes += 1;
             self.stats
                 .reward_trace
                 .push(ep.total_reward() / ep.len().max(1) as f32);
             if ep.satisfied {
-                self.stats.satisfied_during_training.push(to_generated(&ep));
+                self.stats.satisfied_during_training.push(to_generated(ep));
             }
         }
         let secs = started.elapsed().as_secs_f64();
         if episodes > 0 && secs > 0.0 {
             sqlgen_obs::obs_gauge!("rl.rewards_per_sec", reward_sum / secs);
+            sqlgen_obs::obs_gauge!("rl.episodes_per_sec", episodes as f64 / secs);
+            sqlgen_obs::obs_gauge!("rl.tokens_per_sec", tokens as f64 / secs);
         }
         &self.stats
     }
@@ -125,17 +134,22 @@ impl LearnedSqlGen {
     /// paper's *generation accuracy*.
     pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
         let _span = sqlgen_obs::obs_span!("gen.generate");
+        let started = std::time::Instant::now();
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
             .with_fsm_config(self.config.fsm.clone());
-        (0..n)
-            .map(|_| {
-                let ep = match &mut self.trainer {
-                    Trainer::Reinforce(t) => t.generate(&env),
-                    Trainer::ActorCritic(t) => t.generate(&env),
-                };
-                to_generated(&ep)
-            })
-            .collect()
+        let threads = self.config.threads.max(1);
+        let eps = match &mut self.trainer {
+            Trainer::Reinforce(t) => t.generate_batch(&env, n, threads),
+            Trainer::ActorCritic(t) => t.generate_batch(&env, n, threads),
+        };
+        let tokens: usize = eps.iter().map(Episode::len).sum();
+        let out = eps.iter().map(to_generated).collect();
+        let secs = started.elapsed().as_secs_f64();
+        if n > 0 && secs > 0.0 {
+            sqlgen_obs::obs_gauge!("gen.queries_per_sec", n as f64 / secs);
+            sqlgen_obs::obs_gauge!("gen.tokens_per_sec", tokens as f64 / secs);
+        }
+        out
     }
 
     /// Keeps generating until `n` satisfied queries are found or
@@ -148,11 +162,16 @@ impl LearnedSqlGen {
     ) -> (Vec<GeneratedQuery>, usize) {
         let mut out = Vec::with_capacity(n);
         let mut attempts = 0;
+        // With threads > 1 attempts proceed a worker-batch at a time (still
+        // within the budget); threads = 1 reproduces the one-at-a-time loop.
+        let threads = self.config.threads.max(1);
         while out.len() < n && attempts < max_attempts {
-            attempts += 1;
-            let q = self.generate(1).pop().expect("one query requested");
-            if q.satisfied {
-                out.push(q);
+            let batch = threads.min(max_attempts - attempts);
+            attempts += batch;
+            for q in self.generate(batch) {
+                if q.satisfied && out.len() < n {
+                    out.push(q);
+                }
             }
         }
         (out, attempts)
@@ -234,6 +253,22 @@ mod tests {
             &db,
             Constraint::cardinality_range(1.0, 100_000.0),
             GenConfig::fast(),
+        );
+        g.train(50);
+        for q in g.generate(20) {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+            let reparsed = sqlgen_engine::parse(&q.sql).unwrap();
+            assert_eq!(render(&reparsed), q.sql);
+        }
+    }
+
+    #[test]
+    fn generated_queries_are_valid_sql_with_threads() {
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(
+            &db,
+            Constraint::cardinality_range(1.0, 100_000.0),
+            GenConfig::fast().with_threads(4),
         );
         g.train(50);
         for q in g.generate(20) {

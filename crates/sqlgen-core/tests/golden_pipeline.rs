@@ -1,0 +1,47 @@
+//! End-to-end pipeline determinism: `GenConfig::fast().with_seed(5)` must
+//! reproduce the pre-kernel-rewrite reward trace (exact f32 bits) and the
+//! rendered SQL of the first generated queries. The fixture was dumped by
+//! `examples/golden_dump.rs` from the original serial implementation.
+
+use sqlgen_core::{GenConfig, LearnedSqlGen};
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::tpch_database;
+
+#[test]
+fn fast_config_pipeline_matches_golden_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_pipeline.json"
+    );
+    let text = std::fs::read_to_string(path).expect("golden fixture present");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("fixture parses");
+    let want_bits: Vec<u32> = v
+        .get("reward_trace_bits")
+        .expect("reward_trace_bits")
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|b| b.as_u64().expect("u32 bits") as u32)
+        .collect();
+    let want_sql: Vec<String> = v
+        .get("sql")
+        .expect("sql")
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|s| s.as_str().expect("string").to_string())
+        .collect();
+
+    let db = tpch_database(0.2, 21);
+    let mut g = LearnedSqlGen::new(
+        &db,
+        Constraint::cardinality_range(100.0, 500.0),
+        GenConfig::fast().with_seed(5),
+    );
+    g.train(60);
+    let got_bits: Vec<u32> = g.stats.reward_trace.iter().map(|r| r.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "reward trace drifted (f32 bit-exact)");
+
+    let got_sql: Vec<String> = g.generate(8).into_iter().map(|q| q.sql).collect();
+    assert_eq!(got_sql, want_sql, "generated SQL drifted");
+}

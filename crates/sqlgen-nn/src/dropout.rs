@@ -19,27 +19,37 @@ impl Dropout {
         Dropout { rate }
     }
 
-    /// Applies dropout in place (training mode); returns the mask with the
-    /// inverted scale folded in (entries are `0` or `1/keep`).
-    pub fn apply<R: Rng + ?Sized>(&self, x: &mut [f32], rng: &mut R) -> Vec<f32> {
+    /// Applies dropout in place (training mode), writing the mask into a
+    /// caller-provided buffer (resized to match `x`; entries are `0` or
+    /// `1/keep` with the inverted scale folded in). Draws one uniform per
+    /// element when the rate is non-zero, none otherwise — callers rely on
+    /// this draw count for RNG-stream reproducibility.
+    pub fn apply_into<R: Rng + ?Sized>(&self, x: &mut [f32], rng: &mut R, mask: &mut Vec<f32>) {
+        mask.clear();
         if self.rate == 0.0 {
-            return vec![1.0; x.len()];
+            mask.resize(x.len(), 1.0);
+            return;
         }
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = x
-            .iter()
-            .map(|_| {
-                if rng.random::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        for (xi, m) in x.iter_mut().zip(&mask) {
+        mask.extend(x.iter().map(|_| {
+            if rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        }));
+        for (xi, m) in x.iter_mut().zip(mask.iter()) {
             *xi *= m;
         }
+    }
+
+    /// Applies dropout in place (training mode); returns the mask with the
+    /// inverted scale folded in (entries are `0` or `1/keep`).
+    /// Allocating wrapper over [`Dropout::apply_into`].
+    pub fn apply<R: Rng + ?Sized>(&self, x: &mut [f32], rng: &mut R) -> Vec<f32> {
+        let mut mask = Vec::with_capacity(x.len());
+        self.apply_into(x, rng, &mut mask);
         mask
     }
 

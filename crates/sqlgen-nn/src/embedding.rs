@@ -32,9 +32,15 @@ impl Embedding {
         self.table.value.cols
     }
 
+    /// The embedding of `token`, borrowed (no copy).
+    #[inline]
+    pub fn row(&self, token: usize) -> &[f32] {
+        self.table.value.row(token)
+    }
+
     /// The embedding of `token`.
     pub fn forward(&self, token: usize) -> Vec<f32> {
-        self.table.value.row(token).to_vec()
+        self.row(token).to_vec()
     }
 
     /// Accumulates the gradient for `token`'s row.

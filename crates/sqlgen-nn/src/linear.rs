@@ -28,25 +28,39 @@ impl Linear {
         self.w.value.rows
     }
 
-    /// Forward pass; the caller keeps `x` for the backward pass.
-    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = self.b.value.data.clone();
-        let mut wx = vec![0.0; self.output_dim()];
-        self.w.value.matvec(x, &mut wx);
-        for (yi, wi) in y.iter_mut().zip(&wx) {
-            *yi += wi;
+    /// Forward pass into a caller-provided buffer (`y.len() == output_dim`).
+    /// No heap allocations; the caller keeps `x` for the backward pass.
+    pub fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        self.w.value.matvec(x, y);
+        for (yi, bi) in y.iter_mut().zip(&self.b.value.data) {
+            *yi += bi;
         }
+    }
+
+    /// Forward pass; the caller keeps `x` for the backward pass.
+    /// Allocating wrapper over [`Linear::forward_into`].
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0; self.output_dim()];
+        self.forward_into(x, &mut y);
         y
     }
 
-    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
-    pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
+    /// Backward pass into a caller-provided buffer (`dx.len() == input_dim`,
+    /// overwritten): accumulates parameter gradients, writes `dL/dx`.
+    pub fn backward_into(&mut self, x: &[f32], dy: &[f32], dx: &mut [f32]) {
         self.w.grad.add_outer(dy, x);
         for (g, d) in self.b.grad.data.iter_mut().zip(dy) {
             *g += d;
         }
+        dx.iter_mut().for_each(|v| *v = 0.0);
+        self.w.value.matvec_t_acc(dy, dx);
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
+    /// Allocating wrapper over [`Linear::backward_into`].
+    pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
         let mut dx = vec![0.0; self.input_dim()];
-        self.w.value.matvec_t_acc(dy, &mut dx);
+        self.backward_into(x, dy, &mut dx);
         dx
     }
 

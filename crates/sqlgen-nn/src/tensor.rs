@@ -46,32 +46,86 @@ impl Mat {
     }
 
     /// `out = self · x` (matrix-vector). `x.len() == cols`, `out.len() == rows`.
+    ///
+    /// Four output rows are computed per pass so the four dot-product
+    /// accumulators form independent dependency chains (the scalar FP add
+    /// latency no longer serializes the whole kernel) and each load of `x`
+    /// feeds four rows. Each row's sum is still accumulated strictly
+    /// left-to-right into a single accumulator, so results are bit-identical
+    /// to the naive one-row-at-a-time loop.
     pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(out.len(), self.rows);
-        for (r, o) in out.iter_mut().enumerate() {
+        let cols = self.cols;
+        let mut blocks = out.chunks_exact_mut(4);
+        let mut r = 0usize;
+        for block in &mut blocks {
+            let base = r * cols;
+            let rows = &self.data[base..base + 4 * cols];
+            let (r0, rest) = rows.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, r3) = rest.split_at(cols);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for j in 0..cols {
+                let xj = x[j];
+                a0 += r0[j] * xj;
+                a1 += r1[j] * xj;
+                a2 += r2[j] * xj;
+                a3 += r3[j] * xj;
+            }
+            block[0] = a0;
+            block[1] = a1;
+            block[2] = a2;
+            block[3] = a3;
+            r += 4;
+        }
+        for o in blocks.into_remainder() {
             let row = self.row(r);
             let mut acc = 0.0f32;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
             *o = acc;
+            r += 1;
         }
     }
 
     /// `out += selfᵀ · y` (transposed matrix-vector, accumulating).
     /// `y.len() == rows`, `out.len() == cols`.
+    ///
+    /// Four input rows per pass: `out` is read and written once per block
+    /// instead of once per row. Per output element the contributions are
+    /// still added one row at a time in ascending row order, so the result
+    /// is bit-identical to the naive loop.
     pub fn matvec_t_acc(&self, y: &[f32], out: &mut [f32]) {
         debug_assert_eq!(y.len(), self.rows);
         debug_assert_eq!(out.len(), self.cols);
-        for (r, &yr) in y.iter().enumerate() {
-            if yr == 0.0 {
-                continue;
+        let cols = self.cols;
+        let mut blocks = y.chunks_exact(4);
+        let mut r = 0usize;
+        for yb in &mut blocks {
+            let base = r * cols;
+            let rows = &self.data[base..base + 4 * cols];
+            let (r0, rest) = rows.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, r3) = rest.split_at(cols);
+            let (y0, y1, y2, y3) = (yb[0], yb[1], yb[2], yb[3]);
+            for (j, o) in out.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += r0[j] * y0;
+                acc += r1[j] * y1;
+                acc += r2[j] * y2;
+                acc += r3[j] * y3;
+                *o = acc;
             }
+            r += 4;
+        }
+        for &yr in blocks.remainder() {
             let row = self.row(r);
             for (o, w) in out.iter_mut().zip(row) {
                 *o += w * yr;
             }
+            r += 1;
         }
     }
 
@@ -287,6 +341,46 @@ mod tests {
         }
         assert_eq!(counts[1], 0);
         assert!(counts[2] > 4000);
+    }
+
+    /// The blocked kernels must be *bit-identical* to the naive loops for
+    /// every shape, including remainders — the determinism contract depends
+    /// on it.
+    #[test]
+    fn blocked_kernels_match_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(rows, cols) in &[(1, 1), (3, 5), (4, 4), (7, 9), (8, 16), (13, 3), (64, 24)] {
+            let m = Mat::xavier(rows, cols, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let y: Vec<f32> = (0..rows).map(|_| rng.random_range(-1.0..1.0)).collect();
+
+            let mut fast = vec![0.0; rows];
+            m.matvec(&x, &mut fast);
+            let naive: Vec<f32> = (0..rows)
+                .map(|r| {
+                    let mut acc = 0.0f32;
+                    for (w, xi) in m.row(r).iter().zip(&x) {
+                        acc += w * xi;
+                    }
+                    acc
+                })
+                .collect();
+            assert_eq!(fast, naive, "matvec {rows}x{cols}");
+
+            let mut fast_t: Vec<f32> = (0..cols).map(|j| j as f32 * 0.25).collect();
+            let mut naive_t = fast_t.clone();
+            m.matvec_t_acc(&y, &mut fast_t);
+            for (r, &yr) in y.iter().enumerate() {
+                for (o, w) in naive_t.iter_mut().zip(m.row(r)) {
+                    *o += w * yr;
+                }
+            }
+            assert_eq!(
+                fast_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                naive_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matvec_t_acc {rows}x{cols}"
+            );
+        }
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! a constant w.r.t. φ).
 
 use crate::env::SqlGenEnv;
-use crate::episode::{run_episode, Episode};
-use crate::nets::{ActorNet, CriticNet, CriticStep};
+use crate::episode::{run_episode_infer, run_episode_into, Episode, InferRollout, Rollout};
+use crate::nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetScratch};
+use crate::parallel::collect_episodes;
 use crate::reinforce::TrainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqlgen_nn::{clip_grad_norm, Adam, Optimizer};
+use sqlgen_nn::{clip_grad_norm, Adam, Optimizer, StackState};
 
 /// Actor-critic trainer — the algorithm LearnedSQLGen ships with.
 pub struct ActorCritic {
@@ -21,6 +22,17 @@ pub struct ActorCritic {
     opt_actor: Adam,
     opt_critic: Adam,
     rng: StdRng,
+    /// Recycled actor-rollout arena.
+    rollout: Rollout,
+    /// Recycled inference-rollout buffers.
+    infer: InferRollout,
+    /// Recycled critic-step arena (`csteps[..n]` live per episode).
+    csteps: Vec<CriticStep>,
+    cstate: StackState,
+    cscratch: NetScratch,
+    values: Vec<f32>,
+    advantages: Vec<f32>,
+    dvalues: Vec<f32>,
 }
 
 impl ActorCritic {
@@ -40,25 +52,43 @@ impl ActorCritic {
             opt_critic: Adam::new(cfg.lr_critic),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5eed),
             cfg,
+            rollout: Rollout::new(),
+            infer: InferRollout::new(),
+            csteps: Vec::new(),
+            cstate: StackState::new(),
+            cscratch: NetScratch::default(),
+            values: Vec::new(),
+            advantages: Vec::new(),
+            dvalues: Vec::new(),
         }
     }
 
-    /// Runs the critic over the episode's input-token stream, returning the
-    /// per-step value estimates.
-    fn critic_forward(&self, ep: &Episode, train: bool, rng: &mut StdRng) -> Vec<CriticStep> {
-        let mut state = self.critic.begin();
-        let mut out = Vec::with_capacity(ep.len());
-        for s in &ep.steps {
+    /// Runs the critic over an episode's input-token stream into the
+    /// recycled critic arena; returns the number of live steps.
+    fn critic_forward_into(
+        critic: &CriticNet,
+        steps: &[ActorStep],
+        train: bool,
+        rng: &mut StdRng,
+        csteps: &mut Vec<CriticStep>,
+        state: &mut StackState,
+        scratch: &mut NetScratch,
+    ) -> usize {
+        critic.lstm.reset_state(state);
+        for (t, s) in steps.iter().enumerate() {
+            if t == csteps.len() {
+                csteps.push(CriticStep::default());
+            }
             // Step 0 fed the actor's start token (BOS or a context row);
             // `None` makes the critic use its own start token there.
-            let prev = if s.input_token >= self.critic.vocab_size {
+            let prev = if s.input_token >= critic.vocab_size {
                 None
             } else {
                 Some(s.input_token)
             };
-            out.push(self.critic.step(prev, &mut state, train, rng));
+            critic.step_into(prev, state, train, rng, &mut csteps[t], scratch);
         }
-        out
+        steps.len()
     }
 
     /// TD advantages and critic-loss gradients for an episode.
@@ -66,45 +96,121 @@ impl ActorCritic {
     /// Returns `(advantages, dvalues)` with `A_t = r_t + V_{t+1} − V_t`
     /// and `dL/dV_t = −2·A_t` (semi-gradient of the squared TD error).
     pub fn td_terms(values: &[f32], rewards: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut adv = Vec::new();
+        let mut dv = Vec::new();
+        Self::td_terms_into(values, rewards, &mut adv, &mut dv);
+        (adv, dv)
+    }
+
+    /// [`ActorCritic::td_terms`] into recycled buffers.
+    pub fn td_terms_into(values: &[f32], rewards: &[f32], adv: &mut Vec<f32>, dv: &mut Vec<f32>) {
         let n = values.len();
-        let mut adv = vec![0.0; n];
-        let mut dv = vec![0.0; n];
+        adv.clear();
+        adv.resize(n, 0.0);
+        dv.clear();
+        dv.resize(n, 0.0);
         for t in 0..n {
             let v_next = if t + 1 < n { values[t + 1] } else { 0.0 };
             adv[t] = rewards[t] + v_next - values[t];
             dv[t] = -2.0 * adv[t];
         }
-        (adv, dv)
     }
 
-    /// Runs one training episode and updates both networks.
-    pub fn train_episode(&mut self, env: &SqlGenEnv) -> Episode {
-        let ep = run_episode(&self.actor, env, true, &mut self.rng);
-
+    /// One actor+critic update from a finished episode's steps/rewards.
+    fn apply_update(&mut self, steps: &[ActorStep], rewards: &[f32]) {
         let mut crng = StdRng::seed_from_u64(self.rng.random::<u64>());
-        let csteps = self.critic_forward(&ep, true, &mut crng);
-        let values: Vec<f32> = csteps.iter().map(|s| s.value).collect();
-        let (advantages, dvalues) = Self::td_terms(&values, &ep.rewards);
+        let mut csteps = std::mem::take(&mut self.csteps);
+        let mut cstate = std::mem::take(&mut self.cstate);
+        let mut cscratch = std::mem::take(&mut self.cscratch);
+        let n = Self::critic_forward_into(
+            &self.critic,
+            steps,
+            true,
+            &mut crng,
+            &mut csteps,
+            &mut cstate,
+            &mut cscratch,
+        );
+        self.values.clear();
+        self.values.extend(csteps[..n].iter().map(|s| s.value));
+        Self::td_terms_into(
+            &self.values,
+            rewards,
+            &mut self.advantages,
+            &mut self.dvalues,
+        );
 
         self.actor.zero_grad();
         self.actor
-            .backward_episode(&ep.steps, &advantages, self.cfg.lambda);
+            .backward_episode(steps, &self.advantages, self.cfg.lambda);
         let mut ap = self.actor.params_mut();
         clip_grad_norm(&mut ap, self.cfg.grad_clip);
         self.opt_actor.step(&mut ap);
 
         self.critic.zero_grad();
-        self.critic.backward_episode(&csteps, &dvalues);
+        self.critic.backward_episode(&csteps[..n], &self.dvalues);
         let mut cp = self.critic.params_mut();
         clip_grad_norm(&mut cp, self.cfg.grad_clip);
         self.opt_critic.step(&mut cp);
 
+        self.csteps = csteps;
+        self.cstate = cstate;
+        self.cscratch = cscratch;
+    }
+
+    /// Runs one training episode and updates both networks.
+    pub fn train_episode(&mut self, env: &SqlGenEnv) -> Episode {
+        let mut ro = std::mem::take(&mut self.rollout);
+        let ep = run_episode_into(&self.actor, env, true, &mut self.rng, &mut ro);
+        self.apply_update(ro.steps(), &ep.rewards);
+        self.rollout = ro;
         ep
+    }
+
+    /// Trains on `episodes` episodes, collecting rollouts with `threads`
+    /// parallel workers and applying both networks' updates serially in
+    /// episode order. `threads <= 1` runs the exact single-threaded path
+    /// (bit-identical to [`ActorCritic::train_episode`] in a loop).
+    pub fn train_batch(
+        &mut self,
+        env: &SqlGenEnv,
+        episodes: usize,
+        threads: usize,
+    ) -> Vec<Episode> {
+        if threads <= 1 {
+            return (0..episodes).map(|_| self.train_episode(env)).collect();
+        }
+        let mut out = Vec::with_capacity(episodes);
+        let mut remaining = episodes;
+        while remaining > 0 {
+            // One round = one episode per worker, bounding policy staleness
+            // at `threads` episodes.
+            let batch = remaining.min(threads);
+            let base: u64 = self.rng.random();
+            for mut ep in collect_episodes(&self.actor, env, batch, true, batch, base) {
+                self.apply_update(&ep.steps, &ep.rewards);
+                ep.steps = Vec::new();
+                out.push(ep);
+            }
+            remaining -= batch;
+        }
+        out
     }
 
     /// Inference: generate a query with the trained policy.
     pub fn generate(&mut self, env: &SqlGenEnv) -> Episode {
-        run_episode(&self.actor, env, false, &mut self.rng)
+        run_episode_infer(&self.actor, env, &mut self.rng, &mut self.infer)
+    }
+
+    /// Generates `n` queries with `threads` parallel workers (no updates).
+    /// `threads <= 1` matches [`ActorCritic::generate`] in a loop
+    /// bit-for-bit.
+    pub fn generate_batch(&mut self, env: &SqlGenEnv, n: usize, threads: usize) -> Vec<Episode> {
+        if threads <= 1 {
+            return (0..n).map(|_| self.generate(env)).collect();
+        }
+        let base: u64 = self.rng.random();
+        collect_episodes(&self.actor, env, n, false, threads, base)
     }
 }
 

@@ -17,13 +17,18 @@ pub mod env;
 pub mod episode;
 pub mod meta_critic;
 pub mod nets;
+pub mod parallel;
 pub mod reinforce;
 
 pub use ac_extend::AcExtend;
 pub use actor_critic::ActorCritic;
 pub use constraint::{Constraint, Metric, Target, POINT_TOLERANCE};
 pub use env::{RewardMode, RewardShaper, SqlGenEnv};
-pub use episode::{rewards_to_go, run_episode, Episode};
+pub use episode::{
+    rewards_to_go, rewards_to_go_into, run_episode, run_episode_infer, run_episode_into, Episode,
+    InferRollout, Rollout,
+};
 pub use meta_critic::{ConstraintEncoder, MetaCritic, MetaCriticTrainer, TaskSlot};
-pub use nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetConfig};
+pub use nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetConfig, NetScratch};
+pub use parallel::{collect_episodes, worker_seed};
 pub use reinforce::{Reinforce, TrainConfig};

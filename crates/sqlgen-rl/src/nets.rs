@@ -17,6 +17,18 @@ use sqlgen_nn::{
     Param, StackCache, StackState,
 };
 
+/// Reusable per-step forward scratch shared by the actor and critic hot
+/// paths. Sized lazily on first use; steady-state steps allocate nothing.
+#[derive(Debug, Default)]
+pub struct NetScratch {
+    /// Embedding input (embed_dim).
+    x: Vec<f32>,
+    /// LSTM gate pre-activations (4 × hidden).
+    z: Vec<f32>,
+    /// Head output for the cacheless inference path (vocab for the actor).
+    probs: Vec<f32>,
+}
+
 /// Network hyper-parameters (§7.1 defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetConfig {
@@ -38,6 +50,7 @@ impl Default for NetConfig {
 }
 
 /// Per-step cache the actor needs for backprop.
+#[derive(Debug, Default)]
 pub struct ActorStep {
     /// Token row fed to the embedding (BOS = `vocab_size`).
     pub input_token: usize,
@@ -123,8 +136,64 @@ impl ActorNet {
         self.lstm.zero_state()
     }
 
+    /// Builds the step input `x = embed(token) [+ embed(ctx)]` into
+    /// `scratch.x` without allocating.
+    fn input_into(&self, input_token: usize, scratch: &mut NetScratch) {
+        scratch.x.clear();
+        scratch.x.extend_from_slice(self.embed.row(input_token));
+        if let Some(ctx) = self.context_token {
+            for (xi, ci) in scratch.x.iter_mut().zip(self.embed.row(ctx)) {
+                *xi += ci;
+            }
+        }
+    }
+
+    /// One generation step into recycled buffers: `step`'s vectors are
+    /// overwritten in place (an arena-owned `ActorStep` reaches steady state
+    /// after its first use and allocates nothing afterwards). RNG draw order
+    /// matches [`ActorNet::step`] exactly: dropout mask draws (train only),
+    /// then one sampling draw.
+    // Hot path: the arguments are the rollout's split borrows — bundling
+    // them into a struct would force the borrow conflicts this API avoids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_into<R: Rng + ?Sized>(
+        &self,
+        prev: Option<usize>,
+        state: &mut StackState,
+        mask: &[bool],
+        train: bool,
+        rng: &mut R,
+        step: &mut ActorStep,
+        scratch: &mut NetScratch,
+    ) {
+        let input_token = prev.unwrap_or(self.start_token);
+        self.input_into(input_token, scratch);
+        scratch.z.resize(self.lstm.scratch_len(), 0.0);
+        if step.caches.len() != self.lstm.layers.len() {
+            step.caches = self.lstm.empty_cache();
+        }
+        self.lstm
+            .forward_step_into(&scratch.x, state, &mut step.caches, &mut scratch.z);
+        let top_h = &state.last().expect("non-empty stack").h;
+        step.top.clear();
+        step.top.extend_from_slice(top_h);
+        if train {
+            self.dropout
+                .apply_into(&mut step.top, rng, &mut step.drop_mask);
+        } else {
+            step.drop_mask.clear();
+            step.drop_mask.resize(step.top.len(), 1.0);
+        }
+        step.probs.resize(self.vocab_size, 0.0);
+        self.head.forward_into(&step.top, &mut step.probs);
+        masked_softmax(&mut step.probs, mask);
+        step.action = sample_categorical(&step.probs, rng);
+        step.input_token = input_token;
+    }
+
     /// One generation step: feeds the previous token, applies the FSM mask,
-    /// samples an action from the masked policy.
+    /// samples an action from the masked policy. Allocating wrapper over
+    /// [`ActorNet::step_into`].
     pub fn step<R: Rng + ?Sized>(
         &self,
         prev: Option<usize>,
@@ -133,30 +202,35 @@ impl ActorNet {
         train: bool,
         rng: &mut R,
     ) -> ActorStep {
+        let mut step = ActorStep::default();
+        let mut scratch = NetScratch::default();
+        self.step_into(prev, state, mask, train, rng, &mut step, &mut scratch);
+        step
+    }
+
+    /// One *inference* step: no backward caches, no dropout, zero heap
+    /// allocations in steady state. Produces the same action stream as
+    /// [`ActorNet::step`] with `train = false` for the same RNG (one uniform
+    /// draw per token).
+    pub fn infer_step<R: Rng + ?Sized>(
+        &self,
+        prev: Option<usize>,
+        state: &mut StackState,
+        mask: &[bool],
+        rng: &mut R,
+        scratch: &mut NetScratch,
+    ) -> usize {
         let input_token = prev.unwrap_or(self.start_token);
-        let mut x = self.embed.forward(input_token);
-        if let Some(ctx) = self.context_token {
-            for (xi, ci) in x.iter_mut().zip(self.embed.forward(ctx)) {
-                *xi += ci;
-            }
-        }
-        let (mut top, caches) = self.lstm.forward_step(&x, state);
-        let drop_mask = if train {
-            self.dropout.apply(&mut top, rng)
-        } else {
-            vec![1.0; top.len()]
-        };
-        let mut probs = self.head.forward(&top);
-        masked_softmax(&mut probs, mask);
-        let action = sample_categorical(&probs, rng);
-        ActorStep {
-            input_token,
-            caches,
-            drop_mask,
-            top,
-            probs,
-            action,
-        }
+        self.input_into(input_token, scratch);
+        scratch.z.resize(self.lstm.scratch_len(), 0.0);
+        self.lstm.infer_step_into(&scratch.x, state, &mut scratch.z);
+        scratch.probs.resize(self.vocab_size, 0.0);
+        self.head.forward_into(
+            &state.last().expect("non-empty stack").h,
+            &mut scratch.probs,
+        );
+        masked_softmax(&mut scratch.probs, mask);
+        sample_categorical(&scratch.probs, rng)
     }
 
     /// Backpropagates the policy-gradient + entropy loss through a whole
@@ -183,16 +257,30 @@ impl ActorNet {
             sqlgen_obs::obs_record!("rl.policy.loss", loss / n);
             sqlgen_obs::obs_record!("rl.policy.entropy", entropy / n);
         }
-        let mut dtops = Vec::with_capacity(steps.len());
-        for (s, &adv) in steps.iter().zip(advantages) {
+        // Head/dropout backward into one flat buffer, then stream BPTT
+        // straight off the steps' own caches — no per-episode cache clone.
+        let hidden = self.lstm.hidden();
+        let mut dtops = vec![0.0f32; steps.len() * hidden];
+        for (t, (s, &adv)) in steps.iter().zip(advantages).enumerate() {
             let dlogits = actor_logit_grad(&s.probs, s.action, adv, lambda);
-            let mut dtop = self.head.backward(&s.top, &dlogits);
-            Dropout::backward(&mut dtop, &s.drop_mask);
-            dtops.push(dtop);
+            let dtop = &mut dtops[t * hidden..(t + 1) * hidden];
+            self.head.backward_into(&s.top, &dlogits, dtop);
+            Dropout::backward(dtop, &s.drop_mask);
         }
-        let caches: Vec<StackCache> = steps.iter().map(|s| s.caches.clone()).collect();
-        let dxs = self.lstm.backward_sequence(&caches, &dtops);
-        for (s, dx) in steps.iter().zip(&dxs) {
+        // BPTT visits steps in reverse, but embedding-row gradients must
+        // accumulate in forward step order (f32 addition is not
+        // associative and rows repeat within an episode), so buffer the
+        // input gradients and replay them forward.
+        let in_dim = self.lstm.layers[0].input;
+        let mut dxs = vec![0.0f32; steps.len() * in_dim];
+        self.lstm.backward_sequence_with(
+            steps.len(),
+            |t| &steps[t].caches[..],
+            |t| &dtops[t * hidden..(t + 1) * hidden],
+            |t, dx| dxs[t * in_dim..(t + 1) * in_dim].copy_from_slice(dx),
+        );
+        for (t, s) in steps.iter().enumerate() {
+            let dx = &dxs[t * in_dim..(t + 1) * in_dim];
             self.embed.backward(s.input_token, dx);
             if let Some(ctx) = self.context_token {
                 // x = embed(token) + embed(ctx): the gradient flows to both.
@@ -222,6 +310,7 @@ impl ActorNet {
 }
 
 /// Per-step cache for the critic.
+#[derive(Debug, Default)]
 pub struct CriticStep {
     pub input_token: usize,
     pub caches: StackCache,
@@ -292,8 +381,49 @@ impl CriticNet {
         self.lstm.zero_state()
     }
 
+    /// One value estimate into recycled buffers (see
+    /// [`ActorNet::step_into`]).
+    pub fn step_into<R: Rng + ?Sized>(
+        &self,
+        prev: Option<usize>,
+        state: &mut StackState,
+        train: bool,
+        rng: &mut R,
+        step: &mut CriticStep,
+        scratch: &mut NetScratch,
+    ) {
+        let input_token = prev.unwrap_or(self.start_token);
+        scratch.x.clear();
+        scratch.x.extend_from_slice(self.embed.row(input_token));
+        if let Some(ctx) = self.context_token {
+            for (xi, ci) in scratch.x.iter_mut().zip(self.embed.row(ctx)) {
+                *xi += ci;
+            }
+        }
+        scratch.z.resize(self.lstm.scratch_len(), 0.0);
+        if step.caches.len() != self.lstm.layers.len() {
+            step.caches = self.lstm.empty_cache();
+        }
+        self.lstm
+            .forward_step_into(&scratch.x, state, &mut step.caches, &mut scratch.z);
+        step.top.clear();
+        step.top
+            .extend_from_slice(&state.last().expect("non-empty stack").h);
+        if train {
+            self.dropout
+                .apply_into(&mut step.top, rng, &mut step.drop_mask);
+        } else {
+            step.drop_mask.clear();
+            step.drop_mask.resize(step.top.len(), 1.0);
+        }
+        let mut value = [0.0f32];
+        self.head.forward_into(&step.top, &mut value);
+        step.value = value[0];
+        step.input_token = input_token;
+    }
+
     /// One value estimate `V(s_t)` for the state reached after feeding
-    /// `prev`.
+    /// `prev`. Allocating wrapper over [`CriticNet::step_into`].
     pub fn step<R: Rng + ?Sized>(
         &self,
         prev: Option<usize>,
@@ -301,41 +431,34 @@ impl CriticNet {
         train: bool,
         rng: &mut R,
     ) -> CriticStep {
-        let input_token = prev.unwrap_or(self.start_token);
-        let mut x = self.embed.forward(input_token);
-        if let Some(ctx) = self.context_token {
-            for (xi, ci) in x.iter_mut().zip(self.embed.forward(ctx)) {
-                *xi += ci;
-            }
-        }
-        let (mut top, caches) = self.lstm.forward_step(&x, state);
-        let drop_mask = if train {
-            self.dropout.apply(&mut top, rng)
-        } else {
-            vec![1.0; top.len()]
-        };
-        let value = self.head.forward(&top)[0];
-        CriticStep {
-            input_token,
-            caches,
-            drop_mask,
-            top,
-            value,
-        }
+        let mut step = CriticStep::default();
+        let mut scratch = NetScratch::default();
+        self.step_into(prev, state, train, rng, &mut step, &mut scratch);
+        step
     }
 
     /// Backpropagates per-step value-loss gradients `dL/dV_t`.
     pub fn backward_episode(&mut self, steps: &[CriticStep], dvalues: &[f32]) {
         debug_assert_eq!(steps.len(), dvalues.len());
-        let mut dtops = Vec::with_capacity(steps.len());
-        for (s, &dv) in steps.iter().zip(dvalues) {
-            let mut dtop = self.head.backward(&s.top, &[dv]);
-            Dropout::backward(&mut dtop, &s.drop_mask);
-            dtops.push(dtop);
+        let hidden = self.lstm.hidden();
+        let mut dtops = vec![0.0f32; steps.len() * hidden];
+        for (t, (s, &dv)) in steps.iter().zip(dvalues).enumerate() {
+            let dtop = &mut dtops[t * hidden..(t + 1) * hidden];
+            self.head.backward_into(&s.top, &[dv], dtop);
+            Dropout::backward(dtop, &s.drop_mask);
         }
-        let caches: Vec<StackCache> = steps.iter().map(|s| s.caches.clone()).collect();
-        let dxs = self.lstm.backward_sequence(&caches, &dtops);
-        for (s, dx) in steps.iter().zip(&dxs) {
+        // Buffer input gradients; embedding rows accumulate forward-order
+        // (see ActorNet::backward_episode).
+        let in_dim = self.lstm.layers[0].input;
+        let mut dxs = vec![0.0f32; steps.len() * in_dim];
+        self.lstm.backward_sequence_with(
+            steps.len(),
+            |t| &steps[t].caches[..],
+            |t| &dtops[t * hidden..(t + 1) * hidden],
+            |t, dx| dxs[t * in_dim..(t + 1) * in_dim].copy_from_slice(dx),
+        );
+        for (t, s) in steps.iter().enumerate() {
+            let dx = &dxs[t * in_dim..(t + 1) * in_dim];
             self.embed.backward(s.input_token, dx);
             if let Some(ctx) = self.context_token {
                 self.embed.backward(ctx, dx);

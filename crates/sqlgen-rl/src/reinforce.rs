@@ -5,10 +5,13 @@
 //! Figure 8 (high return variance, slower/noisier convergence).
 
 use crate::env::SqlGenEnv;
-use crate::episode::{rewards_to_go, run_episode, Episode};
-use crate::nets::{ActorNet, NetConfig};
+use crate::episode::{
+    rewards_to_go_into, run_episode_infer, run_episode_into, Episode, InferRollout, Rollout,
+};
+use crate::nets::{ActorNet, ActorStep, NetConfig};
+use crate::parallel::collect_episodes;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sqlgen_nn::{clip_grad_norm, Adam, Optimizer};
 
 /// Trainer hyper-parameters (paper §7.1 values as defaults).
@@ -42,6 +45,12 @@ pub struct Reinforce {
     pub cfg: TrainConfig,
     opt: Adam,
     rng: StdRng,
+    /// Recycled training-rollout arena (caches, scratch, LSTM state).
+    rollout: Rollout,
+    /// Recycled inference-rollout buffers.
+    infer: InferRollout,
+    /// Recycled returns buffer.
+    returns: Vec<f32>,
 }
 
 impl Reinforce {
@@ -54,25 +63,77 @@ impl Reinforce {
             cfg,
             opt,
             rng,
+            rollout: Rollout::new(),
+            infer: InferRollout::new(),
+            returns: Vec::new(),
         }
+    }
+
+    /// One policy-gradient update from a finished episode's steps/rewards.
+    fn apply_update(&mut self, steps: &[ActorStep], rewards: &[f32]) {
+        let mut returns = std::mem::take(&mut self.returns);
+        rewards_to_go_into(rewards, &mut returns);
+        self.actor.zero_grad();
+        self.actor
+            .backward_episode(steps, &returns, self.cfg.lambda);
+        let mut params = self.actor.params_mut();
+        clip_grad_norm(&mut params, self.cfg.grad_clip);
+        self.opt.step(&mut params);
+        self.returns = returns;
     }
 
     /// Runs one training episode and updates the policy. Returns the episode.
     pub fn train_episode(&mut self, env: &SqlGenEnv) -> Episode {
-        let ep = run_episode(&self.actor, env, true, &mut self.rng);
-        let returns = rewards_to_go(&ep.rewards);
-        self.actor.zero_grad();
-        self.actor
-            .backward_episode(&ep.steps, &returns, self.cfg.lambda);
-        let mut params = self.actor.params_mut();
-        clip_grad_norm(&mut params, self.cfg.grad_clip);
-        self.opt.step(&mut params);
+        let mut ro = std::mem::take(&mut self.rollout);
+        let ep = run_episode_into(&self.actor, env, true, &mut self.rng, &mut ro);
+        self.apply_update(ro.steps(), &ep.rewards);
+        self.rollout = ro;
         ep
+    }
+
+    /// Trains on `episodes` episodes, collecting rollouts with `threads`
+    /// parallel workers and applying updates serially in episode order.
+    /// `threads <= 1` runs the exact single-threaded path (bit-identical to
+    /// calling [`Reinforce::train_episode`] in a loop).
+    pub fn train_batch(
+        &mut self,
+        env: &SqlGenEnv,
+        episodes: usize,
+        threads: usize,
+    ) -> Vec<Episode> {
+        if threads <= 1 {
+            return (0..episodes).map(|_| self.train_episode(env)).collect();
+        }
+        let mut out = Vec::with_capacity(episodes);
+        let mut remaining = episodes;
+        while remaining > 0 {
+            // One round = one episode per worker, so rollouts never run
+            // more than `threads` episodes behind the policy they sample.
+            let batch = remaining.min(threads);
+            let base: u64 = self.rng.random();
+            for mut ep in collect_episodes(&self.actor, env, batch, true, batch, base) {
+                self.apply_update(&ep.steps, &ep.rewards);
+                ep.steps = Vec::new();
+                out.push(ep);
+            }
+            remaining -= batch;
+        }
+        out
     }
 
     /// Generates a query without updating the network (inference).
     pub fn generate(&mut self, env: &SqlGenEnv) -> Episode {
-        run_episode(&self.actor, env, false, &mut self.rng)
+        run_episode_infer(&self.actor, env, &mut self.rng, &mut self.infer)
+    }
+
+    /// Generates `n` queries with `threads` parallel workers (no updates).
+    /// `threads <= 1` matches [`Reinforce::generate`] in a loop bit-for-bit.
+    pub fn generate_batch(&mut self, env: &SqlGenEnv, n: usize, threads: usize) -> Vec<Episode> {
+        if threads <= 1 {
+            return (0..n).map(|_| self.generate(env)).collect();
+        }
+        let base: u64 = self.rng.random();
+        collect_episodes(&self.actor, env, n, false, threads, base)
     }
 }
 

@@ -26,6 +26,7 @@ struct Args {
     range: Option<(f64, f64)>,
     n: usize,
     train: usize,
+    threads: usize,
     kinds: Option<Vec<StatementKind>>,
     execute: bool,
     profile: bool,
@@ -48,6 +49,7 @@ FLAGS:
   --metric <card|cost>    constrained metric (default: card)
   --n <count>             queries to generate (default: 10)
   --train <episodes>      RL training episodes (default: 500; 0 with --load)
+  --threads <workers>     rollout worker threads (default: 1 = exact serial)
   --scale <sf>            data scale factor (default: 0.3)
   --seed <u64>            RNG seed (default: 42)
   --kinds <k1,k2,..>      statement kinds: select,insert,update,delete
@@ -71,6 +73,7 @@ fn parse_args() -> Args {
         range: None,
         n: 10,
         train: 500,
+        threads: 1,
         kinds: None,
         execute: false,
         profile: false,
@@ -115,6 +118,12 @@ fn parse_args() -> Args {
             }
             "--n" => args.n = value("--n").parse().unwrap_or_else(|_| fail("--n")),
             "--train" => args.train = value("--train").parse().unwrap_or_else(|_| fail("--train")),
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--threads"))
+                    .max(1)
+            }
             "--kinds" => {
                 let kinds = value("--kinds")
                     .split(',')
@@ -225,7 +234,9 @@ fn main() {
         args.benchmark.build(args.scale, args.seed)
     };
 
-    let mut config = GenConfig::default().with_seed(args.seed);
+    let mut config = GenConfig::default()
+        .with_seed(args.seed)
+        .with_threads(args.threads);
     if let Some(kinds) = &args.kinds {
         config.fsm = FsmConfig::default().with_statements(kinds);
     }
