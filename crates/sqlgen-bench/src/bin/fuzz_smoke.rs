@@ -1,0 +1,112 @@
+//! Invariant/differential fuzzing entry point (CI smoke budget).
+//!
+//! Runs `sqlgen-fuzz` across all five invariant families and exits non-zero
+//! on any violation, printing the failing SQL, its shrunk reproduction and
+//! the case seed. Reproduce a single reported case with:
+//!
+//! ```text
+//! fuzz_smoke --family differential --case-seed 0xDEADBEEF
+//! ```
+
+use sqlgen_fuzz::{run, run_case, Family, FuzzConfig};
+
+struct Args {
+    cfg: FuzzConfig,
+    family: Option<Family>,
+    case_seed: Option<u64>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: FuzzConfig {
+            iters: 2000,
+            seed: 0,
+            max_failures: 5,
+        },
+        family: None,
+        case_seed: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--iters" => args.cfg.iters = value("--iters").parse().expect("--iters: integer"),
+            "--seed" => args.cfg.seed = parse_u64(&value("--seed")),
+            "--max-failures" => {
+                args.cfg.max_failures = value("--max-failures")
+                    .parse()
+                    .expect("--max-failures: integer");
+            }
+            "--family" => {
+                let name = value("--family");
+                args.family =
+                    Some(Family::from_name(&name).unwrap_or_else(|| {
+                        panic!("--family: one of roundtrip, estimator, differential, fsm-closure, nn-numerics (got {name})")
+                    }));
+            }
+            "--case-seed" => args.case_seed = Some(parse_u64(&value("--case-seed"))),
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "flags: --iters <n> --seed <u64> --max-failures <n> --quiet\n\
+                     repro: --family <name> --case-seed <u64|0xHEX>"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn parse_u64(s: &str) -> u64 {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).expect("hex integer"),
+        None => s.parse().expect("integer"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Single-case reproduction mode.
+    if let (Some(family), Some(seed)) = (args.family, args.case_seed) {
+        match run_case(family, seed) {
+            Ok(checks) => println!("[{family}] case seed {seed:#x}: {checks} checks passed"),
+            Err(fail) => {
+                println!("[{family}] case seed {seed:#x}: {}", fail.detail);
+                if let Some(sql) = &fail.sql {
+                    println!("  sql:    {sql}");
+                }
+                if let Some(sql) = &fail.shrunk_sql {
+                    println!("  shrunk: {sql}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.family.is_some() || args.case_seed.is_some() {
+        panic!("--family and --case-seed must be used together");
+    }
+
+    let report = run(&args.cfg);
+    if !args.quiet {
+        println!("fuzz_smoke: {}", report.summary());
+    }
+    if !report.ok() {
+        for f in &report.failures {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "fuzz_smoke: {} failure(s); reproduce with --family <name> --case-seed <seed>",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,21 @@ pub const DEFAULT_HAVING_SELECTIVITY: f64 = 1.0 / 3.0;
 /// Default selectivity of a LIKE predicate with no usable MCV evidence
 /// (mirrors PostgreSQL's DEFAULT_MATCH_SEL ballpark).
 pub const DEFAULT_LIKE_SELECTIVITY: f64 = 0.1;
+/// Upper bound on any cardinality estimate. Long join chains multiply row
+/// counts, and the RL reward must stay finite, so the estimate saturates
+/// here instead of running off to infinity.
+pub const MAX_CARD: f64 = 1e15;
+
+/// Forces a cardinality estimate into `[0, MAX_CARD]`; NaN (from degenerate
+/// statistics) becomes 0. Note `f64::clamp` propagates NaN, so the guard
+/// has to be explicit.
+fn sanitize_card(c: f64) -> f64 {
+    if c.is_nan() {
+        0.0
+    } else {
+        c.clamp(0.0, MAX_CARD)
+    }
+}
 
 /// The cardinality estimator. Build once per database; estimates are pure.
 #[derive(Debug, Clone)]
@@ -59,7 +74,7 @@ impl Estimator {
     pub fn cardinality(&self, stmt: &Statement) -> f64 {
         let _t = sqlgen_obs::obs_time!("estimator.card.latency_us");
         sqlgen_obs::obs_count!("estimator.card.calls");
-        match stmt {
+        sanitize_card(match stmt {
             Statement::Select(q) => self.select_cardinality(q),
             Statement::Insert(i) => match &i.source {
                 InsertSource::Values(_) => 1.0,
@@ -71,13 +86,13 @@ impl Estimator {
             Statement::Delete(d) => {
                 self.table_rows(&d.table) * self.opt_selectivity(d.predicate.as_ref())
             }
-        }
+        })
     }
 
     /// Estimated output cardinality of a `SELECT`.
     pub fn select_cardinality(&self, q: &SelectQuery) -> f64 {
         let filtered = self.filtered_cardinality(q);
-        if q.is_aggregate() {
+        let out = if q.is_aggregate() {
             if q.group_by.is_empty() {
                 // Plain aggregate: exactly one output row.
                 1.0
@@ -88,7 +103,11 @@ impl Estimator {
                         .column_stats(c)
                         .map(|s| s.distinct as f64)
                         .unwrap_or(1.0);
-                    groups *= ndv.max(1.0);
+                    // Cap the running product at the input cardinality:
+                    // a grouped result can never exceed its input, and
+                    // the unchecked NDV product overflows to infinity on
+                    // wide GROUP BY lists over high-cardinality columns.
+                    groups = (groups * ndv.max(1.0)).min(filtered.max(1.0));
                 }
                 let mut out = groups.min(filtered);
                 if q.having.is_some() {
@@ -98,12 +117,13 @@ impl Estimator {
             }
         } else {
             filtered
-        }
+        };
+        sanitize_card(out)
     }
 
     /// Join cardinality times predicate selectivity (pre-aggregation).
     pub fn filtered_cardinality(&self, q: &SelectQuery) -> f64 {
-        self.join_cardinality(&q.from) * self.opt_selectivity(q.predicate.as_ref())
+        sanitize_card(self.join_cardinality(&q.from) * self.opt_selectivity(q.predicate.as_ref()))
     }
 
     /// Estimated cardinality of the `FROM` clause (joins only).
@@ -119,10 +139,13 @@ impl Estimator {
                 .column_stats(&j.right)
                 .map(|s| s.distinct as f64)
                 .unwrap_or(1.0);
+            // `distinct` can be 0 on a degenerate column and the product
+            // can overflow on long join chains, so the denominator is
+            // floored at 1 and the running product saturated each step.
             let denom = ndv_left.max(ndv_right).max(1.0);
-            card = card * right_rows / denom;
+            card = sanitize_card(card * right_rows / denom);
         }
-        card
+        sanitize_card(card)
     }
 
     fn opt_selectivity(&self, p: Option<&Predicate>) -> f64 {
@@ -157,16 +180,29 @@ impl Estimator {
                 sa + sb - sa * sb
             }
         };
-        s.clamp(0.0, 1.0)
+        // `f64::clamp` propagates NaN, so degenerate statistics need an
+        // explicit fallback before the range clamp.
+        if s.is_nan() {
+            DEFAULT_SELECTIVITY
+        } else {
+            s.clamp(0.0, 1.0)
+        }
     }
 
-    /// LIKE selectivity: the MCV-mass fraction matching the pattern when
-    /// the MCV list covers enough mass, otherwise the default constant.
+    /// LIKE selectivity: equality selectivity when the pattern has no live
+    /// wildcards (every `%`/`_` escaped), else the MCV-mass fraction
+    /// matching the pattern when the MCV list covers enough mass, otherwise
+    /// the default constant.
     fn like_selectivity(&self, col: &ColRef, pattern: &str) -> f64 {
         let stats = match self.column_stats(col) {
             Some(s) => s,
             None => return DEFAULT_LIKE_SELECTIVITY,
         };
+        // A wildcard-free pattern is an equality test; route it through the
+        // same estimate the executor's semantics imply.
+        if let Some(lit) = crate::exec::like_literal(pattern) {
+            return stats.eq_selectivity(&Value::Text(lit));
+        }
         let mcv_mass: f64 = stats.mcvs.iter().map(|(_, f)| f).sum();
         if mcv_mass < 0.2 || stats.mcvs.is_empty() {
             return DEFAULT_LIKE_SELECTIVITY;
@@ -209,7 +245,9 @@ impl Estimator {
             CmpOp::Ne => (1.0 - stats.eq_selectivity(&value)).max(0.0),
             CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
                 match (stats.dtype, value.as_f64(), &stats.histogram) {
-                    (DataType::Int | DataType::Float, Some(x), Some(h)) => {
+                    // A non-finite probe (NaN/inf literal) would poison the
+                    // histogram math; it falls through to the default.
+                    (DataType::Int | DataType::Float, Some(x), Some(h)) if x.is_finite() => {
                         let below = h.fraction_below(x);
                         let eq = stats.eq_selectivity(&value);
                         match op {
@@ -402,6 +440,116 @@ mod tests {
              (SELECT orders.o_orderkey FROM orders WHERE orders.o_orderstatus = 'F')",
             4.0,
         );
+    }
+
+    /// wide(a..h): 4000 rows of high-NDV ints; empty(x): zero rows.
+    fn degenerate_db() -> Database {
+        use sqlgen_storage::{ColumnDef, Table, TableSchema};
+        let mut db = Database::new();
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        let mut schema = TableSchema::new("wide");
+        for n in names {
+            schema = schema.with_column(ColumnDef::new(n, DataType::Int));
+        }
+        let mut wide = Table::new(schema);
+        for i in 0..4000i64 {
+            wide.push_row(
+                (0..names.len())
+                    .map(|j| Value::Int(i * 31 + j as i64))
+                    .collect(),
+            );
+        }
+        db.add_table(wide);
+        let empty =
+            Table::new(TableSchema::new("empty").with_column(ColumnDef::new("x", DataType::Int)));
+        db.add_table(empty);
+        db
+    }
+
+    /// Regression: the GROUP BY NDV product used to be capped only after the
+    /// full multiply, so eight ~4000-NDV columns produced 4000^8 ≈ 6.6e28
+    /// intermediate values (and unbounded column counts overflow to inf).
+    #[test]
+    fn group_by_product_capped_at_input() {
+        let db = degenerate_db();
+        let est = Estimator::build(&db);
+        let q = crate::parse::parse_select(
+            "SELECT wide.a, wide.b, wide.c, wide.d, wide.e, wide.f, wide.g, wide.h, \
+             COUNT(wide.a) FROM wide \
+             GROUP BY wide.a, wide.b, wide.c, wide.d, wide.e, wide.f, wide.g, wide.h",
+        )
+        .unwrap();
+        let c = est.select_cardinality(&q);
+        assert!(c.is_finite() && c >= 0.0);
+        assert!(
+            c <= 4000.0,
+            "grouped output cannot exceed input rows, got {c}"
+        );
+    }
+
+    /// Regression: degenerate statistics (0 rows, 0 distinct) used to leak
+    /// NaN through selectivity and cardinality.
+    #[test]
+    fn zero_row_table_estimates_are_finite() {
+        let db = degenerate_db();
+        let est = Estimator::build(&db);
+        for sql in [
+            "SELECT empty.x FROM empty",
+            "SELECT empty.x FROM empty WHERE empty.x = 3",
+            "SELECT empty.x FROM empty WHERE empty.x < 7 OR empty.x > 9",
+            "SELECT COUNT(empty.x) FROM empty",
+            "SELECT empty.x, COUNT(empty.x) FROM empty GROUP BY empty.x",
+            "DELETE FROM empty WHERE empty.x = 1",
+        ] {
+            let stmt = parse(sql).unwrap();
+            let c = est.cardinality(&stmt);
+            assert!(c.is_finite() && c >= 0.0, "{sql} -> {c}");
+            if let Statement::Select(q) = &stmt {
+                if let Some(p) = &q.predicate {
+                    let s = est.selectivity(p);
+                    assert!((0.0..=1.0).contains(&s), "{sql} -> sel {s}");
+                }
+            }
+        }
+    }
+
+    /// Non-finite literals must not poison the histogram math.
+    #[test]
+    fn non_finite_probe_value_falls_back() {
+        let db = tpch_database(0.2, 3);
+        let est = Estimator::build(&db);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let p = Predicate::Cmp {
+                col: ColRef::new("lineitem", "l_quantity"),
+                op: CmpOp::Lt,
+                rhs: Rhs::Value(Value::Float(v)),
+            };
+            let s = est.selectivity(&p);
+            assert!((0.0..=1.0).contains(&s), "probe {v} -> sel {s}");
+        }
+    }
+
+    /// Long join chains saturate at MAX_CARD instead of overflowing.
+    #[test]
+    fn join_chain_saturates_finite() {
+        let db = tpch_database(0.5, 11);
+        let est = Estimator::build(&db);
+        let mut from = FromClause {
+            base: "lineitem".into(),
+            joins: Vec::new(),
+        };
+        // Deliberately bogus self-join chain (unknown columns -> ndv 1):
+        // each step multiplies by |lineitem| with denominator 1.
+        for _ in 0..40 {
+            from.joins.push(Join {
+                table: "lineitem".into(),
+                left: ColRef::new("lineitem", "nope"),
+                right: ColRef::new("lineitem", "nope"),
+            });
+        }
+        let c = est.join_cardinality(&from);
+        assert!(c.is_finite() && c >= 0.0);
+        assert!(c <= MAX_CARD);
     }
 
     #[test]

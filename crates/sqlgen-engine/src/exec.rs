@@ -76,8 +76,30 @@ fn hash_key(v: &Value) -> HashKey {
         // Normalize Int and Float to the same key space so INT-FLOAT
         // equi-joins behave like the comparison semantics in `Value`.
         Value::Int(i) => HashKey::Num((*i as f64).to_bits()),
-        Value::Float(f) => HashKey::Num(f.to_bits()),
+        Value::Float(f) => {
+            // -0.0 must key like 0.0 (they compare Equal), and every NaN
+            // payload collapses to one key so GROUP BY puts all NaN rows in
+            // a single group.
+            let f = if *f == 0.0 {
+                0.0
+            } else if f.is_nan() {
+                f64::NAN
+            } else {
+                *f
+            };
+            HashKey::Num(f.to_bits())
+        }
         Value::Text(s) => HashKey::Text(s.clone()),
+    }
+}
+
+/// Key used where hash equality must mirror `Value::try_cmp` equality
+/// (join matching and IN-sets): NaN compares equal to nothing, so it gets
+/// no key at all.
+fn eq_key(v: &Value) -> Option<HashKey> {
+    match v {
+        Value::Float(f) if f.is_nan() => None,
+        _ => Some(hash_key(v)),
     }
 }
 
@@ -213,9 +235,12 @@ impl<'a> Executor<'a> {
                         .ok_or_else(|| ExecError::UnknownColumn(name.clone()))
                 })
                 .collect::<Result<_, _>>()?;
+            // `total_cmp`, not `try_cmp`: NULL/NaN keys have no SQL ordering
+            // and "equal to everything" is not transitive, which makes
+            // `sort_by` panic on larger inputs.
             rs.rows.sort_by(|a, b| {
                 for &(i, desc) in &keys {
-                    let ord = a[i].try_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = a[i].total_cmp(&b[i]);
                     let ord = if desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -359,17 +384,16 @@ impl<'a> Executor<'a> {
             // Build a hash table over the (smaller) right table.
             let mut index: HashMap<HashKey, Vec<u32>> = HashMap::new();
             for r in 0..cols[right_slot].row_count() {
-                index
-                    .entry(hash_key(&right_col.get(r)))
-                    .or_default()
-                    .push(r as u32);
+                if let Some(key) = eq_key(&right_col.get(r)) {
+                    index.entry(key).or_default().push(r as u32);
+                }
             }
 
             let mut next = Vec::new();
             for i in 0..tuples.len() {
                 let t = tuples.tuple(i);
-                let key = hash_key(&left_col.get(t[left_slot] as usize));
-                if let Some(matches) = index.get(&key) {
+                let key = eq_key(&left_col.get(t[left_slot] as usize));
+                if let Some(matches) = key.and_then(|k| index.get(&k)) {
                     for &r in matches {
                         next.extend_from_slice(t);
                         let at = next.len() - stride + right_slot;
@@ -421,7 +445,7 @@ impl<'a> Executor<'a> {
                 CompiledPred::Like {
                     slot,
                     col: cidx,
-                    pattern: pattern.clone(),
+                    tokens: compile_like(pattern),
                 }
             }
             Predicate::Exists { sub } => {
@@ -465,7 +489,10 @@ impl<'a> Executor<'a> {
             if row.len() != 1 {
                 return Err(ExecError::NotSingleColumn);
             }
-            set.insert(hash_key(&row[0]));
+            // NaN never equals anything, so it can't contribute a match.
+            if let Some(key) = eq_key(&row[0]) {
+                set.insert(key);
+            }
         }
         Ok(set)
     }
@@ -724,33 +751,90 @@ fn retain_rows(col: &mut Column, dead: &HashSet<usize>) {
     }
 }
 
+/// One element of a compiled `LIKE` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LikeTok {
+    /// A literal character (including those written as `\%`, `\_`, `\\`).
+    Lit(char),
+    /// `_`: exactly one character.
+    One,
+    /// `%`: any run of characters, possibly empty.
+    Any,
+}
+
+/// Compiles a `LIKE` pattern, honoring `\` escapes: `\%`, `\_` and `\\`
+/// match the escaped character literally. A trailing lone `\` matches
+/// itself (there is nothing left for it to escape).
+fn compile_like(pattern: &str) -> Vec<LikeTok> {
+    let mut out = Vec::new();
+    let mut it = pattern.chars();
+    while let Some(c) = it.next() {
+        out.push(match c {
+            '\\' => LikeTok::Lit(it.next().unwrap_or('\\')),
+            '%' => LikeTok::Any,
+            '_' => LikeTok::One,
+            c => LikeTok::Lit(c),
+        });
+    }
+    out
+}
+
 /// SQL `LIKE` matching with `%` (any run) and `_` (any single char)
-/// wildcards, via iterative backtracking over `%` positions.
+/// wildcards and `\` escapes, via iterative backtracking over `%`
+/// positions.
 pub fn like_match(pattern: &str, text: &str) -> bool {
-    let p: Vec<char> = pattern.chars().collect();
+    like_match_tokens(&compile_like(pattern), text)
+}
+
+fn like_match_tokens(p: &[LikeTok], text: &str) -> bool {
     let t: Vec<char> = text.chars().collect();
     let (mut pi, mut ti) = (0usize, 0usize);
     let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
     while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star = Some((pi + 1, ti));
-            pi += 1;
-        } else if let Some((sp, st)) = star {
-            // Backtrack: let the last % absorb one more character.
-            pi = sp;
-            ti = st + 1;
-            star = Some((sp, st + 1));
-        } else {
-            return false;
+        match p.get(pi) {
+            Some(LikeTok::One) => {
+                pi += 1;
+                ti += 1;
+            }
+            Some(&LikeTok::Lit(c)) if c == t[ti] => {
+                pi += 1;
+                ti += 1;
+            }
+            Some(LikeTok::Any) => {
+                star = Some((pi + 1, ti));
+                pi += 1;
+            }
+            _ => {
+                if let Some((sp, st)) = star {
+                    // Backtrack: let the last % absorb one more character.
+                    pi = sp;
+                    ti = st + 1;
+                    star = Some((sp, st + 1));
+                } else {
+                    return false;
+                }
+            }
         }
     }
-    while pi < p.len() && p[pi] == '%' {
+    while matches!(p.get(pi), Some(LikeTok::Any)) {
         pi += 1;
     }
     pi == p.len()
+}
+
+/// If `pattern` contains no live wildcards (every `%`/`_` is escaped),
+/// returns the literal string it matches, with escapes removed. The
+/// estimator uses this to route such patterns through equality
+/// selectivity so estimator and executor agree.
+pub fn like_literal(pattern: &str) -> Option<String> {
+    let mut out = String::new();
+    for tok in compile_like(pattern) {
+        match tok {
+            LikeTok::Lit(c) => out.push(c),
+            LikeTok::One | LikeTok::Any => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Compiled predicate with resolved column slots.
@@ -770,7 +854,8 @@ enum CompiledPred {
     Like {
         slot: usize,
         col: usize,
-        pattern: String,
+        /// Pattern pre-compiled once instead of per row.
+        tokens: Vec<LikeTok>,
     },
     Const(bool),
     Not(Box<CompiledPred>),
@@ -794,11 +879,11 @@ fn eval_pred(p: &CompiledPred, tuple: &[u32], cols: &[&sqlgen_storage::Table]) -
         },
         CompiledPred::In { slot, col, set } => {
             let lhs = cols[*slot].columns[*col].get(tuple[*slot] as usize);
-            set.contains(&hash_key(&lhs))
+            eq_key(&lhs).is_some_and(|k| set.contains(&k))
         }
-        CompiledPred::Like { slot, col, pattern } => {
+        CompiledPred::Like { slot, col, tokens } => {
             match cols[*slot].columns[*col].get(tuple[*slot] as usize) {
-                Value::Text(s) => like_match(pattern, &s),
+                Value::Text(s) => like_match_tokens(tokens, &s),
                 _ => false, // LIKE over non-text is never true
             }
         }
@@ -1153,6 +1238,44 @@ mod tests {
         assert_eq!(ages.len(), 5);
     }
 
+    /// Regression (found by sqlgen-fuzz): `ORDER BY` over a float column
+    /// containing NaN compared via `try_cmp(..).unwrap_or(Equal)`, which is
+    /// not transitive (NaN "equal" to both 1 and 2 while 1 < 2) and made
+    /// `slice::sort_by` panic with "comparison function does not correctly
+    /// implement a total order" on larger results. Keys now sort with
+    /// `Value::total_cmp`, which places NaN after every finite value.
+    #[test]
+    fn order_by_nan_keys_sorts_totally() {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            TableSchema::new("m")
+                .with_column(ColumnDef::new("id", DataType::Int))
+                .with_primary_key()
+                .with_column(ColumnDef::new("x", DataType::Float)),
+        );
+        for i in 0..48 {
+            let x = if i % 3 == 0 {
+                f64::NAN
+            } else {
+                (40 - i) as f64
+            };
+            t.push_row(vec![Value::Int(i), Value::Float(x)]);
+        }
+        db.add_table(t);
+        let q = crate::parse::parse_select("SELECT m.x FROM m ORDER BY m.x").unwrap();
+        let rs = Executor::new(&db).execute_select(&q).unwrap();
+        assert_eq!(rs.rows.len(), 48);
+        for pair in rs.rows.windows(2) {
+            assert_ne!(
+                pair[0][0].total_cmp(&pair[1][0]),
+                std::cmp::Ordering::Greater,
+                "{} before {}",
+                pair[0][0],
+                pair[1][0]
+            );
+        }
+    }
+
     #[test]
     fn order_by_unprojected_column_errors() {
         let db = db();
@@ -1180,6 +1303,37 @@ mod tests {
         assert!(like_match("", ""));
         assert!(like_match("%b%d%", "abcd"));
         assert!(!like_match("%b%d%", "acde")); // needs b before d
+    }
+
+    #[test]
+    fn like_matcher_escapes() {
+        // Regression: `\%`, `\_`, `\\` used to be treated as two ordinary
+        // characters, so escaped wildcards could never match.
+        assert!(like_match(r"50\%", "50%"));
+        assert!(!like_match(r"50\%", "500"));
+        assert!(like_match(r"a\_b", "a_b"));
+        assert!(!like_match(r"a\_b", "axb"));
+        assert!(like_match(r"c:\\tmp", r"c:\tmp"));
+        assert!(!like_match(r"c:\\tmp", "c:xtmp"));
+        // Escapes compose with live wildcards.
+        assert!(like_match(r"%\%%", "a%b"));
+        assert!(!like_match(r"%\%%", "ab"));
+        assert!(like_match(r"\%_", "%x"));
+        // An escaped ordinary character is just that character.
+        assert!(like_match(r"\a\b", "ab"));
+        // A trailing lone backslash matches itself.
+        assert!(like_match("ab\\", "ab\\"));
+        assert!(!like_match("ab\\", "ab"));
+    }
+
+    #[test]
+    fn like_literal_detects_wildcard_free_patterns() {
+        assert_eq!(like_literal(r"50\%").as_deref(), Some("50%"));
+        assert_eq!(like_literal(r"a\_\\b").as_deref(), Some(r"a_\b"));
+        assert_eq!(like_literal("plain").as_deref(), Some("plain"));
+        assert_eq!(like_literal(""), Some(String::new()));
+        assert_eq!(like_literal("a%b"), None);
+        assert_eq!(like_literal("a_b"), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use ast::{
 };
 pub use card::Estimator;
 pub use cost::{CostModel, CostParams};
-pub use exec::{ExecError, ExecOptions, Executor, ResultSet};
+pub use exec::{like_literal, like_match, ExecError, ExecOptions, Executor, ResultSet};
 pub use parse::{parse, parse_select, ParseError};
 pub use plan::{explain, Explained, PlanNode, PlanOp};
 pub use render::{render, render_select};

@@ -51,7 +51,7 @@ impl<'a> Lexer<'a> {
             // multi-byte char whose lead byte casts to an ASCII-alphabetic
             // value must not be mistaken for an identifier start (found by
             // the parser fuzz test — it caused an infinite loop).
-            let c = self.peek().expect("pos < len");
+            let Some(c) = self.peek() else { break };
             let start = self.pos;
             match c {
                 ' ' | '\t' | '\n' | '\r' => {
@@ -191,13 +191,16 @@ impl<'a> Lexer<'a> {
                 }
                 c if c.is_alphabetic() || c == '_' => {
                     // The first char is consumed unconditionally, so the
-                    // lexer always makes progress.
+                    // lexer always makes progress. Each continuation char is
+                    // peeked exactly once — no second `unwrap` that could
+                    // panic if the two reads ever disagreed.
                     self.pos += c.len_utf8();
-                    while self
-                        .peek()
-                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '#')
-                    {
-                        self.pos += self.peek().unwrap().len_utf8();
+                    while let Some(ch) = self.peek() {
+                        if ch.is_alphanumeric() || ch == '_' || ch == '#' {
+                            self.pos += ch.len_utf8();
+                        } else {
+                            break;
+                        }
                     }
                     out.push((Tok::Ident(self.src[start..self.pos].to_string()), start));
                 }
@@ -741,6 +744,58 @@ mod tests {
             ")".repeat(30)
         );
         parse(&ok).unwrap();
+    }
+
+    /// Arbitrary UTF-8 must produce `Err`, never a panic (the ident loop
+    /// used to double-peek with an `unwrap` between the two reads).
+    #[test]
+    fn lexer_survives_arbitrary_utf8() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        // Mix of ASCII syntax chars, multi-byte letters, symbols,
+        // combining marks, and astral-plane chars.
+        let alphabet: Vec<char> =
+            "SELCTfromwher'\"();,.*<>=_-#0123456789 \t\n\\éß漢語λ𝔘𝕏\u{0301}\u{200D}«»€\u{7f}"
+                .chars()
+                .collect();
+        for _ in 0..3000 {
+            let len = rng.random_range(0..40);
+            let s: String = (0..len)
+                .map(|_| {
+                    if rng.random_range(0..8) == 0 {
+                        // Fully random scalar value.
+                        char::from_u32(rng.random_range(0..=0x10FFFF)).unwrap_or('\u{FFFD}')
+                    } else {
+                        alphabet[rng.random_range(0..alphabet.len())]
+                    }
+                })
+                .collect();
+            // Ok or Err are both fine; panicking is the bug.
+            let _ = parse(&s);
+        }
+    }
+
+    /// `''` escaping must survive a full render -> parse round trip.
+    #[test]
+    fn quote_escaping_round_trips() {
+        for text in ["o'clock", "''", "'", "a''b'", "", "emb'ed\\ded%_"] {
+            let stmt = Statement::Select(SelectQuery {
+                select: vec![SelectItem::Column(ColRef::new("t", "a"))],
+                from: FromClause::single("t"),
+                predicate: Some(Predicate::Cmp {
+                    col: ColRef::new("t", "a"),
+                    op: CmpOp::Eq,
+                    rhs: Rhs::Value(Value::Text(text.into())),
+                }),
+                group_by: vec![],
+                having: None,
+                order_by: vec![],
+            });
+            let sql = render(&stmt);
+            let back = parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            assert_eq!(back, stmt, "{sql}");
+        }
     }
 
     #[test]

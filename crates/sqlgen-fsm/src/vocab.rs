@@ -341,7 +341,18 @@ fn sample_like_patterns(values: &[Value], k: usize) -> Vec<String> {
         let chars: Vec<char> = text.chars().collect();
         let len = chars.len().clamp(1, 4);
         let start = (chars.len() - len) / 2;
-        let sub: String = chars[start..start + len].iter().collect();
+        // Escape `%` and `\` so a chunk cut from hostile data matches the
+        // source row literally instead of acting as nested wildcards. `_`
+        // is deliberately left live: it still matches the source row, and
+        // escaping it would perturb the action space (and the pinned
+        // golden rollouts) for data that merely contains underscores.
+        let sub: String = chars[start..start + len]
+            .iter()
+            .flat_map(|&c| match c {
+                '%' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
         let pattern = format!("%{sub}%");
         if !out.contains(&pattern) {
             out.push(pattern);
@@ -464,5 +475,26 @@ mod tests {
         assert_eq!(v.describe(v.id(&Token::From)), "From");
         let t0 = v.table_token_base();
         assert!(v.describe(t0).starts_with("table:"));
+    }
+
+    /// Chunks cut from hostile text must have `%` and `\\` escaped so the
+    /// pattern still matches its source row literally.
+    #[test]
+    fn like_patterns_escape_wildcards_in_data() {
+        let vals = vec![
+            Value::Text("ab%cd".into()),
+            Value::Text(r"x\y_z".into()),
+            Value::Text("plain".into()),
+        ];
+        let pats = sample_like_patterns(&vals, 8);
+        assert!(pats.contains(&r"%ab\%c%".to_string()), "{pats:?}");
+        assert!(pats.contains(&r"%x\\y_%".to_string()), "{pats:?}");
+        // Every pattern must match the value it was derived from.
+        for (v, pat) in vals.iter().zip(&pats) {
+            assert!(
+                sqlgen_engine::exec::like_match(pat, v.as_text().unwrap()),
+                "{pat} should match {v:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,563 @@
+//! Schema-aware random statement generation.
+//!
+//! Unlike the FSM rollouts (which only emit what the masks allow), this
+//! generator builds ASTs directly from the catalog, so it can reach corners
+//! of the grammar the action space never samples: hostile literals, deep
+//! predicate trees, `SELECT *`, aggregate subqueries and DML. Every
+//! statement it produces is valid by construction under the rules in
+//! `sqlgen_engine::validate` — the invariant checks assert as much, so a
+//! generator bug shows up as a fuzz failure rather than silent noise.
+
+use crate::dbgen::{grid_float, HOSTILE_TEXTS};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlgen_engine::{
+    AggFunc, CmpOp, ColRef, DeleteStmt, FromClause, HavingClause, InsertSource, InsertStmt, Join,
+    OrderBy, Predicate, Rhs, SelectItem, SelectQuery, Statement, UpdateStmt,
+};
+use sqlgen_storage::{DataType, Database, Value};
+
+/// Knobs for statement generation.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Restrict literals to values whose SQL text re-parses to the identical
+    /// AST (no `NaN`, floats on the quarter grid). Required by the
+    /// round-trip family; irrelevant when statements are executed directly.
+    pub parseable_literals: bool,
+    pub max_joins: usize,
+    pub allow_subqueries: bool,
+    /// Emit only `SELECT` (the estimator family wants monotonicity checks,
+    /// which are defined on queries).
+    pub select_only: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            parseable_literals: false,
+            max_joins: 2,
+            allow_subqueries: true,
+            select_only: false,
+        }
+    }
+}
+
+/// Generates one random statement, valid for `db` by construction.
+pub fn random_statement(db: &Database, rng: &mut StdRng, opts: &GenOptions) -> Statement {
+    let roll = if opts.select_only {
+        0
+    } else {
+        rng.random_range(0..10)
+    };
+    match roll {
+        7 => Statement::Insert(random_insert(db, rng, opts)),
+        8 => Statement::Update(random_update(db, rng, opts)),
+        9 => Statement::Delete(random_delete(db, rng, opts)),
+        _ => Statement::Select(random_select(db, rng, opts, 0)),
+    }
+}
+
+/// Generates one random `SELECT`. `depth` > 0 disables further subqueries.
+pub fn random_select(
+    db: &Database,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+) -> SelectQuery {
+    let base = random_table(db, rng);
+    let mut scope = vec![base.clone()];
+    let mut joins = Vec::new();
+    for _ in 0..rng.random_range(0..=opts.max_joins) {
+        let left = scope[rng.random_range(0..scope.len())].clone();
+        let edges: Vec<_> = db
+            .join_edges(&left)
+            .into_iter()
+            .filter(|e| !scope.contains(&e.right_table))
+            .collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let e = &edges[rng.random_range(0..edges.len())];
+        joins.push(Join {
+            table: e.right_table.clone(),
+            left: ColRef::new(&e.left_table, &e.left_column),
+            right: ColRef::new(&e.right_table, &e.right_column),
+        });
+        scope.push(e.right_table.clone());
+    }
+
+    let (select, group_by) = random_projection(db, &scope, rng);
+
+    let having = if !group_by.is_empty() && rng.random_range(0..10) < 3 {
+        Some(random_having(db, &scope, rng, opts, depth))
+    } else {
+        None
+    };
+
+    let predicate = if rng.random_range(0..100) < 65 {
+        Some(random_pred(db, &scope, rng, opts, depth, 2))
+    } else {
+        None
+    };
+
+    let plain: Vec<ColRef> = select
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Column(c) => Some(c.clone()),
+            SelectItem::Agg(..) => None,
+        })
+        .collect();
+    let order_by = if !plain.is_empty() && rng.random_range(0..10) < 3 {
+        (0..rng.random_range(1..=2))
+            .map(|_| OrderBy {
+                col: plain[rng.random_range(0..plain.len())].clone(),
+                desc: rng.random_range(0..2) == 0,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    SelectQuery {
+        from: FromClause { base, joins },
+        select,
+        predicate,
+        group_by,
+        having,
+        order_by,
+    }
+}
+
+fn random_projection(
+    db: &Database,
+    scope: &[String],
+    rng: &mut StdRng,
+) -> (Vec<SelectItem>, Vec<ColRef>) {
+    match rng.random_range(0..100) {
+        // Plain column list, occasionally SELECT *.
+        r if r < 55 => {
+            if rng.random_range(0..10) == 0 {
+                (Vec::new(), Vec::new())
+            } else {
+                let items = (0..rng.random_range(1..=3))
+                    .map(|_| SelectItem::Column(random_col(db, scope, rng).0))
+                    .collect();
+                (items, Vec::new())
+            }
+        }
+        // GROUP BY: plain items must be drawn from the group keys.
+        r if r < 80 => {
+            let mut group_by: Vec<ColRef> = Vec::new();
+            for _ in 0..rng.random_range(1..=2) {
+                let c = random_col(db, scope, rng).0;
+                if !group_by.contains(&c) {
+                    group_by.push(c);
+                }
+            }
+            let mut items = Vec::new();
+            for g in &group_by {
+                if rng.random_range(0..10) < 7 {
+                    items.push(SelectItem::Column(g.clone()));
+                }
+            }
+            for _ in 0..rng.random_range(0..=2) {
+                items.push(random_agg_item(db, scope, rng));
+            }
+            if items.is_empty() {
+                items.push(SelectItem::Column(group_by[0].clone()));
+            }
+            (items, group_by)
+        }
+        // Plain aggregate: one output row, no grouping.
+        _ => {
+            let items = (0..rng.random_range(1..=2))
+                .map(|_| random_agg_item(db, scope, rng))
+                .collect();
+            (items, Vec::new())
+        }
+    }
+}
+
+fn random_agg_item(db: &Database, scope: &[String], rng: &mut StdRng) -> SelectItem {
+    let (f, col) = random_agg(db, scope, rng);
+    SelectItem::Agg(f, col)
+}
+
+/// An aggregate whose column satisfies the numeric requirement.
+fn random_agg(db: &Database, scope: &[String], rng: &mut StdRng) -> (AggFunc, ColRef) {
+    let f = AggFunc::ALL[rng.random_range(0..AggFunc::ALL.len())];
+    if !f.requires_numeric() {
+        return (f, random_col(db, scope, rng).0);
+    }
+    match random_numeric_col(db, scope, rng) {
+        Some(col) => (f, col),
+        None => (AggFunc::Count, random_col(db, scope, rng).0),
+    }
+}
+
+fn random_having(
+    db: &Database,
+    scope: &[String],
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+) -> HavingClause {
+    let (agg, col) = random_agg(db, scope, rng);
+    let op = random_op(rng);
+    let rhs = if opts.allow_subqueries && depth == 0 && rng.random_range(0..4) == 0 {
+        Rhs::Subquery(Box::new(scalar_subquery(db, rng, opts)))
+    } else {
+        Rhs::Value(numeric_literal(rng, opts))
+    };
+    HavingClause { agg, col, op, rhs }
+}
+
+fn random_pred(
+    db: &Database,
+    scope: &[String],
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+    levels: usize,
+) -> Predicate {
+    if levels == 0 {
+        return random_atom(db, scope, rng, opts, depth);
+    }
+    match rng.random_range(0..10) {
+        6 => Predicate::And(
+            Box::new(random_pred(db, scope, rng, opts, depth, levels - 1)),
+            Box::new(random_pred(db, scope, rng, opts, depth, levels - 1)),
+        ),
+        7 => Predicate::Or(
+            Box::new(random_pred(db, scope, rng, opts, depth, levels - 1)),
+            Box::new(random_pred(db, scope, rng, opts, depth, levels - 1)),
+        ),
+        8 => Predicate::Not(Box::new(random_pred(
+            db,
+            scope,
+            rng,
+            opts,
+            depth,
+            levels - 1,
+        ))),
+        _ => random_atom(db, scope, rng, opts, depth),
+    }
+}
+
+/// One atomic predicate over a column in `scope`, valid for `db`. Public so
+/// the estimator-monotonicity check can append conjuncts to an existing
+/// query's scope.
+pub fn random_atom(
+    db: &Database,
+    scope: &[String],
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+) -> Predicate {
+    let (col, dtype) = random_col(db, scope, rng);
+    let subs = opts.allow_subqueries && depth == 0;
+    match dtype {
+        DataType::Text => match rng.random_range(0..10) {
+            0..=3 => Predicate::Like {
+                pattern: random_pattern(db, &col, rng),
+                col,
+            },
+            4 if subs => Predicate::In {
+                col,
+                sub: Box::new(in_subquery(db, rng, opts, false)),
+            },
+            _ => Predicate::Cmp {
+                col,
+                op: random_op(rng),
+                rhs: Rhs::Value(text_literal(db, rng)),
+            },
+        },
+        _ => match rng.random_range(0..10) {
+            0 if subs => Predicate::Cmp {
+                col,
+                op: random_op(rng),
+                rhs: Rhs::Subquery(Box::new(scalar_subquery(db, rng, opts))),
+            },
+            1 if subs => Predicate::In {
+                col,
+                sub: Box::new(in_subquery(db, rng, opts, true)),
+            },
+            2 if subs => Predicate::Exists {
+                sub: Box::new(random_select(db, rng, opts, depth + 1)),
+            },
+            _ => Predicate::Cmp {
+                col: col.clone(),
+                op: random_op(rng),
+                rhs: Rhs::Value(column_literal(db, &col, dtype, rng, opts)),
+            },
+        },
+    }
+}
+
+/// A single-aggregate, non-grouped subquery — scalar by construction.
+fn scalar_subquery(db: &Database, rng: &mut StdRng, opts: &GenOptions) -> SelectQuery {
+    let table = random_table(db, rng);
+    let scope = vec![table.clone()];
+    let (f, col) = random_agg(db, &scope, rng);
+    let predicate = (rng.random_range(0..2) == 0).then(|| random_atom(db, &scope, rng, opts, 1));
+    SelectQuery {
+        from: FromClause {
+            base: table,
+            joins: Vec::new(),
+        },
+        select: vec![SelectItem::Agg(f, col)],
+        predicate,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+    }
+}
+
+/// A single-column subquery for `IN`, type-compatible with the probe side.
+fn in_subquery(db: &Database, rng: &mut StdRng, opts: &GenOptions, numeric: bool) -> SelectQuery {
+    // Aggregate subqueries project a Float, which is comparable with any
+    // numeric probe column.
+    if numeric && rng.random_range(0..5) == 0 {
+        return scalar_subquery(db, rng, opts);
+    }
+    let candidates: Vec<(String, String)> = db
+        .table_names()
+        .iter()
+        .flat_map(|t| {
+            let schema = db.schema(t).expect("listed table");
+            schema
+                .columns
+                .iter()
+                .filter(|c| {
+                    if numeric {
+                        c.dtype.is_numeric()
+                    } else {
+                        c.dtype == DataType::Text
+                    }
+                })
+                .map(|c| (t.to_string(), c.name.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    match candidates.get(rng.random_range(0..candidates.len().max(1))) {
+        Some((table, column)) => {
+            let scope = vec![table.clone()];
+            let predicate =
+                (rng.random_range(0..2) == 0).then(|| random_atom(db, &scope, rng, opts, 1));
+            SelectQuery {
+                from: FromClause {
+                    base: table.clone(),
+                    joins: Vec::new(),
+                },
+                select: vec![SelectItem::Column(ColRef::new(table, column))],
+                predicate,
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+            }
+        }
+        // No column of the requested type anywhere (numeric always exists
+        // via `id`; text may not) — fall back to a scalar aggregate.
+        None => scalar_subquery(db, rng, opts),
+    }
+}
+
+fn random_insert(db: &Database, rng: &mut StdRng, opts: &GenOptions) -> InsertStmt {
+    let table = random_table(db, rng);
+    let schema = db.schema(&table).expect("listed table");
+    let values = schema
+        .columns
+        .iter()
+        .map(|c| exact_literal(c.dtype, rng, opts))
+        .collect();
+    InsertStmt {
+        table,
+        source: InsertSource::Values(values),
+    }
+}
+
+fn random_update(db: &Database, rng: &mut StdRng, opts: &GenOptions) -> UpdateStmt {
+    let table = random_table(db, rng);
+    let schema = db.schema(&table).expect("listed table");
+    let mut sets = Vec::new();
+    for _ in 0..rng.random_range(1..=2) {
+        let c = &schema.columns[rng.random_range(0..schema.columns.len())];
+        if sets.iter().any(|(n, _)| n == &c.name) {
+            continue;
+        }
+        sets.push((c.name.clone(), exact_literal(c.dtype, rng, opts)));
+    }
+    let scope = vec![table.clone()];
+    let predicate = (rng.random_range(0..10) < 7).then(|| random_pred(db, &scope, rng, opts, 0, 1));
+    UpdateStmt {
+        table,
+        sets,
+        predicate,
+    }
+}
+
+fn random_delete(db: &Database, rng: &mut StdRng, opts: &GenOptions) -> DeleteStmt {
+    let table = random_table(db, rng);
+    let scope = vec![table.clone()];
+    let predicate = (rng.random_range(0..10) < 6).then(|| random_pred(db, &scope, rng, opts, 0, 1));
+    DeleteStmt { table, predicate }
+}
+
+// --- literals and small pickers ----------------------------------------
+
+fn random_table(db: &Database, rng: &mut StdRng) -> String {
+    let names = db.table_names();
+    names[rng.random_range(0..names.len())].to_string()
+}
+
+fn random_col(db: &Database, scope: &[String], rng: &mut StdRng) -> (ColRef, DataType) {
+    let table = &scope[rng.random_range(0..scope.len())];
+    let schema = db.schema(table).expect("scope table");
+    let c = &schema.columns[rng.random_range(0..schema.columns.len())];
+    (ColRef::new(table, &c.name), c.dtype)
+}
+
+fn random_numeric_col(db: &Database, scope: &[String], rng: &mut StdRng) -> Option<ColRef> {
+    let all: Vec<ColRef> = scope
+        .iter()
+        .flat_map(|t| {
+            let schema = db.schema(t).expect("scope table");
+            schema
+                .columns
+                .iter()
+                .filter(|c| c.dtype.is_numeric())
+                .map(|c| ColRef::new(t, &c.name))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if all.is_empty() {
+        None
+    } else {
+        Some(all[rng.random_range(0..all.len())].clone())
+    }
+}
+
+fn random_op(rng: &mut StdRng) -> CmpOp {
+    CmpOp::ALL[rng.random_range(0..CmpOp::ALL.len())]
+}
+
+/// A literal to compare against `col`: usually a real value from the column
+/// (so predicates actually select something), otherwise a fresh one.
+fn column_literal(
+    db: &Database,
+    col: &ColRef,
+    dtype: DataType,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+) -> Value {
+    if rng.random_range(0..20) == 0 {
+        // NULL literal: valid against any column, never satisfied.
+        return Value::Null;
+    }
+    let table = db.table(&col.table).expect("scope table");
+    if rng.random_range(0..10) < 6 && table.row_count() > 0 {
+        let cidx = table.schema.column_index(&col.column).expect("scope col");
+        let v = table.columns[cidx].get(rng.random_range(0..table.row_count()));
+        match v {
+            Value::Float(f) if opts.parseable_literals && !on_grid(f) => {
+                Value::Float(grid_float(rng))
+            }
+            v => v,
+        }
+    } else {
+        exact_literal(dtype, rng, opts)
+    }
+}
+
+fn on_grid(f: f64) -> bool {
+    f.is_finite() && (f * 4.0).trunc() == f * 4.0 && f.abs() <= 1e6
+}
+
+/// A literal of exactly `dtype` (INSERT/UPDATE slots are type-strict).
+fn exact_literal(dtype: DataType, rng: &mut StdRng, opts: &GenOptions) -> Value {
+    match dtype {
+        DataType::Int => Value::Int(rng.random_range(-60..60)),
+        DataType::Float => {
+            if !opts.parseable_literals && rng.random_range(0..12) == 0 {
+                Value::Float(f64::NAN)
+            } else {
+                Value::Float(grid_float(rng))
+            }
+        }
+        DataType::Text => Value::Text(random_text_value(rng)),
+    }
+}
+
+fn numeric_literal(rng: &mut StdRng, opts: &GenOptions) -> Value {
+    match rng.random_range(0..10) {
+        0..=4 => Value::Int(rng.random_range(-30..30)),
+        9 => Value::Null,
+        _ => exact_literal(DataType::Float, rng, opts),
+    }
+}
+
+fn text_literal(db: &Database, rng: &mut StdRng) -> Value {
+    // Sample from any text column's data half the time.
+    if rng.random_range(0..2) == 0 {
+        for t in db.tables() {
+            for (def, col) in t.schema.columns.iter().zip(&t.columns) {
+                if def.dtype == DataType::Text && t.row_count() > 0 {
+                    return col.get(rng.random_range(0..t.row_count()));
+                }
+            }
+        }
+    }
+    Value::Text(random_text_value(rng))
+}
+
+fn random_text_value(rng: &mut StdRng) -> String {
+    if rng.random_range(0..3) == 0 {
+        HOSTILE_TEXTS[rng.random_range(0..HOSTILE_TEXTS.len())].to_string()
+    } else {
+        let len = rng.random_range(0..5);
+        (0..len)
+            .map(|_| (b'a' + rng.random_range(0..4u8)) as char)
+            .collect()
+    }
+}
+
+/// A LIKE pattern built by mutating a real value of `col`: wildcard
+/// injection, escapes and truncation. Sizes are capped so the naive
+/// exponential oracle stays fast.
+fn random_pattern(db: &Database, col: &ColRef, rng: &mut StdRng) -> String {
+    let table = db.table(&col.table).expect("scope table");
+    let base: String = if rng.random_range(0..2) == 0 && table.row_count() > 0 {
+        let cidx = table.schema.column_index(&col.column).expect("scope col");
+        match table.columns[cidx].get(rng.random_range(0..table.row_count())) {
+            Value::Text(s) => s,
+            _ => String::new(),
+        }
+    } else {
+        HOSTILE_TEXTS[rng.random_range(0..HOSTILE_TEXTS.len())].to_string()
+    };
+
+    let mut out = String::new();
+    let mut wildcards = 0;
+    for c in base.chars().take(8) {
+        match rng.random_range(0..10) {
+            0 | 1 if wildcards < 4 => {
+                out.push('%');
+                wildcards += 1;
+            }
+            2 if wildcards < 4 => {
+                out.push('_');
+                wildcards += 1;
+            }
+            3 => {
+                out.push('\\');
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    if rng.random_range(0..10) < 3 && wildcards < 4 {
+        out.insert(0, '%');
+        out.push('%');
+    }
+    out
+}

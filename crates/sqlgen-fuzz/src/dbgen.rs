@@ -1,0 +1,215 @@
+//! Random small databases for differential testing.
+//!
+//! The executor/oracle comparison only needs a handful of rows to exercise
+//! every code path, and small relations keep the naive nested-loop oracle
+//! cheap. The generator deliberately over-samples degenerate shapes — empty
+//! tables, constant columns, dangling foreign keys — and hostile values:
+//! strings containing LIKE metacharacters, quotes and multi-byte text, plus
+//! `-0.0` and `NaN` floats when the profile allows them.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlgen_storage::{ColumnDef, DataType, Database, Table, TableSchema, Value};
+
+/// Strings chosen to stress quoting, LIKE metacharacters and UTF-8 paths.
+pub const HOSTILE_TEXTS: &[&str] = &[
+    "",
+    "a",
+    "ab",
+    "50%",
+    "a_b",
+    "c:\\tmp",
+    "o'clock",
+    "''",
+    "%%__",
+    "\\",
+    "na\u{ef}ve",
+    "\u{7d50}\u{679c}\u{1F389}",
+    "  spaced  ",
+    "NULL",
+];
+
+/// Shape constraints for [`random_database`].
+#[derive(Debug, Clone)]
+pub struct DbProfile {
+    pub min_rows: usize,
+    pub max_rows: usize,
+    /// Inject `NaN` and `-0.0` into float columns.
+    pub hostile_floats: bool,
+    /// Restrict float data to a small grid whose SQL rendering parses back
+    /// to the identical value (quarters: `k / 4.0`). Round-trip fuzzing
+    /// needs this; execution fuzzing does not.
+    pub parseable_floats: bool,
+}
+
+impl Default for DbProfile {
+    fn default() -> Self {
+        DbProfile {
+            min_rows: 0,
+            max_rows: 25,
+            hostile_floats: true,
+            parseable_floats: false,
+        }
+    }
+}
+
+impl DbProfile {
+    /// Every table non-empty and all values render/parse losslessly — the
+    /// profile for round-trip and FSM-closure fuzzing.
+    pub fn parseable() -> Self {
+        DbProfile {
+            min_rows: 1,
+            max_rows: 20,
+            hostile_floats: false,
+            parseable_floats: true,
+        }
+    }
+}
+
+/// A float drawn from the quarter grid; its `to_sql` text re-parses exactly.
+pub fn grid_float(rng: &mut StdRng) -> f64 {
+    rng.random_range(-60..=60) as f64 / 4.0
+}
+
+fn random_float(rng: &mut StdRng, profile: &DbProfile) -> f64 {
+    if profile.parseable_floats {
+        return grid_float(rng);
+    }
+    match rng.random_range(0..10) {
+        0 if profile.hostile_floats => f64::NAN,
+        1 if profile.hostile_floats => -0.0,
+        2 => 0.0,
+        3 => 1e9,
+        4 => -3.5,
+        _ => rng.random_range(-400..400) as f64 / 8.0,
+    }
+}
+
+fn random_text(rng: &mut StdRng) -> String {
+    if rng.random_range(0..3) == 0 {
+        HOSTILE_TEXTS[rng.random_range(0..HOSTILE_TEXTS.len())].to_string()
+    } else {
+        let len = rng.random_range(0..6);
+        (0..len)
+            .map(|_| (b'a' + rng.random_range(0..4u8)) as char)
+            .collect()
+    }
+}
+
+fn random_value(dtype: DataType, rng: &mut StdRng, profile: &DbProfile) -> Value {
+    match dtype {
+        // Small magnitudes: join/group hashing goes through f64 bits, which
+        // is only lossless below 2^53, and small domains force collisions.
+        DataType::Int => Value::Int(rng.random_range(-50..50)),
+        DataType::Float => Value::Float(random_float(rng, profile)),
+        DataType::Text => Value::Text(random_text(rng)),
+    }
+}
+
+/// Generates a random 2–4 table database under `profile`. Deterministic
+/// given the RNG state. Every table gets an `id` primary key; later tables
+/// may carry a foreign key into an earlier table's `id`, with some values
+/// deliberately dangling.
+pub fn random_database(rng: &mut StdRng, profile: &DbProfile) -> Database {
+    let n_tables = rng.random_range(2..=4);
+    let mut db = Database::new();
+    let mut built: Vec<(String, usize)> = Vec::new(); // (name, row count)
+
+    for ti in 0..n_tables {
+        let name = format!("t{ti}");
+        let mut schema = TableSchema::new(&name)
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key();
+
+        let fk = if !built.is_empty() && rng.random_range(0..10) < 7 {
+            let (parent, parent_rows) = built[rng.random_range(0..built.len())].clone();
+            schema = schema
+                .with_column(ColumnDef::new(format!("{parent}_id"), DataType::Int))
+                .with_foreign_key(parent, "id");
+            Some(parent_rows)
+        } else {
+            None
+        };
+
+        let n_extra = rng.random_range(1..=3);
+        let mut extra_types = Vec::with_capacity(n_extra);
+        for ci in 0..n_extra {
+            let dtype = match rng.random_range(0..3) {
+                0 => DataType::Int,
+                1 => DataType::Float,
+                _ => DataType::Text,
+            };
+            let def = if dtype == DataType::Text && rng.random_range(0..2) == 0 {
+                ColumnDef::categorical(format!("c{ci}"), dtype)
+            } else {
+                ColumnDef::new(format!("c{ci}"), dtype)
+            };
+            schema = schema.with_column(def);
+            extra_types.push(dtype);
+        }
+
+        let rows = if rng.random_range(0..4) == 0 {
+            profile.min_rows
+        } else {
+            rng.random_range(profile.min_rows..=profile.max_rows)
+        };
+        // A constant column makes every predicate on it all-or-nothing.
+        let constants: Vec<Option<Value>> = extra_types
+            .iter()
+            .map(|&t| (rng.random_range(0..7) == 0).then(|| random_value(t, rng, profile)))
+            .collect();
+
+        let mut table = Table::new(schema);
+        for r in 0..rows {
+            let mut row = vec![Value::Int(r as i64)];
+            if let Some(parent_rows) = fk {
+                // Mostly matching keys, some dangling on either side.
+                let hi = parent_rows as i64 + 2;
+                row.push(Value::Int(rng.random_range(-2..hi.max(1))));
+            }
+            for (ci, &t) in extra_types.iter().enumerate() {
+                row.push(match &constants[ci] {
+                    Some(v) => v.clone(),
+                    None => random_value(t, rng, profile),
+                });
+            }
+            table.push_row(row);
+        }
+        db.add_table(table);
+        built.push((name, rows));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_database(&mut StdRng::seed_from_u64(7), &DbProfile::default());
+        let b = random_database(&mut StdRng::seed_from_u64(7), &DbProfile::default());
+        assert_eq!(a.table_names(), b.table_names());
+        assert_eq!(a.total_rows(), b.total_rows());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn parseable_profile_keeps_tables_nonempty_and_floats_on_grid() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let db = random_database(&mut rng, &DbProfile::parseable());
+            for t in db.tables() {
+                assert!(t.row_count() >= 1, "{} is empty", t.name());
+                for col in &t.columns {
+                    for r in 0..t.row_count() {
+                        if let Value::Float(f) = col.get(r) {
+                            assert_eq!(f * 4.0, (f * 4.0).trunc(), "off-grid float {f}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The five invariant families the harness checks.
+//!
+//! Each check consumes one case RNG, generates its own inputs, and returns
+//! the number of individual assertions that passed, or a [`CheckFail`]
+//! describing the first violation (with a shrunk reproduction where the
+//! failing object is a statement).
+
+use crate::astgen::{self, GenOptions};
+use crate::dbgen::{self, DbProfile};
+use crate::oracle;
+use crate::shrink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlgen_engine::{
+    card::MAX_CARD, parse, render, validate, CostModel, CostParams, Estimator, Executor,
+    InsertSource, Predicate, Rhs, SelectQuery, Statement,
+};
+use sqlgen_fsm::{random_statement as fsm_rollout, FsmConfig, Vocabulary};
+use sqlgen_nn::{argmax, masked_softmax, sample_categorical};
+use sqlgen_storage::sample::SampleConfig;
+use sqlgen_storage::Database;
+
+/// A single invariant violation.
+#[derive(Debug, Clone)]
+pub struct CheckFail {
+    pub detail: String,
+    pub sql: Option<String>,
+    pub shrunk_sql: Option<String>,
+}
+
+impl CheckFail {
+    fn new(detail: impl Into<String>) -> Self {
+        CheckFail {
+            detail: detail.into(),
+            sql: None,
+            shrunk_sql: None,
+        }
+    }
+
+    fn with_stmt(
+        detail: impl Into<String>,
+        db: &Database,
+        stmt: &Statement,
+        still_fails: &mut dyn FnMut(&Statement) -> bool,
+    ) -> Self {
+        let shrunk = shrink::shrink_statement(db, stmt, shrink::DEFAULT_BUDGET, still_fails);
+        CheckFail {
+            detail: detail.into(),
+            sql: Some(render(stmt)),
+            shrunk_sql: Some(render(&shrunk)),
+        }
+    }
+}
+
+type CheckResult = Result<u64, CheckFail>;
+
+/// Structural AST equality, modulo two representation details:
+///
+/// * `Value`'s `PartialEq` is SQL-semantic (`Null != Null`, `NaN != NaN`),
+///   so `==` on statements containing a NULL literal is always false —
+///   Debug formatting compares the trees literally instead;
+/// * the renderer drops redundant parentheses around associative operators,
+///   so `a OR (b OR c)` and `(a OR b) OR c` produce identical SQL and the
+///   parser can only ever reconstruct its own (left-associative) shape —
+///   both trees are canonicalized to that shape before comparing.
+fn ast_eq(a: &Statement, b: &Statement) -> bool {
+    format!("{:?}", normalize_stmt(a)) == format!("{:?}", normalize_stmt(b))
+}
+
+fn normalize_stmt(stmt: &Statement) -> Statement {
+    let mut s = stmt.clone();
+    match &mut s {
+        Statement::Select(q) => normalize_select(q),
+        Statement::Insert(i) => {
+            if let InsertSource::Query(q) = &mut i.source {
+                normalize_select(q);
+            }
+        }
+        Statement::Update(u) => normalize_opt_pred(&mut u.predicate),
+        Statement::Delete(d) => normalize_opt_pred(&mut d.predicate),
+    }
+    s
+}
+
+fn normalize_select(q: &mut SelectQuery) {
+    normalize_opt_pred(&mut q.predicate);
+    if let Some(h) = &mut q.having {
+        if let Rhs::Subquery(sub) = &mut h.rhs {
+            normalize_select(sub);
+        }
+    }
+}
+
+fn normalize_opt_pred(p: &mut Option<Predicate>) {
+    if let Some(inner) = p.take() {
+        *p = Some(normalize_pred(inner));
+    }
+}
+
+/// Rebuilds same-operator `And`/`Or` chains left-associatively and recurses
+/// into subqueries. Mixed-operator subtrees keep their shape (the renderer
+/// parenthesizes those, so they round-trip exactly).
+fn normalize_pred(p: Predicate) -> Predicate {
+    match p {
+        Predicate::And(..) | Predicate::Or(..) => {
+            let is_and = matches!(p, Predicate::And(..));
+            let mut leaves = Vec::new();
+            flatten_chain(p, is_and, &mut leaves);
+            let mut it = leaves.into_iter();
+            let first = it.next().expect("chain has at least two leaves");
+            it.fold(first, |acc, x| {
+                if is_and {
+                    Predicate::And(Box::new(acc), Box::new(x))
+                } else {
+                    Predicate::Or(Box::new(acc), Box::new(x))
+                }
+            })
+        }
+        Predicate::Not(inner) => Predicate::Not(Box::new(normalize_pred(*inner))),
+        Predicate::Cmp { col, op, rhs } => Predicate::Cmp {
+            col,
+            op,
+            rhs: match rhs {
+                Rhs::Subquery(mut sub) => {
+                    normalize_select(&mut sub);
+                    Rhs::Subquery(sub)
+                }
+                v => v,
+            },
+        },
+        Predicate::In { col, mut sub } => {
+            normalize_select(&mut sub);
+            Predicate::In { col, sub }
+        }
+        Predicate::Exists { mut sub } => {
+            normalize_select(&mut sub);
+            Predicate::Exists { sub }
+        }
+        like @ Predicate::Like { .. } => like,
+    }
+}
+
+fn flatten_chain(p: Predicate, is_and: bool, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::And(a, b) if is_and => {
+            flatten_chain(*a, true, out);
+            flatten_chain(*b, true, out);
+        }
+        Predicate::Or(a, b) if !is_and => {
+            flatten_chain(*a, false, out);
+            flatten_chain(*b, false, out);
+        }
+        other => out.push(normalize_pred(other)),
+    }
+}
+
+const STATEMENTS_PER_CASE: usize = 4;
+
+/// (a) Round-trip: `parse(render(ast)) == ast` and rendering is a fixpoint.
+pub fn check_roundtrip(rng: &mut StdRng) -> CheckResult {
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let opts = GenOptions {
+        parseable_literals: true,
+        ..GenOptions::default()
+    };
+    let mut checks = 0;
+    for _ in 0..STATEMENTS_PER_CASE {
+        let stmt = astgen::random_statement(&db, rng, &opts);
+        if let Err(e) = validate(&db, &stmt) {
+            return Err(CheckFail {
+                detail: format!("generator produced invalid statement: {e}"),
+                sql: Some(render(&stmt)),
+                shrunk_sql: None,
+            });
+        }
+        let sql = render(&stmt);
+        let reparsed = match parse(&sql) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(CheckFail::with_stmt(
+                    format!("rendered SQL does not parse: {e}"),
+                    &db,
+                    &stmt,
+                    &mut |s| parse(&render(s)).is_err(),
+                ))
+            }
+        };
+        if !ast_eq(&reparsed, &stmt) {
+            return Err(CheckFail::with_stmt(
+                "parse(render(ast)) differs from ast",
+                &db,
+                &stmt,
+                &mut |s| parse(&render(s)).map_or(true, |r| !ast_eq(&r, s)),
+            ));
+        }
+        if render(&reparsed) != sql {
+            return Err(CheckFail::with_stmt(
+                "re-render is not a fixpoint",
+                &db,
+                &stmt,
+                &mut |s| {
+                    let sql = render(s);
+                    parse(&sql).map_or(true, |r| render(&r) != sql)
+                },
+            ));
+        }
+        checks += 3;
+    }
+    Ok(checks)
+}
+
+/// (b) Estimator sanity: estimates finite, non-negative and saturated;
+/// selectivities in `[0, 1]`; costs finite; adding a conjunct never raises
+/// the estimate.
+pub fn check_estimator(rng: &mut StdRng) -> CheckResult {
+    let db = dbgen::random_database(rng, &DbProfile::default());
+    let est = Estimator::build(&db);
+    let cost = CostModel::new(CostParams::default());
+    let opts = GenOptions::default();
+    let mut checks = 0;
+    for _ in 0..STATEMENTS_PER_CASE {
+        let stmt = astgen::random_statement(&db, rng, &opts);
+        validate(&db, &stmt)
+            .map_err(|e| CheckFail::new(format!("generator produced invalid statement: {e}")))?;
+
+        let c = est.cardinality(&stmt);
+        let sane = |x: f64| x.is_finite() && (0.0..=MAX_CARD).contains(&x);
+        if !sane(c) {
+            return Err(CheckFail::with_stmt(
+                format!("cardinality estimate {c} outside [0, {MAX_CARD:e}]"),
+                &db,
+                &stmt,
+                &mut |s| !sane(est.cardinality(s)),
+            ));
+        }
+        let k = cost.cost(&est, &stmt);
+        if !(k.is_finite() && k >= 0.0) {
+            return Err(CheckFail::with_stmt(
+                format!("cost estimate {k} not finite/non-negative"),
+                &db,
+                &stmt,
+                &mut |s| {
+                    let k = cost.cost(&est, s);
+                    !(k.is_finite() && k >= 0.0)
+                },
+            ));
+        }
+        checks += 2;
+
+        if let Some(q) = stmt.as_select() {
+            if let Some(p) = &q.predicate {
+                let s = est.selectivity(p);
+                if !(0.0..=1.0).contains(&s) {
+                    return Err(CheckFail::with_stmt(
+                        format!("selectivity {s} outside [0, 1]"),
+                        &db,
+                        &stmt,
+                        &mut |c| {
+                            c.as_select()
+                                .and_then(|q| q.predicate.as_ref())
+                                .is_some_and(|p| !(0.0..=1.0).contains(&est.selectivity(p)))
+                        },
+                    ));
+                }
+                checks += 1;
+            }
+
+            // Monotonicity: strengthening the WHERE clause cannot raise the
+            // estimate (selectivities multiply and are clamped to <= 1).
+            let scope: Vec<String> = q.from.tables().iter().map(|t| t.to_string()).collect();
+            let atom = astgen::random_atom(&db, &scope, rng, &opts, 1);
+            let base = est.select_cardinality(q);
+            let narrowed = with_conjunct(q, &atom);
+            let tightened = est.select_cardinality(&narrowed);
+            if tightened > base * (1.0 + 1e-9) + 1e-9 {
+                return Err(CheckFail {
+                    detail: format!(
+                        "adding conjunct raised estimate: {base} -> {tightened} (conjunct on {})",
+                        render(&Statement::Select(narrowed.clone()))
+                    ),
+                    sql: Some(render(&stmt)),
+                    shrunk_sql: None,
+                });
+            }
+            checks += 1;
+        }
+    }
+    Ok(checks)
+}
+
+fn with_conjunct(q: &sqlgen_engine::SelectQuery, atom: &Predicate) -> sqlgen_engine::SelectQuery {
+    let mut out = q.clone();
+    out.predicate = Some(match out.predicate.take() {
+        Some(p) => Predicate::And(Box::new(p), Box::new(atom.clone())),
+        None => atom.clone(),
+    });
+    out
+}
+
+/// (c) Differential execution: `Executor::cardinality` agrees with the
+/// naive oracle; filtering never increases cardinality (absent `HAVING`);
+/// the production `like_match` agrees with a naive recursive matcher.
+pub fn check_differential(rng: &mut StdRng) -> CheckResult {
+    let db = dbgen::random_database(rng, &DbProfile::default());
+    let ex = Executor::new(&db);
+    let opts = GenOptions::default();
+    let mut checks = 0;
+
+    for _ in 0..STATEMENTS_PER_CASE {
+        let stmt = astgen::random_statement(&db, rng, &opts);
+        validate(&db, &stmt)
+            .map_err(|e| CheckFail::new(format!("generator produced invalid statement: {e}")))?;
+
+        let got = ex.cardinality(&stmt);
+        let want = oracle::cardinality(&db, &stmt);
+        let agree = |s: &Statement| match (ex.cardinality(s), oracle::cardinality(&db, s)) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !agree(&stmt) {
+            return Err(CheckFail::with_stmt(
+                format!("executor {got:?} != oracle {want:?}"),
+                &db,
+                &stmt,
+                &mut |s| !agree(s),
+            ));
+        }
+        checks += 1;
+
+        // A WHERE clause can only discard tuples. (HAVING breaks the
+        // subset argument: a group failing HAVING unfiltered may pass it
+        // filtered, so the bound only holds without one.)
+        if let Some(q) = stmt.as_select() {
+            if q.predicate.is_some() && q.having.is_none() {
+                let mut unfiltered = q.clone();
+                unfiltered.predicate = None;
+                if let (Ok(a), Ok(b)) = (
+                    ex.cardinality(&stmt),
+                    ex.cardinality(&Statement::Select(unfiltered)),
+                ) {
+                    if a > b {
+                        return Err(CheckFail {
+                            detail: format!("filtered cardinality {a} > unfiltered {b}"),
+                            sql: Some(render(&stmt)),
+                            shrunk_sql: None,
+                        });
+                    }
+                    checks += 1;
+                }
+            }
+        }
+    }
+
+    // LIKE differential on raw pattern/text pairs.
+    const ALPHABET: &[char] = &['a', 'b', '%', '_', '\\', '\'', '\u{e9}'];
+    for _ in 0..8 {
+        let pattern: String = (0..rng.random_range(0..8))
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+            .collect();
+        let text: String = (0..rng.random_range(0..10))
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+            .collect();
+        let got = sqlgen_engine::like_match(&pattern, &text);
+        let want = oracle::like_oracle(&pattern, &text);
+        if got != want {
+            return Err(CheckFail::new(format!(
+                "like_match({pattern:?}, {text:?}) = {got}, oracle says {want}"
+            )));
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+/// (d) FSM closure: every masked rollout renders SQL that parses back to
+/// the same text, validates, and executes.
+pub fn check_fsm_closure(rng: &mut StdRng) -> CheckResult {
+    // Non-empty tables: the action space needs at least one sampled value
+    // per column to offer predicates.
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 8,
+            seed: rng.random(),
+            ..Default::default()
+        },
+    );
+    let cfg = FsmConfig::full();
+    let ex = Executor::new(&db);
+    let mut rollout_rng = StdRng::seed_from_u64(rng.random());
+    let mut checks = 0;
+    for _ in 0..6 {
+        let (stmt, _) = fsm_rollout(&vocab, &cfg, &mut rollout_rng);
+        let sql = render(&stmt);
+        let fail = |what: &str, e: String| CheckFail {
+            detail: format!("FSM rollout {what}: {e}"),
+            sql: Some(sql.clone()),
+            shrunk_sql: None,
+        };
+        let reparsed = parse(&sql).map_err(|e| fail("does not parse", e.to_string()))?;
+        if render(&reparsed) != sql {
+            return Err(fail("re-render differs", render(&reparsed)));
+        }
+        validate(&db, &stmt).map_err(|e| fail("fails validation", e.to_string()))?;
+        ex.cardinality(&stmt)
+            .map_err(|e| fail("fails execution", e.to_string()))?;
+        checks += 4;
+    }
+    Ok(checks)
+}
+
+/// (e) NN numeric hygiene: masked softmax, sampling and argmax stay in
+/// bounds and never produce non-finite probabilities, even on hostile
+/// logits.
+pub fn check_nn_numerics(rng: &mut StdRng) -> CheckResult {
+    let mut checks = 0;
+    for _ in 0..16 {
+        let n = rng.random_range(1..=24);
+        let mut logits: Vec<f32> = (0..n)
+            .map(|_| match rng.random_range(0..12) {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => (rng.random_range(-800..800) as f32) / 100.0,
+            })
+            .collect();
+        let mask: Vec<bool> = match rng.random_range(0..6) {
+            0 => vec![false; n],
+            1 => vec![true; n],
+            _ => (0..n).map(|_| rng.random_range(0..3) > 0).collect(),
+        };
+
+        let picked = masked_softmax(&mut logits, &mask);
+        if picked > n {
+            return Err(CheckFail::new(format!(
+                "masked_softmax returned count {picked} > {n}"
+            )));
+        }
+        let mut sum = 0.0f32;
+        for (i, (&p, &m)) in logits.iter().zip(&mask).enumerate() {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(CheckFail::new(format!(
+                    "softmax prob[{i}] = {p} not in [0, 1]"
+                )));
+            }
+            if !m && p != 0.0 {
+                return Err(CheckFail::new(format!(
+                    "masked slot {i} got probability {p}"
+                )));
+            }
+            sum += p;
+        }
+        if sum != 0.0 && (sum - 1.0).abs() > 1e-4 {
+            return Err(CheckFail::new(format!("softmax sum {sum} != 1")));
+        }
+
+        let s = sample_categorical(&logits, rng);
+        if s >= n {
+            return Err(CheckFail::new(format!("sample index {s} out of range {n}")));
+        }
+        if sum > 0.0 && logits[s] == 0.0 {
+            return Err(CheckFail::new(format!(
+                "sampled zero-probability slot {s} despite positive mass"
+            )));
+        }
+        let a = argmax(&logits);
+        if a >= n {
+            return Err(CheckFail::new(format!("argmax index {a} out of range {n}")));
+        }
+
+        // Sampling over raw hostile probability vectors (bypassing softmax)
+        // must stay in bounds too.
+        let hostile: Vec<f32> = (0..n)
+            .map(|_| match rng.random_range(0..4) {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                _ => rng.random_range(0..100) as f32 / 100.0,
+            })
+            .collect();
+        let h = sample_categorical(&hostile, rng);
+        if h >= n {
+            return Err(CheckFail::new(format!(
+                "hostile sample index {h} out of range {n}"
+            )));
+        }
+        if argmax(&hostile) >= n {
+            return Err(CheckFail::new("hostile argmax out of range".to_string()));
+        }
+        checks += 7;
+    }
+    Ok(checks)
+}

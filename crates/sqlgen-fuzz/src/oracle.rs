@@ -1,0 +1,522 @@
+//! A naive reference implementation of query evaluation.
+//!
+//! The production executor hash-joins, pre-compiles predicates and indexes
+//! columns; this oracle does none of that. It materializes joined tuples
+//! with nested loops, evaluates predicates row by row and aggregates with
+//! the same fold the executor uses, in the same tuple order — so float
+//! results are bit-identical and cardinalities must agree exactly. Any
+//! divergence is a bug in one of the two.
+//!
+//! Equality rules are mirrored deliberately: joins, `IN` and `GROUP BY` in
+//! the executor go through a hashed normalization where `Int` and `Float`
+//! share a key space, `-0.0` keys like `0.0`, and `NaN` matches nothing in
+//! joins/`IN` but forms a single `GROUP BY` group.
+
+use sqlgen_engine::{
+    AggFunc, ColRef, InsertSource, Predicate, Rhs, SelectItem, SelectQuery, Statement,
+};
+use sqlgen_storage::{Database, Table, Value};
+
+/// Oracle-side evaluation error (message only; the differential check only
+/// compares *whether* the two sides fail, not the exact error).
+pub type OracleError = String;
+
+/// Cardinality by naive evaluation: result rows for `SELECT`, affected rows
+/// for DML (dry run, like `Executor::cardinality`).
+pub fn cardinality(db: &Database, stmt: &Statement) -> Result<u64, OracleError> {
+    match stmt {
+        Statement::Select(q) => Ok(select_rows(db, q)?.len() as u64),
+        Statement::Insert(i) => match &i.source {
+            InsertSource::Values(_) => {
+                db.table(&i.table).ok_or("unknown table")?;
+                Ok(1)
+            }
+            InsertSource::Query(q) => Ok(select_rows(db, q)?.len() as u64),
+        },
+        Statement::Update(u) => matching_count(db, &u.table, u.predicate.as_ref()),
+        Statement::Delete(d) => matching_count(db, &d.table, d.predicate.as_ref()),
+    }
+}
+
+/// Fully materialized `SELECT` result (unordered; `ORDER BY` never changes
+/// the row multiset).
+pub fn select_rows(db: &Database, q: &SelectQuery) -> Result<Vec<Vec<Value>>, OracleError> {
+    let table_names = q.from.tables();
+    let tables: Vec<&Table> = table_names
+        .iter()
+        .map(|t| db.table(t).ok_or_else(|| format!("unknown table {t}")))
+        .collect::<Result<_, _>>()?;
+
+    // Nested-loop join in the executor's tuple order: base rows ascending,
+    // each join appending matching right rows ascending.
+    let mut tuples: Vec<Vec<usize>> = (0..tables[0].row_count()).map(|i| vec![i]).collect();
+    for (join_no, join) in q.from.joins.iter().enumerate() {
+        let right_slot = join_no + 1;
+        let left_slot = table_names[..right_slot]
+            .iter()
+            .position(|t| *t == join.left.table)
+            .ok_or("join left table not in scope")?;
+        let left_col = column_of(tables[left_slot], &join.left.column)?;
+        let right_col = column_of(tables[right_slot], &join.right.column)?;
+        let mut next = Vec::new();
+        for t in &tuples {
+            let lv = left_col.get(t[left_slot]);
+            for r in 0..tables[right_slot].row_count() {
+                if eq_vals(&lv, &right_col.get(r)) {
+                    let mut nt = t.clone();
+                    nt.push(r);
+                    next.push(nt);
+                }
+            }
+        }
+        tuples = next;
+    }
+
+    // Subqueries evaluate once per query, before any row is filtered — the
+    // executor compiles them eagerly, so e.g. a non-scalar subquery errors
+    // even under a short-circuiting OR.
+    let pred = match &q.predicate {
+        Some(p) => Some(compile(db, p, &table_names)?),
+        None => None,
+    };
+    let kept: Vec<&Vec<usize>> = tuples
+        .iter()
+        .filter(|t| pred.as_ref().is_none_or(|p| eval(p, t, &tables)))
+        .collect();
+
+    if q.is_aggregate() {
+        aggregate(db, q, &table_names, &tables, &kept)
+    } else {
+        let items = resolve_items(q, &table_names, &tables)?;
+        Ok(kept
+            .iter()
+            .map(|t| {
+                items
+                    .iter()
+                    .map(|&(slot, c)| tables[slot].columns[c].get(t[slot]))
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+fn matching_count(
+    db: &Database,
+    table: &str,
+    pred: Option<&Predicate>,
+) -> Result<u64, OracleError> {
+    let t = db
+        .table(table)
+        .ok_or_else(|| format!("unknown table {table}"))?;
+    let names = [table];
+    let compiled = match pred {
+        Some(p) => Some(compile(db, p, &names)?),
+        None => None,
+    };
+    let tables = vec![t];
+    let mut n = 0;
+    for row in 0..t.row_count() {
+        let tup = vec![row];
+        if compiled.as_ref().is_none_or(|p| eval(p, &tup, &tables)) {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+// --- value equality ------------------------------------------------------
+
+/// Numeric key bits, mirroring the executor's hashed normalization.
+/// `None` for NaN (equal to nothing) and for non-numeric values.
+fn num_bits(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => Some((*i as f64).to_bits()),
+        Value::Float(f) if f.is_nan() => None,
+        Value::Float(f) => Some(if *f == 0.0 { 0.0f64 } else { *f }.to_bits()),
+        _ => None,
+    }
+}
+
+/// Join/`IN` equality: the relation induced by the executor's hash keys.
+fn eq_vals(a: &Value, b: &Value) -> bool {
+    if let (Some(x), Some(y)) = (num_bits(a), num_bits(b)) {
+        return x == y;
+    }
+    match (a, b) {
+        (Value::Text(x), Value::Text(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        _ => false,
+    }
+}
+
+/// `GROUP BY` key, where (unlike joins) every NaN lands in one group.
+#[derive(PartialEq)]
+enum GroupKey {
+    Null,
+    Num(u64),
+    Text(String),
+}
+
+fn group_key(v: &Value) -> GroupKey {
+    match v {
+        Value::Null => GroupKey::Null,
+        Value::Text(s) => GroupKey::Text(s.clone()),
+        Value::Int(_) | Value::Float(_) => match num_bits(v) {
+            Some(bits) => GroupKey::Num(bits),
+            None => GroupKey::Num(f64::NAN.to_bits()),
+        },
+    }
+}
+
+// --- predicates ----------------------------------------------------------
+
+enum OPred {
+    Cmp {
+        slot: usize,
+        col: usize,
+        op: sqlgen_engine::CmpOp,
+        value: Option<Value>,
+    },
+    In {
+        slot: usize,
+        col: usize,
+        set: Vec<Value>,
+    },
+    Like {
+        slot: usize,
+        col: usize,
+        pattern: String,
+    },
+    Const(bool),
+    Not(Box<OPred>),
+    And(Box<OPred>, Box<OPred>),
+    Or(Box<OPred>, Box<OPred>),
+}
+
+fn compile(db: &Database, p: &Predicate, tables: &[&str]) -> Result<OPred, OracleError> {
+    Ok(match p {
+        Predicate::Cmp { col, op, rhs } => {
+            let (slot, cidx) = resolve(db, col, tables)?;
+            let value = match rhs {
+                Rhs::Value(v) => Some(v.clone()),
+                Rhs::Subquery(sub) => scalar(db, sub)?,
+            };
+            OPred::Cmp {
+                slot,
+                col: cidx,
+                op: *op,
+                value,
+            }
+        }
+        Predicate::In { col, sub } => {
+            let (slot, cidx) = resolve(db, col, tables)?;
+            let rows = select_rows(db, sub)?;
+            let mut set = Vec::new();
+            for row in rows {
+                if row.len() != 1 {
+                    return Err("subquery must return a single column".into());
+                }
+                set.push(row.into_iter().next().expect("checked len"));
+            }
+            OPred::In {
+                slot,
+                col: cidx,
+                set,
+            }
+        }
+        Predicate::Like { col, pattern } => {
+            let (slot, cidx) = resolve(db, col, tables)?;
+            OPred::Like {
+                slot,
+                col: cidx,
+                pattern: pattern.clone(),
+            }
+        }
+        Predicate::Exists { sub } => OPred::Const(!select_rows(db, sub)?.is_empty()),
+        Predicate::Not(inner) => OPred::Not(Box::new(compile(db, inner, tables)?)),
+        Predicate::And(a, b) => OPred::And(
+            Box::new(compile(db, a, tables)?),
+            Box::new(compile(db, b, tables)?),
+        ),
+        Predicate::Or(a, b) => OPred::Or(
+            Box::new(compile(db, a, tables)?),
+            Box::new(compile(db, b, tables)?),
+        ),
+    })
+}
+
+fn scalar(db: &Database, sub: &SelectQuery) -> Result<Option<Value>, OracleError> {
+    let rows = select_rows(db, sub)?;
+    if rows.is_empty() {
+        return Ok(None); // SQL NULL
+    }
+    if rows.len() > 1 {
+        return Err("scalar subquery returned more than one row".into());
+    }
+    if rows[0].len() != 1 {
+        return Err("subquery must return a single column".into());
+    }
+    Ok(Some(rows[0][0].clone()))
+}
+
+fn eval(p: &OPred, tuple: &[usize], tables: &[&Table]) -> bool {
+    match p {
+        OPred::Cmp {
+            slot,
+            col,
+            op,
+            value,
+        } => match value {
+            Some(v) => {
+                let lhs = tables[*slot].columns[*col].get(tuple[*slot]);
+                op.eval(lhs.try_cmp(v))
+            }
+            None => false,
+        },
+        OPred::In { slot, col, set } => {
+            let lhs = tables[*slot].columns[*col].get(tuple[*slot]);
+            set.iter().any(|v| eq_vals(&lhs, v))
+        }
+        OPred::Like { slot, col, pattern } => match tables[*slot].columns[*col].get(tuple[*slot]) {
+            Value::Text(s) => like_oracle(pattern, &s),
+            _ => false,
+        },
+        OPred::Const(b) => *b,
+        OPred::Not(inner) => !eval(inner, tuple, tables),
+        OPred::And(a, b) => eval(a, tuple, tables) && eval(b, tuple, tables),
+        OPred::Or(a, b) => eval(a, tuple, tables) || eval(b, tuple, tables),
+    }
+}
+
+// --- projection / aggregation -------------------------------------------
+
+fn aggregate(
+    db: &Database,
+    q: &SelectQuery,
+    table_names: &[&str],
+    tables: &[&Table],
+    kept: &[&Vec<usize>],
+) -> Result<Vec<Vec<Value>>, OracleError> {
+    let group_cols: Vec<(usize, usize)> = q
+        .group_by
+        .iter()
+        .map(|c| resolve(db, c, table_names))
+        .collect::<Result<_, _>>()?;
+
+    // Insertion-ordered grouping; members stay in kept order so aggregate
+    // folds visit values exactly as the executor does.
+    let mut groups: Vec<(Vec<GroupKey>, Vec<&Vec<usize>>)> = Vec::new();
+    if group_cols.is_empty() {
+        groups.push((Vec::new(), kept.to_vec()));
+    } else {
+        for t in kept {
+            let key: Vec<GroupKey> = group_cols
+                .iter()
+                .map(|&(slot, c)| group_key(&tables[slot].columns[c].get(t[slot])))
+                .collect();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(t),
+                None => groups.push((key, vec![t])),
+            }
+        }
+    }
+
+    let having = match &q.having {
+        Some(h) => {
+            let (slot, col) = resolve(db, &h.col, table_names)?;
+            let value = match &h.rhs {
+                Rhs::Value(v) => Some(v.clone()),
+                Rhs::Subquery(sub) => scalar(db, sub)?,
+            };
+            Some((h.agg, slot, col, h.op, value))
+        }
+        None => None,
+    };
+
+    let mut rows = Vec::new();
+    for (_key, members) in &groups {
+        if let Some((agg, slot, col, op, rhs)) = &having {
+            let v = compute_agg(*agg, *slot, *col, members, tables)?;
+            let pass = match rhs {
+                Some(r) => op.eval(v.try_cmp(r)),
+                None => false,
+            };
+            if !pass {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(q.select.len());
+        for item in &q.select {
+            let (slot, col) = resolve(db, item.col_ref(), table_names)?;
+            row.push(match item {
+                SelectItem::Agg(f, _) => compute_agg(*f, slot, col, members, tables)?,
+                SelectItem::Column(_) => members
+                    .first()
+                    .map(|t| tables[slot].columns[col].get(t[slot]))
+                    .unwrap_or(Value::Null),
+            });
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Same fold, same order as the executor's `compute_agg`, so float sums are
+/// bit-identical.
+fn compute_agg(
+    f: AggFunc,
+    slot: usize,
+    col: usize,
+    members: &[&Vec<usize>],
+    tables: &[&Table],
+) -> Result<Value, OracleError> {
+    if f == AggFunc::Count {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    let mut acc: Option<f64> = None;
+    let mut sum = 0.0;
+    for t in members {
+        let v = tables[slot].columns[col].get(t[slot]);
+        let x = v
+            .as_f64()
+            .ok_or_else(|| format!("{} over non-numeric column", f.name()))?;
+        sum += x;
+        acc = Some(match (acc, f) {
+            (None, _) => x,
+            (Some(a), AggFunc::Max) => a.max(x),
+            (Some(a), AggFunc::Min) => a.min(x),
+            (Some(a), _) => a,
+        });
+    }
+    let n = members.len();
+    Ok(match f {
+        AggFunc::Count => unreachable!("handled above"),
+        AggFunc::Max | AggFunc::Min => acc.map(Value::Float).unwrap_or(Value::Null),
+        AggFunc::Sum if n == 0 => Value::Null,
+        AggFunc::Sum => Value::Float(sum),
+        AggFunc::Avg if n == 0 => Value::Null,
+        AggFunc::Avg => Value::Float(sum / n as f64),
+    })
+}
+
+fn resolve(db: &Database, col: &ColRef, tables: &[&str]) -> Result<(usize, usize), OracleError> {
+    let slot = tables
+        .iter()
+        .position(|t| *t == col.table)
+        .ok_or_else(|| format!("table {} not in scope", col.table))?;
+    let cidx = db
+        .schema(&col.table)
+        .and_then(|s| s.column_index(&col.column))
+        .ok_or_else(|| format!("unknown column {col}"))?;
+    Ok((slot, cidx))
+}
+
+fn resolve_items(
+    q: &SelectQuery,
+    table_names: &[&str],
+    tables: &[&Table],
+) -> Result<Vec<(usize, usize)>, OracleError> {
+    if q.select.is_empty() {
+        // SELECT *
+        let mut out = Vec::new();
+        for (slot, t) in tables.iter().enumerate() {
+            for c in 0..t.schema.columns.len() {
+                out.push((slot, c));
+            }
+        }
+        return Ok(out);
+    }
+    q.select
+        .iter()
+        .map(|item| {
+            let col = item.col_ref();
+            let slot = table_names
+                .iter()
+                .position(|t| *t == col.table)
+                .ok_or_else(|| format!("table {} not in scope", col.table))?;
+            let cidx = tables[slot]
+                .schema
+                .column_index(&col.column)
+                .ok_or_else(|| format!("unknown column {col}"))?;
+            Ok((slot, cidx))
+        })
+        .collect()
+}
+
+fn column_of<'a>(table: &'a Table, name: &str) -> Result<&'a sqlgen_storage::Column, OracleError> {
+    table
+        .column(name)
+        .ok_or_else(|| format!("unknown column {}.{}", table.name(), name))
+}
+
+// --- LIKE ----------------------------------------------------------------
+
+/// Naive recursive `LIKE` matcher, escape-aware: `\x` matches `x` literally
+/// (a trailing lone `\` matches itself), `%` any run, `_` one char.
+/// Exponential in the worst case — fine for fuzz-sized inputs — and written
+/// independently of the iterative production matcher it cross-checks.
+pub fn like_oracle(pattern: &str, text: &str) -> bool {
+    #[derive(Clone, Copy)]
+    enum Tok {
+        Lit(char),
+        One,
+        Any,
+    }
+    let mut toks = Vec::new();
+    let mut it = pattern.chars();
+    while let Some(c) = it.next() {
+        toks.push(match c {
+            '\\' => Tok::Lit(it.next().unwrap_or('\\')),
+            '%' => Tok::Any,
+            '_' => Tok::One,
+            c => Tok::Lit(c),
+        });
+    }
+    let text: Vec<char> = text.chars().collect();
+
+    fn rec(p: &[Tok], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(Tok::Any) => rec(&p[1..], t) || (!t.is_empty() && rec(p, &t[1..])),
+            Some(Tok::One) => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(Tok::Lit(c)) => t.first() == Some(c) && rec(&p[1..], &t[1..]),
+        }
+    }
+    rec(&toks, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_oracle_basics() {
+        assert!(like_oracle("a%", "abc"));
+        assert!(like_oracle("%b%", "abc"));
+        assert!(like_oracle("a_c", "abc"));
+        assert!(!like_oracle("a_c", "abxc"));
+        assert!(like_oracle("", ""));
+        assert!(!like_oracle("", "x"));
+        assert!(like_oracle("%%", ""));
+    }
+
+    #[test]
+    fn like_oracle_escapes() {
+        assert!(like_oracle(r"50\%", "50%"));
+        assert!(!like_oracle(r"50\%", "500"));
+        assert!(like_oracle(r"a\_b", "a_b"));
+        assert!(!like_oracle(r"a\_b", "axb"));
+        assert!(like_oracle(r"c:\\tmp", r"c:\tmp"));
+        assert!(like_oracle("ab\\", "ab\\"));
+    }
+
+    #[test]
+    fn nan_matches_nothing_but_groups_once() {
+        let nan = Value::Float(f64::NAN);
+        assert!(!eq_vals(&nan, &nan));
+        assert!(!eq_vals(&nan, &Value::Float(1.0)));
+        assert!(group_key(&nan) == group_key(&Value::Float(f64::NAN)));
+        assert!(eq_vals(&Value::Float(-0.0), &Value::Float(0.0)));
+        assert!(eq_vals(&Value::Int(3), &Value::Float(3.0)));
+    }
+}

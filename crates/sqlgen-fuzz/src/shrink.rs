@@ -1,0 +1,209 @@
+//! Greedy shrinking of failing statements to minimal reproductions.
+//!
+//! Given a statement and a "still fails" closure, repeatedly try structural
+//! reductions — drop clauses, replace predicates with their subtrees, drop
+//! the last join, zero out literals — and keep any candidate that is still
+//! valid for the database *and* still fails. Validity is re-checked because
+//! a reduction can break well-formedness (e.g. dropping `GROUP BY` under a
+//! mixed select list), which would change what the failure means.
+
+use sqlgen_engine::{render, validate, Predicate, Rhs, SelectQuery, Statement};
+use sqlgen_storage::{Database, Value};
+
+/// Upper bound on candidate evaluations per shrink.
+pub const DEFAULT_BUDGET: u32 = 200;
+
+/// Shrinks `stmt` while `still_fails` holds. Returns the smallest failing
+/// statement found (possibly the input itself).
+pub fn shrink_statement(
+    db: &Database,
+    stmt: &Statement,
+    budget: u32,
+    still_fails: &mut dyn FnMut(&Statement) -> bool,
+) -> Statement {
+    let mut best = stmt.clone();
+    let mut best_size = render(&best).len();
+    let mut budget = budget;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if budget == 0 {
+                return best;
+            }
+            budget -= 1;
+            let size = render(&cand).len();
+            if size >= best_size {
+                continue;
+            }
+            if validate(db, &cand).is_ok() && still_fails(&cand) {
+                best = cand;
+                best_size = size;
+                improved = true;
+                break; // restart from the smaller statement
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn candidates(stmt: &Statement) -> Vec<Statement> {
+    match stmt {
+        Statement::Select(q) => select_candidates(q)
+            .into_iter()
+            .map(Statement::Select)
+            .collect(),
+        Statement::Insert(_) => Vec::new(),
+        Statement::Update(u) => {
+            let mut out = Vec::new();
+            for p in pred_candidates(&u.predicate) {
+                let mut c = u.clone();
+                c.predicate = p;
+                out.push(Statement::Update(c));
+            }
+            if u.sets.len() > 1 {
+                let mut c = u.clone();
+                c.sets.truncate(1);
+                out.push(Statement::Update(c));
+            }
+            out
+        }
+        Statement::Delete(d) => pred_candidates(&d.predicate)
+            .into_iter()
+            .map(|p| {
+                let mut c = d.clone();
+                c.predicate = p;
+                Statement::Delete(c)
+            })
+            .collect(),
+    }
+}
+
+fn select_candidates(q: &SelectQuery) -> Vec<SelectQuery> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut SelectQuery)| {
+        let mut c = q.clone();
+        f(&mut c);
+        out.push(c);
+    };
+    if !q.order_by.is_empty() {
+        push(&|c| c.order_by.clear());
+    }
+    if q.having.is_some() {
+        push(&|c| c.having = None);
+    }
+    if !q.group_by.is_empty() {
+        push(&|c| {
+            c.group_by.clear();
+            c.having = None;
+        });
+    }
+    if q.select.len() > 1 {
+        push(&|c| c.select.truncate(1));
+    }
+    if !q.from.joins.is_empty() {
+        // References into the dropped table make the candidate invalid;
+        // the validity re-check filters those out.
+        push(&|c| {
+            c.from.joins.pop();
+        });
+    }
+    for p in pred_candidates(&q.predicate) {
+        let mut c = q.clone();
+        c.predicate = p;
+        out.push(c);
+    }
+    out
+}
+
+/// `None` plus every direct subtree plus a literal-zeroing pass.
+fn pred_candidates(p: &Option<Predicate>) -> Vec<Option<Predicate>> {
+    let Some(p) = p else { return Vec::new() };
+    let mut out = vec![None];
+    match p {
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            out.push(Some((**a).clone()));
+            out.push(Some((**b).clone()));
+        }
+        Predicate::Not(inner) => out.push(Some((**inner).clone())),
+        _ => {}
+    }
+    let zeroed = zero_literals(p);
+    if zeroed != *p {
+        out.push(Some(zeroed));
+    }
+    out
+}
+
+fn zero_literals(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::Cmp { col, op, rhs } => Predicate::Cmp {
+            col: col.clone(),
+            op: *op,
+            rhs: match rhs {
+                Rhs::Value(v) => Rhs::Value(match v {
+                    Value::Int(_) => Value::Int(0),
+                    Value::Float(_) => Value::Float(0.0),
+                    Value::Text(_) => Value::Text(String::new()),
+                    Value::Null => Value::Null,
+                }),
+                sub => sub.clone(),
+            },
+        },
+        Predicate::Like { col, .. } => Predicate::Like {
+            col: col.clone(),
+            pattern: "%".into(),
+        },
+        Predicate::Not(inner) => Predicate::Not(Box::new(zero_literals(inner))),
+        Predicate::And(a, b) => {
+            Predicate::And(Box::new(zero_literals(a)), Box::new(zero_literals(b)))
+        }
+        Predicate::Or(a, b) => {
+            Predicate::Or(Box::new(zero_literals(a)), Box::new(zero_literals(b)))
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_engine::parse;
+    use sqlgen_storage::{ColumnDef, DataType, Table, TableSchema};
+
+    fn fixture() -> Database {
+        let mut t = Table::new(
+            TableSchema::new("student")
+                .with_column(ColumnDef::new("id", DataType::Int))
+                .with_primary_key()
+                .with_column(ColumnDef::new("name", DataType::Text)),
+        );
+        for (i, name) in ["ann", "bob", "eve"].iter().enumerate() {
+            t.push_row(vec![Value::Int(i as i64), Value::Text(name.to_string())]);
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        db
+    }
+
+    /// Shrinking a query that "fails" whenever it contains a LIKE keeps the
+    /// LIKE but strips every other clause.
+    #[test]
+    fn shrinks_to_minimal_failing_statement() {
+        let db = fixture();
+        let sql = "SELECT student.name FROM student \
+                   WHERE (student.name LIKE '%a%' OR student.id > 3) AND student.id < 9 \
+                   ORDER BY student.name";
+        let stmt = parse(sql).unwrap();
+        let shrunk = shrink_statement(&db, &stmt, DEFAULT_BUDGET, &mut |s| {
+            render(s).contains("LIKE")
+        });
+        let out = render(&shrunk);
+        assert!(out.contains("LIKE"), "{out}");
+        assert!(!out.contains("ORDER BY"), "{out}");
+        assert!(!out.contains("AND"), "{out}");
+        assert!(out.len() < sql.len(), "{out}");
+        assert!(validate(&db, &shrunk).is_ok());
+    }
+}

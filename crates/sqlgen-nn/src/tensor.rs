@@ -192,23 +192,41 @@ pub fn dtanh(y: f32) -> f32 {
 /// In-place numerically-stable softmax over `logits`, restricted to the
 /// indices where `mask` is true; masked entries get probability 0.
 /// Returns the number of unmasked entries.
+///
+/// Non-finite unmasked logits (NaN / ±inf from a training overflow) are
+/// excluded from the distribution; if *no* unmasked logit is finite the
+/// result is uniform over the unmasked entries. For all-finite inputs the
+/// output is bit-identical to a plain masked softmax.
 pub fn masked_softmax(logits: &mut [f32], mask: &[bool]) -> usize {
     debug_assert_eq!(logits.len(), mask.len());
     let mut max = f32::NEG_INFINITY;
     let mut count = 0;
+    let mut finite = 0;
     for (l, &m) in logits.iter().zip(mask) {
         if m {
-            max = max.max(*l);
             count += 1;
+            if l.is_finite() {
+                max = max.max(*l);
+                finite += 1;
+            }
         }
     }
     if count == 0 {
         logits.iter_mut().for_each(|l| *l = 0.0);
         return 0;
     }
+    if finite == 0 {
+        let p = 1.0 / count as f32;
+        for (l, &m) in logits.iter_mut().zip(mask) {
+            *l = if m { p } else { 0.0 };
+        }
+        return count;
+    }
+    // The max is over finite entries only, so every exp() is in (0, 1] and
+    // the sum is a finite value >= 1.
     let mut sum = 0.0f32;
     for (l, &m) in logits.iter_mut().zip(mask) {
-        if m {
+        if m && l.is_finite() {
             *l = (*l - max).exp();
             sum += *l;
         } else {
@@ -231,30 +249,60 @@ pub fn entropy(probs: &[f32]) -> f32 {
 }
 
 /// Samples an index from a probability distribution using one uniform draw.
+///
+/// If any entry is non-finite (an upstream overflow leaked through), the
+/// cumulative walk would silently degenerate — `acc` goes NaN and every
+/// comparison fails — so instead the draw falls back to a uniform choice
+/// over the finite positive entries (then any finite entry, then index 0).
+/// Exactly one RNG draw happens on every path, so the random stream is
+/// unchanged for well-formed inputs.
 pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
     let u: f32 = rng.random();
-    let mut acc = 0.0;
-    let mut last_nonzero = 0;
-    for (i, &p) in probs.iter().enumerate() {
-        if p > 0.0 {
-            last_nonzero = i;
-            acc += p;
-            if u < acc {
-                return i;
+    if probs.iter().all(|p| p.is_finite()) {
+        let mut acc = 0.0;
+        let mut last_nonzero = 0;
+        for (i, &p) in probs.iter().enumerate() {
+            if p > 0.0 {
+                last_nonzero = i;
+                acc += p;
+                if u < acc {
+                    return i;
+                }
             }
         }
+        return last_nonzero;
     }
-    last_nonzero
+    let uniform_over = |keep: fn(f32) -> bool| -> Option<usize> {
+        let n = probs.iter().filter(|&&p| keep(p)).count();
+        if n == 0 {
+            return None;
+        }
+        let k = ((u * n as f32) as usize).min(n - 1);
+        probs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| keep(p))
+            .nth(k)
+            .map(|(i, _)| i)
+    };
+    uniform_over(|p| p.is_finite() && p > 0.0)
+        .or_else(|| uniform_over(|p| p.is_finite()))
+        .unwrap_or(0)
 }
 
-/// Argmax over a probability vector (greedy decoding).
+/// Argmax over a probability vector (greedy decoding). Non-finite entries
+/// are treated as minimal rather than panicking; if nothing is finite the
+/// result falls back to index 0.
 pub fn argmax(probs: &[f32]) -> usize {
-    probs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN prob"))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &p) in probs.iter().enumerate() {
+        if p.is_finite() && p > best_v {
+            best = i;
+            best_v = p;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -395,5 +443,76 @@ mod tests {
     #[test]
     fn argmax_picks_largest() {
         assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+    }
+
+    #[test]
+    fn argmax_ignores_non_finite() {
+        // Regression: used to panic with "NaN prob" on any non-finite entry.
+        assert_eq!(argmax(&[0.1, f32::NAN, 0.7, 0.2]), 2);
+        assert_eq!(argmax(&[f32::INFINITY, 0.3, 0.1]), 1);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn sampling_survives_non_finite_probs() {
+        // Regression: a NaN in the prefix used to poison `acc`, so the walk
+        // silently returned `last_nonzero` regardless of the draw.
+        let mut rng = StdRng::seed_from_u64(9);
+        let probs = [f32::NAN, 0.5, 0.5, f32::INFINITY];
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            let i = sample_categorical(&probs, &mut rng);
+            assert!(probs[i].is_finite() && probs[i] > 0.0, "picked index {i}");
+            counts[i] += 1;
+        }
+        // Both finite-positive entries must actually be reachable.
+        assert!(counts[1] > 500 && counts[2] > 500, "{counts:?}");
+
+        // Nothing positive and finite: fall back to finite entries, then 0.
+        let i = sample_categorical(&[f32::NAN, 0.0, f32::NAN], &mut rng);
+        assert_eq!(i, 1);
+        assert_eq!(sample_categorical(&[f32::NAN, f32::INFINITY], &mut rng), 0);
+    }
+
+    #[test]
+    fn sampling_stream_unchanged_for_finite_probs() {
+        // The non-finite guard must not consume extra RNG draws.
+        let probs = [0.2, 0.3, 0.5];
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let u: f32 = a.random();
+            let mut acc = 0.0;
+            let mut expect = 2;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    expect = i;
+                    break;
+                }
+            }
+            assert_eq!(sample_categorical(&probs, &mut b), expect);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_excludes_non_finite_logits() {
+        let mut l = vec![f32::NAN, 1.0, f32::INFINITY, 2.0];
+        let n = masked_softmax(&mut l, &[true, true, true, true]);
+        assert_eq!(n, 4);
+        assert!(l.iter().all(|p| p.is_finite()));
+        assert_eq!(l[0], 0.0);
+        assert_eq!(l[2], 0.0);
+        assert!((l.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(l[3] > l[1]);
+    }
+
+    #[test]
+    fn masked_softmax_uniform_when_nothing_finite() {
+        let mut l = vec![f32::NAN, f32::INFINITY, 0.5];
+        let n = masked_softmax(&mut l, &[true, true, false]);
+        assert_eq!(n, 2);
+        assert_eq!(&l, &[0.5, 0.5, 0.0]);
     }
 }

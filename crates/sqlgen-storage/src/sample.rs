@@ -87,8 +87,10 @@ pub fn distinct_values(col: &Column, limit: usize) -> Vec<Value> {
             s.into_iter().map(Value::Int).collect()
         }
         Column::Float(v) => {
-            let mut s = v.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            // NaN used to panic the comparator; it is useless as a probe
+            // value anyway (it compares equal to nothing), so drop it.
+            let mut s: Vec<f64> = v.iter().copied().filter(|x| !x.is_nan()).collect();
+            s.sort_by(f64::total_cmp);
             s.dedup();
             s.truncate(limit);
             s.into_iter().map(Value::Float).collect()
@@ -120,7 +122,11 @@ pub fn sample_column<R: Rng + ?Sized>(col: &Column, k: usize, rng: &mut R) -> Ve
 }
 
 fn dedup_values(vals: &mut Vec<Value>) {
-    vals.sort_by(|a, b| a.try_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // NaN cannot match any predicate, so it is dropped rather than offered
+    // as a literal. (`dedup_by` relies on SQL equality, under which NaN is
+    // never equal to itself.)
+    vals.retain(|v| !matches!(v, Value::Float(f) if f.is_nan()));
+    vals.sort_by(Value::total_cmp);
     vals.dedup_by(|a, b| a == b);
 }
 
@@ -203,5 +209,25 @@ mod tests {
         db.add_table(Table::new(schema));
         let samples = sample_database(&db, &SampleConfig::default());
         assert!(samples[0].values.is_empty());
+    }
+
+    /// Regression: NaN float data used to panic `distinct_values` and let
+    /// `dedup_values` collapse unrelated values through the Equal fallback.
+    #[test]
+    fn nan_floats_are_dropped_not_fatal() {
+        let col = Column::Float(vec![2.5, f64::NAN, 1.5, 2.5, f64::NAN]);
+        let vals = distinct_values(&col, 10);
+        assert_eq!(vals, vec![Value::Float(1.5), Value::Float(2.5)]);
+
+        // Before the retain, the NaN compared "Equal" to both neighbours and
+        // the sort could interleave it between equal keys, breaking dedup.
+        let mut vals = vec![
+            Value::Float(2.0),
+            Value::Float(f64::NAN),
+            Value::Float(2.0),
+            Value::Float(1.0),
+        ];
+        dedup_values(&mut vals);
+        assert_eq!(vals, vec![Value::Float(1.0), Value::Float(2.0)]);
     }
 }

@@ -27,10 +27,13 @@ pub struct Histogram {
 impl Histogram {
     /// Builds an equi-depth histogram from raw (unsorted) numeric data.
     pub fn build(mut data: Vec<f64>, buckets: usize) -> Option<Self> {
+        // Non-finite values carry no range information and used to panic
+        // the sort below; an all-NaN column simply has no histogram.
+        data.retain(|x| x.is_finite());
         if data.is_empty() {
             return None;
         }
-        data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in column data"));
+        data.sort_by(f64::total_cmp);
         let n = data.len();
         let buckets = buckets.min(n).max(1);
         let mut bounds = Vec::with_capacity(buckets + 1);
@@ -288,5 +291,20 @@ mod tests {
         assert_eq!(s.distinct, 3);
         let s = ColumnStats::build("c", &Column::Float(vec![1.5, 1.5, 2.5]));
         assert_eq!(s.distinct, 2);
+    }
+
+    /// Regression: NaN in a float column used to panic histogram builds.
+    #[test]
+    fn nan_data_does_not_panic_stats() {
+        let h = Histogram::build(vec![f64::NAN, 1.0, 2.0, f64::INFINITY, 3.0], 4);
+        let h = h.expect("finite values remain");
+        assert!(h.min().is_finite() && h.max().is_finite());
+        assert!(Histogram::build(vec![f64::NAN, f64::NAN], 4).is_none());
+
+        let s = ColumnStats::build("c", &Column::Float(vec![f64::NAN, 1.0, 1.0, 2.0]));
+        assert_eq!(s.row_count, 4);
+        assert!(s.histogram.is_some());
+        let sel = s.eq_selectivity(&Value::Float(1.0));
+        assert!((0.0..=1.0).contains(&sel));
     }
 }

@@ -91,6 +91,31 @@ impl Value {
         }
     }
 
+    /// Total order for sorting: `NULL` first, then numbers, then text.
+    ///
+    /// Unlike [`Value::try_cmp`] this never returns "no answer", so it is
+    /// safe to feed to a comparison sort. Numbers (`Int` and `Float` alike)
+    /// compare through [`f64::total_cmp`], which gives `NaN` a definite
+    /// position (after every finite value) instead of comparing "equal" to
+    /// everything — the latter violates transitivity and makes
+    /// `slice::sort_by` panic. Values of different classes order by class.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Text(_) => 2,
+            }
+        }
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            _ => match (self, other) {
+                (Value::Text(a), Value::Text(b)) => a.cmp(b),
+                _ => class(self).cmp(&class(other)),
+            },
+        }
+    }
+
     /// Three-valued-logic comparison; `None` when either side is null or the
     /// types are incomparable.
     pub fn try_cmp(&self, other: &Value) -> Option<Ordering> {
@@ -142,6 +167,44 @@ mod tests {
     #[test]
     fn text_and_int_incomparable() {
         assert_eq!(Value::Text("1".into()).try_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total_on_hostile_values() {
+        // Regression: sorting mixed NaN/finite rows through
+        // `try_cmp(..).unwrap_or(Equal)` is not transitive (NaN "equal" to
+        // both 1 and 2 while 1 < 2) and panicked inside `slice::sort_by`.
+        let hostile = [
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::Int(0),
+            Value::Int(7),
+            Value::Float(7.5),
+            Value::Text(String::new()),
+            Value::Text("z".into()),
+        ];
+        for a in &hostile {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &hostile {
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+                for c in &hostile {
+                    if a.total_cmp(b) == Ordering::Less && b.total_cmp(c) == Ordering::Less {
+                        assert_eq!(a.total_cmp(c), Ordering::Less, "{a} < {b} < {c}");
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Float(f64::NAN)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Float(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(7).total_cmp(&Value::Float(7.0)), Ordering::Equal);
     }
 
     #[test]
