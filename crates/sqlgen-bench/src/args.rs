@@ -13,6 +13,8 @@ pub struct HarnessArgs {
     pub train: usize,
     /// Worker threads for episode collection (1 = exact serial behaviour).
     pub threads: usize,
+    /// Lockstep inference lanes (1 = exact serial behaviour).
+    pub batch: usize,
     /// Quick mode: shrink everything for a smoke run.
     pub quick: bool,
     /// Restrict to one benchmark (tpch/job/xuetang); `None` = all.
@@ -33,6 +35,7 @@ impl Default for HarnessArgs {
             seed: 42,
             train: 400,
             threads: 1,
+            batch: 1,
             quick: false,
             benchmark: None,
             trace: None,
@@ -65,6 +68,10 @@ impl HarnessArgs {
                     args.threads = value("--threads").parse().expect("--threads: integer");
                     args.threads = args.threads.max(1);
                 }
+                "--batch" => {
+                    args.batch = value("--batch").parse().expect("--batch: integer");
+                    args.batch = args.batch.max(1);
+                }
                 "--benchmark" => args.benchmark = Some(value("--benchmark")),
                 "--quick" => args.quick = true,
                 "--trace" => args.trace = Some(value("--trace")),
@@ -74,6 +81,7 @@ impl HarnessArgs {
                     println!(
                         "flags: --n <queries> --scale <sf> --seed <u64> \
                          --train <episodes> --threads <workers> \
+                         --batch <lanes> \
                          --benchmark <tpch|job|xuetang> --quick \
                          --trace <path.jsonl> --metrics --quiet"
                     );
@@ -142,6 +150,9 @@ mod tests {
         assert_eq!(a.threads, 4);
         // 0 is clamped to the serial path rather than rejected.
         assert_eq!(parse(&["--threads", "0"]).threads, 1);
+        assert_eq!(a.batch, 1);
+        assert_eq!(parse(&["--batch", "8"]).batch, 8);
+        assert_eq!(parse(&["--batch", "0"]).batch, 1);
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! Measures training throughput (episodes/sec, tokens/sec) at `--threads 1`
 //! versus a parallel worker count, and inference throughput (queries/sec,
-//! tokens/sec) with a warm policy — plus p50/p95 per-token step latency from
-//! the `rl.step.latency_us` histogram. Results go to `BENCH_train.json` and
-//! `BENCH_generate.json` in `--out` (default: current directory).
+//! tokens/sec) with a warm policy across a batch-size sweep — plus p50/p95
+//! per-token step latency from the `rl.step.latency_us` histogram. Results
+//! go to `BENCH_train.json` and `BENCH_generate.json` in `--out` (default:
+//! current directory).
+//!
+//! The inference sweep runs batch sizes 1/4/8/16 by default; `--batch <B>`
+//! narrows it to `[1, B]` (used by CI to keep the smoke run fast).
 //!
 //! `--smoke` shrinks everything for a CI sanity run (seconds, not minutes).
 //! All other flags are the shared harness flags (`--help`).
@@ -63,6 +67,65 @@ fn phase_json(p: &TrainPhase) -> String {
          \"tokens_per_sec\": {:.1}, \"step_latency_p50_us\": {:.2}, \
          \"step_latency_p95_us\": {:.2}}}",
         p.threads, p.seconds, p.episodes_per_sec, p.tokens_per_sec, p.step_p50_us, p.step_p95_us
+    )
+}
+
+struct GenPhase {
+    batch: usize,
+    seconds: f64,
+    satisfied: usize,
+    queries_per_sec: f64,
+    tokens_per_sec: f64,
+    step_p50_us: f64,
+    step_p95_us: f64,
+}
+
+/// One inference measurement at a given batch width on the warm policy.
+///
+/// Each phase is short (~0.1 s), so a single run is at the mercy of scheduler
+/// noise on shared hardware; take the best of a few repetitions instead.
+fn run_generate(warm: &mut LearnedSqlGen, n: usize, batch: usize, hist: &Histogram) -> GenPhase {
+    warm.set_batch_size(batch);
+    let mut best: Option<GenPhase> = None;
+    for _ in 0..3 {
+        hist.reset();
+        let start = Instant::now();
+        let qs = warm.generate(n);
+        let seconds = start.elapsed().as_secs_f64();
+        // Every emitted token records one latency sample (amortized per lane on
+        // the batched path), so the histogram count is the exact token count.
+        let tokens = hist.count();
+        let phase = GenPhase {
+            batch,
+            seconds,
+            satisfied: qs.iter().filter(|q| q.satisfied).count(),
+            queries_per_sec: n as f64 / seconds,
+            tokens_per_sec: tokens as f64 / seconds,
+            step_p50_us: hist.p50(),
+            step_p95_us: hist.p95(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| phase.tokens_per_sec > b.tokens_per_sec)
+        {
+            best = Some(phase);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn gen_phase_json(p: &GenPhase) -> String {
+    format!(
+        "{{\"batch\": {}, \"seconds\": {:.3}, \"satisfied\": {}, \
+         \"queries_per_sec\": {:.2}, \"tokens_per_sec\": {:.1}, \
+         \"step_latency_p50_us\": {:.2}, \"step_latency_p95_us\": {:.2}}}",
+        p.batch,
+        p.seconds,
+        p.satisfied,
+        p.queries_per_sec,
+        p.tokens_per_sec,
+        p.step_p50_us,
+        p.step_p95_us
     )
 }
 
@@ -139,6 +202,14 @@ fn main() {
     let _ = writeln!(train_json, "  \"note\": {},", json_str(&note));
     let _ = writeln!(
         train_json,
+        "  \"inference_batching\": {},",
+        json_str(
+            "batched GEMM lanes apply to the inference path; see \
+             BENCH_generate.json batch_sweep. Training rollouts use --threads."
+        )
+    );
+    let _ = writeln!(
+        train_json,
         "  \"phases\": [\n    {},\n    {}\n  ],",
         phase_json(&serial),
         phase_json(&parallel)
@@ -147,19 +218,39 @@ fn main() {
     train_json.push_str("}\n");
     write_out(&out_dir, "BENCH_train.json", &train_json);
 
-    // --- inference phase (warm policy from the serial run) -----------------
-    hist.reset();
-    let start = Instant::now();
-    let qs = warm.generate(args.n);
-    let seconds = start.elapsed().as_secs_f64();
-    let tokens = hist.count();
-    let satisfied = qs.iter().filter(|q| q.satisfied).count();
+    // --- inference batch sweep (warm policy from the serial run) -----------
+    // `--batch B` narrows the default 1/4/8/16 sweep to [1, B] so the CI
+    // smoke run stays fast; batch 1 is always first (the serial baseline).
+    let sweep: Vec<usize> = if args.batch > 1 {
+        vec![1, args.batch]
+    } else {
+        vec![1, 4, 8, 16]
+    };
+    let mut phases = Vec::with_capacity(sweep.len());
+    for &bs in &sweep {
+        let p = run_generate(&mut warm, args.n, bs, &hist);
+        sqlgen_obs::obs_info!(
+            "[throughput] generate batch={}: {:.1} q/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
+            p.batch,
+            p.queries_per_sec,
+            p.tokens_per_sec,
+            p.step_p50_us,
+            p.step_p95_us
+        );
+        phases.push(p);
+    }
+    let baseline = &phases[0];
+    // Report the best batched width: throughput peaks where lane-axis SIMD
+    // wins outpace refill overhead (batch 16 can regress vs 8 on narrow SIMD).
+    let best = phases[1..]
+        .iter()
+        .max_by(|a, b| a.tokens_per_sec.total_cmp(&b.tokens_per_sec))
+        .expect("sweep has a batched phase");
+    let batch_speedup = best.tokens_per_sec / baseline.tokens_per_sec;
     sqlgen_obs::obs_info!(
-        "[throughput] generate: {:.1} q/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
-        args.n as f64 / seconds,
-        tokens as f64 / seconds,
-        hist.p50(),
-        hist.p95()
+        "[throughput] batch={} vs batch=1: {:.2}x tokens/sec",
+        best.batch,
+        batch_speedup
     );
 
     let mut gen_json = String::from("{\n");
@@ -167,20 +258,42 @@ fn main() {
     let _ = writeln!(gen_json, "  \"scale\": {},", args.scale);
     let _ = writeln!(gen_json, "  \"seed\": {},", args.seed);
     let _ = writeln!(gen_json, "  \"queries\": {},", args.n);
-    let _ = writeln!(gen_json, "  \"satisfied\": {satisfied},");
-    let _ = writeln!(gen_json, "  \"seconds\": {seconds:.3},");
+    let _ = writeln!(gen_json, "  \"satisfied\": {},", baseline.satisfied);
+    let _ = writeln!(gen_json, "  \"seconds\": {:.3},", baseline.seconds);
     let _ = writeln!(
         gen_json,
         "  \"queries_per_sec\": {:.2},",
-        args.n as f64 / seconds
+        baseline.queries_per_sec
     );
     let _ = writeln!(
         gen_json,
         "  \"tokens_per_sec\": {:.1},",
-        tokens as f64 / seconds
+        baseline.tokens_per_sec
     );
-    let _ = writeln!(gen_json, "  \"step_latency_p50_us\": {:.2},", hist.p50());
-    let _ = writeln!(gen_json, "  \"step_latency_p95_us\": {:.2}", hist.p95());
+    let _ = writeln!(
+        gen_json,
+        "  \"step_latency_p50_us\": {:.2},",
+        baseline.step_p50_us
+    );
+    let _ = writeln!(
+        gen_json,
+        "  \"step_latency_p95_us\": {:.2},",
+        baseline.step_p95_us
+    );
+    let sweep_rows: Vec<String> = phases
+        .iter()
+        .map(|p| format!("    {}", gen_phase_json(p)))
+        .collect();
+    let _ = writeln!(
+        gen_json,
+        "  \"batch_sweep\": [\n{}\n  ],",
+        sweep_rows.join(",\n")
+    );
+    let _ = writeln!(
+        gen_json,
+        "  \"batch_speedup_tokens_per_sec\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}}",
+        best.batch, batch_speedup
+    );
     gen_json.push_str("}\n");
     write_out(&out_dir, "BENCH_generate.json", &gen_json);
 

@@ -1,14 +1,16 @@
 //! Invariant/differential fuzzing entry point (CI smoke budget).
 //!
-//! Runs `sqlgen-fuzz` across all five invariant families and exits non-zero
+//! Runs `sqlgen-fuzz` across all six invariant families and exits non-zero
 //! on any violation, printing the failing SQL, its shrunk reproduction and
-//! the case seed. Reproduce a single reported case with:
+//! the case seed. `--family <name>` alone focuses the whole budget on one
+//! family; with `--case-seed` it reproduces a single reported case:
 //!
 //! ```text
+//! fuzz_smoke --family batch-equivalence --iters 60
 //! fuzz_smoke --family differential --case-seed 0xDEADBEEF
 //! ```
 
-use sqlgen_fuzz::{run, run_case, Family, FuzzConfig};
+use sqlgen_fuzz::{run_case, run_with, Family, FuzzConfig};
 
 struct Args {
     cfg: FuzzConfig,
@@ -44,16 +46,17 @@ fn parse_args() -> Args {
             }
             "--family" => {
                 let name = value("--family");
-                args.family =
-                    Some(Family::from_name(&name).unwrap_or_else(|| {
-                        panic!("--family: one of roundtrip, estimator, differential, fsm-closure, nn-numerics (got {name})")
-                    }));
+                args.family = Some(Family::from_name(&name).unwrap_or_else(|| {
+                    let all: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+                    panic!("--family: one of {} (got {name})", all.join(", "))
+                }));
             }
             "--case-seed" => args.case_seed = Some(parse_u64(&value("--case-seed"))),
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "flags: --iters <n> --seed <u64> --max-failures <n> --quiet\n\
+                     focus: --family <name> (whole budget on one family)\n\
                      repro: --family <name> --case-seed <u64|0xHEX>"
                 );
                 std::process::exit(0);
@@ -91,11 +94,16 @@ fn main() {
         }
         return;
     }
-    if args.family.is_some() || args.case_seed.is_some() {
-        panic!("--family and --case-seed must be used together");
+    if args.case_seed.is_some() {
+        panic!("--case-seed needs --family");
     }
 
-    let report = run(&args.cfg);
+    // `--family` without `--case-seed`: whole budget on that one family.
+    let families: &[Family] = match &args.family {
+        Some(f) => std::slice::from_ref(f),
+        None => &Family::ALL,
+    };
+    let report = run_with(&args.cfg, families);
     if !args.quiet {
         println!("fuzz_smoke: {}", report.summary());
     }

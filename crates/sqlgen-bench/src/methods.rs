@@ -86,6 +86,7 @@ pub fn harness_gen_config(seed: u64) -> GenConfig {
         algorithm: Algorithm::ActorCritic,
         default_train_episodes: 400,
         threads: 1,
+        batch_size: 1,
     }
 }
 

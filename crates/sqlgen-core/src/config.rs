@@ -31,6 +31,13 @@ pub struct GenConfig {
     /// `(seed, threads)` pair is reproducible, but different `threads`
     /// values are different (deterministic) runs.
     pub threads: usize,
+    /// Lockstep GEMM lanes for batched inference. `1` (the default) keeps
+    /// the exact single-stream rollout sequence — bit-identical results
+    /// for a fixed seed. Values > 1 advance that many rollouts per step
+    /// through batched kernels with continuous lane refill; each
+    /// `(seed, batch_size)` pair is reproducible. When both are set,
+    /// `batch_size > 1` takes precedence over `threads` for inference.
+    pub batch_size: usize,
 }
 
 impl Default for GenConfig {
@@ -42,6 +49,7 @@ impl Default for GenConfig {
             algorithm: Algorithm::ActorCritic,
             default_train_episodes: 600,
             threads: 1,
+            batch_size: 1,
         }
     }
 }
@@ -89,6 +97,11 @@ impl GenConfig {
         self.threads = threads.max(1);
         self
     }
+
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,13 +126,17 @@ mod tests {
         let c = GenConfig::fast()
             .with_algorithm(Algorithm::Reinforce)
             .with_seed(99)
-            .with_threads(4);
+            .with_threads(4)
+            .with_batch_size(8);
         assert_eq!(c.algorithm, Algorithm::Reinforce);
         assert_eq!(c.train.seed, 99);
         assert_eq!(c.sample.seed, 99 ^ 0x5a5a);
         assert_eq!(c.threads, 4);
-        // threads must never be 0, and defaults to the serial path.
+        assert_eq!(c.batch_size, 8);
+        // threads/batch_size must never be 0, and default to serial paths.
         assert_eq!(GenConfig::default().threads, 1);
+        assert_eq!(GenConfig::default().batch_size, 1);
         assert_eq!(GenConfig::fast().with_threads(0).threads, 1);
+        assert_eq!(GenConfig::fast().with_batch_size(0).batch_size, 1);
     }
 }

@@ -4,7 +4,7 @@
 use crate::config::{Algorithm, GenConfig};
 use sqlgen_engine::{render, Estimator, Statement};
 use sqlgen_fsm::Vocabulary;
-use sqlgen_rl::{ActorCritic, Constraint, Episode, Reinforce, SqlGenEnv};
+use sqlgen_rl::{ActorCritic, Constraint, Episode, EstimatorCache, Reinforce, SqlGenEnv};
 use sqlgen_storage::Database;
 
 /// One generated query with its measured metric.
@@ -44,6 +44,10 @@ pub struct LearnedSqlGen {
     constraint: Constraint,
     config: GenConfig,
     trainer: Trainer,
+    /// Memo cache for estimator reward lookups. Persists across
+    /// `generate` calls (so `generate_satisfied` never re-estimates a
+    /// duplicate candidate); pure bit-exact memoization.
+    cache: EstimatorCache,
     pub stats: TrainStats,
 }
 
@@ -68,6 +72,7 @@ impl LearnedSqlGen {
             constraint,
             config,
             trainer,
+            cache: EstimatorCache::default(),
             stats: TrainStats::default(),
         }
     }
@@ -83,6 +88,13 @@ impl LearnedSqlGen {
     fn env(&self) -> SqlGenEnv<'_> {
         SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
             .with_fsm_config(self.config.fsm.clone())
+            .with_cache(&self.cache)
+    }
+
+    /// Overrides the inference batch width (lockstep GEMM lanes); used by
+    /// the benchmark sweep. `1` restores the serial path.
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.config.batch_size = batch_size.max(1);
     }
 
     /// Trains for `episodes` episodes (Algorithm 1 / Algorithm 3).
@@ -98,7 +110,8 @@ impl LearnedSqlGen {
         // Split borrows: the env borrows vocab/estimator, the trainer is
         // updated mutably.
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone());
+            .with_fsm_config(self.config.fsm.clone())
+            .with_cache(&self.cache);
         let threads = self.config.threads.max(1);
         let eps = match &mut self.trainer {
             Trainer::Reinforce(t) => t.train_batch(&env, episodes, threads),
@@ -136,9 +149,16 @@ impl LearnedSqlGen {
         let _span = sqlgen_obs::obs_span!("gen.generate");
         let started = std::time::Instant::now();
         let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone());
+            .with_fsm_config(self.config.fsm.clone())
+            .with_cache(&self.cache);
         let threads = self.config.threads.max(1);
+        let batch = self.config.batch_size.max(1);
+        // batch_size > 1 selects the lockstep GEMM engine (threads cannot
+        // help on a single core; lanes can). batch_size = 1 preserves the
+        // legacy serial/threaded paths bit-for-bit.
         let eps = match &mut self.trainer {
+            Trainer::Reinforce(t) if batch > 1 => t.generate_batched(&env, n, batch),
+            Trainer::ActorCritic(t) if batch > 1 => t.generate_batched(&env, n, batch),
             Trainer::Reinforce(t) => t.generate_batch(&env, n, threads),
             Trainer::ActorCritic(t) => t.generate_batch(&env, n, threads),
         };
@@ -162,11 +182,12 @@ impl LearnedSqlGen {
     ) -> (Vec<GeneratedQuery>, usize) {
         let mut out = Vec::with_capacity(n);
         let mut attempts = 0;
-        // With threads > 1 attempts proceed a worker-batch at a time (still
-        // within the budget); threads = 1 reproduces the one-at-a-time loop.
-        let threads = self.config.threads.max(1);
+        // Attempts proceed a chunk at a time: one per worker thread or one
+        // per lockstep lane, whichever engine is wider (still within the
+        // budget); threads = batch_size = 1 reproduces the serial loop.
+        let chunk = self.config.threads.max(self.config.batch_size).max(1);
         while out.len() < n && attempts < max_attempts {
-            let batch = threads.min(max_attempts - attempts);
+            let batch = chunk.min(max_attempts - attempts);
             attempts += batch;
             for q in self.generate(batch) {
                 if q.satisfied && out.len() < n {
@@ -269,6 +290,22 @@ mod tests {
             &db,
             Constraint::cardinality_range(1.0, 100_000.0),
             GenConfig::fast().with_threads(4),
+        );
+        g.train(50);
+        for q in g.generate(20) {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+            let reparsed = sqlgen_engine::parse(&q.sql).unwrap();
+            assert_eq!(render(&reparsed), q.sql);
+        }
+    }
+
+    #[test]
+    fn generated_queries_are_valid_sql_with_batching() {
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(
+            &db,
+            Constraint::cardinality_range(1.0, 100_000.0),
+            GenConfig::fast().with_batch_size(8),
         );
         g.train(50);
         for q in g.generate(20) {

@@ -612,6 +612,15 @@ impl<'v> GenState<'v> {
         }
     }
 
+    /// Writes the action mask into lane `lane` of a row-major
+    /// `[batch × vocab]` mask block (the batched-inference layout). The
+    /// lane's row is produced exactly as [`GenState::mask_into`] would.
+    pub fn mask_into_row(&self, block: &mut [bool], lane: usize) {
+        let width = self.vocab.size();
+        debug_assert!((lane + 1) * width <= block.len());
+        self.mask_into(&mut block[lane * width..(lane + 1) * width]);
+    }
+
     fn select_item_tokens(&self, out: &mut Vec<usize>) {
         let v = self.vocab;
         let frame = self.frame();

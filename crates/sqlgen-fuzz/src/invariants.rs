@@ -1,4 +1,4 @@
-//! The five invariant families the harness checks.
+//! The six invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -407,6 +407,87 @@ pub fn check_fsm_closure(rng: &mut StdRng) -> CheckResult {
         ex.cardinality(&stmt)
             .map_err(|e| fail("fails execution", e.to_string()))?;
         checks += 4;
+    }
+    Ok(checks)
+}
+
+/// (f) Batch equivalence: batched lockstep generation at B ∈ {2, 4, 8}
+/// yields per-lane token streams identical to serial runs seeded with the
+/// same lane seeds (`base ^ lane`), including across continuous lane
+/// refills, and every emitted query still passes the fsm-closure checks
+/// (render → parse → re-render fixpoint → validate → execute).
+pub fn check_batch_equivalence(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_rl::{
+        run_episode_infer, worker_seed, ActorNet, BatchRollout, Constraint, InferRollout,
+        NetConfig, SqlGenEnv,
+    };
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 8,
+            seed: rng.random(),
+            ..Default::default()
+        },
+    );
+    let est = Estimator::build(&db);
+    let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 1e6));
+    let actor = ActorNet::new(
+        vocab.size(),
+        &NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        },
+        rng.random(),
+    );
+    let ex = Executor::new(&db);
+    let base: u64 = rng.random();
+    let mut checks = 0;
+    let mut ro = BatchRollout::new();
+    for &batch in &[2usize, 4, 8] {
+        let n = batch + 2; // more jobs than lanes: exercises lane refill
+        let tagged = ro.collect_tagged(&actor, &env, n, batch, base);
+        if tagged.len() != n {
+            return Err(CheckFail::new(format!(
+                "batch {batch}: collected {} episodes, wanted {n}",
+                tagged.len()
+            )));
+        }
+        for lane in 0..batch.min(n) {
+            let mut lane_eps: Vec<_> = tagged.iter().filter(|(_, l, _)| *l == lane).collect();
+            lane_eps.sort_by_key(|(job, _, _)| *job);
+            let mut lane_rng = StdRng::seed_from_u64(worker_seed(base, lane));
+            let mut iro = InferRollout::new();
+            for (job, _, ep) in lane_eps {
+                let serial = run_episode_infer(&actor, &env, &mut lane_rng, &mut iro);
+                if ep.actions != serial.actions {
+                    return Err(CheckFail::new(format!(
+                        "batch {batch} lane {lane} job {job}: batched tokens diverge \
+                         from serial run of the lane seed ({:?} vs {:?})",
+                        ep.actions, serial.actions
+                    )));
+                }
+                checks += 1;
+            }
+        }
+        for (_, _, ep) in &tagged {
+            let sql = render(&ep.statement);
+            let fail = |what: &str, e: String| CheckFail {
+                detail: format!("batched rollout {what}: {e}"),
+                sql: Some(sql.clone()),
+                shrunk_sql: None,
+            };
+            let reparsed = parse(&sql).map_err(|e| fail("does not parse", e.to_string()))?;
+            if render(&reparsed) != sql {
+                return Err(fail("re-render differs", render(&reparsed)));
+            }
+            validate(&db, &ep.statement).map_err(|e| fail("fails validation", e.to_string()))?;
+            ex.cardinality(&ep.statement)
+                .map_err(|e| fail("fails execution", e.to_string()))?;
+            checks += 4;
+        }
     }
     Ok(checks)
 }

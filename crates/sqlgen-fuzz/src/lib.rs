@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with five
+//! with each other. This crate stress-tests those agreements with six
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -11,7 +11,10 @@
 //! * **differential** — `Executor::cardinality` matches a naive
 //!   nested-loop oracle; `like_match` matches a naive recursive matcher,
 //! * **fsm-closure** — every masked rollout parses, validates, executes,
-//! * **nn-numerics** — softmax/sampling/argmax survive non-finite logits.
+//! * **nn-numerics** — softmax/sampling/argmax survive non-finite logits,
+//! * **batch-equivalence** — batched lockstep generation at B∈{2,4,8}
+//!   yields per-lane token streams identical to serial runs with the same
+//!   lane seeds, and every emitted query passes the fsm-closure checks.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -36,7 +39,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The five invariant families.
+/// The six invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -44,15 +47,17 @@ pub enum Family {
     Differential,
     FsmClosure,
     NnNumerics,
+    BatchEquivalence,
 }
 
 impl Family {
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
         Family::FsmClosure,
         Family::NnNumerics,
+        Family::BatchEquivalence,
     ];
 
     pub fn name(self) -> &'static str {
@@ -62,6 +67,7 @@ impl Family {
             Family::Differential => "differential",
             Family::FsmClosure => "fsm-closure",
             Family::NnNumerics => "nn-numerics",
+            Family::BatchEquivalence => "batch-equivalence",
         }
     }
 
@@ -83,8 +89,8 @@ impl fmt::Display for Family {
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
-    /// Number of cases; family `i % 5` runs on case `i`, so a multiple of 5
-    /// exercises all families equally.
+    /// Number of cases; family `i % ALL.len()` runs on case `i`, so a
+    /// multiple of the family count exercises all families equally.
     pub iters: u64,
     pub seed: u64,
     /// Stop after this many failures (shrinking is not free).
@@ -137,7 +143,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 5],
+    pub checks_per_family: [u64; 6],
     pub failures: Vec<Failure>,
 }
 
@@ -176,14 +182,22 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::Differential => invariants::check_differential(&mut rng),
         Family::FsmClosure => invariants::check_fsm_closure(&mut rng),
         Family::NnNumerics => invariants::check_nn_numerics(&mut rng),
+        Family::BatchEquivalence => invariants::check_batch_equivalence(&mut rng),
     }
 }
 
 /// Runs the harness: `cfg.iters` cases, rotating through the families.
 pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    run_with(cfg, &Family::ALL)
+}
+
+/// Runs the harness over a chosen subset of families (e.g. a whole budget
+/// on one family via `fuzz_smoke --family <f>`), rotating through them.
+pub fn run_with(cfg: &FuzzConfig, families: &[Family]) -> FuzzReport {
+    assert!(!families.is_empty(), "at least one family required");
     let mut report = FuzzReport::default();
     for iter in 0..cfg.iters {
-        let family = Family::ALL[(iter % 5) as usize];
+        let family = families[(iter % families.len() as u64) as usize];
         let seed = case_seed(cfg.seed, iter);
         report.iters_run += 1;
         match run_case(family, seed) {

@@ -28,8 +28,8 @@ pub mod tensor;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use linear::Linear;
-pub use lstm::{LstmLayer, LstmStack, LstmState, StackCache, StackState};
+pub use lstm::{LstmBatchState, LstmLayer, LstmStack, LstmState, StackCache, StackState};
 pub use mlp::{Mlp, MlpCache};
 pub use param::{clip_grad_norm, Adam, Optimizer, Param, Sgd};
 pub use policy_loss::{actor_logit_grad, entropy_grad, policy_grad};
-pub use tensor::{argmax, entropy, masked_softmax, sample_categorical, Mat};
+pub use tensor::{argmax, entropy, masked_softmax, masked_softmax_rows, sample_categorical, Mat};

@@ -37,6 +37,23 @@ impl Linear {
         }
     }
 
+    /// Batched forward pass over `batch` row-major lanes
+    /// (`x` is `[batch × in]`, `y` is `[batch × out]`). Per lane the
+    /// matvec-then-bias order matches [`Linear::forward_into`] exactly, so
+    /// each lane's output is bit-identical to a serial forward.
+    pub fn forward_batch_into(&self, x: &[f32], batch: usize, y: &mut [f32]) {
+        self.w.value.matmul_nt(x, batch, y);
+        let out = self.output_dim();
+        for lane in 0..batch {
+            for (yi, bi) in y[lane * out..(lane + 1) * out]
+                .iter_mut()
+                .zip(&self.b.value.data)
+            {
+                *yi += bi;
+            }
+        }
+    }
+
     /// Forward pass; the caller keeps `x` for the backward pass.
     /// Allocating wrapper over [`Linear::forward_into`].
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
@@ -93,6 +110,24 @@ mod tests {
         l.b.value.data = vec![0.5, -0.5];
         let y = l.forward(&[1.0, -1.0]);
         assert_eq!(y, vec![-0.5, -1.5]);
+    }
+
+    #[test]
+    fn forward_batch_matches_serial_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = Linear::new(5, 3, &mut rng);
+        for &batch in &[1usize, 2, 4, 7] {
+            let x: Vec<f32> = (0..batch * 5)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
+            let mut y = vec![0.0; batch * 3];
+            l.forward_batch_into(&x, batch, &mut y);
+            for lane in 0..batch {
+                let mut serial = vec![0.0; 3];
+                l.forward_into(&x[lane * 5..(lane + 1) * 5], &mut serial);
+                assert_eq!(&y[lane * 3..(lane + 1) * 3], &serial[..], "lane {lane}");
+            }
+        }
     }
 
     /// Finite-difference check of all gradients.

@@ -31,6 +31,47 @@ impl LstmState {
     }
 }
 
+/// Hidden states for `batch` independent lanes across a whole stack,
+/// stored as one row-major `[batch × hidden]` plane per layer so the
+/// batched kernels read each lane's state contiguously. Layer `l + 1`
+/// consumes layer `l`'s `h` plane directly as its input block — no
+/// per-lane gather/scatter anywhere on the batched path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LstmBatchState {
+    pub batch: usize,
+    /// Per layer: hidden outputs, `[batch × hidden]`.
+    pub h: Vec<Vec<f32>>,
+    /// Per layer: cell states, `[batch × hidden]`.
+    pub c: Vec<Vec<f32>>,
+}
+
+impl LstmBatchState {
+    /// Zeroes one lane's `h`/`c` rows in every layer (continuous lane
+    /// refill: a finished lane restarts from the zero state while its
+    /// neighbours keep generating).
+    pub fn reset_lane(&mut self, lane: usize) {
+        debug_assert!(lane < self.batch);
+        for plane in self.h.iter_mut().chain(self.c.iter_mut()) {
+            let hidden = plane.len() / self.batch;
+            plane[lane * hidden..(lane + 1) * hidden]
+                .iter_mut()
+                .for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// One lane's hidden output in layer `layer` (test/diagnostic access).
+    pub fn lane_h(&self, layer: usize, lane: usize) -> &[f32] {
+        let hidden = self.h[layer].len() / self.batch;
+        &self.h[layer][lane * hidden..(lane + 1) * hidden]
+    }
+
+    /// One lane's cell state in layer `layer` (test/diagnostic access).
+    pub fn lane_c(&self, layer: usize, lane: usize) -> &[f32] {
+        let hidden = self.c[layer].len() / self.batch;
+        &self.c[layer][lane * hidden..(lane + 1) * hidden]
+    }
+}
+
 /// Per-step forward cache for one layer.
 #[derive(Debug, Clone, Default)]
 pub struct LstmCache {
@@ -149,6 +190,73 @@ impl LstmLayer {
             }
             *zr = s + c;
             r += 1;
+        }
+    }
+
+    /// Batched fused gate pre-activations over `batch` lanes:
+    /// `z[lane][r] = (b[r] + w_ih[r]·x[lane]) + w_hh[r]·h_prev[lane]`.
+    ///
+    /// `x` is `[batch × input]`, `h_prev` is `[batch × hidden]`, `z` is
+    /// `[batch × 4·hidden]`, all row-major per lane. Built from two
+    /// [`Mat::matmul_nt`] sweeps (the SIMD register-tile kernel) plus
+    /// elementwise passes, composed in exactly the `gates_into` summation
+    /// structure — `a = Σ_j w_ih·x`, then `s = b + a`, then
+    /// `c = Σ_j w_hh·h`, then `z = s + c`, every sum strictly left to
+    /// right — so per lane the result is bit-identical to the serial
+    /// kernel.
+    pub fn gates_batch_into(&self, x: &[f32], h_prev: &[f32], batch: usize, z: &mut [f32]) {
+        let rows = 4 * self.hidden;
+        debug_assert_eq!(x.len(), batch * self.input);
+        debug_assert_eq!(h_prev.len(), batch * self.hidden);
+        debug_assert_eq!(z.len(), batch * rows);
+        if batch == 1 {
+            return self.gates_into(x, h_prev, z);
+        }
+        let b = &self.b.value.data;
+        // a = w_ih · x, then s = b + a (same operand order as gates_into).
+        self.w_ih.value.matmul_nt(x, batch, z);
+        for zl in z.chunks_exact_mut(rows) {
+            for (zv, bv) in zl.iter_mut().zip(b) {
+                *zv += bv;
+            }
+        }
+        // c = w_hh · h_prev, then z = s + c.
+        let mut c = vec![0.0f32; batch * rows];
+        self.w_hh.value.matmul_nt(h_prev, batch, &mut c);
+        for (zv, cv) in z.iter_mut().zip(&c) {
+            *zv += cv;
+        }
+    }
+
+    /// One batched inference step over `batch` lanes: `h_plane`/`c_plane`
+    /// are the layer's `[batch × hidden]` state planes (read as previous,
+    /// overwritten with the new state), `x` is `[batch × input]` and `z`
+    /// is gate scratch of `[batch × 4·hidden]`. Per lane the elementwise
+    /// gate math matches [`LstmLayer::infer_step_into`] exactly, so each
+    /// lane's trajectory is bit-identical to a serial rollout of that lane.
+    pub fn infer_step_batch_into(
+        &self,
+        x: &[f32],
+        h_plane: &mut [f32],
+        c_plane: &mut [f32],
+        batch: usize,
+        z: &mut [f32],
+    ) {
+        let h = self.hidden;
+        self.gates_batch_into(x, h_plane, batch, z);
+        for lane in 0..batch {
+            let zl = &z[lane * 4 * h..(lane + 1) * 4 * h];
+            let hl = &mut h_plane[lane * h..(lane + 1) * h];
+            let cl = &mut c_plane[lane * h..(lane + 1) * h];
+            for k in 0..h {
+                let i = sigmoid(zl[k]);
+                let f = sigmoid(zl[h + k]);
+                let g = zl[2 * h + k].tanh();
+                let o = sigmoid(zl[3 * h + k]);
+                let c = f * cl[k] + i * g;
+                cl[k] = c;
+                hl[k] = o * c.tanh();
+            }
         }
     }
 
@@ -334,6 +442,48 @@ impl LstmStack {
             *state = self.zero_state();
         } else {
             state.iter_mut().for_each(LstmState::reset);
+        }
+    }
+
+    /// Zeroed batch state for `batch` concurrent lanes.
+    pub fn zero_batch_state(&self, batch: usize) -> LstmBatchState {
+        LstmBatchState {
+            batch,
+            h: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; batch * l.hidden])
+                .collect(),
+            c: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; batch * l.hidden])
+                .collect(),
+        }
+    }
+
+    /// Gate-scratch length for a `batch`-lane step (`batch × 4 × hidden`).
+    pub fn batch_scratch_len(&self, batch: usize) -> usize {
+        batch * self.scratch_len()
+    }
+
+    /// One batched inference step through all layers. `x` is the
+    /// `[batch × input]` block, `z` gate scratch of
+    /// [`LstmStack::batch_scratch_len`]. Layer `l + 1` reads layer `l`'s
+    /// `h` plane in place; the top-layer outputs end up in
+    /// `state.h.last()`. Lanes never mix: each lane's trajectory is
+    /// bit-identical to running [`LstmStack::infer_step_into`] on that
+    /// lane alone.
+    pub fn infer_step_batch_into(&self, x: &[f32], state: &mut LstmBatchState, z: &mut [f32]) {
+        debug_assert_eq!(state.h.len(), self.layers.len());
+        let batch = state.batch;
+        for (l, layer) in self.layers.iter().enumerate() {
+            if l == 0 {
+                layer.infer_step_batch_into(x, &mut state.h[0], &mut state.c[0], batch, z);
+            } else {
+                let (below, rest) = state.h.split_at_mut(l);
+                layer.infer_step_batch_into(&below[l - 1], &mut rest[0], &mut state.c[l], batch, z);
+            }
         }
     }
 
@@ -736,6 +886,72 @@ mod tests {
                 assert!((x - y).abs() < 1e-5);
             }
             assert_eq!(a, b);
+        }
+    }
+
+    /// The batched inference step must be bit-identical, per lane, to `B`
+    /// independent serial `infer_step_into` trajectories — the determinism
+    /// contract of the batched generation engine.
+    #[test]
+    fn batch_infer_matches_independent_serial_lanes_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(input, hidden, layers) in &[(3, 4, 1), (5, 6, 2), (16, 16, 2), (7, 5, 3)] {
+            for &batch in &[1usize, 2, 4, 8] {
+                let stack = LstmStack::new(input, hidden, layers, &mut rng);
+                let mut bstate = stack.zero_batch_state(batch);
+                let mut serial: Vec<StackState> = (0..batch).map(|_| stack.zero_state()).collect();
+                let mut z = vec![0.0; stack.batch_scratch_len(batch)];
+                let mut zs = vec![0.0; stack.scratch_len()];
+                for _ in 0..5 {
+                    let x: Vec<f32> = (0..batch * input)
+                        .map(|_| rng.random_range(-1.0f32..1.0))
+                        .collect();
+                    stack.infer_step_batch_into(&x, &mut bstate, &mut z);
+                    for (lane, st) in serial.iter_mut().enumerate() {
+                        stack.infer_step_into(&x[lane * input..(lane + 1) * input], st, &mut zs);
+                        for (l, layer) in st.iter().enumerate() {
+                            assert_eq!(bstate.lane_h(l, lane), &layer.h[..], "h lane {lane}");
+                            assert_eq!(bstate.lane_c(l, lane), &layer.c[..], "c lane {lane}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane refill: resetting one lane mid-stream zeroes only that lane;
+    /// its neighbours continue bit-identically to uninterrupted serial
+    /// runs, and the reset lane restarts from the zero state exactly.
+    #[test]
+    fn reset_lane_is_isolated() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let (input, hidden, layers, batch) = (4, 6, 2, 3);
+        let stack = LstmStack::new(input, hidden, layers, &mut rng);
+        let mut bstate = stack.zero_batch_state(batch);
+        let mut serial: Vec<StackState> = (0..batch).map(|_| stack.zero_state()).collect();
+        let mut z = vec![0.0; stack.batch_scratch_len(batch)];
+        let mut zs = vec![0.0; stack.scratch_len()];
+        let xs: Vec<Vec<f32>> = (0..6)
+            .map(|_| {
+                (0..batch * input)
+                    .map(|_| rng.random_range(-1.0f32..1.0))
+                    .collect()
+            })
+            .collect();
+        for (t, x) in xs.iter().enumerate() {
+            if t == 3 {
+                // Lane 1 finished its query and is refilled.
+                bstate.reset_lane(1);
+                serial[1] = stack.zero_state();
+            }
+            stack.infer_step_batch_into(x, &mut bstate, &mut z);
+            for (lane, st) in serial.iter_mut().enumerate() {
+                stack.infer_step_into(&x[lane * input..(lane + 1) * input], st, &mut zs);
+                for (l, layer) in st.iter().enumerate() {
+                    assert_eq!(bstate.lane_h(l, lane), &layer.h[..], "t {t} lane {lane}");
+                    assert_eq!(bstate.lane_c(l, lane), &layer.c[..], "t {t} lane {lane}");
+                }
+            }
         }
     }
 

@@ -1,6 +1,9 @@
-//! Dense row-major matrices and the handful of BLAS-1/2 kernels the
-//! networks need. Batch size is always 1 in LearnedSQLGen (queries are
-//! generated one token at a time), so everything is matrix-vector.
+//! Dense row-major matrices and the handful of BLAS-1/2/3 kernels the
+//! networks need. Queries are generated one token at a time, so the
+//! training path is matrix-vector; batched inference runs `B` lanes in
+//! lockstep through [`Mat::matmul_nt`], which amortizes each weight-matrix
+//! read across the whole batch while keeping every lane's arithmetic
+//! bit-identical to [`Mat::matvec`].
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -90,6 +93,102 @@ impl Mat {
         }
     }
 
+    /// `out = x · selfᵀ` for a row-major batch: `x` holds `batch` rows of
+    /// `cols` inputs, `out` receives `batch` rows of `rows` outputs.
+    ///
+    /// The batch is first transposed into a lane-minor scratch
+    /// (`xt[j·batch + lane]`), then each weight row is swept with the lane
+    /// axis innermost over *contiguous* memory: the compiler packs the
+    /// independent per-lane accumulators into SIMD registers, which is
+    /// where the batched engine's speedup comes from (per-lane the FLOPs
+    /// are identical to [`Mat::matvec`]; the strict left-to-right `j`
+    /// summation per `(lane, row)` element is untouched, so every lane is
+    /// bit-identical to a standalone `matvec` on its row). Weight rows are
+    /// still loaded once per batch, in blocks of four.
+    pub fn matmul_nt(&self, x: &[f32], batch: usize, out: &mut [f32]) {
+        debug_assert_eq!(x.len(), batch * self.cols);
+        debug_assert_eq!(out.len(), batch * self.rows);
+        if batch == 1 {
+            // Bit-identical by construction; skips the transpose round-trip.
+            return self.matvec(x, out);
+        }
+        let xt = transpose_lanes(x, batch, self.cols);
+        let mut lane0 = 0usize;
+        while batch - lane0 >= 8 {
+            self.matmul_tile::<8>(&xt, batch, lane0, out);
+            lane0 += 8;
+        }
+        while batch - lane0 >= 4 {
+            self.matmul_tile::<4>(&xt, batch, lane0, out);
+            lane0 += 4;
+        }
+        while lane0 < batch {
+            self.matmul_tile::<1>(&xt, batch, lane0, out);
+            lane0 += 1;
+        }
+    }
+
+    /// Register tile of [`Mat::matmul_nt`]: lanes `lane0 .. lane0 + W` of
+    /// the lane-minor batch `xt`, all output rows. `W` is a compile-time
+    /// constant so the `[f32; W]` accumulators live in SIMD registers and
+    /// the per-lane loops unroll into packed multiply-adds.
+    fn matmul_tile<const W: usize>(&self, xt: &[f32], batch: usize, lane0: usize, out: &mut [f32]) {
+        let (rows, cols) = (self.rows, self.cols);
+        let tile = |j: usize| -> &[f32; W] {
+            xt[j * batch + lane0..j * batch + lane0 + W]
+                .try_into()
+                .expect("tile width")
+        };
+        let mut r = 0usize;
+        while r + 4 <= rows {
+            let block = &self.data[r * cols..(r + 4) * cols];
+            let (r0, rest) = block.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, r3) = rest.split_at(cols);
+            let mut a0 = [0.0f32; W];
+            let mut a1 = [0.0f32; W];
+            let mut a2 = [0.0f32; W];
+            let mut a3 = [0.0f32; W];
+            for j in 0..cols {
+                let xv = tile(j);
+                let (w0, w1, w2, w3) = (r0[j], r1[j], r2[j], r3[j]);
+                for (a, &xk) in a0.iter_mut().zip(xv) {
+                    *a += w0 * xk;
+                }
+                for (a, &xk) in a1.iter_mut().zip(xv) {
+                    *a += w1 * xk;
+                }
+                for (a, &xk) in a2.iter_mut().zip(xv) {
+                    *a += w2 * xk;
+                }
+                for (a, &xk) in a3.iter_mut().zip(xv) {
+                    *a += w3 * xk;
+                }
+            }
+            for k in 0..W {
+                let o = &mut out[(lane0 + k) * rows + r..(lane0 + k) * rows + r + 4];
+                o[0] = a0[k];
+                o[1] = a1[k];
+                o[2] = a2[k];
+                o[3] = a3[k];
+            }
+            r += 4;
+        }
+        while r < rows {
+            let row = self.row(r);
+            let mut a = [0.0f32; W];
+            for (j, &w) in row.iter().enumerate() {
+                for (ak, &xk) in a.iter_mut().zip(tile(j)) {
+                    *ak += w * xk;
+                }
+            }
+            for (k, &v) in a.iter().enumerate() {
+                out[(lane0 + k) * rows + r] = v;
+            }
+            r += 1;
+        }
+    }
+
     /// `out += selfᵀ · y` (transposed matrix-vector, accumulating).
     /// `y.len() == rows`, `out.len() == cols`.
     ///
@@ -171,6 +270,20 @@ impl Mat {
     }
 }
 
+/// Transposes a row-major `[batch × width]` activation block into the
+/// lane-minor layout `[width × batch]` the batched kernels sweep: with
+/// lanes contiguous, the per-lane accumulator loops vectorize.
+pub(crate) fn transpose_lanes(x: &[f32], batch: usize, width: usize) -> Vec<f32> {
+    debug_assert_eq!(x.len(), batch * width);
+    let mut xt = vec![0.0f32; x.len()];
+    for (lane, row) in x.chunks_exact(width).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            xt[j * batch + lane] = v;
+        }
+    }
+    xt
+}
+
 /// Elementwise vector helpers.
 #[inline]
 pub fn sigmoid(x: f32) -> f32 {
@@ -237,6 +350,26 @@ pub fn masked_softmax(logits: &mut [f32], mask: &[bool]) -> usize {
         *l /= sum;
     }
     count
+}
+
+/// Row-wise [`masked_softmax`] over a `batch × width` logit block with a
+/// matching `batch × width` mask block.
+///
+/// Each lane's row is normalized independently against its own mask row, so
+/// a fully-masked row (or one whose unmasked logits are all non-finite)
+/// zeroes — or uniformizes — *only itself*; neighbouring lanes keep the
+/// exact probabilities a standalone [`masked_softmax`] would produce.
+pub fn masked_softmax_rows(logits: &mut [f32], masks: &[bool], width: usize) -> usize {
+    debug_assert_eq!(logits.len(), masks.len());
+    debug_assert!(width > 0 && logits.len().is_multiple_of(width));
+    let mut total = 0;
+    for (row, mask) in logits
+        .chunks_exact_mut(width)
+        .zip(masks.chunks_exact(width))
+    {
+        total += masked_softmax(row, mask);
+    }
+    total
 }
 
 /// Entropy of a (masked) probability distribution.
@@ -429,6 +562,79 @@ mod tests {
                 "matvec_t_acc {rows}x{cols}"
             );
         }
+    }
+
+    /// Every lane of the batched kernel must be bit-identical to a
+    /// standalone `matvec` on that lane's input, for all shapes including
+    /// row remainders and batch = 1.
+    #[test]
+    fn matmul_nt_matches_matvec_bitwise_per_lane() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &(rows, cols) in &[(1, 1), (3, 5), (4, 4), (7, 9), (13, 3), (30, 32), (120, 30)] {
+            for &batch in &[1usize, 2, 4, 8] {
+                let m = Mat::xavier(rows, cols, &mut rng);
+                let x: Vec<f32> = (0..batch * cols)
+                    .map(|_| rng.random_range(-1.0..1.0))
+                    .collect();
+                let mut fast = vec![0.0; batch * rows];
+                m.matmul_nt(&x, batch, &mut fast);
+                for lane in 0..batch {
+                    let mut serial = vec![0.0; rows];
+                    m.matvec(&x[lane * cols..(lane + 1) * cols], &mut serial);
+                    assert_eq!(
+                        fast[lane * rows..(lane + 1) * rows]
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "matmul_nt {rows}x{cols} batch {batch} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regression (batched generation): a fully-masked or all-non-finite
+    /// row must not poison its neighbours in the `[B × vocab]` block.
+    #[test]
+    fn masked_softmax_rows_isolates_degenerate_lanes() {
+        let width = 4;
+        // Lane 0: normal; lane 1: fully masked; lane 2: unmasked but all
+        // non-finite; lane 3: normal again.
+        let mut block = vec![
+            1.0,
+            2.0,
+            3.0,
+            4.0,
+            5.0,
+            5.0,
+            5.0,
+            5.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            0.5,
+            0.5,
+            0.5,
+            0.5,
+        ];
+        let mut masks = vec![true; 16];
+        masks[4..8].iter_mut().for_each(|m| *m = false);
+        masks[13] = false;
+
+        let mut expect0 = vec![1.0, 2.0, 3.0, 4.0];
+        masked_softmax(&mut expect0, &[true; 4]);
+        let mut expect3 = vec![0.5, 0.5, 0.5, 0.5];
+        masked_softmax(&mut expect3, &[true, false, true, true]);
+
+        masked_softmax_rows(&mut block, &masks, width);
+        assert_eq!(&block[0..4], &expect0[..], "lane 0 poisoned");
+        assert_eq!(&block[4..8], &[0.0; 4], "fully-masked lane not zeroed");
+        // Lane 2: nothing finite → uniform over its own unmasked entries.
+        assert_eq!(&block[8..12], &[0.25; 4]);
+        assert_eq!(&block[12..16], &expect3[..], "lane 3 poisoned");
+        assert!(block.iter().all(|p| p.is_finite()));
     }
 
     #[test]

@@ -212,6 +212,18 @@ impl ActorCritic {
         let base: u64 = self.rng.random();
         collect_episodes(&self.actor, env, n, false, threads, base)
     }
+
+    /// Generates `n` queries with `batch` lockstep GEMM lanes (no updates).
+    /// `batch <= 1` matches [`ActorCritic::generate`] in a loop
+    /// bit-for-bit; larger batches are reproducible per (seed, batch) —
+    /// see [`crate::batch`] for the determinism contract.
+    pub fn generate_batched(&mut self, env: &SqlGenEnv, n: usize, batch: usize) -> Vec<Episode> {
+        if batch <= 1 {
+            return (0..n).map(|_| self.generate(env)).collect();
+        }
+        let base: u64 = self.rng.random();
+        crate::batch::collect_episodes_batched(&self.actor, env, n, batch, base)
+    }
 }
 
 use rand::Rng;

@@ -1,0 +1,235 @@
+//! Fixed-capacity LRU memo cache for estimator reward lookups.
+//!
+//! The reward path estimates the same rendered query repeatedly: shaped
+//! rewards re-measure every executable prefix, `generate_satisfied`
+//! re-estimates duplicate candidates, and short queries recur across
+//! episodes. Estimation is a pure function of the rendered statement (for
+//! the cardinality and cost metrics — never latency, which measures
+//! wall-clock execution), so memoizing it is bit-exact: a cached `f64` is
+//! the same `f64` the estimator would recompute, and golden fixtures are
+//! unaffected.
+//!
+//! The cache is a classic intrusive doubly-linked LRU over a slot arena,
+//! O(1) per lookup, guarded by a [`Mutex`] so the threaded collection path
+//! can share it. Hits/misses feed the `estimator.cache.hit` / `.miss`
+//! counters and the `estimator.cache.hit_rate` gauge in `sqlgen-obs`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default capacity: comfortably covers the working set of a generation
+/// run (distinct rendered prefixes) at ~100 bytes/entry.
+pub const DEFAULT_ESTIMATOR_CACHE_CAPACITY: usize = 4096;
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: String,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+struct LruInner {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    slots: Vec<Slot>,
+    /// Most-recently used slot (NIL when empty).
+    head: usize,
+    /// Least-recently used slot (NIL when empty).
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruInner {
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<f64> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i].value)
+    }
+
+    fn insert(&mut self, key: String, value: f64) {
+        if let Some(&i) = self.map.get(&key) {
+            // Raced with another inserter (threaded path): refresh only.
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the least-recently used entry and reuse its slot.
+            let i = self.tail;
+            self.unlink(i);
+            let old = std::mem::replace(&mut self.slots[i].key, key.clone());
+            self.map.remove(&old);
+            self.slots[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// Shared, thread-safe LRU memoizing `rendered query → estimated metric`.
+pub struct EstimatorCache {
+    inner: Mutex<LruInner>,
+}
+
+impl Default for EstimatorCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_ESTIMATOR_CACHE_CAPACITY)
+    }
+}
+
+impl EstimatorCache {
+    /// `capacity` is clamped to ≥ 1.
+    pub fn new(capacity: usize) -> Self {
+        EstimatorCache {
+            inner: Mutex::new(LruInner {
+                capacity: capacity.max(1),
+                map: HashMap::new(),
+                slots: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Looks up `key`, computing and inserting via `f` on a miss. The
+    /// mutex is released while `f` runs so concurrent workers estimate in
+    /// parallel; duplicate concurrent computes insert the same pure value.
+    pub fn get_or_insert_with(&self, key: &str, f: impl FnOnce() -> f64) -> f64 {
+        {
+            let mut inner = self.inner.lock().expect("estimator cache poisoned");
+            if let Some(v) = inner.get(key) {
+                inner.hits += 1;
+                let (h, m) = (inner.hits, inner.misses);
+                drop(inner);
+                sqlgen_obs::obs_count!("estimator.cache.hit");
+                sqlgen_obs::obs_gauge!("estimator.cache.hit_rate", h as f64 / (h + m) as f64);
+                return v;
+            }
+            inner.misses += 1;
+            let (h, m) = (inner.hits, inner.misses);
+            drop(inner);
+            sqlgen_obs::obs_count!("estimator.cache.miss");
+            sqlgen_obs::obs_gauge!("estimator.cache.hit_rate", h as f64 / (h + m) as f64);
+        }
+        let value = f();
+        self.inner
+            .lock()
+            .expect("estimator cache poisoned")
+            .insert(key.to_string(), value);
+        value
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("estimator cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("estimator cache poisoned")
+            .map
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = EstimatorCache::new(8);
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with("SELECT 1", || {
+                computes += 1;
+                42.0
+            });
+            assert_eq!(v, 42.0);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.stats(), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let cache = EstimatorCache::new(2);
+        cache.get_or_insert_with("a", || 1.0);
+        cache.get_or_insert_with("b", || 2.0);
+        // Touch "a" so "b" is the LRU entry when "c" arrives.
+        cache.get_or_insert_with("a", || unreachable!());
+        cache.get_or_insert_with("c", || 3.0);
+        assert_eq!(cache.len(), 2);
+        // "a" survived; "b" was evicted and recomputes.
+        cache.get_or_insert_with("a", || unreachable!());
+        let mut recomputed = false;
+        cache.get_or_insert_with("b", || {
+            recomputed = true;
+            2.0
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_links_consistent() {
+        let cache = EstimatorCache::new(4);
+        for round in 0..5u64 {
+            for i in 0..16u64 {
+                let key = format!("q{}", (i * 7 + round) % 11);
+                let v = cache.get_or_insert_with(&key, || i as f64);
+                assert!(v >= 0.0);
+                assert!(cache.len() <= 4);
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! model (reward computation from *estimated* cardinality/cost — "we do not
 //! use the real cardinality for the efficiency issue"), and the constraint.
 
+use crate::cache::EstimatorCache;
 use crate::constraint::{Constraint, Metric};
 use sqlgen_engine::{CostModel, Estimator, ExecOptions, Executor, Statement};
 use sqlgen_fsm::{FsmConfig, GenState, Vocabulary};
@@ -93,6 +94,9 @@ pub struct SqlGenEnv<'a> {
     /// Live database for the latency metric (optional; estimates need no
     /// data access).
     pub db: Option<&'a Database>,
+    /// Optional memo cache for estimator lookups (pure bit-exact
+    /// memoization; never consulted for [`Metric::Latency`]).
+    pub cache: Option<&'a EstimatorCache>,
 }
 
 impl<'a> SqlGenEnv<'a> {
@@ -107,6 +111,7 @@ impl<'a> SqlGenEnv<'a> {
             terminal_weight: DEFAULT_TERMINAL_WEIGHT,
             reward_mode: RewardMode::default(),
             db: None,
+            cache: None,
         }
     }
 
@@ -126,16 +131,38 @@ impl<'a> SqlGenEnv<'a> {
         self
     }
 
+    /// Attaches an estimator memo cache consulted by [`SqlGenEnv::measure`]
+    /// for the cardinality and cost metrics (pure functions of the rendered
+    /// statement, so memoization is bit-exact). Latency always executes.
+    pub fn with_cache(mut self, cache: &'a EstimatorCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Starts a new episode: an empty query.
     pub fn reset(&self) -> GenState<'a> {
         GenState::new(self.vocab, self.fsm_config.clone())
     }
 
     /// The constrained metric of a statement, per the constraint's kind.
+    /// Cardinality/cost lookups go through the memo cache when one is
+    /// attached; latency never does (it measures wall-clock execution).
     pub fn measure(&self, stmt: &Statement) -> f64 {
         match self.constraint.metric {
-            Metric::Cardinality => self.estimator.cardinality(stmt),
-            Metric::Cost => self.cost_model.cost(self.estimator, stmt),
+            Metric::Cardinality => match self.cache {
+                Some(c) => c
+                    .get_or_insert_with(&format!("k{}", sqlgen_engine::render(stmt)), || {
+                        self.estimator.cardinality(stmt)
+                    }),
+                None => self.estimator.cardinality(stmt),
+            },
+            Metric::Cost => match self.cache {
+                Some(c) => c
+                    .get_or_insert_with(&format!("c{}", sqlgen_engine::render(stmt)), || {
+                        self.cost_model.cost(self.estimator, stmt)
+                    }),
+                None => self.cost_model.cost(self.estimator, stmt),
+            },
             Metric::Latency => {
                 let db = self.db.expect(
                     "latency metric requires SqlGenEnv::with_database                      (estimates cannot measure wall-clock time)",
@@ -287,6 +314,33 @@ mod tests {
         let env = SqlGenEnv::new(&vocab, &est, Constraint::latency_range_us(0.0, 1e9));
         let stmt = sqlgen_engine::parse("SELECT region.r_name FROM region").unwrap();
         env.measure(&stmt);
+    }
+
+    #[test]
+    fn cached_measure_is_bit_exact() {
+        let (db, vocab) = setup();
+        let est = Estimator::build(&db);
+        let cache = crate::cache::EstimatorCache::new(64);
+        let plain = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_point(100.0));
+        let cached =
+            SqlGenEnv::new(&vocab, &est, Constraint::cardinality_point(100.0)).with_cache(&cache);
+        let stmt = sqlgen_engine::parse("SELECT lineitem.l_quantity FROM lineitem").unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                plain.measure(&stmt).to_bits(),
+                cached.measure(&stmt).to_bits()
+            );
+        }
+        assert_eq!(cache.stats(), (2, 1));
+        // Cost uses a distinct key space: same SQL, separate entry.
+        let cost_env =
+            SqlGenEnv::new(&vocab, &est, Constraint::cost_point(100.0)).with_cache(&cache);
+        let plain_cost = SqlGenEnv::new(&vocab, &est, Constraint::cost_point(100.0));
+        assert_eq!(
+            cost_env.measure(&stmt).to_bits(),
+            plain_cost.measure(&stmt).to_bits()
+        );
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl InferRollout {
 }
 
 /// Wraps up a finished environment rollout into an [`Episode`].
-fn finish_episode(
+pub(crate) fn finish_episode(
     env: &SqlGenEnv,
     state: &sqlgen_fsm::GenState,
     actions: Vec<usize>,

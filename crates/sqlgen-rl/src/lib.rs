@@ -2,8 +2,10 @@
 //!
 //! * [`constraint`] — cardinality/cost constraints and the §4.2 rewards,
 //! * [`env`] — the database environment (FSM masking + estimator rewards),
+//! * [`cache`] — LRU memo cache for estimator reward lookups,
 //! * [`nets`] — actor (policy) and critic (value) LSTM networks,
 //! * [`episode`] — rollout machinery shared by all trainers,
+//! * [`batch`] — batched lockstep inference with continuous lane refill,
 //! * [`reinforce`] — the REINFORCE baseline (Figure 8 ablation),
 //! * [`actor_critic`] — the shipped A2C algorithm (Algorithm 3),
 //! * [`ac_extend`] — constraint-in-the-state ablation (Figure 9),
@@ -12,6 +14,8 @@
 
 pub mod ac_extend;
 pub mod actor_critic;
+pub mod batch;
+pub mod cache;
 pub mod constraint;
 pub mod env;
 pub mod episode;
@@ -22,6 +26,8 @@ pub mod reinforce;
 
 pub use ac_extend::AcExtend;
 pub use actor_critic::ActorCritic;
+pub use batch::{collect_episodes_batched, BatchRollout};
+pub use cache::{EstimatorCache, DEFAULT_ESTIMATOR_CACHE_CAPACITY};
 pub use constraint::{Constraint, Metric, Target, POINT_TOLERANCE};
 pub use env::{RewardMode, RewardShaper, SqlGenEnv};
 pub use episode::{
@@ -29,6 +35,6 @@ pub use episode::{
     InferRollout, Rollout,
 };
 pub use meta_critic::{ConstraintEncoder, MetaCritic, MetaCriticTrainer, TaskSlot};
-pub use nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetConfig, NetScratch};
+pub use nets::{ActorNet, ActorStep, BatchScratch, CriticNet, CriticStep, NetConfig, NetScratch};
 pub use parallel::{collect_episodes, worker_seed};
 pub use reinforce::{Reinforce, TrainConfig};

@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sqlgen_nn::{
-    actor_logit_grad, masked_softmax, sample_categorical, Dropout, Embedding, Linear, LstmStack,
-    Param, StackCache, StackState,
+    actor_logit_grad, masked_softmax, sample_categorical, Dropout, Embedding, Linear,
+    LstmBatchState, LstmStack, Param, StackCache, StackState,
 };
 
 /// Reusable per-step forward scratch shared by the actor and critic hot
@@ -26,6 +26,18 @@ pub struct NetScratch {
     /// LSTM gate pre-activations (4 × hidden).
     z: Vec<f32>,
     /// Head output for the cacheless inference path (vocab for the actor).
+    probs: Vec<f32>,
+}
+
+/// Reusable `[B × dim]` activation arena for the batched inference path.
+/// Sized lazily on first use; steady-state steps allocate nothing.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Embedding inputs (`batch × embed_dim`).
+    x: Vec<f32>,
+    /// LSTM gate pre-activations (`batch × 4 × hidden`).
+    z: Vec<f32>,
+    /// Head outputs / masked-softmax probabilities (`batch × vocab`).
     probs: Vec<f32>,
 }
 
@@ -231,6 +243,72 @@ impl ActorNet {
         );
         masked_softmax(&mut scratch.probs, mask);
         sample_categorical(&scratch.probs, rng)
+    }
+
+    /// Allocates a zeroed batched LSTM state for `batch` lanes.
+    pub fn begin_batch(&self, batch: usize) -> LstmBatchState {
+        self.lstm.zero_batch_state(batch)
+    }
+
+    /// One batched inference step over `batch` lockstep lanes.
+    ///
+    /// Per lane `l` the math is bit-identical to [`ActorNet::infer_step`]
+    /// fed `prev[l]` under `masks[l·vocab..(l+1)·vocab]` with `rngs[l]`:
+    /// the batched kernels accumulate each output element in the same
+    /// left-to-right order as their serial counterparts, and each lane has
+    /// its own accumulators, so lanes cannot perturb one another.
+    ///
+    /// Inactive lanes (`active[l] == false`) are still fed through the
+    /// batched kernels (with the start-token embedding; their state is
+    /// garbage and never read) but are skipped for softmax and sampling,
+    /// so their RNG streams do not advance. Exactly one uniform draw is
+    /// taken per *active* lane per call.
+    // Hot path: the arguments are the rollout's split borrows — bundling
+    // them into a struct would force the borrow conflicts this API avoids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_step_batch<R: Rng>(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        masks: &[bool],
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+        actions: &mut [usize],
+    ) {
+        let batch = state.batch;
+        debug_assert_eq!(prev.len(), batch);
+        debug_assert_eq!(active.len(), batch);
+        debug_assert_eq!(masks.len(), batch * self.vocab_size);
+        debug_assert_eq!(rngs.len(), batch);
+        debug_assert_eq!(actions.len(), batch);
+        let embed_dim = self.embed.dim();
+        scratch.x.resize(batch * embed_dim, 0.0);
+        for (lane, p) in prev.iter().enumerate() {
+            let token = p.unwrap_or(self.start_token);
+            let xl = &mut scratch.x[lane * embed_dim..(lane + 1) * embed_dim];
+            xl.copy_from_slice(self.embed.row(token));
+            if let Some(ctx) = self.context_token {
+                for (xi, ci) in xl.iter_mut().zip(self.embed.row(ctx)) {
+                    *xi += ci;
+                }
+            }
+        }
+        scratch.z.resize(self.lstm.batch_scratch_len(batch), 0.0);
+        self.lstm
+            .infer_step_batch_into(&scratch.x, state, &mut scratch.z);
+        scratch.probs.resize(batch * self.vocab_size, 0.0);
+        let top = state.h.last().expect("non-empty stack");
+        self.head.forward_batch_into(top, batch, &mut scratch.probs);
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let row = &mut scratch.probs[lane * self.vocab_size..(lane + 1) * self.vocab_size];
+            let mask = &masks[lane * self.vocab_size..(lane + 1) * self.vocab_size];
+            masked_softmax(row, mask);
+            actions[lane] = sample_categorical(row, &mut rngs[lane]);
+        }
     }
 
     /// Backpropagates the policy-gradient + entropy loss through a whole

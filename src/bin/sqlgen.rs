@@ -27,6 +27,7 @@ struct Args {
     n: usize,
     train: usize,
     threads: usize,
+    batch: usize,
     kinds: Option<Vec<StatementKind>>,
     execute: bool,
     profile: bool,
@@ -50,6 +51,7 @@ FLAGS:
   --n <count>             queries to generate (default: 10)
   --train <episodes>      RL training episodes (default: 500; 0 with --load)
   --threads <workers>     rollout worker threads (default: 1 = exact serial)
+  --batch <lanes>         lockstep inference lanes (default: 1 = exact serial)
   --scale <sf>            data scale factor (default: 0.3)
   --seed <u64>            RNG seed (default: 42)
   --kinds <k1,k2,..>      statement kinds: select,insert,update,delete
@@ -74,6 +76,7 @@ fn parse_args() -> Args {
         n: 10,
         train: 500,
         threads: 1,
+        batch: 1,
         kinds: None,
         execute: false,
         profile: false,
@@ -122,6 +125,12 @@ fn parse_args() -> Args {
                 args.threads = value("--threads")
                     .parse::<usize>()
                     .unwrap_or_else(|_| fail("--threads"))
+                    .max(1)
+            }
+            "--batch" => {
+                args.batch = value("--batch")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--batch"))
                     .max(1)
             }
             "--kinds" => {
@@ -236,7 +245,8 @@ fn main() {
 
     let mut config = GenConfig::default()
         .with_seed(args.seed)
-        .with_threads(args.threads);
+        .with_threads(args.threads)
+        .with_batch_size(args.batch);
     if let Some(kinds) = &args.kinds {
         config.fsm = FsmConfig::default().with_statements(kinds);
     }
