@@ -1,0 +1,336 @@
+//! Load generator for `sqlgen-serve`.
+//!
+//! Self-hosts an in-process server per phase (ephemeral port), then drives
+//! it over real sockets with keep-alive clients. Two phases — batch width
+//! 1 (serial lanes) and `--batch` (default 8) — make the dynamic-batching
+//! win measurable: the same closed-loop offered load, the only difference
+//! being how many GEMM lanes a window runs on. Results go to
+//! `BENCH_serve.json` in `--out`.
+//!
+//! Modes:
+//! - closed loop (default): `--workers` connections, each fires its next
+//!   request as soon as the previous response lands.
+//! - target QPS (`--qps X`): workers pace requests on an absolute schedule
+//!   at X requests/sec aggregate; the report shows achieved vs target.
+//!
+//! `--smoke` shrinks the run for CI (seconds) and exits non-zero unless
+//! both phases sustained non-zero throughput and shut down cleanly.
+
+use sqlgen_bench::methods::harness_gen_config;
+use sqlgen_bench::HarnessArgs;
+use sqlgen_serve::client::Client;
+use sqlgen_serve::{serve, Schema, ServeConfig, ServerHandle};
+use sqlgen_storage::gen::Benchmark;
+use sqlgen_storage::Database;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct LoadPlan {
+    workers: usize,
+    /// Requests per worker.
+    requests: usize,
+    /// Queries per request (`n` in the request body).
+    n_per_request: usize,
+    /// Aggregate target rate; 0 = closed loop.
+    target_qps: f64,
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    ok: usize,
+    rejected: usize,
+    timeouts: usize,
+    other_errors: usize,
+    latencies_ms: Vec<f64>,
+}
+
+struct PhaseResult {
+    batch: usize,
+    seconds: f64,
+    ok: usize,
+    rejected: usize,
+    timeouts: usize,
+    other_errors: usize,
+    requests_per_sec: f64,
+    queries_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+    latency_p99_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_worker(
+    addr: std::net::SocketAddr,
+    worker: usize,
+    plan: &LoadPlan,
+    phase_start: Instant,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let Ok(mut client) = Client::connect(addr, Duration::from_secs(120)) else {
+        stats.other_errors = plan.requests;
+        return stats;
+    };
+    // Open-loop pacing: worker w owns ticks w, w+W, w+2W, ... of the
+    // aggregate schedule.
+    let interval = if plan.target_qps > 0.0 {
+        Some(Duration::from_secs_f64(
+            plan.workers as f64 / plan.target_qps,
+        ))
+    } else {
+        None
+    };
+    for r in 0..plan.requests {
+        if let Some(interval) = interval {
+            let due = phase_start
+                + interval.mul_f64(r as f64)
+                + interval.mul_f64(worker as f64 / plan.workers as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let seed = (worker as u64) << 20 | r as u64;
+        let body = format!(
+            r#"{{"constraint":{{"metric":"cardinality","min":1,"max":500}},"n":{},"seed":{seed}}}"#,
+            plan.n_per_request
+        );
+        let started = Instant::now();
+        match client.request("POST", "/generate", Some(&body)) {
+            Ok((200, _)) => {
+                stats.ok += 1;
+                stats
+                    .latencies_ms
+                    .push(started.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok((429, _)) => stats.rejected += 1,
+            Ok((504, _)) => stats.timeouts += 1,
+            Ok(_) => stats.other_errors += 1,
+            Err(_) => {
+                stats.other_errors += 1;
+                // The connection may be dead (e.g. read timeout); reconnect
+                // so one hiccup doesn't void the rest of the phase.
+                match Client::connect(addr, Duration::from_secs(120)) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        stats.other_errors += plan.requests - r - 1;
+                        return stats;
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn run_phase(db: &Database, seed: u64, batch: usize, plan: &LoadPlan) -> PhaseResult {
+    let schema = Schema::build("tpch", db, &harness_gen_config(seed), None, 512);
+    let server: ServerHandle = serve(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: plan.workers,
+            batch,
+            max_queue: 512,
+            max_wait_ms: 2,
+            max_batch_jobs: (batch * 8).max(16),
+            read_timeout_ms: 120_000,
+            write_timeout_ms: 120_000,
+            ..ServeConfig::default()
+        },
+        vec![schema],
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let phase_start = Instant::now();
+    let all: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.workers)
+            .map(|w| scope.spawn(move || run_worker(addr, w, plan, phase_start)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let seconds = phase_start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let mut latencies: Vec<f64> = all.iter().flat_map(|s| s.latencies_ms.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let ok: usize = all.iter().map(|s| s.ok).sum();
+    PhaseResult {
+        batch,
+        seconds,
+        ok,
+        rejected: all.iter().map(|s| s.rejected).sum(),
+        timeouts: all.iter().map(|s| s.timeouts).sum(),
+        other_errors: all.iter().map(|s| s.other_errors).sum(),
+        requests_per_sec: ok as f64 / seconds,
+        queries_per_sec: (ok * plan.n_per_request) as f64 / seconds,
+        latency_p50_ms: percentile(&latencies, 0.50),
+        latency_p95_ms: percentile(&latencies, 0.95),
+        latency_p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn phase_json(p: &PhaseResult) -> String {
+    format!(
+        "{{\"batch\": {}, \"seconds\": {:.3}, \"ok\": {}, \"rejected\": {}, \
+         \"timeouts\": {}, \"other_errors\": {}, \"requests_per_sec\": {:.2}, \
+         \"queries_per_sec\": {:.2}, \"latency_p50_ms\": {:.2}, \
+         \"latency_p95_ms\": {:.2}, \"latency_p99_ms\": {:.2}}}",
+        p.batch,
+        p.seconds,
+        p.ok,
+        p.rejected,
+        p.timeouts,
+        p.other_errors,
+        p.requests_per_sec,
+        p.queries_per_sec,
+        p.latency_p50_ms,
+        p.latency_p95_ms,
+        p.latency_p99_ms
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = String::from(".");
+    let mut qps = 0.0f64;
+    let mut workers = 8usize;
+    let mut requests = 25usize;
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_dir = it.next().expect("--out needs a value"),
+            "--qps" => {
+                qps = it
+                    .next()
+                    .expect("--qps needs a value")
+                    .parse()
+                    .expect("--qps must be a number")
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("--workers needs a value")
+                    .parse()
+                    .expect("--workers must be an integer")
+            }
+            "--requests" => {
+                requests = it
+                    .next()
+                    .expect("--requests needs a value")
+                    .parse()
+                    .expect("--requests must be an integer")
+            }
+            _ => rest.push(a),
+        }
+    }
+    let mut args = HarnessArgs::parse_from(rest);
+    if args.batch <= 1 {
+        args.batch = 8;
+    }
+    let mut n_per_request = 4usize;
+    if smoke {
+        args.scale = args.scale.min(0.05);
+        workers = workers.min(4);
+        requests = requests.min(5);
+        n_per_request = 2;
+    }
+    args.init_obs();
+    sqlgen_obs::enable_metrics();
+
+    let plan = LoadPlan {
+        workers,
+        requests,
+        n_per_request,
+        target_qps: qps,
+    };
+    sqlgen_obs::obs_info!(
+        "[serve-bench] tpch scale={} seed={} workers={} requests/worker={} n={} mode={}",
+        args.scale,
+        args.seed,
+        plan.workers,
+        plan.requests,
+        plan.n_per_request,
+        if qps > 0.0 {
+            format!("open-loop {qps} qps")
+        } else {
+            "closed-loop".to_string()
+        }
+    );
+    let db = Benchmark::TpcH.build(args.scale, args.seed);
+
+    let serial = run_phase(&db, args.seed, 1, &plan);
+    sqlgen_obs::obs_info!(
+        "[serve-bench] batch=1: {:.1} q/s ({} ok, {} rejected, {} timeouts), p95 {:.1}ms",
+        serial.queries_per_sec,
+        serial.ok,
+        serial.rejected,
+        serial.timeouts,
+        serial.latency_p95_ms
+    );
+    let batched = run_phase(&db, args.seed, args.batch, &plan);
+    sqlgen_obs::obs_info!(
+        "[serve-bench] batch={}: {:.1} q/s ({} ok, {} rejected, {} timeouts), p95 {:.1}ms",
+        batched.batch,
+        batched.queries_per_sec,
+        batched.ok,
+        batched.rejected,
+        batched.timeouts,
+        batched.latency_p95_ms
+    );
+    let speedup = batched.queries_per_sec / serial.queries_per_sec.max(f64::MIN_POSITIVE);
+    sqlgen_obs::obs_info!(
+        "[serve-bench] batch={} vs batch=1: {:.2}x queries/sec",
+        batched.batch,
+        speedup
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"tpch\",");
+    let _ = writeln!(json, "  \"scale\": {},", args.scale);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"workers\": {},", plan.workers);
+    let _ = writeln!(json, "  \"requests_per_worker\": {},", plan.requests);
+    let _ = writeln!(json, "  \"queries_per_request\": {},", plan.n_per_request);
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if qps > 0.0 {
+            "open-loop"
+        } else {
+            "closed-loop"
+        }
+    );
+    let _ = writeln!(json, "  \"target_qps\": {qps},");
+    let _ = writeln!(
+        json,
+        "  \"phases\": [\n    {},\n    {}\n  ],",
+        phase_json(&serial),
+        phase_json(&batched)
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch_speedup_queries_per_sec\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}}",
+        batched.batch, speedup
+    );
+    json.push_str("}\n");
+    let path = std::path::Path::new(&out_dir).join("BENCH_serve.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    sqlgen_obs::obs_info!("[serve-bench] wrote {}", path.display());
+
+    args.finish_obs();
+    // The smoke contract for CI: traffic flowed in both phases and both
+    // servers shut down cleanly (reaching this line proves the joins).
+    if serial.queries_per_sec <= 0.0 || batched.queries_per_sec <= 0.0 {
+        eprintln!("[serve-bench] FAIL: a phase sustained zero throughput");
+        std::process::exit(1);
+    }
+}

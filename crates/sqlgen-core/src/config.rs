@@ -102,6 +102,14 @@ impl GenConfig {
         self.batch_size = batch_size.max(1);
         self
     }
+
+    /// Overrides the per-column value-sample size `k` (paper default 100).
+    /// Changing `k` changes the action-space size, so checkpoints are only
+    /// portable between generators built with the same sample config.
+    pub fn with_sample_k(mut self, k: usize) -> Self {
+        self.sample.k = k;
+        self
+    }
 }
 
 #[cfg(test)]

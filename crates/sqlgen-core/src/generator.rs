@@ -1,11 +1,16 @@
 //! The LearnedSQLGen generator: train on a constraint, then generate
 //! satisfying queries (paper §3, Algorithms 1 and 2).
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointMeta};
 use crate::config::{Algorithm, GenConfig};
 use sqlgen_engine::{render, Estimator, Statement};
 use sqlgen_fsm::Vocabulary;
-use sqlgen_rl::{ActorCritic, Constraint, Episode, EstimatorCache, Reinforce, SqlGenEnv};
+use sqlgen_rl::{
+    run_jobs_batched, worker_seed, ActorCritic, Constraint, Episode, EstimatorCache, Job,
+    JobOutcome, Reinforce, SqlGenEnv,
+};
 use sqlgen_storage::Database;
+use std::time::Instant;
 
 /// One generated query with its measured metric.
 #[derive(Debug, Clone)]
@@ -209,7 +214,106 @@ impl LearnedSqlGen {
         self.env().measure(stmt)
     }
 
-    /// Serializes the trained actor to JSON (checkpointing).
+    /// Generates `n` queries whose token streams are a pure function of
+    /// `(weights, constraint, seed)` — independent of `batch_size`, of
+    /// threads, and of anything else running in the process. Query `j` uses
+    /// the per-job seed [`worker_seed`]`(seed, j)`, so the result is also
+    /// what a server coalescing this request with others must return.
+    pub fn generate_seeded(&self, n: usize, seed: u64) -> Vec<GeneratedQuery> {
+        self.generate_seeded_deadline(n, seed, None).0
+    }
+
+    /// Deadline-aware [`LearnedSqlGen::generate_seeded`]: jobs still
+    /// running at `deadline` abort mid-generation. Returns the completed
+    /// queries (in job order) and the number of expired jobs.
+    pub fn generate_seeded_deadline(
+        &self,
+        n: usize,
+        seed: u64,
+        deadline: Option<Instant>,
+    ) -> (Vec<GeneratedQuery>, usize) {
+        let _span = sqlgen_obs::obs_span!("gen.generate_seeded");
+        let env = self.env();
+        let actor = match &self.trainer {
+            Trainer::Reinforce(t) => &t.actor,
+            Trainer::ActorCritic(t) => &t.actor,
+        };
+        let lanes = self.config.batch_size.max(1);
+        let jobs: Vec<Job> = (0..n)
+            .map(|j| Job {
+                env: &env,
+                seed: worker_seed(seed, j),
+                deadline,
+                tag: j as u64,
+            })
+            .collect();
+        let mut tagged = run_jobs_batched(actor, jobs, lanes);
+        tagged.sort_by_key(|(tag, _)| *tag);
+        let mut out = Vec::with_capacity(n);
+        let mut expired = 0usize;
+        for (_, outcome) in tagged {
+            match outcome {
+                JobOutcome::Done(ep) => out.push(to_generated(&ep)),
+                JobOutcome::Expired => expired += 1,
+            }
+        }
+        (out, expired)
+    }
+
+    /// Builds a versioned [`Checkpoint`] of the trained policy: actor +
+    /// critic (when the algorithm has one) + config provenance.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let (algorithm, actor, critic) = match &self.trainer {
+            Trainer::Reinforce(t) => ("reinforce", t.actor.clone(), None),
+            Trainer::ActorCritic(t) => ("actor-critic", t.actor.clone(), Some(t.critic.clone())),
+        };
+        Checkpoint {
+            config: CheckpointMeta {
+                algorithm: algorithm.to_string(),
+                vocab_size: self.vocab.size(),
+                net: Some(self.config.train.net.clone()),
+                constraint: Some(self.constraint),
+            },
+            actor,
+            critic,
+        }
+    }
+
+    /// Serializes the trained policy in the versioned checkpoint format
+    /// (header line + JSON payload; see [`crate::checkpoint`]).
+    pub fn save_checkpoint(&self) -> String {
+        self.checkpoint().render()
+    }
+
+    /// Atomically writes [`LearnedSqlGen::save_checkpoint`] output to
+    /// `path` (tmp file + rename), safe against concurrent registry scans.
+    pub fn write_checkpoint(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        crate::checkpoint::write_atomic(path, &self.save_checkpoint())
+    }
+
+    /// Restores the policy from [`LearnedSqlGen::save_checkpoint`] output
+    /// (or legacy [`LearnedSqlGen::save_actor`] JSON). Validates that the
+    /// checkpoint's action space matches this generator's vocabulary and
+    /// returns a typed error otherwise; on success installs the actor and —
+    /// when both sides have one — the critic.
+    pub fn load_checkpoint(&mut self, text: &str) -> Result<(), CheckpointError> {
+        let ckpt = Checkpoint::parse_for_vocab(text, self.vocab.size())?;
+        match &mut self.trainer {
+            Trainer::Reinforce(t) => t.actor = ckpt.actor,
+            Trainer::ActorCritic(t) => {
+                t.actor = ckpt.actor;
+                if let Some(critic) = ckpt.critic {
+                    t.critic = critic;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the trained actor to bare JSON (the legacy, headerless
+    /// checkpoint format; kept for compatibility). Prefer
+    /// [`LearnedSqlGen::save_checkpoint`], which also carries the critic
+    /// and config.
     pub fn save_actor(&self) -> String {
         let actor = match &self.trainer {
             Trainer::Reinforce(t) => &t.actor,
@@ -218,15 +322,12 @@ impl LearnedSqlGen {
         serde_json::to_string(actor).expect("actor serializes")
     }
 
-    /// Restores actor weights from [`LearnedSqlGen::save_actor`] output.
-    pub fn load_actor(&mut self, json: &str) -> Result<(), serde_json::Error> {
-        let mut actor: sqlgen_rl::ActorNet = serde_json::from_str(json)?;
-        actor.restore_buffers();
-        match &mut self.trainer {
-            Trainer::Reinforce(t) => t.actor = actor,
-            Trainer::ActorCritic(t) => t.actor = actor,
-        }
-        Ok(())
+    /// Restores actor weights from either checkpoint format. Alias of
+    /// [`LearnedSqlGen::load_checkpoint`]; unlike the pre-versioned
+    /// implementation this validates the vocabulary size instead of
+    /// silently installing a mismatched policy.
+    pub fn load_actor(&mut self, text: &str) -> Result<(), CheckpointError> {
+        self.load_checkpoint(text)
     }
 }
 
@@ -339,6 +440,87 @@ mod tests {
             (acc_before - acc_after).abs() < 0.35,
             "checkpoint drift: {acc_before} vs {acc_after}"
         );
+    }
+
+    #[test]
+    fn versioned_checkpoint_roundtrips_with_critic() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let mut g = quick_gen(constraint);
+        g.train(50);
+        let text = g.save_checkpoint();
+        assert!(text.starts_with("sqlgen-checkpoint v1\n"));
+
+        let mut fresh = quick_gen(constraint);
+        fresh.load_checkpoint(&text).unwrap();
+        // Same weights → bitwise-identical seeded generation.
+        let a = g.generate_seeded(5, 0xbeef);
+        let b = fresh.generate_seeded(5, 0xbeef);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
+        // The critic rode along (ActorCritic is the default algorithm).
+        let ckpt = crate::checkpoint::Checkpoint::parse(&text).unwrap();
+        assert_eq!(ckpt.config.algorithm, "actor-critic");
+        assert!(ckpt.critic.is_some());
+    }
+
+    #[test]
+    fn load_rejects_vocab_mismatch_with_typed_error() {
+        use crate::checkpoint::CheckpointError;
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        // A generator over a different schema/sample config has a different
+        // action space; its checkpoint must be rejected, not installed.
+        let db = tpch_database(0.1, 3);
+        let other = LearnedSqlGen::new(
+            &db,
+            constraint,
+            GenConfig::fast().with_seed(9).with_sample_k(8),
+        );
+        let foreign = other.save_checkpoint();
+        let mut target = quick_gen(constraint);
+        let err = target.load_checkpoint(&foreign).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::VocabMismatch { .. }),
+            "want VocabMismatch, got {err:?}"
+        );
+        // The legacy headerless format is validated too.
+        let err = target.load_actor(&other.save_actor()).unwrap_err();
+        assert!(matches!(err, CheckpointError::VocabMismatch { .. }));
+    }
+
+    #[test]
+    fn generate_seeded_is_independent_of_batch_width() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let mut g = quick_gen(constraint);
+        g.train(30);
+        let baseline = g.generate_seeded(6, 0x5eed);
+        for &batch in &[2usize, 4, 8] {
+            g.set_batch_size(batch);
+            let got = g.generate_seeded(6, 0x5eed);
+            assert_eq!(got.len(), baseline.len());
+            for (x, y) in got.iter().zip(&baseline) {
+                assert_eq!(x.sql, y.sql, "batch {batch} diverged");
+                assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+            }
+        }
+        // And reproducible call-to-call.
+        let again = g.generate_seeded(6, 0x5eed);
+        assert_eq!(
+            again.iter().map(|q| &q.sql).collect::<Vec<_>>(),
+            baseline.iter().map(|q| &q.sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn generate_seeded_deadline_expires_jobs() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let g = quick_gen(constraint);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let (done, expired) = g.generate_seeded_deadline(4, 1, Some(past));
+        assert!(done.is_empty());
+        assert_eq!(expired, 4);
     }
 
     #[test]

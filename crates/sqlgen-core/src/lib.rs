@@ -20,12 +20,14 @@
 //! }
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod diversity;
 pub mod generator;
 pub mod meta;
 pub mod metrics;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta, CHECKPOINT_VERSION};
 pub use config::{Algorithm, GenConfig};
 pub use diversity::{profile, structure_signature, DiversityReport};
 pub use generator::{GeneratedQuery, LearnedSqlGen, TrainStats};

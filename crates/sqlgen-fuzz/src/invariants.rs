@@ -1,4 +1,4 @@
-//! The six invariant families the harness checks.
+//! The seven invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -570,6 +570,206 @@ pub fn check_nn_numerics(rng: &mut StdRng) -> CheckResult {
             return Err(CheckFail::new("hostile argmax out of range".to_string()));
         }
         checks += 7;
+    }
+    Ok(checks)
+}
+
+// ---------------------------------------------------------------------------
+// (g) serve equivalence
+// ---------------------------------------------------------------------------
+
+/// The serving determinism contract plus HTTP-parser robustness.
+///
+/// Part 1: a window of coalesced requests run through the dynamic batcher
+/// (`sqlgen_serve::run_window`) must produce, for every request,
+/// episodes bitwise-identical to that request served alone on a single
+/// lane — same token streams, same measured metrics, same rendered SQL —
+/// regardless of batch width or co-tenant requests.
+///
+/// Part 2: the hand-rolled HTTP parser must survive truncated, oversized
+/// and byte-flipped request soup without panicking, and classify crafted
+/// malformed/oversized inputs as 400/413.
+pub fn check_serve_equivalence(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_rl::{ActorNet, Constraint, NetConfig};
+    use sqlgen_serve::{read_request, run_window, Limits, ParseError, WindowRequest};
+    use std::io::Cursor;
+
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 8,
+            seed: rng.random(),
+            ..Default::default()
+        },
+    );
+    let est = Estimator::build(&db);
+    let fsm = FsmConfig::default();
+    let actor = ActorNet::new(
+        vocab.size(),
+        &NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        },
+        rng.random(),
+    );
+    let mut checks = 0;
+
+    // --- part 1: batcher window ≡ solo generation --------------------------
+    let n_reqs = rng.random_range(2..=4);
+    let reqs: Vec<WindowRequest> = (0..n_reqs)
+        .map(|_| WindowRequest {
+            constraint: if rng.random_range(0..2) == 0 {
+                Constraint::cardinality_range(1.0, 1e6)
+            } else {
+                Constraint::cardinality_point(rng.random_range(1..1000) as f64)
+            },
+            n: rng.random_range(1..=3),
+            seed: rng.random(),
+            deadline: None,
+        })
+        .collect();
+    let lanes = [2usize, 4, 8][rng.random_range(0..3usize)];
+    let window = run_window(&actor, &vocab, &est, &fsm, &reqs, lanes);
+    for (ri, req) in reqs.iter().enumerate() {
+        let solo = run_window(&actor, &vocab, &est, &fsm, std::slice::from_ref(req), 1);
+        let a = &window[ri].episodes;
+        let b = &solo[0].episodes;
+        if a.len() != req.n || b.len() != req.n {
+            return Err(CheckFail::new(format!(
+                "request {ri}: {} episodes coalesced, {} solo, wanted {}",
+                a.len(),
+                b.len(),
+                req.n
+            )));
+        }
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            if x.actions != y.actions {
+                return Err(CheckFail::new(format!(
+                    "request {ri} episode {j}: coalesced tokens diverge from solo \
+                     run at lanes={lanes} ({:?} vs {:?})",
+                    x.actions, y.actions
+                )));
+            }
+            if x.measured.to_bits() != y.measured.to_bits() || x.satisfied != y.satisfied {
+                return Err(CheckFail::new(format!(
+                    "request {ri} episode {j}: measured/satisfied diverge \
+                     ({} vs {}, {} vs {})",
+                    x.measured, y.measured, x.satisfied, y.satisfied
+                )));
+            }
+            let sql = render(&x.statement);
+            if sql != render(&y.statement) {
+                return Err(CheckFail {
+                    detail: format!("request {ri} episode {j}: rendered SQL diverges"),
+                    sql: Some(sql),
+                    shrunk_sql: None,
+                });
+            }
+            checks += 3;
+        }
+    }
+
+    // --- part 2: HTTP parser survives hostile bytes ------------------------
+    let limits = Limits::default();
+    // Crafted cases with a known classification.
+    let long_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "a".repeat(9000));
+    let crafted: [(&[u8], Option<u16>); 6] = [
+        (b"BOGUS LINE\r\n\r\n", Some(400)),
+        (
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            Some(400),
+        ),
+        (
+            b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+            Some(413),
+        ),
+        (long_header.as_bytes(), Some(413)),
+        (
+            b"POST /generate HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc",
+            None,
+        ),
+        (b"", None),
+    ];
+    for (bytes, want) in crafted {
+        match read_request(&mut Cursor::new(bytes), &limits) {
+            Ok(_) => {
+                return Err(CheckFail::new(format!(
+                    "parser accepted crafted malformed input {:?}",
+                    String::from_utf8_lossy(&bytes[..bytes.len().min(40)])
+                )))
+            }
+            Err(e) => {
+                if e.status() != want {
+                    return Err(CheckFail::new(format!(
+                        "crafted input classified as {:?}, wanted {:?} ({e:?})",
+                        e.status(),
+                        want
+                    )));
+                }
+            }
+        }
+        checks += 1;
+    }
+    // Byte-soup mutations of a valid request: any Ok/Err outcome is fine,
+    // surviving without panic or runaway allocation is the invariant.
+    let valid =
+        b"POST /generate HTTP/1.1\r\ncontent-length: 24\r\n\r\n{\"constraint\":{\"point\":1}}";
+    for _ in 0..24 {
+        let mut bytes = valid.to_vec();
+        match rng.random_range(0..4) {
+            0 => bytes.truncate(rng.random_range(0..bytes.len())),
+            1 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] = rng.random();
+            }
+            2 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes.splice(
+                    i..i,
+                    (0..rng.random_range(1..64)).map(|_| rng.random::<u8>()),
+                );
+            }
+            _ => {
+                bytes = (0..rng.random_range(0..256))
+                    .map(|_| rng.random::<u8>())
+                    .collect();
+            }
+        }
+        let result = read_request(&mut Cursor::new(&bytes), &limits);
+        if let Ok(req) = &result {
+            if req.body.len() > limits.max_body {
+                return Err(CheckFail::new(format!(
+                    "parser returned {}-byte body above the {} limit",
+                    req.body.len(),
+                    limits.max_body
+                )));
+            }
+        }
+        if let Err(e) = &result {
+            // Classified errors must carry a sendable status; transport
+            // errors must not (ParseError::status is the router contract).
+            match e {
+                ParseError::BadRequest(_) => {
+                    if e.status() != Some(400) {
+                        return Err(CheckFail::new("BadRequest without status 400"));
+                    }
+                }
+                ParseError::TooLarge(_) => {
+                    if e.status() != Some(413) {
+                        return Err(CheckFail::new("TooLarge without status 413"));
+                    }
+                }
+                ParseError::Eof | ParseError::Incomplete | ParseError::Io(_) => {
+                    if e.status().is_some() {
+                        return Err(CheckFail::new("transport error carries a status"));
+                    }
+                }
+            }
+        }
+        checks += 1;
     }
     Ok(checks)
 }

@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with six
+//! with each other. This crate stress-tests those agreements with seven
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -14,7 +14,10 @@
 //! * **nn-numerics** — softmax/sampling/argmax survive non-finite logits,
 //! * **batch-equivalence** — batched lockstep generation at B∈{2,4,8}
 //!   yields per-lane token streams identical to serial runs with the same
-//!   lane seeds, and every emitted query passes the fsm-closure checks.
+//!   lane seeds, and every emitted query passes the fsm-closure checks,
+//! * **serve-equivalence** — dynamic-batcher windows produce episodes
+//!   bitwise-identical to each request served alone, and the HTTP parser
+//!   survives truncated/oversized/hostile bytes with correct 400/413.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -39,7 +42,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The six invariant families.
+/// The seven invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -48,16 +51,18 @@ pub enum Family {
     FsmClosure,
     NnNumerics,
     BatchEquivalence,
+    ServeEquivalence,
 }
 
 impl Family {
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
         Family::FsmClosure,
         Family::NnNumerics,
         Family::BatchEquivalence,
+        Family::ServeEquivalence,
     ];
 
     pub fn name(self) -> &'static str {
@@ -68,6 +73,7 @@ impl Family {
             Family::FsmClosure => "fsm-closure",
             Family::NnNumerics => "nn-numerics",
             Family::BatchEquivalence => "batch-equivalence",
+            Family::ServeEquivalence => "serve-equivalence",
         }
     }
 
@@ -143,7 +149,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 6],
+    pub checks_per_family: [u64; 7],
     pub failures: Vec<Failure>,
 }
 
@@ -183,6 +189,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::FsmClosure => invariants::check_fsm_closure(&mut rng),
         Family::NnNumerics => invariants::check_nn_numerics(&mut rng),
         Family::BatchEquivalence => invariants::check_batch_equivalence(&mut rng),
+        Family::ServeEquivalence => invariants::check_serve_equivalence(&mut rng),
     }
 }
 

@@ -437,9 +437,64 @@ impl Registry {
     }
 }
 
+impl Registry {
+    /// Renders every registered instrument in a Prometheus-style plain-text
+    /// exposition (one `name{...} value` line per sample; metric names have
+    /// `.` mapped to `_`). This is the `/metrics` endpoint payload of
+    /// `sqlgen-serve`: scrapable text, no dependencies, stable ordering
+    /// (BTreeMap name order within each kind).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in self.counters.lock().expect("counter map").values() {
+            let name = text_name(c.name());
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for g in self.gauges.lock().expect("gauge map").values() {
+            let name = text_name(g.name());
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", num_text(g.get()));
+        }
+        for h in self.histograms.lock().expect("histogram map").values() {
+            let name = text_name(h.name());
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", num_text(h.sum()));
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", num_text(v));
+            }
+            let _ = writeln!(out, "{name}_max {}", num_text(h.max()));
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name to the text-exposition charset.
+fn text_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Finite numbers as shortest-roundtrip decimal; NaN (empty histograms)
+/// rendered as 0 so scrapers never choke.
+fn num_text(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 /// End-of-run summary for the global registry.
 pub fn summary_table() -> Table {
     global().summary_table()
+}
+
+/// Text exposition of the global registry (the `/metrics` payload).
+pub fn render_text() -> String {
+    global().render_text()
 }
 
 /// Emits `summary` events for the global registry.
@@ -553,5 +608,25 @@ mod tests {
         assert!(md.contains("g.one"), "{md}");
         assert!(md.contains("h.one"), "{md}");
         assert!(md.contains("counter"), "{md}");
+    }
+
+    #[test]
+    fn render_text_exposes_all_instruments() {
+        let r = Registry::default();
+        r.counter("serve.requests.count").inc(2);
+        r.gauge("serve.queue.depth").set(3.0);
+        r.histogram("serve.latency.us").record_silent(50.0);
+        let text = r.render_text();
+        assert!(
+            text.contains("# TYPE serve_requests_count counter"),
+            "{text}"
+        );
+        assert!(text.contains("serve_requests_count 2"), "{text}");
+        assert!(text.contains("serve_queue_depth 3"), "{text}");
+        assert!(text.contains("serve_latency_us_count 1"), "{text}");
+        assert!(text.contains("quantile=\"0.5\""), "{text}");
+        // Empty histograms render finite values, not NaN.
+        r.histogram("h.empty");
+        assert!(!r.render_text().contains("NaN"));
     }
 }

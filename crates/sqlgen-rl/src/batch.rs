@@ -35,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqlgen_fsm::GenState;
 use sqlgen_nn::LstmBatchState;
+use std::time::Instant;
 
 /// One in-flight episode owned by a lane.
 struct LaneRun<'a> {
@@ -197,6 +198,267 @@ impl BatchRollout {
     }
 }
 
+/// One generation job for the pull-based [`BatchRollout::run_jobs`] engine.
+///
+/// Unlike [`BatchRollout::collect_tagged`] — where a lane's RNG stream spans
+/// every episode the lane produces — a job carries its **own** seed and gets
+/// a fresh RNG and a zeroed LSTM lane at assignment. Its token stream is
+/// therefore a pure function of `(weights, env, seed)`: independent of the
+/// batch width, of which lane it lands on, and of whatever co-tenant jobs
+/// share the batch. That is the determinism contract a serving batcher
+/// needs to coalesce unrelated requests without perturbing any of them.
+pub struct Job<'e, 'v: 'e> {
+    /// Environment the episode rolls out in. Jobs in one `run_jobs` call may
+    /// use different environments (constraints), but every environment must
+    /// expose the same action space as the actor vocabulary.
+    pub env: &'e SqlGenEnv<'v>,
+    /// Seed for this job's private RNG stream.
+    pub seed: u64,
+    /// Absolute deadline; once passed the job aborts mid-generation and is
+    /// reported as [`JobOutcome::Expired`].
+    pub deadline: Option<Instant>,
+    /// Caller-chosen id handed back with the outcome.
+    pub tag: u64,
+}
+
+/// Terminal state of one [`Job`].
+pub enum JobOutcome {
+    Done(Box<Episode>),
+    /// The deadline passed before the episode finished.
+    Expired,
+}
+
+/// One in-flight job owned by a lane (multi-env variant of [`LaneRun`]).
+struct JobRun<'e, 'v: 'e> {
+    env: &'e SqlGenEnv<'v>,
+    state: GenState<'v>,
+    shaper: RewardShaper,
+    actions: Vec<usize>,
+    rewards: Vec<f32>,
+    deadline: Option<Instant>,
+    tag: u64,
+}
+
+impl BatchRollout {
+    /// Runs jobs pulled from `source` through up to `lanes` lockstep lanes,
+    /// reporting each outcome to `sink` as it completes. A finishing (or
+    /// expiring) lane immediately pulls its next job — continuous refill —
+    /// so `source` may keep yielding work admitted after the call started
+    /// (a live request queue). Returns the number of episodes completed.
+    ///
+    /// Each assignment zeroes the lane (LSTM state, BOS input) and reseeds
+    /// its RNG from [`Job::seed`]; see [`Job`] for the determinism contract.
+    /// Outcome order is completion order, deterministic for a fixed job
+    /// stream (single-threaded lockstep has no scheduling freedom).
+    pub fn run_jobs<'e, 'v: 'e>(
+        &mut self,
+        actor: &ActorNet,
+        lanes: usize,
+        mut source: impl FnMut() -> Option<Job<'e, 'v>>,
+        mut sink: impl FnMut(u64, JobOutcome),
+    ) -> usize {
+        let b = lanes.max(1);
+        let vocab = actor.vocab_size;
+        self.state = actor.begin_batch(b);
+        self.masks.clear();
+        self.masks.resize(b * vocab, false);
+        self.prev.clear();
+        self.prev.resize(b, None);
+        self.active.clear();
+        self.active.resize(b, false);
+        self.actions.clear();
+        self.actions.resize(b, 0);
+        self.rngs.clear();
+        // Placeholder streams; every assignment reseeds its lane from the
+        // job's own seed before the lane draws anything.
+        self.rngs
+            .extend((0..b).map(|w| StdRng::seed_from_u64(w as u64)));
+
+        let mut slots: Vec<Option<JobRun>> = (0..b).map(|_| None).collect();
+        let mut completed = 0usize;
+        for (lane, slot) in slots.iter_mut().enumerate() {
+            match source() {
+                Some(job) => {
+                    assert_eq!(
+                        job.env.action_space(),
+                        vocab,
+                        "job env action space must match the actor vocabulary"
+                    );
+                    self.state.reset_lane(lane);
+                    self.prev[lane] = None;
+                    self.rngs[lane] = StdRng::seed_from_u64(job.seed);
+                    self.active[lane] = true;
+                    *slot = Some(JobRun {
+                        state: job.env.reset(),
+                        env: job.env,
+                        shaper: RewardShaper::new(),
+                        actions: Vec::new(),
+                        rewards: Vec::new(),
+                        deadline: job.deadline,
+                        tag: job.tag,
+                    });
+                }
+                None => break,
+            }
+        }
+
+        while self.active.iter().any(|&a| a) {
+            // Deadline sweep before spending another lockstep iteration.
+            // One clock read per iteration, and only when some lane has a
+            // deadline at all.
+            if slots.iter().flatten().any(|run| run.deadline.is_some()) {
+                let now = Instant::now();
+                for (lane, slot) in slots.iter_mut().enumerate() {
+                    let expired = slot
+                        .as_ref()
+                        .is_some_and(|run| run.deadline.is_some_and(|d| now >= d));
+                    if expired {
+                        let run = slot.take().expect("expired lane has a run");
+                        sink(run.tag, JobOutcome::Expired);
+                        if !Self::refill_lane(
+                            &mut source,
+                            slot,
+                            lane,
+                            vocab,
+                            &mut self.state,
+                            &mut self.prev,
+                            &mut self.rngs,
+                        ) {
+                            self.active[lane] = false;
+                        }
+                    }
+                }
+                if !self.active.iter().any(|&a| a) {
+                    break;
+                }
+            }
+
+            let start = sqlgen_obs::timing_enabled().then(Instant::now);
+            for (lane, slot) in slots.iter().enumerate() {
+                if self.active[lane] {
+                    slot.as_ref()
+                        .expect("active lane has a run")
+                        .state
+                        .mask_into_row(&mut self.masks, lane);
+                }
+            }
+            actor.infer_step_batch(
+                &self.prev,
+                &self.active,
+                &mut self.state,
+                &self.masks,
+                &mut self.rngs,
+                &mut self.scratch,
+                &mut self.actions,
+            );
+            let mut n_active = 0usize;
+            for (lane, slot) in slots.iter_mut().enumerate() {
+                if !self.active[lane] {
+                    continue;
+                }
+                n_active += 1;
+                let run = slot.as_mut().expect("active lane has a run");
+                let action = self.actions[lane];
+                let (reward, done) = run.env.step(&mut run.state, action, &mut run.shaper);
+                self.prev[lane] = Some(action);
+                run.actions.push(action);
+                run.rewards.push(reward);
+                if done {
+                    let JobRun {
+                        env,
+                        state,
+                        actions,
+                        rewards,
+                        tag,
+                        ..
+                    } = slot.take().expect("active lane has a run");
+                    sink(
+                        tag,
+                        JobOutcome::Done(Box::new(finish_episode(env, &state, actions, rewards))),
+                    );
+                    completed += 1;
+                    if !Self::refill_lane(
+                        &mut source,
+                        slot,
+                        lane,
+                        vocab,
+                        &mut self.state,
+                        &mut self.prev,
+                        &mut self.rngs,
+                    ) {
+                        self.active[lane] = false;
+                    }
+                }
+            }
+            sqlgen_obs::obs_record!("rl.batch.occupancy", n_active as f64);
+            if let Some(start) = start {
+                // One histogram sample per emitted token (matching the
+                // serial path's count contract) at the amortized cost.
+                let us = start.elapsed().as_nanos() as f64 / 1_000.0 / n_active.max(1) as f64;
+                for _ in 0..n_active {
+                    sqlgen_obs::obs_record!("rl.step.latency_us", us);
+                }
+            }
+        }
+        completed
+    }
+
+    /// Pulls the next job into an empty lane slot; `false` when the source
+    /// is (currently) dry.
+    fn refill_lane<'e, 'v: 'e>(
+        source: &mut impl FnMut() -> Option<Job<'e, 'v>>,
+        slot: &mut Option<JobRun<'e, 'v>>,
+        lane: usize,
+        vocab: usize,
+        state: &mut LstmBatchState,
+        prev: &mut [Option<usize>],
+        rngs: &mut [StdRng],
+    ) -> bool {
+        match source() {
+            Some(job) => {
+                assert_eq!(
+                    job.env.action_space(),
+                    vocab,
+                    "job env action space must match the actor vocabulary"
+                );
+                state.reset_lane(lane);
+                prev[lane] = None;
+                rngs[lane] = StdRng::seed_from_u64(job.seed);
+                *slot = Some(JobRun {
+                    state: job.env.reset(),
+                    env: job.env,
+                    shaper: RewardShaper::new(),
+                    actions: Vec::new(),
+                    rewards: Vec::new(),
+                    deadline: job.deadline,
+                    tag: job.tag,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Runs a batch of seeded jobs to completion and returns `(tag, outcome)`
+/// pairs in completion order. Convenience wrapper over
+/// [`BatchRollout::run_jobs`] for callers with a fixed job list.
+pub fn run_jobs_batched<'e, 'v: 'e>(
+    actor: &ActorNet,
+    jobs: Vec<Job<'e, 'v>>,
+    lanes: usize,
+) -> Vec<(u64, JobOutcome)> {
+    let mut queue = std::collections::VecDeque::from(jobs);
+    let mut out = Vec::with_capacity(queue.len());
+    BatchRollout::new().run_jobs(
+        actor,
+        lanes,
+        || queue.pop_front(),
+        |tag, outcome| out.push((tag, outcome)),
+    );
+    out
+}
+
 /// Collects `n` inference episodes with `batch` lockstep lanes (see
 /// [`BatchRollout`]). Convenience entry point mirroring
 /// [`collect_episodes`](crate::parallel::collect_episodes).
@@ -272,6 +534,142 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A job's episode must equal a serial `run_episode_infer` with the
+    /// job's own seed — at every batch width, regardless of co-tenant jobs
+    /// or which constraint each job carries.
+    #[test]
+    fn jobs_match_serial_runs_at_any_batch_width() {
+        let (db, vocab) = setup();
+        let est = Estimator::build(&db);
+        let env_a = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0));
+        let env_b = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_point(50.0));
+        let actor = actor_for(&vocab);
+        let seeds: Vec<u64> = (0..7).map(|i| 0x1000 + 7 * i).collect();
+
+        // Serial references: one fresh RNG per seed, env alternating a/b.
+        let mut serial = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let env = if i % 2 == 0 { &env_a } else { &env_b };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ro = InferRollout::new();
+            serial.push(run_episode_infer(&actor, env, &mut rng, &mut ro));
+        }
+
+        for &lanes in &[1usize, 3, 8] {
+            let jobs: Vec<Job> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &seed)| Job {
+                    env: if i % 2 == 0 { &env_a } else { &env_b },
+                    seed,
+                    deadline: None,
+                    tag: i as u64,
+                })
+                .collect();
+            let out = run_jobs_batched(&actor, jobs, lanes);
+            assert_eq!(out.len(), seeds.len());
+            for (tag, outcome) in out {
+                let JobOutcome::Done(ep) = outcome else {
+                    panic!("job {tag} expired without a deadline");
+                };
+                let want = &serial[tag as usize];
+                assert_eq!(ep.actions, want.actions, "job {tag} lanes {lanes}");
+                assert_eq!(ep.rewards, want.rewards, "job {tag} lanes {lanes}");
+            }
+        }
+    }
+
+    /// Jobs whose deadline has passed are reported `Expired` (aborting
+    /// mid-generation) while co-tenant jobs without deadlines complete
+    /// bit-exactly.
+    #[test]
+    fn deadline_expiry_aborts_without_perturbing_neighbors() {
+        let (db, vocab) = setup();
+        let est = Estimator::build(&db);
+        let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0));
+        let actor = actor_for(&vocab);
+
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let mut ro = InferRollout::new();
+        let want = run_episode_infer(&actor, &env, &mut rng, &mut ro);
+
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let jobs = vec![
+            Job {
+                env: &env,
+                seed: 0x77,
+                deadline: None,
+                tag: 0,
+            },
+            Job {
+                env: &env,
+                seed: 0x88,
+                deadline: Some(past),
+                tag: 1,
+            },
+            Job {
+                env: &env,
+                seed: 0x99,
+                deadline: Some(past),
+                tag: 2,
+            },
+        ];
+        let out = run_jobs_batched(&actor, jobs, 3);
+        assert_eq!(out.len(), 3);
+        let mut done = 0;
+        let mut expired = 0;
+        for (tag, outcome) in out {
+            match outcome {
+                JobOutcome::Done(ep) => {
+                    done += 1;
+                    assert_eq!(tag, 0);
+                    assert_eq!(ep.actions, want.actions);
+                    assert_eq!(ep.rewards, want.rewards);
+                }
+                JobOutcome::Expired => {
+                    expired += 1;
+                    assert!(tag == 1 || tag == 2);
+                }
+            }
+        }
+        assert_eq!((done, expired), (1, 2));
+    }
+
+    /// The source is consulted again after every completion, so jobs
+    /// admitted "live" (after the call started) still run — the continuous
+    /// refill contract a serving batcher relies on.
+    #[test]
+    fn source_is_polled_continuously() {
+        let (db, vocab) = setup();
+        let est = Estimator::build(&db);
+        let env = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0));
+        let actor = actor_for(&vocab);
+        // Yield jobs one at a time; the queue "arrives" while earlier jobs
+        // are in flight.
+        let mut next = 0u64;
+        let mut outcomes = Vec::new();
+        let completed = BatchRollout::new().run_jobs(
+            &actor,
+            2,
+            || {
+                if next < 5 {
+                    next += 1;
+                    Some(Job {
+                        env: &env,
+                        seed: next,
+                        deadline: None,
+                        tag: next,
+                    })
+                } else {
+                    None
+                }
+            },
+            |tag, outcome| outcomes.push((tag, outcome)),
+        );
+        assert_eq!(completed, 5);
+        assert_eq!(outcomes.len(), 5);
     }
 
     /// Fixed (seed, batch) must reproduce run-to-run, and `collect` must

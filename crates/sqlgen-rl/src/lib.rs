@@ -26,7 +26,7 @@ pub mod reinforce;
 
 pub use ac_extend::AcExtend;
 pub use actor_critic::ActorCritic;
-pub use batch::{collect_episodes_batched, BatchRollout};
+pub use batch::{collect_episodes_batched, run_jobs_batched, BatchRollout, Job, JobOutcome};
 pub use cache::{EstimatorCache, DEFAULT_ESTIMATOR_CACHE_CAPACITY};
 pub use constraint::{Constraint, Metric, Target, POINT_TOLERANCE};
 pub use env::{RewardMode, RewardShaper, SqlGenEnv};

@@ -1,0 +1,533 @@
+//! Dynamic batcher: coalesces concurrent generation requests into one
+//! lockstep GEMM window.
+//!
+//! The flow is `queue → window → lanes`:
+//!
+//! 1. HTTP workers push [`GenTask`]s onto the schema's bounded queue.
+//! 2. The batcher thread blocks for the first task, then keeps gathering
+//!    until either `max_wait` elapses or the window holds
+//!    `max_batch_jobs` episode jobs — latency-bounded coalescing.
+//! 3. The window is expanded into per-episode [`sqlgen_rl::Job`]s (request
+//!    `i`, episode `j` → tag `i << 32 | j`, seed `worker_seed(req.seed, j)`)
+//!    and run through [`sqlgen_rl::run_jobs_batched`] on `lanes` lanes.
+//!
+//! Because every job re-seeds its lane RNG and zeroes its LSTM lane at
+//! assignment, the response bytes for a request are a pure function of
+//! (weights, schema, constraint, seed) — identical no matter which
+//! co-tenant requests share the window or how wide the batch is. That is
+//! the contract the `serve-equivalence` fuzz family checks.
+
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+use sqlgen_core::{Algorithm, Constraint, GenConfig, Target};
+use sqlgen_engine::{render, Estimator};
+use sqlgen_fsm::{FsmConfig, Vocabulary};
+use sqlgen_rl::{
+    run_jobs_batched, worker_seed, ActorCritic, ActorNet, Episode, Job, JobOutcome, Reinforce,
+    SqlGenEnv,
+};
+use sqlgen_storage::Database;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on `n` per request; keeps one request from monopolising
+/// windows far beyond `max_batch_jobs`.
+pub const MAX_QUERIES_PER_REQUEST: usize = 256;
+
+/// A parsed `/generate` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenRequest {
+    /// Schema (database) to generate against; empty string = the server's
+    /// first schema.
+    pub schema: String,
+    pub constraint: Constraint,
+    /// Number of queries to generate.
+    pub n: usize,
+    /// Base seed; episode `j` runs on `worker_seed(seed, j)`.
+    pub seed: u64,
+    /// Per-request deadline override in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl GenRequest {
+    /// Parses a JSON request body, e.g.
+    /// `{"constraint":{"metric":"cardinality","min":1,"max":500},"n":4,"seed":7}`.
+    /// Point constraints use `"point"`, ranges use `"min"`/`"max"`.
+    pub fn from_json(body: &str) -> Result<GenRequest, String> {
+        let v = serde_json::from_str::<serde_json::Value>(body)
+            .map_err(|e| format!("invalid JSON body: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .unwrap_or("")
+            .to_string();
+        let n = match v.get("n") {
+            None => 1,
+            Some(n) => n
+                .as_u64()
+                .ok_or_else(|| "\"n\" must be a non-negative integer".to_string())?
+                as usize,
+        };
+        if n == 0 || n > MAX_QUERIES_PER_REQUEST {
+            return Err(format!("\"n\" must be in 1..={MAX_QUERIES_PER_REQUEST}"));
+        }
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => s
+                .as_u64()
+                .ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?,
+        };
+        let timeout_ms = match v.get("timeout_ms") {
+            None => None,
+            Some(t) => Some(
+                t.as_u64()
+                    .ok_or_else(|| "\"timeout_ms\" must be a non-negative integer".to_string())?,
+            ),
+        };
+        let c = v
+            .get("constraint")
+            .ok_or_else(|| "missing \"constraint\" object".to_string())?;
+        let metric = c
+            .get("metric")
+            .and_then(|m| m.as_str())
+            .unwrap_or("cardinality");
+        let num = |key: &str| -> Result<Option<f64>, String> {
+            match c.get(key) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_f64()
+                    .filter(|f| f.is_finite() && *f >= 0.0)
+                    .map(Some)
+                    .ok_or_else(|| format!("constraint \"{key}\" must be a finite number >= 0")),
+            }
+        };
+        let target = match (num("point")?, num("min")?, num("max")?) {
+            (Some(p), None, None) => Target::Point(p),
+            (None, Some(lo), Some(hi)) if lo <= hi => Target::Range(lo, hi),
+            (None, Some(_), Some(_)) => return Err("constraint min > max".to_string()),
+            _ => {
+                return Err(
+                    "constraint needs either \"point\" or both \"min\" and \"max\"".to_string(),
+                )
+            }
+        };
+        let constraint = match metric {
+            "cardinality" => match target {
+                Target::Point(p) => Constraint::cardinality_point(p),
+                Target::Range(lo, hi) => Constraint::cardinality_range(lo, hi),
+            },
+            "cost" => match target {
+                Target::Point(p) => Constraint::cost_point(p),
+                Target::Range(lo, hi) => Constraint::cost_range(lo, hi),
+            },
+            other => return Err(format!("unknown metric {other:?} (cardinality|cost)")),
+        };
+        Ok(GenRequest {
+            schema,
+            constraint,
+            n,
+            seed,
+            timeout_ms,
+        })
+    }
+}
+
+/// One generated query in a response.
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    pub sql: String,
+    pub measured: f64,
+    pub satisfied: bool,
+}
+
+/// What the batcher sends back to the waiting HTTP worker.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    pub queries: Vec<ServedQuery>,
+    /// Episodes aborted by the request deadline (so `queries.len() +
+    /// expired == n`).
+    pub expired: usize,
+    pub model_label: String,
+    pub model_version: u64,
+}
+
+/// A request travelling through the admission queue.
+pub struct GenTask {
+    pub req: GenRequest,
+    pub deadline: Option<Instant>,
+    pub enqueued: Instant,
+    pub reply: mpsc::SyncSender<RequestOutcome>,
+}
+
+/// The generation-side bundle for one database: action space, statistics,
+/// FSM limits, model registry and admission queue. Everything the batcher
+/// needs; the HTTP layer only touches `queue` and `registry`.
+pub struct Schema {
+    pub name: String,
+    pub vocab: Vocabulary,
+    pub estimator: Estimator,
+    pub fsm: FsmConfig,
+    pub registry: ModelRegistry,
+    pub queue: BoundedQueue<GenTask>,
+}
+
+impl Schema {
+    /// Derives the action space and statistics from `db` exactly as
+    /// `LearnedSqlGen::new` does — including the bootstrap policy weights —
+    /// so an untrained server is bitwise-equivalent to an untrained
+    /// generator with the same `GenConfig`.
+    pub fn build(
+        name: &str,
+        db: &Database,
+        config: &GenConfig,
+        model_dir: Option<PathBuf>,
+        queue_cap: usize,
+    ) -> Schema {
+        let vocab = Vocabulary::build(db, &config.sample);
+        let estimator = Estimator::build(db);
+        let actor = match config.algorithm {
+            Algorithm::Reinforce => Reinforce::new(vocab.size(), config.train.clone()).actor,
+            Algorithm::ActorCritic => ActorCritic::new(vocab.size(), config.train.clone()).actor,
+        };
+        let registry = ModelRegistry::new(
+            crate::registry::ServedModel {
+                label: "builtin".to_string(),
+                version: 0,
+                actor,
+            },
+            model_dir,
+            vocab.size(),
+        );
+        if let Err(e) = registry.refresh() {
+            sqlgen_obs::obs_warn!("[serve] schema {name}: no loadable checkpoint yet: {e}");
+        }
+        Schema {
+            name: name.to_string(),
+            vocab,
+            estimator,
+            fsm: config.fsm.clone(),
+            registry,
+            queue: BoundedQueue::new(queue_cap),
+        }
+    }
+
+    /// Installs trained weights from a generator (in-process publish path,
+    /// used by `sqlgen serve --train` and tests).
+    pub fn publish_actor(&self, label: &str, version: u64, actor: ActorNet) {
+        assert_eq!(
+            actor.vocab_size,
+            self.vocab.size(),
+            "published actor must match the schema vocabulary"
+        );
+        self.registry.publish(crate::registry::ServedModel {
+            label: label.to_string(),
+            version,
+            actor,
+        });
+    }
+}
+
+/// One request's slice of a window, decoupled from the task plumbing so
+/// `run_window` stays pure (the fuzz harness calls it directly).
+#[derive(Debug, Clone)]
+pub struct WindowRequest {
+    pub constraint: Constraint,
+    pub n: usize,
+    pub seed: u64,
+    pub deadline: Option<Instant>,
+}
+
+impl From<&GenRequest> for WindowRequest {
+    fn from(req: &GenRequest) -> WindowRequest {
+        WindowRequest {
+            constraint: req.constraint,
+            n: req.n,
+            seed: req.seed,
+            deadline: None,
+        }
+    }
+}
+
+/// Episodes for one window request, in episode order.
+pub struct WindowOutcome {
+    pub episodes: Vec<Episode>,
+    pub expired: usize,
+}
+
+/// Runs a gathered window on `lanes` lockstep lanes. Pure: the output for
+/// request `i` depends only on (actor, vocab, estimator, fsm,
+/// `reqs[i]`) — not on `lanes` or on the other requests in the window.
+pub fn run_window(
+    actor: &ActorNet,
+    vocab: &Vocabulary,
+    estimator: &Estimator,
+    fsm: &FsmConfig,
+    reqs: &[WindowRequest],
+    lanes: usize,
+) -> Vec<WindowOutcome> {
+    let envs: Vec<SqlGenEnv<'_>> = reqs
+        .iter()
+        .map(|r| SqlGenEnv::new(vocab, estimator, r.constraint).with_fsm_config(fsm.clone()))
+        .collect();
+    let mut jobs = Vec::new();
+    for (ri, r) in reqs.iter().enumerate() {
+        for j in 0..r.n {
+            jobs.push(Job {
+                env: &envs[ri],
+                seed: worker_seed(r.seed, j),
+                deadline: r.deadline,
+                tag: (ri as u64) << 32 | j as u64,
+            });
+        }
+    }
+    let mut results = run_jobs_batched(actor, jobs, lanes);
+    // Tags are (request, episode) pairs, so sorting restores submission
+    // order regardless of lane completion order.
+    results.sort_by_key(|(tag, _)| *tag);
+    let mut out: Vec<WindowOutcome> = reqs
+        .iter()
+        .map(|_| WindowOutcome {
+            episodes: Vec::new(),
+            expired: 0,
+        })
+        .collect();
+    for (tag, outcome) in results {
+        let slot = &mut out[(tag >> 32) as usize];
+        match outcome {
+            JobOutcome::Done(ep) => slot.episodes.push(*ep),
+            JobOutcome::Expired => slot.expired += 1,
+        }
+    }
+    out
+}
+
+/// Batcher knobs; `lanes` is the GEMM batch width, `max_wait` the window
+/// gather deadline, `max_batch_jobs` the episode-count cap per window.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    pub lanes: usize,
+    pub max_wait: Duration,
+    pub max_batch_jobs: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            lanes: 8,
+            max_wait: Duration::from_millis(5),
+            max_batch_jobs: 64,
+        }
+    }
+}
+
+/// The batcher thread body. Runs until the schema's queue is closed and
+/// drained; every admitted task gets a reply (receivers that already gave
+/// up are skipped silently).
+pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
+    loop {
+        let Some(first) = schema.queue.pop_timeout(Duration::from_millis(50)) else {
+            if schema.queue.is_closed() && schema.queue.is_empty() {
+                return;
+            }
+            continue;
+        };
+        let window_deadline = Instant::now() + cfg.max_wait;
+        let mut tasks = vec![first];
+        let mut job_count = tasks[0].req.n;
+        while job_count < cfg.max_batch_jobs {
+            let now = Instant::now();
+            if now >= window_deadline {
+                break;
+            }
+            match schema.queue.pop_timeout(window_deadline - now) {
+                Some(t) => {
+                    job_count += t.req.n;
+                    tasks.push(t);
+                }
+                None => break,
+            }
+        }
+        // Hot-swap point: pick up freshly published checkpoints between
+        // windows, never mid-window. Load failures keep the old model.
+        let _ = schema.registry.refresh();
+        let model = schema.registry.current();
+        let reqs: Vec<WindowRequest> = tasks
+            .iter()
+            .map(|t| WindowRequest {
+                constraint: t.req.constraint,
+                n: t.req.n,
+                seed: t.req.seed,
+                deadline: t.deadline,
+            })
+            .collect();
+        sqlgen_obs::obs_record!("serve.batch.requests", tasks.len() as f64);
+        sqlgen_obs::obs_record!("serve.batch.jobs", job_count as f64);
+        let started = Instant::now();
+        for t in &tasks {
+            sqlgen_obs::obs_record!(
+                "serve.queue.wait_us",
+                (started - t.enqueued).as_micros() as f64
+            );
+        }
+        let outcomes = run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            &reqs,
+            cfg.lanes,
+        );
+        sqlgen_obs::obs_record!(
+            "serve.window.latency_us",
+            started.elapsed().as_micros() as f64
+        );
+        for (task, out) in tasks.into_iter().zip(outcomes) {
+            let queries = out
+                .episodes
+                .iter()
+                .map(|ep| ServedQuery {
+                    sql: render(&ep.statement),
+                    measured: ep.measured,
+                    satisfied: ep.satisfied,
+                })
+                .collect();
+            let _ = task.reply.try_send(RequestOutcome {
+                queries,
+                expired: out.expired,
+                model_label: model.label.clone(),
+                model_version: model.version,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_storage::gen::tpch_database;
+
+    fn fixture() -> (Database, GenConfig) {
+        (tpch_database(0.05, 2), GenConfig::fast().with_seed(11))
+    }
+
+    #[test]
+    fn parses_point_and_range_requests() {
+        let r = GenRequest::from_json(
+            r#"{"schema":"tpch","constraint":{"metric":"cost","point":100},"n":4,"seed":9,"timeout_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.schema, "tpch");
+        assert_eq!(r.constraint, Constraint::cost_point(100.0));
+        assert_eq!((r.n, r.seed, r.timeout_ms), (4, 9, Some(250)));
+        let r = GenRequest::from_json(r#"{"constraint":{"min":1,"max":500}}"#).unwrap();
+        assert_eq!(r.constraint, Constraint::cardinality_range(1.0, 500.0));
+        assert_eq!((r.n, r.seed, r.timeout_ms), (1, 0, None));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (body, needle) in [
+            ("{", "invalid JSON"),
+            (r#"{"n":1}"#, "constraint"),
+            (r#"{"constraint":{"metric":"latency","point":1}}"#, "metric"),
+            (r#"{"constraint":{"min":9,"max":1}}"#, "min > max"),
+            (r#"{"constraint":{"point":-3}}"#, "finite number"),
+            (r#"{"constraint":{"min":1}}"#, "point"),
+            (r#"{"constraint":{"point":1},"n":0}"#, "\"n\""),
+            (r#"{"constraint":{"point":1},"n":100000}"#, "\"n\""),
+            (r#"{"constraint":{"point":1},"seed":-4}"#, "seed"),
+        ] {
+            let err = GenRequest::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn window_results_are_independent_of_co_tenants_and_lanes() {
+        let (db, config) = fixture();
+        let schema = Schema::build("t", &db, &config, None, 8);
+        let model = schema.registry.current();
+        let a = WindowRequest {
+            constraint: Constraint::cardinality_range(1.0, 500.0),
+            n: 3,
+            seed: 41,
+            deadline: None,
+        };
+        let b = WindowRequest {
+            constraint: Constraint::cardinality_point(50.0),
+            n: 2,
+            seed: 99,
+            deadline: None,
+        };
+        let solo = run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            std::slice::from_ref(&a),
+            1,
+        );
+        let coalesced = run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            &[b.clone(), a.clone()],
+            8,
+        );
+        let solo_eps = &solo[0].episodes;
+        let shared_eps = &coalesced[1].episodes;
+        assert_eq!(solo_eps.len(), 3);
+        assert_eq!(shared_eps.len(), 3);
+        for (x, y) in solo_eps.iter().zip(shared_eps) {
+            assert_eq!(x.actions, y.actions);
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
+        assert_eq!(coalesced[0].episodes.len(), 2);
+    }
+
+    #[test]
+    fn batch_loop_replies_to_every_task_and_drains_on_close() {
+        let (db, config) = fixture();
+        let schema = std::sync::Arc::new(Schema::build("t", &db, &config, None, 16));
+        let cfg = BatcherConfig {
+            lanes: 4,
+            max_wait: Duration::from_millis(2),
+            max_batch_jobs: 8,
+        };
+        let mut rxs = Vec::new();
+        for seed in 0..5u64 {
+            let (tx, rx) = mpsc::sync_channel(1);
+            schema
+                .queue
+                .try_push(GenTask {
+                    req: GenRequest {
+                        schema: String::new(),
+                        constraint: Constraint::cardinality_range(1.0, 500.0),
+                        n: 2,
+                        seed,
+                        timeout_ms: None,
+                    },
+                    deadline: None,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                })
+                .map_err(|(e, _)| e)
+                .unwrap();
+            rxs.push(rx);
+        }
+        // Close before starting: the loop must still drain all queued work.
+        schema.queue.close();
+        let s = schema.clone();
+        let cfg2 = cfg.clone();
+        let worker = std::thread::spawn(move || batch_loop(&s, &cfg2));
+        for rx in rxs {
+            let out = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(out.queries.len() + out.expired, 2);
+            assert_eq!(out.model_label, "builtin");
+        }
+        worker.join().unwrap();
+        assert!(schema.queue.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Tiny std-only HTTP client for tests, the CLI and the load generator.
+//!
+//! Speaks exactly the dialect the server emits: `HTTP/1.1`, sized bodies,
+//! lowercase-insensitive headers. Supports keep-alive so the closed-loop
+//! bench measures generation throughput, not connection setup.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to the server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the full response. Returns
+    /// `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        // Single write per request — separate head/body writes interact
+        // badly with Nagle + delayed ACK (~40ms stalls).
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: sqlgen\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(msg.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad_data(format!("bad content-length {value:?}")))?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad_data("body is not utf-8".into()))?;
+        if close {
+            // The server is done with this connection; surface that as an
+            // error on the *next* request, not this one.
+            let _ = self.writer.shutdown(std::net::Shutdown::Write);
+        }
+        Ok((status, body))
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut client = Client::connect(addr, Duration::from_secs(60))?;
+    client.request(method, path, body)
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,36 @@
+//! `sqlgen-serve`: a query-generation service over the batched GEMM
+//! inference engine.
+//!
+//! The server turns [`sqlgen_core::LearnedSqlGen`]-style generation into a
+//! multi-tenant HTTP service (DESIGN.md §11):
+//!
+//! - [`http`] — hand-rolled, std-only HTTP/1.1 parsing and response
+//!   writing with hard limits (no tokio/hyper in this build environment).
+//! - [`queue`] — bounded admission queue; overflow becomes `429` +
+//!   `Retry-After` instead of unbounded buffering.
+//! - [`batcher`] — dynamic batching: concurrent requests coalesce into one
+//!   lockstep generation window, with per-request deadlines propagated
+//!   into the lanes. Responses are bitwise-identical to unbatched
+//!   generation for the same seed (the `serve-equivalence` fuzz family).
+//! - [`registry`] — versioned checkpoint registry with atomic hot-swap.
+//! - [`server`] — thread pool, routing (`/generate`, `/healthz`,
+//!   `/metrics`, `/models`, `/models/reload`) and graceful drain-style
+//!   shutdown.
+//! - [`client`] — minimal client used by tests, the CLI and
+//!   `bench_serve`.
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{
+    run_window, BatcherConfig, GenRequest, GenTask, RequestOutcome, Schema, ServedQuery,
+    WindowOutcome, WindowRequest, MAX_QUERIES_PER_REQUEST,
+};
+pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{ModelRegistry, ServedModel};
+pub use server::{serve, ServeConfig, ServerHandle};

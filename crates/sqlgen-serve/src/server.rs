@@ -1,0 +1,563 @@
+//! The HTTP server: bounded thread pool, routing, admission control and
+//! graceful shutdown.
+//!
+//! Thread layout (all std threads, no async runtime):
+//!
+//! ```text
+//! accept thread ──channel──► N http workers ──queue──► 1 batcher/schema
+//!      │                         │                          │
+//!  nonblocking              read_request               run_window on
+//!  listener +               route, respond             `batch` lanes
+//!  shutdown flag            (blocks on reply)
+//! ```
+//!
+//! Shutdown (`ServerHandle::shutdown`) drains rather than aborts: the
+//! listener stops accepting, `/healthz` flips to 503, every schema queue
+//! closes (new `/generate` → 503) while already-admitted tasks run to
+//! completion, and in-flight HTTP exchanges finish with
+//! `Connection: close`.
+
+use crate::batcher::{batch_loop, BatcherConfig, GenRequest, GenTask, RequestOutcome, Schema};
+use crate::http::{read_request, write_response, Limits, Response};
+use crate::queue::PushError;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs; the CLI exposes the first four as
+/// `--addr --threads --batch --max-queue`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// HTTP worker threads (connection concurrency).
+    pub threads: usize,
+    /// Lockstep GEMM lanes per generation window.
+    pub batch: usize,
+    /// Admission queue capacity per schema; beyond it requests get 429.
+    pub max_queue: usize,
+    /// How long the batcher waits to coalesce a window.
+    pub max_wait_ms: u64,
+    /// Episode-count cap per window.
+    pub max_batch_jobs: usize,
+    /// Socket read timeout (also the idle keep-alive cap).
+    pub read_timeout_ms: u64,
+    pub write_timeout_ms: u64,
+    /// Value of the `Retry-After` header on 429.
+    pub retry_after_s: u64,
+    /// Generation deadline when the request has no `timeout_ms`.
+    pub default_timeout_ms: u64,
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 4,
+            batch: 8,
+            max_queue: 64,
+            max_wait_ms: 5,
+            max_batch_jobs: 64,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            retry_after_s: 1,
+            default_timeout_ms: 30_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct ServerState {
+    schemas: Vec<Arc<Schema>>,
+    draining: AtomicBool,
+    config: ServeConfig,
+}
+
+/// A running server. Dropping the handle leaks the threads; call
+/// [`ServerHandle::shutdown`] to drain and join them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_stop: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    http_workers: Vec<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct handle to a schema (tests and the in-process publish path).
+    pub fn schema(&self, name: &str) -> Option<Arc<Schema>> {
+        self.state.schemas.iter().find(|s| s.name == name).cloned()
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight work, join all
+    /// threads.
+    pub fn shutdown(self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        for schema in &self.state.schemas {
+            schema.queue.close();
+        }
+        self.accept_stop.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+        for w in self.http_workers {
+            let _ = w.join();
+        }
+        for b in self.batchers {
+            let _ = b.join();
+        }
+    }
+}
+
+/// Binds, spawns the thread pool and batchers, and returns immediately.
+pub fn serve(config: ServeConfig, schemas: Vec<Schema>) -> std::io::Result<ServerHandle> {
+    assert!(!schemas.is_empty(), "serve() needs at least one schema");
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let state = Arc::new(ServerState {
+        schemas: schemas.into_iter().map(Arc::new).collect(),
+        draining: AtomicBool::new(false),
+        config,
+    });
+
+    let accept_stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let stop = accept_stop.clone();
+    let accept = std::thread::spawn(move || {
+        // conn_tx lives here: when this thread exits, workers see the
+        // channel disconnect and wind down.
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if conn_tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    sqlgen_obs::obs_warn!("[serve] accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+
+    let mut http_workers = Vec::new();
+    for _ in 0..state.config.threads.max(1) {
+        let state = state.clone();
+        let rx = conn_rx.clone();
+        http_workers.push(std::thread::spawn(move || loop {
+            let next = rx.lock().expect("conn receiver").recv();
+            match next {
+                Ok(stream) => handle_connection(&state, stream),
+                Err(_) => return, // accept thread gone and channel drained
+            }
+        }));
+    }
+
+    let mut batchers = Vec::new();
+    for schema in &state.schemas {
+        let schema = schema.clone();
+        let cfg = BatcherConfig {
+            lanes: state.config.batch.max(1),
+            max_wait: Duration::from_millis(state.config.max_wait_ms),
+            max_batch_jobs: state.config.max_batch_jobs.max(1),
+        };
+        batchers.push(std::thread::spawn(move || batch_loop(&schema, &cfg)));
+    }
+
+    sqlgen_obs::obs_info!(
+        "[serve] listening on {addr} ({} schemas, {} http workers, batch {})",
+        state.schemas.len(),
+        state.config.threads.max(1),
+        state.config.batch.max(1)
+    );
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_stop,
+        accept,
+        http_workers,
+        batchers,
+    })
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let cfg = &state.config;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, &cfg.limits) {
+            Ok(req) => {
+                let started = Instant::now();
+                let resp = route(state, req.method.as_str(), &req.path, &req.body);
+                sqlgen_obs::obs_count!("serve.http.requests.count");
+                sqlgen_obs::metrics::global()
+                    .histogram_owned(format!(
+                        "serve.http.latency_us.{}",
+                        endpoint_label(&req.path)
+                    ))
+                    .record(started.elapsed().as_micros() as f64);
+                // During a drain every response closes its connection so
+                // the worker pool can wind down.
+                let keep_alive = req.keep_alive && !state.draining.load(Ordering::SeqCst);
+                if write_response(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    let _ =
+                        write_response(&mut writer, &Response::error(status, e.detail()), false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Metric label for the per-endpoint latency histogram.
+fn endpoint_label(path: &str) -> &'static str {
+    match path.split('?').next().unwrap_or("") {
+        "/generate" => "generate",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/models" | "/models/reload" => "models",
+        _ => "other",
+    }
+}
+
+fn route(state: &ServerState, method: &str, path: &str, body: &[u8]) -> Response {
+    let path = path.split('?').next().unwrap_or("");
+    match (method, path) {
+        ("GET", "/healthz") => {
+            if state.draining.load(Ordering::SeqCst) {
+                Response::json(503, r#"{"status":"draining"}"#.to_string())
+            } else {
+                Response::json(
+                    200,
+                    format!(r#"{{"status":"ok","schemas":{}}}"#, state.schemas.len()),
+                )
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, sqlgen_obs::metrics::render_text()),
+        ("GET", "/models") => Response::json(200, models_json(state)),
+        ("POST", "/models/reload") => reload(state),
+        ("POST", "/generate") => generate(state, body),
+        (_, "/healthz" | "/metrics" | "/models" | "/models/reload" | "/generate") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn models_json(state: &ServerState) -> String {
+    let entries: Vec<String> = state
+        .schemas
+        .iter()
+        .map(|s| {
+            let m = s.registry.current();
+            format!(
+                r#"{{"name":{},"model":{},"version":{},"queue_depth":{},"queue_capacity":{}}}"#,
+                json_str(&s.name),
+                json_str(&m.label),
+                m.version,
+                s.queue.len(),
+                s.queue.capacity()
+            )
+        })
+        .collect();
+    format!(r#"{{"schemas":[{}]}}"#, entries.join(","))
+}
+
+fn reload(state: &ServerState) -> Response {
+    let mut entries = Vec::new();
+    for s in &state.schemas {
+        let entry = match s.registry.refresh() {
+            Ok(swapped) => {
+                let m = s.registry.current();
+                format!(
+                    r#"{{"name":{},"swapped":{},"model":{},"version":{}}}"#,
+                    json_str(&s.name),
+                    swapped,
+                    json_str(&m.label),
+                    m.version
+                )
+            }
+            Err(e) => format!(
+                r#"{{"name":{},"swapped":false,"error":{}}}"#,
+                json_str(&s.name),
+                json_str(&e.to_string())
+            ),
+        };
+        entries.push(entry);
+    }
+    Response::json(200, format!(r#"{{"schemas":[{}]}}"#, entries.join(",")))
+}
+
+fn generate(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not utf-8");
+    };
+    let req = match GenRequest::from_json(text) {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &e),
+    };
+    let Some(schema) = (if req.schema.is_empty() {
+        state.schemas.first().cloned()
+    } else {
+        state.schemas.iter().find(|s| s.name == req.schema).cloned()
+    }) else {
+        return Response::error(404, &format!("unknown schema {:?}", req.schema));
+    };
+
+    let now = Instant::now();
+    // `timeout_ms: 0` is honoured as an already-expired deadline — useful
+    // for probing the expiry path deterministically.
+    let timeout = Duration::from_millis(req.timeout_ms.unwrap_or(state.config.default_timeout_ms));
+    let deadline = now + timeout;
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let task = GenTask {
+        req: req.clone(),
+        deadline: Some(deadline),
+        enqueued: now,
+        reply: reply_tx,
+    };
+    match schema.queue.try_push(task) {
+        Err((PushError::Full, _)) => {
+            return Response::error(429, "queue full; retry later")
+                .with_header("retry-after", state.config.retry_after_s.to_string());
+        }
+        Err((PushError::Closed, _)) => {
+            return Response::error(503, "server is shutting down");
+        }
+        Ok(()) => {}
+    }
+    // The batcher aborts expired lanes at `deadline`; the grace term covers
+    // window gather time plus the final lockstep iteration.
+    let grace = Duration::from_millis(state.config.max_wait_ms + 2_000);
+    match reply_rx.recv_timeout(timeout + grace) {
+        Ok(out) => {
+            if out.queries.is_empty() && out.expired > 0 {
+                sqlgen_obs::obs_count!("serve.timeout.count");
+                return Response::error(504, "deadline expired before any query finished");
+            }
+            Response::json(200, outcome_json(&schema.name, &req, &out))
+        }
+        Err(_) => {
+            sqlgen_obs::obs_count!("serve.timeout.count");
+            Response::error(504, "generation did not finish before the deadline")
+        }
+    }
+}
+
+fn outcome_json(schema: &str, req: &GenRequest, out: &RequestOutcome) -> String {
+    let queries: Vec<String> = out
+        .queries
+        .iter()
+        .map(|q| {
+            format!(
+                r#"{{"sql":{},"measured":{},"satisfied":{}}}"#,
+                json_str(&q.sql),
+                json_num(q.measured),
+                q.satisfied
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"schema":{},"model":{},"model_version":{},"seed":{},"n":{},"expired":{},"queries":[{}]}}"#,
+        json_str(schema),
+        json_str(&out.model_label),
+        out.model_version,
+        req.seed,
+        req.n,
+        out.expired,
+        queries.join(",")
+    )
+}
+
+/// JSON string literal (quoted + escaped) via the vendored serde_json
+/// `Value` renderer, so escaping rules live in one place.
+fn json_str(s: &str) -> String {
+    serde_json::Value::String(s.to_string()).to_string()
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// Route-level tests drive `route()` directly (no sockets, no batcher), so
+// the admission responses are deterministic: the queue is exactly as full
+// as the test made it.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::ServedQuery;
+    use sqlgen_core::{Constraint, GenConfig};
+    use sqlgen_storage::gen::tpch_database;
+
+    fn test_state(queue_cap: usize) -> ServerState {
+        let db = tpch_database(0.05, 2);
+        let config = GenConfig::fast().with_seed(11);
+        let schema = Schema::build("tpch", &db, &config, None, queue_cap);
+        ServerState {
+            schemas: vec![Arc::new(schema)],
+            draining: AtomicBool::new(false),
+            config: ServeConfig::default(),
+        }
+    }
+
+    fn fill_queue(state: &ServerState) -> mpsc::Receiver<RequestOutcome> {
+        let schema = &state.schemas[0];
+        let (tx, rx) = mpsc::sync_channel(state.config.max_queue);
+        while schema.queue.len() < schema.queue.capacity() {
+            schema
+                .queue
+                .try_push(GenTask {
+                    req: GenRequest {
+                        schema: String::new(),
+                        constraint: Constraint::cardinality_point(10.0),
+                        n: 1,
+                        seed: 0,
+                        timeout_ms: None,
+                    },
+                    deadline: None,
+                    enqueued: Instant::now(),
+                    reply: tx.clone(),
+                })
+                .map_err(|(e, _)| e)
+                .unwrap();
+        }
+        rx
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_404_and_405() {
+        let state = test_state(4);
+        assert_eq!(route(&state, "GET", "/nope", b"").status, 404);
+        assert_eq!(route(&state, "DELETE", "/generate", b"").status, 405);
+        assert_eq!(route(&state, "POST", "/healthz", b"").status, 405);
+    }
+
+    #[test]
+    fn healthz_flips_to_503_while_draining() {
+        let state = test_state(4);
+        assert_eq!(route(&state, "GET", "/healthz", b"").status, 200);
+        state.draining.store(true, Ordering::SeqCst);
+        let resp = route(&state, "GET", "/healthz", b"");
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("draining"));
+    }
+
+    #[test]
+    fn generate_validates_body_and_schema() {
+        let state = test_state(4);
+        assert_eq!(route(&state, "POST", "/generate", b"not json").status, 400);
+        assert_eq!(
+            route(&state, "POST", "/generate", &[0xff, 0xfe]).status,
+            400
+        );
+        let unknown = br#"{"schema":"nope","constraint":{"point":1}}"#;
+        assert_eq!(route(&state, "POST", "/generate", unknown).status, 404);
+    }
+
+    #[test]
+    fn full_queue_gets_429_with_retry_after() {
+        let state = test_state(2);
+        let _rx = fill_queue(&state);
+        let resp = route(
+            &state,
+            "POST",
+            "/generate",
+            br#"{"constraint":{"point":1}}"#,
+        );
+        assert_eq!(resp.status, 429);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(name, value)| name == "retry-after" && value == "1"));
+    }
+
+    #[test]
+    fn closed_queue_gets_503() {
+        let state = test_state(4);
+        state.schemas[0].queue.close();
+        let resp = route(
+            &state,
+            "POST",
+            "/generate",
+            br#"{"constraint":{"point":1}}"#,
+        );
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn models_and_metrics_render() {
+        let state = test_state(4);
+        let models = route(&state, "GET", "/models", b"");
+        assert_eq!(models.status, 200);
+        let v = serde_json::from_str::<serde_json::Value>(&models.body).unwrap();
+        let entry = &v.get("schemas").unwrap().as_array().unwrap()[0];
+        assert_eq!(entry.get("name").unwrap().as_str(), Some("tpch"));
+        assert_eq!(entry.get("model").unwrap().as_str(), Some("builtin"));
+        assert_eq!(route(&state, "GET", "/metrics", b"").status, 200);
+        assert_eq!(route(&state, "POST", "/models/reload", b"").status, 200);
+    }
+
+    #[test]
+    fn outcome_json_escapes_sql() {
+        let out = RequestOutcome {
+            queries: vec![ServedQuery {
+                sql: "SELECT \"x\"".to_string(),
+                measured: 12.5,
+                satisfied: true,
+            }],
+            expired: 1,
+            model_label: "builtin".to_string(),
+            model_version: 3,
+        };
+        let req = GenRequest {
+            schema: String::new(),
+            constraint: Constraint::cardinality_point(1.0),
+            n: 2,
+            seed: 7,
+            timeout_ms: None,
+        };
+        let body = outcome_json("tpch", &req, &out);
+        let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+        assert_eq!(
+            v.get("queries").unwrap().as_array().unwrap()[0]
+                .get("sql")
+                .unwrap()
+                .as_str(),
+            Some("SELECT \"x\"")
+        );
+        assert_eq!(v.get("expired").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("model_version").unwrap().as_u64(), Some(3));
+    }
+}

@@ -7,6 +7,7 @@
 //! sqlgen --benchmark tpch --range 1000 2000 --save model.json
 //! sqlgen --benchmark tpch --range 1000 2000 --load model.json --train 0
 //! sqlgen --benchmark tpch --range 1000 2000 --trace run.jsonl --metrics
+//! sqlgen serve --addr 127.0.0.1:8080 --threads 4 --batch 8 --max-queue 64
 //! ```
 
 use learned_sqlgen::core::{profile, Constraint, GenConfig, LearnedSqlGen};
@@ -45,6 +46,7 @@ sqlgen — constraint-aware SQL generation (LearnedSQLGen reproduction)
 
 USAGE:
   sqlgen --benchmark <tpch|job|xuetang> (--point <v> | --range <lo> <hi>) [flags]
+  sqlgen serve [serve flags]       run the HTTP generation service (see --help serve)
 
 FLAGS:
   --metric <card|cost>    constrained metric (default: card)
@@ -205,7 +207,184 @@ fn query_json(
     serde_json::Value::Object(fields).to_string()
 }
 
+const SERVE_USAGE: &str = "\
+sqlgen serve — constraint-aware SQL generation over HTTP
+
+USAGE:
+  sqlgen serve [flags]
+
+FLAGS:
+  --addr <host:port>      bind address (default: 127.0.0.1:8080; port 0 = ephemeral)
+  --threads <workers>     HTTP worker threads (default: 4)
+  --batch <lanes>         lockstep GEMM lanes per generation window (default: 8)
+  --max-queue <n>         admission queue capacity; beyond it 429 (default: 64)
+  --max-wait-ms <ms>      batcher window coalescing wait (default: 5)
+  --benchmark <name>      served schema: tpch|job|xuetang (default: tpch)
+  --scale <sf>            data scale factor (default: 0.3)
+  --seed <u64>            RNG seed (default: 42)
+  --train <episodes>      pre-train the policy before serving (default: 0);
+                          needs --point or --range for the training constraint
+  --metric <card|cost>    training constraint metric (default: card)
+  --point <v>             training constraint: point target
+  --range <lo> <hi>       training constraint: range target
+  --model-dir <dir>       hot-load *.ckpt checkpoints from this directory
+  --trace <path.jsonl>    write structured observability events (JSON lines)
+  --quiet                 suppress informational output
+
+ENDPOINTS:
+  POST /generate   {\"constraint\": {\"metric\": \"cardinality\", \"min\": 1, \"max\": 500},
+                    \"n\": 4, \"seed\": 7, \"timeout_ms\": 2000}
+  GET  /healthz    200 while accepting, 503 while draining
+  GET  /metrics    Prometheus-style text metrics
+  GET  /models     the served model per schema
+  POST /models/reload  re-scan --model-dir now";
+
+fn serve_main(argv: Vec<String>) -> ! {
+    let fail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{SERVE_USAGE}");
+        exit(2)
+    };
+    let mut config = learned_sqlgen::serve::ServeConfig::default();
+    let mut benchmark = Benchmark::TpcH;
+    let mut scale = 0.3f64;
+    let mut seed = 42u64;
+    let mut train = 0usize;
+    let mut metric = String::from("card");
+    let mut point: Option<f64> = None;
+    let mut range: Option<(f64, f64)> = None;
+    let mut model_dir: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut quiet = false;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--threads" => {
+                config.threads = value("--threads")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--threads"))
+                    .max(1)
+            }
+            "--batch" => {
+                config.batch = value("--batch")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--batch"))
+                    .max(1)
+            }
+            "--max-queue" => {
+                config.max_queue = value("--max-queue")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--max-queue"))
+                    .max(1)
+            }
+            "--max-wait-ms" => {
+                config.max_wait_ms = value("--max-wait-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-wait-ms"))
+            }
+            "--benchmark" => {
+                benchmark = value("--benchmark")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| fail("--scale")),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| fail("--seed")),
+            "--train" => train = value("--train").parse().unwrap_or_else(|_| fail("--train")),
+            "--metric" => metric = value("--metric"),
+            "--point" => point = Some(value("--point").parse().unwrap_or_else(|_| fail("--point"))),
+            "--range" => {
+                let lo = value("--range")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--range lo"));
+                let hi = value("--range")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--range hi"));
+                range = Some((lo, hi));
+            }
+            "--model-dir" => model_dir = Some(value("--model-dir")),
+            "--trace" => trace = Some(value("--trace")),
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown serve flag {other}")),
+        }
+    }
+
+    if quiet {
+        sqlgen_obs::set_level(sqlgen_obs::Level::Warn);
+    }
+    // /metrics is part of the service surface; always collect.
+    sqlgen_obs::enable_metrics();
+    if let Some(path) = &trace {
+        let sink = sqlgen_obs::JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            obs_error!("cannot create trace file {path}: {e}");
+            exit(1);
+        });
+        sqlgen_obs::install_sink(Arc::new(sink));
+    }
+
+    obs_info!(
+        "building {} at scale {scale} (seed {seed}) ...",
+        benchmark.name()
+    );
+    let db = benchmark.build(scale, seed);
+    let gen_config = GenConfig::default().with_seed(seed);
+
+    let schema = learned_sqlgen::serve::Schema::build(
+        benchmark.name(),
+        &db,
+        &gen_config,
+        model_dir.map(std::path::PathBuf::from),
+        config.max_queue,
+    );
+
+    if train > 0 {
+        let constraint = match (metric.as_str(), point, range) {
+            ("card", Some(p), _) => Constraint::cardinality_point(p),
+            ("card", _, Some((lo, hi))) => Constraint::cardinality_range(lo, hi),
+            ("cost", Some(p), _) => Constraint::cost_point(p),
+            ("cost", _, Some((lo, hi))) => Constraint::cost_range(lo, hi),
+            ("card" | "cost", None, None) => {
+                fail("--train needs a training constraint (--point or --range)")
+            }
+            (m, _, _) => fail(&format!("unknown metric {m} (card|cost)")),
+        };
+        obs_info!("training {train} episodes for {constraint} before serving ...");
+        let mut generator = LearnedSqlGen::new(&db, constraint, gen_config.clone());
+        generator.train(train);
+        schema.publish_actor("trained", 1, generator.checkpoint().actor);
+    }
+
+    let addr = config.addr.clone();
+    let handle = learned_sqlgen::serve::serve(config, vec![schema]).unwrap_or_else(|e| {
+        obs_error!("cannot bind {addr}: {e}");
+        exit(1);
+    });
+    obs_info!("serving on http://{}", handle.addr());
+    obs_info!(
+        "try: curl -s http://{}/generate -d \
+         '{{\"constraint\":{{\"metric\":\"cardinality\",\"min\":1,\"max\":500}},\"n\":2}}'",
+        handle.addr()
+    );
+    // Serve until the process is killed; there is no portable std-only
+    // signal hook, so drain-on-SIGTERM is the container runtime's job.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        argv.remove(0);
+        serve_main(argv);
+    }
     let args = parse_args();
     if args.quiet {
         sqlgen_obs::set_level(sqlgen_obs::Level::Warn);
@@ -336,11 +515,13 @@ fn main() {
     }
 
     if let Some(path) = &args.save {
-        std::fs::write(path, generator.save_actor()).unwrap_or_else(|e| {
-            obs_error!("cannot write {path}: {e}");
-            exit(1);
-        });
-        obs_info!("saved actor to {path}");
+        generator
+            .write_checkpoint(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                obs_error!("cannot write {path}: {e}");
+                exit(1);
+            });
+        obs_info!("saved checkpoint to {path}");
     }
 
     if args.metrics {

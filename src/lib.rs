@@ -15,6 +15,8 @@
 //! * [`fsm`] — the finite-state machine guaranteeing query validity.
 //! * [`rl`] — REINFORCE, actor-critic and meta-critic algorithms.
 //! * [`core`] — the `LearnedSqlGen` generator itself.
+//! * [`serve`] — the HTTP generation service (dynamic batching, admission
+//!   control, model registry).
 //! * [`baselines`] — SQLsmith-style random and template-based baselines.
 //!
 //! ## Quickstart
@@ -38,4 +40,5 @@ pub use sqlgen_engine as engine;
 pub use sqlgen_fsm as fsm;
 pub use sqlgen_nn as nn;
 pub use sqlgen_rl as rl;
+pub use sqlgen_serve as serve;
 pub use sqlgen_storage as storage;
