@@ -44,6 +44,14 @@ struct WorkerStats {
     latencies_ms: Vec<f64>,
 }
 
+/// p50/p95 of one pipeline phase, read back from the labeled
+/// `serve.phase.*_us` histograms after the load finishes.
+struct PhaseBreakdown {
+    samples: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
 struct PhaseResult {
     batch: usize,
     seconds: f64,
@@ -56,6 +64,12 @@ struct PhaseResult {
     latency_p50_ms: f64,
     latency_p95_ms: f64,
     latency_p99_ms: f64,
+    /// queue_wait → gather → exec attribution for this batch width.
+    queue_wait: PhaseBreakdown,
+    gather: PhaseBreakdown,
+    exec: PhaseBreakdown,
+    /// `(seconds_since_phase_start, depth)` samples of the admission queue.
+    queue_depth_timeline: Vec<(f64, usize)>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -129,6 +143,57 @@ fn run_worker(
     stats
 }
 
+/// Reads back the labeled `serve.phase.<which>_us` histogram this phase's
+/// batch width wrote into the global registry.
+fn read_breakdown(which: &str, batch: usize) -> PhaseBreakdown {
+    let labels = sqlgen_obs::Labels::new()
+        .with("schema", "tpch")
+        .with("batch_width", &batch.to_string());
+    let h =
+        sqlgen_obs::metrics::global().histogram_with(&format!("serve.phase.{which}_us"), &labels);
+    PhaseBreakdown {
+        samples: h.count(),
+        p50_ms: h.percentile(0.50) / 1e3,
+        p95_ms: h.percentile(0.95) / 1e3,
+    }
+}
+
+/// End-to-end trace smoke against a live server: the forced-504 request
+/// must carry an `X-Request-Id` that resolves to a full span tree, and
+/// `/metrics` must pass the Prometheus exposition grammar. Panics (→
+/// non-zero exit, CI-visible) on any violation.
+fn trace_smoke(addr: std::net::SocketAddr) {
+    use sqlgen_serve::client;
+    let resp = client::request_full(
+        addr,
+        "POST",
+        "/generate",
+        &[],
+        Some(r#"{"constraint":{"point":50},"n":1,"timeout_ms":0}"#),
+    )
+    .expect("trace smoke request failed");
+    assert_eq!(
+        resp.status, 504,
+        "timeout_ms=0 should expire: {}",
+        resp.body
+    );
+    let id = resp
+        .header("x-request-id")
+        .expect("response missing X-Request-Id")
+        .to_string();
+    let (status, body) =
+        client::request(addr, "GET", &format!("/debug/traces/{id}"), None).expect("trace lookup");
+    assert_eq!(status, 200, "504 trace {id} not retained: {body}");
+    for phase in ["queue_wait", "batch_gather", "lane_exec"] {
+        assert!(body.contains(phase), "trace missing {phase} span: {body}");
+    }
+    let (status, metrics) = client::request(addr, "GET", "/metrics", None).expect("metrics fetch");
+    assert_eq!(status, 200);
+    if let Err(e) = sqlgen_obs::validate_exposition(&metrics) {
+        panic!("/metrics violates the exposition format: {e}");
+    }
+}
+
 fn run_phase(db: &Database, seed: u64, batch: usize, plan: &LoadPlan) -> PhaseResult {
     let schema = Schema::build("tpch", db, &harness_gen_config(seed), None, 512);
     let server: ServerHandle = serve(
@@ -148,7 +213,26 @@ fn run_phase(db: &Database, seed: u64, batch: usize, plan: &LoadPlan) -> PhaseRe
     .expect("bind ephemeral port");
     let addr = server.addr();
 
+    // Queue-depth sampler: polls the admission queue every 20ms for the
+    // offered-load timeline in BENCH_serve.json.
+    let sampler_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler_schema = server.schema("tpch").expect("tpch schema");
     let phase_start = Instant::now();
+    let sampler = {
+        let stop = sampler_stop.clone();
+        std::thread::spawn(move || {
+            let mut timeline = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                timeline.push((
+                    phase_start.elapsed().as_secs_f64(),
+                    sampler_schema.queue.len(),
+                ));
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            timeline
+        })
+    };
+
     let all: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..plan.workers)
             .map(|w| scope.spawn(move || run_worker(addr, w, plan, phase_start)))
@@ -156,6 +240,20 @@ fn run_phase(db: &Database, seed: u64, batch: usize, plan: &LoadPlan) -> PhaseRe
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let seconds = phase_start.elapsed().as_secs_f64();
+    sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut queue_depth_timeline = sampler.join().expect("queue sampler");
+    // Keep the report bounded: downsample long timelines to ≤200 points.
+    if queue_depth_timeline.len() > 200 {
+        let step = queue_depth_timeline.len().div_ceil(200);
+        queue_depth_timeline = queue_depth_timeline.into_iter().step_by(step).collect();
+    }
+
+    // Per-phase attribution for this batch width, then the trace/metrics
+    // smoke contract — both against the still-running server.
+    let queue_wait = read_breakdown("queue_wait", batch);
+    let gather = read_breakdown("gather", batch);
+    let exec = read_breakdown("exec", batch);
+    trace_smoke(addr);
     server.shutdown();
 
     let mut latencies: Vec<f64> = all.iter().flat_map(|s| s.latencies_ms.clone()).collect();
@@ -173,15 +271,33 @@ fn run_phase(db: &Database, seed: u64, batch: usize, plan: &LoadPlan) -> PhaseRe
         latency_p50_ms: percentile(&latencies, 0.50),
         latency_p95_ms: percentile(&latencies, 0.95),
         latency_p99_ms: percentile(&latencies, 0.99),
+        queue_wait,
+        gather,
+        exec,
+        queue_depth_timeline,
     }
 }
 
+fn breakdown_json(b: &PhaseBreakdown) -> String {
+    format!(
+        "{{\"samples\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+        b.samples, b.p50_ms, b.p95_ms
+    )
+}
+
 fn phase_json(p: &PhaseResult) -> String {
+    let timeline: Vec<String> = p
+        .queue_depth_timeline
+        .iter()
+        .map(|(t, d)| format!("[{t:.3}, {d}]"))
+        .collect();
     format!(
         "{{\"batch\": {}, \"seconds\": {:.3}, \"ok\": {}, \"rejected\": {}, \
          \"timeouts\": {}, \"other_errors\": {}, \"requests_per_sec\": {:.2}, \
          \"queries_per_sec\": {:.2}, \"latency_p50_ms\": {:.2}, \
-         \"latency_p95_ms\": {:.2}, \"latency_p99_ms\": {:.2}}}",
+         \"latency_p95_ms\": {:.2}, \"latency_p99_ms\": {:.2}, \
+         \"phase_breakdown\": {{\"queue_wait\": {}, \"gather\": {}, \"exec\": {}}}, \
+         \"queue_depth_timeline\": [{}]}}",
         p.batch,
         p.seconds,
         p.ok,
@@ -192,7 +308,11 @@ fn phase_json(p: &PhaseResult) -> String {
         p.queries_per_sec,
         p.latency_p50_ms,
         p.latency_p95_ms,
-        p.latency_p99_ms
+        p.latency_p99_ms,
+        breakdown_json(&p.queue_wait),
+        breakdown_json(&p.gather),
+        breakdown_json(&p.exec),
+        timeline.join(", ")
     )
 }
 
@@ -286,6 +406,19 @@ fn main() {
         batched.timeouts,
         batched.latency_p95_ms
     );
+    for p in [&serial, &batched] {
+        sqlgen_obs::obs_info!(
+            "[serve-bench] batch={} attribution: queue_wait p50/p95 {:.2}/{:.2}ms, \
+             gather {:.2}/{:.2}ms, exec {:.2}/{:.2}ms",
+            p.batch,
+            p.queue_wait.p50_ms,
+            p.queue_wait.p95_ms,
+            p.gather.p50_ms,
+            p.gather.p95_ms,
+            p.exec.p50_ms,
+            p.exec.p95_ms
+        );
+    }
     let speedup = batched.queries_per_sec / serial.queries_per_sec.max(f64::MIN_POSITIVE);
     sqlgen_obs::obs_info!(
         "[serve-bench] batch={} vs batch=1: {:.2}x queries/sec",

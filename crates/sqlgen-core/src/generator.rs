@@ -232,6 +232,21 @@ impl LearnedSqlGen {
         seed: u64,
         deadline: Option<Instant>,
     ) -> (Vec<GeneratedQuery>, usize) {
+        self.generate_seeded_traced(n, seed, deadline, None)
+    }
+
+    /// [`LearnedSqlGen::generate_seeded_deadline`] with an optional request
+    /// trace: each job attributes its lane time (`episode` span,
+    /// `estimator`/`refill` accumulation, token counts) to `trace`. This is
+    /// the facade a serving batcher calls so end-to-end request traces
+    /// reach the per-token engine.
+    pub fn generate_seeded_traced(
+        &self,
+        n: usize,
+        seed: u64,
+        deadline: Option<Instant>,
+        trace: Option<sqlgen_obs::TraceHandle>,
+    ) -> (Vec<GeneratedQuery>, usize) {
         let _span = sqlgen_obs::obs_span!("gen.generate_seeded");
         let env = self.env();
         let actor = match &self.trainer {
@@ -245,6 +260,7 @@ impl LearnedSqlGen {
                 seed: worker_seed(seed, j),
                 deadline,
                 tag: j as u64,
+                trace: trace.clone(),
             })
             .collect();
         let mut tagged = run_jobs_batched(actor, jobs, lanes);

@@ -1,4 +1,4 @@
-//! The seven invariant families the harness checks.
+//! The eight invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -629,6 +629,7 @@ pub fn check_serve_equivalence(rng: &mut StdRng) -> CheckResult {
             n: rng.random_range(1..=3),
             seed: rng.random(),
             deadline: None,
+            trace: None,
         })
         .collect();
     let lanes = [2usize, 4, 8][rng.random_range(0..3usize)];
@@ -770,6 +771,139 @@ pub fn check_serve_equivalence(rng: &mut StdRng) -> CheckResult {
             }
         }
         checks += 1;
+    }
+    Ok(checks)
+}
+
+// ---------------------------------------------------------------------------
+// (h) trace headers
+// ---------------------------------------------------------------------------
+
+/// The trace-propagation parser (`traceparent` / `X-Request-Id`) must
+/// survive hostile bytes without panicking, reject crafted malformed
+/// headers, and — whenever it does accept an input — echo a canonical,
+/// re-parseable header for the same trace id.
+pub fn check_trace_header(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_obs::trace::{is_canonical_traceparent, ROOT_SPAN};
+    use sqlgen_obs::TraceContext;
+
+    let mut checks = 0u64;
+
+    // --- round-trip: render(ctx) is canonical and parses back ---------------
+    for _ in 0..8 {
+        let ctx = TraceContext {
+            trace_id: ((rng.random::<u64>() as u128) << 64 | rng.random::<u64>() as u128).max(1),
+            parent_span: rng.random(),
+        };
+        let header = ctx.render_traceparent();
+        if !is_canonical_traceparent(&header) {
+            return Err(CheckFail::new(format!("echo not canonical: {header:?}")));
+        }
+        let back = TraceContext::parse_traceparent(&header)
+            .ok_or_else(|| CheckFail::new(format!("echo does not re-parse: {header:?}")))?;
+        if back != ctx {
+            return Err(CheckFail::new(format!(
+                "traceparent round-trip changed identity: {ctx:?} → {back:?}"
+            )));
+        }
+        let id = ctx.request_id();
+        if TraceContext::parse_request_id(&id) != Some(ctx.trace_id) {
+            return Err(CheckFail::new(format!(
+                "request id round-trip failed: {id:?}"
+            )));
+        }
+        checks += 3;
+    }
+
+    // --- crafted invalids must be rejected, never panic ----------------------
+    let valid = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+    let oversized = format!("{valid}0");
+    let crafted = [
+        "",                                                        // empty
+        "00",                                                      // truncated
+        &valid[..54],                                              // one byte short
+        oversized.as_str(),                                        // one byte long
+        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // reserved version
+        "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+        "00-+af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // sign accepted by from_str_radix
+        "00-0af7651916cd43dd8448eb211c80319c-+7ad6b7169203331-01", // sign in span id
+        "00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01", // non-hex
+        "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // wrong separator
+        "00-0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331-01",
+        "00-0af7651916cd43dd8448eb211c8031\u{0}c-b7ad6b7169203331-01", // embedded NUL
+    ];
+    for header in crafted {
+        if TraceContext::parse_traceparent(header).is_some() {
+            return Err(CheckFail::new(format!(
+                "parser accepted crafted invalid traceparent {header:?}"
+            )));
+        }
+        checks += 1;
+    }
+    for id in [
+        "",
+        "0af7651916cd43dd8448eb211c80319",      // 31 chars
+        "0af7651916cd43dd8448eb211c80319cc",    // 33 chars
+        "00000000000000000000000000000000",     // zero
+        "+af7651916cd43dd8448eb211c80319c",     // sign
+        "0af7651916cd43dd8448eb211c8031\u{0}c", // NUL
+    ] {
+        if TraceContext::parse_request_id(id).is_some() {
+            return Err(CheckFail::new(format!(
+                "parser accepted crafted invalid request id {id:?}"
+            )));
+        }
+        checks += 1;
+    }
+
+    // --- byte-soup mutations: no panic; acceptance implies canonical echo ---
+    for _ in 0..32 {
+        let mut bytes = valid.as_bytes().to_vec();
+        match rng.random_range(0..4) {
+            0 => bytes.truncate(rng.random_range(0..bytes.len())),
+            1 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] = rng.random();
+            }
+            2 => {
+                let i = rng.random_range(0..bytes.len());
+                bytes.splice(
+                    i..i,
+                    (0..rng.random_range(1..32)).map(|_| rng.random::<u8>()),
+                );
+            }
+            _ => {
+                bytes = (0..rng.random_range(0..128))
+                    .map(|_| rng.random::<u8>())
+                    .collect();
+            }
+        }
+        let header = String::from_utf8_lossy(&bytes);
+        if let Some(ctx) = TraceContext::parse_traceparent(&header) {
+            if ctx.trace_id == 0 {
+                return Err(CheckFail::new(format!(
+                    "parser yielded zero trace id from {header:?}"
+                )));
+            }
+            if !is_canonical_traceparent(&ctx.render_traceparent()) {
+                return Err(CheckFail::new(format!(
+                    "non-canonical echo for accepted mutation {header:?}"
+                )));
+            }
+        }
+        // from_headers must always produce a usable identity, whatever the
+        // inbound garbage (both headers hostile at once).
+        let ctx = TraceContext::from_headers(Some(&header), Some(&header));
+        let echo = TraceContext {
+            trace_id: ctx.trace_id,
+            parent_span: ROOT_SPAN,
+        };
+        if ctx.trace_id == 0 || !is_canonical_traceparent(&echo.render_traceparent()) {
+            return Err(CheckFail::new(format!(
+                "from_headers produced unusable identity for {header:?}"
+            )));
+        }
+        checks += 2;
     }
     Ok(checks)
 }

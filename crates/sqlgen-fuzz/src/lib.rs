@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with seven
+//! with each other. This crate stress-tests those agreements with eight
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -17,7 +17,10 @@
 //!   lane seeds, and every emitted query passes the fsm-closure checks,
 //! * **serve-equivalence** — dynamic-batcher windows produce episodes
 //!   bitwise-identical to each request served alone, and the HTTP parser
-//!   survives truncated/oversized/hostile bytes with correct 400/413.
+//!   survives truncated/oversized/hostile bytes with correct 400/413,
+//! * **trace-header** — the `traceparent`/`X-Request-Id` parser survives
+//!   hostile bytes without panicking, rejects malformed headers, and any
+//!   accepted or minted identity echoes as a canonical header.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -42,7 +45,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The seven invariant families.
+/// The eight invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -52,10 +55,11 @@ pub enum Family {
     NnNumerics,
     BatchEquivalence,
     ServeEquivalence,
+    TraceHeader,
 }
 
 impl Family {
-    pub const ALL: [Family; 7] = [
+    pub const ALL: [Family; 8] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
@@ -63,6 +67,7 @@ impl Family {
         Family::NnNumerics,
         Family::BatchEquivalence,
         Family::ServeEquivalence,
+        Family::TraceHeader,
     ];
 
     pub fn name(self) -> &'static str {
@@ -74,6 +79,7 @@ impl Family {
             Family::NnNumerics => "nn-numerics",
             Family::BatchEquivalence => "batch-equivalence",
             Family::ServeEquivalence => "serve-equivalence",
+            Family::TraceHeader => "trace-header",
         }
     }
 
@@ -149,7 +155,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 7],
+    pub checks_per_family: [u64; 8],
     pub failures: Vec<Failure>,
 }
 
@@ -190,6 +196,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::NnNumerics => invariants::check_nn_numerics(&mut rng),
         Family::BatchEquivalence => invariants::check_batch_equivalence(&mut rng),
         Family::ServeEquivalence => invariants::check_serve_equivalence(&mut rng),
+        Family::TraceHeader => invariants::check_trace_header(&mut rng),
     }
 }
 

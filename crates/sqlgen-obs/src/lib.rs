@@ -27,10 +27,14 @@
 pub mod metrics;
 pub mod sink;
 pub mod table;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram};
+pub use metrics::{escape_label_value, validate_exposition, Counter, Gauge, Histogram, Labels};
 pub use sink::{Event, JsonlSink, MemorySink, Sink};
 pub use table::{write_csv, Table};
+pub use trace::{
+    FinishedTrace, RequestTrace, TraceContext, TraceHandle, TraceStore, TraceStoreConfig,
+};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};

@@ -16,8 +16,105 @@
 use crate::sink::{num, Event, Fields};
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Labels
+// ---------------------------------------------------------------------------
+
+/// Hard cap on distinct label sets per metric family. The first
+/// `MAX_SERIES_PER_FAMILY - 1` label sets get their own series; everything
+/// beyond collapses into a single `{overflow="true"}` series so a
+/// misbehaving label (e.g. one series per request id) cannot grow the
+/// registry without bound.
+pub const MAX_SERIES_PER_FAMILY: usize = 32;
+
+/// An ordered, deduplicated `key → value` label set.
+///
+/// Keys are sorted so two semantically equal sets compare and render
+/// identically regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    pub fn new() -> Labels {
+        Labels(Vec::new())
+    }
+
+    /// Builder-style insert; replaces an existing value for the same key.
+    pub fn with(mut self, key: &str, value: &str) -> Labels {
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.0[i].1 = value.to_string(),
+            Err(i) => self.0.insert(i, (key.to_string(), value.to_string())),
+        }
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Renders `{k="v",...}` with exposition-format escaping, or `""` when
+    /// empty.
+    pub fn render(&self) -> String {
+        self.render_with(None)
+    }
+
+    /// Renders with one extra trailing pair (the summary `quantile` label).
+    pub fn render_with(&self, extra: Option<(&str, &str)>) -> String {
+        if self.0.is_empty() && extra.is_none() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in self.iter().chain(extra) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&label_key(k));
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`. Other control bytes pass
+/// through (the format permits any UTF-8 in escaped values).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a label key to the exposition charset `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn label_key(k: &str) -> String {
+    let mut out: String = k
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
 
 // ---------------------------------------------------------------------------
 // Counter
@@ -179,6 +276,12 @@ impl std::fmt::Debug for Histogram {
 }
 
 impl Histogram {
+    /// A free-standing histogram not owned by any registry (e.g. the trace
+    /// store's duration distribution for the slow-decile threshold).
+    pub fn standalone(name: &str) -> Self {
+        Histogram::new(name.to_string())
+    }
+
     fn new(name: String) -> Self {
         Histogram {
             name,
@@ -317,12 +420,53 @@ impl Histogram {
 // Registry
 // ---------------------------------------------------------------------------
 
+/// A labeled metric family: label set → instrument, capped at
+/// [`MAX_SERIES_PER_FAMILY`] distinct series.
+type FamilyMap<T> = BTreeMap<String, BTreeMap<Labels, Arc<T>>>;
+
 /// Name → instrument maps. Get-or-create; instruments live forever.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    labeled_counters: Mutex<FamilyMap<Counter>>,
+    labeled_gauges: Mutex<FamilyMap<Gauge>>,
+    labeled_histograms: Mutex<FamilyMap<Histogram>>,
+}
+
+/// The label set a family overflows into once it hits the cardinality cap.
+fn overflow_labels() -> Labels {
+    Labels::new().with("overflow", "true")
+}
+
+/// Get-or-create one series in a labeled family, enforcing the cap.
+fn family_series<T>(
+    map: &Mutex<FamilyMap<T>>,
+    name: &str,
+    labels: &Labels,
+    make: impl Fn(String) -> T,
+) -> Arc<T> {
+    let mut families = map.lock().expect("family map");
+    let family = families.entry(name.to_string()).or_default();
+    if let Some(existing) = family.get(labels) {
+        return existing.clone();
+    }
+    // Overflow: the cap counts real series; the overflow series rides on
+    // top so a capped family still accounts for excess traffic somewhere.
+    let labels = if family.len() >= MAX_SERIES_PER_FAMILY {
+        let ov = overflow_labels();
+        if let Some(existing) = family.get(&ov) {
+            return existing.clone();
+        }
+        ov
+    } else {
+        labels.clone()
+    };
+    let full = format!("{name}{}", labels.render());
+    let arc = Arc::new(make(full));
+    family.insert(labels, arc.clone());
+    arc
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -356,6 +500,44 @@ impl Registry {
         map.entry(name.clone())
             .or_insert_with(|| Arc::new(Histogram::new(name)))
             .clone()
+    }
+
+    /// Labeled counter series (`name{labels...}`), cardinality-capped.
+    pub fn counter_with(&self, name: &str, labels: &Labels) -> Arc<Counter> {
+        family_series(&self.labeled_counters, name, labels, Counter::new)
+    }
+
+    /// Labeled gauge series, cardinality-capped.
+    pub fn gauge_with(&self, name: &str, labels: &Labels) -> Arc<Gauge> {
+        family_series(&self.labeled_gauges, name, labels, Gauge::new)
+    }
+
+    /// Labeled histogram series, cardinality-capped.
+    pub fn histogram_with(&self, name: &str, labels: &Labels) -> Arc<Histogram> {
+        family_series(&self.labeled_histograms, name, labels, Histogram::new)
+    }
+
+    /// Number of live series in a labeled family (tests / introspection).
+    pub fn family_cardinality(&self, name: &str) -> usize {
+        let c = self
+            .labeled_counters
+            .lock()
+            .expect("family map")
+            .get(name)
+            .map_or(0, BTreeMap::len);
+        let g = self
+            .labeled_gauges
+            .lock()
+            .expect("family map")
+            .get(name)
+            .map_or(0, BTreeMap::len);
+        let h = self
+            .labeled_histograms
+            .lock()
+            .expect("family map")
+            .get(name)
+            .map_or(0, BTreeMap::len);
+        c + g + h
     }
 
     /// Renders every registered instrument as a summary table, sorted by
@@ -403,6 +585,20 @@ impl Registry {
                 fmt_value(h.max()),
             ]);
         }
+        for family in self.labeled_histograms.lock().expect("family map").values() {
+            for h in family.values() {
+                t.row(vec![
+                    h.name().to_string(),
+                    "hist".to_string(),
+                    h.count().to_string(),
+                    fmt_value(h.mean()),
+                    fmt_value(h.p50()),
+                    fmt_value(h.p95()),
+                    fmt_value(h.p99()),
+                    fmt_value(h.max()),
+                ]);
+            }
+        }
         t
     }
 }
@@ -446,35 +642,238 @@ impl Registry {
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for c in self.counters.lock().expect("counter map").values() {
-            let name = text_name(c.name());
+
+        // Counters: unlabeled then labeled families, one TYPE line per
+        // exposition name even when both forms exist.
+        let plain = self.counters.lock().expect("counter map");
+        let labeled = self.labeled_counters.lock().expect("family map");
+        let names: BTreeSet<&str> = plain
+            .keys()
+            .map(String::as_str)
+            .chain(labeled.keys().map(String::as_str))
+            .collect();
+        for raw in names {
+            let name = text_name(raw);
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
-        }
-        for g in self.gauges.lock().expect("gauge map").values() {
-            let name = text_name(g.name());
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", num_text(g.get()));
-        }
-        for h in self.histograms.lock().expect("histogram map").values() {
-            let name = text_name(h.name());
-            let _ = writeln!(out, "# TYPE {name} summary");
-            let _ = writeln!(out, "{name}_count {}", h.count());
-            let _ = writeln!(out, "{name}_sum {}", num_text(h.sum()));
-            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
-                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", num_text(v));
+            if let Some(c) = plain.get(raw) {
+                let _ = writeln!(out, "{name} {}", c.get());
             }
-            let _ = writeln!(out, "{name}_max {}", num_text(h.max()));
+            if let Some(family) = labeled.get(raw) {
+                for (labels, c) in family {
+                    let _ = writeln!(out, "{name}{} {}", labels.render(), c.get());
+                }
+            }
+        }
+        drop(plain);
+        drop(labeled);
+
+        let plain = self.gauges.lock().expect("gauge map");
+        let labeled = self.labeled_gauges.lock().expect("family map");
+        let names: BTreeSet<&str> = plain
+            .keys()
+            .map(String::as_str)
+            .chain(labeled.keys().map(String::as_str))
+            .collect();
+        for raw in names {
+            let name = text_name(raw);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if let Some(g) = plain.get(raw) {
+                let _ = writeln!(out, "{name} {}", num_text(g.get()));
+            }
+            if let Some(family) = labeled.get(raw) {
+                for (labels, g) in family {
+                    let _ = writeln!(out, "{name}{} {}", labels.render(), num_text(g.get()));
+                }
+            }
+        }
+        drop(plain);
+        drop(labeled);
+
+        let plain = self.histograms.lock().expect("histogram map");
+        let labeled = self.labeled_histograms.lock().expect("family map");
+        let names: BTreeSet<&str> = plain
+            .keys()
+            .map(String::as_str)
+            .chain(labeled.keys().map(String::as_str))
+            .collect();
+        let render_hist = |out: &mut String, name: &str, labels: &Labels, h: &Histogram| {
+            let lab = labels.render();
+            let _ = writeln!(out, "{name}_count{lab} {}", h.count());
+            let _ = writeln!(out, "{name}_sum{lab} {}", num_text(h.sum()));
+            for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                let _ = writeln!(
+                    out,
+                    "{name}{} {}",
+                    labels.render_with(Some(("quantile", q))),
+                    num_text(v)
+                );
+            }
+            let _ = writeln!(out, "{name}_max{lab} {}", num_text(h.max()));
+        };
+        for raw in names {
+            let name = text_name(raw);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            if let Some(h) = plain.get(raw) {
+                render_hist(&mut out, &name, &Labels::new(), h);
+            }
+            if let Some(family) = labeled.get(raw) {
+                for (labels, h) in family {
+                    render_hist(&mut out, &name, labels, h);
+                }
+            }
         }
         out
     }
 }
 
-/// Maps a registry metric name to the text-exposition charset.
+/// Maps a registry metric name to the text-exposition charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
 fn text_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Exposition-format validation
+// ---------------------------------------------------------------------------
+
+fn valid_name(s: &str) -> bool {
+    let b = s.as_bytes();
+    !b.is_empty()
+        && (b[0].is_ascii_alphabetic() || b[0] == b'_' || b[0] == b':')
+        && b.iter()
+            .all(|c| c.is_ascii_alphanumeric() || *c == b'_' || *c == b':')
+}
+
+/// Parses `{k="v",...}` starting at `line[start]` (which must be `{`);
+/// returns the byte offset just past the closing `}`.
+fn parse_label_block(line: &str, start: usize) -> Result<usize, String> {
+    let b = line.as_bytes();
+    let mut i = start + 1;
+    loop {
+        if i >= b.len() {
+            return Err(format!("unterminated label block: {line:?}"));
+        }
+        if b[i] == b'}' {
+            return Ok(i + 1);
+        }
+        // label name
+        let name_start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if i == name_start || !valid_name(&line[name_start..i]) || line[name_start..i].contains(':')
+        {
+            return Err(format!("bad label name in {line:?}"));
+        }
+        if i >= b.len() || b[i] != b'=' {
+            return Err(format!("expected '=' in label block: {line:?}"));
+        }
+        i += 1;
+        if i >= b.len() || b[i] != b'"' {
+            return Err(format!("expected '\"' in label block: {line:?}"));
+        }
+        i += 1;
+        // escaped value
+        loop {
+            if i >= b.len() {
+                return Err(format!("unterminated label value: {line:?}"));
+            }
+            match b[i] {
+                b'"' => break,
+                b'\\' => {
+                    if i + 1 >= b.len() || !matches!(b[i + 1], b'\\' | b'"' | b'n') {
+                        return Err(format!("bad escape in label value: {line:?}"));
+                    }
+                    i += 2;
+                }
+                b'\n' => return Err(format!("raw newline in label value: {line:?}")),
+                _ => i += 1,
+            }
+        }
+        i += 1; // closing quote
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {}
+            _ => return Err(format!("expected ',' or '}}' in label block: {line:?}")),
+        }
+    }
+}
+
+/// Validates that `text` conforms to the Prometheus text exposition
+/// grammar: every line is a comment, a well-formed `# TYPE` declaration
+/// (at most one per metric name), or a `name[{labels}] value` sample with
+/// a valid metric name, correctly escaped label values, and a parseable
+/// float value. Returns the first violation.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut typed: BTreeSet<&str> = BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("malformed TYPE line: {line:?}"));
+            };
+            if !valid_name(name) {
+                return Err(format!("bad metric name in TYPE line: {line:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("bad metric kind in TYPE line: {line:?}"));
+            }
+            if !typed.insert(name) {
+                return Err(format!("duplicate TYPE declaration for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let b = line.as_bytes();
+        let mut i = 0;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b':') {
+            i += 1;
+        }
+        if !valid_name(&line[..i]) {
+            return Err(format!("bad metric name in sample: {line:?}"));
+        }
+        if i < b.len() && b[i] == b'{' {
+            i = parse_label_block(line, i)?;
+        }
+        let rest = &line[i..];
+        let Some(value_part) = rest.strip_prefix(' ') else {
+            return Err(format!("expected ' ' before value: {line:?}"));
+        };
+        let mut fields = value_part.split(' ');
+        let Some(value) = fields.next() else {
+            return Err(format!("missing value: {line:?}"));
+        };
+        let value_ok =
+            value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "Nan" | "NaN");
+        if !value_ok {
+            return Err(format!("unparseable value {value:?} in {line:?}"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("bad timestamp {ts:?} in {line:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("trailing fields in sample: {line:?}"));
+        }
+    }
+    Ok(())
 }
 
 /// Finite numbers as shortest-roundtrip decimal; NaN (empty histograms)
@@ -608,6 +1007,120 @@ mod tests {
         assert!(md.contains("g.one"), "{md}");
         assert!(md.contains("h.one"), "{md}");
         assert!(md.contains("counter"), "{md}");
+    }
+
+    #[test]
+    fn labels_render_sorted_and_escaped() {
+        let l = Labels::new()
+            .with("schema", "tp\"ch")
+            .with("batch_width", "8");
+        // Sorted by key regardless of insertion order; values escaped.
+        assert_eq!(l.render(), "{batch_width=\"8\",schema=\"tp\\\"ch\"}");
+        let q = l.render_with(Some(("quantile", "0.5")));
+        assert!(q.ends_with(",quantile=\"0.5\"}"), "{q}");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn labeled_families_render_one_type_line_and_escape_values() {
+        let r = Registry::default();
+        r.counter_with(
+            "serve.http.requests",
+            &Labels::new()
+                .with("endpoint", "generate")
+                .with("status", "200"),
+        )
+        .inc(5);
+        r.counter_with(
+            "serve.http.requests",
+            &Labels::new()
+                .with("endpoint", "metrics")
+                .with("status", "200"),
+        )
+        .inc(1);
+        // Hostile label value: backslash, quote, newline.
+        r.gauge_with("g.f", &Labels::new().with("schema", "a\"b\\c\nd"))
+            .set(1.0);
+        r.histogram_with("h.f", &Labels::new().with("batch_width", "8"))
+            .record_silent(10.0);
+        let text = r.render_text();
+        assert_eq!(
+            text.matches("# TYPE serve_http_requests counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_http_requests{endpoint=\"generate\",status=\"200\"} 5"),
+            "{text}"
+        );
+        assert!(text.contains("g_f{schema=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+        assert!(text.contains("h_f_count{batch_width=\"8\"} 1"), "{text}");
+        assert!(
+            text.contains("h_f{batch_width=\"8\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        validate_exposition(&text).expect("labeled rendering must validate");
+    }
+
+    #[test]
+    fn label_cardinality_cap_overflows_into_one_series() {
+        let r = Registry::default();
+        for i in 0..(MAX_SERIES_PER_FAMILY + 40) {
+            r.counter_with("f.capped", &Labels::new().with("id", &format!("{i}")))
+                .inc(1);
+        }
+        // Cap series + the single overflow series.
+        assert_eq!(r.family_cardinality("f.capped"), MAX_SERIES_PER_FAMILY + 1);
+        let ov = r.counter_with("f.capped", &Labels::new().with("id", "overflowing"));
+        assert_eq!(ov.name(), "f.capped{overflow=\"true\"}");
+        // Every excess increment landed on the overflow series.
+        assert_eq!(ov.get(), 40);
+        validate_exposition(&r.render_text()).expect("capped family must validate");
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        // Empty: all quantiles are 0, not NaN.
+        let h = Histogram::standalone("edge");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+        // Single sample: exact at every quantile (clamped to [min, max]).
+        h.record_silent(42.0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), 42.0, "q={q}");
+        }
+        // Saturated: values beyond the bucketed exponent range (2^±32)
+        // clamp into the extreme buckets — min/max stay exact, quantiles
+        // stay finite, sign-correct, and within the observed range.
+        let h = Histogram::standalone("sat");
+        h.record_silent(1e300);
+        h.record_silent(-1e300);
+        h.record_silent(1e-300);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1e300);
+        assert_eq!(h.min(), -1e300);
+        let hi = h.percentile(1.0);
+        let lo = h.percentile(0.0);
+        assert!(hi.is_finite() && hi > 0.0 && hi <= h.max(), "hi={hi}");
+        assert!(lo.is_finite() && lo < 0.0 && lo >= h.min(), "lo={lo}");
+    }
+
+    #[test]
+    fn validate_exposition_rejects_malformed_lines() {
+        validate_exposition("# TYPE ok counter\nok 1\nok{a=\"b\"} 2\n").unwrap();
+        for bad in [
+            "1leading_digit 1",
+            "name{a=\"unterminated} 1",
+            "name{a=\"bad\\q\"} 1",
+            "name{=\"v\"} 1",
+            "name{a=\"v\"}1",
+            "name notanumber",
+            "# TYPE dup counter\n# TYPE dup counter",
+            "# TYPE x nonsense",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

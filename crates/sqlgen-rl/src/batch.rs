@@ -35,7 +35,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqlgen_fsm::GenState;
 use sqlgen_nn::LstmBatchState;
+use sqlgen_obs::TraceHandle;
 use std::time::Instant;
+
+/// Elapsed microseconds since `t0`.
+fn us_since(t0: Instant) -> f64 {
+    t0.elapsed().as_nanos() as f64 / 1_000.0
+}
 
 /// One in-flight episode owned by a lane.
 struct LaneRun<'a> {
@@ -219,6 +225,10 @@ pub struct Job<'e, 'v: 'e> {
     pub deadline: Option<Instant>,
     /// Caller-chosen id handed back with the outcome.
     pub tag: u64,
+    /// Request trace to attribute this job's lane time to: an `episode`
+    /// span per job plus accumulated `estimator` and `refill` phases.
+    /// Untraced jobs (`None`) pay one branch per token and nothing else.
+    pub trace: Option<TraceHandle>,
 }
 
 /// Terminal state of one [`Job`].
@@ -237,6 +247,29 @@ struct JobRun<'e, 'v: 'e> {
     rewards: Vec<f32>,
     deadline: Option<Instant>,
     tag: u64,
+    trace: Option<TraceHandle>,
+    /// When this job was assigned to its lane (traced jobs only).
+    assigned: Option<Instant>,
+    /// Accumulated `env.step` time — estimator-dominated (the shaped
+    /// reward's cardinality/cost probes), flushed to the trace once at
+    /// completion so the hot loop never touches the trace mutex.
+    est_us: f64,
+}
+
+impl JobRun<'_, '_> {
+    /// Flushes this job's trace attribution: the `episode` wall span plus
+    /// the accumulated `estimator` time and token count.
+    fn flush_trace(&self, tokens: usize) {
+        let Some(handle) = &self.trace else {
+            return;
+        };
+        let now = Instant::now();
+        if let Some(assigned) = self.assigned {
+            handle.span_between("episode", assigned, now);
+        }
+        handle.accum("estimator", self.est_us);
+        handle.trace.annotate_add("tokens", tokens as f64);
+    }
 }
 
 impl BatchRollout {
@@ -277,29 +310,18 @@ impl BatchRollout {
         let mut slots: Vec<Option<JobRun>> = (0..b).map(|_| None).collect();
         let mut completed = 0usize;
         for (lane, slot) in slots.iter_mut().enumerate() {
-            match source() {
-                Some(job) => {
-                    assert_eq!(
-                        job.env.action_space(),
-                        vocab,
-                        "job env action space must match the actor vocabulary"
-                    );
-                    self.state.reset_lane(lane);
-                    self.prev[lane] = None;
-                    self.rngs[lane] = StdRng::seed_from_u64(job.seed);
-                    self.active[lane] = true;
-                    *slot = Some(JobRun {
-                        state: job.env.reset(),
-                        env: job.env,
-                        shaper: RewardShaper::new(),
-                        actions: Vec::new(),
-                        rewards: Vec::new(),
-                        deadline: job.deadline,
-                        tag: job.tag,
-                    });
-                }
-                None => break,
+            if !Self::refill_lane(
+                &mut source,
+                slot,
+                lane,
+                vocab,
+                &mut self.state,
+                &mut self.prev,
+                &mut self.rngs,
+            ) {
+                break;
             }
+            self.active[lane] = true;
         }
 
         while self.active.iter().any(|&a| a) {
@@ -314,6 +336,7 @@ impl BatchRollout {
                         .is_some_and(|run| run.deadline.is_some_and(|d| now >= d));
                     if expired {
                         let run = slot.take().expect("expired lane has a run");
+                        run.flush_trace(run.actions.len());
                         sink(run.tag, JobOutcome::Expired);
                         if !Self::refill_lane(
                             &mut source,
@@ -359,23 +382,30 @@ impl BatchRollout {
                 n_active += 1;
                 let run = slot.as_mut().expect("active lane has a run");
                 let action = self.actions[lane];
+                // Traced jobs time each env.step locally (estimator-
+                // dominated: the shaped reward's cardinality/cost probes);
+                // untraced jobs pay one branch, no clock read.
+                let step_t0 = run.trace.is_some().then(Instant::now);
                 let (reward, done) = run.env.step(&mut run.state, action, &mut run.shaper);
+                if let Some(t0) = step_t0 {
+                    run.est_us += us_since(t0);
+                }
                 self.prev[lane] = Some(action);
                 run.actions.push(action);
                 run.rewards.push(reward);
                 if done {
-                    let JobRun {
-                        env,
-                        state,
-                        actions,
-                        rewards,
-                        tag,
-                        ..
-                    } = slot.take().expect("active lane has a run");
-                    sink(
-                        tag,
-                        JobOutcome::Done(Box::new(finish_episode(env, &state, actions, rewards))),
-                    );
+                    let mut run = slot.take().expect("active lane has a run");
+                    let fin_t0 = run.trace.is_some().then(Instant::now);
+                    let ep = finish_episode(run.env, &run.state, run.actions, run.rewards);
+                    if let Some(t0) = fin_t0 {
+                        // finish_episode re-measures the final query; that
+                        // probe is estimator time too.
+                        run.est_us += us_since(t0);
+                    }
+                    run.actions = Vec::new();
+                    run.rewards = Vec::new();
+                    run.flush_trace(ep.actions.len());
+                    sink(run.tag, JobOutcome::Done(Box::new(ep)));
                     completed += 1;
                     if !Self::refill_lane(
                         &mut source,
@@ -421,6 +451,7 @@ impl BatchRollout {
                     vocab,
                     "job env action space must match the actor vocabulary"
                 );
+                let t0 = job.trace.is_some().then(Instant::now);
                 state.reset_lane(lane);
                 prev[lane] = None;
                 rngs[lane] = StdRng::seed_from_u64(job.seed);
@@ -432,7 +463,17 @@ impl BatchRollout {
                     rewards: Vec::new(),
                     deadline: job.deadline,
                     tag: job.tag,
+                    assigned: t0,
+                    est_us: 0.0,
+                    trace: job.trace,
                 });
+                if let (Some(t0), Some(run)) = (t0, slot.as_ref()) {
+                    // Lane reset + reseed + env reset on behalf of the
+                    // incoming job.
+                    if let Some(handle) = &run.trace {
+                        handle.accum("refill", us_since(t0));
+                    }
+                }
                 true
             }
             None => false,
@@ -565,6 +606,7 @@ mod tests {
                     env: if i % 2 == 0 { &env_a } else { &env_b },
                     seed,
                     deadline: None,
+                    trace: None,
                     tag: i as u64,
                 })
                 .collect();
@@ -602,18 +644,21 @@ mod tests {
                 seed: 0x77,
                 deadline: None,
                 tag: 0,
+                trace: None,
             },
             Job {
                 env: &env,
                 seed: 0x88,
                 deadline: Some(past),
                 tag: 1,
+                trace: None,
             },
             Job {
                 env: &env,
                 seed: 0x99,
                 deadline: Some(past),
                 tag: 2,
+                trace: None,
             },
         ];
         let out = run_jobs_batched(&actor, jobs, 3);
@@ -661,6 +706,7 @@ mod tests {
                         seed: next,
                         deadline: None,
                         tag: next,
+                        trace: None,
                     })
                 } else {
                     None

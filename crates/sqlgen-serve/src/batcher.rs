@@ -22,13 +22,15 @@ use crate::registry::ModelRegistry;
 use sqlgen_core::{Algorithm, Constraint, GenConfig, Target};
 use sqlgen_engine::{render, Estimator};
 use sqlgen_fsm::{FsmConfig, Vocabulary};
+use sqlgen_obs::trace::ROOT_SPAN;
+use sqlgen_obs::{Labels, RequestTrace, TraceHandle};
 use sqlgen_rl::{
     run_jobs_batched, worker_seed, ActorCritic, ActorNet, Episode, Job, JobOutcome, Reinforce,
     SqlGenEnv,
 };
 use sqlgen_storage::Database;
 use std::path::PathBuf;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Upper bound on `n` per request; keeps one request from monopolising
@@ -158,6 +160,9 @@ pub struct GenTask {
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
     pub reply: mpsc::SyncSender<RequestOutcome>,
+    /// Request trace the batcher attributes `queue_wait` / `batch_gather` /
+    /// `lane_exec` spans to (opened by the HTTP layer, `None` untraced).
+    pub trace: Option<Arc<RequestTrace>>,
 }
 
 /// The generation-side bundle for one database: action space, statistics,
@@ -208,7 +213,7 @@ impl Schema {
             estimator,
             fsm: config.fsm.clone(),
             registry,
-            queue: BoundedQueue::new(queue_cap),
+            queue: BoundedQueue::named(queue_cap, name),
         }
     }
 
@@ -236,6 +241,9 @@ pub struct WindowRequest {
     pub n: usize,
     pub seed: u64,
     pub deadline: Option<Instant>,
+    /// Trace handle whose parent is this request's `lane_exec` span; every
+    /// job spawned for this request attributes its lane time there.
+    pub trace: Option<TraceHandle>,
 }
 
 impl From<&GenRequest> for WindowRequest {
@@ -245,6 +253,7 @@ impl From<&GenRequest> for WindowRequest {
             n: req.n,
             seed: req.seed,
             deadline: None,
+            trace: None,
         }
     }
 }
@@ -278,6 +287,7 @@ pub fn run_window(
                 seed: worker_seed(r.seed, j),
                 deadline: r.deadline,
                 tag: (ri as u64) << 32 | j as u64,
+                trace: r.trace.clone(),
             });
         }
     }
@@ -325,6 +335,15 @@ impl Default for BatcherConfig {
 /// drained; every admitted task gets a reply (receivers that already gave
 /// up are skipped silently).
 pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
+    // Per-phase labeled histograms — one series per (schema, batch_width),
+    // resolved once per loop so the hot path never touches the family map.
+    let phase_labels = Labels::new()
+        .with("schema", &schema.name)
+        .with("batch_width", &cfg.lanes.to_string());
+    let m = sqlgen_obs::metrics::global();
+    let queue_wait_h = m.histogram_with("serve.phase.queue_wait_us", &phase_labels);
+    let gather_h = m.histogram_with("serve.phase.gather_us", &phase_labels);
+    let exec_h = m.histogram_with("serve.phase.exec_us", &phase_labels);
     loop {
         let Some(first) = schema.queue.pop_timeout(Duration::from_millis(50)) else {
             if schema.queue.is_closed() && schema.queue.is_empty() {
@@ -332,9 +351,12 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
             }
             continue;
         };
-        let window_deadline = Instant::now() + cfg.max_wait;
-        let mut tasks = vec![first];
-        let mut job_count = tasks[0].req.n;
+        let first_popped = Instant::now();
+        let window_deadline = first_popped + cfg.max_wait;
+        // Each task remembers when it left the queue, so queue_wait and
+        // batch_gather split per task rather than at window granularity.
+        let mut tasks = vec![(first, first_popped)];
+        let mut job_count = tasks[0].0.req.n;
         while job_count < cfg.max_batch_jobs {
             let now = Instant::now();
             if now >= window_deadline {
@@ -343,7 +365,7 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
             match schema.queue.pop_timeout(window_deadline - now) {
                 Some(t) => {
                     job_count += t.req.n;
-                    tasks.push(t);
+                    tasks.push((t, Instant::now()));
                 }
                 None => break,
             }
@@ -352,19 +374,44 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
         // windows, never mid-window. Load failures keep the old model.
         let _ = schema.registry.refresh();
         let model = schema.registry.current();
+        let started = Instant::now();
         let reqs: Vec<WindowRequest> = tasks
             .iter()
-            .map(|t| WindowRequest {
-                constraint: t.req.constraint,
-                n: t.req.n,
-                seed: t.req.seed,
-                deadline: t.deadline,
+            .map(|(t, popped)| {
+                queue_wait_h.record_silent((*popped - t.enqueued).as_micros() as f64);
+                gather_h.record_silent((started - *popped).as_micros() as f64);
+                // queue_wait ends where batch_gather starts and batch_gather
+                // ends where lane_exec starts, so the three phases tile the
+                // request wall time without overlap. lane_exec stays open
+                // until the window finishes; per-job `episode` spans parent
+                // under it.
+                let trace = t.trace.as_ref().map(|tr| {
+                    tr.span_between("queue_wait", ROOT_SPAN, t.enqueued, *popped);
+                    tr.span_between("batch_gather", ROOT_SPAN, *popped, started);
+                    let lane = tr.open_span("lane_exec", ROOT_SPAN, started);
+                    tr.annotate_str("schema", &schema.name);
+                    tr.annotate_str("model", &model.label);
+                    tr.annotate_num("model_version", model.version as f64);
+                    tr.annotate_num("window_requests", tasks.len() as f64);
+                    tr.annotate_num("window_jobs", job_count as f64);
+                    tr.annotate_num("batch_width", cfg.lanes as f64);
+                    TraceHandle {
+                        trace: tr.clone(),
+                        parent: lane,
+                    }
+                });
+                WindowRequest {
+                    constraint: t.req.constraint,
+                    n: t.req.n,
+                    seed: t.req.seed,
+                    deadline: t.deadline,
+                    trace,
+                }
             })
             .collect();
         sqlgen_obs::obs_record!("serve.batch.requests", tasks.len() as f64);
         sqlgen_obs::obs_record!("serve.batch.jobs", job_count as f64);
-        let started = Instant::now();
-        for t in &tasks {
+        for (t, _) in &tasks {
             sqlgen_obs::obs_record!(
                 "serve.queue.wait_us",
                 (started - t.enqueued).as_micros() as f64
@@ -378,11 +425,18 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
             &reqs,
             cfg.lanes,
         );
+        let window_end = Instant::now();
         sqlgen_obs::obs_record!(
             "serve.window.latency_us",
-            started.elapsed().as_micros() as f64
+            (window_end - started).as_micros() as f64
         );
-        for (task, out) in tasks.into_iter().zip(outcomes) {
+        for r in &reqs {
+            if let Some(handle) = &r.trace {
+                handle.trace.close_span(handle.parent, window_end);
+            }
+            exec_h.record_silent((window_end - started).as_micros() as f64);
+        }
+        for ((task, _), out) in tasks.into_iter().zip(outcomes) {
             let queries = out
                 .episodes
                 .iter()
@@ -453,12 +507,14 @@ mod tests {
             n: 3,
             seed: 41,
             deadline: None,
+            trace: None,
         };
         let b = WindowRequest {
             constraint: Constraint::cardinality_point(50.0),
             n: 2,
             seed: 99,
             deadline: None,
+            trace: None,
         };
         let solo = run_window(
             &model.actor,
@@ -512,6 +568,7 @@ mod tests {
                     deadline: None,
                     enqueued: Instant::now(),
                     reply: tx,
+                    trace: None,
                 })
                 .map_err(|(e, _)| e)
                 .unwrap();

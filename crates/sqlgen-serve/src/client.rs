@@ -8,6 +8,23 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// A full response: status, headers (names lowercased) and body.
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// A keep-alive connection to the server.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -35,19 +52,33 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        let resp = self.request_full(method, path, &[], body)?;
+        Ok((resp.status, resp.body))
+    }
+
+    /// Like [`Client::request`] but sends `extra_headers` and returns the
+    /// response headers too (trace-propagation tests need both sides).
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
         let body = body.unwrap_or("");
         // Single write per request — separate head/body writes interact
         // badly with Nagle + delayed ACK (~40ms stalls).
-        let msg = format!(
-            "{method} {path} HTTP/1.1\r\nhost: sqlgen\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len()
-        );
+        let mut msg = format!("{method} {path} HTTP/1.1\r\nhost: sqlgen\r\n");
+        for (name, value) in extra_headers {
+            msg.push_str(&format!("{name}: {value}\r\n"));
+        }
+        msg.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
         self.writer.write_all(msg.as_bytes())?;
         self.writer.flush()?;
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
             .split(' ')
@@ -56,6 +87,7 @@ impl Client {
             .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut headers = Vec::new();
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -73,6 +105,7 @@ impl Client {
             } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                 close = true;
             }
+            headers.push((name, value.to_string()));
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
@@ -82,7 +115,11 @@ impl Client {
             // error on the *next* request, not this one.
             let _ = self.writer.shutdown(std::net::Shutdown::Write);
         }
-        Ok((status, body))
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {
@@ -110,6 +147,18 @@ pub fn request(
 ) -> std::io::Result<(u16, String)> {
     let mut client = Client::connect(addr, Duration::from_secs(60))?;
     client.request(method, path, body)
+}
+
+/// One-shot request that also returns response headers.
+pub fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut client = Client::connect(addr, Duration::from_secs(60))?;
+    client.request_full(method, path, extra_headers, body)
 }
 
 fn bad_data(msg: String) -> std::io::Error {

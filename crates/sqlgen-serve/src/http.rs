@@ -37,6 +37,11 @@ pub struct Request {
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default unless `Connection: close`; inverted for 1.0).
     pub keep_alive: bool,
+    /// Inbound `traceparent` header, verbatim (validated later by the
+    /// trace layer, which falls back to a fresh id on garbage).
+    pub traceparent: Option<String>,
+    /// Inbound `X-Request-Id` header, verbatim.
+    pub request_id: Option<String>,
     pub body: Vec<u8>,
 }
 
@@ -110,6 +115,8 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Request, Pa
 
     let mut keep_alive = keep_alive_default;
     let mut content_length: Option<usize> = None;
+    let mut traceparent: Option<String> = None;
+    let mut request_id: Option<String> = None;
     loop {
         let line = match read_line(r, &mut head_budget)? {
             Some(line) => line,
@@ -147,6 +154,10 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Request, Pa
                     keep_alive = true;
                 }
             }
+            // Propagation headers are carried verbatim; the trace layer
+            // validates them (and never trusts their contents).
+            "traceparent" => traceparent = Some(value.to_string()),
+            "x-request-id" => request_id = Some(value.to_string()),
             _ => {}
         }
     }
@@ -163,6 +174,8 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Request, Pa
         method: method.to_string(),
         path: path.to_string(),
         keep_alive,
+        traceparent,
+        request_id,
         body,
     })
 }
@@ -322,6 +335,18 @@ mod tests {
         assert_eq!(req.path, "/generate");
         assert!(req.keep_alive);
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn captures_propagation_headers_verbatim() {
+        let tp = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01";
+        let raw = format!("GET / HTTP/1.1\r\nTraceParent: {tp}\r\nX-Request-ID: deadbeef\r\n\r\n");
+        let req = parse(raw.as_bytes()).unwrap();
+        assert_eq!(req.traceparent.as_deref(), Some(tp));
+        assert_eq!(req.request_id.as_deref(), Some("deadbeef"));
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.traceparent, None);
+        assert_eq!(req.request_id, None);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! complete, new ones are refused.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a push was refused.
@@ -33,6 +33,10 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     cap: usize,
+    /// Per-schema labeled depth gauge (`serve.queue.depth{schema=...}`);
+    /// the unlabeled `serve.queue.depth` gauge is still set for
+    /// compatibility with existing dashboards.
+    depth_gauge: Option<Arc<sqlgen_obs::Gauge>>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -44,6 +48,25 @@ impl<T> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             cap: cap.max(1),
+            depth_gauge: None,
+        }
+    }
+
+    /// A queue whose depth is also tracked per-schema in the labeled
+    /// `serve.queue.depth` family.
+    pub fn named(cap: usize, schema: &str) -> Self {
+        let labels = sqlgen_obs::Labels::new().with("schema", schema);
+        let gauge = sqlgen_obs::metrics::global().gauge_with("serve.queue.depth", &labels);
+        BoundedQueue {
+            depth_gauge: Some(gauge),
+            ..Self::new(cap)
+        }
+    }
+
+    fn set_depth(&self, depth: usize) {
+        sqlgen_obs::obs_gauge!("serve.queue.depth", depth as f64);
+        if let Some(g) = &self.depth_gauge {
+            g.set(depth as f64);
         }
     }
 
@@ -63,7 +86,7 @@ impl<T> BoundedQueue<T> {
             return Err((PushError::Full, item));
         }
         inner.items.push_back(item);
-        sqlgen_obs::obs_gauge!("serve.queue.depth", inner.items.len() as f64);
+        self.set_depth(inner.items.len());
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
@@ -76,7 +99,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(item) = inner.items.pop_front() {
-                sqlgen_obs::obs_gauge!("serve.queue.depth", inner.items.len() as f64);
+                self.set_depth(inner.items.len());
                 return Some(item);
             }
             if inner.closed {
@@ -100,7 +123,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         let item = inner.items.pop_front();
         if item.is_some() {
-            sqlgen_obs::obs_gauge!("serve.queue.depth", inner.items.len() as f64);
+            self.set_depth(inner.items.len());
         }
         item
     }

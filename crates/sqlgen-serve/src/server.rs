@@ -20,6 +20,7 @@
 use crate::batcher::{batch_loop, BatcherConfig, GenRequest, GenTask, RequestOutcome, Schema};
 use crate::http::{read_request, write_response, Limits, Response};
 use crate::queue::PushError;
+use sqlgen_obs::{Labels, RequestTrace, TraceContext, TraceStore, TraceStoreConfig};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +53,10 @@ pub struct ServeConfig {
     /// Generation deadline when the request has no `timeout_ms`.
     pub default_timeout_ms: u64,
     pub limits: Limits,
+    /// Completed-trace ring capacity (see [`TraceStoreConfig`]).
+    pub trace_capacity: usize,
+    /// Percent of ordinary (non-error, non-slow) traces retained.
+    pub trace_sample_pct: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +73,8 @@ impl Default for ServeConfig {
             retry_after_s: 1,
             default_timeout_ms: 30_000,
             limits: Limits::default(),
+            trace_capacity: 512,
+            trace_sample_pct: 10,
         }
     }
 }
@@ -76,6 +83,8 @@ struct ServerState {
     schemas: Vec<Arc<Schema>>,
     draining: AtomicBool,
     config: ServeConfig,
+    /// Tail-sampled ring of completed request traces (`/debug/traces`).
+    traces: Arc<TraceStore>,
 }
 
 /// A running server. Dropping the handle leaks the threads; call
@@ -125,10 +134,16 @@ pub fn serve(config: ServeConfig, schemas: Vec<Schema>) -> std::io::Result<Serve
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let traces = Arc::new(TraceStore::new(TraceStoreConfig {
+        capacity: config.trace_capacity.max(1),
+        sample_pct: config.trace_sample_pct,
+        ..TraceStoreConfig::default()
+    }));
     let state = Arc::new(ServerState {
         schemas: schemas.into_iter().map(Arc::new).collect(),
         draining: AtomicBool::new(false),
         config,
+        traces,
     });
 
     let accept_stop = Arc::new(AtomicBool::new(false));
@@ -211,13 +226,41 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         match read_request(&mut reader, &cfg.limits) {
             Ok(req) => {
                 let started = Instant::now();
-                let resp = route(state, req.method.as_str(), &req.path, &req.body);
+                let endpoint = endpoint_label(&req.path);
+                // Trace identity: inbound traceparent/X-Request-Id when
+                // valid, fresh otherwise; echoed on every response. Only
+                // `/generate` builds (and offers) a full span tree — scrape
+                // endpoints would flood the ring with trivial traces.
+                let ctx = TraceContext::from_headers(
+                    req.traceparent.as_deref(),
+                    req.request_id.as_deref(),
+                );
+                let trace = (endpoint == "generate").then(|| RequestTrace::begin(ctx, endpoint));
+                let mut resp = route(
+                    state,
+                    req.method.as_str(),
+                    &req.path,
+                    &req.body,
+                    trace.as_ref(),
+                );
+                // The response's own span is the trace root.
+                let echo = TraceContext {
+                    trace_id: ctx.trace_id,
+                    parent_span: sqlgen_obs::trace::ROOT_SPAN,
+                };
+                resp = resp
+                    .with_header("x-request-id", echo.request_id())
+                    .with_header("traceparent", echo.render_traceparent());
+                if let Some(trace) = trace {
+                    state.traces.offer(trace.finish(resp.status));
+                }
                 sqlgen_obs::obs_count!("serve.http.requests.count");
-                sqlgen_obs::metrics::global()
-                    .histogram_owned(format!(
-                        "serve.http.latency_us.{}",
-                        endpoint_label(&req.path)
-                    ))
+                let labels = Labels::new()
+                    .with("endpoint", endpoint)
+                    .with("status", &resp.status.to_string());
+                let m = sqlgen_obs::metrics::global();
+                m.counter_with("serve.http.requests", &labels).inc(1);
+                m.histogram_with("serve.http.latency_us", &labels)
                     .record(started.elapsed().as_micros() as f64);
                 // During a drain every response closes its connection so
                 // the worker pool can wind down.
@@ -237,9 +280,13 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
-/// Metric label for the per-endpoint latency histogram.
+/// Metric label for the per-endpoint latency series.
 fn endpoint_label(path: &str) -> &'static str {
-    match path.split('?').next().unwrap_or("") {
+    let path = path.split('?').next().unwrap_or("");
+    if path.starts_with("/debug/") {
+        return "debug";
+    }
+    match path {
         "/generate" => "generate",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
@@ -248,7 +295,13 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-fn route(state: &ServerState, method: &str, path: &str, body: &[u8]) -> Response {
+fn route(
+    state: &ServerState,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    trace: Option<&Arc<RequestTrace>>,
+) -> Response {
     let path = path.split('?').next().unwrap_or("");
     match (method, path) {
         ("GET", "/healthz") => {
@@ -263,13 +316,44 @@ fn route(state: &ServerState, method: &str, path: &str, body: &[u8]) -> Response
         }
         ("GET", "/metrics") => Response::text(200, sqlgen_obs::metrics::render_text()),
         ("GET", "/models") => Response::json(200, models_json(state)),
+        ("GET", "/debug/traces") => {
+            Response::json(200, traces_json(&state.traces, state.traces.recent(32)))
+        }
+        ("GET", "/debug/slowest") => {
+            Response::json(200, traces_json(&state.traces, state.traces.slowest(16)))
+        }
+        ("GET", p) if p.starts_with("/debug/traces/") => {
+            let id = p.strip_prefix("/debug/traces/").unwrap_or("");
+            match TraceContext::parse_request_id(id) {
+                None => Response::error(400, "trace id must be 32 hex characters"),
+                Some(id) => match state.traces.get(id) {
+                    Some(t) => Response::json(200, t.to_json().to_string()),
+                    None => Response::error(404, "trace not found (evicted or not sampled)"),
+                },
+            }
+        }
         ("POST", "/models/reload") => reload(state),
-        ("POST", "/generate") => generate(state, body),
+        ("POST", "/generate") => generate(state, body, trace),
         (_, "/healthz" | "/metrics" | "/models" | "/models/reload" | "/generate") => {
             Response::error(405, "method not allowed")
         }
+        (_, p) if p.starts_with("/debug/") => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// Summary listing for `/debug/traces` and `/debug/slowest`, with the
+/// store's sampling stats alongside.
+fn traces_json(store: &TraceStore, traces: Vec<Arc<sqlgen_obs::FinishedTrace>>) -> String {
+    let (offered, retained, held) = store.stats();
+    let entries: Vec<String> = traces
+        .iter()
+        .map(|t| t.summary_json().to_string())
+        .collect();
+    format!(
+        r#"{{"offered":{offered},"retained":{retained},"held":{held},"traces":[{}]}}"#,
+        entries.join(",")
+    )
 }
 
 fn models_json(state: &ServerState) -> String {
@@ -316,7 +400,7 @@ fn reload(state: &ServerState) -> Response {
     Response::json(200, format!(r#"{{"schemas":[{}]}}"#, entries.join(",")))
 }
 
-fn generate(state: &ServerState, body: &[u8]) -> Response {
+fn generate(state: &ServerState, body: &[u8], trace: Option<&Arc<RequestTrace>>) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "body is not utf-8");
     };
@@ -324,6 +408,10 @@ fn generate(state: &ServerState, body: &[u8]) -> Response {
         Ok(req) => req,
         Err(e) => return Response::error(400, &e),
     };
+    if let Some(tr) = trace {
+        tr.annotate_num("n", req.n as f64);
+        tr.annotate_num("seed", req.seed as f64);
+    }
     let Some(schema) = (if req.schema.is_empty() {
         state.schemas.first().cloned()
     } else {
@@ -343,6 +431,7 @@ fn generate(state: &ServerState, body: &[u8]) -> Response {
         deadline: Some(deadline),
         enqueued: now,
         reply: reply_tx,
+        trace: trace.cloned(),
     };
     match schema.queue.try_push(task) {
         Err((PushError::Full, _)) => {
@@ -429,6 +518,7 @@ mod tests {
             schemas: vec![Arc::new(schema)],
             draining: AtomicBool::new(false),
             config: ServeConfig::default(),
+            traces: Arc::new(TraceStore::new(TraceStoreConfig::default())),
         }
     }
 
@@ -449,6 +539,7 @@ mod tests {
                     deadline: None,
                     enqueued: Instant::now(),
                     reply: tx.clone(),
+                    trace: None,
                 })
                 .map_err(|(e, _)| e)
                 .unwrap();
@@ -459,17 +550,17 @@ mod tests {
     #[test]
     fn unknown_paths_and_methods_get_404_and_405() {
         let state = test_state(4);
-        assert_eq!(route(&state, "GET", "/nope", b"").status, 404);
-        assert_eq!(route(&state, "DELETE", "/generate", b"").status, 405);
-        assert_eq!(route(&state, "POST", "/healthz", b"").status, 405);
+        assert_eq!(route(&state, "GET", "/nope", b"", None).status, 404);
+        assert_eq!(route(&state, "DELETE", "/generate", b"", None).status, 405);
+        assert_eq!(route(&state, "POST", "/healthz", b"", None).status, 405);
     }
 
     #[test]
     fn healthz_flips_to_503_while_draining() {
         let state = test_state(4);
-        assert_eq!(route(&state, "GET", "/healthz", b"").status, 200);
+        assert_eq!(route(&state, "GET", "/healthz", b"", None).status, 200);
         state.draining.store(true, Ordering::SeqCst);
-        let resp = route(&state, "GET", "/healthz", b"");
+        let resp = route(&state, "GET", "/healthz", b"", None);
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("draining"));
     }
@@ -477,13 +568,19 @@ mod tests {
     #[test]
     fn generate_validates_body_and_schema() {
         let state = test_state(4);
-        assert_eq!(route(&state, "POST", "/generate", b"not json").status, 400);
         assert_eq!(
-            route(&state, "POST", "/generate", &[0xff, 0xfe]).status,
+            route(&state, "POST", "/generate", b"not json", None).status,
+            400
+        );
+        assert_eq!(
+            route(&state, "POST", "/generate", &[0xff, 0xfe], None).status,
             400
         );
         let unknown = br#"{"schema":"nope","constraint":{"point":1}}"#;
-        assert_eq!(route(&state, "POST", "/generate", unknown).status, 404);
+        assert_eq!(
+            route(&state, "POST", "/generate", unknown, None).status,
+            404
+        );
     }
 
     #[test]
@@ -495,6 +592,7 @@ mod tests {
             "POST",
             "/generate",
             br#"{"constraint":{"point":1}}"#,
+            None,
         );
         assert_eq!(resp.status, 429);
         assert!(resp
@@ -512,6 +610,7 @@ mod tests {
             "POST",
             "/generate",
             br#"{"constraint":{"point":1}}"#,
+            None,
         );
         assert_eq!(resp.status, 503);
     }
@@ -519,14 +618,17 @@ mod tests {
     #[test]
     fn models_and_metrics_render() {
         let state = test_state(4);
-        let models = route(&state, "GET", "/models", b"");
+        let models = route(&state, "GET", "/models", b"", None);
         assert_eq!(models.status, 200);
         let v = serde_json::from_str::<serde_json::Value>(&models.body).unwrap();
         let entry = &v.get("schemas").unwrap().as_array().unwrap()[0];
         assert_eq!(entry.get("name").unwrap().as_str(), Some("tpch"));
         assert_eq!(entry.get("model").unwrap().as_str(), Some("builtin"));
-        assert_eq!(route(&state, "GET", "/metrics", b"").status, 200);
-        assert_eq!(route(&state, "POST", "/models/reload", b"").status, 200);
+        assert_eq!(route(&state, "GET", "/metrics", b"", None).status, 200);
+        assert_eq!(
+            route(&state, "POST", "/models/reload", b"", None).status,
+            200
+        );
     }
 
     #[test]

@@ -84,10 +84,11 @@ fn keep_alive_serves_multiple_requests_per_connection() {
     let (status, metrics) = c.request("GET", "/metrics", None).unwrap();
     assert_eq!(status, 200);
     assert!(
-        metrics.contains("serve_http_latency_us_generate"),
+        metrics.contains(r#"serve_http_latency_us_count{endpoint="generate",status="200"}"#),
         "{metrics}"
     );
     assert!(metrics.contains("serve_batch_jobs"), "{metrics}");
+    sqlgen_obs::validate_exposition(&metrics).expect("exposition-valid /metrics");
     server.shutdown();
 }
 
@@ -150,6 +151,127 @@ fn hot_swap_is_visible_in_models_and_responses() {
 }
 
 #[test]
+fn every_response_carries_request_id_and_adopts_inbound_traceparent() {
+    let server = start_server(4, 64);
+    // Plain GET: fresh id, echoed on both headers.
+    let resp = client::request_full(server.addr(), "GET", "/healthz", &[], None).unwrap();
+    assert_eq!(resp.status, 200);
+    let id = resp
+        .header("x-request-id")
+        .expect("x-request-id")
+        .to_string();
+    assert_eq!(id.len(), 32, "{id:?}");
+    assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+    let tp = resp.header("traceparent").expect("traceparent");
+    assert_eq!(tp, format!("00-{id}-0000000000000001-01"));
+
+    // Inbound traceparent: the trace id is adopted verbatim.
+    let inbound = "00-0123456789abcdef0123456789abcdef-00000000000000aa-01";
+    let resp = client::request_full(
+        server.addr(),
+        "POST",
+        "/generate",
+        &[("traceparent", inbound)],
+        Some(r#"{"constraint":{"point":50},"n":1,"seed":3}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.header("x-request-id"),
+        Some("0123456789abcdef0123456789abcdef")
+    );
+    // A hostile traceparent is ignored, not echoed: the server mints a
+    // fresh id rather than propagating garbage.
+    let resp = client::request_full(
+        server.addr(),
+        "GET",
+        "/healthz",
+        &[("traceparent", "00-zzzz-bad-01")],
+        None,
+    )
+    .unwrap();
+    let fresh = resp.header("x-request-id").unwrap();
+    assert_eq!(fresh.len(), 32);
+    assert_ne!(fresh, "zzzz");
+    server.shutdown();
+}
+
+#[test]
+fn forced_504_trace_is_retained_with_tiled_phases() {
+    // A wide gather window (50ms) makes the 5% phase-coverage bound robust
+    // against scheduler jitter in the µs-scale gaps between phases.
+    let db = tpch_database(0.05, 2);
+    let config = GenConfig::fast().with_seed(SEED);
+    let schema = sqlgen_serve::Schema::build("tpch", &db, &config, None, 64);
+    let server = serve(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            batch: 4,
+            max_wait_ms: 50,
+            read_timeout_ms: 2_000,
+            ..ServeConfig::default()
+        },
+        vec![schema],
+    )
+    .expect("bind ephemeral port");
+
+    let resp = client::request_full(
+        server.addr(),
+        "POST",
+        "/generate",
+        &[],
+        Some(r#"{"constraint":{"min":1,"max":500},"n":2,"seed":5,"timeout_ms":0}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    let id = resp
+        .header("x-request-id")
+        .expect("x-request-id")
+        .to_string();
+
+    // Error traces are always retained by tail sampling; the echoed id
+    // must resolve to the full span tree.
+    let (status, body) =
+        client::request(server.addr(), "GET", &format!("/debug/traces/{id}"), None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+    assert_eq!(v.get("id").unwrap().as_str(), Some(id.as_str()));
+    assert_eq!(v.get("status").unwrap().as_u64(), Some(504));
+    let wall = v.get("dur_us").unwrap().as_f64().unwrap();
+    let spans = v.get("spans").unwrap().as_array().unwrap();
+    let phase = |name: &str| -> (f64, f64) {
+        let s = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some(name))
+            .unwrap_or_else(|| panic!("missing span {name}: {body}"));
+        (
+            s.get("start_us").unwrap().as_f64().unwrap(),
+            s.get("dur_us").unwrap().as_f64().unwrap(),
+        )
+    };
+    let (qw_start, qw_dur) = phase("queue_wait");
+    let (bg_start, bg_dur) = phase("batch_gather");
+    let (le_start, le_dur) = phase("lane_exec");
+    // Phases tile: each ends where the next begins, no overlap.
+    assert!(qw_start + qw_dur <= bg_start + 1.0, "{body}");
+    assert!(bg_start + bg_dur <= le_start + 1.0, "{body}");
+    let covered = qw_dur + bg_dur + le_dur;
+    assert!(
+        covered <= wall && covered >= wall * 0.95,
+        "phases {covered}µs vs wall {wall}µs: {body}"
+    );
+
+    // The trace also shows up in the ring listings.
+    let (status, listing) = client::request(server.addr(), "GET", "/debug/traces", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(listing.contains(&id), "{listing}");
+    let (status, _) = client::request(server.addr(), "GET", "/debug/slowest", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_queued_work_and_closes_listener() {
     let server = start_server(4, 64);
     let addr = server.addr();
@@ -172,6 +294,7 @@ fn graceful_shutdown_drains_queued_work_and_closes_listener() {
                 deadline: None,
                 enqueued: Instant::now(),
                 reply: tx,
+                trace: None,
             })
             .map_err(|(e, _)| e)
             .unwrap();

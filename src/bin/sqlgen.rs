@@ -229,6 +229,9 @@ FLAGS:
   --range <lo> <hi>       training constraint: range target
   --model-dir <dir>       hot-load *.ckpt checkpoints from this directory
   --trace <path.jsonl>    write structured observability events (JSON lines)
+  --trace-ring <n>        completed-trace ring capacity (default: 512)
+  --trace-sample <pct>    percent of ordinary traces retained; errors and
+                          slowest-decile requests are always kept (default: 10)
   --quiet                 suppress informational output
 
 ENDPOINTS:
@@ -237,7 +240,10 @@ ENDPOINTS:
   GET  /healthz    200 while accepting, 503 while draining
   GET  /metrics    Prometheus-style text metrics
   GET  /models     the served model per schema
-  POST /models/reload  re-scan --model-dir now";
+  POST /models/reload  re-scan --model-dir now
+  GET  /debug/traces        recent sampled request traces (summaries)
+  GET  /debug/traces/<id>   full span tree for one X-Request-Id
+  GET  /debug/slowest       slowest retained traces";
 
 fn serve_main(argv: Vec<String>) -> ! {
     let fail = |m: &str| -> ! {
@@ -307,6 +313,18 @@ fn serve_main(argv: Vec<String>) -> ! {
             }
             "--model-dir" => model_dir = Some(value("--model-dir")),
             "--trace" => trace = Some(value("--trace")),
+            "--trace-ring" => {
+                config.trace_capacity = value("--trace-ring")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--trace-ring"))
+                    .max(1)
+            }
+            "--trace-sample" => {
+                config.trace_sample_pct = value("--trace-sample")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| fail("--trace-sample"))
+                    .min(100)
+            }
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}");
