@@ -1,14 +1,18 @@
 //! Throughput benchmark for the RL pipeline.
 //!
 //! Measures training throughput (episodes/sec, tokens/sec) at `--threads 1`
-//! versus a parallel worker count, and inference throughput (queries/sec,
+//! versus a parallel worker count and across a lane-batched training sweep
+//! (batched BPTT at batch 4/8/16), and inference throughput (queries/sec,
 //! tokens/sec) with a warm policy across a batch-size sweep — plus p50/p95
-//! per-token step latency from the `rl.step.latency_us` histogram. Results
-//! go to `BENCH_train.json` and `BENCH_generate.json` in `--out` (default:
-//! current directory).
+//! per-token step latency from the `rl.step.latency_us` histogram. The
+//! histogram is reset between phases and every phase row records the
+//! machine's hardware thread count alongside its own threads/batch, so
+//! rows are comparable in isolation. Results go to `BENCH_train.json` and
+//! `BENCH_generate.json` in `--out` (default: current directory).
 //!
-//! The inference sweep runs batch sizes 1/4/8/16 by default; `--batch <B>`
-//! narrows it to `[1, B]` (used by CI to keep the smoke run fast).
+//! The sweeps run batch sizes 1/4/8/16 by default; `--batch <B>` narrows
+//! them to `[1, B]` (used by CI to keep the smoke run fast). `--quant`
+//! additionally sweeps inference on the int8 quantized snapshot.
 //!
 //! `--smoke` shrinks everything for a CI sanity run (seconds, not minutes).
 //! All other flags are the shared harness flags (`--help`).
@@ -25,6 +29,9 @@ use std::time::Instant;
 
 struct TrainPhase {
     threads: usize,
+    /// Lockstep training lanes (batched BPTT); 1 = serial updates.
+    batch: usize,
+    hardware_threads: usize,
     seconds: f64,
     episodes_per_sec: f64,
     tokens_per_sec: f64,
@@ -33,16 +40,21 @@ struct TrainPhase {
 }
 
 /// Trains a fresh generator and measures the phase; returns the trained
-/// generator so the inference phase can reuse the warm policy.
+/// generator so the inference phase can reuse the warm policy. The step
+/// histogram is reset up front so the phase row only counts its own
+/// samples.
 fn run_train(
     db: &Database,
     constraint: Constraint,
     seed: u64,
     episodes: usize,
     threads: usize,
+    batch: usize,
     hist: &Histogram,
 ) -> (LearnedSqlGen, TrainPhase) {
-    let cfg = harness_gen_config(seed).with_threads(threads);
+    let cfg = harness_gen_config(seed)
+        .with_threads(threads)
+        .with_batch_size(batch);
     let mut g = LearnedSqlGen::new(db, constraint, cfg);
     hist.reset();
     let start = Instant::now();
@@ -50,6 +62,8 @@ fn run_train(
     let seconds = start.elapsed().as_secs_f64();
     let phase = TrainPhase {
         threads,
+        batch,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         seconds,
         episodes_per_sec: episodes as f64 / seconds,
         // Every step records one latency sample, so the histogram count is
@@ -63,15 +77,23 @@ fn run_train(
 
 fn phase_json(p: &TrainPhase) -> String {
     format!(
-        "{{\"threads\": {}, \"seconds\": {:.3}, \"episodes_per_sec\": {:.2}, \
-         \"tokens_per_sec\": {:.1}, \"step_latency_p50_us\": {:.2}, \
-         \"step_latency_p95_us\": {:.2}}}",
-        p.threads, p.seconds, p.episodes_per_sec, p.tokens_per_sec, p.step_p50_us, p.step_p95_us
+        "{{\"threads\": {}, \"batch\": {}, \"hardware_threads\": {}, \"seconds\": {:.3}, \
+         \"episodes_per_sec\": {:.2}, \"tokens_per_sec\": {:.1}, \
+         \"step_latency_p50_us\": {:.2}, \"step_latency_p95_us\": {:.2}}}",
+        p.threads,
+        p.batch,
+        p.hardware_threads,
+        p.seconds,
+        p.episodes_per_sec,
+        p.tokens_per_sec,
+        p.step_p50_us,
+        p.step_p95_us
     )
 }
 
 struct GenPhase {
     batch: usize,
+    quantized: bool,
     seconds: f64,
     satisfied: usize,
     queries_per_sec: f64,
@@ -84,8 +106,15 @@ struct GenPhase {
 ///
 /// Each phase is short (~0.1 s), so a single run is at the mercy of scheduler
 /// noise on shared hardware; take the best of a few repetitions instead.
-fn run_generate(warm: &mut LearnedSqlGen, n: usize, batch: usize, hist: &Histogram) -> GenPhase {
+fn run_generate(
+    warm: &mut LearnedSqlGen,
+    n: usize,
+    batch: usize,
+    quantized: bool,
+    hist: &Histogram,
+) -> GenPhase {
     warm.set_batch_size(batch);
+    warm.set_quantize(quantized);
     let mut best: Option<GenPhase> = None;
     for _ in 0..3 {
         hist.reset();
@@ -97,6 +126,7 @@ fn run_generate(warm: &mut LearnedSqlGen, n: usize, batch: usize, hist: &Histogr
         let tokens = hist.count();
         let phase = GenPhase {
             batch,
+            quantized,
             seconds,
             satisfied: qs.iter().filter(|q| q.satisfied).count(),
             queries_per_sec: n as f64 / seconds,
@@ -116,10 +146,11 @@ fn run_generate(warm: &mut LearnedSqlGen, n: usize, batch: usize, hist: &Histogr
 
 fn gen_phase_json(p: &GenPhase) -> String {
     format!(
-        "{{\"batch\": {}, \"seconds\": {:.3}, \"satisfied\": {}, \
+        "{{\"batch\": {}, \"quantized\": {}, \"seconds\": {:.3}, \"satisfied\": {}, \
          \"queries_per_sec\": {:.2}, \"tokens_per_sec\": {:.1}, \
          \"step_latency_p50_us\": {:.2}, \"step_latency_p95_us\": {:.2}}}",
         p.batch,
+        p.quantized,
         p.seconds,
         p.satisfied,
         p.queries_per_sec,
@@ -133,12 +164,14 @@ fn main() {
     // Binary-specific flags are peeled off before the shared parser (which
     // rejects unknown flags).
     let mut smoke = false;
+    let mut quant = false;
     let mut out_dir = String::from(".");
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--quant" => quant = true,
             "--out" => out_dir = it.next().expect("--out needs a value"),
             _ => rest.push(a),
         }
@@ -175,7 +208,7 @@ fn main() {
     let hist = sqlgen_obs::metrics::global().histogram("rl.step.latency_us");
 
     // --- training phases ---------------------------------------------------
-    let (mut warm, serial) = run_train(&db, constraint, args.seed, args.train, 1, &hist);
+    let (mut warm, serial) = run_train(&db, constraint, args.seed, args.train, 1, 1, &hist);
     sqlgen_obs::obs_info!(
         "[throughput] train threads=1: {:.1} eps/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
         serial.episodes_per_sec,
@@ -183,7 +216,7 @@ fn main() {
         serial.step_p50_us,
         serial.step_p95_us
     );
-    let (_, parallel) = run_train(&db, constraint, args.seed, args.train, par, &hist);
+    let (_, parallel) = run_train(&db, constraint, args.seed, args.train, par, 1, &hist);
     sqlgen_obs::obs_info!(
         "[throughput] train threads={par}: {:.1} eps/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
         parallel.episodes_per_sec,
@@ -192,6 +225,36 @@ fn main() {
         parallel.step_p95_us
     );
     let speedup = parallel.episodes_per_sec / serial.episodes_per_sec;
+
+    // Lane-batched training sweep (batched BPTT, single thread). `--batch B`
+    // narrows it for the CI smoke run.
+    let train_sweep: Vec<usize> = if args.batch > 1 {
+        vec![args.batch]
+    } else {
+        vec![4, 8, 16]
+    };
+    let mut batched_phases = Vec::with_capacity(train_sweep.len());
+    for &bs in &train_sweep {
+        let (_, p) = run_train(&db, constraint, args.seed, args.train, 1, bs, &hist);
+        sqlgen_obs::obs_info!(
+            "[throughput] train batch={bs}: {:.1} eps/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
+            p.episodes_per_sec,
+            p.tokens_per_sec,
+            p.step_p50_us,
+            p.step_p95_us
+        );
+        batched_phases.push(p);
+    }
+    let best_batched = batched_phases
+        .iter()
+        .max_by(|a, b| a.episodes_per_sec.total_cmp(&b.episodes_per_sec))
+        .expect("train sweep has a batched phase");
+    let batched_speedup = best_batched.episodes_per_sec / serial.episodes_per_sec;
+    sqlgen_obs::obs_info!(
+        "[throughput] train batch={} vs serial: {:.2}x episodes/sec",
+        best_batched.batch,
+        batched_speedup
+    );
 
     let mut train_json = String::from("{\n");
     let _ = writeln!(train_json, "  \"benchmark\": \"tpch\",");
@@ -205,16 +268,24 @@ fn main() {
         "  \"inference_batching\": {},",
         json_str(
             "batched GEMM lanes apply to the inference path; see \
-             BENCH_generate.json batch_sweep. Training rollouts use --threads."
+             BENCH_generate.json batch_sweep. Training rollouts use --threads \
+             or --batch (lane-batched BPTT, one accumulated step per round)."
         )
     );
+    let mut phase_rows: Vec<String> = vec![phase_json(&serial), phase_json(&parallel)];
+    phase_rows.extend(batched_phases.iter().map(phase_json));
+    let indented: Vec<String> = phase_rows.iter().map(|r| format!("    {r}")).collect();
     let _ = writeln!(
         train_json,
-        "  \"phases\": [\n    {},\n    {}\n  ],",
-        phase_json(&serial),
-        phase_json(&parallel)
+        "  \"phases\": [\n{}\n  ],",
+        indented.join(",\n")
     );
-    let _ = writeln!(train_json, "  \"speedup_vs_serial\": {speedup:.2}");
+    let _ = writeln!(train_json, "  \"speedup_vs_serial\": {speedup:.2},");
+    let _ = writeln!(
+        train_json,
+        "  \"batched_train_speedup_vs_serial\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}}",
+        best_batched.batch, batched_speedup
+    );
     train_json.push_str("}\n");
     write_out(&out_dir, "BENCH_train.json", &train_json);
 
@@ -228,7 +299,7 @@ fn main() {
     };
     let mut phases = Vec::with_capacity(sweep.len());
     for &bs in &sweep {
-        let p = run_generate(&mut warm, args.n, bs, &hist);
+        let p = run_generate(&mut warm, args.n, bs, false, &hist);
         sqlgen_obs::obs_info!(
             "[throughput] generate batch={}: {:.1} q/s, {:.0} tok/s, step p50 {:.1}us p95 {:.1}us",
             p.batch,
@@ -238,6 +309,23 @@ fn main() {
             p.step_p95_us
         );
         phases.push(p);
+    }
+    // `--quant` repeats the sweep on the int8 snapshot of the same warm policy.
+    let mut quant_phases = Vec::new();
+    if quant {
+        for &bs in &sweep {
+            let p = run_generate(&mut warm, args.n, bs, true, &hist);
+            sqlgen_obs::obs_info!(
+                "[throughput] generate batch={} int8: {:.1} q/s, {:.0} tok/s, \
+                 step p50 {:.1}us p95 {:.1}us",
+                p.batch,
+                p.queries_per_sec,
+                p.tokens_per_sec,
+                p.step_p50_us,
+                p.step_p95_us
+            );
+            quant_phases.push(p);
+        }
     }
     let baseline = &phases[0];
     // Report the best batched width: throughput peaks where lane-axis SIMD
@@ -289,11 +377,50 @@ fn main() {
         "  \"batch_sweep\": [\n{}\n  ],",
         sweep_rows.join(",\n")
     );
-    let _ = writeln!(
-        gen_json,
-        "  \"batch_speedup_tokens_per_sec\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}}",
-        best.batch, batch_speedup
-    );
+    if quant_phases.is_empty() {
+        let _ = writeln!(
+            gen_json,
+            "  \"batch_speedup_tokens_per_sec\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}}",
+            best.batch, batch_speedup
+        );
+    } else {
+        let _ = writeln!(
+            gen_json,
+            "  \"batch_speedup_tokens_per_sec\": {{\"batch\": {}, \"vs_batch_1\": {:.2}}},",
+            best.batch, batch_speedup
+        );
+        let quant_rows: Vec<String> = quant_phases
+            .iter()
+            .map(|p| format!("    {}", gen_phase_json(p)))
+            .collect();
+        let _ = writeln!(
+            gen_json,
+            "  \"quant_sweep\": [\n{}\n  ],",
+            quant_rows.join(",\n")
+        );
+        // Quantization's win is measured at matched batch width: best int8
+        // phase vs the f32 phase at the same width.
+        let best_q = quant_phases
+            .iter()
+            .max_by(|a, b| a.tokens_per_sec.total_cmp(&b.tokens_per_sec))
+            .expect("quant sweep is non-empty");
+        let f32_same = phases
+            .iter()
+            .find(|p| p.batch == best_q.batch)
+            .expect("f32 sweep covers the same widths");
+        let _ = writeln!(
+            gen_json,
+            "  \"quant_speedup_tokens_per_sec\": {{\"batch\": {}, \"vs_f32_same_batch\": {:.2}}}",
+            best_q.batch,
+            best_q.tokens_per_sec / f32_same.tokens_per_sec
+        );
+        sqlgen_obs::obs_info!(
+            "[throughput] int8 batch={} vs f32 batch={}: {:.2}x tokens/sec",
+            best_q.batch,
+            f32_same.batch,
+            best_q.tokens_per_sec / f32_same.tokens_per_sec
+        );
+    }
     gen_json.push_str("}\n");
     write_out(&out_dir, "BENCH_generate.json", &gen_json);
 

@@ -1,6 +1,6 @@
 //! Invariant/differential fuzzing entry point (CI smoke budget).
 //!
-//! Runs `sqlgen-fuzz` across all seven invariant families and exits non-zero
+//! Runs `sqlgen-fuzz` across all nine invariant families and exits non-zero
 //! on any violation, printing the failing SQL, its shrunk reproduction and
 //! the case seed. `--family <name>` alone focuses the whole budget on one
 //! family; with `--case-seed` it reproduces a single reported case:

@@ -87,6 +87,7 @@ pub fn harness_gen_config(seed: u64) -> GenConfig {
         default_train_episodes: 400,
         threads: 1,
         batch_size: 1,
+        quantize: false,
     }
 }
 

@@ -19,7 +19,7 @@
 //! concurrently-scanning model registry never observes a torn file.
 
 use serde::{Deserialize, Serialize};
-use sqlgen_rl::{ActorNet, Constraint, CriticNet, NetConfig};
+use sqlgen_rl::{ActorNet, Constraint, CriticNet, NetConfig, QuantizedActor};
 use std::fmt;
 use std::path::Path;
 
@@ -126,6 +126,14 @@ impl Checkpoint {
             critic.restore_buffers();
         }
         Ok(ckpt)
+    }
+
+    /// Builds an int8 per-output-channel quantized snapshot of this
+    /// checkpoint's actor (quantize-at-load: checkpoints always store f32
+    /// weights; the int8 form exists only in memory). See
+    /// `sqlgen_nn::quant` for the format and error bound.
+    pub fn quantized_actor(&self) -> QuantizedActor {
+        QuantizedActor::from_actor(&self.actor)
     }
 
     /// Like [`Checkpoint::parse`], then validates the action space against
@@ -281,6 +289,18 @@ mod tests {
             Checkpoint::parse("sqlgen-checkpoint v1\nnot json").unwrap_err(),
             CheckpointError::Parse(_)
         ));
+    }
+
+    #[test]
+    fn quantize_at_load_roundtrips_through_the_wire_format() {
+        let ckpt = Checkpoint::legacy(small_actor(9));
+        let back = Checkpoint::parse(&ckpt.render()).unwrap();
+        let q = back.quantized_actor();
+        assert_eq!(q.vocab_size, 9);
+        // Same weights in, same int8 snapshot out.
+        let direct = ckpt.quantized_actor();
+        assert_eq!(q.head.w.data, direct.head.w.data);
+        assert_eq!(q.head.w.scales, direct.head.w.scales);
     }
 
     #[test]

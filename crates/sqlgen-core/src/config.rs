@@ -37,7 +37,17 @@ pub struct GenConfig {
     /// through batched kernels with continuous lane refill; each
     /// `(seed, batch_size)` pair is reproducible. When both are set,
     /// `batch_size > 1` takes precedence over `threads` for inference.
+    /// `batch_size > 1` also selects lane-batched training (batched BPTT
+    /// with one accumulated gradient step per round of `batch_size`
+    /// episodes; see `sqlgen_rl::train_batch`).
     pub batch_size: usize,
+    /// Run inference on an int8 per-output-channel quantized snapshot of
+    /// the actor (see `sqlgen_nn::quant`). `false` (the default) keeps the
+    /// bit-exact f32 path. Quantization is inference-only: training always
+    /// updates the f32 weights, and the snapshot is refreshed after every
+    /// train/load. Sampled token streams differ from the f32 path only
+    /// within the quantization error bound of the logits.
+    pub quantize: bool,
 }
 
 impl Default for GenConfig {
@@ -50,6 +60,7 @@ impl Default for GenConfig {
             default_train_episodes: 600,
             threads: 1,
             batch_size: 1,
+            quantize: false,
         }
     }
 }
@@ -103,6 +114,11 @@ impl GenConfig {
         self
     }
 
+    pub fn with_quantize(mut self, quantize: bool) -> Self {
+        self.quantize = quantize;
+        self
+    }
+
     /// Overrides the per-column value-sample size `k` (paper default 100).
     /// Changing `k` changes the action-space size, so checkpoints are only
     /// portable between generators built with the same sample config.
@@ -135,12 +151,15 @@ mod tests {
             .with_algorithm(Algorithm::Reinforce)
             .with_seed(99)
             .with_threads(4)
-            .with_batch_size(8);
+            .with_batch_size(8)
+            .with_quantize(true);
         assert_eq!(c.algorithm, Algorithm::Reinforce);
         assert_eq!(c.train.seed, 99);
         assert_eq!(c.sample.seed, 99 ^ 0x5a5a);
         assert_eq!(c.threads, 4);
         assert_eq!(c.batch_size, 8);
+        assert!(c.quantize);
+        assert!(!GenConfig::default().quantize);
         // threads/batch_size must never be 0, and default to serial paths.
         assert_eq!(GenConfig::default().threads, 1);
         assert_eq!(GenConfig::default().batch_size, 1);

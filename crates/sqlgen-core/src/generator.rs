@@ -7,7 +7,7 @@ use sqlgen_engine::{render, Estimator, Statement};
 use sqlgen_fsm::Vocabulary;
 use sqlgen_rl::{
     run_jobs_batched, worker_seed, ActorCritic, Constraint, Episode, EstimatorCache, Job,
-    JobOutcome, Reinforce, SqlGenEnv,
+    JobOutcome, QuantizedActor, Reinforce, SqlGenEnv,
 };
 use sqlgen_storage::Database;
 use std::time::Instant;
@@ -53,6 +53,9 @@ pub struct LearnedSqlGen {
     /// `generate` calls (so `generate_satisfied` never re-estimates a
     /// duplicate candidate); pure bit-exact memoization.
     cache: EstimatorCache,
+    /// Int8 snapshot of the actor, present iff `config.quantize`.
+    /// Refreshed after every train/load so it never runs stale weights.
+    quant: Option<QuantizedActor>,
     pub stats: TrainStats,
 }
 
@@ -71,15 +74,46 @@ impl LearnedSqlGen {
                 config.train.clone(),
             ))),
         };
-        LearnedSqlGen {
+        let mut gen = LearnedSqlGen {
             vocab,
             estimator,
             constraint,
             config,
             trainer,
             cache: EstimatorCache::default(),
+            quant: None,
             stats: TrainStats::default(),
+        };
+        gen.refresh_quant();
+        gen
+    }
+
+    fn actor(&self) -> &sqlgen_rl::ActorNet {
+        match &self.trainer {
+            Trainer::Reinforce(t) => &t.actor,
+            Trainer::ActorCritic(t) => &t.actor,
         }
+    }
+
+    /// Rebuilds (or drops) the int8 snapshot from the current f32 weights.
+    fn refresh_quant(&mut self) {
+        self.quant = if self.config.quantize {
+            Some(QuantizedActor::from_actor(self.actor()))
+        } else {
+            None
+        };
+    }
+
+    /// Whether inference currently runs on the int8 quantized snapshot.
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Enables or disables int8 quantized inference. Enabling snapshots the
+    /// current f32 weights; disabling restores the bit-exact f32 path.
+    pub fn set_quantize(&mut self, on: bool) {
+        self.config.quantize = on;
+        self.refresh_quant();
     }
 
     pub fn constraint(&self) -> Constraint {
@@ -104,9 +138,11 @@ impl LearnedSqlGen {
 
     /// Trains for `episodes` episodes (Algorithm 1 / Algorithm 3).
     ///
-    /// Rollouts are collected with `config.threads` workers (1 = the exact
-    /// serial sequence); gradient updates are always applied serially in
-    /// episode order.
+    /// With `config.batch_size > 1` rollouts advance in lockstep GEMM
+    /// lanes and updates use batched BPTT with one accumulated gradient
+    /// step per round of `batch_size` episodes. Otherwise rollouts are
+    /// collected with `config.threads` workers (1 = the exact serial
+    /// sequence) and updates are applied serially in episode order.
     pub fn train(&mut self, episodes: usize) -> &TrainStats {
         let _span = sqlgen_obs::obs_span!("gen.train");
         let started = std::time::Instant::now();
@@ -118,7 +154,10 @@ impl LearnedSqlGen {
             .with_fsm_config(self.config.fsm.clone())
             .with_cache(&self.cache);
         let threads = self.config.threads.max(1);
+        let batch = self.config.batch_size.max(1);
         let eps = match &mut self.trainer {
+            Trainer::Reinforce(t) if batch > 1 => t.train_batched(&env, episodes, batch),
+            Trainer::ActorCritic(t) if batch > 1 => t.train_batched(&env, episodes, batch),
             Trainer::Reinforce(t) => t.train_batch(&env, episodes, threads),
             Trainer::ActorCritic(t) => t.train_batch(&env, episodes, threads),
         };
@@ -139,6 +178,7 @@ impl LearnedSqlGen {
             sqlgen_obs::obs_gauge!("rl.episodes_per_sec", episodes as f64 / secs);
             sqlgen_obs::obs_gauge!("rl.tokens_per_sec", tokens as f64 / secs);
         }
+        self.refresh_quant();
         &self.stats
     }
 
@@ -158,14 +198,23 @@ impl LearnedSqlGen {
             .with_cache(&self.cache);
         let threads = self.config.threads.max(1);
         let batch = self.config.batch_size.max(1);
-        // batch_size > 1 selects the lockstep GEMM engine (threads cannot
-        // help on a single core; lanes can). batch_size = 1 preserves the
+        // With a quantized snapshot, all generation runs through the
+        // lockstep engine on the int8 actor. Otherwise batch_size > 1
+        // selects the lockstep GEMM engine on f32 (threads cannot help on
+        // a single core; lanes can), and batch_size = 1 preserves the
         // legacy serial/threaded paths bit-for-bit.
-        let eps = match &mut self.trainer {
-            Trainer::Reinforce(t) if batch > 1 => t.generate_batched(&env, n, batch),
-            Trainer::ActorCritic(t) if batch > 1 => t.generate_batched(&env, n, batch),
-            Trainer::Reinforce(t) => t.generate_batch(&env, n, threads),
-            Trainer::ActorCritic(t) => t.generate_batch(&env, n, threads),
+        let eps = if let Some(q) = &self.quant {
+            match &mut self.trainer {
+                Trainer::Reinforce(t) => t.generate_batched_quant(q, &env, n, batch),
+                Trainer::ActorCritic(t) => t.generate_batched_quant(q, &env, n, batch),
+            }
+        } else {
+            match &mut self.trainer {
+                Trainer::Reinforce(t) if batch > 1 => t.generate_batched(&env, n, batch),
+                Trainer::ActorCritic(t) if batch > 1 => t.generate_batched(&env, n, batch),
+                Trainer::Reinforce(t) => t.generate_batch(&env, n, threads),
+                Trainer::ActorCritic(t) => t.generate_batch(&env, n, threads),
+            }
         };
         let tokens: usize = eps.iter().map(Episode::len).sum();
         let out = eps.iter().map(to_generated).collect();
@@ -249,10 +298,6 @@ impl LearnedSqlGen {
     ) -> (Vec<GeneratedQuery>, usize) {
         let _span = sqlgen_obs::obs_span!("gen.generate_seeded");
         let env = self.env();
-        let actor = match &self.trainer {
-            Trainer::Reinforce(t) => &t.actor,
-            Trainer::ActorCritic(t) => &t.actor,
-        };
         let lanes = self.config.batch_size.max(1);
         let jobs: Vec<Job> = (0..n)
             .map(|j| Job {
@@ -263,7 +308,11 @@ impl LearnedSqlGen {
                 trace: trace.clone(),
             })
             .collect();
-        let mut tagged = run_jobs_batched(actor, jobs, lanes);
+        let mut tagged = if let Some(q) = &self.quant {
+            run_jobs_batched(q, jobs, lanes)
+        } else {
+            run_jobs_batched(self.actor(), jobs, lanes)
+        };
         tagged.sort_by_key(|(tag, _)| *tag);
         let mut out = Vec::with_capacity(n);
         let mut expired = 0usize;
@@ -323,6 +372,7 @@ impl LearnedSqlGen {
                 }
             }
         }
+        self.refresh_quant();
         Ok(())
     }
 
@@ -429,6 +479,67 @@ mod tests {
             sqlgen_engine::validate(&db, &q.statement).unwrap();
             let reparsed = sqlgen_engine::parse(&q.sql).unwrap();
             assert_eq!(render(&reparsed), q.sql);
+        }
+    }
+
+    #[test]
+    fn quantized_generation_is_valid_and_toggles_cleanly() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(5));
+        g.train(60);
+        assert!(!g.quantized());
+        let baseline = g.generate_seeded(6, 0x0DD);
+
+        g.set_quantize(true);
+        assert!(g.quantized());
+        let quant = g.generate_seeded(6, 0x0DD);
+        assert_eq!(quant.len(), 6);
+        for q in &quant {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+        }
+        // Plain generate also runs the int8 engine and yields valid SQL.
+        for q in g.generate(10) {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+        }
+
+        // Disabling restores the bit-exact f32 path.
+        g.set_quantize(false);
+        assert!(!g.quantized());
+        let back = g.generate_seeded(6, 0x0DD);
+        for (x, y) in back.iter().zip(&baseline) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
+    }
+
+    #[test]
+    fn train_with_batching_then_quantized_load_roundtrips() {
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let db = tpch_database(0.2, 21);
+        let mut g = LearnedSqlGen::new(
+            &db,
+            constraint,
+            GenConfig::fast().with_seed(5).with_batch_size(8),
+        );
+        g.train(64); // lane-batched training path
+        let text = g.save_checkpoint();
+
+        // A quantize-at-load generator reproduces the trainer's own
+        // quantized stream: the snapshot is a pure function of the weights.
+        let mut fresh = LearnedSqlGen::new(
+            &db,
+            constraint,
+            GenConfig::fast().with_seed(5).with_quantize(true),
+        );
+        fresh.load_checkpoint(&text).unwrap();
+        assert!(fresh.quantized());
+        g.set_quantize(true);
+        let a = g.generate_seeded(5, 0xFACE);
+        let b = fresh.generate_seeded(5, 0xFACE);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
         }
     }
 

@@ -45,3 +45,34 @@ fn fast_config_pipeline_matches_golden_fixture() {
     let got_sql: Vec<String> = g.generate(8).into_iter().map(|q| q.sql).collect();
     assert_eq!(got_sql, want_sql, "generated SQL drifted");
 }
+
+/// Int8 quantized inference is allowed to sample slightly different token
+/// streams (logits move within the quantization error bound), but on the
+/// golden training config its constraint satisfied-rate must stay within
+/// ±1 query of the f32 path over the same per-job seeds.
+#[test]
+fn quantized_satisfied_rate_tracks_f32_on_golden_config() {
+    let db = tpch_database(0.2, 21);
+    let mut g = LearnedSqlGen::new(
+        &db,
+        Constraint::cardinality_range(100.0, 500.0),
+        GenConfig::fast().with_seed(5),
+    );
+    g.train(60);
+    let n = 20;
+    let f32_sat = g
+        .generate_seeded(n, 0x601d)
+        .iter()
+        .filter(|q| q.satisfied)
+        .count() as i64;
+    g.set_quantize(true);
+    let q_sat = g
+        .generate_seeded(n, 0x601d)
+        .iter()
+        .filter(|q| q.satisfied)
+        .count() as i64;
+    assert!(
+        (q_sat - f32_sat).abs() <= 1,
+        "quantized satisfied-rate drifted: f32 {f32_sat}/{n} vs int8 {q_sat}/{n}"
+    );
+}

@@ -22,7 +22,15 @@ use sqlgen_engine::{
     Predicate, Rhs, SelectItem, SelectQuery, Statement, StatementKind, UpdateStmt,
 };
 use sqlgen_storage::{DataType, Value};
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Reused id buffer for [`GenState::mask_into`]: the batched rollout
+    /// engines call it once per lane per step, so the `allowed` set must
+    /// not allocate on the hot path.
+    static ALLOWED_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Errors from applying a token the FSM did not offer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,10 +335,21 @@ impl<'v> GenState<'v> {
     }
 
     /// The allowed next tokens (the unmasked action set).
+    /// Admissible token ids. Allocating wrapper over
+    /// [`GenState::allowed_into`].
     pub fn allowed(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.allowed_into(&mut out);
+        out
+    }
+
+    /// Writes the admissible token ids into `out` (cleared first). The
+    /// batched mask path calls this once per lane per step with a reused
+    /// buffer, keeping the hot loop allocation-free.
+    pub fn allowed_into(&self, out: &mut Vec<usize>) {
+        out.clear();
         let v = self.vocab;
         let frame = self.frame();
-        let mut out = Vec::new();
         fn add(out: &mut Vec<usize>, v: &Vocabulary, t: Token) {
             out.push(v.id(&t));
         }
@@ -340,23 +359,23 @@ impl<'v> GenState<'v> {
             Phase::Start => {
                 if self.frames.len() > 1 {
                     // Subqueries always start with FROM.
-                    add(&mut out, v, Token::From);
+                    add(out, v, Token::From);
                 } else {
                     if self.config.allows(StatementKind::Select) {
-                        add(&mut out, v, Token::From);
+                        add(out, v, Token::From);
                     }
                     if self.config.allows(StatementKind::Insert)
                         && !self.insertable_tables().is_empty()
                     {
-                        add(&mut out, v, Token::InsertInto);
+                        add(out, v, Token::InsertInto);
                     }
                     if self.config.allows(StatementKind::Update)
                         && !self.updatable_tables().is_empty()
                     {
-                        add(&mut out, v, Token::Update);
+                        add(out, v, Token::Update);
                     }
                     if self.config.allows(StatementKind::Delete) && !v.tables.is_empty() {
-                        add(&mut out, v, Token::DeleteFrom);
+                        add(out, v, Token::DeleteFrom);
                     }
                 }
             }
@@ -375,22 +394,22 @@ impl<'v> GenState<'v> {
                         _ => true,
                     };
                     if ok {
-                        add(&mut out, v, Token::Table(t));
+                        add(out, v, Token::Table(t));
                     }
                 }
             }
             Phase::AfterTable => {
                 if frame.joins.len() < self.config.max_joins && !self.joinable_tables().is_empty() {
-                    add(&mut out, v, Token::Join);
+                    add(out, v, Token::Join);
                 }
-                add(&mut out, v, Token::Select);
+                add(out, v, Token::Select);
             }
             Phase::JoinTable => {
                 for t in self.joinable_tables() {
-                    add(&mut out, v, Token::Table(t));
+                    add(out, v, Token::Table(t));
                 }
             }
-            Phase::SelectItem => self.select_item_tokens(&mut out),
+            Phase::SelectItem => self.select_item_tokens(out),
             Phase::AggCol(f) => {
                 for c in self.scope_columns() {
                     if !f.requires_numeric() || self.col_type(c).is_numeric() {
@@ -402,31 +421,31 @@ impl<'v> GenState<'v> {
                 match frame.sub {
                     Some(SubKind::In { .. }) | Some(SubKind::Scalar) => {
                         // Exactly one select item in these subqueries.
-                        add(&mut out, v, Token::Where);
-                        add(&mut out, v, Token::CloseSub);
+                        add(out, v, Token::Where);
+                        add(out, v, Token::CloseSub);
                     }
                     _ => {
                         if frame.select.len() < self.config.max_select_items {
-                            self.select_item_tokens(&mut out);
+                            self.select_item_tokens(out);
                         }
-                        add(&mut out, v, Token::Where);
+                        add(out, v, Token::Where);
                         if self.group_by_available() {
-                            add(&mut out, v, Token::GroupBy);
+                            add(out, v, Token::GroupBy);
                         }
-                        self.push_order_by(&mut out);
-                        self.push_terminator(&mut out);
+                        self.push_order_by(out);
+                        self.push_terminator(out);
                     }
                 }
             }
             Phase::PredCol => {
                 if !frame.pred.negate {
-                    add(&mut out, v, Token::Not);
+                    add(out, v, Token::Not);
                 }
                 if self.nesting_ok() && frame.sub.is_none() {
                     // EXISTS only at the outermost predicate level to bound
                     // depth bookkeeping (nested EXISTS inside subqueries adds
                     // little coverage).
-                    add(&mut out, v, Token::Exists);
+                    add(out, v, Token::Exists);
                 }
                 for c in self.scope_columns() {
                     let has_values = !v.value_tokens_of(c).is_empty();
@@ -443,14 +462,14 @@ impl<'v> GenState<'v> {
                 let scalar_possible = self.nesting_ok() && self.col_type(col).is_numeric();
                 if has_values || scalar_possible {
                     for op in self.ops_for(col) {
-                        add(&mut out, v, Token::Op(op));
+                        add(out, v, Token::Op(op));
                     }
                 }
                 if self.nesting_ok() && self.in_subquery_possible(col) {
-                    add(&mut out, v, Token::In);
+                    add(out, v, Token::In);
                 }
                 if self.config.allow_like && !v.pattern_tokens_of(col).is_empty() {
-                    add(&mut out, v, Token::Like);
+                    add(out, v, Token::Like);
                 }
             }
             Phase::PredRhs => {
@@ -459,7 +478,7 @@ impl<'v> GenState<'v> {
                     out.push(t as usize);
                 }
                 if self.nesting_ok() && self.col_type(col).is_numeric() {
-                    add(&mut out, v, Token::OpenSub);
+                    add(out, v, Token::OpenSub);
                 }
             }
             Phase::PredLikeRhs => {
@@ -468,19 +487,19 @@ impl<'v> GenState<'v> {
                     out.push(t as usize);
                 }
             }
-            Phase::SubOpen => add(&mut out, v, Token::OpenSub),
+            Phase::SubOpen => add(out, v, Token::OpenSub),
             Phase::AfterPred => {
                 if frame.pred.atoms < self.config.max_predicates {
-                    add(&mut out, v, Token::And);
-                    add(&mut out, v, Token::Or);
+                    add(out, v, Token::And);
+                    add(out, v, Token::Or);
                 }
                 if self.kind == Some(StatementKind::Select) || self.frames.len() > 1 {
                     if self.group_by_available() {
-                        add(&mut out, v, Token::GroupBy);
+                        add(out, v, Token::GroupBy);
                     }
-                    self.push_order_by(&mut out);
+                    self.push_order_by(out);
                 }
-                self.push_terminator(&mut out);
+                self.push_terminator(out);
             }
             Phase::GroupByCol | Phase::AfterGroupBy => {
                 let needed = frame.ungrouped_plain_cols();
@@ -498,9 +517,9 @@ impl<'v> GenState<'v> {
                             }
                         }
                         if self.having_available() {
-                            add(&mut out, v, Token::Having);
+                            add(out, v, Token::Having);
                         }
-                        self.push_terminator(&mut out);
+                        self.push_terminator(out);
                     } else {
                         // GroupByCol with nothing mandatory: any scope column.
                         for c in self.scope_columns() {
@@ -514,7 +533,7 @@ impl<'v> GenState<'v> {
             Phase::HavingAgg => {
                 for f in [AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg] {
                     if self.having_cols().next().is_some() {
-                        add(&mut out, v, Token::Agg(f));
+                        add(out, v, Token::Agg(f));
                     }
                 }
             }
@@ -525,7 +544,7 @@ impl<'v> GenState<'v> {
             }
             Phase::HavingOp => {
                 for op in CmpOp::ALL {
-                    add(&mut out, v, Token::Op(op));
+                    add(out, v, Token::Op(op));
                 }
             }
             Phase::HavingRhs => {
@@ -535,8 +554,8 @@ impl<'v> GenState<'v> {
                 }
             }
             Phase::AfterHaving => {
-                self.push_order_by(&mut out);
-                self.push_terminator(&mut out);
+                self.push_order_by(out);
+                self.push_terminator(out);
             }
             Phase::OrderCol => {
                 for c in self.order_by_candidates() {
@@ -546,17 +565,17 @@ impl<'v> GenState<'v> {
             Phase::AfterOrder => {
                 if let Some((_, desc)) = frame.order_by.last() {
                     if !desc {
-                        add(&mut out, v, Token::Desc);
+                        add(out, v, Token::Desc);
                     }
                 }
-                self.push_terminator(&mut out);
+                self.push_terminator(out);
             }
             Phase::InsertTable => {
                 for t in self.insertable_tables() {
-                    add(&mut out, v, Token::Table(t));
+                    add(out, v, Token::Table(t));
                 }
             }
-            Phase::InsertValuesKw => add(&mut out, v, Token::Values),
+            Phase::InsertValuesKw => add(out, v, Token::Values),
             Phase::InsertValues => {
                 let t = self.dml_table.expect("insert has table");
                 let col = self.vocab.table_columns[t as usize][self.insert_next_col];
@@ -564,13 +583,13 @@ impl<'v> GenState<'v> {
                     out.push(tok as usize);
                 }
             }
-            Phase::AfterInsert => add(&mut out, v, Token::Eof),
+            Phase::AfterInsert => add(out, v, Token::Eof),
             Phase::UpdateTable => {
                 for t in self.updatable_tables() {
-                    add(&mut out, v, Token::Table(t));
+                    add(out, v, Token::Table(t));
                 }
             }
-            Phase::SetKw => add(&mut out, v, Token::Set),
+            Phase::SetKw => add(out, v, Token::Set),
             Phase::SetCol | Phase::AfterSet => {
                 let t = self.dml_table.expect("update has table");
                 for &c in &self.vocab.table_columns[t as usize] {
@@ -580,8 +599,8 @@ impl<'v> GenState<'v> {
                     }
                 }
                 if frame.phase == Phase::AfterSet {
-                    add(&mut out, v, Token::Where);
-                    add(&mut out, v, Token::Eof);
+                    add(out, v, Token::Where);
+                    add(out, v, Token::Eof);
                 }
             }
             Phase::SetVal(col) => {
@@ -591,15 +610,14 @@ impl<'v> GenState<'v> {
             }
             Phase::DeleteTable => {
                 for t in 0..v.tables.len() as u32 {
-                    add(&mut out, v, Token::Table(t));
+                    add(out, v, Token::Table(t));
                 }
             }
             Phase::AfterDelete => {
-                add(&mut out, v, Token::Where);
-                add(&mut out, v, Token::Eof);
+                add(out, v, Token::Where);
+                add(out, v, Token::Eof);
             }
         }
-        out
     }
 
     /// Writes the action mask for the whole vocabulary.
@@ -607,9 +625,13 @@ impl<'v> GenState<'v> {
         let _t = sqlgen_obs::obs_time!("fsm.mask.latency_us");
         debug_assert_eq!(mask.len(), self.vocab.size());
         mask.iter_mut().for_each(|m| *m = false);
-        for id in self.allowed() {
-            mask[id] = true;
-        }
+        ALLOWED_SCRATCH.with(|s| {
+            let mut ids = s.borrow_mut();
+            self.allowed_into(&mut ids);
+            for &id in ids.iter() {
+                mask[id] = true;
+            }
+        });
     }
 
     /// Writes the action mask into lane `lane` of a row-major

@@ -907,3 +907,160 @@ pub fn check_trace_header(rng: &mut StdRng) -> CheckResult {
     }
     Ok(checks)
 }
+
+// ---------------------------------------------------------------------------
+// (i) quantization error
+// ---------------------------------------------------------------------------
+
+/// (i) Quantization error: the int8 per-output-channel format honors its
+/// documented accuracy envelope on random layer weights and hostile
+/// activations.
+///
+/// * dequantized weights are within half a quantization step
+///   (`scale[r] / 2`) of the f32 originals, entry-wise; all-zero rows
+///   dequantize to exact zeros;
+/// * per layer, the q8 matvec differs from the f32 matvec by at most the
+///   theoretical bound `row_error_bound(r, ‖x‖₁)` per output row (plus
+///   f32 rounding slack) — activations sweep magnitudes from 1e-3 to 1e3
+///   (NaN/±inf are excluded: the bound is meaningless for non-finite
+///   inputs, which the masked softmax filters out downstream);
+/// * masked argmax over quantized logits agrees with f32 argmax on at
+///   least 99% of decisive trials — those where the f32 winner's margin
+///   exceeds the summed error bounds, so disagreement is mathematically
+///   impossible — and any non-decisive flip stays within the error
+///   envelope of the two contending rows.
+pub fn check_quant_error(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_nn::{Mat, QuantizedMat};
+
+    let mut checks = 0;
+    for _ in 0..4 {
+        let rows = rng.random_range(1..=40);
+        let cols = rng.random_range(1..=32);
+        let mag = 10f32.powi(rng.random_range(-3..=3));
+        let mut w = Mat::zeros(rows, cols);
+        for v in w.data.iter_mut() {
+            *v = match rng.random_range(0..16) {
+                0 => 0.0,
+                _ => (rng.random_range(-1000..=1000) as f32 / 1000.0) * mag,
+            };
+        }
+        if rng.random_range(0..4) == 0 {
+            let r = rng.random_range(0..rows);
+            w.row_mut(r).iter_mut().for_each(|v| *v = 0.0);
+        }
+        let q = QuantizedMat::from_mat(&w);
+
+        // Entry-wise dequantization error ≤ scale/2; zero rows exact.
+        let dq = q.dequantize();
+        for r in 0..rows {
+            let half_step = 0.5 * q.scales[r];
+            for c in 0..cols {
+                let err = (dq.data[r * cols + c] - w.data[r * cols + c]).abs();
+                if err > half_step * 1.0001 {
+                    return Err(CheckFail::new(format!(
+                        "dequant error {err} > scale/2 = {half_step} at ({r}, {c})"
+                    )));
+                }
+            }
+            if q.scales[r] == 0.0 && dq.row(r).iter().any(|&v| v != 0.0) {
+                return Err(CheckFail::new(format!("zero row {r} dequantized non-zero")));
+            }
+        }
+        checks += 1;
+
+        // Per-layer matvec error within the theoretical bound, across
+        // hostile activation magnitudes.
+        let mut yq = vec![0.0f32; rows];
+        let mut yf = vec![0.0f32; rows];
+        for _ in 0..4 {
+            let xmag = 10f32.powi(rng.random_range(-3..=3));
+            let x: Vec<f32> = (0..cols)
+                .map(|_| (rng.random_range(-1000..=1000) as f32 / 1000.0) * xmag)
+                .collect();
+            let x_l1: f32 = x.iter().map(|v| v.abs()).sum();
+            q.matvec_q8(&x, &mut yq);
+            w.matvec(&x, &mut yf);
+            for r in 0..rows {
+                let bound = q.row_error_bound(r, x_l1);
+                // Slack for f32 accumulation rounding in both matvecs.
+                let tol = bound * 1.0001 + 1e-4 * (yf[r].abs() + q.scales[r] * x_l1 + 1e-6);
+                let err = (yq[r] - yf[r]).abs();
+                if err > tol {
+                    return Err(CheckFail::new(format!(
+                        "q8 matvec row {r}: |{} - {}| = {err} > bound {bound}",
+                        yq[r], yf[r]
+                    )));
+                }
+            }
+            checks += 1;
+        }
+
+        // Gap-guarded masked argmax agreement. On adversarial random
+        // matrices the f32 top-two gap is frequently *inside* the int8
+        // error envelope, where a flip is a legal outcome of 8-bit
+        // resolution rather than a kernel bug — so the ≥99% agreement
+        // gate is measured over the decisive trials (f32 margin beyond
+        // the summed row error bounds), where disagreement is
+        // mathematically impossible; any decisive flip fails the case
+        // outright.
+        let mut trials = 0u64;
+        let mut agree = 0u64;
+        for _ in 0..32 {
+            let x: Vec<f32> = (0..cols)
+                .map(|_| rng.random_range(-4000..=4000) as f32 / 1000.0)
+                .collect();
+            let x_l1: f32 = x.iter().map(|v| v.abs()).sum();
+            q.matvec_q8(&x, &mut yq);
+            w.matvec(&x, &mut yf);
+            let mask: Vec<bool> = (0..rows).map(|_| rng.random_range(0..3) > 0).collect();
+            let best = |y: &[f32]| -> Option<usize> {
+                let mut b: Option<usize> = None;
+                for r in 0..rows {
+                    if mask[r] && b.is_none_or(|p| y[r] > y[p]) {
+                        b = Some(r);
+                    }
+                }
+                b
+            };
+            let (Some(bf), Some(bq)) = (best(&yf), best(&yq)) else {
+                continue;
+            };
+            // A trial is decisive when the f32 winner's margin over every
+            // other masked row exceeds the summed error bounds of the two
+            // rows involved (+ float-rounding slack).
+            let decisive = (0..rows).filter(|&r| mask[r] && r != bf).all(|r| {
+                let limit = q.row_error_bound(bf, x_l1) + q.row_error_bound(r, x_l1);
+                yf[bf] - yf[r] > limit * 1.0001 + 1e-5
+            });
+            if decisive {
+                trials += 1;
+                if bf == bq {
+                    agree += 1;
+                } else {
+                    return Err(CheckFail::new(format!(
+                        "decisive argmax flipped {bf} -> {bq} (gap {} > bound {})",
+                        yf[bf] - yf[bq],
+                        q.row_error_bound(bf, x_l1) + q.row_error_bound(bq, x_l1)
+                    )));
+                }
+            } else if bf != bq {
+                // Non-decisive flips must still be within the envelope of
+                // the two contenders.
+                let gap = yf[bf] - yf[bq];
+                let limit = q.row_error_bound(bf, x_l1) + q.row_error_bound(bq, x_l1);
+                if gap > limit * 1.0001 + 1e-5 {
+                    return Err(CheckFail::new(format!(
+                        "argmax flipped {bf} -> {bq} despite gap {gap} > bound {limit}"
+                    )));
+                }
+            }
+        }
+        if trials > 0 && (agree as f64) < 0.99 * trials as f64 {
+            return Err(CheckFail::new(format!(
+                "masked argmax agreement {agree}/{trials} below 99%"
+            )));
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}

@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with eight
+//! with each other. This crate stress-tests those agreements with nine
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -20,7 +20,13 @@
 //!   survives truncated/oversized/hostile bytes with correct 400/413,
 //! * **trace-header** — the `traceparent`/`X-Request-Id` parser survives
 //!   hostile bytes without panicking, rejects malformed headers, and any
-//!   accepted or minted identity echoes as a canonical header.
+//!   accepted or minted identity echoes as a canonical header,
+//! * **quant-error** — int8 per-output-channel quantization honors its
+//!   theoretical error envelope on random weights and hostile activation
+//!   magnitudes (NaN/±inf excluded), and masked argmax over quantized
+//!   logits agrees with f32 argmax on ≥99% of decisive trials (f32
+//!   margin beyond the summed row error bounds), with non-decisive flips
+//!   bounded by the error envelope.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -45,7 +51,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The eight invariant families.
+/// The nine invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -56,10 +62,11 @@ pub enum Family {
     BatchEquivalence,
     ServeEquivalence,
     TraceHeader,
+    QuantError,
 }
 
 impl Family {
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 9] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
@@ -68,6 +75,7 @@ impl Family {
         Family::BatchEquivalence,
         Family::ServeEquivalence,
         Family::TraceHeader,
+        Family::QuantError,
     ];
 
     pub fn name(self) -> &'static str {
@@ -80,6 +88,7 @@ impl Family {
             Family::BatchEquivalence => "batch-equivalence",
             Family::ServeEquivalence => "serve-equivalence",
             Family::TraceHeader => "trace-header",
+            Family::QuantError => "quant-error",
         }
     }
 
@@ -155,7 +164,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 8],
+    pub checks_per_family: [u64; 9],
     pub failures: Vec<Failure>,
 }
 
@@ -197,6 +206,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::BatchEquivalence => invariants::check_batch_equivalence(&mut rng),
         Family::ServeEquivalence => invariants::check_serve_equivalence(&mut rng),
         Family::TraceHeader => invariants::check_trace_header(&mut rng),
+        Family::QuantError => invariants::check_quant_error(&mut rng),
     }
 }
 

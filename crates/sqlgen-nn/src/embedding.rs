@@ -45,10 +45,28 @@ impl Embedding {
 
     /// Accumulates the gradient for `token`'s row.
     pub fn backward(&mut self, token: usize, dy: &[f32]) {
-        let row = self.table.grad.row_mut(token);
+        Self::backward_buf(&mut self.table.grad, token, dy);
+    }
+
+    /// Accumulates `token`'s row gradient into a detached buffer (the
+    /// per-lane arena of the batched backward). Same op sequence as
+    /// [`Embedding::backward`], so per-lane buffers reduced in ascending
+    /// lane order match a serial backward bitwise per lane.
+    pub fn backward_buf(grad: &mut Mat, token: usize, dy: &[f32]) {
+        let row = grad.row_mut(token);
         for (g, d) in row.iter_mut().zip(dy) {
             *g += d;
         }
+    }
+
+    /// Detached gradient buffer shaped like the table.
+    pub fn empty_grads(&self) -> Mat {
+        Mat::zeros(self.vocab_size(), self.dim())
+    }
+
+    /// Reduces one lane's table-gradient buffer into `Param::grad`.
+    pub fn accumulate_grads(&mut self, grads: &Mat) {
+        self.table.grad.add_assign(grads);
     }
 
     pub fn params_mut(&mut self) -> Vec<&mut Param> {

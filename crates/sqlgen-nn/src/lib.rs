@@ -10,7 +10,8 @@
 //! * [`lstm`] — LSTM layers/stacks with backpropagation through time,
 //! * [`linear`], [`mlp`] — dense layers and small MLPs,
 //! * [`dropout`] — inverted dropout,
-//! * [`policy_loss`] — policy-gradient + entropy-regularization gradients.
+//! * [`policy_loss`] — policy-gradient + entropy-regularization gradients,
+//! * [`quant`] — int8 per-output-channel quantized inference kernels.
 //!
 //! Every backward pass is validated against finite differences in the unit
 //! tests, which is the load-bearing correctness argument for the whole RL
@@ -23,13 +24,20 @@ pub mod lstm;
 pub mod mlp;
 pub mod param;
 pub mod policy_loss;
+pub mod quant;
 pub mod tensor;
 
 pub use dropout::Dropout;
 pub use embedding::Embedding;
-pub use linear::Linear;
-pub use lstm::{LstmBatchState, LstmLayer, LstmStack, LstmState, StackCache, StackState};
+pub use linear::{Linear, LinearGrads};
+pub use lstm::{
+    ragged_order, LstmBatchState, LstmCache, LstmLayer, LstmLayerGrads, LstmStack, LstmStackGrads,
+    LstmState, StackCache, StackState,
+};
 pub use mlp::{Mlp, MlpCache};
 pub use param::{clip_grad_norm, Adam, Optimizer, Param, Sgd};
-pub use policy_loss::{actor_logit_grad, entropy_grad, policy_grad};
-pub use tensor::{argmax, entropy, masked_softmax, masked_softmax_rows, sample_categorical, Mat};
+pub use policy_loss::{actor_logit_grad, actor_logit_grad_into, entropy_grad, policy_grad};
+pub use quant::{QuantizedLinear, QuantizedLstmLayer, QuantizedLstmStack, QuantizedMat};
+pub use tensor::{
+    argmax, entropy, masked_softmax, masked_softmax_rows, sample_categorical, softmax_dense, Mat,
+};

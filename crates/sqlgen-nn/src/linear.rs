@@ -12,6 +12,21 @@ pub struct Linear {
     pub b: Param, // out × 1
 }
 
+/// Detached parameter-gradient buffers for one [`Linear`] (per-lane
+/// arenas of the batched backward).
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    pub w: Mat,
+    pub b: Mat,
+}
+
+impl LinearGrads {
+    pub fn reset(&mut self) {
+        self.w.fill(0.0);
+        self.b.fill(0.0);
+    }
+}
+
 impl Linear {
     pub fn new<R: Rng + ?Sized>(input: usize, output: usize, rng: &mut R) -> Self {
         Linear {
@@ -79,6 +94,91 @@ impl Linear {
         let mut dx = vec![0.0; self.input_dim()];
         self.backward_into(x, dy, &mut dx);
         dx
+    }
+
+    /// Detached gradient buffers shaped like this layer's parameters.
+    pub fn empty_grads(&self) -> LinearGrads {
+        LinearGrads {
+            w: Mat::zeros(self.output_dim(), self.input_dim()),
+            b: Mat::zeros(self.output_dim(), 1),
+        }
+    }
+
+    /// Reduces one lane's gradient buffers into `Param::grad`. Callers
+    /// reduce lanes in ascending lane order for a deterministic sum.
+    pub fn accumulate_grads(&mut self, grads: &LinearGrads) {
+        self.w.grad.add_assign(&grads.w);
+        self.b.grad.add_assign(&grads.b);
+    }
+
+    /// Lane-batched backward: `x` is the `[batch × in]` forward input
+    /// block, `dy` the `[batch × out]` output gradients (**inactive lanes
+    /// must be zeroed by the caller**), `dx` receives `[batch × in]` input
+    /// gradients. Parameter gradients go to the per-lane buffers in
+    /// `grads` with the exact op sequence of [`Linear::backward_into`]
+    /// (rank-1 update, then bias add), and `dx` comes from the batched
+    /// [`Mat::matvec_t_batch`] kernel — bit-identical per lane to a
+    /// serial backward. Lanes not marked `active` skip the parameter
+    /// accumulation entirely.
+    pub fn backward_batch_into(
+        &self,
+        x: &[f32],
+        dy: &[f32],
+        batch: usize,
+        active: &[bool],
+        grads: &mut [LinearGrads],
+        dx: &mut [f32],
+    ) {
+        let (out, inp) = (self.output_dim(), self.input_dim());
+        debug_assert_eq!(x.len(), batch * inp);
+        debug_assert_eq!(dy.len(), batch * out);
+        debug_assert_eq!(dx.len(), batch * inp);
+        debug_assert_eq!(grads.len(), batch);
+        for lane in 0..batch {
+            if !active[lane] {
+                debug_assert!(dy[lane * out..(lane + 1) * out].iter().all(|&v| v == 0.0));
+                continue;
+            }
+            let dyl = &dy[lane * out..(lane + 1) * out];
+            let xl = &x[lane * inp..(lane + 1) * inp];
+            grads[lane].w.add_outer(dyl, xl);
+            for (g, d) in grads[lane].b.data.iter_mut().zip(dyl) {
+                *g += d;
+            }
+        }
+        self.w.value.matvec_t_batch(dy, batch, dx);
+    }
+
+    /// Prefix-compacted lane-batched backward: physical slot `p` hosts
+    /// logical lane `order[p]`, and `x`/`dy`/`dx` are dense
+    /// `[order.len() × dim]` blocks holding only live lanes. Parameter
+    /// gradients land in `grads[order[p]]` with the exact op sequence of
+    /// [`Linear::backward_into`], and `dx` comes from the batched
+    /// [`Mat::matvec_t_batch`] kernel at the live width — per lane
+    /// bit-identical to a serial backward, with no wasted work on
+    /// finished lanes.
+    pub fn backward_prefix_into(
+        &self,
+        x: &[f32],
+        dy: &[f32],
+        order: &[usize],
+        grads: &mut [LinearGrads],
+        dx: &mut [f32],
+    ) {
+        let (out, inp) = (self.output_dim(), self.input_dim());
+        let n = order.len();
+        debug_assert_eq!(x.len(), n * inp);
+        debug_assert_eq!(dy.len(), n * out);
+        debug_assert_eq!(dx.len(), n * inp);
+        for (p, &lane) in order.iter().enumerate() {
+            let dyl = &dy[p * out..(p + 1) * out];
+            let xl = &x[p * inp..(p + 1) * inp];
+            grads[lane].w.add_outer(dyl, xl);
+            for (g, d) in grads[lane].b.data.iter_mut().zip(dyl) {
+                *g += d;
+            }
+        }
+        self.w.value.matvec_t_batch(dy, n, dx);
     }
 
     pub fn params_mut(&mut self) -> Vec<&mut Param> {

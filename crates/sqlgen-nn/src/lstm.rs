@@ -70,6 +70,50 @@ impl LstmBatchState {
         let hidden = self.c[layer].len() / self.batch;
         &self.c[layer][lane * hidden..(lane + 1) * hidden]
     }
+
+    /// Removes one lane by swapping the last lane's rows into its slot and
+    /// shrinking the state to `batch - 1` lanes — the batched-kernel
+    /// sibling of `Vec::swap_remove`. Lane identities move: the caller
+    /// owns the physical-slot-to-logical-lane mapping. Shrinking keeps
+    /// ragged rollouts from dragging finished lanes through the GEMMs.
+    pub fn swap_remove_lane(&mut self, lane: usize) {
+        debug_assert!(lane < self.batch);
+        let last = self.batch - 1;
+        for plane in self.h.iter_mut().chain(self.c.iter_mut()) {
+            let hidden = plane.len() / (last + 1);
+            if lane != last {
+                let (head, tail) = plane.split_at_mut(last * hidden);
+                head[lane * hidden..(lane + 1) * hidden].swap_with_slice(&mut tail[..hidden]);
+            }
+            plane.truncate(last * hidden);
+        }
+        self.batch = last;
+    }
+
+    /// Shrinks the state to its first `n` lanes (for ragged batches whose
+    /// lanes are pre-sorted by descending length, where finished lanes are
+    /// always a suffix).
+    pub fn truncate_lanes(&mut self, n: usize) {
+        debug_assert!(n <= self.batch);
+        for plane in self.h.iter_mut().chain(self.c.iter_mut()) {
+            let hidden = plane.len() / self.batch;
+            plane.truncate(n * hidden);
+        }
+        self.batch = n;
+    }
+}
+
+/// Stable lane ordering by **descending** sequence length (ties keep
+/// ascending lane order). Processing a ragged batch in this order makes
+/// the still-active lanes at every global step a contiguous prefix, so
+/// batched kernels run at the live width instead of masking finished
+/// lanes through full-width GEMMs. The forward/backward walks and the
+/// per-lane arenas both derive the same order from the same lengths, so
+/// physical slots line up across phases without any scatter.
+pub fn ragged_order(lens: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..lens.len()).collect();
+    order.sort_by(|&a, &b| lens[b].cmp(&lens[a]).then(a.cmp(&b)));
+    order
 }
 
 /// Per-step forward cache for one layer.
@@ -84,6 +128,29 @@ pub struct LstmCache {
     o: Vec<f32>,
     tanh_c: Vec<f32>,
 }
+
+/// Detached parameter-gradient buffers for one layer. The lane-batched
+/// BPTT accumulates each lane's gradients into its own `LstmLayerGrads`
+/// (bitwise equal to a serial backward of that lane alone) and the caller
+/// reduces them into `Param::grad` in ascending lane order, so the final
+/// sum is deterministic.
+#[derive(Debug, Clone)]
+pub struct LstmLayerGrads {
+    pub w_ih: Mat,
+    pub w_hh: Mat,
+    pub b: Mat,
+}
+
+impl LstmLayerGrads {
+    pub fn reset(&mut self) {
+        self.w_ih.fill(0.0);
+        self.w_hh.fill(0.0);
+        self.b.fill(0.0);
+    }
+}
+
+/// Per-lane gradient buffers for a whole stack (one entry per layer).
+pub type LstmStackGrads = Vec<LstmLayerGrads>;
 
 /// Copies `src` into `dst`, reusing `dst`'s allocation when it is already
 /// the right size (the steady-state case for arena-recycled caches).
@@ -220,12 +287,14 @@ impl LstmLayer {
                 *zv += bv;
             }
         }
-        // c = w_hh · h_prev, then z = s + c.
-        let mut c = vec![0.0f32; batch * rows];
+        // c = w_hh · h_prev, then z = s + c. The buffer comes from the
+        // kernel scratch pool — this runs per layer per token.
+        let mut c = crate::tensor::take_scratch(batch * rows);
         self.w_hh.value.matmul_nt(h_prev, batch, &mut c);
         for (zv, cv) in z.iter_mut().zip(&c) {
             *zv += cv;
         }
+        crate::tensor::put_scratch(c);
     }
 
     /// One batched inference step over `batch` lanes: `h_plane`/`c_plane`
@@ -256,6 +325,77 @@ impl LstmLayer {
                 let c = f * cl[k] + i * g;
                 cl[k] = c;
                 hl[k] = o * c.tanh();
+            }
+        }
+    }
+
+    /// One batched **training** step over `batch` lanes: like
+    /// [`LstmLayer::infer_step_batch_into`] but records each lane's
+    /// backward cache in `caches[lane]`. Lanes not marked `active` still
+    /// ride through the fused GEMM (their state slots are scratch once
+    /// their episode has ended) but skip the cache write. Per active lane
+    /// the recorded cache and new state are bit-identical to a serial
+    /// [`LstmLayer::forward_step_into`] on that lane.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_step_batch_into<C: std::borrow::BorrowMut<LstmCache>>(
+        &self,
+        x: &[f32],
+        h_plane: &mut [f32],
+        c_plane: &mut [f32],
+        batch: usize,
+        active: &[bool],
+        caches: &mut [C],
+        z: &mut [f32],
+    ) {
+        let h = self.hidden;
+        debug_assert_eq!(active.len(), batch);
+        debug_assert_eq!(caches.len(), batch);
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let cache = caches[lane].borrow_mut();
+            copy_into(&mut cache.x, &x[lane * self.input..(lane + 1) * self.input]);
+            copy_into(&mut cache.h_prev, &h_plane[lane * h..(lane + 1) * h]);
+            copy_into(&mut cache.c_prev, &c_plane[lane * h..(lane + 1) * h]);
+        }
+        self.gates_batch_into(x, h_plane, batch, z);
+        for lane in 0..batch {
+            let zl = &z[lane * 4 * h..(lane + 1) * 4 * h];
+            let hl = &mut h_plane[lane * h..(lane + 1) * h];
+            let cl = &mut c_plane[lane * h..(lane + 1) * h];
+            if active[lane] {
+                let cache = caches[lane].borrow_mut();
+                ensure_len(&mut cache.i, h);
+                ensure_len(&mut cache.f, h);
+                ensure_len(&mut cache.g, h);
+                ensure_len(&mut cache.o, h);
+                ensure_len(&mut cache.tanh_c, h);
+                for k in 0..h {
+                    let i = sigmoid(zl[k]);
+                    let f = sigmoid(zl[h + k]);
+                    let g = zl[2 * h + k].tanh();
+                    let o = sigmoid(zl[3 * h + k]);
+                    let c = f * cache.c_prev[k] + i * g;
+                    let tc = c.tanh();
+                    cache.i[k] = i;
+                    cache.f[k] = f;
+                    cache.g[k] = g;
+                    cache.o[k] = o;
+                    cache.tanh_c[k] = tc;
+                    cl[k] = c;
+                    hl[k] = o * tc;
+                }
+            } else {
+                for k in 0..h {
+                    let i = sigmoid(zl[k]);
+                    let f = sigmoid(zl[h + k]);
+                    let g = zl[2 * h + k].tanh();
+                    let o = sigmoid(zl[3 * h + k]);
+                    let c = f * cl[k] + i * g;
+                    cl[k] = c;
+                    hl[k] = o * c.tanh();
+                }
             }
         }
     }
@@ -325,6 +465,48 @@ impl LstmLayer {
         (state, cache)
     }
 
+    /// Elementwise gate backward: consumes `dh`/`dc`, fills `dz` and
+    /// updates `dc` in place to the step t-1 cell gradient. Shared by the
+    /// serial and lane-batched backward paths so both run the identical
+    /// f32 expression sequence per unit.
+    #[inline]
+    fn gate_backward(cache: &LstmCache, hidden: usize, dh: &[f32], dc: &mut [f32], dz: &mut [f32]) {
+        let h = hidden;
+        for k in 0..h {
+            let do_ = dh[k] * cache.tanh_c[k];
+            let dck = dc[k] + dh[k] * cache.o[k] * dtanh(cache.tanh_c[k]);
+            let di = dck * cache.g[k];
+            let df = dck * cache.c_prev[k];
+            let dg = dck * cache.i[k];
+            dc[k] = dck * cache.f[k];
+            dz[k] = di * dsigmoid(cache.i[k]);
+            dz[h + k] = df * dsigmoid(cache.f[k]);
+            dz[2 * h + k] = dg * dtanh(cache.g[k]);
+            dz[3 * h + k] = do_ * dsigmoid(cache.o[k]);
+        }
+    }
+
+    /// Accumulates one step's parameter gradients from `dz` into external
+    /// buffers (the per-lane arenas of the batched BPTT, or the layer's own
+    /// `Param::grad` on the serial path — identical op sequence either way).
+    #[inline]
+    fn accumulate_param_grads(grads: &mut LstmLayerGrads, cache: &LstmCache, dz: &[f32]) {
+        grads.w_ih.add_outer(dz, &cache.x);
+        grads.w_hh.add_outer(dz, &cache.h_prev);
+        for (g, d) in grads.b.data.iter_mut().zip(dz.iter()) {
+            *g += d;
+        }
+    }
+
+    /// Detached gradient buffers shaped like this layer's parameters.
+    pub fn empty_grads(&self) -> LstmLayerGrads {
+        LstmLayerGrads {
+            w_ih: Mat::zeros(4 * self.hidden, self.input),
+            w_hh: Mat::zeros(4 * self.hidden, self.hidden),
+            b: Mat::zeros(4 * self.hidden, 1),
+        }
+    }
+
     /// One backward step into caller-provided buffers.
     ///
     /// `dh` is the loss gradient w.r.t. this step's output `h` **plus** the
@@ -342,19 +524,7 @@ impl LstmLayer {
         dx: &mut [f32],
         dh_prev: &mut [f32],
     ) {
-        let h = self.hidden;
-        for k in 0..h {
-            let do_ = dh[k] * cache.tanh_c[k];
-            let dck = dc[k] + dh[k] * cache.o[k] * dtanh(cache.tanh_c[k]);
-            let di = dck * cache.g[k];
-            let df = dck * cache.c_prev[k];
-            let dg = dck * cache.i[k];
-            dc[k] = dck * cache.f[k];
-            dz[k] = di * dsigmoid(cache.i[k]);
-            dz[h + k] = df * dsigmoid(cache.f[k]);
-            dz[2 * h + k] = dg * dtanh(cache.g[k]);
-            dz[3 * h + k] = do_ * dsigmoid(cache.o[k]);
-        }
+        Self::gate_backward(cache, self.hidden, dh, dc, dz);
         self.w_ih.grad.add_outer(dz, &cache.x);
         self.w_hh.grad.add_outer(dz, &cache.h_prev);
         for (g, d) in self.b.grad.data.iter_mut().zip(dz.iter()) {
@@ -525,6 +695,179 @@ impl LstmStack {
             } else {
                 let (below, rest) = state.split_at_mut(l);
                 layer.forward_step_into(&below[l - 1].h, &mut rest[0], cache, z);
+            }
+        }
+    }
+
+    /// One batched **training** step through all layers: like
+    /// [`LstmStack::infer_step_batch_into`] but records backward caches in
+    /// `caches[lane][layer]` for every lane marked `active`. Per active
+    /// lane the caches and states are bit-identical to a serial
+    /// [`LstmStack::forward_step_into`] on that lane alone.
+    pub fn forward_step_batch_into<S: std::borrow::BorrowMut<StackCache>>(
+        &self,
+        x: &[f32],
+        state: &mut LstmBatchState,
+        active: &[bool],
+        caches: &mut [S],
+        z: &mut [f32],
+    ) {
+        debug_assert_eq!(state.h.len(), self.layers.len());
+        debug_assert_eq!(caches.len(), state.batch);
+        let batch = state.batch;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut lc: Vec<&mut LstmCache> = caches
+                .iter_mut()
+                .map(|sc| &mut sc.borrow_mut()[l])
+                .collect();
+            if l == 0 {
+                layer.forward_step_batch_into(
+                    x,
+                    &mut state.h[0],
+                    &mut state.c[0],
+                    batch,
+                    active,
+                    &mut lc,
+                    z,
+                );
+            } else {
+                let (below, rest) = state.h.split_at_mut(l);
+                layer.forward_step_batch_into(
+                    &below[l - 1],
+                    &mut rest[0],
+                    &mut state.c[l],
+                    batch,
+                    active,
+                    &mut lc,
+                    z,
+                );
+            }
+        }
+    }
+
+    /// Per-lane gradient arenas shaped like this stack's parameters.
+    pub fn empty_stack_grads(&self) -> LstmStackGrads {
+        self.layers.iter().map(LstmLayer::empty_grads).collect()
+    }
+
+    /// Reduces one lane's gradient arena into the stack's `Param::grad`
+    /// buffers. Callers reduce lanes in **ascending lane order** so the
+    /// accumulated sum is deterministic.
+    pub fn accumulate_grads(&mut self, grads: &LstmStackGrads) {
+        for (layer, g) in self.layers.iter_mut().zip(grads) {
+            layer.w_ih.grad.add_assign(&g.w_ih);
+            layer.w_hh.grad.add_assign(&g.w_hh);
+            layer.b.grad.add_assign(&g.b);
+        }
+    }
+
+    /// Lane-batched backward through `batch` ragged sequences at once —
+    /// the training sibling of the batched inference step.
+    ///
+    /// `steps[lane]` is lane `lane`'s episode length; the walk runs the
+    /// global step index `s` from `max(steps) - 1` down to `0`, and a lane
+    /// participates only while `s < steps[lane]` (every lane starts at
+    /// step 0, so its local time axis coincides with `s` and its cache
+    /// visit order matches a serial backward exactly). `cache_at(lane, s)`
+    /// returns lane `lane`'s per-layer caches at step `s`; `dtop_at(lane,
+    /// s)` its top-layer output gradient; `dx_sink(lane, s, dx)` receives
+    /// its input gradient (valid only during the call).
+    ///
+    /// Parameter gradients go to the **per-lane** arenas in `grads`, not
+    /// to `Param::grad`: per lane the elementwise gate backward and
+    /// rank-1 updates run the identical op sequence as
+    /// [`LstmStack::backward_sequence_with`], and the heavy `Wᵀ·dz`
+    /// products are batched through [`Mat::matvec_t_batch`] (bit-identical
+    /// per lane), so each arena equals a serial backward of that lane
+    /// alone — the lane-vs-serial equality tests pin this down. The caller
+    /// then reduces the arenas with [`LstmStack::accumulate_grads`] in
+    /// ascending lane order.
+    pub fn backward_sequence_batch_with<'c>(
+        &self,
+        batch: usize,
+        steps: &[usize],
+        cache_at: impl Fn(usize, usize) -> &'c [LstmCache],
+        dtop_at: impl Fn(usize, usize) -> &'c [f32],
+        mut dx_sink: impl FnMut(usize, usize, &[f32]),
+        grads: &mut [LstmStackGrads],
+    ) {
+        debug_assert_eq!(steps.len(), batch);
+        debug_assert_eq!(grads.len(), batch);
+        let n_layers = self.layers.len();
+        let hidden = self.hidden();
+        let max_t = steps.iter().copied().max().unwrap_or(0);
+        let max_in = self.max_input();
+        let width = max_in.max(hidden);
+        // Physical slot `p` hosts logical lane `order[p]`. The reverse
+        // walk activates lanes as `s` drops below their length; with lanes
+        // sorted by descending length the active set is always the prefix
+        // `0..n_active`, so every kernel below runs at the live width and
+        // finished lanes cost nothing.
+        let order = ragged_order(steps);
+        let mut dh_next: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; batch * l.hidden])
+            .collect();
+        let mut dc_next: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; batch * l.hidden])
+            .collect();
+        let mut dh_down = vec![0.0; batch * width];
+        let mut dh = vec![0.0; batch * hidden];
+        let mut dz = vec![0.0; batch * 4 * hidden];
+        let mut dx = vec![0.0; batch * max_in];
+        let mut dh_prev = vec![0.0; batch * hidden];
+
+        for s in (0..max_t).rev() {
+            let n_active = order.iter().take_while(|&&l| steps[l] > s).count();
+            for (p, &lane) in order[..n_active].iter().enumerate() {
+                dh_down[p * hidden..(p + 1) * hidden].copy_from_slice(dtop_at(lane, s));
+            }
+            let mut down_len = hidden;
+            for l in (0..n_layers).rev() {
+                let lh = self.layers[l].hidden;
+                debug_assert_eq!(down_len, lh);
+                for (p, &lane) in order[..n_active].iter().enumerate() {
+                    let dzl = &mut dz[p * 4 * lh..(p + 1) * 4 * lh];
+                    let dhl = &mut dh[p * lh..(p + 1) * lh];
+                    for ((a, b), c) in dhl
+                        .iter_mut()
+                        .zip(&dh_down[p * down_len..p * down_len + lh])
+                        .zip(&dh_next[l][p * lh..(p + 1) * lh])
+                    {
+                        *a = b + c;
+                    }
+                    let cache = &cache_at(lane, s)[l];
+                    LstmLayer::gate_backward(
+                        cache,
+                        lh,
+                        dhl,
+                        &mut dc_next[l][p * lh..(p + 1) * lh],
+                        dzl,
+                    );
+                    LstmLayer::accumulate_param_grads(&mut grads[lane][l], cache, dzl);
+                }
+                let in_dim = self.layers[l].input;
+                self.layers[l].w_ih.value.matvec_t_batch(
+                    &dz[..n_active * 4 * lh],
+                    n_active,
+                    &mut dx[..n_active * in_dim],
+                );
+                self.layers[l].w_hh.value.matvec_t_batch(
+                    &dz[..n_active * 4 * lh],
+                    n_active,
+                    &mut dh_prev[..n_active * lh],
+                );
+                // Slots past the prefix keep their zero init, which is
+                // exactly the dh/dc a lane must see at its last step.
+                dh_next[l][..n_active * lh].copy_from_slice(&dh_prev[..n_active * lh]);
+                dh_down[..n_active * in_dim].copy_from_slice(&dx[..n_active * in_dim]);
+                down_len = in_dim;
+            }
+            for (p, &lane) in order[..n_active].iter().enumerate() {
+                dx_sink(lane, s, &dh_down[p * down_len..(p + 1) * down_len]);
             }
         }
     }
@@ -999,6 +1342,106 @@ mod tests {
             late < early * 0.2,
             "LSTM failed to learn: early {early}, late {late}"
         );
+    }
+
+    /// Ragged lane-batched training forward + BPTT must be bit-identical,
+    /// per lane, to a serial forward/backward of that lane's episode alone
+    /// — the gradient-side determinism contract of batched training.
+    #[test]
+    fn batched_bptt_matches_serial_lanes_bitwise() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &(input, hidden, layers) in &[(3, 4, 1), (5, 6, 2), (16, 16, 2)] {
+            let batch = 4usize;
+            let steps = [5usize, 2, 4, 1];
+            let max_t = 5usize;
+            let stack = LstmStack::new(input, hidden, layers, &mut rng);
+            let xs: Vec<Vec<f32>> = (0..max_t)
+                .map(|_| {
+                    (0..batch * input)
+                        .map(|_| rng.random_range(-1.0f32..1.0))
+                        .collect()
+                })
+                .collect();
+            let dtops: Vec<Vec<f32>> = (0..max_t)
+                .map(|_| {
+                    (0..batch * hidden)
+                        .map(|_| rng.random_range(-1.0f32..1.0))
+                        .collect()
+                })
+                .collect();
+
+            // Batched forward with ragged active flags.
+            let mut bstate = stack.zero_batch_state(batch);
+            let mut arena: Vec<Vec<StackCache>> = (0..batch)
+                .map(|lane| (0..steps[lane]).map(|_| stack.empty_cache()).collect())
+                .collect();
+            let mut z = vec![0.0; stack.batch_scratch_len(batch)];
+            for (t, x) in xs.iter().enumerate() {
+                let active: Vec<bool> = steps.iter().map(|&n| t < n).collect();
+                // Collect this step's cache slot per active lane.
+                let mut slots: Vec<StackCache> = (0..batch).map(|_| stack.empty_cache()).collect();
+                stack.forward_step_batch_into(x, &mut bstate, &active, &mut slots, &mut z);
+                for (lane, slot) in slots.into_iter().enumerate() {
+                    if active[lane] {
+                        arena[lane][t] = slot;
+                    }
+                }
+            }
+
+            // Batched backward into per-lane arenas.
+            let mut grads: Vec<LstmStackGrads> =
+                (0..batch).map(|_| stack.empty_stack_grads()).collect();
+            let mut dxs_batch: Vec<Vec<Vec<f32>>> = (0..batch)
+                .map(|lane| vec![Vec::new(); steps[lane]])
+                .collect();
+            stack.backward_sequence_batch_with(
+                batch,
+                &steps,
+                |lane, s| &arena[lane][s][..],
+                |lane, s| &dtops[s][lane * hidden..(lane + 1) * hidden],
+                |lane, s, dx| dxs_batch[lane][s] = dx.to_vec(),
+                &mut grads,
+            );
+
+            // Serial reference per lane.
+            for lane in 0..batch {
+                let mut sstack = stack.clone();
+                sstack.zero_grad();
+                let mut state = sstack.zero_state();
+                let mut caches = Vec::new();
+                for x in xs.iter().take(steps[lane]) {
+                    let (_, c) =
+                        sstack.forward_step(&x[lane * input..(lane + 1) * input], &mut state);
+                    caches.push(c);
+                }
+                // Forward caches must match the batched arena bitwise.
+                for (t, (a, b)) in arena[lane].iter().zip(&caches).enumerate() {
+                    for (ca, cb) in a.iter().zip(b) {
+                        assert_eq!(ca.x, cb.x, "lane {lane} t {t} x");
+                        assert_eq!(ca.h_prev, cb.h_prev, "lane {lane} t {t} h_prev");
+                        assert_eq!(ca.c_prev, cb.c_prev, "lane {lane} t {t} c_prev");
+                        assert_eq!(ca.i, cb.i, "lane {lane} t {t} i");
+                        assert_eq!(ca.tanh_c, cb.tanh_c, "lane {lane} t {t} tanh_c");
+                    }
+                }
+                let dtop: Vec<Vec<f32>> = (0..steps[lane])
+                    .map(|t| dtops[t][lane * hidden..(lane + 1) * hidden].to_vec())
+                    .collect();
+                let dxs = sstack.backward_sequence(&caches, &dtop);
+                for (t, (a, b)) in dxs_batch[lane].iter().zip(&dxs).enumerate() {
+                    assert_eq!(
+                        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "dx lane {lane} t {t}"
+                    );
+                }
+                for (l, (g, sl)) in grads[lane].iter().zip(&sstack.layers).enumerate() {
+                    assert_eq!(g.w_ih.data, sl.w_ih.grad.data, "lane {lane} layer {l} w_ih");
+                    assert_eq!(g.w_hh.data, sl.w_hh.grad.data, "lane {lane} layer {l} w_hh");
+                    assert_eq!(g.b.data, sl.b.grad.data, "lane {lane} layer {l} b");
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,11 +35,25 @@ pub fn entropy_grad(probs: &[f32], lambda: f32, out: &mut [f32]) {
 /// `∂/∂logits [ −A·log π(a) − λ·H(π) ]`.
 pub fn actor_logit_grad(probs: &[f32], action: usize, advantage: f32, lambda: f32) -> Vec<f32> {
     let mut g = vec![0.0; probs.len()];
-    policy_grad(probs, action, advantage, &mut g);
-    if lambda != 0.0 {
-        entropy_grad(probs, lambda, &mut g);
-    }
+    actor_logit_grad_into(probs, action, advantage, lambda, &mut g);
     g
+}
+
+/// [`actor_logit_grad`] into a caller-provided buffer (overwritten). Lets
+/// batched backward passes write each lane's row of the `[batch × vocab]`
+/// logit-gradient block without a per-step allocation.
+pub fn actor_logit_grad_into(
+    probs: &[f32],
+    action: usize,
+    advantage: f32,
+    lambda: f32,
+    out: &mut [f32],
+) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    policy_grad(probs, action, advantage, out);
+    if lambda != 0.0 {
+        entropy_grad(probs, lambda, out);
+    }
 }
 
 #[cfg(test)]

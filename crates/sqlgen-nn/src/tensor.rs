@@ -7,6 +7,32 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Pool of reusable scratch buffers for the batched kernels' lane
+    /// transposes. The generation and training hot loops call these
+    /// kernels several times per token, so per-call `Vec` allocations
+    /// show up directly in tokens/sec.
+    static KERNEL_SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Checks out a zeroed scratch buffer of `len` floats from the
+/// thread-local pool (allocating only on pool miss). Return it with
+/// [`put_scratch`] when done.
+pub(crate) fn take_scratch(len: usize) -> Vec<f32> {
+    let mut v = KERNEL_SCRATCH
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    v.clear();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Returns a buffer checked out with [`take_scratch`] to the pool.
+pub(crate) fn put_scratch(v: Vec<f32>) {
+    KERNEL_SCRATCH.with(|p| p.borrow_mut().push(v));
+}
 
 /// A dense `rows × cols` matrix, row-major.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +152,7 @@ impl Mat {
             self.matmul_tile::<1>(&xt, batch, lane0, out);
             lane0 += 1;
         }
+        put_scratch(xt);
     }
 
     /// Register tile of [`Mat::matmul_nt`]: lanes `lane0 .. lane0 + W` of
@@ -228,6 +255,98 @@ impl Mat {
         }
     }
 
+    /// Batched transposed matvec: `out[lane] = selfᵀ · y[lane]` for every
+    /// lane of a lane-major `[batch × rows]` block `y`; `out` is the
+    /// lane-major `[batch × cols]` result (overwritten, not accumulated).
+    ///
+    /// This is the backward-pass sibling of [`Mat::matmul_nt`]: each weight
+    /// row is loaded once per batch instead of once per lane, and the lane
+    /// axis is innermost over contiguous memory so the per-lane accumulators
+    /// pack into SIMD registers. Per `(lane, col)` element the row
+    /// contributions are added one row at a time in the same ascending-row
+    /// order as [`Mat::matvec_t_acc`], so every lane is bit-identical to a
+    /// standalone `matvec_t_acc` into a zeroed output.
+    pub fn matvec_t_batch(&self, y: &[f32], batch: usize, out: &mut [f32]) {
+        debug_assert_eq!(y.len(), batch * self.rows);
+        debug_assert_eq!(out.len(), batch * self.cols);
+        if batch == 1 {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            return self.matvec_t_acc(y, out);
+        }
+        let yt = transpose_lanes(y, batch, self.rows);
+        let mut ot = take_scratch(batch * self.cols);
+        let mut lane0 = 0usize;
+        while batch - lane0 >= 8 {
+            self.matvec_t_tile::<8>(&yt, batch, lane0, &mut ot);
+            lane0 += 8;
+        }
+        while batch - lane0 >= 4 {
+            self.matvec_t_tile::<4>(&yt, batch, lane0, &mut ot);
+            lane0 += 4;
+        }
+        while lane0 < batch {
+            self.matvec_t_tile::<1>(&yt, batch, lane0, &mut ot);
+            lane0 += 1;
+        }
+        transpose_lanes_back(&ot, batch, self.cols, out);
+        put_scratch(ot);
+        put_scratch(yt);
+    }
+
+    /// Register tile of [`Mat::matvec_t_batch`]: lanes `lane0 .. lane0 + W`
+    /// of the lane-minor `yt`, accumulating into the lane-minor `ot`.
+    fn matvec_t_tile<const W: usize>(
+        &self,
+        yt: &[f32],
+        batch: usize,
+        lane0: usize,
+        ot: &mut [f32],
+    ) {
+        let (rows, cols) = (self.rows, self.cols);
+        let lane = |buf: &[f32], r: usize| -> [f32; W] {
+            buf[r * batch + lane0..r * batch + lane0 + W]
+                .try_into()
+                .expect("tile width")
+        };
+        let mut r = 0usize;
+        while r + 4 <= rows {
+            let block = &self.data[r * cols..(r + 4) * cols];
+            let (r0, rest) = block.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, r3) = rest.split_at(cols);
+            let (y0, y1, y2, y3) = (
+                lane(yt, r),
+                lane(yt, r + 1),
+                lane(yt, r + 2),
+                lane(yt, r + 3),
+            );
+            for j in 0..cols {
+                let (w0, w1, w2, w3) = (r0[j], r1[j], r2[j], r3[j]);
+                let o = &mut ot[j * batch + lane0..j * batch + lane0 + W];
+                for k in 0..W {
+                    let mut acc = o[k];
+                    acc += w0 * y0[k];
+                    acc += w1 * y1[k];
+                    acc += w2 * y2[k];
+                    acc += w3 * y3[k];
+                    o[k] = acc;
+                }
+            }
+            r += 4;
+        }
+        while r < rows {
+            let row = self.row(r);
+            let yr = lane(yt, r);
+            for (j, &w) in row.iter().enumerate() {
+                let o = &mut ot[j * batch + lane0..j * batch + lane0 + W];
+                for k in 0..W {
+                    o[k] += w * yr[k];
+                }
+            }
+            r += 1;
+        }
+    }
+
     /// Rank-1 update `self += a · bᵀ` (`a.len() == rows`, `b.len() == cols`).
     pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
         debug_assert_eq!(a.len(), self.rows);
@@ -272,16 +391,30 @@ impl Mat {
 
 /// Transposes a row-major `[batch × width]` activation block into the
 /// lane-minor layout `[width × batch]` the batched kernels sweep: with
-/// lanes contiguous, the per-lane accumulator loops vectorize.
+/// lanes contiguous, the per-lane accumulator loops vectorize. The buffer
+/// comes from the thread-local scratch pool — hand it back with
+/// [`put_scratch`] when the kernel is done.
 pub(crate) fn transpose_lanes(x: &[f32], batch: usize, width: usize) -> Vec<f32> {
     debug_assert_eq!(x.len(), batch * width);
-    let mut xt = vec![0.0f32; x.len()];
+    let mut xt = take_scratch(x.len());
     for (lane, row) in x.chunks_exact(width).enumerate() {
         for (j, &v) in row.iter().enumerate() {
             xt[j * batch + lane] = v;
         }
     }
     xt
+}
+
+/// Inverse of [`transpose_lanes`]: scatters a lane-minor `[width × batch]`
+/// block back into the row-major `[batch × width]` layout.
+pub(crate) fn transpose_lanes_back(xt: &[f32], batch: usize, width: usize, out: &mut [f32]) {
+    debug_assert_eq!(xt.len(), batch * width);
+    debug_assert_eq!(out.len(), batch * width);
+    for (lane, row) in out.chunks_exact_mut(width).enumerate() {
+        for (j, o) in row.iter_mut().enumerate() {
+            *o = xt[j * batch + lane];
+        }
+    }
 }
 
 /// Elementwise vector helpers.
@@ -340,6 +473,45 @@ pub fn masked_softmax(logits: &mut [f32], mask: &[bool]) -> usize {
     let mut sum = 0.0f32;
     for (l, &m) in logits.iter_mut().zip(mask) {
         if m && l.is_finite() {
+            *l = (*l - max).exp();
+            sum += *l;
+        } else {
+            *l = 0.0;
+        }
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+    count
+}
+
+/// [`masked_softmax`] over a dense row of admissible logits (the compacted
+/// layout the quantized head produces: entry `k` is the logit of the
+/// `k`-th unmasked vocabulary row, in ascending row order). Max, exp, sum
+/// and normalize visit entries in the same order as [`masked_softmax`]
+/// visiting the unmasked entries of the scattered row, so the resulting
+/// probabilities are bit-identical. Returns the entry count.
+pub fn softmax_dense(logits: &mut [f32]) -> usize {
+    let count = logits.len();
+    if count == 0 {
+        return 0;
+    }
+    let mut max = f32::NEG_INFINITY;
+    let mut finite = 0;
+    for l in logits.iter() {
+        if l.is_finite() {
+            max = max.max(*l);
+            finite += 1;
+        }
+    }
+    if finite == 0 {
+        let p = 1.0 / count as f32;
+        logits.iter_mut().for_each(|l| *l = p);
+        return count;
+    }
+    let mut sum = 0.0f32;
+    for l in logits.iter_mut() {
+        if l.is_finite() {
             *l = (*l - max).exp();
             sum += *l;
         } else {
@@ -588,6 +760,36 @@ mod tests {
                             .collect::<Vec<_>>(),
                         serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                         "matmul_nt {rows}x{cols} batch {batch} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every lane of the batched transposed kernel must be bit-identical to
+    /// a standalone `matvec_t_acc` into a zeroed output, for all shapes
+    /// including row remainders and batch = 1.
+    #[test]
+    fn matvec_t_batch_matches_serial_bitwise_per_lane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(rows, cols) in &[(1, 1), (3, 5), (4, 4), (7, 9), (13, 3), (96, 24), (120, 30)] {
+            for &batch in &[1usize, 2, 4, 5, 8, 16] {
+                let m = Mat::xavier(rows, cols, &mut rng);
+                let y: Vec<f32> = (0..batch * rows)
+                    .map(|_| rng.random_range(-1.0..1.0))
+                    .collect();
+                let mut fast = vec![0.0; batch * cols];
+                m.matvec_t_batch(&y, batch, &mut fast);
+                for lane in 0..batch {
+                    let mut serial = vec![0.0; cols];
+                    m.matvec_t_acc(&y[lane * rows..(lane + 1) * rows], &mut serial);
+                    assert_eq!(
+                        fast[lane * cols..(lane + 1) * cols]
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "matvec_t_batch {rows}x{cols} batch {batch} lane {lane}"
                     );
                 }
             }

@@ -7,9 +7,12 @@
 
 use crate::env::SqlGenEnv;
 use crate::episode::{run_episode_infer, run_episode_into, Episode, InferRollout, Rollout};
-use crate::nets::{ActorNet, ActorStep, CriticNet, CriticStep, NetScratch};
+use crate::nets::{
+    ActorNet, ActorStep, CriticNet, CriticStep, NetGradsBatch, NetScratch, QuantizedActor,
+};
 use crate::parallel::collect_episodes;
 use crate::reinforce::TrainConfig;
+use crate::train_batch::TrainRollout;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqlgen_nn::{clip_grad_norm, Adam, Optimizer, StackState};
@@ -197,6 +200,90 @@ impl ActorCritic {
         out
     }
 
+    /// Trains on `episodes` episodes with up to `batch` lockstep GEMM
+    /// lanes — both networks' forwards and backwards run lane-batched.
+    ///
+    /// Per round: one episode per lane under the current policy, per-lane
+    /// critic RNGs drawn up front in lane order (the serial path draws one
+    /// per episode just before its critic forward), a lockstep critic
+    /// forward over the collected token streams, one lane-batched backward
+    /// per network into per-lane gradient arenas, an ascending-lane-order
+    /// reduce, and **one** clipped Adam step per network per round.
+    /// `batch <= 1` is the exact legacy serial path; larger batches are
+    /// reproducible per `(seed, batch)` but a different deterministic run
+    /// than serial training (see [`crate::train_batch`]).
+    pub fn train_batched(
+        &mut self,
+        env: &SqlGenEnv,
+        episodes: usize,
+        batch: usize,
+    ) -> Vec<Episode> {
+        if batch <= 1 {
+            return (0..episodes).map(|_| self.train_episode(env)).collect();
+        }
+        let mut ro = TrainRollout::new();
+        let mut agrads = NetGradsBatch::default();
+        let mut cgrads = NetGradsBatch::default();
+        let mut advantages: Vec<Vec<f32>> = Vec::new();
+        let mut dvalues: Vec<Vec<f32>> = Vec::new();
+        let mut out = Vec::with_capacity(episodes);
+        let mut remaining = episodes;
+        while remaining > 0 {
+            // One round = one episode per lane, bounding policy staleness
+            // at `batch` episodes (matching the threaded path).
+            let b = remaining.min(batch);
+            let base: u64 = self.rng.random();
+            let eps = ro.collect(&self.actor, env, b, base);
+            let mut crngs: Vec<StdRng> = (0..b)
+                .map(|_| StdRng::seed_from_u64(self.rng.random::<u64>()))
+                .collect();
+            ro.critic_forward(&self.critic, b, &mut crngs);
+            if advantages.len() < b {
+                advantages.resize_with(b, Vec::new);
+                dvalues.resize_with(b, Vec::new);
+            }
+            for (lane, ep) in eps.iter().enumerate() {
+                self.values.clear();
+                self.values
+                    .extend(ro.csteps[lane][..ro.lens[lane]].iter().map(|s| s.value));
+                Self::td_terms_into(
+                    &self.values,
+                    &ep.rewards,
+                    &mut advantages[lane],
+                    &mut dvalues[lane],
+                );
+            }
+
+            self.actor.ensure_grads(&mut agrads, b);
+            self.actor.backward_episodes_batch(
+                b,
+                &ro.steps,
+                &ro.lens,
+                &advantages,
+                self.cfg.lambda,
+                &mut agrads,
+            );
+            self.actor.zero_grad();
+            self.actor.accumulate_grads(&agrads, b);
+            let mut ap = self.actor.params_mut();
+            clip_grad_norm(&mut ap, self.cfg.grad_clip);
+            self.opt_actor.step(&mut ap);
+
+            self.critic.ensure_grads(&mut cgrads, b);
+            self.critic
+                .backward_episodes_batch(b, &ro.csteps, &ro.lens, &dvalues, &mut cgrads);
+            self.critic.zero_grad();
+            self.critic.accumulate_grads(&cgrads, b);
+            let mut cp = self.critic.params_mut();
+            clip_grad_norm(&mut cp, self.cfg.grad_clip);
+            self.opt_critic.step(&mut cp);
+
+            out.extend(eps);
+            remaining -= b;
+        }
+        out
+    }
+
     /// Inference: generate a query with the trained policy.
     pub fn generate(&mut self, env: &SqlGenEnv) -> Episode {
         run_episode_infer(&self.actor, env, &mut self.rng, &mut self.infer)
@@ -223,6 +310,21 @@ impl ActorCritic {
         }
         let base: u64 = self.rng.random();
         crate::batch::collect_episodes_batched(&self.actor, env, n, batch, base)
+    }
+
+    /// Generates `n` queries on an int8 snapshot of the actor with `batch`
+    /// lockstep lanes (no updates). Same engine and determinism contract
+    /// as [`ActorCritic::generate_batched`]; the sampled streams differ
+    /// from the f32 path only within the quantization error of the logits.
+    pub fn generate_batched_quant(
+        &mut self,
+        quant: &QuantizedActor,
+        env: &SqlGenEnv,
+        n: usize,
+        batch: usize,
+    ) -> Vec<Episode> {
+        let base: u64 = self.rng.random();
+        crate::batch::collect_episodes_batched(quant, env, n, batch.max(1), base)
     }
 }
 

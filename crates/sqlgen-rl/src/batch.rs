@@ -29,7 +29,7 @@
 
 use crate::env::{RewardShaper, SqlGenEnv};
 use crate::episode::{finish_episode, Episode};
-use crate::nets::{ActorNet, BatchScratch};
+use crate::nets::{BatchScratch, InferActor};
 use crate::parallel::worker_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,9 +77,17 @@ impl BatchRollout {
     /// `(job, lane, episode)` tuples in completion order. `job` is the
     /// episode's index in the deterministic refill queue and `lane` the
     /// lane that produced it — enough to replay any lane serially.
-    pub fn collect_tagged(
+    ///
+    /// Once the job queue is exhausted, finished lanes are **compacted
+    /// away** ([`Vec::swap_remove`]-style) instead of riding through the
+    /// GEMMs inactive: the drain tail runs at the shrinking live width.
+    /// Legal because each lane's forward math reads only its own slot —
+    /// the batched kernels are bitwise position- and width-independent per
+    /// lane — and a lane's RNG stream travels with its slot, so every
+    /// episode is unchanged.
+    pub fn collect_tagged<A: InferActor>(
         &mut self,
-        actor: &ActorNet,
+        actor: &A,
         env: &SqlGenEnv,
         n: usize,
         batch: usize,
@@ -93,94 +101,103 @@ impl BatchRollout {
         self.prev.clear();
         self.prev.resize(b, None);
         self.active.clear();
-        self.active.resize(b, false);
+        self.active.resize(b, true);
         self.actions.clear();
         self.actions.resize(b, 0);
         self.rngs.clear();
         self.rngs
             .extend((0..b).map(|w| StdRng::seed_from_u64(worker_seed(base, w))));
 
-        let mut lanes: Vec<Option<LaneRun>> = (0..b).map(|_| None).collect();
-        let mut next_job = 0usize;
+        // `b <= n`, so every slot starts with a job. Physical slot `p`
+        // hosts the lane originally numbered `order[p]` (the tag reported
+        // in the output tuples and the lane whose RNG stream slot `p`
+        // carries).
+        let mut order: Vec<usize> = (0..b).collect();
+        let mut lanes: Vec<LaneRun> = (0..b)
+            .map(|job| LaneRun {
+                state: env.reset(),
+                shaper: RewardShaper::new(),
+                actions: Vec::new(),
+                rewards: Vec::new(),
+                job,
+            })
+            .collect();
+        let mut next_job = b.min(n);
         let mut out = Vec::with_capacity(n);
-        for (lane, slot) in lanes.iter_mut().enumerate() {
-            if next_job < n {
-                *slot = Some(LaneRun {
-                    state: env.reset(),
-                    shaper: RewardShaper::new(),
-                    actions: Vec::new(),
-                    rewards: Vec::new(),
-                    job: next_job,
-                });
-                self.active[lane] = true;
-                next_job += 1;
-            }
-        }
 
-        while self.active.iter().any(|&a| a) {
+        while !order.is_empty() {
+            let w = order.len();
             let start = sqlgen_obs::timing_enabled().then(std::time::Instant::now);
-            for (lane, slot) in lanes.iter().enumerate() {
-                if self.active[lane] {
-                    slot.as_ref()
-                        .expect("active lane has a run")
-                        .state
-                        .mask_into_row(&mut self.masks, lane);
-                }
+            for (p, run) in lanes.iter().enumerate() {
+                run.state.mask_into_row(&mut self.masks, p);
             }
             actor.infer_step_batch(
-                &self.prev,
-                &self.active,
+                &self.prev[..w],
+                &self.active[..w],
                 &mut self.state,
-                &self.masks,
-                &mut self.rngs,
+                &self.masks[..w * vocab],
+                &mut self.rngs[..w],
                 &mut self.scratch,
-                &mut self.actions,
+                &mut self.actions[..w],
             );
-            let mut n_active = 0usize;
-            for (lane, slot) in lanes.iter_mut().enumerate() {
-                if !self.active[lane] {
-                    continue;
-                }
-                n_active += 1;
-                let run = slot.as_mut().expect("active lane has a run");
-                let action = self.actions[lane];
+            let mut done_slots: Vec<usize> = Vec::new();
+            for (p, run) in lanes.iter_mut().enumerate() {
+                let action = self.actions[p];
                 let (reward, done) = env.step(&mut run.state, action, &mut run.shaper);
-                self.prev[lane] = Some(action);
+                self.prev[p] = Some(action);
                 run.actions.push(action);
                 run.rewards.push(reward);
                 if done {
-                    let LaneRun {
-                        state,
-                        actions,
-                        rewards,
-                        job,
-                        ..
-                    } = slot.take().expect("active lane has a run");
-                    out.push((job, lane, finish_episode(env, &state, actions, rewards)));
                     if next_job < n {
                         // Refill: fresh episode, zeroed LSTM lane, BOS
                         // input — the lane's RNG stream continues, exactly
                         // like a serial worker starting its next episode.
-                        *slot = Some(LaneRun {
+                        let fresh = LaneRun {
                             state: env.reset(),
                             shaper: RewardShaper::new(),
                             actions: Vec::new(),
                             rewards: Vec::new(),
                             job: next_job,
-                        });
+                        };
+                        let LaneRun {
+                            state,
+                            actions,
+                            rewards,
+                            job,
+                            ..
+                        } = std::mem::replace(run, fresh);
+                        out.push((job, order[p], finish_episode(env, &state, actions, rewards)));
                         next_job += 1;
-                        self.state.reset_lane(lane);
-                        self.prev[lane] = None;
+                        self.state.reset_lane(p);
+                        self.prev[p] = None;
                     } else {
-                        self.active[lane] = false;
+                        done_slots.push(p);
                     }
                 }
             }
+            // Compact drained slots out, highest physical index first so
+            // each swap_remove only moves a still-live slot.
+            for &p in done_slots.iter().rev() {
+                let LaneRun {
+                    state,
+                    actions,
+                    rewards,
+                    job,
+                    ..
+                } = lanes.swap_remove(p);
+                out.push((job, order[p], finish_episode(env, &state, actions, rewards)));
+                self.state.swap_remove_lane(p);
+                self.rngs.swap_remove(p);
+                self.prev.swap_remove(p);
+                self.actions.swap_remove(p);
+                order.swap_remove(p);
+            }
+            self.active.truncate(order.len());
             if let Some(start) = start {
                 // One histogram sample per emitted token (matching the
                 // serial path's count contract) at the amortized cost.
-                let us = start.elapsed().as_nanos() as f64 / 1_000.0 / n_active.max(1) as f64;
-                for _ in 0..n_active {
+                let us = start.elapsed().as_nanos() as f64 / 1_000.0 / w.max(1) as f64;
+                for _ in 0..w {
                     sqlgen_obs::obs_record!("rl.step.latency_us", us);
                 }
             }
@@ -190,9 +207,9 @@ impl BatchRollout {
 
     /// Collects `n` episodes with up to `batch` lockstep lanes, ordered by
     /// job index (the stable order a serial loop would produce them in).
-    pub fn collect(
+    pub fn collect<A: InferActor>(
         &mut self,
-        actor: &ActorNet,
+        actor: &A,
         env: &SqlGenEnv,
         n: usize,
         batch: usize,
@@ -283,15 +300,15 @@ impl BatchRollout {
     /// its RNG from [`Job::seed`]; see [`Job`] for the determinism contract.
     /// Outcome order is completion order, deterministic for a fixed job
     /// stream (single-threaded lockstep has no scheduling freedom).
-    pub fn run_jobs<'e, 'v: 'e>(
+    pub fn run_jobs<'e, 'v: 'e, A: InferActor>(
         &mut self,
-        actor: &ActorNet,
+        actor: &A,
         lanes: usize,
         mut source: impl FnMut() -> Option<Job<'e, 'v>>,
         mut sink: impl FnMut(u64, JobOutcome),
     ) -> usize {
         let b = lanes.max(1);
-        let vocab = actor.vocab_size;
+        let vocab = actor.vocab_size();
         self.state = actor.begin_batch(b);
         self.masks.clear();
         self.masks.resize(b * vocab, false);
@@ -484,8 +501,8 @@ impl BatchRollout {
 /// Runs a batch of seeded jobs to completion and returns `(tag, outcome)`
 /// pairs in completion order. Convenience wrapper over
 /// [`BatchRollout::run_jobs`] for callers with a fixed job list.
-pub fn run_jobs_batched<'e, 'v: 'e>(
-    actor: &ActorNet,
+pub fn run_jobs_batched<'e, 'v: 'e, A: InferActor>(
+    actor: &A,
     jobs: Vec<Job<'e, 'v>>,
     lanes: usize,
 ) -> Vec<(u64, JobOutcome)> {
@@ -503,8 +520,8 @@ pub fn run_jobs_batched<'e, 'v: 'e>(
 /// Collects `n` inference episodes with `batch` lockstep lanes (see
 /// [`BatchRollout`]). Convenience entry point mirroring
 /// [`collect_episodes`](crate::parallel::collect_episodes).
-pub fn collect_episodes_batched(
-    actor: &ActorNet,
+pub fn collect_episodes_batched<A: InferActor>(
+    actor: &A,
     env: &SqlGenEnv,
     n: usize,
     batch: usize,
@@ -518,7 +535,7 @@ mod tests {
     use super::*;
     use crate::constraint::Constraint;
     use crate::episode::{run_episode_infer, InferRollout};
-    use crate::nets::NetConfig;
+    use crate::nets::{ActorNet, NetConfig};
     use sqlgen_engine::Estimator;
     use sqlgen_fsm::Vocabulary;
     use sqlgen_storage::gen::tpch_database;

@@ -6,6 +6,7 @@
 //! * [`nets`] — actor (policy) and critic (value) LSTM networks,
 //! * [`episode`] — rollout machinery shared by all trainers,
 //! * [`batch`] — batched lockstep inference with continuous lane refill,
+//! * [`train_batch`] — lane-batched training rollouts (batched BPTT),
 //! * [`reinforce`] — the REINFORCE baseline (Figure 8 ablation),
 //! * [`actor_critic`] — the shipped A2C algorithm (Algorithm 3),
 //! * [`ac_extend`] — constraint-in-the-state ablation (Figure 9),
@@ -23,6 +24,7 @@ pub mod meta_critic;
 pub mod nets;
 pub mod parallel;
 pub mod reinforce;
+pub mod train_batch;
 
 pub use ac_extend::AcExtend;
 pub use actor_critic::ActorCritic;
@@ -35,6 +37,10 @@ pub use episode::{
     InferRollout, Rollout,
 };
 pub use meta_critic::{ConstraintEncoder, MetaCritic, MetaCriticTrainer, TaskSlot};
-pub use nets::{ActorNet, ActorStep, BatchScratch, CriticNet, CriticStep, NetConfig, NetScratch};
+pub use nets::{
+    ActorNet, ActorStep, BatchScratch, CriticNet, CriticStep, InferActor, NetConfig, NetGradsBatch,
+    NetScratch, QuantizedActor,
+};
 pub use parallel::{collect_episodes, worker_seed};
 pub use reinforce::{Reinforce, TrainConfig};
+pub use train_batch::TrainRollout;

@@ -13,8 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sqlgen_nn::{
-    actor_logit_grad, masked_softmax, sample_categorical, Dropout, Embedding, Linear,
-    LstmBatchState, LstmStack, Param, StackCache, StackState,
+    actor_logit_grad, actor_logit_grad_into, masked_softmax, sample_categorical, Dropout,
+    Embedding, Linear, LinearGrads, LstmBatchState, LstmStack, LstmStackGrads, Mat, Param,
+    QuantizedLinear, QuantizedLstmStack, StackCache, StackState,
 };
 
 /// Reusable per-step forward scratch shared by the actor and critic hot
@@ -39,6 +40,18 @@ pub struct BatchScratch {
     z: Vec<f32>,
     /// Head outputs / masked-softmax probabilities (`batch × vocab`).
     probs: Vec<f32>,
+    /// Second gate plane for the quantized LSTM (`batch × 4 × hidden`;
+    /// the int8 kernels keep the `W_ih·x` and `W_hh·h` products apart so
+    /// the gate sum order matches the f32 path).
+    tmp: Vec<f32>,
+    /// Post-dropout head inputs for the batched training step
+    /// (`batch × hidden`).
+    tops: Vec<f32>,
+    /// Admissible token ids of the lane being sampled (quantized compact
+    /// head path).
+    ids: Vec<usize>,
+    /// Compact admissible-row logits matching `ids`.
+    compact: Vec<f32>,
 }
 
 /// Network hyper-parameters (§7.1 defaults).
@@ -58,6 +71,53 @@ impl Default for NetConfig {
             layers: 2,
             dropout: 0.3,
         }
+    }
+}
+
+/// A policy that can drive the lockstep batched generation engine in
+/// [`crate::batch`]. Implemented by the full-precision [`ActorNet`] and by
+/// the int8 [`QuantizedActor`]; the rollout machinery (lane ownership,
+/// continuous refill, FSM masking, per-lane RNG streams) is identical for
+/// both, so generation and serving code swap precision without forking
+/// the engine.
+pub trait InferActor {
+    /// Size of the action space (the FSM mask width).
+    fn vocab_size(&self) -> usize;
+    /// Allocates a zeroed batched LSTM state for `batch` lanes.
+    fn begin_batch(&self, batch: usize) -> LstmBatchState;
+    /// One batched inference step over lockstep lanes. Exactly one uniform
+    /// draw per *active* lane — inactive lanes ride through the GEMMs but
+    /// never touch their RNG (see [`ActorNet::infer_step_batch`]).
+    #[allow(clippy::too_many_arguments)]
+    fn infer_step_batch(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        masks: &[bool],
+        rngs: &mut [StdRng],
+        scratch: &mut BatchScratch,
+        actions: &mut [usize],
+    );
+}
+
+/// Per-lane detached gradient arenas for one network's parameters
+/// (embedding table, LSTM stack, head), one entry per lane. Lane `l`'s
+/// arena receives exactly the op sequence a serial backward of lane `l`'s
+/// episode would apply to `Param::grad`, so each arena is bit-identical
+/// to that serial gradient; the trainer reduces arenas into `Param::grad`
+/// in ascending lane order for a deterministic sum.
+#[derive(Debug, Default)]
+pub struct NetGradsBatch {
+    pub embed: Vec<Mat>,
+    pub lstm: Vec<LstmStackGrads>,
+    pub head: Vec<LinearGrads>,
+}
+
+impl NetGradsBatch {
+    /// Number of lane arenas currently allocated.
+    pub fn lanes(&self) -> usize {
+        self.embed.len()
     }
 }
 
@@ -367,6 +427,254 @@ impl ActorNet {
         }
     }
 
+    /// One batched **training** step over `batch` lockstep lanes: like
+    /// [`ActorNet::infer_step_batch`] but with dropout and per-lane
+    /// backward caches recorded into `steps[lane]`. Per active lane the
+    /// recorded step (caches, dropout mask, probabilities, action) is
+    /// bit-identical to a serial [`ActorNet::step_into`] fed the same
+    /// inputs and RNG: the RNG draw order per lane is dropout mask draws
+    /// then one sampling draw, and lanes own private streams, so the
+    /// cross-lane processing order cannot perturb any lane. Inactive lanes
+    /// ride through the GEMMs (start-token input, caches and steps
+    /// untouched) and draw no RNG.
+    // Hot path: the arguments are the rollout's split borrows — bundling
+    // them into a struct would force the borrow conflicts this API avoids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_batch<R: Rng>(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        masks: &[bool],
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+        steps: &mut [&mut ActorStep],
+        actions: &mut [usize],
+    ) {
+        let batch = state.batch;
+        debug_assert_eq!(prev.len(), batch);
+        debug_assert_eq!(active.len(), batch);
+        debug_assert_eq!(masks.len(), batch * self.vocab_size);
+        debug_assert_eq!(rngs.len(), batch);
+        debug_assert_eq!(steps.len(), batch);
+        debug_assert_eq!(actions.len(), batch);
+        let embed_dim = self.embed.dim();
+        scratch.x.resize(batch * embed_dim, 0.0);
+        for (lane, p) in prev.iter().enumerate() {
+            let token = p.unwrap_or(self.start_token);
+            let xl = &mut scratch.x[lane * embed_dim..(lane + 1) * embed_dim];
+            xl.copy_from_slice(self.embed.row(token));
+            if let Some(ctx) = self.context_token {
+                for (xi, ci) in xl.iter_mut().zip(self.embed.row(ctx)) {
+                    *xi += ci;
+                }
+            }
+            if active[lane] {
+                steps[lane].input_token = token;
+            }
+        }
+        // Inactive lanes still ride through the batched LSTM step, so
+        // every lane needs a correctly shaped (if unused) cache slot.
+        for step in steps.iter_mut() {
+            if step.caches.len() != self.lstm.layers.len() {
+                step.caches = self.lstm.empty_cache();
+            }
+        }
+        scratch.z.resize(self.lstm.batch_scratch_len(batch), 0.0);
+        {
+            let mut caches: Vec<&mut StackCache> =
+                steps.iter_mut().map(|s| &mut s.caches).collect();
+            self.lstm.forward_step_batch_into(
+                &scratch.x,
+                state,
+                active,
+                &mut caches,
+                &mut scratch.z,
+            );
+        }
+        let hidden = self.lstm.hidden();
+        let top = state.h.last().expect("non-empty stack");
+        scratch.tops.resize(batch * hidden, 0.0);
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let step = &mut *steps[lane];
+            step.top.clear();
+            step.top
+                .extend_from_slice(&top[lane * hidden..(lane + 1) * hidden]);
+            self.dropout
+                .apply_into(&mut step.top, &mut rngs[lane], &mut step.drop_mask);
+            scratch.tops[lane * hidden..(lane + 1) * hidden].copy_from_slice(&step.top);
+        }
+        scratch.probs.resize(batch * self.vocab_size, 0.0);
+        self.head
+            .forward_batch_into(&scratch.tops, batch, &mut scratch.probs);
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let row = &scratch.probs[lane * self.vocab_size..(lane + 1) * self.vocab_size];
+            let mask = &masks[lane * self.vocab_size..(lane + 1) * self.vocab_size];
+            let step = &mut *steps[lane];
+            step.probs.clear();
+            step.probs.extend_from_slice(row);
+            masked_softmax(&mut step.probs, mask);
+            step.action = sample_categorical(&step.probs, &mut rngs[lane]);
+            actions[lane] = step.action;
+        }
+    }
+
+    /// Grows `grads` to at least `batch` lane arenas and zeroes the first
+    /// `batch` of them, recycling allocations across training rounds.
+    pub fn ensure_grads(&self, grads: &mut NetGradsBatch, batch: usize) {
+        while grads.embed.len() < batch {
+            grads.embed.push(self.embed.empty_grads());
+            grads.lstm.push(self.lstm.empty_stack_grads());
+            grads.head.push(self.head.empty_grads());
+        }
+        for lane in 0..batch {
+            grads.embed[lane].fill(0.0);
+            for l in &mut grads.lstm[lane] {
+                l.reset();
+            }
+            grads.head[lane].reset();
+        }
+    }
+
+    /// Reduces the first `batch` lane arenas into `Param::grad`, in
+    /// ascending lane order (the deterministic-sum contract).
+    pub fn accumulate_grads(&mut self, grads: &NetGradsBatch, batch: usize) {
+        for lane in 0..batch {
+            self.embed.accumulate_grads(&grads.embed[lane]);
+            self.lstm.accumulate_grads(&grads.lstm[lane]);
+            self.head.accumulate_grads(&grads.head[lane]);
+        }
+    }
+
+    /// Lane-batched [`ActorNet::backward_episode`] over `batch` ragged
+    /// episodes at once. `steps[lane][..lens[lane]]` are lane `lane`'s
+    /// recorded steps and `advantages[lane]` its per-step advantages;
+    /// parameter gradients land in the per-lane arenas of `grads` with the
+    /// exact op sequence of the serial backward, so every arena is
+    /// bit-identical to running the serial backward on that lane alone.
+    /// The wall-clock win comes from the batched transposed-matvec kernels
+    /// on the head-dtop and BPTT dx/dh paths, which read each weight
+    /// matrix once per step instead of once per lane per step.
+    pub fn backward_episodes_batch(
+        &self,
+        batch: usize,
+        steps: &[Vec<ActorStep>],
+        lens: &[usize],
+        advantages: &[Vec<f32>],
+        lambda: f32,
+        grads: &mut NetGradsBatch,
+    ) {
+        debug_assert!(steps.len() >= batch);
+        debug_assert!(lens.len() >= batch);
+        debug_assert!(advantages.len() >= batch);
+        debug_assert!(grads.lanes() >= batch);
+        if sqlgen_obs::timing_enabled() {
+            // Same per-episode loss/entropy materialization as the serial
+            // path (one histogram sample per episode).
+            for lane in 0..batch {
+                let mut loss = 0.0f64;
+                let mut entropy = 0.0f64;
+                for (s, &adv) in steps[lane][..lens[lane]].iter().zip(&advantages[lane]) {
+                    let h: f32 = s
+                        .probs
+                        .iter()
+                        .filter(|&&p| p > 0.0)
+                        .map(|&p| -p * p.ln())
+                        .sum();
+                    let logp = s.probs[s.action].max(1e-12).ln();
+                    loss += (-logp * adv - lambda * h) as f64;
+                    entropy += h as f64;
+                }
+                let n = lens[lane].max(1) as f64;
+                sqlgen_obs::obs_record!("rl.policy.loss", loss / n);
+                sqlgen_obs::obs_record!("rl.policy.entropy", entropy / n);
+            }
+        }
+        let hidden = self.lstm.hidden();
+        let vocab = self.vocab_size;
+        let in_dim = self.lstm.layers[0].input;
+        let max_t = lens[..batch].iter().copied().max().unwrap_or(0);
+        // Head/dropout backward per global step, prefix-compacted: lanes
+        // sorted by descending length make the active set a contiguous
+        // prefix, so the `[n_active × vocab]` logit-gradient and
+        // `[n_active × hidden]` head-input blocks hold only live lanes and
+        // the batched kernels run at the live width. `dtops` stays in
+        // physical (slot) layout; `inv` maps logical lane → physical slot.
+        let order = sqlgen_nn::ragged_order(&lens[..batch]);
+        let mut inv = vec![0usize; batch];
+        for (p, &lane) in order.iter().enumerate() {
+            inv[lane] = p;
+        }
+        let mut dtops = vec![0.0f32; max_t * batch * hidden];
+        {
+            let mut dy = vec![0.0f32; batch * vocab];
+            let mut tops = vec![0.0f32; batch * hidden];
+            for s in 0..max_t {
+                let n_active = order.iter().take_while(|&&l| lens[l] > s).count();
+                for (p, &lane) in order[..n_active].iter().enumerate() {
+                    let step = &steps[lane][s];
+                    actor_logit_grad_into(
+                        &step.probs,
+                        step.action,
+                        advantages[lane][s],
+                        lambda,
+                        &mut dy[p * vocab..(p + 1) * vocab],
+                    );
+                    tops[p * hidden..(p + 1) * hidden].copy_from_slice(&step.top);
+                }
+                let dtop = &mut dtops[s * batch * hidden..s * batch * hidden + n_active * hidden];
+                self.head.backward_prefix_into(
+                    &tops[..n_active * hidden],
+                    &dy[..n_active * vocab],
+                    &order[..n_active],
+                    &mut grads.head[..batch],
+                    dtop,
+                );
+                for (p, &lane) in order[..n_active].iter().enumerate() {
+                    Dropout::backward(
+                        &mut dtop[p * hidden..(p + 1) * hidden],
+                        &steps[lane][s].drop_mask,
+                    );
+                }
+            }
+        }
+        // BPTT over all lanes at once; input gradients are buffered and the
+        // embedding rows replayed in forward step order per lane (f32
+        // addition is not associative and rows repeat within an episode).
+        // `backward_sequence_batch_with` derives the same descending-length
+        // order from the same lens, so `dtops[(s·batch + inv[lane])…]` is
+        // exactly the row the head phase wrote for that lane.
+        let mut dxs = vec![0.0f32; batch * max_t * in_dim];
+        self.lstm.backward_sequence_batch_with(
+            batch,
+            &lens[..batch],
+            |lane, s| &steps[lane][s].caches[..],
+            |lane, s| {
+                &dtops[(s * batch + inv[lane]) * hidden..(s * batch + inv[lane] + 1) * hidden]
+            },
+            |lane, s, dx| {
+                dxs[(lane * max_t + s) * in_dim..(lane * max_t + s + 1) * in_dim]
+                    .copy_from_slice(dx)
+            },
+            &mut grads.lstm[..batch],
+        );
+        for lane in 0..batch {
+            for (s, step) in steps[lane][..lens[lane]].iter().enumerate() {
+                let dx = &dxs[(lane * max_t + s) * in_dim..(lane * max_t + s + 1) * in_dim];
+                Embedding::backward_buf(&mut grads.embed[lane], step.input_token, dx);
+                if let Some(ctx) = self.context_token {
+                    Embedding::backward_buf(&mut grads.embed[lane], ctx, dx);
+                }
+            }
+        }
+    }
+
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut p = self.embed.params_mut();
         p.extend(self.lstm.params_mut());
@@ -384,6 +692,147 @@ impl ActorNet {
         self.embed.restore_buffers();
         self.lstm.restore_buffers();
         self.head.restore_buffers();
+    }
+}
+
+impl InferActor for ActorNet {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn begin_batch(&self, batch: usize) -> LstmBatchState {
+        ActorNet::begin_batch(self, batch)
+    }
+
+    fn infer_step_batch(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        masks: &[bool],
+        rngs: &mut [StdRng],
+        scratch: &mut BatchScratch,
+        actions: &mut [usize],
+    ) {
+        ActorNet::infer_step_batch(self, prev, active, state, masks, rngs, scratch, actions);
+    }
+}
+
+/// Int8 inference-only snapshot of an [`ActorNet`].
+///
+/// The LSTM and head weights are quantized per output channel
+/// ([`sqlgen_nn::quant`]); the embedding stays a f32 row lookup (it is a
+/// table read, not a GEMM — quantizing it would add error for zero
+/// speedup), and biases stay f32. Built from trained weights at load
+/// time; carries no gradients and cannot train.
+///
+/// The head is evaluated **masked**: logits are computed only for the
+/// FSM-admissible rows of each lane (typically a handful out of the full
+/// vocabulary) and `-∞` is written elsewhere. This is exact, not an
+/// approximation — the masked softmax and the sampler never read masked
+/// rows — and it is where most of the quantized path's speedup comes
+/// from at generation time.
+#[derive(Debug, Clone)]
+pub struct QuantizedActor {
+    /// f32 embedding table (`(vocab + 1 + ctx) × embed_dim`).
+    table: Mat,
+    pub lstm: QuantizedLstmStack,
+    pub head: QuantizedLinear,
+    pub vocab_size: usize,
+    pub start_token: usize,
+    pub context_token: Option<usize>,
+}
+
+impl QuantizedActor {
+    /// Quantizes a trained actor's weights (per-output-channel symmetric
+    /// int8; see [`sqlgen_nn::QuantizedMat`]).
+    pub fn from_actor(a: &ActorNet) -> Self {
+        QuantizedActor {
+            table: a.embed.table.value.clone(),
+            lstm: QuantizedLstmStack::from_stack(&a.lstm),
+            head: QuantizedLinear::from_linear(&a.head),
+            vocab_size: a.vocab_size,
+            start_token: a.start_token,
+            context_token: a.context_token,
+        }
+    }
+}
+
+impl InferActor for QuantizedActor {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn begin_batch(&self, batch: usize) -> LstmBatchState {
+        self.lstm.zero_batch_state(batch)
+    }
+
+    /// Mirrors [`ActorNet::infer_step_batch`] — same lane protocol, same
+    /// RNG contract (one uniform draw per active lane) — over the int8
+    /// kernels. Inactive lanes keep whatever mask rows they last had;
+    /// their head outputs are computed but never read.
+    fn infer_step_batch(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        masks: &[bool],
+        rngs: &mut [StdRng],
+        scratch: &mut BatchScratch,
+        actions: &mut [usize],
+    ) {
+        let batch = state.batch;
+        debug_assert_eq!(prev.len(), batch);
+        debug_assert_eq!(active.len(), batch);
+        debug_assert_eq!(masks.len(), batch * self.vocab_size);
+        debug_assert_eq!(rngs.len(), batch);
+        debug_assert_eq!(actions.len(), batch);
+        let embed_dim = self.table.cols;
+        scratch.x.resize(batch * embed_dim, 0.0);
+        for (lane, p) in prev.iter().enumerate() {
+            let token = p.unwrap_or(self.start_token);
+            let xl = &mut scratch.x[lane * embed_dim..(lane + 1) * embed_dim];
+            xl.copy_from_slice(self.table.row(token));
+            if let Some(ctx) = self.context_token {
+                for (xi, ci) in xl.iter_mut().zip(self.table.row(ctx)) {
+                    *xi += ci;
+                }
+            }
+        }
+        let zlen = self.lstm.batch_scratch_len(batch);
+        scratch.z.resize(zlen, 0.0);
+        scratch.tmp.resize(zlen, 0.0);
+        self.lstm
+            .infer_step_batch_into(&scratch.x, state, &mut scratch.z, &mut scratch.tmp);
+        let top = state.h.last().expect("non-empty stack");
+        // Compact head path: gather each lane's admissible ids (one mask
+        // scan), then evaluate logits, softmax and sample over just those
+        // M entries. `softmax_dense` + the ascending-id gather visit the
+        // same entries in the same order as the scattered
+        // `masked_softmax`/`sample_categorical` row path, so the sampled
+        // actions — and each lane's RNG stream — are unchanged.
+        let hidden = self.lstm.hidden();
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let mask = &masks[lane * self.vocab_size..(lane + 1) * self.vocab_size];
+            scratch.ids.clear();
+            scratch
+                .ids
+                .extend(mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i));
+            scratch.compact.resize(scratch.ids.len(), 0.0);
+            self.head.forward_ids_into(
+                &top[lane * hidden..(lane + 1) * hidden],
+                &scratch.ids,
+                &mut scratch.compact,
+            );
+            sqlgen_nn::softmax_dense(&mut scratch.compact);
+            let k = sample_categorical(&scratch.compact, &mut rngs[lane]);
+            // Fully-masked rows cannot occur mid-episode; match the
+            // scattered path's all-zero-row fallback (action 0) anyway.
+            actions[lane] = scratch.ids.get(k).copied().unwrap_or(0);
+        }
     }
 }
 
@@ -540,6 +989,184 @@ impl CriticNet {
             self.embed.backward(s.input_token, dx);
             if let Some(ctx) = self.context_token {
                 self.embed.backward(ctx, dx);
+            }
+        }
+    }
+
+    /// Allocates a zeroed batched LSTM state for `batch` lanes.
+    pub fn begin_batch(&self, batch: usize) -> LstmBatchState {
+        self.lstm.zero_batch_state(batch)
+    }
+
+    /// One batched critic step over lockstep lanes: mirrors
+    /// [`CriticNet::step_into`] per active lane (dropout draws from the
+    /// lane's own RNG, then the scalar head), recording backward caches
+    /// into `steps[lane]`. The scalar head is evaluated per lane — at
+    /// `hidden → 1` there is nothing to amortize; the batching win is the
+    /// LSTM forward. Inactive lanes ride through the GEMMs and draw no
+    /// RNG.
+    pub fn forward_step_batch<R: Rng>(
+        &self,
+        prev: &[Option<usize>],
+        active: &[bool],
+        state: &mut LstmBatchState,
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+        steps: &mut [&mut CriticStep],
+    ) {
+        let batch = state.batch;
+        debug_assert_eq!(prev.len(), batch);
+        debug_assert_eq!(active.len(), batch);
+        debug_assert_eq!(rngs.len(), batch);
+        debug_assert_eq!(steps.len(), batch);
+        let embed_dim = self.embed.dim();
+        scratch.x.resize(batch * embed_dim, 0.0);
+        for (lane, p) in prev.iter().enumerate() {
+            let token = p.unwrap_or(self.start_token);
+            let xl = &mut scratch.x[lane * embed_dim..(lane + 1) * embed_dim];
+            xl.copy_from_slice(self.embed.row(token));
+            if let Some(ctx) = self.context_token {
+                for (xi, ci) in xl.iter_mut().zip(self.embed.row(ctx)) {
+                    *xi += ci;
+                }
+            }
+            if active[lane] {
+                steps[lane].input_token = token;
+            }
+        }
+        // Inactive lanes still ride through the batched LSTM step, so
+        // every lane needs a correctly shaped (if unused) cache slot.
+        for step in steps.iter_mut() {
+            if step.caches.len() != self.lstm.layers.len() {
+                step.caches = self.lstm.empty_cache();
+            }
+        }
+        scratch.z.resize(self.lstm.batch_scratch_len(batch), 0.0);
+        {
+            let mut caches: Vec<&mut StackCache> =
+                steps.iter_mut().map(|s| &mut s.caches).collect();
+            self.lstm.forward_step_batch_into(
+                &scratch.x,
+                state,
+                active,
+                &mut caches,
+                &mut scratch.z,
+            );
+        }
+        let hidden = self.lstm.hidden();
+        let top = state.h.last().expect("non-empty stack");
+        for lane in 0..batch {
+            if !active[lane] {
+                continue;
+            }
+            let step = &mut *steps[lane];
+            step.top.clear();
+            step.top
+                .extend_from_slice(&top[lane * hidden..(lane + 1) * hidden]);
+            self.dropout
+                .apply_into(&mut step.top, &mut rngs[lane], &mut step.drop_mask);
+            let mut value = [0.0f32];
+            self.head.forward_into(&step.top, &mut value);
+            step.value = value[0];
+        }
+    }
+
+    /// See [`ActorNet::ensure_grads`].
+    pub fn ensure_grads(&self, grads: &mut NetGradsBatch, batch: usize) {
+        while grads.embed.len() < batch {
+            grads.embed.push(self.embed.empty_grads());
+            grads.lstm.push(self.lstm.empty_stack_grads());
+            grads.head.push(self.head.empty_grads());
+        }
+        for lane in 0..batch {
+            grads.embed[lane].fill(0.0);
+            for l in &mut grads.lstm[lane] {
+                l.reset();
+            }
+            grads.head[lane].reset();
+        }
+    }
+
+    /// See [`ActorNet::accumulate_grads`].
+    pub fn accumulate_grads(&mut self, grads: &NetGradsBatch, batch: usize) {
+        for lane in 0..batch {
+            self.embed.accumulate_grads(&grads.embed[lane]);
+            self.lstm.accumulate_grads(&grads.lstm[lane]);
+            self.head.accumulate_grads(&grads.head[lane]);
+        }
+    }
+
+    /// Lane-batched [`CriticNet::backward_episode`]; the per-lane arena
+    /// contract matches [`ActorNet::backward_episodes_batch`].
+    pub fn backward_episodes_batch(
+        &self,
+        batch: usize,
+        steps: &[Vec<CriticStep>],
+        lens: &[usize],
+        dvalues: &[Vec<f32>],
+        grads: &mut NetGradsBatch,
+    ) {
+        debug_assert!(steps.len() >= batch);
+        debug_assert!(lens.len() >= batch);
+        debug_assert!(dvalues.len() >= batch);
+        debug_assert!(grads.lanes() >= batch);
+        let hidden = self.lstm.hidden();
+        let in_dim = self.lstm.layers[0].input;
+        let max_t = lens[..batch].iter().copied().max().unwrap_or(0);
+        // Prefix-compacted like the actor: see
+        // [`ActorNet::backward_episodes_batch`] for the slot layout.
+        let order = sqlgen_nn::ragged_order(&lens[..batch]);
+        let mut inv = vec![0usize; batch];
+        for (p, &lane) in order.iter().enumerate() {
+            inv[lane] = p;
+        }
+        let mut dtops = vec![0.0f32; max_t * batch * hidden];
+        {
+            let mut dy = vec![0.0f32; batch];
+            let mut tops = vec![0.0f32; batch * hidden];
+            for s in 0..max_t {
+                let n_active = order.iter().take_while(|&&l| lens[l] > s).count();
+                for (p, &lane) in order[..n_active].iter().enumerate() {
+                    dy[p] = dvalues[lane][s];
+                    tops[p * hidden..(p + 1) * hidden].copy_from_slice(&steps[lane][s].top);
+                }
+                let dtop = &mut dtops[s * batch * hidden..s * batch * hidden + n_active * hidden];
+                self.head.backward_prefix_into(
+                    &tops[..n_active * hidden],
+                    &dy[..n_active],
+                    &order[..n_active],
+                    &mut grads.head[..batch],
+                    dtop,
+                );
+                for (p, &lane) in order[..n_active].iter().enumerate() {
+                    Dropout::backward(
+                        &mut dtop[p * hidden..(p + 1) * hidden],
+                        &steps[lane][s].drop_mask,
+                    );
+                }
+            }
+        }
+        let mut dxs = vec![0.0f32; batch * max_t * in_dim];
+        self.lstm.backward_sequence_batch_with(
+            batch,
+            &lens[..batch],
+            |lane, s| &steps[lane][s].caches[..],
+            |lane, s| {
+                &dtops[(s * batch + inv[lane]) * hidden..(s * batch + inv[lane] + 1) * hidden]
+            },
+            |lane, s, dx| {
+                dxs[(lane * max_t + s) * in_dim..(lane * max_t + s + 1) * in_dim]
+                    .copy_from_slice(dx)
+            },
+            &mut grads.lstm[..batch],
+        );
+        for lane in 0..batch {
+            for (s, step) in steps[lane][..lens[lane]].iter().enumerate() {
+                let dx = &dxs[(lane * max_t + s) * in_dim..(lane * max_t + s + 1) * in_dim];
+                Embedding::backward_buf(&mut grads.embed[lane], step.input_token, dx);
+                if let Some(ctx) = self.context_token {
+                    Embedding::backward_buf(&mut grads.embed[lane], ctx, dx);
+                }
             }
         }
     }

@@ -8,8 +8,9 @@ use crate::env::SqlGenEnv;
 use crate::episode::{
     rewards_to_go_into, run_episode_infer, run_episode_into, Episode, InferRollout, Rollout,
 };
-use crate::nets::{ActorNet, ActorStep, NetConfig};
+use crate::nets::{ActorNet, ActorStep, NetConfig, NetGradsBatch, QuantizedActor};
 use crate::parallel::collect_episodes;
+use crate::train_batch::TrainRollout;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlgen_nn::{clip_grad_norm, Adam, Optimizer};
@@ -121,6 +122,64 @@ impl Reinforce {
         out
     }
 
+    /// Trains on `episodes` episodes with up to `batch` lockstep GEMM
+    /// lanes (batched BPTT with gradient accumulation).
+    ///
+    /// Each round rolls one episode per lane under the current policy
+    /// (lane token streams bitwise match serial rollouts of the lane
+    /// seeds), runs one lane-batched backward into per-lane gradient
+    /// arenas, reduces the arenas in ascending lane order, and applies
+    /// **one** clipped Adam step for the whole round. `batch <= 1` is the
+    /// exact legacy serial path; larger batches are reproducible per
+    /// `(seed, batch)` but — like `threads > 1` — a different
+    /// deterministic run than serial training (one accumulated update per
+    /// round instead of one per episode). See [`crate::train_batch`].
+    pub fn train_batched(
+        &mut self,
+        env: &SqlGenEnv,
+        episodes: usize,
+        batch: usize,
+    ) -> Vec<Episode> {
+        if batch <= 1 {
+            return (0..episodes).map(|_| self.train_episode(env)).collect();
+        }
+        let mut ro = TrainRollout::new();
+        let mut grads = NetGradsBatch::default();
+        let mut advantages: Vec<Vec<f32>> = Vec::new();
+        let mut out = Vec::with_capacity(episodes);
+        let mut remaining = episodes;
+        while remaining > 0 {
+            // One round = one episode per lane, bounding policy staleness
+            // at `batch` episodes (matching the threaded path).
+            let b = remaining.min(batch);
+            let base: u64 = self.rng.random();
+            let eps = ro.collect(&self.actor, env, b, base);
+            if advantages.len() < b {
+                advantages.resize_with(b, Vec::new);
+            }
+            for (lane, ep) in eps.iter().enumerate() {
+                rewards_to_go_into(&ep.rewards, &mut advantages[lane]);
+            }
+            self.actor.ensure_grads(&mut grads, b);
+            self.actor.backward_episodes_batch(
+                b,
+                &ro.steps,
+                &ro.lens,
+                &advantages,
+                self.cfg.lambda,
+                &mut grads,
+            );
+            self.actor.zero_grad();
+            self.actor.accumulate_grads(&grads, b);
+            let mut params = self.actor.params_mut();
+            clip_grad_norm(&mut params, self.cfg.grad_clip);
+            self.opt.step(&mut params);
+            out.extend(eps);
+            remaining -= b;
+        }
+        out
+    }
+
     /// Generates a query without updating the network (inference).
     pub fn generate(&mut self, env: &SqlGenEnv) -> Episode {
         run_episode_infer(&self.actor, env, &mut self.rng, &mut self.infer)
@@ -146,6 +205,21 @@ impl Reinforce {
         }
         let base: u64 = self.rng.random();
         crate::batch::collect_episodes_batched(&self.actor, env, n, batch, base)
+    }
+
+    /// Generates `n` queries on an int8 snapshot of the actor with `batch`
+    /// lockstep lanes (no updates). Same engine and determinism contract
+    /// as [`Reinforce::generate_batched`]; the sampled streams differ from
+    /// the f32 path only within the quantization error of the logits.
+    pub fn generate_batched_quant(
+        &mut self,
+        quant: &QuantizedActor,
+        env: &SqlGenEnv,
+        n: usize,
+        batch: usize,
+    ) -> Vec<Episode> {
+        let base: u64 = self.rng.random();
+        crate::batch::collect_episodes_batched(quant, env, n, batch.max(1), base)
     }
 }
 

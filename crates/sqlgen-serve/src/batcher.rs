@@ -25,8 +25,8 @@ use sqlgen_fsm::{FsmConfig, Vocabulary};
 use sqlgen_obs::trace::ROOT_SPAN;
 use sqlgen_obs::{Labels, RequestTrace, TraceHandle};
 use sqlgen_rl::{
-    run_jobs_batched, worker_seed, ActorCritic, ActorNet, Episode, Job, JobOutcome, Reinforce,
-    SqlGenEnv,
+    run_jobs_batched, worker_seed, ActorCritic, ActorNet, Episode, InferActor, Job, JobOutcome,
+    Reinforce, SqlGenEnv,
 };
 use sqlgen_storage::Database;
 use std::path::PathBuf;
@@ -200,9 +200,11 @@ impl Schema {
                 label: "builtin".to_string(),
                 version: 0,
                 actor,
+                quant: None,
             },
             model_dir,
             vocab.size(),
+            config.quantize,
         );
         if let Err(e) = registry.refresh() {
             sqlgen_obs::obs_warn!("[serve] schema {name}: no loadable checkpoint yet: {e}");
@@ -229,6 +231,7 @@ impl Schema {
             label: label.to_string(),
             version,
             actor,
+            quant: None, // built by the registry when it quantizes
         });
     }
 }
@@ -267,8 +270,10 @@ pub struct WindowOutcome {
 /// Runs a gathered window on `lanes` lockstep lanes. Pure: the output for
 /// request `i` depends only on (actor, vocab, estimator, fsm,
 /// `reqs[i]`) — not on `lanes` or on the other requests in the window.
-pub fn run_window(
-    actor: &ActorNet,
+/// Generic over the policy so windows run unchanged on the f32 actor or
+/// its int8 quantized snapshot.
+pub fn run_window<A: InferActor>(
+    actor: &A,
     vocab: &Vocabulary,
     estimator: &Estimator,
     fsm: &FsmConfig,
@@ -417,14 +422,25 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
                 (started - t.enqueued).as_micros() as f64
             );
         }
-        let outcomes = run_window(
-            &model.actor,
-            &schema.vocab,
-            &schema.estimator,
-            &schema.fsm,
-            &reqs,
-            cfg.lanes,
-        );
+        // Windows run on the int8 snapshot when the registry quantizes.
+        let outcomes = match &model.quant {
+            Some(q) => run_window(
+                q,
+                &schema.vocab,
+                &schema.estimator,
+                &schema.fsm,
+                &reqs,
+                cfg.lanes,
+            ),
+            None => run_window(
+                &model.actor,
+                &schema.vocab,
+                &schema.estimator,
+                &schema.fsm,
+                &reqs,
+                cfg.lanes,
+            ),
+        };
         let window_end = Instant::now();
         sqlgen_obs::obs_record!(
             "serve.window.latency_us",
@@ -541,6 +557,45 @@ mod tests {
             assert_eq!(x.measured.to_bits(), y.measured.to_bits());
         }
         assert_eq!(coalesced[0].episodes.len(), 2);
+    }
+
+    #[test]
+    fn quantized_schema_windows_run_on_the_int8_snapshot() {
+        let (db, config) = fixture();
+        let schema = Schema::build("t", &db, &config.with_quantize(true), None, 8);
+        assert!(schema.registry.quantized());
+        let model = schema.registry.current();
+        let q = model.quant.as_ref().expect("quantized registry");
+        let req = WindowRequest {
+            constraint: Constraint::cardinality_range(1.0, 500.0),
+            n: 3,
+            seed: 41,
+            deadline: None,
+            trace: None,
+        };
+        let narrow = run_window(
+            q,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            std::slice::from_ref(&req),
+            1,
+        );
+        let wide = run_window(
+            q,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            std::slice::from_ref(&req),
+            8,
+        );
+        assert_eq!(narrow[0].episodes.len(), 3);
+        // The purity contract holds on the int8 path too: results are
+        // independent of the lane width.
+        for (x, y) in narrow[0].episodes.iter().zip(&wide[0].episodes) {
+            assert_eq!(x.actions, y.actions);
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! policy).
 
 use sqlgen_core::checkpoint::{read_file, CheckpointError};
-use sqlgen_rl::ActorNet;
+use sqlgen_rl::{ActorNet, QuantizedActor};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::SystemTime;
@@ -30,6 +30,10 @@ pub struct ServedModel {
     /// Version parsed from the file name (0 when versionless/builtin).
     pub version: u64,
     pub actor: ActorNet,
+    /// Int8 snapshot of `actor`, present iff the registry quantizes.
+    /// Built at load/publish time (checkpoints always store f32 weights);
+    /// generation windows run on it when present.
+    pub quant: Option<QuantizedActor>,
 }
 
 /// What the last successful load came from, to make `refresh` a no-op when
@@ -43,6 +47,9 @@ struct LoadedFrom {
 pub struct ModelRegistry {
     dir: Option<PathBuf>,
     vocab_size: usize,
+    /// Quantize-at-load: every model installed in this registry carries an
+    /// int8 snapshot alongside its f32 weights.
+    quantize: bool,
     current: RwLock<Arc<ServedModel>>,
     loaded_from: Mutex<Option<LoadedFrom>>,
 }
@@ -62,15 +69,29 @@ fn file_version(stem: &str) -> u64 {
 
 impl ModelRegistry {
     /// A registry pinned to `initial`, optionally watching `dir` for
-    /// checkpoint files.
-    pub fn new(initial: ServedModel, dir: Option<PathBuf>, vocab_size: usize) -> Self {
+    /// checkpoint files. With `quantize`, every installed model (including
+    /// `initial`) gets an int8 snapshot built from its f32 weights.
+    pub fn new(
+        mut initial: ServedModel,
+        dir: Option<PathBuf>,
+        vocab_size: usize,
+        quantize: bool,
+    ) -> Self {
+        initial.quant = quantize.then(|| QuantizedActor::from_actor(&initial.actor));
         sqlgen_obs::obs_gauge!("serve.model.version", initial.version as f64);
+        sqlgen_obs::obs_gauge!("serve.model.quantized", if quantize { 1.0 } else { 0.0 });
         ModelRegistry {
             dir,
             vocab_size,
+            quantize,
             current: RwLock::new(Arc::new(initial)),
             loaded_from: Mutex::new(None),
         }
+    }
+
+    /// Whether models in this registry run int8 quantized inference.
+    pub fn quantized(&self) -> bool {
+        self.quantize
     }
 
     /// The policy requests should run on right now.
@@ -79,9 +100,18 @@ impl ModelRegistry {
     }
 
     /// Installs `model` as current (hot-swap). Training loops and tests use
-    /// this to publish without going through the filesystem.
-    pub fn publish(&self, model: ServedModel) {
+    /// this to publish without going through the filesystem. When the
+    /// registry quantizes, the int8 snapshot is (re)built here so published
+    /// models never serve stale or missing quantized weights.
+    pub fn publish(&self, mut model: ServedModel) {
+        model.quant = self
+            .quantize
+            .then(|| QuantizedActor::from_actor(&model.actor));
         sqlgen_obs::obs_gauge!("serve.model.version", model.version as f64);
+        sqlgen_obs::obs_gauge!(
+            "serve.model.quantized",
+            if model.quant.is_some() { 1.0 } else { 0.0 }
+        );
         sqlgen_obs::obs_count!("serve.model.swaps.count");
         *self.current.write().expect("registry lock") = Arc::new(model);
     }
@@ -143,6 +173,7 @@ impl ModelRegistry {
             label,
             version,
             actor: ckpt.actor,
+            quant: None, // built by `publish`
         })
     }
 }
@@ -186,6 +217,7 @@ mod tests {
             label: "builtin".to_string(),
             version: 0,
             actor: actor(vocab, 1),
+            quant: None,
         }
     }
 
@@ -212,10 +244,11 @@ mod tests {
             let text = Checkpoint::legacy(actor(9, seed)).render();
             write_atomic(&dir.join(name), &text).unwrap();
         }
-        let reg = ModelRegistry::new(builtin(9), Some(dir.clone()), 9);
+        let reg = ModelRegistry::new(builtin(9), Some(dir.clone()), 9, false);
         assert!(reg.refresh().unwrap());
         assert_eq!(reg.current().version, 3);
         assert_eq!(reg.current().label, "policy-v3");
+        assert!(reg.current().quant.is_none());
         // Unchanged directory → no swap.
         assert!(!reg.refresh().unwrap());
         // A newer publish is picked up.
@@ -244,11 +277,11 @@ mod tests {
             &Checkpoint::legacy(actor(9, 4)).render(),
         )
         .unwrap();
-        let reg = ModelRegistry::new(builtin(9), Some(dir.clone()), 9);
+        let reg = ModelRegistry::new(builtin(9), Some(dir.clone()), 9, false);
         assert!(reg.refresh().unwrap());
         assert_eq!(reg.current().label, "good-v2");
         // Only broken candidates → typed error, old model keeps serving.
-        let reg5 = ModelRegistry::new(builtin(5), Some(dir.clone()), 5);
+        let reg5 = ModelRegistry::new(builtin(5), Some(dir.clone()), 5, false);
         std::fs::remove_file(dir.join("bad-vocab-v9.ckpt")).unwrap();
         std::fs::remove_file(dir.join("good-v2.ckpt")).unwrap();
         assert!(reg5.refresh().is_err());
@@ -258,16 +291,45 @@ mod tests {
 
     #[test]
     fn publish_hot_swaps_under_readers() {
-        let reg = ModelRegistry::new(builtin(9), None, 9);
+        let reg = ModelRegistry::new(builtin(9), None, 9, false);
         let before = reg.current();
         reg.publish(ServedModel {
             label: "swapped".to_string(),
             version: 7,
             actor: actor(9, 42),
+            quant: None,
         });
         // The old snapshot is still usable; new readers see the new model.
         assert_eq!(before.label, "builtin");
         assert_eq!(reg.current().label, "swapped");
         assert_eq!(reg.current().version, 7);
+    }
+
+    #[test]
+    fn quantizing_registry_snapshots_every_installed_model() {
+        let dir = tmp_dir("quant");
+        write_atomic(
+            &dir.join("policy-v4.ckpt"),
+            &Checkpoint::legacy(actor(9, 6)).render(),
+        )
+        .unwrap();
+        let reg = ModelRegistry::new(builtin(9), Some(dir.clone()), 9, true);
+        assert!(reg.quantized());
+        // The bootstrap model is quantized up front...
+        assert!(reg.current().quant.is_some());
+        // ...and so is every model loaded from disk or published in-process.
+        assert!(reg.refresh().unwrap());
+        let loaded = reg.current();
+        assert_eq!(loaded.label, "policy-v4");
+        let q = loaded.quant.as_ref().expect("quantized at load");
+        assert_eq!(q.vocab_size, 9);
+        reg.publish(ServedModel {
+            label: "published".to_string(),
+            version: 9,
+            actor: actor(9, 42),
+            quant: None,
+        });
+        assert!(reg.current().quant.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

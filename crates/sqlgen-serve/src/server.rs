@@ -363,10 +363,11 @@ fn models_json(state: &ServerState) -> String {
         .map(|s| {
             let m = s.registry.current();
             format!(
-                r#"{{"name":{},"model":{},"version":{},"queue_depth":{},"queue_capacity":{}}}"#,
+                r#"{{"name":{},"model":{},"version":{},"quantized":{},"queue_depth":{},"queue_capacity":{}}}"#,
                 json_str(&s.name),
                 json_str(&m.label),
                 m.version,
+                m.quant.is_some(),
                 s.queue.len(),
                 s.queue.capacity()
             )
@@ -624,6 +625,7 @@ mod tests {
         let entry = &v.get("schemas").unwrap().as_array().unwrap()[0];
         assert_eq!(entry.get("name").unwrap().as_str(), Some("tpch"));
         assert_eq!(entry.get("model").unwrap().as_str(), Some("builtin"));
+        assert_eq!(entry.get("quantized").unwrap().as_bool(), Some(false));
         assert_eq!(route(&state, "GET", "/metrics", b"", None).status, 200);
         assert_eq!(
             route(&state, "POST", "/models/reload", b"", None).status,

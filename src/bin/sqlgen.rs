@@ -29,6 +29,7 @@ struct Args {
     train: usize,
     threads: usize,
     batch: usize,
+    quant: bool,
     kinds: Option<Vec<StatementKind>>,
     execute: bool,
     profile: bool,
@@ -54,6 +55,7 @@ FLAGS:
   --train <episodes>      RL training episodes (default: 500; 0 with --load)
   --threads <workers>     rollout worker threads (default: 1 = exact serial)
   --batch <lanes>         lockstep inference lanes (default: 1 = exact serial)
+  --quant                 run inference on an int8 quantized weight snapshot
   --scale <sf>            data scale factor (default: 0.3)
   --seed <u64>            RNG seed (default: 42)
   --kinds <k1,k2,..>      statement kinds: select,insert,update,delete
@@ -79,6 +81,7 @@ fn parse_args() -> Args {
         train: 500,
         threads: 1,
         batch: 1,
+        quant: false,
         kinds: None,
         execute: false,
         profile: false,
@@ -148,6 +151,7 @@ fn parse_args() -> Args {
                     .collect();
                 args.kinds = Some(kinds);
             }
+            "--quant" => args.quant = true,
             "--execute" => args.execute = true,
             "--profile" => args.profile = true,
             "--only-satisfied" => args.only_satisfied = true,
@@ -217,6 +221,7 @@ FLAGS:
   --addr <host:port>      bind address (default: 127.0.0.1:8080; port 0 = ephemeral)
   --threads <workers>     HTTP worker threads (default: 4)
   --batch <lanes>         lockstep GEMM lanes per generation window (default: 8)
+  --quant                 serve int8 quantized snapshots of every model
   --max-queue <n>         admission queue capacity; beyond it 429 (default: 64)
   --max-wait-ms <ms>      batcher window coalescing wait (default: 5)
   --benchmark <name>      served schema: tpch|job|xuetang (default: tpch)
@@ -260,6 +265,7 @@ fn serve_main(argv: Vec<String>) -> ! {
     let mut range: Option<(f64, f64)> = None;
     let mut model_dir: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut quant = false;
     let mut quiet = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -312,6 +318,7 @@ fn serve_main(argv: Vec<String>) -> ! {
                 range = Some((lo, hi));
             }
             "--model-dir" => model_dir = Some(value("--model-dir")),
+            "--quant" => quant = true,
             "--trace" => trace = Some(value("--trace")),
             "--trace-ring" => {
                 config.trace_capacity = value("--trace-ring")
@@ -352,7 +359,7 @@ fn serve_main(argv: Vec<String>) -> ! {
         benchmark.name()
     );
     let db = benchmark.build(scale, seed);
-    let gen_config = GenConfig::default().with_seed(seed);
+    let gen_config = GenConfig::default().with_seed(seed).with_quantize(quant);
 
     let schema = learned_sqlgen::serve::Schema::build(
         benchmark.name(),
@@ -443,7 +450,8 @@ fn main() {
     let mut config = GenConfig::default()
         .with_seed(args.seed)
         .with_threads(args.threads)
-        .with_batch_size(args.batch);
+        .with_batch_size(args.batch)
+        .with_quantize(args.quant);
     if let Some(kinds) = &args.kinds {
         config.fsm = FsmConfig::default().with_statements(kinds);
     }
