@@ -7,7 +7,7 @@
 //!   discovered during training count toward the target, as in the paper).
 
 use sqlgen_baselines::{RandomGen, TemplateGen};
-use sqlgen_core::{Algorithm, GenConfig, LearnedSqlGen};
+use sqlgen_core::{Algorithm, GenConfig, LearnedSqlGen, RefineConfig};
 use sqlgen_engine::Estimator;
 use sqlgen_fsm::{FsmConfig, Vocabulary};
 use sqlgen_rl::{Constraint, NetConfig, SqlGenEnv, TrainConfig};
@@ -88,6 +88,7 @@ pub fn harness_gen_config(seed: u64) -> GenConfig {
         threads: 1,
         batch_size: 1,
         quantize: false,
+        refine: RefineConfig::default(),
     }
 }
 

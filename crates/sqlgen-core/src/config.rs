@@ -1,5 +1,6 @@
 //! End-to-end generator configuration.
 
+use crate::refine::RefineConfig;
 use sqlgen_fsm::FsmConfig;
 use sqlgen_rl::{NetConfig, TrainConfig};
 use sqlgen_storage::sample::SampleConfig;
@@ -48,6 +49,12 @@ pub struct GenConfig {
     /// train/load. Sampled token streams differ from the f32 path only
     /// within the quantization error bound of the logits.
     pub quantize: bool,
+    /// Constraint-miss refinement (DESIGN.md §12): on a missed constraint,
+    /// run bounded local search over the missed query before falling back
+    /// to resampling. On by default; disable (`with_refine(false)` / the
+    /// CLI `--no-refine` flag) to restore the legacy generate-and-hope
+    /// path bit-for-bit.
+    pub refine: RefineConfig,
 }
 
 impl Default for GenConfig {
@@ -61,6 +68,7 @@ impl Default for GenConfig {
             threads: 1,
             batch_size: 1,
             quantize: false,
+            refine: RefineConfig::default(),
         }
     }
 }
@@ -119,6 +127,19 @@ impl GenConfig {
         self
     }
 
+    /// Enables or disables constraint-miss refinement (default on).
+    pub fn with_refine(mut self, enabled: bool) -> Self {
+        self.refine.enabled = enabled;
+        self
+    }
+
+    /// Replaces the full refinement configuration (budgets, cache size,
+    /// resample rounds).
+    pub fn with_refine_config(mut self, refine: RefineConfig) -> Self {
+        self.refine = refine;
+        self
+    }
+
     /// Overrides the per-column value-sample size `k` (paper default 100).
     /// Changing `k` changes the action-space size, so checkpoints are only
     /// portable between generators built with the same sample config.
@@ -165,5 +186,20 @@ mod tests {
         assert_eq!(GenConfig::default().batch_size, 1);
         assert_eq!(GenConfig::fast().with_threads(0).threads, 1);
         assert_eq!(GenConfig::fast().with_batch_size(0).batch_size, 1);
+    }
+
+    #[test]
+    fn refine_defaults_on_with_escape_hatch() {
+        assert!(GenConfig::default().refine.enabled);
+        assert!(GenConfig::fast().refine.enabled);
+        assert!(!GenConfig::fast().with_refine(false).refine.enabled);
+        let custom = GenConfig::fast().with_refine_config(RefineConfig {
+            enabled: true,
+            max_evals: 7,
+            cache_capacity: 3,
+            resample_rounds: 2,
+        });
+        assert_eq!(custom.refine.max_evals, 7);
+        assert_eq!(custom.refine.resample_rounds, 2);
     }
 }

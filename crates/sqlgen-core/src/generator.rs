@@ -3,6 +3,7 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointMeta};
 use crate::config::{Algorithm, GenConfig};
+use crate::refine::Refiner;
 use sqlgen_engine::{render, Estimator, Statement};
 use sqlgen_fsm::Vocabulary;
 use sqlgen_rl::{
@@ -56,6 +57,10 @@ pub struct LearnedSqlGen {
     /// Int8 snapshot of the actor, present iff `config.quantize`.
     /// Refreshed after every train/load so it never runs stale weights.
     quant: Option<QuantizedActor>,
+    /// Constraint-miss refinement engine (bounded local search + miss
+    /// cache; see [`crate::refine`]). Deterministic, so it rides along on
+    /// both the RNG-stream and the seeded generation paths.
+    refiner: Refiner,
     pub stats: TrainStats,
 }
 
@@ -74,6 +79,7 @@ impl LearnedSqlGen {
                 config.train.clone(),
             ))),
         };
+        let refiner = Refiner::new(config.refine.clone());
         let mut gen = LearnedSqlGen {
             vocab,
             estimator,
@@ -82,6 +88,7 @@ impl LearnedSqlGen {
             trainer,
             cache: EstimatorCache::default(),
             quant: None,
+            refiner,
             stats: TrainStats::default(),
         };
         gen.refresh_quant();
@@ -107,6 +114,19 @@ impl LearnedSqlGen {
     /// Whether inference currently runs on the int8 quantized snapshot.
     pub fn quantized(&self) -> bool {
         self.quant.is_some()
+    }
+
+    /// Enables or disables constraint-miss refinement at runtime (the
+    /// bench sweep's `--no-refine` escape hatch). Disabling restores the
+    /// legacy generate-and-hope path bit-for-bit.
+    pub fn set_refine(&mut self, on: bool) {
+        self.config.refine.enabled = on;
+        self.refiner = Refiner::new(self.config.refine.clone());
+    }
+
+    /// Whether constraint-miss refinement is active.
+    pub fn refine_enabled(&self) -> bool {
+        self.refiner.enabled()
     }
 
     /// Enables or disables int8 quantized inference. Enabling snapshots the
@@ -187,9 +207,12 @@ impl LearnedSqlGen {
         self.train(self.config.default_train_episodes)
     }
 
-    /// Generates `n` queries with the trained policy (Algorithm 2). Not all
-    /// are guaranteed to satisfy the constraint; the ratio that does is the
-    /// paper's *generation accuracy*.
+    /// Generates `n` queries with the trained policy (Algorithm 2). With
+    /// refinement on (the default), missed constraints are repaired by
+    /// bounded local search and — past the search budget — by redrawing
+    /// the missed slots for up to `refine.resample_rounds` rounds. With
+    /// refinement off this is the raw policy sample, bit-identical to the
+    /// legacy path.
     pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
         let _span = sqlgen_obs::obs_span!("gen.generate");
         let started = std::time::Instant::now();
@@ -198,25 +221,62 @@ impl LearnedSqlGen {
             .with_cache(&self.cache);
         let threads = self.config.threads.max(1);
         let batch = self.config.batch_size.max(1);
-        // With a quantized snapshot, all generation runs through the
-        // lockstep engine on the int8 actor. Otherwise batch_size > 1
-        // selects the lockstep GEMM engine on f32 (threads cannot help on
-        // a single core; lanes can), and batch_size = 1 preserves the
-        // legacy serial/threaded paths bit-for-bit.
-        let eps = if let Some(q) = &self.quant {
-            match &mut self.trainer {
-                Trainer::Reinforce(t) => t.generate_batched_quant(q, &env, n, batch),
-                Trainer::ActorCritic(t) => t.generate_batched_quant(q, &env, n, batch),
+        let mut eps = roll_episodes(
+            &mut self.trainer,
+            self.quant.as_ref(),
+            &env,
+            n,
+            batch,
+            threads,
+        );
+        let mut tokens: usize = eps.iter().map(Episode::len).sum();
+        if self.refiner.enabled() {
+            // Post-EOS repair: token streams above are untouched, only the
+            // terminal statements of missed episodes are rewritten.
+            for ep in &mut eps {
+                self.refiner.refine_episode(&env, ep);
             }
-        } else {
-            match &mut self.trainer {
-                Trainer::Reinforce(t) if batch > 1 => t.generate_batched(&env, n, batch),
-                Trainer::ActorCritic(t) if batch > 1 => t.generate_batched(&env, n, batch),
-                Trainer::Reinforce(t) => t.generate_batch(&env, n, threads),
-                Trainer::ActorCritic(t) => t.generate_batch(&env, n, threads),
+            // Fallback: redraw still-missing slots (advancing the trainer
+            // RNG, like any further generate call would) and refine the
+            // redraws too. Slots are interchangeable on this unseeded path,
+            // so each round draws at least a full lane width — the tail of
+            // the miss set would otherwise run near-serial through the
+            // batched engine and dilute tokens/sec at wide `batch`.
+            for _round in 0..self.config.refine.resample_rounds {
+                let missing: Vec<usize> = eps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| !e.satisfied)
+                    .map(|(i, _)| i)
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let draws = missing.len().max(batch);
+                sqlgen_obs::obs_count!("refine.resampled", draws as u64);
+                let fresh = roll_episodes(
+                    &mut self.trainer,
+                    self.quant.as_ref(),
+                    &env,
+                    draws,
+                    batch,
+                    threads,
+                );
+                let mut slots = missing.into_iter();
+                let mut slot = slots.next();
+                for mut ep in fresh {
+                    tokens += ep.len();
+                    let Some(open) = slot else {
+                        continue; // surplus draw past the last open slot
+                    };
+                    self.refiner.refine_episode(&env, &mut ep);
+                    if ep.satisfied {
+                        eps[open] = ep;
+                        slot = slots.next();
+                    }
+                }
             }
-        };
-        let tokens: usize = eps.iter().map(Episode::len).sum();
+        }
         let out = eps.iter().map(to_generated).collect();
         let secs = started.elapsed().as_secs_f64();
         if n > 0 && secs > 0.0 {
@@ -252,10 +312,25 @@ impl LearnedSqlGen {
         (out, attempts)
     }
 
-    /// Fraction of the last `n` generated queries satisfying the constraint.
+    /// Fraction of `n` **raw** policy samples satisfying the constraint —
+    /// the paper's generation accuracy. Refinement is intentionally
+    /// bypassed here: this measures the trained policy itself, not the
+    /// repair loop (use [`LearnedSqlGen::generate`] for end-to-end rates).
     pub fn accuracy(&mut self, n: usize) -> f64 {
-        let qs = self.generate(n);
-        qs.iter().filter(|q| q.satisfied).count() as f64 / n.max(1) as f64
+        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
+            .with_fsm_config(self.config.fsm.clone())
+            .with_cache(&self.cache);
+        let threads = self.config.threads.max(1);
+        let batch = self.config.batch_size.max(1);
+        let eps = roll_episodes(
+            &mut self.trainer,
+            self.quant.as_ref(),
+            &env,
+            n,
+            batch,
+            threads,
+        );
+        eps.iter().filter(|e| e.satisfied).count() as f64 / n.max(1) as f64
     }
 
     /// Measures a statement under this generator's constraint metric.
@@ -308,18 +383,102 @@ impl LearnedSqlGen {
                 trace: trace.clone(),
             })
             .collect();
-        let mut tagged = if let Some(q) = &self.quant {
+        let tagged = if let Some(q) = &self.quant {
             run_jobs_batched(q, jobs, lanes)
         } else {
             run_jobs_batched(self.actor(), jobs, lanes)
         };
-        tagged.sort_by_key(|(tag, _)| *tag);
+        // Job-indexed slots so refinement/resampling can replace a miss in
+        // place; `None` marks an expired job.
+        let mut slots: Vec<Option<GeneratedQuery>> = (0..n).map(|_| None).collect();
+        for (tag, outcome) in tagged {
+            if let JobOutcome::Done(ep) = outcome {
+                slots[tag as usize] = Some(to_generated(&ep));
+            }
+        }
+        if self.refiner.enabled() && n > 0 {
+            let t0 = Instant::now();
+            for q in slots.iter_mut().flatten() {
+                if !q.satisfied {
+                    if let Some((stmt, m)) = self.refiner.refine(&env, &q.statement, q.measured) {
+                        q.sql = render(&stmt);
+                        q.statement = stmt;
+                        q.measured = m;
+                        q.satisfied = true;
+                    }
+                }
+            }
+            // Fallback resampling: redraw still-missing slots with seeds
+            // disjoint from the primary `worker_seed(seed, 0..n)` block.
+            // Every redraw is a fresh Job (own seed, zeroed lane), so the
+            // output stays a pure function of `(weights, constraint,
+            // seed)` — independent of `lanes` and of co-tenant work. Once
+            // the miss set shrinks below the lane width, several future
+            // rounds are drawn speculatively in one batched call (the seed
+            // schedule is fixed, so accepting the lowest satisfying round
+            // per slot is exactly what the one-round-at-a-time loop would
+            // produce) — the tail would otherwise run near-serial lanes.
+            let mut round = 0usize;
+            while round < self.config.refine.resample_rounds {
+                let missing: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.as_ref().is_some_and(|q| !q.satisfied))
+                    .map(|(i, _)| i)
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let span =
+                    (lanes / missing.len()).clamp(1, self.config.refine.resample_rounds - round);
+                sqlgen_obs::obs_count!("refine.resampled", (missing.len() * span) as u64);
+                let jobs: Vec<Job> = (0..span)
+                    .flat_map(|r| {
+                        let trace = &trace;
+                        let env = &env;
+                        missing.iter().map(move |&j| Job {
+                            env,
+                            seed: worker_seed(seed, n * (round + r + 1) + j),
+                            deadline,
+                            tag: (r * n + j) as u64,
+                            trace: trace.clone(),
+                        })
+                    })
+                    .collect();
+                let redraws = if let Some(q) = &self.quant {
+                    run_jobs_batched(q, jobs, lanes)
+                } else {
+                    run_jobs_batched(self.actor(), jobs, lanes)
+                };
+                // Lowest satisfying round wins per slot, matching the
+                // sequential schedule.
+                let mut won: Vec<Option<usize>> = vec![None; n];
+                for (tag, outcome) in redraws {
+                    let JobOutcome::Done(mut ep) = outcome else {
+                        continue;
+                    };
+                    let (r, j) = ((tag as usize) / n, (tag as usize) % n);
+                    if won[j].is_some_and(|best| best <= r) {
+                        continue;
+                    }
+                    self.refiner.refine_episode(&env, &mut ep);
+                    if ep.satisfied {
+                        won[j] = Some(r);
+                        slots[j] = Some(to_generated(&ep));
+                    }
+                }
+                round += span;
+            }
+            if let Some(tr) = &trace {
+                tr.accum("refine", t0.elapsed().as_nanos() as f64 / 1_000.0);
+            }
+        }
         let mut out = Vec::with_capacity(n);
         let mut expired = 0usize;
-        for (_, outcome) in tagged {
-            match outcome {
-                JobOutcome::Done(ep) => out.push(to_generated(&ep)),
-                JobOutcome::Expired => expired += 1,
+        for slot in slots {
+            match slot {
+                Some(q) => out.push(q),
+                None => expired += 1,
             }
         }
         (out, expired)
@@ -394,6 +553,34 @@ impl LearnedSqlGen {
     /// silently installing a mismatched policy.
     pub fn load_actor(&mut self, text: &str) -> Result<(), CheckpointError> {
         self.load_checkpoint(text)
+    }
+}
+
+/// Draws `n` raw policy samples from the trainer's RNG stream. With a
+/// quantized snapshot all generation runs through the lockstep engine on
+/// the int8 actor. Otherwise `batch > 1` selects the lockstep GEMM engine
+/// on f32 (threads cannot help on a single core; lanes can), and
+/// `batch = 1` preserves the legacy serial/threaded paths bit-for-bit.
+fn roll_episodes(
+    trainer: &mut Trainer,
+    quant: Option<&QuantizedActor>,
+    env: &SqlGenEnv,
+    n: usize,
+    batch: usize,
+    threads: usize,
+) -> Vec<Episode> {
+    if let Some(q) = quant {
+        match trainer {
+            Trainer::Reinforce(t) => t.generate_batched_quant(q, env, n, batch),
+            Trainer::ActorCritic(t) => t.generate_batched_quant(q, env, n, batch),
+        }
+    } else {
+        match trainer {
+            Trainer::Reinforce(t) if batch > 1 => t.generate_batched(env, n, batch),
+            Trainer::ActorCritic(t) if batch > 1 => t.generate_batched(env, n, batch),
+            Trainer::Reinforce(t) => t.generate_batch(env, n, threads),
+            Trainer::ActorCritic(t) => t.generate_batch(env, n, threads),
+        }
     }
 }
 
@@ -638,6 +825,64 @@ mod tests {
             again.iter().map(|q| &q.sql).collect::<Vec<_>>(),
             baseline.iter().map(|q| &q.sql).collect::<Vec<_>>()
         );
+    }
+
+    /// Refinement must only raise the satisfied count, keep every emitted
+    /// query valid SQL, and keep `measured` consistent with a re-measure.
+    #[test]
+    fn refine_off_matches_legacy_and_on_lifts_satisfaction() {
+        let constraint = Constraint::cardinality_range(100.0, 500.0);
+        let db = tpch_database(0.2, 21);
+        let mut raw = LearnedSqlGen::new(
+            &db,
+            constraint,
+            GenConfig::fast().with_seed(5).with_refine(false),
+        );
+        raw.train(60);
+        let legacy = raw.generate(20);
+
+        let mut refined = LearnedSqlGen::new(&db, constraint, GenConfig::fast().with_seed(5));
+        assert!(refined.refine_enabled());
+        refined.train(60);
+        let out = refined.generate(20);
+        assert_eq!(out.len(), 20);
+        let raw_sat = legacy.iter().filter(|q| q.satisfied).count();
+        let ref_sat = out.iter().filter(|q| q.satisfied).count();
+        assert!(
+            ref_sat >= raw_sat,
+            "refinement lowered satisfaction: {ref_sat} < {raw_sat}"
+        );
+        for q in &out {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+            assert_eq!(
+                refined.measure(&q.statement).to_bits(),
+                q.measured.to_bits()
+            );
+            if q.satisfied {
+                assert!(constraint.satisfied(q.measured));
+            }
+        }
+    }
+
+    /// With refinement (and its resampling fallback) engaged, seeded
+    /// generation must stay a pure function of the seed — independent of
+    /// the lane width, exactly like the unrefined path.
+    #[test]
+    fn seeded_refinement_is_pure_across_batch_widths() {
+        // Tight band → plenty of misses → the refine/resample path runs.
+        let constraint = Constraint::cardinality_range(200.0, 260.0);
+        let mut g = quick_gen(constraint);
+        g.train(30);
+        let baseline = g.generate_seeded(8, 0xA11);
+        for &batch in &[2usize, 8] {
+            g.set_batch_size(batch);
+            let got = g.generate_seeded(8, 0xA11);
+            assert_eq!(got.len(), baseline.len());
+            for (x, y) in got.iter().zip(&baseline) {
+                assert_eq!(x.sql, y.sql, "batch {batch} diverged under refine");
+                assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod diversity;
 pub mod generator;
 pub mod meta;
 pub mod metrics;
+pub mod refine;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta, CHECKPOINT_VERSION};
 pub use config::{Algorithm, GenConfig};
@@ -33,5 +34,6 @@ pub use diversity::{profile, structure_signature, DiversityReport};
 pub use generator::{GeneratedQuery, LearnedSqlGen, TrainStats};
 pub use meta::{MetaSqlGen, Specialized};
 pub use metrics::{timed, GenerationReport};
+pub use refine::{RefineConfig, RefineOutcome, RefineStep, Refiner};
 // Re-export the constraint vocabulary so users need only this crate.
 pub use sqlgen_rl::{Constraint, Metric, Target, POINT_TOLERANCE};

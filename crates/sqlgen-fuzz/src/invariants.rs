@@ -1,4 +1,4 @@
-//! The eight invariant families the harness checks.
+//! The ten invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -633,9 +633,17 @@ pub fn check_serve_equivalence(rng: &mut StdRng) -> CheckResult {
         })
         .collect();
     let lanes = [2usize, 4, 8][rng.random_range(0..3usize)];
-    let window = run_window(&actor, &vocab, &est, &fsm, &reqs, lanes);
+    let window = run_window(&actor, &vocab, &est, &fsm, &reqs, lanes, None);
     for (ri, req) in reqs.iter().enumerate() {
-        let solo = run_window(&actor, &vocab, &est, &fsm, std::slice::from_ref(req), 1);
+        let solo = run_window(
+            &actor,
+            &vocab,
+            &est,
+            &fsm,
+            std::slice::from_ref(req),
+            1,
+            None,
+        );
         let a = &window[ri].episodes;
         let b = &solo[0].episodes;
         if a.len() != req.n || b.len() != req.n {
@@ -1061,6 +1069,121 @@ pub fn check_quant_error(rng: &mut StdRng) -> CheckResult {
             )));
         }
         checks += 1;
+    }
+    Ok(checks)
+}
+
+/// (j) Refine validity: every step of constraint-miss refinement
+/// (DESIGN.md §12) stays inside the FSM-closure envelope — it parses,
+/// re-renders to a fixpoint, validates and executes — accepted-step
+/// rewards strictly increase toward the constraint interval, an accepted
+/// result satisfies the constraint and re-measures bit-identically, and
+/// the whole search is deterministic (replaying it reproduces the exact
+/// step sequence and outcome).
+pub fn check_refine_validity(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_core::refine::search;
+    use sqlgen_rl::{Constraint, SqlGenEnv};
+
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 8,
+            seed: rng.random(),
+            ..Default::default()
+        },
+    );
+    let est = Estimator::build(&db);
+    let ex = Executor::new(&db);
+    let constraint = match rng.random_range(0..4) {
+        0 => Constraint::cardinality_point(rng.random_range(1.0..200.0)),
+        1 => {
+            let lo = rng.random_range(1.0..100.0);
+            Constraint::cardinality_range(lo, lo + rng.random_range(1.0..200.0))
+        }
+        2 => Constraint::cost_point(rng.random_range(1.0..500.0)),
+        _ => {
+            let lo = rng.random_range(1.0..200.0);
+            Constraint::cost_range(lo, lo + rng.random_range(1.0..500.0))
+        }
+    };
+    let env = SqlGenEnv::new(&vocab, &est, constraint);
+    let cfg = FsmConfig::full();
+    let mut rollout_rng = StdRng::seed_from_u64(rng.random());
+
+    // Audits one refinement search: returns passed-assertion count, or the
+    // first violated invariant. Also the shrinking predicate, so a minimal
+    // statement whose refinement still misbehaves survives shrinking.
+    let audit = |stmt: &Statement| -> Result<u64, String> {
+        let measured = env.measure(stmt);
+        let out = search(&env, stmt, measured, 64);
+        let mut passed = 0u64;
+        let mut prev = env.constraint.reward(measured);
+        for (i, step) in out.steps.iter().enumerate() {
+            match parse(&step.sql) {
+                Ok(p) if render(&p) == step.sql => {}
+                Ok(p) => return Err(format!("step {i} re-render differs: {}", render(&p))),
+                Err(e) => return Err(format!("step {i} does not parse: {e}")),
+            }
+            if step.sql != render(&step.statement) {
+                return Err(format!("step {i} sql/statement disagree"));
+            }
+            if let Err(e) = validate(&db, &step.statement) {
+                return Err(format!("step {i} fails validation: {e}"));
+            }
+            if let Err(e) = ex.cardinality(&step.statement) {
+                return Err(format!("step {i} fails execution: {e}"));
+            }
+            if step.measured.to_bits() != env.measure(&step.statement).to_bits() {
+                return Err(format!("step {i} measured drifts on re-measure"));
+            }
+            if step.reward <= prev {
+                return Err(format!(
+                    "step {i} reward {:.6} does not improve on {:.6}",
+                    step.reward, prev
+                ));
+            }
+            prev = step.reward;
+            passed += 7;
+        }
+        if let Some((best, m)) = &out.result {
+            if !env.constraint.satisfied(*m) {
+                return Err(format!("accepted result misses the constraint: {m}"));
+            }
+            if m.to_bits() != env.measure(best).to_bits() {
+                return Err("accepted result drifts on re-measure".into());
+            }
+            passed += 2;
+        }
+        let replay = search(&env, stmt, measured, 64);
+        let key = |o: &sqlgen_core::RefineOutcome| {
+            (
+                o.evals,
+                o.steps.iter().map(|s| s.sql.clone()).collect::<Vec<_>>(),
+                o.result.as_ref().map(|(s, m)| (render(s), m.to_bits())),
+            )
+        };
+        if key(&replay) != key(&out) {
+            return Err("search is nondeterministic across replays".into());
+        }
+        passed += 1;
+        Ok(passed)
+    };
+
+    let mut checks = 0;
+    for _ in 0..4 {
+        let (stmt, _) = fsm_rollout(&vocab, &cfg, &mut rollout_rng);
+        match audit(&stmt) {
+            Ok(passed) => checks += passed,
+            Err(detail) => {
+                return Err(CheckFail::with_stmt(
+                    format!("refine-validity: {detail}"),
+                    &db,
+                    &stmt,
+                    &mut |s| audit(s).is_err(),
+                ));
+            }
+        }
     }
     Ok(checks)
 }

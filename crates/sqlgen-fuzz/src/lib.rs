@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with nine
+//! with each other. This crate stress-tests those agreements with ten
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -26,7 +26,12 @@
 //!   magnitudes (NaN/±inf excluded), and masked argmax over quantized
 //!   logits agrees with f32 argmax on ≥99% of decisive trials (f32
 //!   margin beyond the summed row error bounds), with non-decisive flips
-//!   bounded by the error envelope.
+//!   bounded by the error envelope,
+//! * **refine-validity** — every step of constraint-miss refinement
+//!   (DESIGN.md §12) parses, re-renders to a fixpoint, validates, and
+//!   executes; accepted-step rewards strictly increase toward the
+//!   constraint interval; an accepted result satisfies the constraint and
+//!   re-measures bit-identically; the search is deterministic.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -51,7 +56,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The nine invariant families.
+/// The ten invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -63,10 +68,11 @@ pub enum Family {
     ServeEquivalence,
     TraceHeader,
     QuantError,
+    RefineValidity,
 }
 
 impl Family {
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 10] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
@@ -76,6 +82,7 @@ impl Family {
         Family::ServeEquivalence,
         Family::TraceHeader,
         Family::QuantError,
+        Family::RefineValidity,
     ];
 
     pub fn name(self) -> &'static str {
@@ -89,6 +96,7 @@ impl Family {
             Family::ServeEquivalence => "serve-equivalence",
             Family::TraceHeader => "trace-header",
             Family::QuantError => "quant-error",
+            Family::RefineValidity => "refine-validity",
         }
     }
 
@@ -164,7 +172,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 9],
+    pub checks_per_family: [u64; 10],
     pub failures: Vec<Failure>,
 }
 
@@ -207,6 +215,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::ServeEquivalence => invariants::check_serve_equivalence(&mut rng),
         Family::TraceHeader => invariants::check_trace_header(&mut rng),
         Family::QuantError => invariants::check_quant_error(&mut rng),
+        Family::RefineValidity => invariants::check_refine_validity(&mut rng),
     }
 }
 

@@ -609,7 +609,7 @@ mod tests {
         // Serial references: one fresh RNG per seed, env alternating a/b.
         let mut serial = Vec::new();
         for (i, &seed) in seeds.iter().enumerate() {
-            let env = if i % 2 == 0 { &env_a } else { &env_b };
+            let env = if i.is_multiple_of(2) { &env_a } else { &env_b };
             let mut rng = StdRng::seed_from_u64(seed);
             let mut ro = InferRollout::new();
             serial.push(run_episode_infer(&actor, env, &mut rng, &mut ro));
@@ -733,6 +733,83 @@ mod tests {
         );
         assert_eq!(completed, 5);
         assert_eq!(outcomes.len(), 5);
+    }
+
+    /// After an EOS → refill, the refilled lane must carry its own job's
+    /// constraint target, a fresh FSM state, and untainted estimator-cache
+    /// keying: every episode from a refilled slot (job index ≥ lane count)
+    /// must be bit-identical — token stream, rewards, measured value,
+    /// satisfied flag, rendered SQL — to a fresh serial run of the same
+    /// seed against the same constraint with its own private cache, even
+    /// though the batched run shares one estimator cache across jobs with
+    /// *different* constraints (a keying bug would surface as a measured
+    /// or reward drift here).
+    #[test]
+    fn refilled_lanes_match_fresh_serial_runs_with_caches() {
+        use crate::cache::EstimatorCache;
+        use sqlgen_engine::render;
+        let (db, vocab) = setup();
+        let est = Estimator::build(&db);
+        let shared = EstimatorCache::new(256);
+        let env_a = SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0))
+            .with_cache(&shared);
+        let env_b = SqlGenEnv::new(&vocab, &est, Constraint::cost_point(50.0)).with_cache(&shared);
+        let actor = actor_for(&vocab);
+        let lanes = 2usize;
+        let seeds: Vec<u64> = (0..6).map(|i| 0xBEE5 + 13 * i).collect();
+
+        let jobs: Vec<Job> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| Job {
+                env: if i % 2 == 0 { &env_a } else { &env_b },
+                seed,
+                deadline: None,
+                trace: None,
+                tag: i as u64,
+            })
+            .collect();
+        let out = run_jobs_batched(&actor, jobs, lanes);
+        assert_eq!(out.len(), seeds.len());
+
+        let mut refilled = 0;
+        for (tag, outcome) in out {
+            let JobOutcome::Done(ep) = outcome else {
+                panic!("job {tag} expired without a deadline");
+            };
+            let i = tag as usize;
+            if i >= lanes {
+                refilled += 1;
+            }
+            let solo_cache = EstimatorCache::new(256);
+            let env = if i.is_multiple_of(2) {
+                SqlGenEnv::new(&vocab, &est, Constraint::cardinality_range(1.0, 500.0))
+            } else {
+                SqlGenEnv::new(&vocab, &est, Constraint::cost_point(50.0))
+            }
+            .with_cache(&solo_cache);
+            let mut rng = StdRng::seed_from_u64(seeds[i]);
+            let mut ro = InferRollout::new();
+            let want = run_episode_infer(&actor, &env, &mut rng, &mut ro);
+            assert_eq!(ep.actions, want.actions, "job {tag}: token stream drifted");
+            assert_eq!(ep.rewards, want.rewards, "job {tag}: reward drifted");
+            assert_eq!(
+                ep.measured.to_bits(),
+                want.measured.to_bits(),
+                "job {tag}: estimator measurement drifted"
+            );
+            assert_eq!(ep.satisfied, want.satisfied, "job {tag}: satisfied drifted");
+            assert_eq!(
+                render(&ep.statement),
+                render(&want.statement),
+                "job {tag}: statement drifted"
+            );
+        }
+        assert_eq!(
+            refilled,
+            seeds.len() - lanes,
+            "expected every job past the initial lane fill to run in a refilled slot"
+        );
     }
 
     /// Fixed (seed, batch) must reproduce run-to-run, and `collect` must

@@ -19,7 +19,7 @@
 
 use crate::queue::BoundedQueue;
 use crate::registry::ModelRegistry;
-use sqlgen_core::{Algorithm, Constraint, GenConfig, Target};
+use sqlgen_core::{Algorithm, Constraint, GenConfig, Refiner, Target};
 use sqlgen_engine::{render, Estimator};
 use sqlgen_fsm::{FsmConfig, Vocabulary};
 use sqlgen_obs::trace::ROOT_SPAN;
@@ -175,6 +175,9 @@ pub struct Schema {
     pub fsm: FsmConfig,
     pub registry: ModelRegistry,
     pub queue: BoundedQueue<GenTask>,
+    /// Constraint-miss refinement engine shared by every window on this
+    /// schema (deterministic local search + miss cache; DESIGN.md §12).
+    pub refiner: Refiner,
 }
 
 impl Schema {
@@ -216,6 +219,7 @@ impl Schema {
             fsm: config.fsm.clone(),
             registry,
             queue: BoundedQueue::named(queue_cap, name),
+            refiner: Refiner::new(config.refine.clone()),
         }
     }
 
@@ -268,10 +272,18 @@ pub struct WindowOutcome {
 }
 
 /// Runs a gathered window on `lanes` lockstep lanes. Pure: the output for
-/// request `i` depends only on (actor, vocab, estimator, fsm,
-/// `reqs[i]`) — not on `lanes` or on the other requests in the window.
-/// Generic over the policy so windows run unchanged on the f32 actor or
-/// its int8 quantized snapshot.
+/// request `i` depends only on (actor, vocab, estimator, fsm, refiner
+/// config, `reqs[i]`) — not on `lanes` or on the other requests in the
+/// window. Generic over the policy so windows run unchanged on the f32
+/// actor or its int8 quantized snapshot.
+///
+/// With a refiner, missed constraints are repaired post-EOS by the
+/// deterministic local search of `sqlgen_core::refine`, then — past the
+/// search budget — by redrawing missed episode slots with seeds
+/// `worker_seed(req.seed, req.n * (round + 1) + j)`, the same schedule
+/// `LearnedSqlGen::generate_seeded` uses. Both stages are pure functions
+/// of the request, so refined responses remain a pure function of
+/// `(model-version, schema, seed, constraint)`.
 pub fn run_window<A: InferActor>(
     actor: &A,
     vocab: &Vocabulary,
@@ -279,6 +291,7 @@ pub fn run_window<A: InferActor>(
     fsm: &FsmConfig,
     reqs: &[WindowRequest],
     lanes: usize,
+    refiner: Option<&Refiner>,
 ) -> Vec<WindowOutcome> {
     let envs: Vec<SqlGenEnv<'_>> = reqs
         .iter()
@@ -296,25 +309,76 @@ pub fn run_window<A: InferActor>(
             });
         }
     }
-    let mut results = run_jobs_batched(actor, jobs, lanes);
-    // Tags are (request, episode) pairs, so sorting restores submission
-    // order regardless of lane completion order.
-    results.sort_by_key(|(tag, _)| *tag);
-    let mut out: Vec<WindowOutcome> = reqs
+    // (request, episode)-indexed slots; `None` marks an expired job.
+    let mut slots: Vec<Vec<Option<Episode>>> = reqs
         .iter()
-        .map(|_| WindowOutcome {
-            episodes: Vec::new(),
-            expired: 0,
-        })
+        .map(|r| (0..r.n).map(|_| None).collect())
         .collect();
-    for (tag, outcome) in results {
-        let slot = &mut out[(tag >> 32) as usize];
-        match outcome {
-            JobOutcome::Done(ep) => slot.episodes.push(*ep),
-            JobOutcome::Expired => slot.expired += 1,
+    for (tag, outcome) in run_jobs_batched(actor, jobs, lanes) {
+        if let JobOutcome::Done(ep) = outcome {
+            slots[(tag >> 32) as usize][(tag & 0xffff_ffff) as usize] = Some(*ep);
         }
     }
-    out
+    if let Some(refiner) = refiner.filter(|r| r.enabled()) {
+        // Local search per request, attributed to a `refine` span phase in
+        // the request trace.
+        for (ri, req_slots) in slots.iter_mut().enumerate() {
+            let t0 = reqs[ri].trace.is_some().then(Instant::now);
+            for ep in req_slots.iter_mut().flatten() {
+                refiner.refine_episode(&envs[ri], ep);
+            }
+            if let (Some(t0), Some(handle)) = (t0, &reqs[ri].trace) {
+                handle.accum("refine", t0.elapsed().as_nanos() as f64 / 1_000.0);
+            }
+        }
+        // Fallback resampling, batched across the window per round; every
+        // redraw is a fresh Job with a request-local seed, so co-tenants
+        // still cannot perturb each other.
+        for round in 0..refiner.config().resample_rounds {
+            let mut jobs = Vec::new();
+            for (ri, r) in reqs.iter().enumerate() {
+                for (j, slot) in slots[ri].iter().enumerate() {
+                    if slot.as_ref().is_some_and(|ep| !ep.satisfied) {
+                        jobs.push(Job {
+                            env: &envs[ri],
+                            seed: worker_seed(r.seed, r.n * (round + 1) + j),
+                            deadline: r.deadline,
+                            tag: (ri as u64) << 32 | j as u64,
+                            trace: r.trace.clone(),
+                        });
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            sqlgen_obs::obs_count!("refine.resampled", jobs.len() as u64);
+            for (tag, outcome) in run_jobs_batched(actor, jobs, lanes) {
+                let JobOutcome::Done(mut ep) = outcome else {
+                    continue;
+                };
+                let ri = (tag >> 32) as usize;
+                refiner.refine_episode(&envs[ri], &mut ep);
+                if ep.satisfied {
+                    slots[ri][(tag & 0xffff_ffff) as usize] = Some(*ep);
+                }
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|req_slots| {
+            let mut episodes = Vec::new();
+            let mut expired = 0usize;
+            for slot in req_slots {
+                match slot {
+                    Some(ep) => episodes.push(ep),
+                    None => expired += 1,
+                }
+            }
+            WindowOutcome { episodes, expired }
+        })
+        .collect()
 }
 
 /// Batcher knobs; `lanes` is the GEMM batch width, `max_wait` the window
@@ -431,6 +495,7 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
                 &schema.fsm,
                 &reqs,
                 cfg.lanes,
+                Some(&schema.refiner),
             ),
             None => run_window(
                 &model.actor,
@@ -439,6 +504,7 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
                 &schema.fsm,
                 &reqs,
                 cfg.lanes,
+                Some(&schema.refiner),
             ),
         };
         let window_end = Instant::now();
@@ -539,6 +605,7 @@ mod tests {
             &schema.fsm,
             std::slice::from_ref(&a),
             1,
+            None,
         );
         let coalesced = run_window(
             &model.actor,
@@ -547,6 +614,7 @@ mod tests {
             &schema.fsm,
             &[b.clone(), a.clone()],
             8,
+            None,
         );
         let solo_eps = &solo[0].episodes;
         let shared_eps = &coalesced[1].episodes;
@@ -557,6 +625,57 @@ mod tests {
             assert_eq!(x.measured.to_bits(), y.measured.to_bits());
         }
         assert_eq!(coalesced[0].episodes.len(), 2);
+    }
+
+    /// With refinement (and its resample fallback) engaged, a request's
+    /// refined response must still be independent of lane width and
+    /// co-tenant requests — the serving purity contract.
+    #[test]
+    fn refined_windows_remain_pure_functions_of_the_request() {
+        let (db, config) = fixture();
+        let schema = Schema::build("t", &db, &config, None, 8);
+        assert!(schema.refiner.enabled());
+        let model = schema.registry.current();
+        // Tight band → the untrained policy misses often → refinement runs.
+        let a = WindowRequest {
+            constraint: Constraint::cardinality_range(40.0, 60.0),
+            n: 4,
+            seed: 7,
+            deadline: None,
+            trace: None,
+        };
+        let b = WindowRequest {
+            constraint: Constraint::cardinality_point(25.0),
+            n: 2,
+            seed: 3,
+            deadline: None,
+            trace: None,
+        };
+        let solo = run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            std::slice::from_ref(&a),
+            1,
+            Some(&schema.refiner),
+        );
+        let coalesced = run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            &[b, a.clone()],
+            8,
+            Some(&schema.refiner),
+        );
+        assert_eq!(solo[0].episodes.len(), 4);
+        assert_eq!(coalesced[1].episodes.len(), 4);
+        for (x, y) in solo[0].episodes.iter().zip(&coalesced[1].episodes) {
+            assert_eq!(render(&x.statement), render(&y.statement));
+            assert_eq!(x.measured.to_bits(), y.measured.to_bits());
+            assert_eq!(x.satisfied, y.satisfied);
+        }
     }
 
     #[test]
@@ -580,6 +699,7 @@ mod tests {
             &schema.fsm,
             std::slice::from_ref(&req),
             1,
+            Some(&schema.refiner),
         );
         let wide = run_window(
             q,
@@ -588,6 +708,7 @@ mod tests {
             &schema.fsm,
             std::slice::from_ref(&req),
             8,
+            Some(&schema.refiner),
         );
         assert_eq!(narrow[0].episodes.len(), 3);
         // The purity contract holds on the int8 path too: results are
