@@ -1,4 +1,4 @@
-//! The ten invariant families the harness checks.
+//! The eleven invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -1185,5 +1185,227 @@ pub fn check_refine_validity(rng: &mut StdRng) -> CheckResult {
             }
         }
     }
+    Ok(checks)
+}
+
+// ---------------------------------------------------------------------------
+// (k) cache equivalence
+// ---------------------------------------------------------------------------
+
+/// The sharded LRU result cache must never serve wrong bytes.
+///
+/// Part 1 model-checks the cache against a plain map under random
+/// put/get/clear interleavings and shard counts: with a budget nobody
+/// exceeds it behaves exactly like the map; with an eviction-heavy tiny
+/// budget a `get` may miss but a hit must return exactly the last body
+/// stored for that key, with held bytes never above budget.
+///
+/// Part 2 checks the serving contract end-to-end: a response body cached
+/// after one window is bitwise identical to re-running generation at a
+/// different batch width (the purity property that makes full-body caching
+/// sound), the key ignores `timeout_ms` (expiry policy, not content), and
+/// a seed or model-version change misses (hot-swap invalidation).
+pub fn check_cache_equivalence(rng: &mut StdRng) -> CheckResult {
+    use sqlgen_rl::{ActorNet, Constraint, NetConfig};
+    use sqlgen_serve::{
+        outcome_json, run_window, CacheKey, GenRequest, RequestOutcome, ResultCache, ServedQuery,
+        WindowRequest,
+    };
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    let mut checks = 0;
+
+    let random_constraint = |rng: &mut StdRng| match rng.random_range(0..3) {
+        0 => Constraint::cardinality_point(rng.random_range(1..1000) as f64),
+        1 => Constraint::cardinality_range(1.0, rng.random_range(2..1_000_000) as f64),
+        _ => Constraint::cost_range(1.0, rng.random_range(2..100_000) as f64),
+    };
+    let random_request = |rng: &mut StdRng| GenRequest {
+        schema: String::new(),
+        constraint: random_constraint(rng),
+        n: rng.random_range(1..=3),
+        seed: rng.random(),
+        timeout_ms: None,
+    };
+
+    // --- part 1a: ample budget — the cache IS a map ------------------------
+    let keyspace: Vec<(GenRequest, u64)> = (0..8)
+        .map(|_| (random_request(rng), rng.random_range(1..=2)))
+        .collect();
+    let cache = ResultCache::new(1 << 20, rng.random_range(1..=4), "fuzz-cache");
+    let mut model: HashMap<CacheKey, Arc<String>> = HashMap::new();
+    for op in 0..60 {
+        let (req, version) = &keyspace[rng.random_range(0..keyspace.len())];
+        let key = CacheKey::for_request(req, *version);
+        match rng.random_range(0..10) {
+            0..=3 => {
+                let body = Arc::new(format!(
+                    "body-{op}-{}",
+                    "x".repeat(rng.random_range(0..200))
+                ));
+                cache.put(key, body.clone());
+                model.insert(key, body);
+            }
+            4..=8 => {
+                let got = cache.get(&key);
+                let want = model.get(&key);
+                if got.as_deref() != want.map(|b| b.as_ref()) {
+                    return Err(CheckFail::new(format!(
+                        "cache/map diverge on get (op {op}): got {:?}, want {:?}",
+                        got.as_deref().map(|b| &b[..b.len().min(24)]),
+                        want.map(|b| &b[..b.len().min(24)]),
+                    )));
+                }
+            }
+            _ => {
+                cache.clear();
+                model.clear();
+            }
+        }
+        if cache.len() != model.len() {
+            return Err(CheckFail::new(format!(
+                "cache holds {} entries, map holds {} (op {op})",
+                cache.len(),
+                model.len()
+            )));
+        }
+        if model.is_empty() != (cache.bytes() == 0) {
+            return Err(CheckFail::new(format!(
+                "bytes gauge {} inconsistent with {} entries (op {op})",
+                cache.bytes(),
+                model.len()
+            )));
+        }
+        checks += 2;
+    }
+
+    // --- part 1b: tiny budget — eviction may forget, never corrupt --------
+    let budget = rng.random_range(400..1200usize);
+    let tiny = ResultCache::new(budget, rng.random_range(1..=2), "fuzz-cache-tiny");
+    let mut last: HashMap<CacheKey, Arc<String>> = HashMap::new();
+    for op in 0..40 {
+        let (req, version) = &keyspace[rng.random_range(0..keyspace.len())];
+        let key = CacheKey::for_request(req, *version);
+        if rng.random_range(0..2) == 0 {
+            let body = Arc::new(format!(
+                "tiny-{op}-{}",
+                "y".repeat(rng.random_range(0..120))
+            ));
+            tiny.put(key, body.clone());
+            last.insert(key, body);
+        } else if let Some(got) = tiny.get(&key) {
+            let want = last.get(&key);
+            if want.map(|b| b.as_ref()) != Some(got.as_ref()) {
+                return Err(CheckFail::new(format!(
+                    "evicting cache returned stale/foreign bytes (op {op})"
+                )));
+            }
+        }
+        if tiny.bytes() > budget {
+            return Err(CheckFail::new(format!(
+                "cache holds {} bytes over the {budget}-byte budget (op {op})",
+                tiny.bytes()
+            )));
+        }
+        checks += 2;
+    }
+
+    // --- part 2: cached response ≡ fresh generation ------------------------
+    let db = dbgen::random_database(rng, &DbProfile::parseable());
+    let vocab = Vocabulary::build(
+        &db,
+        &SampleConfig {
+            k: 8,
+            seed: rng.random(),
+            ..Default::default()
+        },
+    );
+    let est = Estimator::build(&db);
+    let fsm = FsmConfig::default();
+    let actor = ActorNet::new(
+        vocab.size(),
+        &NetConfig {
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+        },
+        rng.random(),
+    );
+    let version = rng.random_range(1..100u64);
+    let req = random_request(rng);
+    let window_req = |req: &GenRequest| WindowRequest {
+        constraint: req.constraint,
+        n: req.n,
+        seed: req.seed,
+        deadline: None,
+        trace: None,
+    };
+    let body_for = |lanes: usize, req: &GenRequest| {
+        let out = run_window(
+            &actor,
+            &vocab,
+            &est,
+            &fsm,
+            std::slice::from_ref(&window_req(req)),
+            lanes,
+            None,
+        );
+        let queries: Vec<ServedQuery> = out[0]
+            .episodes
+            .iter()
+            .map(|ep| ServedQuery {
+                sql: render(&ep.statement),
+                measured: ep.measured,
+                satisfied: ep.satisfied,
+            })
+            .collect();
+        outcome_json(
+            "fuzz",
+            req,
+            &RequestOutcome {
+                queries,
+                expired: out[0].expired,
+                model_label: "fuzz".to_string(),
+                model_version: version,
+            },
+        )
+    };
+
+    let e2e = ResultCache::new(1 << 20, 2, "fuzz-cache-e2e");
+    let first = body_for([2usize, 4][rng.random_range(0..2usize)], &req);
+    e2e.put(CacheKey::for_request(&req, version), Arc::new(first));
+
+    // Same request with a different timeout_ms keys identically: the hit
+    // must be byte-identical to generating fresh at another batch width.
+    let mut retimed = req.clone();
+    retimed.timeout_ms = Some(rng.random_range(1..60_000));
+    let Some(hit) = e2e.get(&CacheKey::for_request(&retimed, version)) else {
+        return Err(CheckFail::new("timeout_ms variant missed the cache"));
+    };
+    let fresh = body_for([1usize, 8][rng.random_range(0..2usize)], &req);
+    if *hit != fresh {
+        return Err(CheckFail::new(format!(
+            "cached response diverges from fresh generation:\n  cached: {hit}\n  fresh:  {fresh}"
+        )));
+    }
+    checks += 2;
+
+    // Seed and model-version changes must miss (hot-swap invalidation).
+    let mut reseeded = req.clone();
+    reseeded.seed = req.seed.wrapping_add(1);
+    if e2e
+        .get(&CacheKey::for_request(&reseeded, version))
+        .is_some()
+    {
+        return Err(CheckFail::new("seed change hit the cache"));
+    }
+    if e2e.get(&CacheKey::for_request(&req, version + 1)).is_some() {
+        return Err(CheckFail::new(
+            "model-version change hit the cache (stale bytes would survive hot-swap)",
+        ));
+    }
+    checks += 2;
     Ok(checks)
 }

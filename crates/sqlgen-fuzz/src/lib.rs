@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with ten
+//! with each other. This crate stress-tests those agreements with eleven
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -31,7 +31,13 @@
 //!   (DESIGN.md §12) parses, re-renders to a fixpoint, validates, and
 //!   executes; accepted-step rewards strictly increase toward the
 //!   constraint interval; an accepted result satisfies the constraint and
-//!   re-measures bit-identically; the search is deterministic.
+//!   re-measures bit-identically; the search is deterministic,
+//! * **cache-equivalence** — the sharded LRU result cache behaves as a
+//!   pure map under random interleavings; under eviction a hit is always
+//!   the exact last body for that key and held bytes stay within budget;
+//!   a cached response body is bitwise identical to fresh generation at a
+//!   different batch width; keys ignore `timeout_ms` but miss on seed or
+//!   model-version changes (hot-swap invalidation).
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -56,7 +62,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The ten invariant families.
+/// The eleven invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -69,10 +75,11 @@ pub enum Family {
     TraceHeader,
     QuantError,
     RefineValidity,
+    CacheEquivalence,
 }
 
 impl Family {
-    pub const ALL: [Family; 10] = [
+    pub const ALL: [Family; 11] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
@@ -83,6 +90,7 @@ impl Family {
         Family::TraceHeader,
         Family::QuantError,
         Family::RefineValidity,
+        Family::CacheEquivalence,
     ];
 
     pub fn name(self) -> &'static str {
@@ -97,6 +105,7 @@ impl Family {
             Family::TraceHeader => "trace-header",
             Family::QuantError => "quant-error",
             Family::RefineValidity => "refine-validity",
+            Family::CacheEquivalence => "cache-equivalence",
         }
     }
 
@@ -172,7 +181,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 10],
+    pub checks_per_family: [u64; 11],
     pub failures: Vec<Failure>,
 }
 
@@ -216,6 +225,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::TraceHeader => invariants::check_trace_header(&mut rng),
         Family::QuantError => invariants::check_quant_error(&mut rng),
         Family::RefineValidity => invariants::check_refine_validity(&mut rng),
+        Family::CacheEquivalence => invariants::check_cache_equivalence(&mut rng),
     }
 }
 

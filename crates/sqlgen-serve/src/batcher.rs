@@ -154,12 +154,34 @@ pub struct RequestOutcome {
     pub model_version: u64,
 }
 
+/// Where a finished [`RequestOutcome`] goes: a blocking HTTP worker parked
+/// on a rendezvous channel (legacy pool), or an event-loop completion
+/// mailbox plus a wakeup (event backend). Either way delivery never
+/// blocks; a receiver that already gave up is skipped silently.
+pub enum Responder {
+    Channel(mpsc::SyncSender<RequestOutcome>),
+    #[cfg(target_os = "linux")]
+    Event(crate::event_loop::EventReply),
+}
+
+impl Responder {
+    pub fn send(&self, outcome: RequestOutcome) {
+        match self {
+            Responder::Channel(tx) => {
+                let _ = tx.try_send(outcome);
+            }
+            #[cfg(target_os = "linux")]
+            Responder::Event(reply) => reply.deliver(outcome),
+        }
+    }
+}
+
 /// A request travelling through the admission queue.
 pub struct GenTask {
     pub req: GenRequest,
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
-    pub reply: mpsc::SyncSender<RequestOutcome>,
+    pub reply: Responder,
     /// Request trace the batcher attributes `queue_wait` / `batch_gather` /
     /// `lane_exec` spans to (opened by the HTTP layer, `None` untraced).
     pub trace: Option<Arc<RequestTrace>>,
@@ -178,6 +200,10 @@ pub struct Schema {
     /// Constraint-miss refinement engine shared by every window on this
     /// schema (deterministic local search + miss cache; DESIGN.md §12).
     pub refiner: Refiner,
+    /// Rendered-response LRU keyed on `(model-version, seed, n,
+    /// constraint)`; valid because responses are pure functions of that
+    /// tuple. Cleared whenever the registry hot-swaps.
+    pub cache: crate::cache::ResultCache,
 }
 
 impl Schema {
@@ -220,6 +246,7 @@ impl Schema {
             registry,
             queue: BoundedQueue::named(queue_cap, name),
             refiner: Refiner::new(config.refine.clone()),
+            cache: crate::cache::ResultCache::new(64 * 1024 * 1024, 8, name),
         }
     }
 
@@ -404,15 +431,6 @@ impl Default for BatcherConfig {
 /// drained; every admitted task gets a reply (receivers that already gave
 /// up are skipped silently).
 pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
-    // Per-phase labeled histograms — one series per (schema, batch_width),
-    // resolved once per loop so the hot path never touches the family map.
-    let phase_labels = Labels::new()
-        .with("schema", &schema.name)
-        .with("batch_width", &cfg.lanes.to_string());
-    let m = sqlgen_obs::metrics::global();
-    let queue_wait_h = m.histogram_with("serve.phase.queue_wait_us", &phase_labels);
-    let gather_h = m.histogram_with("serve.phase.gather_us", &phase_labels);
-    let exec_h = m.histogram_with("serve.phase.exec_us", &phase_labels);
     loop {
         let Some(first) = schema.queue.pop_timeout(Duration::from_millis(50)) else {
             if schema.queue.is_closed() && schema.queue.is_empty() {
@@ -420,18 +438,17 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
             }
             continue;
         };
-        let first_popped = Instant::now();
-        let window_deadline = first_popped + cfg.max_wait;
         // Each task remembers when it left the queue, so queue_wait and
         // batch_gather split per task rather than at window granularity.
-        let mut tasks = vec![(first, first_popped)];
+        let mut tasks = vec![(first, Instant::now())];
         let mut job_count = tasks[0].0.req.n;
+        // Coalesce whatever is already queued, but run the moment the
+        // queue drains: waiting out the rest of `max_wait` only adds
+        // latency at low load (the gather histogram used to pin at the
+        // full window), while under load windows still fill because
+        // arrivals accumulate behind the previous window's execution.
         while job_count < cfg.max_batch_jobs {
-            let now = Instant::now();
-            if now >= window_deadline {
-                break;
-            }
-            match schema.queue.pop_timeout(window_deadline - now) {
+            match schema.queue.try_pop() {
                 Some(t) => {
                     job_count += t.req.n;
                     tasks.push((t, Instant::now()));
@@ -439,102 +456,122 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
                 None => break,
             }
         }
-        // Hot-swap point: pick up freshly published checkpoints between
-        // windows, never mid-window. Load failures keep the old model.
-        let _ = schema.registry.refresh();
-        let model = schema.registry.current();
-        let started = Instant::now();
-        let reqs: Vec<WindowRequest> = tasks
-            .iter()
-            .map(|(t, popped)| {
-                queue_wait_h.record_silent((*popped - t.enqueued).as_micros() as f64);
-                gather_h.record_silent((started - *popped).as_micros() as f64);
-                // queue_wait ends where batch_gather starts and batch_gather
-                // ends where lane_exec starts, so the three phases tile the
-                // request wall time without overlap. lane_exec stays open
-                // until the window finishes; per-job `episode` spans parent
-                // under it.
-                let trace = t.trace.as_ref().map(|tr| {
-                    tr.span_between("queue_wait", ROOT_SPAN, t.enqueued, *popped);
-                    tr.span_between("batch_gather", ROOT_SPAN, *popped, started);
-                    let lane = tr.open_span("lane_exec", ROOT_SPAN, started);
-                    tr.annotate_str("schema", &schema.name);
-                    tr.annotate_str("model", &model.label);
-                    tr.annotate_num("model_version", model.version as f64);
-                    tr.annotate_num("window_requests", tasks.len() as f64);
-                    tr.annotate_num("window_jobs", job_count as f64);
-                    tr.annotate_num("batch_width", cfg.lanes as f64);
-                    TraceHandle {
-                        trace: tr.clone(),
-                        parent: lane,
-                    }
-                });
-                WindowRequest {
-                    constraint: t.req.constraint,
-                    n: t.req.n,
-                    seed: t.req.seed,
-                    deadline: t.deadline,
-                    trace,
+        run_window_tasks(schema, tasks, cfg);
+    }
+}
+
+/// Executes one gathered window: registry hot-swap (between windows, never
+/// mid-window; a swap invalidates the result cache), trace-span tiling,
+/// [`run_window`], and replies. Shared by the legacy per-schema batcher
+/// thread and the shard workers.
+pub fn run_window_tasks(schema: &Schema, tasks: Vec<(GenTask, Instant)>, cfg: &BatcherConfig) {
+    let job_count: usize = tasks.iter().map(|(t, _)| t.req.n).sum();
+    // One labeled series per (schema, batch_width); the lookup is a map
+    // probe per window, invisible next to the window itself.
+    let phase_labels = Labels::new()
+        .with("schema", &schema.name)
+        .with("batch_width", &cfg.lanes.to_string());
+    let m = sqlgen_obs::metrics::global();
+    let queue_wait_h = m.histogram_with("serve.phase.queue_wait_us", &phase_labels);
+    let gather_h = m.histogram_with("serve.phase.gather_us", &phase_labels);
+    let exec_h = m.histogram_with("serve.phase.exec_us", &phase_labels);
+    // Load failures keep the old model; a successful swap makes every
+    // cached body stale-by-version, so drop them eagerly.
+    if let Ok(true) = schema.registry.refresh() {
+        schema.cache.clear();
+    }
+    let model = schema.registry.current();
+    let started = Instant::now();
+    let reqs: Vec<WindowRequest> = tasks
+        .iter()
+        .map(|(t, popped)| {
+            queue_wait_h.record_silent((*popped - t.enqueued).as_micros() as f64);
+            gather_h.record_silent((started - *popped).as_micros() as f64);
+            // queue_wait ends where batch_gather starts and batch_gather
+            // ends where lane_exec starts, so the three phases tile the
+            // request wall time without overlap. lane_exec stays open
+            // until the window finishes; per-job `episode` spans parent
+            // under it.
+            let trace = t.trace.as_ref().map(|tr| {
+                tr.span_between("queue_wait", ROOT_SPAN, t.enqueued, *popped);
+                tr.span_between("batch_gather", ROOT_SPAN, *popped, started);
+                let lane = tr.open_span("lane_exec", ROOT_SPAN, started);
+                tr.annotate_str("schema", &schema.name);
+                tr.annotate_str("model", &model.label);
+                tr.annotate_num("model_version", model.version as f64);
+                tr.annotate_num("window_requests", tasks.len() as f64);
+                tr.annotate_num("window_jobs", job_count as f64);
+                tr.annotate_num("batch_width", cfg.lanes as f64);
+                TraceHandle {
+                    trace: tr.clone(),
+                    parent: lane,
                 }
+            });
+            WindowRequest {
+                constraint: t.req.constraint,
+                n: t.req.n,
+                seed: t.req.seed,
+                deadline: t.deadline,
+                trace,
+            }
+        })
+        .collect();
+    sqlgen_obs::obs_record!("serve.batch.requests", tasks.len() as f64);
+    sqlgen_obs::obs_record!("serve.batch.jobs", job_count as f64);
+    for (t, _) in &tasks {
+        sqlgen_obs::obs_record!(
+            "serve.queue.wait_us",
+            (started - t.enqueued).as_micros() as f64
+        );
+    }
+    // Windows run on the int8 snapshot when the registry quantizes.
+    let outcomes = match &model.quant {
+        Some(q) => run_window(
+            q,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            &reqs,
+            cfg.lanes,
+            Some(&schema.refiner),
+        ),
+        None => run_window(
+            &model.actor,
+            &schema.vocab,
+            &schema.estimator,
+            &schema.fsm,
+            &reqs,
+            cfg.lanes,
+            Some(&schema.refiner),
+        ),
+    };
+    let window_end = Instant::now();
+    sqlgen_obs::obs_record!(
+        "serve.window.latency_us",
+        (window_end - started).as_micros() as f64
+    );
+    for r in &reqs {
+        if let Some(handle) = &r.trace {
+            handle.trace.close_span(handle.parent, window_end);
+        }
+        exec_h.record_silent((window_end - started).as_micros() as f64);
+    }
+    for ((task, _), out) in tasks.into_iter().zip(outcomes) {
+        let queries = out
+            .episodes
+            .iter()
+            .map(|ep| ServedQuery {
+                sql: render(&ep.statement),
+                measured: ep.measured,
+                satisfied: ep.satisfied,
             })
             .collect();
-        sqlgen_obs::obs_record!("serve.batch.requests", tasks.len() as f64);
-        sqlgen_obs::obs_record!("serve.batch.jobs", job_count as f64);
-        for (t, _) in &tasks {
-            sqlgen_obs::obs_record!(
-                "serve.queue.wait_us",
-                (started - t.enqueued).as_micros() as f64
-            );
-        }
-        // Windows run on the int8 snapshot when the registry quantizes.
-        let outcomes = match &model.quant {
-            Some(q) => run_window(
-                q,
-                &schema.vocab,
-                &schema.estimator,
-                &schema.fsm,
-                &reqs,
-                cfg.lanes,
-                Some(&schema.refiner),
-            ),
-            None => run_window(
-                &model.actor,
-                &schema.vocab,
-                &schema.estimator,
-                &schema.fsm,
-                &reqs,
-                cfg.lanes,
-                Some(&schema.refiner),
-            ),
-        };
-        let window_end = Instant::now();
-        sqlgen_obs::obs_record!(
-            "serve.window.latency_us",
-            (window_end - started).as_micros() as f64
-        );
-        for r in &reqs {
-            if let Some(handle) = &r.trace {
-                handle.trace.close_span(handle.parent, window_end);
-            }
-            exec_h.record_silent((window_end - started).as_micros() as f64);
-        }
-        for ((task, _), out) in tasks.into_iter().zip(outcomes) {
-            let queries = out
-                .episodes
-                .iter()
-                .map(|ep| ServedQuery {
-                    sql: render(&ep.statement),
-                    measured: ep.measured,
-                    satisfied: ep.satisfied,
-                })
-                .collect();
-            let _ = task.reply.try_send(RequestOutcome {
-                queries,
-                expired: out.expired,
-                model_label: model.label.clone(),
-                model_version: model.version,
-            });
-        }
+        task.reply.send(RequestOutcome {
+            queries,
+            expired: out.expired,
+            model_label: model.label.clone(),
+            model_version: model.version,
+        });
     }
 }
 
@@ -743,7 +780,7 @@ mod tests {
                     },
                     deadline: None,
                     enqueued: Instant::now(),
-                    reply: tx,
+                    reply: Responder::Channel(tx),
                     trace: None,
                 })
                 .map_err(|(e, _)| e)

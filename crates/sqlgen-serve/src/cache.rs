@@ -1,0 +1,448 @@
+//! Deterministic result cache: repeat traffic becomes a memcpy.
+//!
+//! PR 8 made every `/generate` response body a pure function of
+//! `(model-version, schema, seed, constraint, n)` — refinement, resampling
+//! and lane scheduling are all derived deterministically from that tuple.
+//! This cache exploits it: the fully rendered response body is stored under
+//! that exact key, so a hit serves the same bytes a fresh rollout would
+//! produce, straight from the event loop, without touching a shard queue.
+//!
+//! Structure: N independently locked shards (key-hash partitioned), each a
+//! true LRU (intrusive doubly-linked list over a slab, O(1) get/put/evict)
+//! with a byte budget. Responses that depend on anything outside the key —
+//! expired lanes, error statuses — are never inserted. A model hot-swap
+//! changes the version component of every key, so stale entries become
+//! unreachable immediately; [`ResultCache::clear`] additionally drops their
+//! bytes on `/models/reload` and registry swaps.
+
+use crate::batcher::GenRequest;
+use sqlgen_rl::{Metric, Target};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The purity tuple a cached body is keyed on. Schema is implicit (one
+/// cache per schema); floats are compared by bit pattern, which is exactly
+/// the determinism contract (`measured.to_bits()` equality in the fuzz
+/// families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub model_version: u64,
+    pub seed: u64,
+    pub n: u64,
+    metric: u8,
+    /// 0 = point (b unused), 1 = range.
+    target_kind: u8,
+    a_bits: u64,
+    b_bits: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for a request against the currently served model
+    /// version. Requests whose responses are not pure functions of the
+    /// tuple (none today — `timeout_ms` only affects expiry, and expired
+    /// responses are never cached) still key cleanly.
+    pub fn for_request(req: &GenRequest, model_version: u64) -> CacheKey {
+        let metric = match req.constraint.metric {
+            Metric::Cardinality => 0,
+            Metric::Cost => 1,
+            Metric::Latency => 2,
+        };
+        let (target_kind, a_bits, b_bits) = match req.constraint.target {
+            Target::Point(p) => (0, p.to_bits(), 0),
+            Target::Range(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
+        };
+        CacheKey {
+            model_version,
+            seed: req.seed,
+            n: req.n as u64,
+            metric,
+            target_kind,
+            a_bits,
+            b_bits,
+        }
+    }
+
+    fn shard_hash(&self) -> u64 {
+        // splitmix64 over a quick field mix; only shard selection and the
+        // HashMap use it, equality is always on the full key.
+        let mut x = self
+            .model_version
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.seed)
+            .wrapping_add(self.n << 32)
+            .wrapping_add((self.metric as u64) << 8 | self.target_kind as u64)
+            .wrapping_add(self.a_bits.rotate_left(17))
+            .wrapping_add(self.b_bits.rotate_left(43));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    body: Arc<String>,
+    prev: usize,
+    next: usize,
+}
+
+/// One lock's worth of LRU state.
+struct Shard {
+    map: std::collections::HashMap<CacheKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Shard {
+        Shard {
+            map: std::collections::HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn entry_bytes(key_body_len: usize) -> usize {
+        // Body plus a conservative per-entry overhead (key, node, map slot).
+        key_body_len + std::mem::size_of::<Node>() + std::mem::size_of::<CacheKey>() + 48
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<String>> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.nodes[i].body.clone())
+    }
+
+    /// Inserts (or refreshes) `key → body`, then evicts from the LRU tail
+    /// until the shard is back under budget. Returns evictions performed.
+    fn put(&mut self, key: CacheKey, body: Arc<String>) -> usize {
+        let cost = Self::entry_bytes(body.len());
+        if cost > self.budget {
+            // Larger than the whole shard: not cacheable — and any smaller
+            // body already cached under this key is now stale; drop it so a
+            // later hit cannot serve superseded bytes.
+            if let Some(i) = self.map.remove(&key) {
+                self.unlink(i);
+                self.bytes -= Self::entry_bytes(self.nodes[i].body.len());
+                self.nodes[i].body = Arc::new(String::new());
+                self.free.push(i);
+            }
+            return 0;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.bytes = self.bytes - Self::entry_bytes(self.nodes[i].body.len()) + cost;
+            self.nodes[i].body = body;
+            self.unlink(i);
+            self.push_front(i);
+        } else {
+            let node = Node {
+                key,
+                body,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match self.free.pop() {
+                Some(i) => {
+                    self.nodes[i] = node;
+                    i
+                }
+                None => {
+                    self.nodes.push(node);
+                    self.nodes.len() - 1
+                }
+            };
+            self.push_front(i);
+            self.map.insert(key, i);
+            self.bytes += cost;
+        }
+        let mut evicted = 0;
+        while self.bytes > self.budget && self.tail != NIL {
+            let t = self.tail;
+            // Never evict the entry we just touched; budget guarantees the
+            // loop ends before reaching it unless it is the sole entry —
+            // which `cost > budget` above already excluded.
+            self.unlink(t);
+            self.map.remove(&self.nodes[t].key);
+            self.bytes -= Self::entry_bytes(self.nodes[t].body.len());
+            self.nodes[t].body = Arc::new(String::new());
+            self.free.push(t);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+    }
+}
+
+/// Sharded LRU over rendered response bodies, with hit/miss/eviction
+/// counters and a bytes-held gauge (`serve.cache.*{schema=...}`).
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: Arc<sqlgen_obs::Counter>,
+    misses: Arc<sqlgen_obs::Counter>,
+    evictions: Arc<sqlgen_obs::Counter>,
+    bytes_gauge: Arc<sqlgen_obs::Gauge>,
+    bytes_total: AtomicU64,
+}
+
+impl ResultCache {
+    /// `budget_bytes` is the total across `shards` partitions.
+    pub fn new(budget_bytes: usize, shards: usize, schema: &str) -> ResultCache {
+        let shards = shards.max(1);
+        let labels = sqlgen_obs::Labels::new().with("schema", schema);
+        let m = sqlgen_obs::metrics::global();
+        let per_shard = budget_bytes / shards;
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: m.counter_with("serve.cache.hits", &labels),
+            misses: m.counter_with("serve.cache.misses", &labels),
+            evictions: m.counter_with("serve.cache.evictions", &labels),
+            bytes_gauge: m.gauge_with("serve.cache.bytes", &labels),
+            bytes_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Re-targets the total byte budget (the CLI applies `--cache-mb` after
+    /// `Schema::build`). Shards evict down to the new budget lazily on
+    /// their next insert.
+    pub fn set_budget(&self, budget_bytes: usize) {
+        let per_shard = budget_bytes / self.shards.len();
+        for s in &self.shards {
+            s.lock().expect("cache shard").budget = per_shard;
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let got = self.shard(key).lock().expect("cache shard").get(key);
+        match &got {
+            Some(_) => self.hits.inc(1),
+            None => self.misses.inc(1),
+        }
+        got
+    }
+
+    pub fn put(&self, key: CacheKey, body: Arc<String>) {
+        let shard = self.shard(&key);
+        let (evicted, before, after) = {
+            let mut s = shard.lock().expect("cache shard");
+            let before = s.bytes;
+            let evicted = s.put(key, body);
+            (evicted, before, s.bytes)
+        };
+        if evicted > 0 {
+            self.evictions.inc(evicted as u64);
+        }
+        self.apply_byte_delta(before, after);
+    }
+
+    /// Maintains the cross-shard byte total without locking every shard:
+    /// each mutation applies its own shard's delta.
+    fn apply_byte_delta(&self, before: usize, after: usize) {
+        let total = if after >= before {
+            self.bytes_total
+                .fetch_add((after - before) as u64, Ordering::Relaxed)
+                + (after - before) as u64
+        } else {
+            self.bytes_total
+                .fetch_sub((before - after) as u64, Ordering::Relaxed)
+                - (before - after) as u64
+        };
+        self.bytes_gauge.set(total as f64);
+    }
+
+    /// Drops every entry (hot-swap invalidation on `/models/reload` and
+    /// registry swaps between windows).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().expect("cache shard");
+            let before = s.bytes;
+            s.clear();
+            self.apply_byte_delta(before, 0);
+        }
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes_total.load(Ordering::Relaxed) as usize
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses, evictions) counter snapshot for `/models` and the
+    /// bench hit-rate report.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits.get(), self.misses.get(), self.evictions.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgen_rl::Constraint;
+
+    fn key(version: u64, seed: u64) -> CacheKey {
+        CacheKey::for_request(
+            &GenRequest {
+                schema: String::new(),
+                constraint: Constraint::cardinality_range(1.0, 500.0),
+                n: 4,
+                seed,
+                timeout_ms: None,
+            },
+            version,
+        )
+    }
+
+    fn body(tag: u64) -> Arc<String> {
+        Arc::new(format!("body-{tag}-{}", "x".repeat(64)))
+    }
+
+    #[test]
+    fn hit_returns_the_exact_inserted_body() {
+        // Unique schema label: the counters live in the global labeled
+        // metrics registry, so sharing a label across tests would race.
+        let c = ResultCache::new(1 << 20, 4, "cache-test-hit");
+        assert!(c.get(&key(1, 7)).is_none());
+        c.put(key(1, 7), body(7));
+        assert_eq!(c.get(&key(1, 7)).unwrap().as_str(), body(7).as_str());
+        // Same request under a new model version is a different entry.
+        assert!(c.get(&key(2, 7)).is_none());
+        let (hits, misses, _) = c.stats();
+        assert_eq!((hits, misses), (1, 2));
+    }
+
+    #[test]
+    fn keys_distinguish_constraint_bits_and_n() {
+        let base = GenRequest {
+            schema: String::new(),
+            constraint: Constraint::cardinality_range(1.0, 500.0),
+            n: 4,
+            seed: 9,
+            timeout_ms: None,
+        };
+        let k1 = CacheKey::for_request(&base, 3);
+        let mut other = base.clone();
+        other.constraint = Constraint::cardinality_point(1.0);
+        assert_ne!(k1, CacheKey::for_request(&other, 3));
+        let mut other = base.clone();
+        other.constraint = Constraint::cost_range(1.0, 500.0);
+        assert_ne!(k1, CacheKey::for_request(&other, 3));
+        let mut other = base.clone();
+        other.n = 5;
+        assert_ne!(k1, CacheKey::for_request(&other, 3));
+        // timeout_ms is NOT part of the key: it only affects expiry, and
+        // expired responses are never inserted.
+        let mut other = base.clone();
+        other.timeout_ms = Some(123);
+        assert_eq!(k1, CacheKey::for_request(&other, 3));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first_and_respects_budget() {
+        let per_entry = Shard::entry_bytes(body(0).len());
+        let c = ResultCache::new(per_entry * 3, 1, "cache-test-lru");
+        for seed in 0..3 {
+            c.put(key(1, seed), body(seed));
+        }
+        assert_eq!(c.len(), 3);
+        // Touch seed 0 so seed 1 becomes the LRU victim.
+        assert!(c.get(&key(1, 0)).is_some());
+        c.put(key(1, 3), body(3));
+        assert_eq!(c.len(), 3);
+        assert!(c.get(&key(1, 1)).is_none(), "seed 1 was the LRU entry");
+        assert!(c.get(&key(1, 0)).is_some());
+        assert!(c.get(&key(1, 3)).is_some());
+        assert!(c.bytes() <= per_entry * 3);
+        let (_, _, evictions) = c.stats();
+        assert_eq!(evictions, 1);
+    }
+
+    /// Found by the cache-equivalence fuzz family: an oversized re-put
+    /// used to early-return and leave the older, smaller body in place —
+    /// a later hit served superseded bytes.
+    #[test]
+    fn oversized_reput_invalidates_the_existing_entry() {
+        let per_entry = Shard::entry_bytes(body(0).len());
+        let c = ResultCache::new(per_entry * 2, 1, "cache-test-oversize-reput");
+        c.put(key(1, 0), body(0));
+        assert!(c.get(&key(1, 0)).is_some());
+        c.put(key(1, 0), Arc::new("z".repeat(4096)));
+        assert!(
+            c.get(&key(1, 0)).is_none(),
+            "stale body survived an oversized re-put"
+        );
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached_and_clear_empties() {
+        let c = ResultCache::new(128, 1, "cache-test-oversize");
+        c.put(key(1, 0), Arc::new("y".repeat(4096)));
+        assert!(c.is_empty());
+        let c = ResultCache::new(1 << 20, 2, "cache-test-oversize");
+        c.put(key(1, 0), body(0));
+        c.put(key(1, 1), body(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert!(c.get(&key(1, 0)).is_none());
+    }
+}

@@ -232,6 +232,34 @@ fn io_err(e: std::io::Error) -> ParseError {
     ParseError::Io(e.kind())
 }
 
+/// Outcome of an incremental parse attempt over an accumulation buffer.
+#[derive(Debug)]
+pub enum BufParse {
+    /// One full request parsed; the first `usize` bytes of the buffer were
+    /// consumed (drain them before the next attempt).
+    Complete(Request, usize),
+    /// The buffer holds a prefix of a valid request; read more bytes.
+    Partial,
+    /// The buffer can never become a valid request (400/413 via
+    /// [`ParseError::status`]).
+    Error(ParseError),
+}
+
+/// Non-blocking front-end to [`read_request`] for the event loop: parses
+/// from whatever has been buffered so far. Limits apply exactly as in the
+/// blocking path, so a head over `max_head` or a declared body over
+/// `max_body` turns into [`BufParse::Error`] even before the peer finishes
+/// sending — bounded memory against slowloris-style trickle.
+pub fn parse_buf(buf: &[u8], limits: &Limits) -> BufParse {
+    let mut cur = std::io::Cursor::new(buf);
+    match read_request(&mut cur, limits) {
+        Ok(req) => BufParse::Complete(req, cur.position() as usize),
+        // EOF in a Cursor just means the rest hasn't arrived yet.
+        Err(ParseError::Eof | ParseError::Incomplete) => BufParse::Partial,
+        Err(e) => BufParse::Error(e),
+    }
+}
+
 /// An outgoing response.
 #[derive(Debug)]
 pub struct Response {

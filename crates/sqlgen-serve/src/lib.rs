@@ -13,24 +13,39 @@
 //!   into the lanes. Responses are bitwise-identical to unbatched
 //!   generation for the same seed (the `serve-equivalence` fuzz family).
 //! - [`registry`] — versioned checkpoint registry with atomic hot-swap.
-//! - [`server`] — thread pool, routing (`/generate`, `/healthz`,
-//!   `/metrics`, `/models`, `/models/reload`) and graceful drain-style
-//!   shutdown.
+//! - [`cache`] — sharded LRU over rendered response bodies, keyed on the
+//!   purity tuple `(model-version, schema, seed, constraint, n)`.
+//! - [`shard`] — generation shard workers behind a consistent-hash router
+//!   on `(schema, model-version)`, with optional CPU pinning.
+//! - [`sys`] / [`event_loop`] — Linux-only raw epoll bindings and the
+//!   readiness event-loop backend (the default; `--legacy-pool` keeps the
+//!   thread pool).
+//! - [`server`] — config, routing (`/generate`, `/healthz`, `/metrics`,
+//!   `/models`, `/models/reload`), backend selection and graceful
+//!   drain-style shutdown.
 //! - [`client`] — minimal client used by tests, the CLI and
 //!   `bench_serve`.
 
 pub mod batcher;
+pub mod cache;
 pub mod client;
+pub mod event_loop;
 pub mod http;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod shard;
+pub mod sys;
 
 pub use batcher::{
-    run_window, BatcherConfig, GenRequest, GenTask, RequestOutcome, Schema, ServedQuery,
-    WindowOutcome, WindowRequest, MAX_QUERIES_PER_REQUEST,
+    run_window, run_window_tasks, BatcherConfig, GenRequest, GenTask, RequestOutcome, Responder,
+    Schema, ServedQuery, WindowOutcome, WindowRequest, MAX_QUERIES_PER_REQUEST,
 };
-pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
+pub use cache::{CacheKey, ResultCache};
+pub use http::{
+    parse_buf, read_request, write_response, BufParse, Limits, ParseError, Request, Response,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelRegistry, ServedModel};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{outcome_json, serve, ServeConfig, ServerHandle};
+pub use shard::{Shard, ShardPool, ShardTask};

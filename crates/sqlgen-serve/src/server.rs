@@ -17,7 +17,10 @@
 //! completion, and in-flight HTTP exchanges finish with
 //! `Connection: close`.
 
-use crate::batcher::{batch_loop, BatcherConfig, GenRequest, GenTask, RequestOutcome, Schema};
+use crate::batcher::{
+    batch_loop, BatcherConfig, GenRequest, GenTask, RequestOutcome, Responder, Schema,
+};
+use crate::cache::CacheKey;
 use crate::http::{read_request, write_response, Limits, Response};
 use crate::queue::PushError;
 use sqlgen_obs::{Labels, RequestTrace, TraceContext, TraceStore, TraceStoreConfig};
@@ -57,6 +60,21 @@ pub struct ServeConfig {
     pub trace_capacity: usize,
     /// Percent of ordinary (non-error, non-slow) traces retained.
     pub trace_sample_pct: u64,
+    /// Event-loop threads for the readiness backend (`--event-threads`).
+    pub event_threads: usize,
+    /// Shard workers behind the consistent-hash router (`--shards`).
+    pub shards: usize,
+    /// Result-cache budget in MiB per schema (`--cache-mb`; 0 disables).
+    pub cache_mb: usize,
+    /// Pin shard workers to CPUs round-robin (`--pin-cpus`).
+    pub pin_cpus: bool,
+    /// Run the pre-event-loop thread-pool backend (`--legacy-pool`; also
+    /// the fallback on non-Linux hosts, where the epoll layer compiles
+    /// out).
+    pub legacy_pool: bool,
+    /// Kernel send-buffer cap per connection (event backend); `None`
+    /// keeps the OS default. Tests shrink it to force partial writes.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -75,16 +93,34 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             trace_capacity: 512,
             trace_sample_pct: 10,
+            event_threads: 2,
+            shards: 1,
+            cache_mb: 64,
+            pin_cpus: false,
+            legacy_pool: false,
+            sndbuf: None,
         }
     }
 }
 
-struct ServerState {
-    schemas: Vec<Arc<Schema>>,
-    draining: AtomicBool,
-    config: ServeConfig,
+pub(crate) struct ServerState {
+    pub(crate) schemas: Vec<Arc<Schema>>,
+    pub(crate) draining: AtomicBool,
+    pub(crate) config: ServeConfig,
     /// Tail-sampled ring of completed request traces (`/debug/traces`).
-    traces: Arc<TraceStore>,
+    pub(crate) traces: Arc<TraceStore>,
+}
+
+/// The thread bundle behind a [`ServerHandle`]: blocking worker pool or
+/// epoll event loops + shard workers.
+pub(crate) enum Backend {
+    Legacy {
+        accept: JoinHandle<()>,
+        http_workers: Vec<JoinHandle<()>>,
+        batchers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event(crate::event_loop::EventBackend),
 }
 
 /// A running server. Dropping the handle leaks the threads; call
@@ -93,9 +129,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept_stop: Arc<AtomicBool>,
-    accept: JoinHandle<()>,
-    http_workers: Vec<JoinHandle<()>>,
-    batchers: Vec<JoinHandle<()>>,
+    backend: Backend,
 }
 
 impl ServerHandle {
@@ -109,20 +143,68 @@ impl ServerHandle {
         self.state.schemas.iter().find(|s| s.name == name).cloned()
     }
 
+    /// Total admitted-but-unstarted tasks (bench queue-depth sampling):
+    /// shard queues on the event backend, per-schema queues on the pool.
+    pub fn queue_depth(&self) -> usize {
+        match &self.backend {
+            Backend::Legacy { .. } => self.state.schemas.iter().map(|s| s.queue.len()).sum(),
+            #[cfg(target_os = "linux")]
+            Backend::Event(ev) => ev.pool.depth(),
+        }
+    }
+
+    /// Owned queue-depth sampler: a closure the bench can move into a
+    /// monitoring thread while the handle itself stays on the driver
+    /// thread. Same accounting as [`ServerHandle::queue_depth`].
+    pub fn depth_probe(&self) -> Box<dyn Fn() -> usize + Send + Sync> {
+        match &self.backend {
+            Backend::Legacy { .. } => {
+                let state = self.state.clone();
+                Box::new(move || state.schemas.iter().map(|s| s.queue.len()).sum())
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Event(ev) => {
+                let pool = ev.pool.clone();
+                Box::new(move || pool.depth())
+            }
+        }
+    }
+
+    /// `(hits, misses, evictions)` summed over every schema's result
+    /// cache.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        let mut total = (0, 0, 0);
+        for s in &self.state.schemas {
+            let (h, m, e) = s.cache.stats();
+            total = (total.0 + h, total.1 + m, total.2 + e);
+        }
+        total
+    }
+
     /// Graceful drain: stop accepting, finish in-flight work, join all
     /// threads.
     pub fn shutdown(self) {
         self.state.draining.store(true, Ordering::SeqCst);
-        for schema in &self.state.schemas {
-            schema.queue.close();
-        }
         self.accept_stop.store(true, Ordering::SeqCst);
-        let _ = self.accept.join();
-        for w in self.http_workers {
-            let _ = w.join();
-        }
-        for b in self.batchers {
-            let _ = b.join();
+        match self.backend {
+            Backend::Legacy {
+                accept,
+                http_workers,
+                batchers,
+            } => {
+                for schema in &self.state.schemas {
+                    schema.queue.close();
+                }
+                let _ = accept.join();
+                for w in http_workers {
+                    let _ = w.join();
+                }
+                for b in batchers {
+                    let _ = b.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Event(ev) => ev.shutdown(),
         }
     }
 }
@@ -145,8 +227,30 @@ pub fn serve(config: ServeConfig, schemas: Vec<Schema>) -> std::io::Result<Serve
         config,
         traces,
     });
+    for schema in &state.schemas {
+        schema.cache.set_budget(state.config.cache_mb * 1024 * 1024);
+    }
 
     let accept_stop = Arc::new(AtomicBool::new(false));
+
+    #[cfg(target_os = "linux")]
+    if !state.config.legacy_pool {
+        let backend = crate::event_loop::start(listener, state.clone(), accept_stop.clone())?;
+        sqlgen_obs::obs_info!(
+            "[serve] listening on {addr} (event backend: {} loops, {} shards, cache {} MiB, {} schemas)",
+            state.config.event_threads.max(1),
+            state.config.shards.max(1),
+            state.config.cache_mb,
+            state.schemas.len()
+        );
+        return Ok(ServerHandle {
+            addr,
+            state,
+            accept_stop,
+            backend: Backend::Event(backend),
+        });
+    }
+
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
@@ -206,9 +310,11 @@ pub fn serve(config: ServeConfig, schemas: Vec<Schema>) -> std::io::Result<Serve
         addr,
         state,
         accept_stop,
-        accept,
-        http_workers,
-        batchers,
+        backend: Backend::Legacy {
+            accept,
+            http_workers,
+            batchers,
+        },
     })
 }
 
@@ -236,32 +342,14 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                     req.request_id.as_deref(),
                 );
                 let trace = (endpoint == "generate").then(|| RequestTrace::begin(ctx, endpoint));
-                let mut resp = route(
+                let resp = route(
                     state,
                     req.method.as_str(),
                     &req.path,
                     &req.body,
                     trace.as_ref(),
                 );
-                // The response's own span is the trace root.
-                let echo = TraceContext {
-                    trace_id: ctx.trace_id,
-                    parent_span: sqlgen_obs::trace::ROOT_SPAN,
-                };
-                resp = resp
-                    .with_header("x-request-id", echo.request_id())
-                    .with_header("traceparent", echo.render_traceparent());
-                if let Some(trace) = trace {
-                    state.traces.offer(trace.finish(resp.status));
-                }
-                sqlgen_obs::obs_count!("serve.http.requests.count");
-                let labels = Labels::new()
-                    .with("endpoint", endpoint)
-                    .with("status", &resp.status.to_string());
-                let m = sqlgen_obs::metrics::global();
-                m.counter_with("serve.http.requests", &labels).inc(1);
-                m.histogram_with("serve.http.latency_us", &labels)
-                    .record(started.elapsed().as_micros() as f64);
+                let resp = finalize_response(state, endpoint, started, ctx, trace, resp);
                 // During a drain every response closes its connection so
                 // the worker pool can wind down.
                 let keep_alive = req.keep_alive && !state.draining.load(Ordering::SeqCst);
@@ -280,8 +368,41 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
+/// Trace-header echo, trace offer, and per-endpoint request metrics —
+/// everything a response needs on its way out, shared by the blocking
+/// worker path and the event loop.
+pub(crate) fn finalize_response(
+    state: &ServerState,
+    endpoint: &'static str,
+    started: Instant,
+    ctx: TraceContext,
+    trace: Option<Arc<RequestTrace>>,
+    mut resp: Response,
+) -> Response {
+    // The response's own span is the trace root.
+    let echo = TraceContext {
+        trace_id: ctx.trace_id,
+        parent_span: sqlgen_obs::trace::ROOT_SPAN,
+    };
+    resp = resp
+        .with_header("x-request-id", echo.request_id())
+        .with_header("traceparent", echo.render_traceparent());
+    if let Some(trace) = trace {
+        state.traces.offer(trace.finish(resp.status));
+    }
+    sqlgen_obs::obs_count!("serve.http.requests.count");
+    let labels = Labels::new()
+        .with("endpoint", endpoint)
+        .with("status", &resp.status.to_string());
+    let m = sqlgen_obs::metrics::global();
+    m.counter_with("serve.http.requests", &labels).inc(1);
+    m.histogram_with("serve.http.latency_us", &labels)
+        .record(started.elapsed().as_micros() as f64);
+    resp
+}
+
 /// Metric label for the per-endpoint latency series.
-fn endpoint_label(path: &str) -> &'static str {
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
     let path = path.split('?').next().unwrap_or("");
     if path.starts_with("/debug/") {
         return "debug";
@@ -295,7 +416,7 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-fn route(
+pub(crate) fn route(
     state: &ServerState,
     method: &str,
     path: &str,
@@ -362,14 +483,17 @@ fn models_json(state: &ServerState) -> String {
         .iter()
         .map(|s| {
             let m = s.registry.current();
+            let (hits, misses, evictions) = s.cache.stats();
             format!(
-                r#"{{"name":{},"model":{},"version":{},"quantized":{},"queue_depth":{},"queue_capacity":{}}}"#,
+                r#"{{"name":{},"model":{},"version":{},"quantized":{},"queue_depth":{},"queue_capacity":{},"cache":{{"entries":{},"bytes":{},"hits":{hits},"misses":{misses},"evictions":{evictions}}}}}"#,
                 json_str(&s.name),
                 json_str(&m.label),
                 m.version,
                 m.quant.is_some(),
                 s.queue.len(),
-                s.queue.capacity()
+                s.queue.capacity(),
+                s.cache.len(),
+                s.cache.bytes()
             )
         })
         .collect();
@@ -381,6 +505,11 @@ fn reload(state: &ServerState) -> Response {
     for s in &state.schemas {
         let entry = match s.registry.refresh() {
             Ok(swapped) => {
+                if swapped {
+                    // Version-keyed entries are already unreachable; this
+                    // just frees their bytes immediately.
+                    s.cache.clear();
+                }
                 let m = s.registry.current();
                 format!(
                     r#"{{"name":{},"swapped":{},"model":{},"version":{}}}"#,
@@ -421,6 +550,20 @@ fn generate(state: &ServerState, body: &[u8], trace: Option<&Arc<RequestTrace>>)
         return Response::error(404, &format!("unknown schema {:?}", req.schema));
     };
 
+    // Responses are pure functions of (model-version, schema, seed,
+    // constraint, n), so a cached body is the same bytes a fresh rollout
+    // would produce.
+    let key = CacheKey::for_request(&req, schema.registry.current().version);
+    if let Some(body) = schema.cache.get(&key) {
+        if let Some(tr) = trace {
+            tr.annotate_str("cache", "hit");
+        }
+        return Response::json(200, body.as_ref().clone());
+    }
+    if let Some(tr) = trace {
+        tr.annotate_str("cache", "miss");
+    }
+
     let now = Instant::now();
     // `timeout_ms: 0` is honoured as an already-expired deadline — useful
     // for probing the expiry path deterministically.
@@ -431,7 +574,7 @@ fn generate(state: &ServerState, body: &[u8], trace: Option<&Arc<RequestTrace>>)
         req: req.clone(),
         deadline: Some(deadline),
         enqueued: now,
-        reply: reply_tx,
+        reply: Responder::Channel(reply_tx),
         trace: trace.cloned(),
     };
     match schema.queue.try_push(task) {
@@ -453,7 +596,18 @@ fn generate(state: &ServerState, body: &[u8], trace: Option<&Arc<RequestTrace>>)
                 sqlgen_obs::obs_count!("serve.timeout.count");
                 return Response::error(504, "deadline expired before any query finished");
             }
-            Response::json(200, outcome_json(&schema.name, &req, &out))
+            let body = outcome_json(&schema.name, &req, &out);
+            // Only fully-finished responses are pure functions of the key
+            // (expiry depends on wall clock); key on the version that
+            // actually ran, which can differ from the admission-time
+            // version across a hot swap.
+            if out.expired == 0 {
+                schema.cache.put(
+                    CacheKey::for_request(&req, out.model_version),
+                    Arc::new(body.clone()),
+                );
+            }
+            Response::json(200, body)
         }
         Err(_) => {
             sqlgen_obs::obs_count!("serve.timeout.count");
@@ -462,7 +616,9 @@ fn generate(state: &ServerState, body: &[u8], trace: Option<&Arc<RequestTrace>>)
     }
 }
 
-fn outcome_json(schema: &str, req: &GenRequest, out: &RequestOutcome) -> String {
+/// Renders the `/generate` 200 body. Pub for the cache-equivalence fuzz
+/// family, which must compare cached bytes against a fresh rendering.
+pub fn outcome_json(schema: &str, req: &GenRequest, out: &RequestOutcome) -> String {
     let queries: Vec<String> = out
         .queries
         .iter()
@@ -539,7 +695,7 @@ mod tests {
                     },
                     deadline: None,
                     enqueued: Instant::now(),
-                    reply: tx.clone(),
+                    reply: Responder::Channel(tx.clone()),
                     trace: None,
                 })
                 .map_err(|(e, _)| e)

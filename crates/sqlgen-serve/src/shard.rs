@@ -1,0 +1,268 @@
+//! Sharded generation workers behind the event loop.
+//!
+//! The legacy pool runs one batcher thread per schema, so co-tenant
+//! schemas all contend on their own single thread and a hot schema cannot
+//! scale past it. The shard pool decouples workers from schemas: `N`
+//! identical workers each own a bounded queue, and a consistent-hash ring
+//! over `(schema, model-version)` routes every request to one shard. The
+//! ring gives two properties the north-star multi-tenant deployment needs:
+//!
+//! * **Stability** — a `(schema, version)` pair always lands on the same
+//!   shard, so its requests coalesce into shared windows instead of
+//!   spraying across workers (window batching is what makes the GEMM
+//!   lanes pay off).
+//! * **Smooth rebalance** — adding a shard moves only `~1/N` of the keys,
+//!   because each shard projects `VNODES` points onto the ring rather
+//!   than one.
+//!
+//! Workers optionally pin to CPUs round-robin (`--pin-cpus`,
+//! `sched_setaffinity`) so shard cache state stays core-local on
+//! multi-core hosts. Purity makes all of this invisible in responses:
+//! which shard (or window) runs a request cannot change its bytes.
+
+use crate::batcher::{run_window_tasks, BatcherConfig, GenTask, Schema};
+use crate::queue::{BoundedQueue, PushError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Virtual nodes per shard on the hash ring.
+const VNODES: usize = 40;
+
+/// A task routed to a shard: the shard worker needs the schema bundle
+/// alongside the request because one shard serves many schemas.
+pub struct ShardTask {
+    pub schema: Arc<Schema>,
+    pub task: GenTask,
+}
+
+/// One shard worker's admission queue.
+pub struct Shard {
+    pub queue: BoundedQueue<ShardTask>,
+}
+
+/// FNV-1a 64-bit; stable across runs and platforms, which keeps routing
+/// deterministic (the default `DefaultHasher` makes no such promise).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard workers plus the consistent-hash ring that routes to them.
+pub struct ShardPool {
+    shards: Vec<Arc<Shard>>,
+    /// `(ring position, shard index)` sorted by position.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardPool {
+    pub fn new(n: usize, queue_cap: usize) -> ShardPool {
+        let n = n.max(1);
+        let shards: Vec<Arc<Shard>> = (0..n)
+            .map(|i| {
+                Arc::new(Shard {
+                    queue: BoundedQueue::named(queue_cap, &format!("shard{i}")),
+                })
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(n * VNODES);
+        for (i, _) in shards.iter().enumerate() {
+            for v in 0..VNODES {
+                ring.push((fnv1a64(format!("shard/{i}/{v}").as_bytes()), i));
+            }
+        }
+        ring.sort_unstable();
+        ShardPool { shards, ring }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Routes `(schema, model-version)` to its shard: first ring point at
+    /// or after the key's hash, wrapping at the top.
+    pub fn shard_for(&self, schema: &str, model_version: u64) -> &Arc<Shard> {
+        let mut key = Vec::with_capacity(schema.len() + 9);
+        key.extend_from_slice(schema.as_bytes());
+        key.push(0);
+        key.extend_from_slice(&model_version.to_le_bytes());
+        let h = fnv1a64(&key);
+        let idx = match self.ring.binary_search(&(h, usize::MAX)) {
+            Ok(i) | Err(i) => i % self.ring.len(),
+        };
+        &self.shards[self.ring[idx].1]
+    }
+
+    /// Non-blocking admission to the routed shard. The rejected task rides
+    /// back in the `Err` so the caller can answer 429/503 on its reply
+    /// channel — worth the large variant.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(
+        &self,
+        schema: &Arc<Schema>,
+        task: GenTask,
+    ) -> Result<(), (PushError, GenTask)> {
+        self.shard_for(&schema.name, schema.registry.current().version)
+            .queue
+            .try_push(ShardTask {
+                schema: schema.clone(),
+                task,
+            })
+            .map_err(|(e, st)| (e, st.task))
+    }
+
+    /// Spawns the worker threads. With `pin_cpus`, worker `i` pins to CPU
+    /// `i % available_parallelism` — failure is a warning, not an error
+    /// (cgroup masks can forbid it).
+    pub fn spawn_workers(&self, cfg: &BatcherConfig, pin_cpus: bool) -> Vec<JoinHandle<()>> {
+        let ncpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = shard.clone();
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("sqlgen-shard-{i}"))
+                    .spawn(move || {
+                        if pin_cpus {
+                            #[cfg(target_os = "linux")]
+                            if let Err(e) = crate::sys::pin_current_thread(i % ncpus) {
+                                sqlgen_obs::obs_warn!("[serve] shard {i}: cpu pinning failed: {e}");
+                            }
+                            #[cfg(not(target_os = "linux"))]
+                            let _ = ncpus;
+                        }
+                        shard_loop(&shard, &cfg);
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect()
+    }
+
+    /// Total queued tasks across all shards (bench queue-depth sampling).
+    pub fn depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Stops admission on every shard; queued work still drains.
+    pub fn close(&self) {
+        for s in &self.shards {
+            s.queue.close();
+        }
+    }
+}
+
+/// Shard worker body: gather a window, group the gathered tasks by schema
+/// preserving arrival order, and run one window per schema group. Runs
+/// until the shard's queue is closed and drained.
+///
+/// Gather policy: drain whatever is already queued without waiting, and
+/// keep waiting (bounded by `max_wait`) only while the window holds fewer
+/// jobs than one GEMM lane width. Closed-loop bursts arrive together and
+/// fill the window on the first drain, so they never pay the wait; smooth
+/// open-loop arrivals would otherwise each get a private window and pay
+/// the full per-window fixed cost (env + lane-state setup), capping
+/// throughput far below the batched capacity.
+fn shard_loop(shard: &Shard, cfg: &BatcherConfig) {
+    loop {
+        let Some(first) = shard.queue.pop_timeout(Duration::from_millis(50)) else {
+            if shard.queue.is_closed() && shard.queue.is_empty() {
+                return;
+            }
+            continue;
+        };
+        let gather_deadline = Instant::now() + cfg.max_wait;
+        let mut gathered = vec![(first, Instant::now())];
+        let mut job_count = gathered[0].0.task.req.n;
+        while job_count < cfg.max_batch_jobs {
+            match shard.queue.try_pop() {
+                Some(t) => {
+                    job_count += t.task.req.n;
+                    gathered.push((t, Instant::now()));
+                }
+                None => {
+                    if job_count >= cfg.lanes {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= gather_deadline {
+                        break;
+                    }
+                    match shard.queue.pop_timeout(gather_deadline - now) {
+                        Some(t) => {
+                            job_count += t.task.req.n;
+                            gathered.push((t, Instant::now()));
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        // Group by schema, first-seen order. Purity means the grouping
+        // cannot change any response; it only decides window composition.
+        type SchemaGroup = (Arc<Schema>, Vec<(GenTask, Instant)>);
+        let mut groups: Vec<SchemaGroup> = Vec::new();
+        for (st, popped) in gathered {
+            match groups.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &st.schema)) {
+                Some((_, tasks)) => tasks.push((st.task, popped)),
+                None => groups.push((st.schema, vec![(st.task, popped)])),
+            }
+        }
+        for (schema, tasks) in groups {
+            run_window_tasks(&schema, tasks, cfg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_version_sensitive() {
+        let pool = ShardPool::new(4, 8);
+        let a1 = Arc::as_ptr(pool.shard_for("tpch", 1));
+        let a2 = Arc::as_ptr(pool.shard_for("tpch", 1));
+        assert_eq!(a1, a2, "same key must route to the same shard");
+        // Across many (schema, version) keys, more than one shard is used.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..32u64 {
+            seen.insert(Arc::as_ptr(pool.shard_for("tpch", v)));
+            seen.insert(Arc::as_ptr(pool.shard_for("imdb", v)));
+        }
+        assert!(seen.len() > 1, "keys should spread across shards");
+    }
+
+    #[test]
+    fn ring_growth_moves_only_a_fraction_of_keys() {
+        let small = ShardPool::new(4, 8);
+        let large = ShardPool::new(5, 8);
+        let keys: Vec<String> = (0..400).map(|i| format!("schema-{i}")).collect();
+        let moved = keys
+            .iter()
+            .filter(|k| ring_index(&small, k) != ring_index(&large, k))
+            .count();
+        // Consistent hashing: going 4 → 5 shards should move roughly 1/5
+        // of keys, not most of them. Allow generous slack.
+        assert!(moved < keys.len() / 2, "moved {moved} of {}", keys.len());
+    }
+
+    fn ring_index(pool: &ShardPool, schema: &str) -> usize {
+        let shard = pool.shard_for(schema, 0);
+        pool.shards
+            .iter()
+            .position(|s| Arc::ptr_eq(s, shard))
+            .unwrap()
+    }
+}

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 const SEED: u64 = 11;
 
-fn start_server(batch: usize, max_queue: usize) -> ServerHandle {
+fn start_server_with(batch: usize, max_queue: usize, legacy_pool: bool) -> ServerHandle {
     let db = tpch_database(0.05, 2);
     let config = GenConfig::fast().with_seed(SEED);
     let schema = sqlgen_serve::Schema::build("tpch", &db, &config, None, max_queue);
@@ -21,11 +21,16 @@ fn start_server(batch: usize, max_queue: usize) -> ServerHandle {
             threads: 2,
             batch,
             read_timeout_ms: 2_000,
+            legacy_pool,
             ..ServeConfig::default()
         },
         vec![schema],
     )
     .expect("bind ephemeral port")
+}
+
+fn start_server(batch: usize, max_queue: usize) -> ServerHandle {
+    start_server_with(batch, max_queue, false)
 }
 
 #[test]
@@ -198,8 +203,6 @@ fn every_response_carries_request_id_and_adopts_inbound_traceparent() {
 
 #[test]
 fn forced_504_trace_is_retained_with_tiled_phases() {
-    // A wide gather window (50ms) makes the 5% phase-coverage bound robust
-    // against scheduler jitter in the µs-scale gaps between phases.
     let db = tpch_database(0.05, 2);
     let config = GenConfig::fast().with_seed(SEED);
     let schema = sqlgen_serve::Schema::build("tpch", &db, &config, None, 64);
@@ -256,9 +259,13 @@ fn forced_504_trace_is_retained_with_tiled_phases() {
     // Phases tile: each ends where the next begins, no overlap.
     assert!(qw_start + qw_dur <= bg_start + 1.0, "{body}");
     assert!(bg_start + bg_dur <= le_start + 1.0, "{body}");
+    // The batcher no longer waits out `max_wait` once the queue drains, so
+    // the phases are µs-scale and what's left of the wall is fixed
+    // dispatch + completion-wakeup overhead — bound it absolutely (10ms
+    // covers scheduler jitter) rather than as a fraction.
     let covered = qw_dur + bg_dur + le_dur;
     assert!(
-        covered <= wall && covered >= wall * 0.95,
+        covered <= wall && wall - covered <= 10_000.0,
         "phases {covered}µs vs wall {wall}µs: {body}"
     );
 
@@ -273,7 +280,10 @@ fn forced_504_trace_is_retained_with_tiled_phases() {
 
 #[test]
 fn graceful_shutdown_drains_queued_work_and_closes_listener() {
-    let server = start_server(4, 64);
+    // Legacy pool: this test pushes straight onto the per-schema queue,
+    // which only the legacy batcher threads drain (the event backend
+    // admits through shard queues instead; see the event drain test).
+    let server = start_server_with(4, 64, true);
     let addr = server.addr();
     let schema = server.schema("tpch").unwrap();
     // Queue work directly, then shut down: every admitted task must still
@@ -293,7 +303,7 @@ fn graceful_shutdown_drains_queued_work_and_closes_listener() {
                 },
                 deadline: None,
                 enqueued: Instant::now(),
-                reply: tx,
+                reply: sqlgen_serve::Responder::Channel(tx),
                 trace: None,
             })
             .map_err(|(e, _)| e)
@@ -327,4 +337,85 @@ fn graceful_shutdown_drains_queued_work_and_closes_listener() {
         }
     };
     assert!(refused, "listener still serving after shutdown");
+}
+
+#[test]
+fn event_backend_drains_in_flight_requests_on_shutdown() {
+    let server = start_server(4, 64);
+    let addr = server.addr();
+    // Admit a request over HTTP, then shut down while it may still be in
+    // a shard queue or window: drain semantics say it completes.
+    let worker = std::thread::spawn(move || {
+        client::request(
+            addr,
+            "POST",
+            "/generate",
+            Some(r#"{"constraint":{"min":1,"max":500},"n":8,"seed":13}"#),
+        )
+        .expect("in-flight request answered across shutdown")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+    let (status, body) = worker.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+    assert_eq!(v.get("expired").unwrap().as_u64(), Some(0));
+    // The listener is gone: a fresh connect must fail or yield nothing.
+    std::thread::sleep(Duration::from_millis(50));
+    if let Ok(mut s) = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(300)) {
+        use std::io::{Read, Write};
+        let _ = s.set_read_timeout(Some(Duration::from_millis(300)));
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut probe = Vec::new();
+        let dead = matches!(s.read_to_end(&mut probe), Ok(0) | Err(_)) || probe.is_empty();
+        assert!(dead, "listener still serving after shutdown");
+    }
+}
+
+#[test]
+fn repeat_requests_hit_the_cache_with_identical_bytes() {
+    let server = start_server(4, 64);
+    let body = r#"{"constraint":{"metric":"cardinality","min":1,"max":500},"n":3,"seed":77}"#;
+    let (status, first) = client::request(server.addr(), "POST", "/generate", Some(body)).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let (h0, _, _) = server.cache_stats();
+    let (status, second) = client::request(server.addr(), "POST", "/generate", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cached body must be bitwise-identical");
+    let (h1, _, _) = server.cache_stats();
+    assert!(h1 > h0, "second identical request must be a cache hit");
+    // /models reports the cache holding at least this entry.
+    let (_, models) = client::request(server.addr(), "GET", "/models", None).unwrap();
+    let v = serde_json::from_str::<serde_json::Value>(&models).unwrap();
+    let cache = v.get("schemas").unwrap().as_array().unwrap()[0]
+        .get("cache")
+        .expect("cache stats in /models")
+        .clone();
+    assert!(cache.get("entries").unwrap().as_u64().unwrap() >= 1);
+    assert!(cache.get("bytes").unwrap().as_u64().unwrap() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_invalidates_cached_responses() {
+    let server = start_server(4, 64);
+    let body = r#"{"constraint":{"point":50},"n":1,"seed":3}"#;
+    let (status, v0) = client::request(server.addr(), "POST", "/generate", Some(body)).unwrap();
+    assert_eq!(status, 200, "{v0}");
+    // Warm the cache, then publish a new version: the old entry is keyed
+    // on version 0 and must never satisfy a version-7 request.
+    let (_, cached) = client::request(server.addr(), "POST", "/generate", Some(body)).unwrap();
+    assert_eq!(v0, cached);
+    let schema = server.schema("tpch").unwrap();
+    let trained = schema.registry.current().actor.clone();
+    schema.publish_actor("retrained", 7, trained);
+    let (status, v7) = client::request(server.addr(), "POST", "/generate", Some(body)).unwrap();
+    assert_eq!(status, 200, "{v7}");
+    let parsed = serde_json::from_str::<serde_json::Value>(&v7).unwrap();
+    assert_eq!(
+        parsed.get("model_version").unwrap().as_u64(),
+        Some(7),
+        "stale cached response served after hot swap: {v7}"
+    );
+    server.shutdown();
 }

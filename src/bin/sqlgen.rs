@@ -219,7 +219,14 @@ USAGE:
 
 FLAGS:
   --addr <host:port>      bind address (default: 127.0.0.1:8080; port 0 = ephemeral)
-  --threads <workers>     HTTP worker threads (default: 4)
+  --event-threads <n>     epoll event-loop threads (default: 2)
+  --shards <n>            generation shard workers behind the consistent-hash
+                          router on (schema, model-version) (default: 1)
+  --cache-mb <mib>        result-cache budget per schema, MiB; 0 disables
+                          caching (default: 64)
+  --pin-cpus              pin shard workers to CPUs round-robin
+  --legacy-pool           use the pre-event-loop thread-per-connection pool
+  --threads <workers>     HTTP worker threads, legacy pool only (default: 4)
   --batch <lanes>         lockstep GEMM lanes per generation window (default: 8)
   --quant                 serve int8 quantized snapshots of every model
   --max-queue <n>         admission queue capacity; beyond it 429 (default: 64)
@@ -298,6 +305,25 @@ fn serve_main(argv: Vec<String>) -> ! {
                     .parse()
                     .unwrap_or_else(|_| fail("--max-wait-ms"))
             }
+            "--event-threads" => {
+                config.event_threads = value("--event-threads")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--event-threads"))
+                    .max(1)
+            }
+            "--shards" => {
+                config.shards = value("--shards")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--shards"))
+                    .max(1)
+            }
+            "--cache-mb" => {
+                config.cache_mb = value("--cache-mb")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--cache-mb"))
+            }
+            "--pin-cpus" => config.pin_cpus = true,
+            "--legacy-pool" => config.legacy_pool = true,
             "--benchmark" => {
                 benchmark = value("--benchmark")
                     .parse()
