@@ -23,6 +23,12 @@
 //! `--smoke` shrinks the run for CI (seconds) and exits non-zero unless
 //! every phase sustained non-zero throughput, the warm phase hit the
 //! cache for >90% of lookups, and all servers shut down cleanly.
+//!
+//! `--qps-sweep` adds a paced rate sweep (Linux only): after a closed-loop
+//! calibration burst, short open-loop runs at a grid of fractions of the
+//! calibrated capacity record achieved q/s + p50/p95 per offered rate into
+//! the `qps_sweep` array of `BENCH_serve.json` — the saturation curve the
+//! single cold/warm points can't show.
 
 use sqlgen_bench::methods::harness_gen_config;
 use sqlgen_bench::HarnessArgs;
@@ -618,12 +624,14 @@ fn main() {
     let mut requests = 25usize;
     let mut connections = 1024usize;
     let mut quant = false;
+    let mut qps_sweep = false;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--quant" => quant = true,
+            "--qps-sweep" => qps_sweep = true,
             "--out" => out_dir = it.next().expect("--out needs a value"),
             "--qps" => {
                 qps = it
@@ -744,6 +752,26 @@ fn main() {
         sqlgen_obs::obs_info!("[serve-bench] open-loop phases need Linux epoll; skipped");
     }
 
+    let mut sweep_points: Vec<SweepPoint> = Vec::new();
+    if qps_sweep {
+        #[cfg(target_os = "linux")]
+        {
+            sweep_points = run_qps_sweep(
+                &db,
+                args.seed,
+                args.batch * 2,
+                connections,
+                n_per_request,
+                quant,
+                smoke,
+            );
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            sqlgen_obs::obs_info!("[serve-bench] --qps-sweep needs Linux epoll; skipped");
+        }
+    }
+
     let warm_vs_cold = match (
         phases.iter().find(|p| p.name == "open-cold"),
         phases.iter().find(|p| p.name == "open-warm"),
@@ -767,6 +795,12 @@ fn main() {
         json,
         "  \"phases\": [\n    {}\n  ],",
         phase_jsons.join(",\n    ")
+    );
+    let sweep_jsons: Vec<String> = sweep_points.iter().map(sweep_json).collect();
+    let _ = writeln!(
+        json,
+        "  \"qps_sweep\": [\n    {}\n  ],",
+        sweep_jsons.join(",\n    ")
     );
     let _ = writeln!(
         json,
@@ -801,6 +835,15 @@ fn main() {
             eprintln!(
                 "[serve-bench] FAIL: open-warm cache hit rate {:.3} <= 0.9",
                 p.cache_hit_rate
+            );
+            failed = true;
+        }
+    }
+    for p in &sweep_points {
+        if p.ok == 0 {
+            eprintln!(
+                "[serve-bench] FAIL: qps-sweep point at {:.0}% completed zero requests",
+                p.fraction * 100.0
             );
             failed = true;
         }
@@ -1054,6 +1097,136 @@ fn open_phase_result(
         exec,
         queue_depth_timeline,
     }
+}
+
+/// One offered-rate point of the `--qps-sweep` grid.
+struct SweepPoint {
+    /// Fraction of the calibrated closed-loop capacity offered.
+    fraction: f64,
+    target_rps: f64,
+    achieved_rps: f64,
+    queries_per_sec: f64,
+    ok: usize,
+    rejected: usize,
+    timeouts: usize,
+    other_errors: usize,
+    latency_p50_ms: f64,
+    latency_p95_ms: f64,
+}
+
+/// Paced rate sweep: one server, a calibration burst, then a short paced
+/// run per grid fraction. Seeds are unique per run (disjoint ranges), so
+/// every request exercises the full generation path — this measures the
+/// saturation curve, not the cache.
+#[cfg(target_os = "linux")]
+fn run_qps_sweep(
+    db: &Database,
+    seed: u64,
+    batch: usize,
+    connections: usize,
+    n_per_request: usize,
+    quant: bool,
+    smoke: bool,
+) -> Vec<SweepPoint> {
+    let mut gen_config = harness_gen_config(seed);
+    gen_config.quantize = quant;
+    let schema = Schema::build("tpch", db, &gen_config, None, 512);
+    let server = serve(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch,
+            max_queue: 512,
+            max_wait_ms: 4,
+            max_batch_jobs: (batch * 8).max(16),
+            read_timeout_ms: 120_000,
+            write_timeout_ms: 120_000,
+            ..ServeConfig::default()
+        },
+        vec![schema],
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let cal = open_loop::run(
+        addr,
+        &open_loop::OpenPlan {
+            connections: connections.min(64),
+            target_rps: 0.0,
+            duration: Duration::from_secs_f64(if smoke { 0.5 } else { 1.0 }),
+            n_per_request,
+            seed_base: 9 << 40,
+            seed_pool: 0,
+        },
+    );
+    let capacity = (cal.ok as f64 / cal.seconds.max(1e-9)).max(1.0);
+    sqlgen_obs::obs_info!(
+        "[serve-bench] qps-sweep calibration: {capacity:.0} req/s closed-loop capacity"
+    );
+    let fractions: &[f64] = if smoke {
+        &[0.4, 0.8]
+    } else {
+        &[0.25, 0.50, 0.75, 0.90, 1.10]
+    };
+    let run_secs = if smoke { 0.8 } else { 3.0 };
+    let mut points = Vec::new();
+    for (i, &fraction) in fractions.iter().enumerate() {
+        let target_rps = (capacity * fraction).max(1.0);
+        let mut stats = open_loop::run(
+            addr,
+            &open_loop::OpenPlan {
+                connections,
+                target_rps,
+                duration: Duration::from_secs_f64(run_secs),
+                n_per_request,
+                // Disjoint seed range per rate point → no cache hits.
+                seed_base: (10 + i as u64) << 40,
+                seed_pool: 0,
+            },
+        );
+        let point = SweepPoint {
+            fraction,
+            target_rps,
+            achieved_rps: stats.ok as f64 / stats.seconds.max(1e-9),
+            queries_per_sec: (stats.ok * n_per_request) as f64 / stats.seconds.max(1e-9),
+            ok: stats.ok,
+            rejected: stats.rejected,
+            timeouts: stats.timeouts,
+            other_errors: stats.other_errors,
+            latency_p50_ms: stats.p(0.50),
+            latency_p95_ms: stats.p(0.95),
+        };
+        sqlgen_obs::obs_info!(
+            "[serve-bench] qps-sweep {:.0}%: offered {:.0} req/s → achieved {:.1} req/s \
+             ({:.1} q/s), p50/p95 {:.1}/{:.1}ms, {} rejected",
+            fraction * 100.0,
+            target_rps,
+            point.achieved_rps,
+            point.queries_per_sec,
+            point.latency_p50_ms,
+            point.latency_p95_ms,
+            point.rejected
+        );
+        points.push(point);
+    }
+    server.shutdown();
+    points
+}
+
+fn sweep_json(p: &SweepPoint) -> String {
+    format!(
+        "{{\"fraction\": {:.2}, \"target_rps\": {:.1}, \"achieved_rps\": {:.2}, \
+         \"queries_per_sec\": {:.2}, \"ok\": {}, \"rejected\": {}, \"timeouts\": {}, \
+         \"other_errors\": {}, \"latency_p50_ms\": {:.2}, \"latency_p95_ms\": {:.2}}}",
+        p.fraction,
+        p.target_rps,
+        p.achieved_rps,
+        p.queries_per_sec,
+        p.ok,
+        p.rejected,
+        p.timeouts,
+        p.other_errors,
+        p.latency_p50_ms,
+        p.latency_p95_ms
+    )
 }
 
 fn breakdown_json(b: &PhaseBreakdown) -> String {

@@ -1,0 +1,417 @@
+//! Paged-storage benchmark: out-of-core equivalence and execution rewards.
+//!
+//! Two phases, both reported in `BENCH_storage.json` (written to `--out`,
+//! default: current directory):
+//!
+//! 1. **Scan** — streams a TPC-H image of `--db-mib` MiB (default 64) to
+//!    disk via [`PagedDbWriter`] (bounded memory), rebuilds the same scale
+//!    in memory, and compares every cell through a `--pool-mib` (default 4)
+//!    buffer pool in row-major order. The file must be at least 10x the
+//!    pool, every value must be bitwise identical (floats compared by
+//!    bits), the pool must evict, and the row-major hit-rate must clear
+//!    0.5 — any violation exits non-zero, which is what the CI storage
+//!    smoke step relies on.
+//! 2. **Reward** — trains a generator against the *paged* image with
+//!    `RewardSource::Execute` (real cardinalities within the default
+//!    budget, estimator fallback on budget misses), then replays the
+//!    generated queries measuring estimator-vs-execution q-error
+//!    (p50/p90/p99/max/mean) and reward agreement — the fraction of
+//!    queries where the constraint verdict is the same under the estimate
+//!    and the true count. Pool counters are reset before the phase so
+//!    `pages_read` attributes I/O to execution alone.
+//!
+//! The scan image is calibrated: a small probe build measures bytes/scale
+//! and the target scale is extrapolated linearly (row counts scale
+//! linearly). `--smoke` shrinks the reward phase (the scan phase keeps its
+//! full size — the 10x working-set pressure *is* the test). All other
+//! flags are the shared harness flags (`--help`).
+
+use sqlgen_bench::methods::harness_gen_config;
+use sqlgen_bench::HarnessArgs;
+use sqlgen_core::{ExecBudget, ExecDb, LearnedSqlGen};
+use sqlgen_engine::{Estimator, ExecOptions};
+use sqlgen_rl::Constraint;
+use sqlgen_storage::gen::Benchmark;
+use sqlgen_storage::{DbRead, PagedDb, PagedDbWriter, TableRead, Value};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MIB: f64 = (1 << 20) as f64;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sqlgen-bench-storage-{tag}-{}.db",
+        std::process::id()
+    ))
+}
+
+/// Streams `benchmark` at `scale` into a fresh paged file; returns bytes.
+fn build_paged(benchmark: Benchmark, scale: f64, seed: u64, path: &PathBuf) -> u64 {
+    let mut w = PagedDbWriter::create(path).expect("create paged file");
+    benchmark
+        .build_into(scale, seed, &mut w)
+        .and_then(|()| w.finish())
+        .unwrap_or_else(|e| panic!("paged build failed: {e}"));
+    std::fs::metadata(path).expect("stat paged file").len()
+}
+
+/// Bitwise value equality: floats by bit pattern (SQL-semantic `==` treats
+/// NaN/NULL as never equal, which is wrong for storage equivalence).
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Null, Value::Null) => true,
+        _ => a == b,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ScanPhase {
+    scale: f64,
+    file_bytes: u64,
+    pool_bytes: usize,
+    rows: u64,
+    values_compared: u64,
+    mismatches: u64,
+    seconds: f64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_rate: f64,
+}
+
+/// Builds the big image, reopens it behind a small pool, and compares every
+/// cell against the in-memory build in row-major order.
+fn run_scan(seed: u64, target_bytes: u64, pool_bytes: usize, path: &PathBuf) -> ScanPhase {
+    // Calibrate bytes/scale with a small probe build, then extrapolate.
+    // Fixed-size tables (nation/region) make growth sublinear, so correct
+    // the scale against the measured size until the target is reached.
+    const PROBE_SCALE: f64 = 0.1;
+    let probe_bytes = build_paged(Benchmark::TpcH, PROBE_SCALE, seed, path);
+    let mut scale = (target_bytes as f64 / (probe_bytes as f64 / PROBE_SCALE)).max(PROBE_SCALE);
+    sqlgen_obs::obs_info!(
+        "[storage] probe {:.1} MiB at scale {PROBE_SCALE} -> target scale {scale:.2}",
+        probe_bytes as f64 / MIB
+    );
+    let start = Instant::now();
+    let mut file_bytes = build_paged(Benchmark::TpcH, scale, seed, path);
+    for _ in 0..3 {
+        if file_bytes as f64 >= target_bytes as f64 * 0.98 {
+            break;
+        }
+        scale *= target_bytes as f64 / file_bytes as f64;
+        file_bytes = build_paged(Benchmark::TpcH, scale, seed, path);
+    }
+    let build_secs = start.elapsed().as_secs_f64();
+    let mem = Benchmark::TpcH.build(scale, seed);
+    let paged = PagedDb::open(path, pool_bytes).unwrap_or_else(|e| panic!("open paged: {e}"));
+    paged
+        .verify()
+        .unwrap_or_else(|e| panic!("verify failed: {e}"));
+    sqlgen_obs::obs_info!(
+        "[storage] built {:.1} MiB ({} rows) in {build_secs:.1}s, pool {:.1} MiB",
+        file_bytes as f64 / MIB,
+        paged.total_rows(),
+        pool_bytes as f64 / MIB
+    );
+
+    paged.reset_pool_stats();
+    let start = Instant::now();
+    let mut values = 0u64;
+    let mut mismatches = 0u64;
+    for name in mem.table_names() {
+        let mt = mem.table(name).expect("listed table exists");
+        let dt = paged.read_table(name).expect("paged table exists");
+        if TableRead::row_count(dt) != mt.row_count() {
+            mismatches += 1;
+            continue;
+        }
+        let cols = mt.schema.columns.len();
+        for r in 0..mt.row_count() {
+            for c in 0..cols {
+                if !bits_eq(&mt.columns[c].get(r), &dt.value(c, r)) {
+                    mismatches += 1;
+                }
+                values += 1;
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = paged.pool_stats();
+    ScanPhase {
+        scale,
+        file_bytes,
+        pool_bytes,
+        rows: paged.total_rows(),
+        values_compared: values,
+        mismatches,
+        seconds,
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+struct RewardPhase {
+    scale: f64,
+    episodes: usize,
+    queries: usize,
+    executed: usize,
+    fallbacks: usize,
+    reward_agreement: f64,
+    pages_read: u64,
+    pool_hits: u64,
+    qerr_count: usize,
+    qerr_mean: f64,
+    qerr_p50: f64,
+    qerr_p90: f64,
+    qerr_p99: f64,
+    qerr_max: f64,
+}
+
+/// Trains with execution rewards against the paged image and measures the
+/// estimator-vs-execution q-error of the queries it then generates.
+fn run_reward(
+    seed: u64,
+    scale: f64,
+    episodes: usize,
+    queries: usize,
+    pool_bytes: usize,
+    path: &PathBuf,
+) -> RewardPhase {
+    build_paged(Benchmark::TpcH, scale, seed, path);
+    let paged = PagedDb::open(path, pool_bytes).unwrap_or_else(|e| panic!("open paged: {e}"));
+    let estimator = Estimator::from_stats(paged.table_stats());
+    let exec_db = Arc::new(ExecDb::Paged(paged));
+    let constraint = Constraint::cardinality_range(10.0, 5_000.0);
+    let config = harness_gen_config(seed).with_execute_rewards(ExecBudget::default());
+    let mut g = LearnedSqlGen::from_exec_db(exec_db.clone(), constraint, config);
+    let start = Instant::now();
+    g.train(episodes);
+    sqlgen_obs::obs_info!(
+        "[storage] trained {episodes} episodes with execution rewards in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    let qs = g.generate_seeded(queries, seed);
+
+    let paged = exec_db.as_paged().expect("exec db is paged");
+    paged.reset_pool_stats();
+    let opts = ExecOptions {
+        max_rows: 5_000_000,
+        deadline: None,
+    };
+    let mut qerrs = Vec::with_capacity(qs.len());
+    let mut executed = 0usize;
+    let mut fallbacks = 0usize;
+    let mut agree = 0usize;
+    for q in &qs {
+        let est = estimator.cardinality(&q.statement);
+        match exec_db.cardinality(&q.statement, opts.clone()) {
+            Ok(real) => {
+                executed += 1;
+                let (a, b) = (est.max(1.0), (real as f64).max(1.0));
+                qerrs.push(a.max(b) / a.min(b));
+                if constraint.satisfied(est) == constraint.satisfied(real as f64) {
+                    agree += 1;
+                }
+            }
+            Err(_) => fallbacks += 1,
+        }
+    }
+    let replay_stats = paged.pool_stats();
+    let pages_read = replay_stats.misses;
+    let pool_hits = replay_stats.hits;
+    qerrs.sort_by(f64::total_cmp);
+    let mean = if qerrs.is_empty() {
+        0.0
+    } else {
+        qerrs.iter().sum::<f64>() / qerrs.len() as f64
+    };
+    RewardPhase {
+        scale,
+        episodes,
+        queries: qs.len(),
+        executed,
+        fallbacks,
+        reward_agreement: agree as f64 / executed.max(1) as f64,
+        pages_read,
+        pool_hits,
+        qerr_count: qerrs.len(),
+        qerr_mean: mean,
+        qerr_p50: percentile(&qerrs, 0.50),
+        qerr_p90: percentile(&qerrs, 0.90),
+        qerr_p99: percentile(&qerrs, 0.99),
+        qerr_max: qerrs.last().copied().unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = String::from(".");
+    let mut db_mib = 64usize;
+    let mut pool_mib = 4usize;
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_dir = it.next().expect("--out needs a value"),
+            "--db-mib" => {
+                db_mib = it
+                    .next()
+                    .expect("--db-mib needs a value")
+                    .parse()
+                    .expect("--db-mib: integer");
+            }
+            "--pool-mib" => {
+                pool_mib = it
+                    .next()
+                    .expect("--pool-mib needs a value")
+                    .parse()
+                    .expect("--pool-mib: integer");
+            }
+            _ => rest.push(a),
+        }
+    }
+    let mut args = HarnessArgs::parse_from(rest);
+    if smoke {
+        args.train = args.train.min(40);
+        args.n = args.n.min(20);
+    }
+    args.init_obs();
+
+    let target_bytes = (db_mib as u64) << 20;
+    let pool_bytes = pool_mib << 20;
+    let scan_path = temp_path("scan");
+    let scan = run_scan(args.seed, target_bytes, pool_bytes, &scan_path);
+    std::fs::remove_file(&scan_path).ok();
+    let ratio = scan.file_bytes as f64 / scan.pool_bytes as f64;
+    sqlgen_obs::obs_info!(
+        "[storage] scanned {} values in {:.1}s: {} mismatches, hit-rate {:.3}, \
+         {} evictions, file/pool {ratio:.1}x",
+        scan.values_compared,
+        scan.seconds,
+        scan.mismatches,
+        scan.hit_rate,
+        scan.evictions
+    );
+
+    // Reward phase trains on a small image: execution cost per query, not
+    // working-set pressure, dominates here.
+    let reward_scale = if smoke { 0.1 } else { 0.3 };
+    let reward_path = temp_path("reward");
+    let reward = run_reward(
+        args.seed,
+        reward_scale,
+        args.train,
+        args.n,
+        pool_bytes,
+        &reward_path,
+    );
+    std::fs::remove_file(&reward_path).ok();
+    sqlgen_obs::obs_info!(
+        "[storage] reward: {}/{} executed, agreement {:.3}, q-error p50 {:.2} p90 {:.2} \
+         p99 {:.2} max {:.2} ({} pages read)",
+        reward.executed,
+        reward.queries,
+        reward.reward_agreement,
+        reward.qerr_p50,
+        reward.qerr_p90,
+        reward.qerr_p99,
+        reward.qerr_max,
+        reward.pages_read
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"tpch\",");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"scan\": {{");
+    let _ = writeln!(json, "    \"scale\": {:.3},", scan.scale);
+    let _ = writeln!(
+        json,
+        "    \"file_mib\": {:.1},",
+        scan.file_bytes as f64 / MIB
+    );
+    let _ = writeln!(
+        json,
+        "    \"pool_mib\": {:.1},",
+        scan.pool_bytes as f64 / MIB
+    );
+    let _ = writeln!(json, "    \"file_over_pool\": {ratio:.1},");
+    let _ = writeln!(json, "    \"rows\": {},", scan.rows);
+    let _ = writeln!(json, "    \"values_compared\": {},", scan.values_compared);
+    let _ = writeln!(json, "    \"mismatches\": {},", scan.mismatches);
+    let _ = writeln!(json, "    \"seconds\": {:.3},", scan.seconds);
+    let _ = writeln!(json, "    \"pool_hits\": {},", scan.hits);
+    let _ = writeln!(json, "    \"pool_misses\": {},", scan.misses);
+    let _ = writeln!(json, "    \"pool_evictions\": {},", scan.evictions);
+    let _ = writeln!(json, "    \"pool_hit_rate\": {:.4}", scan.hit_rate);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"reward\": {{");
+    let _ = writeln!(json, "    \"scale\": {:.3},", reward.scale);
+    let _ = writeln!(json, "    \"episodes\": {},", reward.episodes);
+    let _ = writeln!(json, "    \"queries\": {},", reward.queries);
+    let _ = writeln!(json, "    \"executed\": {},", reward.executed);
+    let _ = writeln!(json, "    \"fallbacks\": {},", reward.fallbacks);
+    let _ = writeln!(
+        json,
+        "    \"reward_agreement\": {:.4},",
+        reward.reward_agreement
+    );
+    let _ = writeln!(json, "    \"pages_read\": {},", reward.pages_read);
+    let _ = writeln!(json, "    \"pool_hits\": {},", reward.pool_hits);
+    let _ = writeln!(
+        json,
+        "    \"qerror\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {:.3}, \
+         \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+        reward.qerr_count,
+        reward.qerr_mean,
+        reward.qerr_p50,
+        reward.qerr_p90,
+        reward.qerr_p99,
+        reward.qerr_max
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    let path = std::path::Path::new(&out_dir).join("BENCH_storage.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    sqlgen_obs::obs_info!("[storage] wrote {}", path.display());
+    args.finish_obs();
+
+    // Invariant gate (the CI smoke step relies on the non-zero exit).
+    let mut failures = Vec::new();
+    if ratio < 10.0 {
+        failures.push(format!("file/pool ratio {ratio:.1} below 10x"));
+    }
+    if scan.mismatches > 0 {
+        failures.push(format!(
+            "{} value mismatches vs in-memory build",
+            scan.mismatches
+        ));
+    }
+    if scan.evictions == 0 {
+        failures.push("pool never evicted".to_string());
+    }
+    if scan.hit_rate <= 0.5 {
+        failures.push(format!("row-major hit-rate {:.3} below 0.5", scan.hit_rate));
+    }
+    if reward.executed == 0 {
+        failures.push("no query executed within budget".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_storage: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

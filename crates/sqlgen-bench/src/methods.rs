@@ -89,6 +89,7 @@ pub fn harness_gen_config(seed: u64) -> GenConfig {
         batch_size: 1,
         quantize: false,
         refine: RefineConfig::default(),
+        reward_source: sqlgen_core::RewardSource::default(),
     }
 }
 

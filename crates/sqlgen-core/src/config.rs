@@ -2,7 +2,7 @@
 
 use crate::refine::RefineConfig;
 use sqlgen_fsm::FsmConfig;
-use sqlgen_rl::{NetConfig, TrainConfig};
+use sqlgen_rl::{ExecBudget, NetConfig, RewardSource, TrainConfig};
 use sqlgen_storage::sample::SampleConfig;
 
 /// Which RL algorithm drives generation.
@@ -55,6 +55,12 @@ pub struct GenConfig {
     /// CLI `--no-refine` flag) to restore the legacy generate-and-hope
     /// path bit-for-bit.
     pub refine: RefineConfig,
+    /// Cardinality reward signal (DESIGN.md §14): histogram estimates
+    /// (the default, the paper's choice) or real execution against an
+    /// attached store within a per-query budget. Execution requires
+    /// [`crate::LearnedSqlGen::with_exec_db`] /
+    /// [`crate::LearnedSqlGen::from_exec_db`].
+    pub reward_source: RewardSource,
 }
 
 impl Default for GenConfig {
@@ -69,6 +75,7 @@ impl Default for GenConfig {
             batch_size: 1,
             quantize: false,
             refine: RefineConfig::default(),
+            reward_source: RewardSource::default(),
         }
     }
 }
@@ -137,6 +144,18 @@ impl GenConfig {
     /// resample rounds).
     pub fn with_refine_config(mut self, refine: RefineConfig) -> Self {
         self.refine = refine;
+        self
+    }
+
+    /// Selects the cardinality reward signal (estimates by default).
+    pub fn with_reward_source(mut self, source: RewardSource) -> Self {
+        self.reward_source = source;
+        self
+    }
+
+    /// Shorthand for execution rewards with the given per-query budget.
+    pub fn with_execute_rewards(mut self, budget: ExecBudget) -> Self {
+        self.reward_source = RewardSource::Execute { budget };
         self
     }
 

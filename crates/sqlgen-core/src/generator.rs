@@ -7,10 +7,11 @@ use crate::refine::Refiner;
 use sqlgen_engine::{render, Estimator, Statement};
 use sqlgen_fsm::Vocabulary;
 use sqlgen_rl::{
-    run_jobs_batched, worker_seed, ActorCritic, Constraint, Episode, EstimatorCache, Job,
+    run_jobs_batched, worker_seed, ActorCritic, Constraint, Episode, EstimatorCache, ExecDb, Job,
     JobOutcome, QuantizedActor, Reinforce, SqlGenEnv,
 };
 use sqlgen_storage::Database;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One generated query with its measured metric.
@@ -61,7 +62,33 @@ pub struct LearnedSqlGen {
     /// cache; see [`crate::refine`]). Deterministic, so it rides along on
     /// both the RNG-stream and the seeded generation paths.
     refiner: Refiner,
+    /// Store for `RewardSource::Execute` rewards (shared with serving via
+    /// `Arc`); `None` keeps the estimator-only paths untouched.
+    exec_db: Option<Arc<ExecDb>>,
     pub stats: TrainStats,
+}
+
+/// Builds the environment from split field borrows, so callers can hold
+/// `&mut self.trainer` at the same time.
+fn build_env<'a>(
+    vocab: &'a Vocabulary,
+    estimator: &'a Estimator,
+    constraint: Constraint,
+    config: &GenConfig,
+    cache: &'a EstimatorCache,
+    exec_db: Option<&'a ExecDb>,
+) -> SqlGenEnv<'a> {
+    let mut env = SqlGenEnv::new(vocab, estimator, constraint)
+        .with_fsm_config(config.fsm.clone())
+        .with_cache(cache)
+        .with_reward_source(config.reward_source);
+    if let Some(db) = exec_db {
+        env = env.with_exec_db(db);
+        if let Some(mem) = db.as_mem() {
+            env = env.with_database(mem);
+        }
+    }
+    env
 }
 
 impl LearnedSqlGen {
@@ -70,6 +97,36 @@ impl LearnedSqlGen {
     pub fn new(db: &Database, constraint: Constraint, config: GenConfig) -> Self {
         let vocab = Vocabulary::build(db, &config.sample);
         let estimator = Estimator::build(db);
+        Self::from_parts(vocab, estimator, constraint, config)
+    }
+
+    /// Builds the generator directly from an execution store — in-memory
+    /// or paged. With a paged store the action space is sampled through
+    /// the buffer pool and statistics are stride-sampled from disk, so a
+    /// multi-GB database never needs a second in-memory copy; the store
+    /// is retained for `RewardSource::Execute` rewards.
+    pub fn from_exec_db(db: Arc<ExecDb>, constraint: Constraint, config: GenConfig) -> Self {
+        let (vocab, estimator) = match &*db {
+            ExecDb::Mem(mem) => (
+                Vocabulary::build(mem, &config.sample),
+                Estimator::build(mem),
+            ),
+            ExecDb::Paged(paged) => (
+                Vocabulary::build(paged, &config.sample),
+                Estimator::from_stats(paged.table_stats()),
+            ),
+        };
+        let mut gen = Self::from_parts(vocab, estimator, constraint, config);
+        gen.exec_db = Some(db);
+        gen
+    }
+
+    fn from_parts(
+        vocab: Vocabulary,
+        estimator: Estimator,
+        constraint: Constraint,
+        config: GenConfig,
+    ) -> Self {
         let trainer = match config.algorithm {
             Algorithm::Reinforce => {
                 Trainer::Reinforce(Box::new(Reinforce::new(vocab.size(), config.train.clone())))
@@ -89,10 +146,23 @@ impl LearnedSqlGen {
             cache: EstimatorCache::default(),
             quant: None,
             refiner,
+            exec_db: None,
             stats: TrainStats::default(),
         };
         gen.refresh_quant();
         gen
+    }
+
+    /// Attaches a store for `RewardSource::Execute` rewards after
+    /// construction (e.g. the in-memory db the generator was built from).
+    pub fn with_exec_db(mut self, db: Arc<ExecDb>) -> Self {
+        self.exec_db = Some(db);
+        self
+    }
+
+    /// The attached execution store, if any.
+    pub fn exec_db(&self) -> Option<&Arc<ExecDb>> {
+        self.exec_db.as_ref()
     }
 
     fn actor(&self) -> &sqlgen_rl::ActorNet {
@@ -145,9 +215,14 @@ impl LearnedSqlGen {
     }
 
     fn env(&self) -> SqlGenEnv<'_> {
-        SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone())
-            .with_cache(&self.cache)
+        build_env(
+            &self.vocab,
+            &self.estimator,
+            self.constraint,
+            &self.config,
+            &self.cache,
+            self.exec_db.as_deref(),
+        )
     }
 
     /// Overrides the inference batch width (lockstep GEMM lanes); used by
@@ -170,9 +245,14 @@ impl LearnedSqlGen {
         let mut tokens = 0usize;
         // Split borrows: the env borrows vocab/estimator, the trainer is
         // updated mutably.
-        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone())
-            .with_cache(&self.cache);
+        let env = build_env(
+            &self.vocab,
+            &self.estimator,
+            self.constraint,
+            &self.config,
+            &self.cache,
+            self.exec_db.as_deref(),
+        );
         let threads = self.config.threads.max(1);
         let batch = self.config.batch_size.max(1);
         let eps = match &mut self.trainer {
@@ -216,9 +296,14 @@ impl LearnedSqlGen {
     pub fn generate(&mut self, n: usize) -> Vec<GeneratedQuery> {
         let _span = sqlgen_obs::obs_span!("gen.generate");
         let started = std::time::Instant::now();
-        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone())
-            .with_cache(&self.cache);
+        let env = build_env(
+            &self.vocab,
+            &self.estimator,
+            self.constraint,
+            &self.config,
+            &self.cache,
+            self.exec_db.as_deref(),
+        );
         let threads = self.config.threads.max(1);
         let batch = self.config.batch_size.max(1);
         let mut eps = roll_episodes(
@@ -317,9 +402,14 @@ impl LearnedSqlGen {
     /// bypassed here: this measures the trained policy itself, not the
     /// repair loop (use [`LearnedSqlGen::generate`] for end-to-end rates).
     pub fn accuracy(&mut self, n: usize) -> f64 {
-        let env = SqlGenEnv::new(&self.vocab, &self.estimator, self.constraint)
-            .with_fsm_config(self.config.fsm.clone())
-            .with_cache(&self.cache);
+        let env = build_env(
+            &self.vocab,
+            &self.estimator,
+            self.constraint,
+            &self.config,
+            &self.cache,
+            self.exec_db.as_deref(),
+        );
         let threads = self.config.threads.max(1);
         let batch = self.config.batch_size.max(1);
         let eps = roll_episodes(
@@ -893,6 +983,63 @@ mod tests {
         let (done, expired) = g.generate_seeded_deadline(4, 1, Some(past));
         assert!(done.is_empty());
         assert_eq!(expired, 4);
+    }
+
+    /// `RewardSource::Execute` trains end-to-end against both store
+    /// backends, stays within the per-query budget (fallbacks counted,
+    /// never panics), and the paged store yields the same vocabulary as
+    /// the in-memory copy it was saved from.
+    #[test]
+    fn execute_rewards_train_against_mem_and_paged_stores() {
+        use sqlgen_rl::{ExecBudget, RewardSource};
+        let constraint = Constraint::cardinality_range(10.0, 10_000.0);
+        let db = tpch_database(0.1, 21);
+        let cfg = GenConfig::fast()
+            .with_seed(5)
+            .with_execute_rewards(ExecBudget {
+                max_rows: 200_000,
+                max_micros: 0,
+            });
+        assert!(matches!(cfg.reward_source, RewardSource::Execute { .. }));
+
+        // In-memory execute store.
+        let mem = std::sync::Arc::new(ExecDb::Mem(db.clone()));
+        let mut g = LearnedSqlGen::from_exec_db(mem, constraint, cfg.clone());
+        g.train(40);
+        let out = g.generate(8);
+        assert_eq!(out.len(), 8);
+        for q in &out {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+        }
+
+        // Paged execute store: persist, reopen, train on real disk reads.
+        let path = std::env::temp_dir().join(format!(
+            "sqlgen_gen_exec_{}_{}.db",
+            std::process::id(),
+            0x9e
+        ));
+        sqlgen_storage::save_database(&db, &path).unwrap();
+        let paged = sqlgen_storage::PagedDb::open(&path, 1 << 20).unwrap();
+        let pg = std::sync::Arc::new(ExecDb::Paged(paged));
+        let mut g2 = LearnedSqlGen::from_exec_db(pg.clone(), constraint, cfg);
+        // Paged and in-memory backends derive the same action space.
+        assert_eq!(g.vocab().size(), g2.vocab().size());
+        g2.train(40);
+        let out = g2.generate(8);
+        assert_eq!(out.len(), 8);
+        for q in &out {
+            sqlgen_engine::validate(&db, &q.statement).unwrap();
+        }
+        // Real executions actually happened against the paged store.
+        let (hits, _misses, _evics, _wb) = {
+            let p = pg.as_paged().unwrap();
+            let s = p.pool_stats();
+            (s.hits, s.misses, s.evictions, s.write_backs)
+        };
+        assert!(hits > 0, "no buffer pool traffic during execute rewards");
+        drop(g2);
+        drop(pg);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

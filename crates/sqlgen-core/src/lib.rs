@@ -36,4 +36,6 @@ pub use meta::{MetaSqlGen, Specialized};
 pub use metrics::{timed, GenerationReport};
 pub use refine::{RefineConfig, RefineOutcome, RefineStep, Refiner};
 // Re-export the constraint vocabulary so users need only this crate.
-pub use sqlgen_rl::{Constraint, Metric, Target, POINT_TOLERANCE};
+pub use sqlgen_rl::{
+    Constraint, ExecBudget, ExecDb, Metric, RewardSource, Target, POINT_TOLERANCE,
+};

@@ -54,6 +54,15 @@ impl Estimator {
         Estimator { tables }
     }
 
+    /// Builds the estimator from precomputed per-table statistics — e.g.
+    /// the stride-sampled stats of a paged store, where a second full
+    /// scan would thrash the buffer pool.
+    pub fn from_stats(stats: impl IntoIterator<Item = TableStats>) -> Self {
+        Estimator {
+            tables: stats.into_iter().map(|t| (t.table.clone(), t)).collect(),
+        }
+    }
+
     pub fn table_stats(&self, table: &str) -> Option<&TableStats> {
         self.tables.get(table)
     }

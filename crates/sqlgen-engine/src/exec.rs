@@ -9,7 +9,7 @@
 //! once into index-resolved form before the scan.
 
 use crate::ast::*;
-use sqlgen_storage::{Column, Database, Value};
+use sqlgen_storage::{ColCursor, Column, Database, DbRead, TableRead, Value};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -27,6 +27,8 @@ pub enum ExecError {
     TypeError(String),
     /// The intermediate result exceeded [`ExecOptions::max_rows`].
     TooLarge,
+    /// Execution ran past [`ExecOptions::deadline`].
+    Timeout,
     /// `INSERT` row arity does not match the table.
     ArityMismatch(String),
 }
@@ -40,6 +42,7 @@ impl fmt::Display for ExecError {
             ExecError::NotSingleColumn => write!(f, "subquery must return a single column"),
             ExecError::TypeError(m) => write!(f, "type error: {m}"),
             ExecError::TooLarge => write!(f, "intermediate result exceeded row limit"),
+            ExecError::Timeout => write!(f, "execution deadline exceeded"),
             ExecError::ArityMismatch(t) => write!(f, "row arity mismatch for table {t}"),
         }
     }
@@ -52,15 +55,25 @@ impl std::error::Error for ExecError {}
 pub struct ExecOptions {
     /// Abort when an intermediate join result exceeds this many tuples.
     pub max_rows: usize,
+    /// Abort with [`ExecError::Timeout`] once execution runs past this
+    /// instant. Checked cooperatively every few thousand tuples, so a
+    /// paged scan never stalls a training step indefinitely. `None`
+    /// (the default) disables the check and keeps execution fully
+    /// deterministic.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             max_rows: 5_000_000,
+            deadline: None,
         }
     }
 }
+
+/// How often (in tuples) the cooperative deadline check fires.
+const DEADLINE_STRIDE: usize = 4096;
 
 /// Hashable normalization of a [`Value`] for join/group keys.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -133,21 +146,37 @@ impl TupleSet {
 }
 
 /// The query executor. Borrow a database, execute statements.
-pub struct Executor<'a> {
-    db: &'a Database,
+///
+/// Generic over the storage backend: `D` defaults to the in-memory
+/// [`Database`], and [`sqlgen_storage::PagedDb`] plugs in unchanged —
+/// the same plans run over disk pages through the buffer pool.
+pub struct Executor<'a, D: DbRead = Database> {
+    db: &'a D,
     opts: ExecOptions,
 }
 
-impl<'a> Executor<'a> {
-    pub fn new(db: &'a Database) -> Self {
+impl<'a, D: DbRead> Executor<'a, D> {
+    pub fn new(db: &'a D) -> Self {
         Executor {
             db,
             opts: ExecOptions::default(),
         }
     }
 
-    pub fn with_options(db: &'a Database, opts: ExecOptions) -> Self {
+    pub fn with_options(db: &'a D, opts: ExecOptions) -> Self {
         Executor { db, opts }
+    }
+
+    /// Cooperative deadline check, amortized over [`DEADLINE_STRIDE`] tuples.
+    fn check_deadline(&self, counter: usize) -> Result<(), ExecError> {
+        if counter.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(d) = self.opts.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(ExecError::Timeout);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Executes a statement and returns its cardinality: the result-set size
@@ -160,7 +189,7 @@ impl<'a> Executor<'a> {
                 InsertSource::Values(_) => {
                     // Validate the target exists so invalid inserts error out.
                     self.db
-                        .table(&i.table)
+                        .read_table(&i.table)
                         .ok_or_else(|| ExecError::UnknownTable(i.table.clone()))?;
                     Ok(1)
                 }
@@ -174,11 +203,11 @@ impl<'a> Executor<'a> {
     /// Executes a `SELECT` and materializes its result.
     pub fn execute_select(&self, q: &SelectQuery) -> Result<ResultSet, ExecError> {
         let tables = q.from.tables();
-        let cols: Vec<&sqlgen_storage::Table> = tables
+        let cols: Vec<&D::Table> = tables
             .iter()
             .map(|t| {
                 self.db
-                    .table(t)
+                    .read_table(t)
                     .ok_or_else(|| ExecError::UnknownTable(t.to_string()))
             })
             .collect::<Result<_, _>>()?;
@@ -193,6 +222,7 @@ impl<'a> Executor<'a> {
         };
         let mut kept: Vec<usize> = Vec::new();
         for i in 0..tuples.len() {
+            self.check_deadline(i)?;
             let t = tuples.tuple(i);
             let ok = match &compiled {
                 Some(p) => eval_pred(p, t, &cols),
@@ -213,7 +243,7 @@ impl<'a> Executor<'a> {
                 let t = tuples.tuple(i);
                 let row: Vec<Value> = resolved
                     .iter()
-                    .map(|&(slot, col)| cols[slot].columns[col].get(t[slot] as usize))
+                    .map(|&(slot, col)| cols[slot].value(col, t[slot] as usize))
                     .collect();
                 rows.push(row);
             }
@@ -251,7 +281,12 @@ impl<'a> Executor<'a> {
         }
         Ok(rs)
     }
+}
 
+/// DML mutation is only defined for the in-memory backend: the RL
+/// environment's INSERT/UPDATE/DELETE rewards are dry-run counts, and
+/// the paged store is written once by [`sqlgen_storage::PagedDbWriter`].
+impl<'a> Executor<'a, Database> {
     /// Applies a DML statement, mutating the database. Returns affected rows.
     pub fn apply(stmt: &Statement, db: &mut Database) -> Result<u64, ExecError> {
         match stmt {
@@ -317,7 +352,9 @@ impl<'a> Executor<'a> {
             }
         }
     }
+}
 
+impl<'a, D: DbRead> Executor<'a, D> {
     fn matching_rows(&self, table: &str, pred: Option<&Predicate>) -> Result<u64, ExecError> {
         Ok(self.matching_row_indices(table, pred)?.len() as u64)
     }
@@ -329,7 +366,7 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<usize>, ExecError> {
         let t = self
             .db
-            .table(table)
+            .read_table(table)
             .ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
         let q = SelectQuery::scan(table, Vec::new());
         let cols = vec![t];
@@ -339,6 +376,7 @@ impl<'a> Executor<'a> {
         };
         let mut out = Vec::new();
         for row in 0..t.row_count() {
+            self.check_deadline(row)?;
             let tup = [row as u32];
             let ok = match &compiled {
                 Some(p) => eval_pred(p, &tup, &cols),
@@ -353,11 +391,7 @@ impl<'a> Executor<'a> {
 
     // --- join -----------------------------------------------------------
 
-    fn join_phase(
-        &self,
-        q: &SelectQuery,
-        cols: &[&sqlgen_storage::Table],
-    ) -> Result<TupleSet, ExecError> {
+    fn join_phase(&self, q: &SelectQuery, cols: &[&D::Table]) -> Result<TupleSet, ExecError> {
         let stride = cols.len();
         let base_rows = cols[0].row_count();
         let mut tuples = TupleSet {
@@ -381,18 +415,25 @@ impl<'a> Executor<'a> {
             let left_col = column_of(cols[left_slot], &join.left.column)?;
             let right_col = column_of(cols[right_slot], &join.right.column)?;
 
-            // Build a hash table over the (smaller) right table.
+            // Build a hash table over the (smaller) right table. The build
+            // side is a sequential scan, so it goes through the cursor —
+            // on the paged backend this pins one page at a time.
             let mut index: HashMap<HashKey, Vec<u32>> = HashMap::new();
+            let mut build = cols[right_slot].scan_column(right_col);
             for r in 0..cols[right_slot].row_count() {
-                if let Some(key) = eq_key(&right_col.get(r)) {
+                self.check_deadline(r)?;
+                let v = build.next_value().expect("cursor shorter than row_count");
+                if let Some(key) = eq_key(&v) {
                     index.entry(key).or_default().push(r as u32);
                 }
             }
+            drop(build);
 
             let mut next = Vec::new();
             for i in 0..tuples.len() {
+                self.check_deadline(i)?;
                 let t = tuples.tuple(i);
-                let key = eq_key(&left_col.get(t[left_slot] as usize));
+                let key = eq_key(&cols[left_slot].value(left_col, t[left_slot] as usize));
                 if let Some(matches) = key.and_then(|k| index.get(&k)) {
                     for &r in matches {
                         next.extend_from_slice(t);
@@ -415,7 +456,7 @@ impl<'a> Executor<'a> {
         &self,
         p: &Predicate,
         q: &SelectQuery,
-        cols: &[&sqlgen_storage::Table],
+        cols: &[&D::Table],
     ) -> Result<CompiledPred, ExecError> {
         Ok(match p {
             Predicate::Cmp { col, op, rhs } => {
@@ -501,7 +542,7 @@ impl<'a> Executor<'a> {
         &self,
         col: &ColRef,
         q: &SelectQuery,
-        cols: &[&sqlgen_storage::Table],
+        cols: &[&D::Table],
     ) -> Result<(usize, usize), ExecError> {
         let slot = q
             .from
@@ -510,7 +551,7 @@ impl<'a> Executor<'a> {
             .position(|t| *t == col.table)
             .ok_or_else(|| ExecError::UnknownTable(col.table.clone()))?;
         let cidx = cols[slot]
-            .schema
+            .schema()
             .column_index(&col.column)
             .ok_or_else(|| ExecError::UnknownColumn(col.to_string()))?;
         Ok((slot, cidx))
@@ -519,13 +560,13 @@ impl<'a> Executor<'a> {
     fn resolve_items(
         &self,
         q: &SelectQuery,
-        cols: &[&sqlgen_storage::Table],
+        cols: &[&D::Table],
     ) -> Result<Vec<(usize, usize)>, ExecError> {
         if q.select.is_empty() {
             // SELECT *: every column of every table.
             let mut out = Vec::new();
             for (slot, t) in cols.iter().enumerate() {
-                for c in 0..t.schema.columns.len() {
+                for c in 0..t.schema().columns.len() {
                     out.push((slot, c));
                 }
             }
@@ -542,7 +583,7 @@ impl<'a> Executor<'a> {
     fn aggregate_phase(
         &self,
         q: &SelectQuery,
-        cols: &[&sqlgen_storage::Table],
+        cols: &[&D::Table],
         tuples: &TupleSet,
         kept: &[usize],
     ) -> Result<ResultSet, ExecError> {
@@ -562,7 +603,7 @@ impl<'a> Executor<'a> {
                 let t = tuples.tuple(i);
                 let key: Vec<HashKey> = group_cols
                     .iter()
-                    .map(|&(slot, c)| hash_key(&cols[slot].columns[c].get(t[slot] as usize)))
+                    .map(|&(slot, c)| hash_key(&cols[slot].value(c, t[slot] as usize)))
                     .collect();
                 groups.entry(key).or_default().push(i);
             }
@@ -628,7 +669,7 @@ impl<'a> Executor<'a> {
                         // Grouped column: take it from the first member.
                         let v = members.first().map(|&i| {
                             let t = tuples.tuple(i);
-                            cols[item.slot].columns[item.col].get(t[item.slot] as usize)
+                            cols[item.slot].value(item.col, t[item.slot] as usize)
                         });
                         row.push(v.unwrap_or(Value::Null));
                     }
@@ -653,13 +694,13 @@ fn item_names(q: &SelectQuery) -> Vec<String> {
         .collect()
 }
 
-fn compute_agg(
+fn compute_agg<T: TableRead>(
     f: AggFunc,
     slot: usize,
     col: usize,
     members: &[usize],
     tuples: &TupleSet,
-    cols: &[&sqlgen_storage::Table],
+    cols: &[&T],
 ) -> Result<Value, ExecError> {
     if f == AggFunc::Count {
         return Ok(Value::Int(members.len() as i64));
@@ -668,7 +709,7 @@ fn compute_agg(
     let mut sum = 0.0;
     for &i in members {
         let t = tuples.tuple(i);
-        let v = cols[slot].columns[col].get(t[slot] as usize);
+        let v = cols[slot].value(col, t[slot] as usize);
         let x = v
             .as_f64()
             .ok_or_else(|| ExecError::TypeError(format!("{} over non-numeric column", f.name())))?;
@@ -701,10 +742,11 @@ fn compute_agg(
     })
 }
 
-fn column_of<'a>(table: &'a sqlgen_storage::Table, name: &str) -> Result<&'a Column, ExecError> {
+fn column_of<T: TableRead>(table: &T, name: &str) -> Result<usize, ExecError> {
     table
-        .column(name)
-        .ok_or_else(|| ExecError::UnknownColumn(format!("{}.{}", table.name(), name)))
+        .schema()
+        .column_index(name)
+        .ok_or_else(|| ExecError::UnknownColumn(format!("{}.{}", table.schema().name, name)))
 }
 
 fn set_cell(col: &mut Column, row: usize, v: &Value) -> Result<(), ExecError> {
@@ -863,7 +905,7 @@ enum CompiledPred {
     Or(Box<CompiledPred>, Box<CompiledPred>),
 }
 
-fn eval_pred(p: &CompiledPred, tuple: &[u32], cols: &[&sqlgen_storage::Table]) -> bool {
+fn eval_pred<T: TableRead>(p: &CompiledPred, tuple: &[u32], cols: &[&T]) -> bool {
     match p {
         CompiledPred::Cmp {
             slot,
@@ -872,17 +914,17 @@ fn eval_pred(p: &CompiledPred, tuple: &[u32], cols: &[&sqlgen_storage::Table]) -
             value,
         } => match value {
             Some(v) => {
-                let lhs = cols[*slot].columns[*col].get(tuple[*slot] as usize);
+                let lhs = cols[*slot].value(*col, tuple[*slot] as usize);
                 op.eval(lhs.try_cmp(v))
             }
             None => false,
         },
         CompiledPred::In { slot, col, set } => {
-            let lhs = cols[*slot].columns[*col].get(tuple[*slot] as usize);
+            let lhs = cols[*slot].value(*col, tuple[*slot] as usize);
             eq_key(&lhs).is_some_and(|k| set.contains(&k))
         }
         CompiledPred::Like { slot, col, tokens } => {
-            match cols[*slot].columns[*col].get(tuple[*slot] as usize) {
+            match cols[*slot].value(*col, tuple[*slot] as usize) {
                 Value::Text(s) => like_match_tokens(tokens, &s),
                 _ => false, // LIKE over non-text is never true
             }
@@ -1195,7 +1237,13 @@ mod tests {
     #[test]
     fn row_limit_guard() {
         let db = db();
-        let ex = Executor::with_options(&db, ExecOptions { max_rows: 5 });
+        let ex = Executor::with_options(
+            &db,
+            ExecOptions {
+                max_rows: 5,
+                ..Default::default()
+            },
+        );
         let stmt =
             parse("SELECT scores.points FROM scores JOIN students ON scores.sid = students.id")
                 .unwrap();

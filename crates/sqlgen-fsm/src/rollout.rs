@@ -76,6 +76,7 @@ mod tests {
             &db,
             ExecOptions {
                 max_rows: 2_000_000,
+                deadline: None,
             },
         );
         for i in 0..300 {
@@ -164,6 +165,7 @@ mod tests {
             &db,
             ExecOptions {
                 max_rows: 2_000_000,
+                deadline: None,
             },
         );
         let mut ordered = 0;

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 use sqlgen_engine::{AggFunc, CmpOp};
 use sqlgen_storage::sample::{sample_database, SampleConfig};
-use sqlgen_storage::{DataType, Database, Value};
+use sqlgen_storage::{DataType, DbRead, TableRead, Value};
 use std::collections::HashMap;
 
 /// A generation token (= one RL action).
@@ -100,9 +100,12 @@ pub struct Vocabulary {
 }
 
 impl Vocabulary {
-    /// Builds the action space from a database. Deterministic for a given
-    /// `SampleConfig` (the paper's `k = 100` default lives there).
-    pub fn build(db: &Database, cfg: &SampleConfig) -> Self {
+    /// Builds the action space from a database — in-memory or any other
+    /// [`DbRead`] backend (the paged store samples through its buffer
+    /// pool). Deterministic for a given `SampleConfig` (the paper's
+    /// `k = 100` default lives there), and bit-identical across backends
+    /// holding the same data.
+    pub fn build<D: DbRead>(db: &D, cfg: &SampleConfig) -> Self {
         let mut tokens: Vec<Token> = vec![
             Token::From,
             Token::Join,
@@ -135,12 +138,13 @@ impl Vocabulary {
         let mut table_columns = Vec::new();
         let mut table_rows = Vec::new();
         let mut col_index: HashMap<(String, String), u32> = HashMap::new();
-        for t in db.tables() {
+        for tname in db.table_names() {
+            let t = db.read_table(tname).expect("listed table exists");
             let tid = tables.len() as u32;
-            tables.push(t.name().to_string());
+            tables.push(tname.to_string());
             table_rows.push(t.row_count());
             let mut cols = Vec::new();
-            for def in &t.schema.columns {
+            for def in &t.schema().columns {
                 let cid = columns.len() as u32;
                 columns.push(VocabColumn {
                     table: tid,
@@ -148,7 +152,7 @@ impl Vocabulary {
                     dtype: def.dtype,
                     categorical: def.categorical,
                 });
-                col_index.insert((t.name().to_string(), def.name.clone()), cid);
+                col_index.insert((tname.to_string(), def.name.clone()), cid);
                 cols.push(cid);
             }
             table_columns.push(cols);

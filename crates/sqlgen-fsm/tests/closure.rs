@@ -28,6 +28,7 @@ fn every_schema_rollout_parses_validates_and_executes() {
             &db,
             ExecOptions {
                 max_rows: 2_000_000,
+                deadline: None,
             },
         );
         let mut rng = StdRng::seed_from_u64(0xC105 ^ bench as u64);

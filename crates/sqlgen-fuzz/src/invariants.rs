@@ -1,4 +1,4 @@
-//! The eleven invariant families the harness checks.
+//! The twelve invariant families the harness checks.
 //!
 //! Each check consumes one case RNG, generates its own inputs, and returns
 //! the number of individual assertions that passed, or a [`CheckFail`]
@@ -18,7 +18,7 @@ use sqlgen_engine::{
 use sqlgen_fsm::{random_statement as fsm_rollout, FsmConfig, Vocabulary};
 use sqlgen_nn::{argmax, masked_softmax, sample_categorical};
 use sqlgen_storage::sample::SampleConfig;
-use sqlgen_storage::Database;
+use sqlgen_storage::{save_database, ColCursor, Database, DbRead, PagedDb, TableRead, PAGE_SIZE};
 
 /// A single invariant violation.
 #[derive(Debug, Clone)]
@@ -1407,5 +1407,179 @@ pub fn check_cache_equivalence(rng: &mut StdRng) -> CheckResult {
         ));
     }
     checks += 2;
+    Ok(checks)
+}
+
+/// (l) Paged equivalence: a random database written to disk and read back
+/// through a minimum-size buffer pool (two frames, so every scan evicts
+/// constantly) is bitwise-identical to the in-memory original — schemas,
+/// every cell (floats by bit pattern), cursor scans, and executor
+/// cardinalities on random statements. Afterwards the file is deliberately
+/// damaged (truncated mid-page or a random byte flipped) and the
+/// open/verify path must report corruption: the CRC covers the whole page
+/// after the checksum field, so no single-byte tear can slip through.
+pub fn check_paged_equivalence(rng: &mut StdRng) -> CheckResult {
+    let db = dbgen::random_database(rng, &DbProfile::default());
+    let path = std::env::temp_dir().join(format!(
+        "sqlgen-fuzz-paged-{}-{:016x}.db",
+        std::process::id(),
+        rng.random::<u64>()
+    ));
+    let result = paged_equivalence_case(rng, &db, &path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+fn value_bits_eq(a: &sqlgen_storage::Value, b: &sqlgen_storage::Value) -> bool {
+    use sqlgen_storage::Value;
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Null, Value::Null) => true,
+        _ => a == b,
+    }
+}
+
+fn paged_equivalence_case(rng: &mut StdRng, db: &Database, path: &std::path::Path) -> CheckResult {
+    let mut checks = 0u64;
+    save_database(db, path).map_err(|e| CheckFail::new(format!("save_database failed: {e}")))?;
+    // Pool size 0 clamps to the two-frame minimum: any table spanning more
+    // than two pages forces eviction mid-scan.
+    let paged = PagedDb::open(path, 0).map_err(|e| CheckFail::new(format!("open failed: {e}")))?;
+
+    if paged.table_names() != db.table_names() {
+        return Err(CheckFail::new(format!(
+            "table set diverged: paged {:?} vs mem {:?}",
+            paged.table_names(),
+            db.table_names()
+        )));
+    }
+    checks += 1;
+
+    for name in db.table_names() {
+        let mem = db.table(name).expect("listed table exists");
+        let disk = paged
+            .read_table(name)
+            .ok_or_else(|| CheckFail::new(format!("table {name} missing from paged image")))?;
+        if format!("{:?}", disk.schema()) != format!("{:?}", mem.schema) {
+            return Err(CheckFail::new(format!("schema diverged for table {name}")));
+        }
+        if TableRead::row_count(disk) != mem.row_count() {
+            return Err(CheckFail::new(format!(
+                "row count diverged for table {name}: paged {} vs mem {}",
+                TableRead::row_count(disk),
+                mem.row_count()
+            )));
+        }
+        for (c, col) in mem.columns.iter().enumerate() {
+            let mut cur = disk.scan_column(c);
+            let mut r = 0usize;
+            while let Some(v) = cur.next_value() {
+                if r >= mem.row_count() {
+                    return Err(CheckFail::new(format!(
+                        "cursor overran table {name} column {c} past row {r}"
+                    )));
+                }
+                if !value_bits_eq(&col.get(r), &v) {
+                    return Err(CheckFail::new(format!(
+                        "cell diverged at {name}.{c}@{r}: paged {v:?} vs mem {:?}",
+                        col.get(r)
+                    )));
+                }
+                r += 1;
+            }
+            if r != mem.row_count() {
+                return Err(CheckFail::new(format!(
+                    "cursor stopped early on {name} column {c}: {r} of {} rows",
+                    mem.row_count()
+                )));
+            }
+        }
+        checks += 1;
+    }
+
+    // A two-frame pool that filled more than two pages must have evicted.
+    let stats = paged.pool_stats();
+    if stats.misses > 2 && stats.evictions == 0 {
+        return Err(CheckFail::new(format!(
+            "{} pool fills with two frames but zero evictions recorded",
+            stats.misses
+        )));
+    }
+    checks += 1;
+
+    // Executor differential through the constantly-evicting pool.
+    let ex_mem = Executor::new(db);
+    let ex_disk = Executor::new(&paged);
+    let opts = GenOptions::default();
+    for _ in 0..STATEMENTS_PER_CASE {
+        let stmt = astgen::random_statement(db, rng, &opts);
+        validate(db, &stmt)
+            .map_err(|e| CheckFail::new(format!("generator produced invalid statement: {e}")))?;
+        let agree = |s: &Statement| match (ex_mem.cardinality(s), ex_disk.cardinality(s)) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !agree(&stmt) {
+            let (a, b) = (ex_mem.cardinality(&stmt), ex_disk.cardinality(&stmt));
+            return Err(CheckFail::with_stmt(
+                format!("in-memory executor {a:?} != paged executor {b:?}"),
+                db,
+                &stmt,
+                &mut |s| !agree(s),
+            ));
+        }
+        checks += 1;
+    }
+    if paged.verify().is_err() {
+        return Err(CheckFail::new("verify failed on an intact file"));
+    }
+    checks += 1;
+    drop(paged);
+
+    // Crash safety: damage the file and demand detection. Either the open
+    // path (header/catalog pages) or verify (heap pages) must object.
+    let len = std::fs::metadata(path)
+        .map_err(|e| CheckFail::new(format!("stat failed: {e}")))?
+        .len();
+    let n_pages = len / PAGE_SIZE as u64;
+    if rng.random_range(0..2u32) == 0 {
+        // Torn final page: the tail of the last write never hit the disk.
+        let cut = rng.random_range(1..PAGE_SIZE as u64);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| CheckFail::new(format!("reopen for truncate failed: {e}")))?;
+        f.set_len(len - cut)
+            .map_err(|e| CheckFail::new(format!("truncate failed: {e}")))?;
+    } else {
+        // Single-byte flip anywhere past the header page.
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        let page = rng.random_range(1..n_pages.max(2));
+        let offset = page * PAGE_SIZE as u64 + rng.random_range(0..PAGE_SIZE as u64);
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| CheckFail::new(format!("reopen for flip failed: {e}")))?;
+        let mut b = [0u8; 1];
+        f.seek(SeekFrom::Start(offset))
+            .and_then(|_| f.read_exact(&mut b))
+            .map_err(|e| CheckFail::new(format!("read for flip failed: {e}")))?;
+        b[0] ^= 0x40;
+        f.seek(SeekFrom::Start(offset))
+            .and_then(|_| f.write_all(&b))
+            .map_err(|e| CheckFail::new(format!("write for flip failed: {e}")))?;
+    }
+    let detected = match PagedDb::open(path, 0) {
+        Err(_) => true,
+        Ok(damaged) => damaged.verify().is_err(),
+    };
+    if !detected {
+        return Err(CheckFail::new(
+            "damaged file opened and verified clean (checksum failed to detect corruption)",
+        ));
+    }
+    checks += 1;
     Ok(checks)
 }

@@ -2,7 +2,7 @@
 //!
 //! The generation pipeline (FSM → render → parse → validate → execute →
 //! estimate) has many independently implemented components that must agree
-//! with each other. This crate stress-tests those agreements with eleven
+//! with each other. This crate stress-tests those agreements with twelve
 //! invariant families over randomly generated schemas, data and statements:
 //!
 //! * **round-trip** — `parse(render(ast)) == ast`, rendering is a fixpoint,
@@ -37,7 +37,13 @@
 //!   the exact last body for that key and held bytes stay within budget;
 //!   a cached response body is bitwise identical to fresh generation at a
 //!   different batch width; keys ignore `timeout_ms` but miss on seed or
-//!   model-version changes (hot-swap invalidation).
+//!   model-version changes (hot-swap invalidation),
+//! * **paged-equivalence** — a random database saved as a paged image and
+//!   read back through a minimum-size (two-frame, constantly evicting)
+//!   buffer pool is bitwise-identical to the in-memory original: schemas,
+//!   every cell, cursor scans, and executor cardinalities on random
+//!   statements; a deliberately damaged file (torn final page or a random
+//!   byte flip) must be rejected by the checksummed open/verify path.
 //!
 //! Everything is deterministic: case `i` of a run with seed `s` derives its
 //! own RNG from `s ^ (i + 1) * GOLDEN`, so any failure reproduces from the
@@ -62,7 +68,7 @@ use std::fmt;
 /// splitmix64).
 pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// The eleven invariant families.
+/// The twelve invariant families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     Roundtrip,
@@ -76,10 +82,11 @@ pub enum Family {
     QuantError,
     RefineValidity,
     CacheEquivalence,
+    PagedEquivalence,
 }
 
 impl Family {
-    pub const ALL: [Family; 11] = [
+    pub const ALL: [Family; 12] = [
         Family::Roundtrip,
         Family::Estimator,
         Family::Differential,
@@ -91,6 +98,7 @@ impl Family {
         Family::QuantError,
         Family::RefineValidity,
         Family::CacheEquivalence,
+        Family::PagedEquivalence,
     ];
 
     pub fn name(self) -> &'static str {
@@ -106,6 +114,7 @@ impl Family {
             Family::QuantError => "quant-error",
             Family::RefineValidity => "refine-validity",
             Family::CacheEquivalence => "cache-equivalence",
+            Family::PagedEquivalence => "paged-equivalence",
         }
     }
 
@@ -181,7 +190,7 @@ pub struct FuzzReport {
     /// Total individual assertions that passed.
     pub checks: u64,
     /// Passed assertions per family, indexed like [`Family::ALL`].
-    pub checks_per_family: [u64; 11],
+    pub checks_per_family: [u64; 12],
     pub failures: Vec<Failure>,
 }
 
@@ -226,6 +235,7 @@ pub fn run_case(family: Family, case_seed: u64) -> Result<u64, CheckFail> {
         Family::QuantError => invariants::check_quant_error(&mut rng),
         Family::RefineValidity => invariants::check_refine_validity(&mut rng),
         Family::CacheEquivalence => invariants::check_cache_equivalence(&mut rng),
+        Family::PagedEquivalence => invariants::check_paged_equivalence(&mut rng),
     }
 }
 

@@ -6,9 +6,10 @@
 
 use crate::cache::EstimatorCache;
 use crate::constraint::{Constraint, Metric};
-use sqlgen_engine::{CostModel, Estimator, ExecOptions, Executor, Statement};
+use sqlgen_engine::{CostModel, Estimator, ExecError, ExecOptions, Executor, Statement};
 use sqlgen_fsm::{FsmConfig, GenState, Vocabulary};
-use sqlgen_storage::Database;
+use sqlgen_storage::{Database, PagedDb};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Weight of the potential-based shaping term (see [`RewardShaper`]).
 pub const DEFAULT_PARTIAL_WEIGHT: f32 = 0.5;
@@ -25,6 +26,92 @@ pub enum RewardMode {
     /// boundary. Kept for the reward-shaping ablation bench — it is
     /// vulnerable to boundary-padding reward hacking (DESIGN.md §5).
     RawBoundary,
+}
+
+/// Per-query execution budget for [`RewardSource::Execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecBudget {
+    /// Abort (and fall back to the estimator) when an intermediate join
+    /// result exceeds this many tuples.
+    pub max_rows: usize,
+    /// Per-query wall-clock budget in microseconds. `0` (the default)
+    /// disables the deadline, keeping rewards fully deterministic —
+    /// only the rows budget bounds execution.
+    pub max_micros: u64,
+}
+
+impl Default for ExecBudget {
+    fn default() -> Self {
+        ExecBudget {
+            max_rows: 2_000_000,
+            max_micros: 0,
+        }
+    }
+}
+
+/// Where the cardinality reward signal comes from (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewardSource {
+    /// Histogram-based estimates — the paper's choice ("we do not use the
+    /// real cardinality for the efficiency issue").
+    #[default]
+    Estimator,
+    /// Execute the query against the attached [`ExecDb`] and reward on
+    /// the *true* cardinality, within `budget`. Failed executions
+    /// (row-limit, timeout, malformed query) fall back to the estimate
+    /// so training never stalls; [`ExecStats`] counts both paths.
+    Execute { budget: ExecBudget },
+}
+
+/// A store the execute reward source can run queries against.
+pub enum ExecDb {
+    /// In-memory columnar tables.
+    Mem(Database),
+    /// Disk-backed slotted pages behind the buffer pool.
+    Paged(PagedDb),
+}
+
+impl ExecDb {
+    /// True result cardinality of `stmt` under `opts`.
+    pub fn cardinality(&self, stmt: &Statement, opts: ExecOptions) -> Result<u64, ExecError> {
+        match self {
+            ExecDb::Mem(db) => Executor::with_options(db, opts).cardinality(stmt),
+            ExecDb::Paged(db) => Executor::with_options(db, opts).cardinality(stmt),
+        }
+    }
+
+    /// The in-memory database, when this store is one.
+    pub fn as_mem(&self) -> Option<&Database> {
+        match self {
+            ExecDb::Mem(db) => Some(db),
+            ExecDb::Paged(_) => None,
+        }
+    }
+
+    /// The paged store, when this store is one.
+    pub fn as_paged(&self) -> Option<&PagedDb> {
+        match self {
+            ExecDb::Paged(db) => Some(db),
+            ExecDb::Mem(_) => None,
+        }
+    }
+}
+
+/// Execute-reward counters: how many rewards came from real execution
+/// versus estimator fallback (surfaced in `BENCH_storage.json`).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    pub executed: AtomicU64,
+    pub fallbacks: AtomicU64,
+}
+
+impl ExecStats {
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.executed.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// Potential-based reward shaping over executable-prefix rewards.
@@ -97,6 +184,12 @@ pub struct SqlGenEnv<'a> {
     /// Optional memo cache for estimator lookups (pure bit-exact
     /// memoization; never consulted for [`Metric::Latency`]).
     pub cache: Option<&'a EstimatorCache>,
+    /// Cardinality reward signal: estimates (default) or real execution.
+    pub reward_source: RewardSource,
+    /// Store for [`RewardSource::Execute`] (in-memory or paged).
+    pub exec_db: Option<&'a ExecDb>,
+    /// Executed-vs-fallback counters for the execute reward source.
+    pub exec_stats: ExecStats,
 }
 
 impl<'a> SqlGenEnv<'a> {
@@ -112,6 +205,9 @@ impl<'a> SqlGenEnv<'a> {
             reward_mode: RewardMode::default(),
             db: None,
             cache: None,
+            reward_source: RewardSource::default(),
+            exec_db: None,
+            exec_stats: ExecStats::default(),
         }
     }
 
@@ -122,6 +218,18 @@ impl<'a> SqlGenEnv<'a> {
 
     pub fn with_reward_mode(mut self, mode: RewardMode) -> Self {
         self.reward_mode = mode;
+        self
+    }
+
+    /// Selects where cardinality rewards come from (estimates by default).
+    pub fn with_reward_source(mut self, source: RewardSource) -> Self {
+        self.reward_source = source;
+        self
+    }
+
+    /// Attaches the store [`RewardSource::Execute`] runs queries against.
+    pub fn with_exec_db(mut self, db: &'a ExecDb) -> Self {
+        self.exec_db = Some(db);
         self
     }
 
@@ -149,12 +257,25 @@ impl<'a> SqlGenEnv<'a> {
     /// attached; latency never does (it measures wall-clock execution).
     pub fn measure(&self, stmt: &Statement) -> f64 {
         match self.constraint.metric {
-            Metric::Cardinality => match self.cache {
-                Some(c) => c
-                    .get_or_insert_with(&format!("k{}", sqlgen_engine::render(stmt)), || {
-                        self.estimator.cardinality(stmt)
-                    }),
-                None => self.estimator.cardinality(stmt),
+            Metric::Cardinality => match self.reward_source {
+                RewardSource::Estimator => match self.cache {
+                    Some(c) => c
+                        .get_or_insert_with(&format!("k{}", sqlgen_engine::render(stmt)), || {
+                            self.estimator.cardinality(stmt)
+                        }),
+                    None => self.estimator.cardinality(stmt),
+                },
+                RewardSource::Execute { budget } => {
+                    // Executed cardinalities live under a distinct "x" key
+                    // prefix: they are not interchangeable with estimates.
+                    let run = || self.execute_cardinality(stmt, budget);
+                    match self.cache {
+                        Some(c) => {
+                            c.get_or_insert_with(&format!("x{}", sqlgen_engine::render(stmt)), run)
+                        }
+                        None => run(),
+                    }
+                }
             },
             Metric::Cost => match self.cache {
                 Some(c) => c
@@ -171,6 +292,7 @@ impl<'a> SqlGenEnv<'a> {
                     db,
                     ExecOptions {
                         max_rows: 5_000_000,
+                        deadline: None,
                     },
                 );
                 let start = std::time::Instant::now();
@@ -179,6 +301,31 @@ impl<'a> SqlGenEnv<'a> {
                     Ok(_) => start.elapsed().as_secs_f64() * 1e6,
                     Err(_) => f64::INFINITY,
                 }
+            }
+        }
+    }
+
+    /// Real-execution cardinality within `budget`, falling back to the
+    /// estimate when execution errors out or blows the budget.
+    fn execute_cardinality(&self, stmt: &Statement, budget: ExecBudget) -> f64 {
+        let db = self.exec_db.expect(
+            "RewardSource::Execute requires SqlGenEnv::with_exec_db \
+             (no store attached to run queries against)",
+        );
+        let opts = ExecOptions {
+            max_rows: budget.max_rows,
+            deadline: (budget.max_micros > 0).then(|| {
+                std::time::Instant::now() + std::time::Duration::from_micros(budget.max_micros)
+            }),
+        };
+        match db.cardinality(stmt, opts) {
+            Ok(n) => {
+                self.exec_stats.executed.fetch_add(1, Ordering::Relaxed);
+                n as f64
+            }
+            Err(_) => {
+                self.exec_stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.estimator.cardinality(stmt)
             }
         }
     }

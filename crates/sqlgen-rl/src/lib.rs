@@ -31,7 +31,7 @@ pub use actor_critic::ActorCritic;
 pub use batch::{collect_episodes_batched, run_jobs_batched, BatchRollout, Job, JobOutcome};
 pub use cache::{EstimatorCache, DEFAULT_ESTIMATOR_CACHE_CAPACITY};
 pub use constraint::{Constraint, Metric, Target, POINT_TOLERANCE};
-pub use env::{RewardMode, RewardShaper, SqlGenEnv};
+pub use env::{ExecBudget, ExecDb, ExecStats, RewardMode, RewardShaper, RewardSource, SqlGenEnv};
 pub use episode::{
     rewards_to_go, rewards_to_go_into, run_episode, run_episode_infer, run_episode_into, Episode,
     InferRollout, Rollout,

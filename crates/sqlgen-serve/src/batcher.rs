@@ -462,9 +462,28 @@ pub fn batch_loop(schema: &Schema, cfg: &BatcherConfig) {
 
 /// Executes one gathered window: registry hot-swap (between windows, never
 /// mid-window; a swap invalidates the result cache), trace-span tiling,
-/// [`run_window`], and replies. Shared by the legacy per-schema batcher
-/// thread and the shard workers.
+/// [`run_window`], and replies. Used by the legacy per-schema batcher
+/// thread; shard workers call [`run_window_tasks_with_model`] with their
+/// cached snapshot instead.
 pub fn run_window_tasks(schema: &Schema, tasks: Vec<(GenTask, Instant)>, cfg: &BatcherConfig) {
+    if let Ok(true) = schema.registry.refresh() {
+        schema.cache.clear();
+    }
+    let model = schema.registry.current();
+    run_window_tasks_with_model(schema, &model, tasks, cfg);
+}
+
+/// [`run_window_tasks`] with the model snapshot chosen by the caller. The
+/// shard loop resolves `model` once per `(schema, registry generation)`
+/// and reuses the `Arc` across windows, so steady-state windows skip the
+/// registry `RwLock` entirely. The caller owns the refresh/invalidations
+/// that `run_window_tasks` performs.
+pub fn run_window_tasks_with_model(
+    schema: &Schema,
+    model: &Arc<crate::registry::ServedModel>,
+    tasks: Vec<(GenTask, Instant)>,
+    cfg: &BatcherConfig,
+) {
     let job_count: usize = tasks.iter().map(|(t, _)| t.req.n).sum();
     // One labeled series per (schema, batch_width); the lookup is a map
     // probe per window, invisible next to the window itself.
@@ -475,12 +494,6 @@ pub fn run_window_tasks(schema: &Schema, tasks: Vec<(GenTask, Instant)>, cfg: &B
     let queue_wait_h = m.histogram_with("serve.phase.queue_wait_us", &phase_labels);
     let gather_h = m.histogram_with("serve.phase.gather_us", &phase_labels);
     let exec_h = m.histogram_with("serve.phase.exec_us", &phase_labels);
-    // Load failures keep the old model; a successful swap makes every
-    // cached body stale-by-version, so drop them eagerly.
-    if let Ok(true) = schema.registry.refresh() {
-        schema.cache.clear();
-    }
-    let model = schema.registry.current();
     let started = Instant::now();
     let reqs: Vec<WindowRequest> = tasks
         .iter()

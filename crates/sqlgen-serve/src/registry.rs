@@ -19,6 +19,7 @@
 use sqlgen_core::checkpoint::{read_file, CheckpointError};
 use sqlgen_rl::{ActorNet, QuantizedActor};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::SystemTime;
 
@@ -52,6 +53,14 @@ pub struct ModelRegistry {
     quantize: bool,
     current: RwLock<Arc<ServedModel>>,
     loaded_from: Mutex<Option<LoadedFrom>>,
+    /// Lock-free mirror of `current().version`, so per-request routing
+    /// (`ShardPool::try_push`) never touches the `RwLock`.
+    version_hint: AtomicU64,
+    /// Bumped on every publish. Shard workers cache the `Arc<ServedModel>`
+    /// they last read and only re-read `current()` when this moves, so the
+    /// steady-state per-window cost is one atomic load instead of a read
+    /// lock + `Arc` clone.
+    generation: AtomicU64,
 }
 
 /// Trailing integer of the file stem: `policy-v12` → 12, `7` → 7, else 0.
@@ -80,10 +89,13 @@ impl ModelRegistry {
         initial.quant = quantize.then(|| QuantizedActor::from_actor(&initial.actor));
         sqlgen_obs::obs_gauge!("serve.model.version", initial.version as f64);
         sqlgen_obs::obs_gauge!("serve.model.quantized", if quantize { 1.0 } else { 0.0 });
+        let version = initial.version;
         ModelRegistry {
             dir,
             vocab_size,
             quantize,
+            version_hint: AtomicU64::new(version),
+            generation: AtomicU64::new(0),
             current: RwLock::new(Arc::new(initial)),
             loaded_from: Mutex::new(None),
         }
@@ -97,6 +109,20 @@ impl ModelRegistry {
     /// The policy requests should run on right now.
     pub fn current(&self) -> Arc<ServedModel> {
         self.current.read().expect("registry lock").clone()
+    }
+
+    /// The current model's version without taking the read lock. Routing
+    /// uses this; it may trail `current().version` by one publish for a
+    /// moment, which only shifts which shard a racing request lands on —
+    /// purity means the response bytes cannot change.
+    pub fn version_hint(&self) -> u64 {
+        self.version_hint.load(Ordering::Acquire)
+    }
+
+    /// Publish counter. Moves exactly when `current()` would return a new
+    /// `Arc`; equal generations mean a cached snapshot is still current.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Installs `model` as current (hot-swap). Training loops and tests use
@@ -113,7 +139,13 @@ impl ModelRegistry {
             if model.quant.is_some() { 1.0 } else { 0.0 }
         );
         sqlgen_obs::obs_count!("serve.model.swaps.count");
+        let version = model.version;
         *self.current.write().expect("registry lock") = Arc::new(model);
+        // Swap first, bump after: a reader that sees the new generation is
+        // then guaranteed to read the new pointer, so cached snapshots can
+        // go stale-by-one but never stick.
+        self.version_hint.store(version, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Re-scans the checkpoint directory and swaps in the best candidate if
@@ -303,6 +335,30 @@ mod tests {
         assert_eq!(before.label, "builtin");
         assert_eq!(reg.current().label, "swapped");
         assert_eq!(reg.current().version, 7);
+    }
+
+    #[test]
+    fn version_hint_and_generation_track_publishes() {
+        let reg = ModelRegistry::new(builtin(9), None, 9, false);
+        assert_eq!(reg.version_hint(), 0);
+        assert_eq!(reg.generation(), 0);
+        reg.publish(ServedModel {
+            label: "v7".to_string(),
+            version: 7,
+            actor: actor(9, 42),
+            quant: None,
+        });
+        assert_eq!(reg.version_hint(), 7);
+        assert_eq!(reg.generation(), 1);
+        assert_eq!(reg.current().version, reg.version_hint());
+        reg.publish(ServedModel {
+            label: "v9".to_string(),
+            version: 9,
+            actor: actor(9, 43),
+            quant: None,
+        });
+        assert_eq!(reg.version_hint(), 9);
+        assert_eq!(reg.generation(), 2);
     }
 
     #[test]

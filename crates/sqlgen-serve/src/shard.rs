@@ -20,8 +20,9 @@
 //! multi-core hosts. Purity makes all of this invisible in responses:
 //! which shard (or window) runs a request cannot change its bytes.
 
-use crate::batcher::{run_window_tasks, BatcherConfig, GenTask, Schema};
+use crate::batcher::{run_window_tasks_with_model, BatcherConfig, GenTask, Schema};
 use crate::queue::{BoundedQueue, PushError};
+use crate::registry::ServedModel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -103,14 +104,16 @@ impl ShardPool {
 
     /// Non-blocking admission to the routed shard. The rejected task rides
     /// back in the `Err` so the caller can answer 429/503 on its reply
-    /// channel — worth the large variant.
+    /// channel — worth the large variant. Routing keys on the registry's
+    /// lock-free version hint, so admission never contends with a
+    /// mid-publish writer holding the registry `RwLock`.
     #[allow(clippy::result_large_err)]
     pub fn try_push(
         &self,
         schema: &Arc<Schema>,
         task: GenTask,
     ) -> Result<(), (PushError, GenTask)> {
-        self.shard_for(&schema.name, schema.registry.current().version)
+        self.shard_for(&schema.name, schema.registry.version_hint())
             .queue
             .try_push(ShardTask {
                 schema: schema.clone(),
@@ -174,7 +177,56 @@ impl ShardPool {
 /// open-loop arrivals would otherwise each get a private window and pay
 /// the full per-window fixed cost (env + lane-state setup), capping
 /// throughput far below the batched capacity.
+/// Shard-local model snapshots: one `(schema, generation, model)` entry
+/// per schema this worker has served. Between windows the worker refreshes
+/// the registry (disk scan, between windows only — never mid-window) and
+/// re-reads `current()` only when the publish generation moved, so the
+/// steady-state per-window registry cost is one atomic load instead of a
+/// `RwLock` read + `Arc` clone per window. Bounded by the number of live
+/// schemas, which the server fixes at startup.
+struct ModelCache {
+    entries: Vec<(Arc<Schema>, u64, Arc<ServedModel>)>,
+}
+
+impl ModelCache {
+    fn new() -> ModelCache {
+        ModelCache {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The model the next window on `schema` should run. Refreshes the
+    /// registry from disk first (a successful swap invalidates the result
+    /// cache, exactly as `run_window_tasks` does on the legacy path).
+    fn model_for(&mut self, schema: &Arc<Schema>) -> Arc<ServedModel> {
+        if let Ok(true) = schema.registry.refresh() {
+            schema.cache.clear();
+        }
+        let generation = schema.registry.generation();
+        match self
+            .entries
+            .iter_mut()
+            .find(|(s, _, _)| Arc::ptr_eq(s, schema))
+        {
+            Some(entry) => {
+                if entry.1 != generation {
+                    entry.1 = generation;
+                    entry.2 = schema.registry.current();
+                }
+                entry.2.clone()
+            }
+            None => {
+                let model = schema.registry.current();
+                self.entries
+                    .push((schema.clone(), generation, model.clone()));
+                model
+            }
+        }
+    }
+}
+
 fn shard_loop(shard: &Shard, cfg: &BatcherConfig) {
+    let mut models = ModelCache::new();
     loop {
         let Some(first) = shard.queue.pop_timeout(Duration::from_millis(50)) else {
             if shard.queue.is_closed() && shard.queue.is_empty() {
@@ -220,7 +272,8 @@ fn shard_loop(shard: &Shard, cfg: &BatcherConfig) {
             }
         }
         for (schema, tasks) in groups {
-            run_window_tasks(&schema, tasks, cfg);
+            let model = models.model_for(&schema);
+            run_window_tasks_with_model(&schema, &model, tasks, cfg);
         }
     }
 }
@@ -256,6 +309,28 @@ mod tests {
         // Consistent hashing: going 4 → 5 shards should move roughly 1/5
         // of keys, not most of them. Allow generous slack.
         assert!(moved < keys.len() / 2, "moved {moved} of {}", keys.len());
+    }
+
+    #[test]
+    fn shard_model_cache_reuses_snapshots_until_publish() {
+        let db = sqlgen_storage::gen::tpch_database(0.05, 2);
+        let config = sqlgen_core::GenConfig::fast().with_seed(11);
+        let schema = Arc::new(Schema::build("t", &db, &config, None, 8));
+        let mut cache = ModelCache::new();
+        let a = cache.model_for(&schema);
+        let b = cache.model_for(&schema);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "no publish between windows → cached Arc is reused"
+        );
+        schema.publish_actor("trained", 3, a.actor.clone());
+        let c = cache.model_for(&schema);
+        assert!(
+            !Arc::ptr_eq(&b, &c),
+            "a publish must invalidate the cached snapshot"
+        );
+        assert_eq!(c.version, 3);
+        assert_eq!(c.label, "trained");
     }
 
     fn ring_index(pool: &ShardPool, schema: &str) -> usize {

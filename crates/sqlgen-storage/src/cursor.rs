@@ -1,0 +1,207 @@
+//! Backend-neutral read traits: the seam between the executor and storage.
+//!
+//! `sqlgen-engine::exec` historically reached straight into `Vec`-backed
+//! [`Column`]s. The paged backend (see [`crate::pager`], [`crate::heap`])
+//! cannot hand out `&Column`, so the executor now scans through two small
+//! traits instead:
+//!
+//! * [`TableRead`] — schema, row count, random `(col, row)` access and a
+//!   sequential per-column cursor,
+//! * [`DbRead`] — named-table lookup plus FK-derived join topology.
+//!
+//! The in-memory [`Table`]/[`Database`] implementations below compile to
+//! the same direct `Vec` indexing as before (everything is monomorphized),
+//! which is what keeps the default backend bit-identical: same access
+//! pattern, same values, same iteration order.
+
+use crate::database::{Database, JoinEdge};
+use crate::schema::TableSchema;
+use crate::table::{Column, Table};
+use crate::value::{DataType, Value};
+
+/// Sequential scan over one column. `next` returns `None` past the end.
+pub trait ColCursor {
+    fn next_value(&mut self) -> Option<Value>;
+}
+
+/// Read-only access to one relation.
+pub trait TableRead {
+    type Cursor<'c>: ColCursor
+    where
+        Self: 'c;
+
+    fn schema(&self) -> &TableSchema;
+    fn row_count(&self) -> usize;
+    /// Random access. Panics if `col`/`row` are out of bounds (same
+    /// contract as [`Column::get`]).
+    fn value(&self, col: usize, row: usize) -> Value;
+    /// Sequential scan of column `col`, front to back.
+    fn scan_column(&self, col: usize) -> Self::Cursor<'_>;
+}
+
+/// Read-only access to a catalog of relations. `Sync` because training
+/// shares one environment across scoped worker threads.
+pub trait DbRead: Sync {
+    type Table: TableRead;
+
+    fn read_table(&self, name: &str) -> Option<&Self::Table>;
+    /// Table names in deterministic (sorted) order.
+    fn table_names(&self) -> Vec<&str>;
+    /// All FK-derived join edges involving `table`, in both directions.
+    fn join_edges(&self, table: &str) -> Vec<JoinEdge>;
+
+    fn schema_of(&self, name: &str) -> Option<&TableSchema> {
+        self.read_table(name).map(|t| t.schema())
+    }
+
+    fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+        self.schema_of(table)?.column(column).map(|c| c.dtype)
+    }
+
+    /// The FK edge connecting two specific tables, if any.
+    fn join_edge_between(&self, a: &str, b: &str) -> Option<JoinEdge> {
+        self.join_edges(a).into_iter().find(|e| e.right_table == b)
+    }
+}
+
+/// Cursor over an in-memory column: a live borrow plus an index.
+pub struct MemColCursor<'c> {
+    col: &'c Column,
+    row: usize,
+}
+
+impl ColCursor for MemColCursor<'_> {
+    fn next_value(&mut self) -> Option<Value> {
+        if self.row >= self.col.len() {
+            return None;
+        }
+        let v = self.col.get(self.row);
+        self.row += 1;
+        Some(v)
+    }
+}
+
+impl TableRead for Table {
+    type Cursor<'c> = MemColCursor<'c>;
+
+    fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    fn row_count(&self) -> usize {
+        Table::row_count(self)
+    }
+
+    fn value(&self, col: usize, row: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    fn scan_column(&self, col: usize) -> MemColCursor<'_> {
+        MemColCursor {
+            col: &self.columns[col],
+            row: 0,
+        }
+    }
+}
+
+impl DbRead for Database {
+    type Table = Table;
+
+    fn read_table(&self, name: &str) -> Option<&Table> {
+        self.table(name)
+    }
+
+    fn table_names(&self) -> Vec<&str> {
+        Database::table_names(self)
+    }
+
+    fn join_edges(&self, table: &str) -> Vec<JoinEdge> {
+        Database::join_edges(self, table)
+    }
+}
+
+/// Shared join-edge derivation over any sorted schema listing, so the
+/// paged catalog reproduces [`Database::join_edges`] exactly: outgoing
+/// FKs in declaration order first, then incoming FKs in sorted table
+/// order.
+pub fn join_edges_from_schemas<'s, I>(schemas: I, table: &str) -> Vec<JoinEdge>
+where
+    I: Iterator<Item = &'s TableSchema> + Clone,
+{
+    let mut edges = Vec::new();
+    let known = |name: &str| schemas.clone().any(|s| s.name == name);
+    if let Some(schema) = schemas.clone().find(|s| s.name == table) {
+        for fk in &schema.foreign_keys {
+            if known(&fk.ref_table) {
+                edges.push(JoinEdge {
+                    left_table: table.to_string(),
+                    left_column: fk.column.clone(),
+                    right_table: fk.ref_table.clone(),
+                    right_column: fk.ref_column.clone(),
+                });
+            }
+        }
+    }
+    for s in schemas {
+        if s.name == table {
+            continue;
+        }
+        for fk in &s.foreign_keys {
+            if fk.ref_table == table {
+                edges.push(JoinEdge {
+                    left_table: table.to_string(),
+                    left_column: fk.ref_column.clone(),
+                    right_table: s.name.clone(),
+                    right_column: fk.column.clone(),
+                });
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn sample_table() -> Table {
+        let schema = TableSchema::new("t")
+            .with_column(ColumnDef::new("a", DataType::Int))
+            .with_column(ColumnDef::new("b", DataType::Text));
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Int(1), Value::Text("x".into())]);
+        t.push_row(vec![Value::Int(2), Value::Text("y".into())]);
+        t
+    }
+
+    #[test]
+    fn mem_table_read_matches_direct_access() {
+        let t = sample_table();
+        assert_eq!(TableRead::row_count(&t), 2);
+        assert_eq!(t.value(0, 1), Value::Int(2));
+        assert_eq!(t.value(1, 0), Value::Text("x".into()));
+        let mut c = t.scan_column(0);
+        assert_eq!(c.next_value(), Some(Value::Int(1)));
+        assert_eq!(c.next_value(), Some(Value::Int(2)));
+        assert_eq!(c.next_value(), None);
+    }
+
+    #[test]
+    fn shared_join_edges_match_database_impl() {
+        let student = TableSchema::new("student")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_primary_key();
+        let score = TableSchema::new("score")
+            .with_column(ColumnDef::new("id", DataType::Int))
+            .with_foreign_key("student", "id");
+        let mut db = Database::new();
+        db.add_table(Table::new(student.clone()));
+        db.add_table(Table::new(score.clone()));
+        // Sorted order, as the paged catalog stores them.
+        let schemas = [score, student];
+        for t in ["score", "student"] {
+            assert_eq!(db.join_edges(t), join_edges_from_schemas(schemas.iter(), t));
+        }
+    }
+}

@@ -6,11 +6,10 @@
 //! `movie_keyword`) and their dimension tables — with IMDB-like skew
 //! (a long tail of obscure movies, a short head of prolific actors).
 
-use super::scaled;
+use super::{scaled, DatabaseSink, RowSink};
 use crate::database::Database;
 use crate::dist::{choose, tagged_word, uniform_int, Zipf};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::table::Table;
 use crate::value::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,10 +27,16 @@ const COMPANY_COUNTRIES: [&str; 6] = ["[de]", "[fr]", "[gb]", "[in]", "[jp]", "[
 const ROLES: [&str; 5] = ["actor", "actress", "director", "producer", "writer"];
 const GENDERS: [&str; 2] = ["f", "m"];
 
-/// Builds the JOB/IMDB-shaped database at the given scale factor.
+/// Builds the JOB/IMDB-shaped database in memory at the given scale factor.
 pub fn job_database(scale: f64, seed: u64) -> Database {
+    let mut sink = DatabaseSink::new();
+    let Ok(()) = job_into(scale, seed, &mut sink);
+    sink.into_database()
+}
+
+/// Streams the JOB/IMDB-shaped tables into `sink`.
+pub fn job_into<S: RowSink>(scale: f64, seed: u64, sink: &mut S) -> Result<(), S::Error> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4a4f42); // "JOB"
-    let mut db = Database::new();
 
     let n_kind = KINDS.len();
     let n_info_type = INFO_KINDS.len();
@@ -45,31 +50,31 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
     let n_mkw = scaled(3000, scale);
 
     // kind_type(id PK, kind)
-    let mut kind_type = Table::new(
+    sink.begin_table(
         TableSchema::new("kind_type")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::categorical("kind", DataType::Text)),
-    );
+    )?;
     for (i, k) in KINDS.iter().enumerate() {
-        kind_type.push_row(vec![Value::Int(i as i64), Value::Text(k.to_string())]);
+        sink.push_row(vec![Value::Int(i as i64), Value::Text(k.to_string())])?;
     }
-    db.add_table(kind_type);
+    sink.finish_table()?;
 
     // info_type(id PK, info)
-    let mut info_type = Table::new(
+    sink.begin_table(
         TableSchema::new("info_type")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::categorical("info", DataType::Text)),
-    );
+    )?;
     for (i, k) in INFO_KINDS.iter().enumerate() {
-        info_type.push_row(vec![Value::Int(i as i64), Value::Text(k.to_string())]);
+        sink.push_row(vec![Value::Int(i as i64), Value::Text(k.to_string())])?;
     }
-    db.add_table(info_type);
+    sink.finish_table()?;
 
     // title(id PK, title, kind_id FK, production_year)
-    let mut title = Table::new(
+    sink.begin_table(
         TableSchema::new("title")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -77,71 +82,71 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("kind_id", DataType::Int))
             .with_foreign_key("kind_type", "id")
             .with_column(ColumnDef::new("production_year", DataType::Int)),
-    );
+    )?;
     for i in 0..n_title {
-        title.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("title", i)),
             Value::Int(uniform_int(&mut rng, 0, n_kind as i64 - 1)),
             // Skew toward recent years like IMDB.
             Value::Int(2025 - (Zipf::new(120, 1.0).sample(&mut rng) as i64)),
-        ]);
+        ])?;
     }
-    db.add_table(title);
+    sink.finish_table()?;
 
     // name(id PK, name, gender)
-    let mut name = Table::new(
+    sink.begin_table(
         TableSchema::new("name")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("name", DataType::Text))
             .with_column(ColumnDef::categorical("gender", DataType::Text)),
-    );
+    )?;
     for i in 0..n_name {
-        name.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("person", i)),
             Value::Text(choose(&mut rng, &GENDERS).to_string()),
-        ]);
+        ])?;
     }
-    db.add_table(name);
+    sink.finish_table()?;
 
     // company_name(id PK, name, country_code)
-    let mut company = Table::new(
+    sink.begin_table(
         TableSchema::new("company_name")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("name", DataType::Text))
             .with_column(ColumnDef::categorical("country_code", DataType::Text)),
-    );
+    )?;
     for i in 0..n_company {
-        company.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("company", i)),
             Value::Text(choose(&mut rng, &COMPANY_COUNTRIES).to_string()),
-        ]);
+        ])?;
     }
-    db.add_table(company);
+    sink.finish_table()?;
 
     // keyword(id PK, keyword)
-    let mut keyword = Table::new(
+    sink.begin_table(
         TableSchema::new("keyword")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("keyword", DataType::Text)),
-    );
+    )?;
     for i in 0..n_keyword {
-        keyword.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("kw", i)),
-        ]);
+        ])?;
     }
-    db.add_table(keyword);
+    sink.finish_table()?;
 
     // cast_info(id PK, movie_id FK, person_id FK, role, nr_order)
     let title_zipf = Zipf::new(n_title, 1.0);
     let person_zipf = Zipf::new(n_name, 0.9);
-    let mut cast_info = Table::new(
+    sink.begin_table(
         TableSchema::new("cast_info")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -151,20 +156,20 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("name", "id")
             .with_column(ColumnDef::categorical("role", DataType::Text))
             .with_column(ColumnDef::new("nr_order", DataType::Int)),
-    );
+    )?;
     for i in 0..n_cast {
-        cast_info.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(title_zipf.sample(&mut rng) as i64),
             Value::Int(person_zipf.sample(&mut rng) as i64),
             Value::Text(choose(&mut rng, &ROLES).to_string()),
             Value::Int(uniform_int(&mut rng, 1, 30)),
-        ]);
+        ])?;
     }
-    db.add_table(cast_info);
+    sink.finish_table()?;
 
     // movie_info(id PK, movie_id FK, info_type_id FK, info_value)
-    let mut movie_info = Table::new(
+    sink.begin_table(
         TableSchema::new("movie_info")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -173,20 +178,20 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("info_type_id", DataType::Int))
             .with_foreign_key("info_type", "id")
             .with_column(ColumnDef::new("info_value", DataType::Float)),
-    );
+    )?;
     for i in 0..n_minfo {
-        movie_info.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(title_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 0, n_info_type as i64 - 1)),
             Value::Float(uniform_int(&mut rng, 1, 10_000) as f64 / 10.0),
-        ]);
+        ])?;
     }
-    db.add_table(movie_info);
+    sink.finish_table()?;
 
     // movie_companies(id PK, movie_id FK, company_id FK, note_len)
     let company_zipf = Zipf::new(n_company, 1.1);
-    let mut movie_companies = Table::new(
+    sink.begin_table(
         TableSchema::new("movie_companies")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -195,20 +200,20 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("company_id", DataType::Int))
             .with_foreign_key("company_name", "id")
             .with_column(ColumnDef::new("note_len", DataType::Int)),
-    );
+    )?;
     for i in 0..n_mcomp {
-        movie_companies.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(title_zipf.sample(&mut rng) as i64),
             Value::Int(company_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 0, 120)),
-        ]);
+        ])?;
     }
-    db.add_table(movie_companies);
+    sink.finish_table()?;
 
     // movie_keyword(id PK, movie_id FK, keyword_id FK)
     let kw_zipf = Zipf::new(n_keyword, 0.8);
-    let mut movie_keyword = Table::new(
+    sink.begin_table(
         TableSchema::new("movie_keyword")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -216,17 +221,17 @@ pub fn job_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("title", "id")
             .with_column(ColumnDef::new("keyword_id", DataType::Int))
             .with_foreign_key("keyword", "id"),
-    );
+    )?;
     for i in 0..n_mkw {
-        movie_keyword.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(title_zipf.sample(&mut rng) as i64),
             Value::Int(kw_zipf.sample(&mut rng) as i64),
-        ]);
+        ])?;
     }
-    db.add_table(movie_keyword);
+    sink.finish_table()?;
 
-    db
+    Ok(())
 }
 
 #[cfg(test)]

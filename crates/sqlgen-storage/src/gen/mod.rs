@@ -25,6 +25,72 @@ pub use tpch::tpch_database;
 pub use xuetang::xuetang_database;
 
 use crate::database::Database;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Value;
+use std::convert::Infallible;
+
+/// Where generated rows go. The generators stream row-by-row through
+/// this trait so the destination decides the memory profile: the
+/// in-memory [`DatabaseSink`] accumulates columnar tables exactly as
+/// the generators historically did (bit-identical output), while
+/// [`crate::paged::PagedDbWriter`] spills finished pages to disk and
+/// holds one page in flight — multi-GB scale factors build in bounded
+/// memory.
+pub trait RowSink {
+    type Error: std::fmt::Debug;
+
+    fn begin_table(&mut self, schema: TableSchema) -> Result<(), Self::Error>;
+    fn push_row(&mut self, row: Vec<Value>) -> Result<(), Self::Error>;
+    fn finish_table(&mut self) -> Result<(), Self::Error>;
+}
+
+/// Accumulates generated rows into an in-memory [`Database`].
+#[derive(Default)]
+pub struct DatabaseSink {
+    db: Database,
+    current: Option<Table>,
+}
+
+impl DatabaseSink {
+    pub fn new() -> DatabaseSink {
+        DatabaseSink::default()
+    }
+
+    pub fn into_database(mut self) -> Database {
+        if let Some(t) = self.current.take() {
+            self.db.add_table(t);
+        }
+        self.db
+    }
+}
+
+impl RowSink for DatabaseSink {
+    type Error = Infallible;
+
+    fn begin_table(&mut self, schema: TableSchema) -> Result<(), Infallible> {
+        if let Some(t) = self.current.take() {
+            self.db.add_table(t);
+        }
+        self.current = Some(Table::new(schema));
+        Ok(())
+    }
+
+    fn push_row(&mut self, row: Vec<Value>) -> Result<(), Infallible> {
+        self.current
+            .as_mut()
+            .expect("push_row before begin_table")
+            .push_row(row);
+        Ok(())
+    }
+
+    fn finish_table(&mut self) -> Result<(), Infallible> {
+        if let Some(t) = self.current.take() {
+            self.db.add_table(t);
+        }
+        Ok(())
+    }
+}
 
 /// The three paper benchmarks, for harness dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +117,21 @@ impl Benchmark {
             Benchmark::TpcH => tpch_database(scale, seed),
             Benchmark::Job => job_database(scale, seed),
             Benchmark::XueTang => xuetang_database(scale, seed),
+        }
+    }
+
+    /// Streams the benchmark into any [`RowSink`]; with a paged sink this
+    /// builds arbitrarily large scale factors in bounded memory.
+    pub fn build_into<S: RowSink>(
+        self,
+        scale: f64,
+        seed: u64,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        match self {
+            Benchmark::TpcH => tpch::tpch_into(scale, seed, sink),
+            Benchmark::Job => job::job_into(scale, seed, sink),
+            Benchmark::XueTang => xuetang::xuetang_into(scale, seed, sink),
         }
     }
 }

@@ -4,13 +4,15 @@
 //! TPC-H-like value skew (uniform keys, categorical flag columns, skewed
 //! quantities/prices). At `scale = 1.0` the fact table `lineitem` holds
 //! 6 000 rows — small enough that the test suite can cross-check the
-//! cardinality estimator against real execution.
+//! cardinality estimator against real execution. Rows stream through a
+//! [`RowSink`], so the same generator fills the in-memory backend or a
+//! multi-GB paged file; the RNG is threaded through tables in a fixed
+//! order, making the output identical for every sink.
 
-use super::scaled;
+use super::{scaled, DatabaseSink, RowSink};
 use crate::database::Database;
 use crate::dist::{choose, tagged_word, uniform_float, uniform_int, Zipf};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::table::Table;
 use crate::value::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,10 +31,16 @@ const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const CONTAINERS: [&str; 4] = ["JUMBO BOX", "LG CASE", "MED BAG", "SM PKG"];
 
-/// Builds the TPC-H database at the given scale factor.
+/// Builds the TPC-H database in memory at the given scale factor.
 pub fn tpch_database(scale: f64, seed: u64) -> Database {
+    let mut sink = DatabaseSink::new();
+    let Ok(()) = tpch_into(scale, seed, &mut sink);
+    sink.into_database()
+}
+
+/// Streams the TPC-H tables into `sink`.
+pub fn tpch_into<S: RowSink>(scale: f64, seed: u64, sink: &mut S) -> Result<(), S::Error> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut db = Database::new();
 
     let n_region = 5;
     let n_nation = 25;
@@ -44,40 +52,40 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
     let n_lineitem = scaled(6000, scale);
 
     // region(r_regionkey PK, r_name)
-    let mut region = Table::new(
+    sink.begin_table(
         TableSchema::new("region")
             .with_column(ColumnDef::new("r_regionkey", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::categorical("r_name", DataType::Text)),
-    );
+    )?;
     for i in 0..n_region {
-        region.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"][i].into()),
-        ]);
+        ])?;
     }
-    db.add_table(region);
+    sink.finish_table()?;
 
     // nation(n_nationkey PK, n_name, n_regionkey FK)
-    let mut nation = Table::new(
+    sink.begin_table(
         TableSchema::new("nation")
             .with_column(ColumnDef::new("n_nationkey", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::categorical("n_name", DataType::Text))
             .with_column(ColumnDef::new("n_regionkey", DataType::Int))
             .with_foreign_key("region", "r_regionkey"),
-    );
+    )?;
     for i in 0..n_nation {
-        nation.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("nation", i)),
             Value::Int((i % n_region) as i64),
-        ]);
+        ])?;
     }
-    db.add_table(nation);
+    sink.finish_table()?;
 
     // supplier(s_suppkey PK, s_name, s_nationkey FK, s_acctbal)
-    let mut supplier = Table::new(
+    sink.begin_table(
         TableSchema::new("supplier")
             .with_column(ColumnDef::new("s_suppkey", DataType::Int))
             .with_primary_key()
@@ -85,19 +93,19 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("s_nationkey", DataType::Int))
             .with_foreign_key("nation", "n_nationkey")
             .with_column(ColumnDef::new("s_acctbal", DataType::Float)),
-    );
+    )?;
     for i in 0..n_supplier {
-        supplier.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("supplier", i)),
             Value::Int(uniform_int(&mut rng, 0, n_nation as i64 - 1)),
             Value::Float(uniform_float(&mut rng, -999.99, 9999.99)),
-        ]);
+        ])?;
     }
-    db.add_table(supplier);
+    sink.finish_table()?;
 
     // part(p_partkey PK, p_name, p_brand, p_container, p_size, p_retailprice)
-    let mut part = Table::new(
+    sink.begin_table(
         TableSchema::new("part")
             .with_column(ColumnDef::new("p_partkey", DataType::Int))
             .with_primary_key()
@@ -106,21 +114,21 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::categorical("p_container", DataType::Text))
             .with_column(ColumnDef::new("p_size", DataType::Int))
             .with_column(ColumnDef::new("p_retailprice", DataType::Float)),
-    );
+    )?;
     for i in 0..n_part {
-        part.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("part", i)),
             Value::Text(choose(&mut rng, &BRANDS).to_string()),
             Value::Text(choose(&mut rng, &CONTAINERS).to_string()),
             Value::Int(uniform_int(&mut rng, 1, 50)),
             Value::Float(uniform_float(&mut rng, 900.0, 2100.0)),
-        ]);
+        ])?;
     }
-    db.add_table(part);
+    sink.finish_table()?;
 
     // partsupp(ps_partkey FK, ps_suppkey FK, ps_availqty, ps_supplycost)
-    let mut partsupp = Table::new(
+    sink.begin_table(
         TableSchema::new("partsupp")
             .with_column(ColumnDef::new("ps_partkey", DataType::Int))
             .with_foreign_key("part", "p_partkey")
@@ -128,19 +136,19 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("supplier", "s_suppkey")
             .with_column(ColumnDef::new("ps_availqty", DataType::Int))
             .with_column(ColumnDef::new("ps_supplycost", DataType::Float)),
-    );
+    )?;
     for _ in 0..n_partsupp {
-        partsupp.push_row(vec![
+        sink.push_row(vec![
             Value::Int(uniform_int(&mut rng, 0, n_part as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 0, n_supplier as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 1, 9999)),
             Value::Float(uniform_float(&mut rng, 1.0, 1000.0)),
-        ]);
+        ])?;
     }
-    db.add_table(partsupp);
+    sink.finish_table()?;
 
     // customer(c_custkey PK, c_name, c_nationkey FK, c_mktsegment, c_acctbal)
-    let mut customer = Table::new(
+    sink.begin_table(
         TableSchema::new("customer")
             .with_column(ColumnDef::new("c_custkey", DataType::Int))
             .with_primary_key()
@@ -149,24 +157,24 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("nation", "n_nationkey")
             .with_column(ColumnDef::categorical("c_mktsegment", DataType::Text))
             .with_column(ColumnDef::new("c_acctbal", DataType::Float)),
-    );
+    )?;
     for i in 0..n_customer {
-        customer.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("customer", i)),
             Value::Int(uniform_int(&mut rng, 0, n_nation as i64 - 1)),
             Value::Text(choose(&mut rng, &SEGMENTS).to_string()),
             Value::Float(uniform_float(&mut rng, -999.99, 9999.99)),
-        ]);
+        ])?;
     }
-    db.add_table(customer);
+    sink.finish_table()?;
 
     // orders(o_orderkey PK, o_custkey FK, o_orderstatus, o_totalprice,
     //        o_orderdate, o_orderpriority)
     // Customers are Zipf-skewed: a few customers place most orders, which
     // gives join selectivities some texture.
     let cust_zipf = Zipf::new(n_customer, 0.8);
-    let mut orders = Table::new(
+    sink.begin_table(
         TableSchema::new("orders")
             .with_column(ColumnDef::new("o_orderkey", DataType::Int))
             .with_primary_key()
@@ -176,9 +184,9 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("o_totalprice", DataType::Float))
             .with_column(ColumnDef::new("o_orderdate", DataType::Int))
             .with_column(ColumnDef::categorical("o_orderpriority", DataType::Text)),
-    );
+    )?;
     for i in 0..n_orders {
-        orders.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(cust_zipf.sample(&mut rng) as i64),
             Value::Text(choose(&mut rng, &STATUSES).to_string()),
@@ -186,16 +194,16 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             // Dates as days since 1992-01-01, spanning ~7 years like TPC-H.
             Value::Int(uniform_int(&mut rng, 0, 2555)),
             Value::Text(choose(&mut rng, &PRIORITIES).to_string()),
-        ]);
+        ])?;
     }
-    db.add_table(orders);
+    sink.finish_table()?;
 
     // lineitem(l_orderkey FK, l_partkey FK, l_suppkey FK, l_linenumber,
     //          l_quantity, l_extendedprice, l_discount, l_returnflag,
     //          l_shipmode, l_shipdate)
     let order_zipf = Zipf::new(n_orders, 0.3);
     let part_zipf = Zipf::new(n_part, 0.7);
-    let mut lineitem = Table::new(
+    sink.begin_table(
         TableSchema::new("lineitem")
             .with_column(ColumnDef::new("l_orderkey", DataType::Int))
             .with_foreign_key("orders", "o_orderkey")
@@ -210,9 +218,9 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::categorical("l_returnflag", DataType::Text))
             .with_column(ColumnDef::categorical("l_shipmode", DataType::Text))
             .with_column(ColumnDef::new("l_shipdate", DataType::Int)),
-    );
+    )?;
     for _ in 0..n_lineitem {
-        lineitem.push_row(vec![
+        sink.push_row(vec![
             Value::Int(order_zipf.sample(&mut rng) as i64),
             Value::Int(part_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 0, n_supplier as i64 - 1)),
@@ -223,11 +231,11 @@ pub fn tpch_database(scale: f64, seed: u64) -> Database {
             Value::Text(choose(&mut rng, &RETURNFLAGS).to_string()),
             Value::Text(choose(&mut rng, &SHIPMODES).to_string()),
             Value::Int(uniform_int(&mut rng, 0, 2555)),
-        ]);
+        ])?;
     }
-    db.add_table(lineitem);
+    sink.finish_table()?;
 
-    db
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,11 +7,10 @@
 //! (video watches, exercise submissions, forum posts), and certification —
 //! with heavy user- and course-level skew typical of MOOC platforms.
 
-use super::scaled;
+use super::{scaled, DatabaseSink, RowSink};
 use crate::database::Database;
 use crate::dist::{choose, clamped_normal, tagged_word, uniform_int, Zipf};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::table::Table;
 use crate::value::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,10 +21,16 @@ const LEVELS: [&str; 3] = ["advanced", "beginner", "intermediate"];
 const DEVICES: [&str; 3] = ["mobile", "tablet", "web"];
 const VERDICTS: [&str; 3] = ["correct", "partial", "wrong"];
 
-/// Builds the XueTang-shaped database at the given scale factor.
+/// Builds the XueTang-shaped database in memory at the given scale factor.
 pub fn xuetang_database(scale: f64, seed: u64) -> Database {
+    let mut sink = DatabaseSink::new();
+    let Ok(()) = xuetang_into(scale, seed, &mut sink);
+    sink.into_database()
+}
+
+/// Streams the XueTang-shaped tables into `sink`.
+pub fn xuetang_into<S: RowSink>(scale: f64, seed: u64, sink: &mut S) -> Result<(), S::Error> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x58554554); // "XUET"
-    let mut db = Database::new();
 
     let n_user = scaled(600, scale);
     let n_teacher = scaled(40, scale);
@@ -41,43 +46,43 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
     let n_course_teacher = scaled(120, scale);
 
     // users(id PK, age, degree, active_days)
-    let mut users = Table::new(
+    sink.begin_table(
         TableSchema::new("users")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("age", DataType::Int))
             .with_column(ColumnDef::categorical("degree", DataType::Text))
             .with_column(ColumnDef::new("active_days", DataType::Int)),
-    );
+    )?;
     for i in 0..n_user {
-        users.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(clamped_normal(&mut rng, 24.0, 6.0, 14.0, 70.0) as i64),
             Value::Text(choose(&mut rng, &DEGREES).to_string()),
             Value::Int(uniform_int(&mut rng, 0, 1500)),
-        ]);
+        ])?;
     }
-    db.add_table(users);
+    sink.finish_table()?;
 
     // teacher(id PK, name, rating)
-    let mut teacher = Table::new(
+    sink.begin_table(
         TableSchema::new("teacher")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("name", DataType::Text))
             .with_column(ColumnDef::new("rating", DataType::Float)),
-    );
+    )?;
     for i in 0..n_teacher {
-        teacher.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("teacher", i)),
             Value::Float((uniform_int(&mut rng, 20, 50) as f64) / 10.0),
-        ]);
+        ])?;
     }
-    db.add_table(teacher);
+    sink.finish_table()?;
 
     // course(id PK, name, category, level, duration_weeks)
-    let mut course = Table::new(
+    sink.begin_table(
         TableSchema::new("course")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -85,20 +90,20 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::categorical("category", DataType::Text))
             .with_column(ColumnDef::categorical("level", DataType::Text))
             .with_column(ColumnDef::new("duration_weeks", DataType::Int)),
-    );
+    )?;
     for i in 0..n_course {
-        course.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Text(tagged_word("course", i)),
             Value::Text(choose(&mut rng, &CATEGORIES).to_string()),
             Value::Text(choose(&mut rng, &LEVELS).to_string()),
             Value::Int(uniform_int(&mut rng, 2, 20)),
-        ]);
+        ])?;
     }
-    db.add_table(course);
+    sink.finish_table()?;
 
     // course_teacher(id PK, course_id FK, teacher_id FK)
-    let mut course_teacher = Table::new(
+    sink.begin_table(
         TableSchema::new("course_teacher")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -106,69 +111,69 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("course", "id")
             .with_column(ColumnDef::new("teacher_id", DataType::Int))
             .with_foreign_key("teacher", "id"),
-    );
+    )?;
     for i in 0..n_course_teacher {
-        course_teacher.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(uniform_int(&mut rng, 0, n_course as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 0, n_teacher as i64 - 1)),
-        ]);
+        ])?;
     }
-    db.add_table(course_teacher);
+    sink.finish_table()?;
 
     // chapter(id PK, course_id FK, seq)
-    let mut chapter = Table::new(
+    sink.begin_table(
         TableSchema::new("chapter")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("course_id", DataType::Int))
             .with_foreign_key("course", "id")
             .with_column(ColumnDef::new("seq", DataType::Int)),
-    );
+    )?;
     for i in 0..n_chapter {
-        chapter.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(uniform_int(&mut rng, 0, n_course as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 1, 12)),
-        ]);
+        ])?;
     }
-    db.add_table(chapter);
+    sink.finish_table()?;
 
     // video(id PK, chapter_id FK, duration_sec)
-    let mut video = Table::new(
+    sink.begin_table(
         TableSchema::new("video")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("chapter_id", DataType::Int))
             .with_foreign_key("chapter", "id")
             .with_column(ColumnDef::new("duration_sec", DataType::Int)),
-    );
+    )?;
     for i in 0..n_video {
-        video.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(uniform_int(&mut rng, 0, n_chapter as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 60, 3600)),
-        ]);
+        ])?;
     }
-    db.add_table(video);
+    sink.finish_table()?;
 
     // exercise(id PK, chapter_id FK, difficulty)
-    let mut exercise = Table::new(
+    sink.begin_table(
         TableSchema::new("exercise")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
             .with_column(ColumnDef::new("chapter_id", DataType::Int))
             .with_foreign_key("chapter", "id")
             .with_column(ColumnDef::new("difficulty", DataType::Int)),
-    );
+    )?;
     for i in 0..n_exercise {
-        exercise.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(uniform_int(&mut rng, 0, n_chapter as i64 - 1)),
             Value::Int(uniform_int(&mut rng, 1, 5)),
-        ]);
+        ])?;
     }
-    db.add_table(exercise);
+    sink.finish_table()?;
 
     // MOOC engagement is extremely skewed: a few power users and hit
     // courses account for most events.
@@ -178,7 +183,7 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
     let ex_zipf = Zipf::new(n_exercise, 0.9);
 
     // enrollment(id PK, user_id FK, course_id FK, enroll_day, progress)
-    let mut enrollment = Table::new(
+    sink.begin_table(
         TableSchema::new("enrollment")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -188,20 +193,20 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("course", "id")
             .with_column(ColumnDef::new("enroll_day", DataType::Int))
             .with_column(ColumnDef::new("progress", DataType::Float)),
-    );
+    )?;
     for i in 0..n_enroll {
-        enrollment.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(user_zipf.sample(&mut rng) as i64),
             Value::Int(course_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 0, 730)),
             Value::Float((uniform_int(&mut rng, 0, 100) as f64) / 100.0),
-        ]);
+        ])?;
     }
-    db.add_table(enrollment);
+    sink.finish_table()?;
 
     // video_watch(id PK, user_id FK, video_id FK, watch_sec, device)
-    let mut video_watch = Table::new(
+    sink.begin_table(
         TableSchema::new("video_watch")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -211,20 +216,20 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("video", "id")
             .with_column(ColumnDef::new("watch_sec", DataType::Int))
             .with_column(ColumnDef::categorical("device", DataType::Text)),
-    );
+    )?;
     for i in 0..n_watch {
-        video_watch.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(user_zipf.sample(&mut rng) as i64),
             Value::Int(video_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 1, 3600)),
             Value::Text(choose(&mut rng, &DEVICES).to_string()),
-        ]);
+        ])?;
     }
-    db.add_table(video_watch);
+    sink.finish_table()?;
 
     // submission(id PK, user_id FK, exercise_id FK, score, verdict)
-    let mut submission = Table::new(
+    sink.begin_table(
         TableSchema::new("submission")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -234,20 +239,20 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_foreign_key("exercise", "id")
             .with_column(ColumnDef::new("score", DataType::Float))
             .with_column(ColumnDef::categorical("verdict", DataType::Text)),
-    );
+    )?;
     for i in 0..n_submit {
-        submission.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(user_zipf.sample(&mut rng) as i64),
             Value::Int(ex_zipf.sample(&mut rng) as i64),
             Value::Float(clamped_normal(&mut rng, 70.0, 20.0, 0.0, 100.0).round()),
             Value::Text(choose(&mut rng, &VERDICTS).to_string()),
-        ]);
+        ])?;
     }
-    db.add_table(submission);
+    sink.finish_table()?;
 
     // forum_post(id PK, user_id FK, course_id FK, length)
-    let mut forum_post = Table::new(
+    sink.begin_table(
         TableSchema::new("forum_post")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -256,19 +261,19 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("course_id", DataType::Int))
             .with_foreign_key("course", "id")
             .with_column(ColumnDef::new("length", DataType::Int)),
-    );
+    )?;
     for i in 0..n_post {
-        forum_post.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(user_zipf.sample(&mut rng) as i64),
             Value::Int(course_zipf.sample(&mut rng) as i64),
             Value::Int(uniform_int(&mut rng, 5, 4000)),
-        ]);
+        ])?;
     }
-    db.add_table(forum_post);
+    sink.finish_table()?;
 
     // certificate(id PK, user_id FK, course_id FK, grade)
-    let mut certificate = Table::new(
+    sink.begin_table(
         TableSchema::new("certificate")
             .with_column(ColumnDef::new("id", DataType::Int))
             .with_primary_key()
@@ -277,18 +282,18 @@ pub fn xuetang_database(scale: f64, seed: u64) -> Database {
             .with_column(ColumnDef::new("course_id", DataType::Int))
             .with_foreign_key("course", "id")
             .with_column(ColumnDef::new("grade", DataType::Float)),
-    );
+    )?;
     for i in 0..n_cert {
-        certificate.push_row(vec![
+        sink.push_row(vec![
             Value::Int(i as i64),
             Value::Int(user_zipf.sample(&mut rng) as i64),
             Value::Int(course_zipf.sample(&mut rng) as i64),
             Value::Float(clamped_normal(&mut rng, 80.0, 10.0, 60.0, 100.0).round()),
-        ]);
+        ])?;
     }
-    db.add_table(certificate);
+    sink.finish_table()?;
 
-    db
+    Ok(())
 }
 
 #[cfg(test)]

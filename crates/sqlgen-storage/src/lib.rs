@@ -17,16 +17,26 @@
 //! Everything is deterministic given a seed, which the experiment harness
 //! relies on for reproducibility.
 
+pub mod bufpool;
+pub mod cursor;
 pub mod database;
 pub mod dist;
 pub mod gen;
+pub mod heap;
+pub mod paged;
+pub mod pager;
 pub mod sample;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use bufpool::{BufferPool, PoolStats};
+pub use cursor::{ColCursor, DbRead, TableRead};
 pub use database::Database;
+pub use gen::{DatabaseSink, RowSink};
+pub use paged::{save_database, PagedDb, PagedDbWriter, PagedTable, DEFAULT_POOL_BYTES};
+pub use pager::{Pager, StorageError, PAGE_SIZE};
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Column, Table};

@@ -6,11 +6,12 @@
 //! string columns are sampled like numerical ones. The paper's default is
 //! `k = 100` and §7.7 studies sensitivity to the sample ratio η.
 
-use crate::database::Database;
+use crate::cursor::{ColCursor, DbRead, TableRead};
 use crate::table::Column;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Configuration for value sampling.
 #[derive(Debug, Clone)]
@@ -43,21 +44,26 @@ pub struct ColumnSample {
 }
 
 /// Draws the per-column value samples that become `Value` tokens in the
-/// action space. Deterministic given `cfg.seed`.
-pub fn sample_database(db: &Database, cfg: &SampleConfig) -> Vec<ColumnSample> {
+/// action space. Deterministic given `cfg.seed`, and generic over the
+/// storage backend: on the in-memory [`crate::Database`] the table
+/// order, RNG streams and value accesses are identical to the historic
+/// concrete implementation, so the samples are bit-identical.
+pub fn sample_database<D: DbRead>(db: &D, cfg: &SampleConfig) -> Vec<ColumnSample> {
     let mut out = Vec::new();
-    for table in db.tables() {
-        for (def, col) in table.schema.columns.iter().zip(&table.columns) {
+    for name in db.table_names() {
+        let table = db.read_table(name).expect("listed table exists");
+        let schema = table.schema();
+        for (ci, def) in schema.columns.iter().enumerate() {
             // Distinct-value pool, deterministic order.
             let mut rng =
-                StdRng::seed_from_u64(cfg.seed ^ hash_name(table.name()) ^ hash_name(&def.name));
+                StdRng::seed_from_u64(cfg.seed ^ hash_name(&schema.name) ^ hash_name(&def.name));
             let values = if def.categorical {
-                distinct_values(col, cfg.categorical_limit)
+                distinct_values_read(table, ci, cfg.categorical_limit)
             } else {
-                sample_column(col, cfg.k, &mut rng)
+                sample_column_read(table, ci, cfg.k, &mut rng)
             };
             out.push(ColumnSample {
-                table: table.name().to_string(),
+                table: schema.name.clone(),
                 column: def.name.clone(),
                 values,
             });
@@ -121,6 +127,95 @@ pub fn sample_column<R: Rng + ?Sized>(col: &Column, k: usize, rng: &mut R) -> Ve
     picked
 }
 
+/// [`sample_column`] through the backend-neutral [`TableRead`] trait:
+/// identical RNG draws and row accesses, so identical output on the
+/// in-memory backend.
+pub fn sample_column_read<T: TableRead, R: Rng + ?Sized>(
+    table: &T,
+    col: usize,
+    k: usize,
+    rng: &mut R,
+) -> Vec<Value> {
+    let n = table.row_count();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut picked = Vec::with_capacity(4 * k);
+    for _ in 0..(4 * k).min(4 * n) {
+        picked.push(table.value(col, rng.random_range(0..n)));
+    }
+    dedup_values(&mut picked);
+    picked.truncate(k);
+    picked
+}
+
+/// [`distinct_values`] through [`TableRead`], in bounded memory: one
+/// streaming pass keeping only the `limit` smallest distinct values seen
+/// so far, which is exactly what sort + dedup + truncate produces. For
+/// floats, `PartialEq`-equal values that differ under `total_cmp`
+/// (`-0.0` vs `0.0`) keep the `total_cmp`-smaller representative, again
+/// matching dedup-keep-first on a `total_cmp`-sorted vector.
+pub fn distinct_values_read<T: TableRead>(table: &T, col: usize, limit: usize) -> Vec<Value> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    let mut cursor = table.scan_column(col);
+    match table.schema().columns[col].dtype {
+        DataType::Int => {
+            let mut set: BTreeSet<i64> = BTreeSet::new();
+            while let Some(Value::Int(x)) = cursor.next_value() {
+                set.insert(x);
+                if set.len() > limit {
+                    let max = *set.iter().next_back().unwrap();
+                    set.remove(&max);
+                }
+            }
+            set.into_iter().map(Value::Int).collect()
+        }
+        DataType::Text => {
+            let mut set: BTreeSet<String> = BTreeSet::new();
+            while let Some(Value::Text(s)) = cursor.next_value() {
+                if set.len() == limit {
+                    match set.iter().next_back() {
+                        Some(max) if *max <= s => continue,
+                        _ => {}
+                    }
+                }
+                set.insert(s);
+                if set.len() > limit {
+                    let max = set.iter().next_back().unwrap().clone();
+                    set.remove(&max);
+                }
+            }
+            set.into_iter().map(Value::Text).collect()
+        }
+        DataType::Float => {
+            let mut kept: Vec<f64> = Vec::new();
+            while let Some(Value::Float(x)) = cursor.next_value() {
+                if x.is_nan() {
+                    continue;
+                }
+                let pos = kept.partition_point(|y| y.total_cmp(&x) == std::cmp::Ordering::Less);
+                if pos < kept.len() && kept[pos] == x {
+                    // Same SQL value; keep the total_cmp-smaller bits.
+                    if x.total_cmp(&kept[pos]) == std::cmp::Ordering::Less {
+                        kept[pos] = x;
+                    }
+                    continue;
+                }
+                if pos > 0 && kept[pos - 1] == x {
+                    continue; // existing representative already sorts first
+                }
+                kept.insert(pos, x);
+                if kept.len() > limit {
+                    kept.pop();
+                }
+            }
+            kept.into_iter().map(Value::Float).collect()
+        }
+    }
+}
+
 fn dedup_values(vals: &mut Vec<Value>) {
     // NaN cannot match any predicate, so it is dropped rather than offered
     // as a literal. (`dedup_by` relies on SQL equality, under which NaN is
@@ -133,6 +228,7 @@ fn dedup_values(vals: &mut Vec<Value>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::Database;
     use crate::schema::{ColumnDef, TableSchema};
     use crate::table::Table;
     use crate::value::DataType;
@@ -209,6 +305,50 @@ mod tests {
         db.add_table(Table::new(schema));
         let samples = sample_database(&db, &SampleConfig::default());
         assert!(samples[0].values.is_empty());
+    }
+
+    #[test]
+    fn read_based_helpers_match_column_helpers() {
+        let schema = TableSchema::new("t")
+            .with_column(ColumnDef::new("i", DataType::Int))
+            .with_column(ColumnDef::new("f", DataType::Float))
+            .with_column(ColumnDef::new("s", DataType::Text));
+        let mut t = Table::new(schema);
+        for i in 0..200i64 {
+            t.push_row(vec![
+                Value::Int(i % 37),
+                Value::Float(if i % 11 == 0 {
+                    f64::NAN
+                } else {
+                    (i % 13) as f64
+                }),
+                Value::Text(format!("v{}", i % 23)),
+            ]);
+        }
+        // -0.0 / 0.0 edge: dedup keeps the total_cmp-smaller representative.
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Float(-0.0),
+            Value::Text("z".into()),
+        ]);
+        for (ci, limit) in [(0, 10), (1, 8), (2, 5), (0, 1000)] {
+            let old = distinct_values(&t.columns[ci], limit);
+            let new = distinct_values_read(&t, ci, limit);
+            assert_eq!(old.len(), new.len());
+            for (a, b) in old.iter().zip(&new) {
+                match (a, b) {
+                    (Value::Float(x), Value::Float(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+        for ci in 0..3 {
+            let mut r1 = StdRng::seed_from_u64(99);
+            let mut r2 = StdRng::seed_from_u64(99);
+            let old = sample_column(&t.columns[ci], 20, &mut r1);
+            let new = sample_column_read(&t, ci, 20, &mut r2);
+            assert_eq!(old, new);
+        }
     }
 
     /// Regression: NaN float data used to panic `distinct_values` and let

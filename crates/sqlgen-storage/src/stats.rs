@@ -101,59 +101,72 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     pub fn build(name: &str, col: &Column) -> Self {
-        let row_count = col.len();
         match col {
-            Column::Int(v) => {
-                let data: Vec<f64> = v.iter().map(|&x| x as f64).collect();
-                let distinct = count_distinct_int(v);
-                let mcvs = top_values(v.iter().map(|&x| Value::Int(x)), row_count);
-                ColumnStats {
-                    name: name.to_string(),
-                    dtype: DataType::Int,
-                    row_count,
-                    distinct,
-                    histogram: Histogram::build(data, DEFAULT_BUCKETS),
-                    mcvs,
-                }
-            }
-            Column::Float(v) => {
-                let distinct = count_distinct_float(v);
-                ColumnStats {
-                    name: name.to_string(),
-                    dtype: DataType::Float,
-                    row_count,
-                    distinct,
-                    histogram: Histogram::build(v.clone(), DEFAULT_BUCKETS),
-                    mcvs: Vec::new(),
-                }
-            }
-            Column::Text(v) => {
-                let mut counts: HashMap<&str, usize> = HashMap::new();
-                for s in v {
-                    *counts.entry(s.as_str()).or_default() += 1;
-                }
-                let distinct = counts.len();
-                let mut pairs: Vec<(&str, usize)> = counts.into_iter().collect();
-                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-                let mcvs = pairs
-                    .into_iter()
-                    .take(DEFAULT_MCVS)
-                    .map(|(s, c)| {
-                        (
-                            Value::Text(s.to_string()),
-                            c as f64 / row_count.max(1) as f64,
-                        )
-                    })
-                    .collect();
-                ColumnStats {
-                    name: name.to_string(),
-                    dtype: DataType::Text,
-                    row_count,
-                    distinct,
-                    histogram: None,
-                    mcvs,
-                }
-            }
+            Column::Int(v) => Self::from_ints(name, v),
+            Column::Float(v) => Self::from_floats(name, v.clone()),
+            Column::Text(v) => Self::from_texts(name, v),
+        }
+    }
+
+    /// Builds stats from raw integer data. Shared by the in-memory
+    /// column path and the paged backend's streamed samples.
+    pub fn from_ints(name: &str, v: &[i64]) -> Self {
+        let row_count = v.len();
+        let data: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        let distinct = count_distinct_int(v);
+        let mcvs = top_values(v.iter().map(|&x| Value::Int(x)), row_count);
+        ColumnStats {
+            name: name.to_string(),
+            dtype: DataType::Int,
+            row_count,
+            distinct,
+            histogram: Histogram::build(data, DEFAULT_BUCKETS),
+            mcvs,
+        }
+    }
+
+    /// Builds stats from raw float data (consumes the vector: the
+    /// histogram sorts it in place).
+    pub fn from_floats(name: &str, v: Vec<f64>) -> Self {
+        let row_count = v.len();
+        let distinct = count_distinct_float(&v);
+        ColumnStats {
+            name: name.to_string(),
+            dtype: DataType::Float,
+            row_count,
+            distinct,
+            histogram: Histogram::build(v, DEFAULT_BUCKETS),
+            mcvs: Vec::new(),
+        }
+    }
+
+    /// Builds stats from raw text data.
+    pub fn from_texts(name: &str, v: &[String]) -> Self {
+        let row_count = v.len();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for s in v {
+            *counts.entry(s.as_str()).or_default() += 1;
+        }
+        let distinct = counts.len();
+        let mut pairs: Vec<(&str, usize)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mcvs = pairs
+            .into_iter()
+            .take(DEFAULT_MCVS)
+            .map(|(s, c)| {
+                (
+                    Value::Text(s.to_string()),
+                    c as f64 / row_count.max(1) as f64,
+                )
+            })
+            .collect();
+        ColumnStats {
+            name: name.to_string(),
+            dtype: DataType::Text,
+            row_count,
+            distinct,
+            histogram: None,
+            mcvs,
         }
     }
 
@@ -217,6 +230,13 @@ pub struct TableStats {
     pub columns: Vec<ColumnStats>,
 }
 
+/// Row cap per column for [`TableStats::build_read`] when callers do not
+/// choose one. With stride sampling this bounds stats memory to ~8 MB per
+/// column regardless of on-disk table size; tables at or below the cap
+/// are scanned exactly (stride 1), matching [`TableStats::build`] bit for
+/// bit.
+pub const DEFAULT_STATS_ROW_CAP: usize = 1_000_000;
+
 impl TableStats {
     pub fn build(table: &Table) -> Self {
         let columns = table
@@ -229,6 +249,79 @@ impl TableStats {
         TableStats {
             table: table.name().to_string(),
             row_count: table.row_count(),
+            columns,
+        }
+    }
+
+    /// Builds stats through the backend-neutral [`TableRead`] interface.
+    ///
+    /// Columns longer than `row_cap` are systematically sampled (every
+    /// `stride`-th row) so huge paged tables never materialize in memory;
+    /// MCV frequencies then denominate over the sample, and `distinct`
+    /// becomes a lower bound. At stride 1 the scan order and inputs are
+    /// identical to [`TableStats::build`], so the result is bit-identical
+    /// for any table that fits the cap.
+    pub fn build_read<T: crate::cursor::TableRead>(table: &T, row_cap: usize) -> Self {
+        use crate::cursor::ColCursor;
+        let schema = table.schema();
+        let rows = table.row_count();
+        let stride = if row_cap == 0 {
+            1
+        } else {
+            rows.div_ceil(row_cap).max(1)
+        };
+        let columns = schema
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(ci, def)| {
+                let mut cursor = table.scan_column(ci);
+                match def.dtype {
+                    DataType::Int => {
+                        let mut v = Vec::new();
+                        let mut i = 0usize;
+                        while let Some(val) = cursor.next_value() {
+                            if i.is_multiple_of(stride) {
+                                if let Value::Int(x) = val {
+                                    v.push(x);
+                                }
+                            }
+                            i += 1;
+                        }
+                        ColumnStats::from_ints(&def.name, &v)
+                    }
+                    DataType::Float => {
+                        let mut v = Vec::new();
+                        let mut i = 0usize;
+                        while let Some(val) = cursor.next_value() {
+                            if i.is_multiple_of(stride) {
+                                if let Value::Float(x) = val {
+                                    v.push(x);
+                                }
+                            }
+                            i += 1;
+                        }
+                        ColumnStats::from_floats(&def.name, v)
+                    }
+                    DataType::Text => {
+                        let mut v = Vec::new();
+                        let mut i = 0usize;
+                        while let Some(val) = cursor.next_value() {
+                            if i.is_multiple_of(stride) {
+                                if let Value::Text(s) = val {
+                                    v.push(s);
+                                }
+                            }
+                            i += 1;
+                        }
+                        ColumnStats::from_texts(&def.name, &v)
+                    }
+                }
+            })
+            .collect();
+        TableStats {
+            table: schema.name.clone(),
+            row_count: rows,
             columns,
         }
     }
@@ -291,6 +384,31 @@ mod tests {
         assert_eq!(s.distinct, 3);
         let s = ColumnStats::build("c", &Column::Float(vec![1.5, 1.5, 2.5]));
         assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn build_read_matches_build_under_the_cap() {
+        use crate::schema::{ColumnDef, TableSchema};
+        let schema = TableSchema::new("t")
+            .with_column(ColumnDef::new("i", DataType::Int))
+            .with_column(ColumnDef::new("f", DataType::Float))
+            .with_column(ColumnDef::new("s", DataType::Text));
+        let mut t = Table::new(schema);
+        for i in 0..300i64 {
+            t.push_row(vec![
+                Value::Int(i % 17),
+                Value::Float((i % 5) as f64 + 0.25),
+                Value::Text(format!("s{}", i % 9)),
+            ]);
+        }
+        let exact = TableStats::build(&t);
+        let via_read = TableStats::build_read(&t, DEFAULT_STATS_ROW_CAP);
+        assert_eq!(format!("{exact:?}"), format!("{via_read:?}"));
+        // Over-cap: sampled stats remain well-formed with true row_count.
+        let sampled = TableStats::build_read(&t, 50);
+        assert_eq!(sampled.row_count, 300);
+        assert!(sampled.columns[0].row_count <= 50 + 1);
+        assert!(sampled.columns[0].distinct <= exact.columns[0].distinct);
     }
 
     /// Regression: NaN in a float column used to panic histogram builds.

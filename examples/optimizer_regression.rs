@@ -25,6 +25,7 @@ fn main() {
         &db,
         ExecOptions {
             max_rows: 5_000_000,
+            deadline: None,
         },
     );
 

@@ -10,10 +10,11 @@
 //! sqlgen serve --addr 127.0.0.1:8080 --threads 4 --batch 8 --max-queue 64
 //! ```
 
-use learned_sqlgen::core::{profile, Constraint, GenConfig, LearnedSqlGen};
-use learned_sqlgen::engine::{ExecOptions, Executor, StatementKind};
+use learned_sqlgen::core::{profile, Constraint, ExecBudget, ExecDb, GenConfig, LearnedSqlGen};
+use learned_sqlgen::engine::{ExecOptions, StatementKind};
 use learned_sqlgen::fsm::FsmConfig;
 use learned_sqlgen::storage::gen::Benchmark;
+use learned_sqlgen::storage::{PagedDb, PagedDbWriter, DEFAULT_POOL_BYTES};
 use sqlgen_obs::{obs_error, obs_info};
 use std::process::exit;
 use std::sync::Arc;
@@ -35,6 +36,8 @@ struct Args {
     profile: bool,
     save: Option<String>,
     load: Option<String>,
+    db_file: Option<String>,
+    reward: String,
     only_satisfied: bool,
     trace: Option<String>,
     metrics: bool,
@@ -48,6 +51,7 @@ sqlgen — constraint-aware SQL generation (LearnedSQLGen reproduction)
 USAGE:
   sqlgen --benchmark <tpch|job|xuetang> (--point <v> | --range <lo> <hi>) [flags]
   sqlgen serve [serve flags]       run the HTTP generation service (see --help serve)
+  sqlgen builddb [builddb flags]   stream a benchmark to a paged .db file
 
 FLAGS:
   --metric <card|cost>    constrained metric (default: card)
@@ -64,6 +68,11 @@ FLAGS:
   --profile               print a diversity/complexity profile
   --save <path>           save the trained actor as JSON
   --load <path>           load an actor checkpoint before generating
+  --db-file <path>        run against a paged database image (from
+                          `sqlgen builddb`) instead of regenerating data
+  --reward <est|exec>     cardinality reward signal: histogram estimates
+                          (default) or real execution within a per-query
+                          budget (DESIGN.md §14)
   --trace <path.jsonl>    write structured observability events (JSON lines)
   --metrics               collect latency metrics; print a summary table
   --json                  emit one JSON object per generated query
@@ -87,6 +96,8 @@ fn parse_args() -> Args {
         profile: false,
         save: None,
         load: None,
+        db_file: None,
+        reward: "est".into(),
         only_satisfied: false,
         trace: None,
         metrics: false,
@@ -157,6 +168,8 @@ fn parse_args() -> Args {
             "--only-satisfied" => args.only_satisfied = true,
             "--save" => args.save = Some(value("--save")),
             "--load" => args.load = Some(value("--load")),
+            "--db-file" => args.db_file = Some(value("--db-file")),
+            "--reward" => args.reward = value("--reward"),
             "--trace" => args.trace = Some(value("--trace")),
             "--metrics" => args.metrics = true,
             "--json" => args.json = true,
@@ -173,6 +186,9 @@ fn parse_args() -> Args {
     }
     if args.point.is_some() && args.range.is_some() {
         fail("--point and --range are mutually exclusive");
+    }
+    if args.reward != "est" && args.reward != "exec" {
+        fail("--reward must be est or exec");
     }
     args
 }
@@ -234,6 +250,9 @@ FLAGS:
   --benchmark <name>      served schema: tpch|job|xuetang (default: tpch)
   --scale <sf>            data scale factor (default: 0.3)
   --seed <u64>            RNG seed (default: 42)
+  --db-file <path>        cold-start the schema from a paged database image
+                          (see `sqlgen builddb`) instead of regenerating;
+                          --scale is ignored, --seed still seeds the policy
   --train <episodes>      pre-train the policy before serving (default: 0);
                           needs --point or --range for the training constraint
   --metric <card|cost>    training constraint metric (default: card)
@@ -271,6 +290,7 @@ fn serve_main(argv: Vec<String>) -> ! {
     let mut point: Option<f64> = None;
     let mut range: Option<(f64, f64)> = None;
     let mut model_dir: Option<String> = None;
+    let mut db_file: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut quant = false;
     let mut quiet = false;
@@ -344,6 +364,7 @@ fn serve_main(argv: Vec<String>) -> ! {
                 range = Some((lo, hi));
             }
             "--model-dir" => model_dir = Some(value("--model-dir")),
+            "--db-file" => db_file = Some(value("--db-file")),
             "--quant" => quant = true,
             "--trace" => trace = Some(value("--trace")),
             "--trace-ring" => {
@@ -380,11 +401,37 @@ fn serve_main(argv: Vec<String>) -> ! {
         sqlgen_obs::install_sink(Arc::new(sink));
     }
 
-    obs_info!(
-        "building {} at scale {scale} (seed {seed}) ...",
-        benchmark.name()
-    );
-    let db = benchmark.build(scale, seed);
+    // Cold-start from a persisted image when given one: loading columnar
+    // tables from slotted pages skips the (much slower) row generation +
+    // statistics resampling of a fresh build.
+    let db = match &db_file {
+        Some(path) => {
+            obs_info!("cold-starting {} from {path} ...", benchmark.name());
+            let t0 = std::time::Instant::now();
+            let paged = PagedDb::open(std::path::Path::new(path), DEFAULT_POOL_BYTES)
+                .unwrap_or_else(|e| {
+                    obs_error!("cannot open {path}: {e}");
+                    exit(1);
+                });
+            let db = paged.load_database().unwrap_or_else(|e| {
+                obs_error!("cannot load {path}: {e}");
+                exit(1);
+            });
+            obs_info!(
+                "loaded {} rows in {:.0} ms",
+                db.total_rows(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            db
+        }
+        None => {
+            obs_info!(
+                "building {} at scale {scale} (seed {seed}) ...",
+                benchmark.name()
+            );
+            benchmark.build(scale, seed)
+        }
+    };
     let gen_config = GenConfig::default().with_seed(seed).with_quantize(quant);
 
     let schema = learned_sqlgen::serve::Schema::build(
@@ -430,11 +477,103 @@ fn serve_main(argv: Vec<String>) -> ! {
     }
 }
 
+const BUILDDB_USAGE: &str = "\
+sqlgen builddb — stream a benchmark database to a paged .db image
+
+The generators stream row-by-row into the slotted-page writer, holding one
+page per table in memory, so scale factors far beyond RAM are buildable.
+The image cold-starts `sqlgen --db-file`, `sqlgen serve --db-file` and the
+execution-reward mode without regenerating data.
+
+USAGE:
+  sqlgen builddb --out <path.db> [flags]
+
+FLAGS:
+  --out <path>            output file (required)
+  --benchmark <name>      tpch|job|xuetang (default: tpch)
+  --scale <sf>            data scale factor (default: 0.3)
+  --seed <u64>            RNG seed (default: 42)
+  --quiet                 suppress informational output";
+
+fn builddb_main(argv: Vec<String>) -> ! {
+    let fail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{BUILDDB_USAGE}");
+        exit(2)
+    };
+    let mut benchmark = Benchmark::TpcH;
+    let mut scale = 0.3f64;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--benchmark" => {
+                benchmark = value("--benchmark")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| fail("--scale")),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| fail("--seed")),
+            "--out" => out = Some(value("--out")),
+            "--quiet" | "-q" => sqlgen_obs::set_level(sqlgen_obs::Level::Warn),
+            "--help" | "-h" => {
+                println!("{BUILDDB_USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown builddb flag {other}")),
+        }
+    }
+    let Some(out) = out else {
+        fail("--out is required");
+    };
+    let path = std::path::Path::new(&out);
+    obs_info!(
+        "streaming {} at scale {scale} (seed {seed}) to {out} ...",
+        benchmark.name()
+    );
+    let mut writer = PagedDbWriter::create(path).unwrap_or_else(|e| {
+        obs_error!("cannot create {out}: {e}");
+        exit(1);
+    });
+    benchmark
+        .build_into(scale, seed, &mut writer)
+        .and_then(|()| writer.finish())
+        .unwrap_or_else(|e| {
+            obs_error!("builddb failed: {e}");
+            exit(1);
+        });
+    // Reopen read-only to verify every checksum before declaring success.
+    let db = PagedDb::open(path, DEFAULT_POOL_BYTES).unwrap_or_else(|e| {
+        obs_error!("reopen failed: {e}");
+        exit(1);
+    });
+    if let Err(e) = db.verify() {
+        obs_error!("verification failed: {e}");
+        exit(1);
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    obs_info!(
+        "wrote {out}: {} tables, {} rows, {:.1} MiB (checksums verified)",
+        learned_sqlgen::storage::DbRead::table_names(&db).len(),
+        db.total_rows(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    exit(0)
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         argv.remove(0);
         serve_main(argv);
+    }
+    if argv.first().map(String::as_str) == Some("builddb") {
+        argv.remove(0);
+        builddb_main(argv);
     }
     let args = parse_args();
     if args.quiet {
@@ -462,15 +601,29 @@ fn main() {
         }
     };
 
-    obs_info!(
-        "building {} at scale {} (seed {}) ...",
-        args.benchmark.name(),
-        args.scale,
-        args.seed
-    );
-    let db = {
-        let _s = sqlgen_obs::obs_span!("cli.build_db");
-        args.benchmark.build(args.scale, args.seed)
+    // The store the generator trains against: a cold-started paged image
+    // (`--db-file`) or the freshly generated in-memory benchmark. Both go
+    // through `ExecDb` so `--reward exec` and `--execute` work on either.
+    let exec_db: Arc<ExecDb> = match &args.db_file {
+        Some(path) => {
+            obs_info!("opening paged database {path} ...");
+            let paged = PagedDb::open(std::path::Path::new(path), DEFAULT_POOL_BYTES)
+                .unwrap_or_else(|e| {
+                    obs_error!("cannot open {path}: {e}");
+                    exit(1);
+                });
+            Arc::new(ExecDb::Paged(paged))
+        }
+        None => {
+            obs_info!(
+                "building {} at scale {} (seed {}) ...",
+                args.benchmark.name(),
+                args.scale,
+                args.seed
+            );
+            let _s = sqlgen_obs::obs_span!("cli.build_db");
+            Arc::new(ExecDb::Mem(args.benchmark.build(args.scale, args.seed)))
+        }
     };
 
     let mut config = GenConfig::default()
@@ -481,7 +634,10 @@ fn main() {
     if let Some(kinds) = &args.kinds {
         config.fsm = FsmConfig::default().with_statements(kinds);
     }
-    let mut generator = LearnedSqlGen::new(&db, constraint, config);
+    if args.reward == "exec" {
+        config = config.with_execute_rewards(ExecBudget::default());
+    }
+    let mut generator = LearnedSqlGen::from_exec_db(exec_db.clone(), constraint, config);
 
     if let Some(path) = &args.load {
         let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -517,16 +673,16 @@ fn main() {
         generator.generate(args.n)
     };
 
-    let ex = Executor::with_options(
-        &db,
-        ExecOptions {
-            max_rows: 5_000_000,
-        },
-    );
+    let exec_opts = ExecOptions {
+        max_rows: 5_000_000,
+        deadline: None,
+    };
     for q in &queries {
-        let real = args
-            .execute
-            .then(|| ex.cardinality(&q.statement).map_err(|e| e.to_string()));
+        let real = args.execute.then(|| {
+            exec_db
+                .cardinality(&q.statement, exec_opts.clone())
+                .map_err(|e| e.to_string())
+        });
         if args.json {
             println!("{}", query_json(q, real.as_ref()));
         } else {

@@ -18,6 +18,7 @@ fn full_pipeline_on_tpch() {
         &db,
         ExecOptions {
             max_rows: 3_000_000,
+            deadline: None,
         },
     );
     let mut satisfied = 0;
@@ -51,6 +52,7 @@ fn estimator_agrees_with_execution_on_generated_queries() {
         &db,
         ExecOptions {
             max_rows: 3_000_000,
+            deadline: None,
         },
     );
 

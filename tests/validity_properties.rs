@@ -54,7 +54,7 @@ proptest! {
         prop_assert!(validate(&f.db, &stmt).is_ok(), "invalid: {sql}");
         let reparsed = parse(&sql).map_err(|e| TestCaseError::fail(format!("{e}: {sql}")))?;
         prop_assert_eq!(render(&reparsed), sql.clone());
-        let ex = Executor::with_options(&f.db, ExecOptions { max_rows: 2_000_000 });
+        let ex = Executor::with_options(&f.db, ExecOptions { max_rows: 2_000_000, deadline: None });
         prop_assert!(ex.cardinality(&stmt).is_ok(), "exec failed: {sql}");
     }
 
@@ -150,6 +150,7 @@ fn validator_acceptance_implies_executability() {
             &db,
             ExecOptions {
                 max_rows: 2_000_000,
+                deadline: None,
             },
         );
         for _ in 0..60 {
